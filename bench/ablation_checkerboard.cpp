@@ -1,0 +1,65 @@
+// Ablation: checkerboard (sparse split-bond) application of B vs the dense
+// GEMM — QUEST's large-lattice option. Reports the time to form B * X for
+// an N x N matrix X both ways, plus the splitting accuracy.
+#include "bench_util.h"
+#include "hubbard/checkerboard.h"
+#include "hubbard/kinetic.h"
+#include "linalg/blas3.h"
+#include "linalg/norms.h"
+#include "linalg/util.h"
+
+int main() {
+  using namespace dqmc;
+  using namespace dqmc::bench;
+  using linalg::idx;
+  using linalg::Matrix;
+  banner("Ablation (checkerboard)",
+         "sparse split-bond B application vs dense GEMM");
+
+  cli::Table table({"N", "dense ms", "checkerboard ms", "speedup",
+                    "split rel. err"});
+  std::vector<idx> ls = {8, 12, 16, 24};
+  if (full_scale()) ls.push_back(32);
+  for (idx l : ls) {
+    hubbard::Lattice lat(l, l);
+    hubbard::ModelParams p;
+    p.beta = 4.0;
+    p.slices = 40;  // dtau = 0.1
+    const idx n = lat.num_sites();
+
+    hubbard::KineticExponentials ke = hubbard::kinetic_exponentials(lat, p);
+    hubbard::CheckerboardB cb(lat, p);
+    linalg::MatrixRng rng(static_cast<std::uint64_t>(n));
+    Matrix x = rng.uniform_matrix(n, n);
+    Matrix y = Matrix::zero(n, n);
+
+    Stopwatch wd;
+    int reps = 0;
+    do {
+      linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, ke.b, x, 0.0, y);
+      ++reps;
+    } while (wd.seconds() < 0.2);
+    const double dense_ms = wd.seconds() / reps * 1e3;
+
+    Stopwatch wc;
+    reps = 0;
+    Matrix xc = x;
+    do {
+      cb.apply_left(xc);
+      ++reps;
+    } while (wc.seconds() < 0.2);
+    const double cb_ms = wc.seconds() / reps * 1e3;
+
+    const double err = linalg::relative_difference(cb.dense(), ke.b);
+    table.add_row({cli::Table::integer(static_cast<long>(n)),
+                   cli::Table::num(dense_ms, 3), cli::Table::num(cb_ms, 3),
+                   cli::Table::num(dense_ms / cb_ms, 1),
+                   cli::Table::sci(err)});
+  }
+  table.print();
+  std::printf("\nexpected: the O(N^2)-work checkerboard pulls ahead of the\n"
+              "O(N^3) GEMM as N grows, at an O(dtau^2) accuracy cost (~1e-2\n"
+              "at dtau = 0.1) of the same order as the Trotter error the\n"
+              "simulation already accepts.\n\n");
+  return 0;
+}

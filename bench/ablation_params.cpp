@@ -1,0 +1,105 @@
+// Ablation bench for the design constants the paper fixes without data:
+// cluster size k (= wrap batch), delayed-update depth d, and the QR panel
+// width — each swept independently around the paper defaults (k = 10,
+// d = 32), reporting sweep time and the numerical drift of the Green's
+// function against a from-scratch stratification.
+#include <vector>
+
+#include "bench_util.h"
+#include "dqmc/engine.h"
+#include "linalg/norms.h"
+
+namespace {
+
+using namespace dqmc;
+using namespace dqmc::bench;
+using linalg::idx;
+
+struct Row {
+  double sweep_seconds;
+  double greens_drift;
+  double acceptance;
+};
+
+Row run_case(idx l, idx slices, core::EngineConfig cfg) {
+  hubbard::Lattice lat(l, l);
+  hubbard::ModelParams model;
+  model.u = 4.0;
+  model.slices = slices;
+  model.beta = 0.125 * static_cast<double>(slices);
+
+  core::DqmcEngine engine(lat, model, cfg, 1234);
+  engine.initialize();
+  engine.sweep();  // warm
+
+  Stopwatch watch;
+  core::SweepStats stats = engine.sweep();
+  const double t = watch.seconds();
+
+  // Numerical drift: wrapped/updated G vs fresh stratification.
+  linalg::Matrix g_engine = engine.greens(hubbard::Spin::Up);
+  engine.recompute_greens(0);
+  const double drift = linalg::relative_difference(
+      g_engine, engine.greens(hubbard::Spin::Up));
+  return {t, drift, stats.acceptance()};
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation", "design-constant sweeps: cluster size k, delay depth d, "
+                     "QR panel width");
+
+  const idx l = full_scale() ? 16 : 10;
+  const idx slices = full_scale() ? 160 : 40;
+
+  {
+    cli::Table table({"k (cluster/wrap)", "sweep s", "G drift", "acceptance"});
+    for (idx k : {1, 2, 5, 10, 20}) {
+      if (k > slices) continue;
+      core::EngineConfig cfg;
+      cfg.cluster_size = k;
+      const Row r = run_case(l, slices, cfg);
+      table.add_row({cli::Table::integer(static_cast<long>(k)),
+                     cli::Table::num(r.sweep_seconds, 3),
+                     cli::Table::sci(r.greens_drift),
+                     cli::Table::num(r.acceptance, 3)});
+    }
+    std::printf("\ncluster size k (paper default 10): larger k = fewer QR "
+                "steps but longer unstabilized wrap stretches.\n");
+    table.print();
+  }
+  {
+    cli::Table table({"d (delay depth)", "sweep s", "G drift", "acceptance"});
+    for (idx d : {1, 4, 8, 16, 32, 64}) {
+      core::EngineConfig cfg;
+      cfg.delay_rank = d;
+      const Row r = run_case(l, slices, cfg);
+      table.add_row({cli::Table::integer(static_cast<long>(d)),
+                     cli::Table::num(r.sweep_seconds, 3),
+                     cli::Table::sci(r.greens_drift),
+                     cli::Table::num(r.acceptance, 3)});
+    }
+    std::printf("\ndelayed-update depth d (paper default 32): batches rank-1 "
+                "corrections into GEMMs.\n");
+    table.print();
+  }
+  {
+    cli::Table table({"QR panel", "sweep s", "G drift", "acceptance"});
+    for (idx nb : {8, 16, 32, 64}) {
+      core::EngineConfig cfg;
+      cfg.qr_block = nb;
+      const Row r = run_case(l, slices, cfg);
+      table.add_row({cli::Table::integer(static_cast<long>(nb)),
+                     cli::Table::num(r.sweep_seconds, 3),
+                     cli::Table::sci(r.greens_drift),
+                     cli::Table::num(r.acceptance, 3)});
+    }
+    std::printf("\nblocked-QR panel width (default 32).\n");
+    table.print();
+  }
+  std::printf("\nexpected: time improves up to k ~ 10 and d ~ 32, drift "
+              "stays <= ~1e-8 throughout (stability is insensitive to the "
+              "performance knobs).\n\n");
+  return 0;
+}

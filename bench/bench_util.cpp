@@ -1,0 +1,23 @@
+#include "bench_util.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dqmc::bench {
+
+FiveNumber five_number_summary(std::vector<double> samples) {
+  DQMC_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  return {samples.front(), quantile(0.25), quantile(0.5), quantile(0.75),
+          samples.back()};
+}
+
+}  // namespace dqmc::bench

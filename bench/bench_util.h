@@ -1,0 +1,66 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every bench scales its workload down from the paper's 36-hour production
+// runs so the whole harness finishes in minutes on one core, while keeping
+// the *shape* of each figure. Set DQMC_FULL=1 to run paper-scale parameters
+// (documented per bench); EXPERIMENTS.md records both.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/stopwatch.h"
+#include "cli/table.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::bench {
+
+using linalg::idx;
+
+/// True when the harness should run paper-scale parameters.
+inline bool full_scale() { return env_flag("DQMC_FULL", false); }
+
+/// Standard banner so the tee'd bench_output.txt is self-describing.
+inline void banner(const char* fig, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", fig, what);
+  std::printf("mode: %s (set DQMC_FULL=1 for paper-scale parameters)\n",
+              full_scale() ? "FULL (paper scale)" : "scaled-down");
+  std::printf("==============================================================\n");
+}
+
+/// Nominal flop counts used for GFlop/s reporting (matching LAPACK's
+/// conventions so rates are comparable with the paper's figures).
+inline double gemm_flops(idx n) {
+  return 2.0 * static_cast<double>(n) * n * n;
+}
+inline double qr_flops(idx n) {  // dgeqrf on square n
+  return 4.0 / 3.0 * static_cast<double>(n) * n * n;
+}
+inline double form_q_flops(idx n) {  // dorgqr, full square Q
+  return 4.0 / 3.0 * static_cast<double>(n) * n * n;
+}
+
+/// Nominal flops of one stratified Green's evaluation over `m` factors of
+/// size n: per step one GEMM (chain * Q), column scaling, QR, explicit Q,
+/// and the T update (triangular multiply ~ n^3), plus the closing solves.
+inline double greens_eval_flops(idx n, idx m) {
+  const double n3 = static_cast<double>(n) * n * n;
+  const double per_step = 2.0 * n3          // C = B * Q
+                          + 4.0 / 3.0 * n3  // QR
+                          + 4.0 / 3.0 * n3  // form Q
+                          + 1.0 * n3;       // T update (triangular)
+  const double close = 2.0 / 3.0 * n3 * 2   // two LU factorizations
+                       + 2.0 * n3 * 2;      // two triangular solve pairs
+  return static_cast<double>(m) * per_step + close;
+}
+
+/// Five-number summary for the Fig. 2 box-and-whisker rows.
+struct FiveNumber {
+  double min, q1, median, q3, max;
+};
+FiveNumber five_number_summary(std::vector<double> samples);
+
+}  // namespace dqmc::bench

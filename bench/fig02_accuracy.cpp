@@ -1,0 +1,102 @@
+// Figure 2: distribution (box-and-whisker) of the relative difference
+// ||G - G~||_F / ||G||_F between the Green's functions computed by the
+// classic QRP stratification (Algorithm 2) and the pre-pivoted variant
+// (Algorithm 3), for U = 2..8.
+//
+// Paper setup: 16x16 lattice, L = 160, dtau = 0.2 (beta = 32), 1000
+// evaluations sampled from a running simulation. Scaled default: 8x8,
+// L = 60 (beta = 12), 60 evaluations. Expected shape: distributions sit
+// around 1e-13..1e-11 and are flat in U.
+#include <vector>
+
+#include "bench_util.h"
+#include "dqmc/engine.h"
+#include "linalg/norms.h"
+
+int main() {
+  using namespace dqmc;
+  using namespace dqmc::bench;
+  banner("Fig. 2", "relative difference between Algorithm 2 and Algorithm 3 "
+                   "Green's functions");
+
+  const idx l = full_scale() ? 16 : 8;
+  const idx slices = full_scale() ? 160 : 60;
+  const double dtau = 0.2;
+  const idx evals = full_scale() ? 1000 : 60;
+
+  cli::Table table({"U", "min", "Q1", "median", "Q3", "max"});
+  for (double u : {2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) {
+    hubbard::Lattice lat(l, l);
+    hubbard::ModelParams model;
+    model.u = u;
+    model.slices = slices;
+    model.beta = dtau * static_cast<double>(slices);
+
+    // One engine drives the Markov chain (pre-pivot, as in production); a
+    // second stratification engine recomputes the same Green's function
+    // with full pivoting for comparison.
+    core::EngineConfig cfg;
+    core::DqmcEngine engine(lat, model, cfg, 17 + static_cast<std::uint64_t>(u));
+    engine.initialize();
+
+    core::StratificationEngine qrp(lat.num_sites(),
+                                   core::StratAlgorithm::kQRP);
+    core::StratificationEngine pre(lat.num_sites(),
+                                   core::StratAlgorithm::kPrePivot);
+
+    std::vector<double> diffs;
+    idx sweeps_done = 0;
+    while (static_cast<idx>(diffs.size()) < evals) {
+      engine.sweep();
+      ++sweeps_done;
+      // Sample the Green's function at every cluster boundary of the
+      // current configuration (both algorithms, same cached clusters).
+      // This mirrors "1000 evaluations sampled from a full simulation".
+      for (idx c = 0;
+           c < slices / cfg.cluster_size && static_cast<idx>(diffs.size()) < evals;
+           ++c) {
+        // Rebuild rotation views per spin; use spin up (down is symmetric).
+        // Access the cluster store through a recompute + greens call pair.
+        engine.recompute_greens(c);
+        // engine uses pre-pivot: this is G~.
+        linalg::Matrix g_pre = engine.greens(hubbard::Spin::Up);
+        (void)pre;
+        // Reference with full pivoting from the same clusters: re-run the
+        // stratification with the QRP engine. We cannot reach the private
+        // cluster store, so recompute from the field directly.
+        std::vector<linalg::Matrix> factors;
+        const auto& factory = engine.factory();
+        const auto& field = engine.field();
+        // Factor sequence matching rotation(start = c): slices from
+        // c*k .. L-1 then 0 .. c*k-1, clustered in groups of k.
+        const idx k = cfg.cluster_size;
+        std::vector<linalg::Matrix> chain;
+        for (idx step = 0; step < slices / k; ++step) {
+          const idx cc = (c + step) % (slices / k);
+          linalg::Matrix prod =
+              factory.make_b(field.slice(cc * k), hubbard::Spin::Up);
+          linalg::Matrix next(lat.num_sites(), lat.num_sites());
+          for (idx sl = cc * k + 1; sl < (cc + 1) * k; ++sl) {
+            factory.apply_b_left(field.slice(sl), hubbard::Spin::Up, prod, next);
+            std::swap(prod, next);
+          }
+          chain.push_back(std::move(prod));
+        }
+        linalg::Matrix g_qrp = qrp.compute(chain);
+        diffs.push_back(linalg::relative_difference(g_pre, g_qrp));
+        (void)factors;
+      }
+    }
+
+    const FiveNumber f = five_number_summary(diffs);
+    table.add_row({cli::Table::num(u, 0), cli::Table::sci(f.min),
+                   cli::Table::sci(f.q1), cli::Table::sci(f.median),
+                   cli::Table::sci(f.q3), cli::Table::sci(f.max)});
+  }
+  table.print();
+  std::printf("\nexpected shape (paper Fig. 2): whole distributions within "
+              "the 1e-14..1e-9 band, i.e. the two algorithms agree orders of "
+              "magnitude beyond Monte Carlo accuracy, with no qualitative "
+              "dependence on U.\n\n");
+  return 0;
+}

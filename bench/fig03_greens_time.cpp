@@ -1,0 +1,97 @@
+// Figure 3: average wall time per Green's function evaluation vs number of
+// sites N, comparing the baseline (Algorithm 2, clusters rebuilt every
+// evaluation — the "previous QUEST" behaviour) against the improved engine
+// (Algorithm 3 pre-pivoting + cluster recycling, k = l = 10).
+//
+// Paper: N = 256..1024, L = 160 on 12 Westmere cores; ~3x speedup.
+// Scaled default: N up to 400, L = 80 on this host. The speedup factor is
+// the quantity to compare.
+#include <vector>
+
+#include "bench_util.h"
+#include "dqmc/cluster_store.h"
+#include "dqmc/hs_field.h"
+#include "dqmc/stratification.h"
+#include "hubbard/bmatrix.h"
+
+namespace {
+
+using namespace dqmc;
+using namespace dqmc::bench;
+
+struct Timing {
+  double baseline_s;  // QRP + cluster rebuild per evaluation
+  double improved_s;  // pre-pivot + recycled clusters
+};
+
+Timing time_greens(idx l, idx slices, idx k, idx evals) {
+  hubbard::Lattice lat(l, l);
+  hubbard::ModelParams model;
+  model.u = 4.0;
+  model.slices = slices;
+  model.beta = 0.125 * static_cast<double>(slices);
+  hubbard::BMatrixFactory factory(lat, model);
+  core::HSField field(slices, lat.num_sites());
+  core::Rng rng(static_cast<std::uint64_t>(l * 1000 + slices));
+  field.randomize(rng);
+
+  core::ClusterStore store(factory, field, k);
+  store.rebuild_all();
+
+  core::StratificationEngine qrp(lat.num_sites(), core::StratAlgorithm::kQRP);
+  core::StratificationEngine pre(lat.num_sites(),
+                                 core::StratAlgorithm::kPrePivot);
+
+  Timing t{};
+  {
+    // Baseline: pivoted QR everywhere and clusters NOT recycled — they are
+    // recomputed before every evaluation, as a per-evaluation cost.
+    Stopwatch watch;
+    for (idx e = 0; e < evals; ++e) {
+      store.rebuild_all();
+      (void)qrp.compute(store.rotation(hubbard::Spin::Up,
+                                       e % store.num_clusters()));
+    }
+    t.baseline_s = watch.seconds() / static_cast<double>(evals);
+  }
+  {
+    // Improved: pre-pivoted QR, clusters cached — only one cluster changes
+    // per boundary in a real sweep, so rebuild exactly one per evaluation.
+    Stopwatch watch;
+    for (idx e = 0; e < evals; ++e) {
+      store.rebuild(e % store.num_clusters());
+      (void)pre.compute(store.rotation(hubbard::Spin::Up,
+                                       e % store.num_clusters()));
+    }
+    t.improved_s = watch.seconds() / static_cast<double>(evals);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 3", "average time per Green's function evaluation vs N");
+
+  const idx slices = full_scale() ? 160 : 80;
+  const idx k = 10;
+  std::vector<idx> ls = {8, 12, 16, 20};
+  if (full_scale()) {
+    ls.push_back(24);
+    ls.push_back(32);
+  }
+
+  cli::Table table({"N", "baseline ms", "improved ms", "speedup"});
+  for (idx l : ls) {
+    const idx evals = l >= 20 ? 3 : (l >= 16 ? 5 : 10);
+    const Timing t = time_greens(l, slices, k, evals);
+    table.add_row({cli::Table::integer(static_cast<long>(l * l)),
+                   cli::Table::num(t.baseline_s * 1e3, 1),
+                   cli::Table::num(t.improved_s * 1e3, 1),
+                   cli::Table::num(t.baseline_s / t.improved_s, 2)});
+  }
+  table.print();
+  std::printf("\nexpected shape (paper Fig. 3): improved engine ~3x faster "
+              "at every N (pre-pivoting + cluster recycling).\n\n");
+  return 0;
+}

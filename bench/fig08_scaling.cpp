@@ -1,0 +1,55 @@
+// Figure 8: wall time of a complete DQMC simulation vs number of sites,
+// against the nominal O(N^3 L) prediction normalized at the smallest size.
+//
+// The paper's observation: measured time grows SLOWER than N^3 because the
+// dense kernels gain efficiency as the matrices grow (1024 sites cost 28x
+// the 256-site run instead of the nominal 64x).
+#include <vector>
+
+#include "bench_util.h"
+#include "dqmc/simulation.h"
+
+int main() {
+  using namespace dqmc;
+  using namespace dqmc::bench;
+  using linalg::idx;
+  banner("Fig. 8", "total simulation time vs N against the nominal N^3 line");
+
+  std::vector<idx> ls = full_scale() ? std::vector<idx>{16, 20, 24, 28, 32}
+                                     : std::vector<idx>{6, 8, 10, 12, 14};
+  const idx slices = full_scale() ? 160 : 32;
+  const idx warmup = full_scale() ? 1000 : 4;
+  const idx sweeps = full_scale() ? 2000 : 8;
+
+  cli::Table table({"N", "measured s", "nominal s (N^3)", "measured/nominal"});
+  double t0 = 0.0, n0 = 0.0;
+  for (idx l : ls) {
+    core::SimulationConfig cfg;
+    cfg.lx = cfg.ly = l;
+    cfg.model.u = 2.0;
+    cfg.model.slices = slices;
+    cfg.model.beta = 0.125 * static_cast<double>(slices);
+    cfg.warmup_sweeps = warmup;
+    cfg.measurement_sweeps = sweeps;
+    cfg.seed = 800 + static_cast<std::uint64_t>(l);
+
+    Stopwatch watch;
+    (void)core::run_simulation(cfg);
+    const double elapsed = watch.seconds();
+
+    const double n = static_cast<double>(l * l);
+    if (t0 == 0.0) {
+      t0 = elapsed;
+      n0 = n;
+    }
+    const double nominal = t0 * (n / n0) * (n / n0) * (n / n0);
+    table.add_row({cli::Table::integer(static_cast<long>(n)),
+                   cli::Table::num(elapsed, 2), cli::Table::num(nominal, 2),
+                   cli::Table::num(elapsed / nominal, 3)});
+  }
+  table.print();
+  std::printf("\nexpected shape (paper Fig. 8): measured/nominal < 1 and "
+              "decreasing with N (kernel efficiency grows with matrix "
+              "size).\n\n");
+  return 0;
+}

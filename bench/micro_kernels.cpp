@@ -1,0 +1,115 @@
+// google-benchmark micro-benchmarks of the dense kernels underlying every
+// figure: GEMM, blocked QR, pivoted QR, the pre-pivot column-norm sort, and
+// the fine-grain scaling kernels of Section IV-B.
+//
+// Complements the per-figure harness binaries with statistically robust
+// per-kernel timings (use --benchmark_filter=... to select).
+#include <benchmark/benchmark.h>
+
+#include "linalg/blas3.h"
+#include "linalg/diag.h"
+#include "linalg/norms.h"
+#include "linalg/qr.h"
+#include "linalg/qrp.h"
+#include "linalg/util.h"
+
+namespace {
+
+using namespace dqmc::linalg;
+
+void BM_Gemm(benchmark::State& state) {
+  const idx n = state.range(0);
+  MatrixRng rng(static_cast<std::uint64_t>(n));
+  const Matrix a = rng.uniform_matrix(n, n);
+  const Matrix b = rng.uniform_matrix(n, n);
+  Matrix c = Matrix::zero(n, n);
+  for (auto _ : state) {
+    gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_QrBlocked(benchmark::State& state) {
+  const idx n = state.range(0);
+  MatrixRng rng(static_cast<std::uint64_t>(n) + 1);
+  const Matrix a = rng.uniform_matrix(n, n);
+  for (auto _ : state) {
+    QRFactorization f = qr_factor(a);
+    benchmark::DoNotOptimize(f.factors.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      4.0 / 3.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_QrBlocked)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_QrPivoted(benchmark::State& state) {
+  const idx n = state.range(0);
+  MatrixRng rng(static_cast<std::uint64_t>(n) + 2);
+  const Matrix a = rng.uniform_matrix(n, n);
+  for (auto _ : state) {
+    QRPFactorization f = qrp_factor(a);
+    benchmark::DoNotOptimize(f.factors.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      4.0 / 3.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_QrPivoted)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_PrePivotSort(benchmark::State& state) {
+  const idx n = state.range(0);
+  MatrixRng rng(static_cast<std::uint64_t>(n) + 3);
+  const Matrix a = rng.graded_matrix(n, 0.97);
+  for (auto _ : state) {
+    Permutation p = prepivot_permutation(a);
+    benchmark::DoNotOptimize(p.map().data());
+  }
+}
+BENCHMARK(BM_PrePivotSort)->Arg(256)->Arg(1024);
+
+void BM_ColumnNorms(benchmark::State& state) {
+  const idx n = state.range(0);
+  MatrixRng rng(static_cast<std::uint64_t>(n) + 4);
+  const Matrix a = rng.uniform_matrix(n, n);
+  Vector out(n);
+  for (auto _ : state) {
+    column_norms(a, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ColumnNorms)->Arg(256)->Arg(1024);
+
+void BM_ScaleRows(benchmark::State& state) {
+  const idx n = state.range(0);
+  MatrixRng rng(static_cast<std::uint64_t>(n) + 5);
+  Matrix a = rng.uniform_matrix(n, n);
+  Vector d(n);
+  for (idx i = 0; i < n; ++i) d[i] = rng.uniform(0.9, 1.1);
+  for (auto _ : state) {
+    scale_rows(d.data(), a);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_ScaleRows)->Arg(256)->Arg(1024);
+
+void BM_WrapScaling(benchmark::State& state) {
+  const idx n = state.range(0);
+  MatrixRng rng(static_cast<std::uint64_t>(n) + 6);
+  Matrix a = rng.uniform_matrix(n, n);
+  Vector d(n);
+  for (idx i = 0; i < n; ++i) d[i] = rng.uniform(0.9, 1.1);
+  for (auto _ : state) {
+    scale_rows_cols_inv(d.data(), d.data(), a);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_WrapScaling)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Antiferromagnetic correlations (the physics of the paper's Fig. 7):
+// real-space z-spin correlation C_zz(r) showing the chessboard pattern of
+// the half-filled Hubbard model, rendered as an ASCII heatmap, plus the
+// long-distance correlation C_zz(L/2, L/2) used for bulk extrapolation.
+//
+//   ./antiferromagnet [--l 6] [--u 4.0] [--beta 5.0] [--slices 50]
+//                     [--warmup 150] [--sweeps 300] [--seed 3]
+#include <cstdio>
+#include <vector>
+
+#include "cli/args.h"
+#include "cli/table.h"
+#include "dqmc/simulation.h"
+
+int main(int argc, char** argv) {
+  using namespace dqmc;
+  using linalg::idx;
+  cli::Args args(argc, argv,
+                 {"l", "u", "beta", "slices", "warmup", "sweeps", "seed"});
+
+  core::SimulationConfig cfg;
+  cfg.lx = cfg.ly = args.get_long("l", 6);
+  cfg.model.u = args.get_double("u", 4.0);
+  cfg.model.beta = args.get_double("beta", 5.0);
+  cfg.model.slices = args.get_long("slices", 50);
+  cfg.warmup_sweeps = args.get_long("warmup", 150);
+  cfg.measurement_sweeps = args.get_long("sweeps", 300);
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 3));
+
+  std::printf("z-spin correlations on a %lldx%lld lattice, U=%.2f, beta=%.2f\n\n",
+              static_cast<long long>(cfg.lx), static_cast<long long>(cfg.ly),
+              cfg.model.u, cfg.model.beta);
+
+  core::SimulationResults res = core::run_simulation(cfg);
+  const hubbard::Lattice lat = cfg.make_lattice();
+
+  // C_zz over the (dx, dy) grid (single layer: dz slot = 0).
+  std::vector<double> grid(static_cast<std::size_t>(cfg.lx * cfg.ly));
+  for (idx dy = 0; dy < cfg.ly; ++dy) {
+    for (idx dx = 0; dx < cfg.lx; ++dx) {
+      const idx d = dx + cfg.lx * dy;
+      grid[static_cast<std::size_t>(dy * cfg.lx + dx)] =
+          res.measurements.spin_corr(d).mean;
+    }
+  }
+
+  std::printf("C_zz(dx, dy) heatmap (chessboard = antiferromagnetic order):\n");
+  std::fputs(cli::ascii_heatmap(grid, static_cast<int>(cfg.ly),
+                                static_cast<int>(cfg.lx), /*symmetric=*/true)
+                 .c_str(),
+             stdout);
+
+  cli::Table table({"observable", "value"});
+  const idx dmax = (cfg.lx / 2) + cfg.lx * (cfg.ly / 2);
+  table.add_row({"C_zz(0,0)  (local moment)",
+                 cli::Table::pm(res.measurements.spin_corr(0).mean,
+                                res.measurements.spin_corr(0).error)});
+  table.add_row({"C_zz(1,0)  (nearest neighbour)",
+                 cli::Table::pm(res.measurements.spin_corr(1).mean,
+                                res.measurements.spin_corr(1).error)});
+  table.add_row({"C_zz(L/2,L/2) (longest distance)",
+                 cli::Table::pm(res.measurements.spin_corr(dmax).mean,
+                                res.measurements.spin_corr(dmax).error)});
+  table.add_row({"S(pi,pi) structure factor",
+                 cli::Table::pm(res.measurements.af_structure_factor().mean,
+                                res.measurements.af_structure_factor().error)});
+  std::printf("\n");
+  table.print();
+  std::printf(
+      "\nNearest-neighbour C_zz < 0 and C_zz(L/2,L/2) > 0 together signal\n"
+      "the staggered (pi,pi) order; the structure factor grows with both U\n"
+      "and lattice size when order develops.\n");
+  return 0;
+}

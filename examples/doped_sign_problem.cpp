@@ -1,0 +1,55 @@
+// The fermion sign problem away from half filling — the fundamental
+// limitation that (together with the N^3 cost) bounds what DQMC can reach,
+// and the reason the paper's production runs sit at rho = 1 where
+// particle-hole symmetry guarantees <sign> = 1.
+//
+// Sweeps the chemical potential (measured from half filling) and reports
+// the resulting density and average sign: the sign decays as mu moves off
+// 0 and as beta grows.
+//
+//   ./doped_sign_problem [--l 4] [--u 4.0] [--beta 3.0] [--slices 30]
+//                        [--warmup 50] [--sweeps 150] [--seed 9]
+#include <cstdio>
+
+#include "cli/args.h"
+#include "cli/table.h"
+#include "dqmc/simulation.h"
+
+int main(int argc, char** argv) {
+  using namespace dqmc;
+  cli::Args args(argc, argv,
+                 {"l", "u", "beta", "slices", "warmup", "sweeps", "seed"});
+
+  core::SimulationConfig base;
+  base.lx = base.ly = args.get_long("l", 4);
+  base.model.u = args.get_double("u", 4.0);
+  base.model.beta = args.get_double("beta", 3.0);
+  base.model.slices = args.get_long("slices", 30);
+  base.warmup_sweeps = args.get_long("warmup", 50);
+  base.measurement_sweeps = args.get_long("sweeps", 150);
+  base.seed = static_cast<std::uint64_t>(args.get_long("seed", 9));
+
+  std::printf("sign problem vs doping: %lldx%lld, U=%.2f, beta=%.2f\n"
+              "(mu is measured from half filling)\n\n",
+              static_cast<long long>(base.lx), static_cast<long long>(base.ly),
+              base.model.u, base.model.beta);
+
+  cli::Table table({"mu", "density", "<sign>", "double occ."});
+  for (double mu : {0.0, -0.25, -0.5, -1.0, -1.5}) {
+    core::SimulationConfig cfg = base;
+    cfg.model.mu = mu;
+    core::SimulationResults res = core::run_simulation(cfg);
+    const auto& m = res.measurements;
+    table.add_row({cli::Table::num(mu, 2),
+                   cli::Table::pm(m.density().mean, m.density().error),
+                   cli::Table::pm(m.average_sign().mean, m.average_sign().error, 3),
+                   cli::Table::pm(m.double_occupancy().mean,
+                                  m.double_occupancy().error)});
+  }
+  table.print();
+  std::printf(
+      "\nAt mu = 0 particle-hole symmetry keeps <sign> = 1 exactly; doping\n"
+      "breaks it and the shrinking <sign> inflates every error bar by\n"
+      "1/<sign> — the exponential wall of fermionic QMC.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Independent-chain parallelism — the "trivially parallel" axis of DQMC
+// production runs: several Markov chains with different seeds run
+// concurrently and their sign-weighted accumulators merge into one result
+// with sqrt(chains)-smaller error bars.
+//
+//   ./parallel_chains [--l 4] [--u 4.0] [--beta 3.0] [--slices 30]
+//                     [--chains 4] [--sweeps 200] [--warmup 60] [--seed 21]
+#include <cstdio>
+
+#include "cli/args.h"
+#include "cli/table.h"
+#include "common/stopwatch.h"
+#include "dqmc/simulation.h"
+#include "parallel/topology.h"
+
+int main(int argc, char** argv) {
+  using namespace dqmc;
+  using linalg::idx;
+  cli::Args args(argc, argv, {"l", "u", "beta", "slices", "chains", "sweeps",
+                              "warmup", "seed"});
+
+  core::SimulationConfig cfg;
+  cfg.lx = cfg.ly = args.get_long("l", 4);
+  cfg.model.u = args.get_double("u", 4.0);
+  cfg.model.beta = args.get_double("beta", 3.0);
+  cfg.model.slices = args.get_long("slices", 30);
+  cfg.warmup_sweeps = args.get_long("warmup", 60);
+  cfg.measurement_sweeps = args.get_long("sweeps", 200);
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 21));
+  const idx chains = args.get_long("chains", 4);
+
+  std::printf("%lld independent chains of %lld+%lld sweeps each "
+              "(%lldx%lld, U=%.2f, beta=%.2f)\n\n",
+              static_cast<long long>(chains),
+              static_cast<long long>(cfg.warmup_sweeps),
+              static_cast<long long>(cfg.measurement_sweeps),
+              static_cast<long long>(cfg.lx), static_cast<long long>(cfg.ly),
+              cfg.model.u, cfg.model.beta);
+
+  Stopwatch w1;
+  core::SimulationResults single = core::run_simulation(cfg);
+  const double t1 = w1.seconds();
+
+  Stopwatch wn;
+  core::SimulationResults merged = core::run_parallel_simulation(cfg, chains);
+  const double tn = wn.seconds();
+
+  cli::Table table({"", "samples", "double occupancy", "S(pi,pi)", "wall"});
+  const auto d1 = single.measurements.double_occupancy();
+  const auto a1 = single.measurements.af_structure_factor();
+  table.add_row({"1 chain", cli::Table::integer(single.measurements.samples()),
+                 cli::Table::pm(d1.mean, d1.error),
+                 cli::Table::pm(a1.mean, a1.error), format_seconds(t1)});
+  const auto dn = merged.measurements.double_occupancy();
+  const auto an = merged.measurements.af_structure_factor();
+  char label[32];
+  std::snprintf(label, sizeof label, "%lld chains", static_cast<long long>(chains));
+  table.add_row({label, cli::Table::integer(merged.measurements.samples()),
+                 cli::Table::pm(dn.mean, dn.error),
+                 cli::Table::pm(an.mean, an.error), format_seconds(tn)});
+  table.print();
+
+  std::printf("\nThe merged error bars shrink ~1/sqrt(chains); on a machine\n"
+              "with %d hardware threads the chains run concurrently, so the\n"
+              "wall time stays near a single chain's.\n",
+              dqmc::par::num_threads());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Trotter extrapolation — the standard production workflow for removing
+// the O(dtau^2) discretization error: run the same physics at several
+// dtau values and extrapolate observables to dtau -> 0 with a quadratic
+// fit. Compared against many-body exact diagonalization on the 2x2
+// cluster, where the extrapolated value must land.
+//
+//   ./trotter_extrapolation [--u 4.0] [--beta 2.0] [--sweeps 400]
+//                           [--warmup 100] [--seed 12]
+#include <cstdio>
+#include <vector>
+
+#include "cli/args.h"
+#include "cli/table.h"
+#include "dqmc/simulation.h"
+
+int main(int argc, char** argv) {
+  using namespace dqmc;
+  using linalg::idx;
+  cli::Args args(argc, argv, {"u", "beta", "sweeps", "warmup", "seed"});
+
+  core::SimulationConfig base;
+  base.lx = base.ly = 2;
+  base.model.u = args.get_double("u", 4.0);
+  base.model.beta = args.get_double("beta", 2.0);
+  base.engine.cluster_size = 5;
+  base.warmup_sweeps = args.get_long("warmup", 100);
+  base.measurement_sweeps = args.get_long("sweeps", 400);
+  base.seed = static_cast<std::uint64_t>(args.get_long("seed", 12));
+
+  std::printf("Trotter extrapolation on the 2x2 cluster, U=%.2f, beta=%.2f\n\n",
+              base.model.u, base.model.beta);
+
+  // Three dtau values with fixed beta.
+  const idx slice_counts[3] = {10, 20, 40};
+  double dtau2[3], docc[3], err[3];
+  cli::Table table({"L", "dtau", "double occupancy", "err"});
+  for (int i = 0; i < 3; ++i) {
+    core::SimulationConfig cfg = base;
+    cfg.model.slices = slice_counts[i];
+    core::SimulationResults res = core::run_simulation(cfg);
+    const auto d = res.measurements.double_occupancy();
+    dtau2[i] = cfg.model.dtau() * cfg.model.dtau();
+    docc[i] = d.mean;
+    err[i] = d.error;
+    table.add_row({cli::Table::integer(static_cast<long>(slice_counts[i])),
+                   cli::Table::num(cfg.model.dtau(), 3),
+                   cli::Table::num(d.mean, 5), cli::Table::num(d.error, 5)});
+  }
+  table.print();
+
+  // Least-squares linear fit docc = a + b * dtau^2.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (int i = 0; i < 3; ++i) {
+    sx += dtau2[i];
+    sy += docc[i];
+    sxx += dtau2[i] * dtau2[i];
+    sxy += dtau2[i] * docc[i];
+  }
+  const double b = (3.0 * sxy - sx * sy) / (3.0 * sxx - sx * sx);
+  const double a = (sy - b * sx) / 3.0;
+  (void)err;
+
+  std::printf("\nextrapolated dtau->0 double occupancy: %.5f "
+              "(slope %.4f per dtau^2)\n",
+              a, b);
+  std::printf("Compare with exact diagonalization (see\n"
+              "tests/dqmc/test_simulation.cpp, which automates this check);\n"
+              "the finite-dtau rows should straddle or approach the\n"
+              "extrapolated value monotonically.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "cli/args.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace dqmc::cli {
+
+Args::Args(int argc, const char* const* argv,
+           std::vector<std::string> allowed)
+    : program_(argc > 0 ? argv[0] : "") {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    DQMC_CHECK_MSG(arg.rfind("--", 0) == 0,
+                   "options must start with --, got: " + arg);
+    arg = arg.substr(2);
+
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // Next token is the value unless it is another option or missing.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "1";  // bare flag
+      }
+    }
+    if (!allowed.empty()) {
+      DQMC_CHECK_MSG(std::find(allowed.begin(), allowed.end(), name) !=
+                         allowed.end(),
+                     "unknown option --" + name);
+    }
+    values_[name] = value;
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : fallback;
+}
+
+long Args::get_long(const std::string& name, long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  DQMC_CHECK_MSG(end && *end == '\0', "option --" + name + " expects an integer");
+  return v;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  DQMC_CHECK_MSG(end && *end == '\0', "option --" + name + " expects a number");
+  return v;
+}
+
+bool Args::get_flag(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "1" || it->second == "true" || it->second == "yes" ||
+         it->second == "on";
+}
+
+}  // namespace dqmc::cli

@@ -1,0 +1,36 @@
+// Minimal command-line option parsing shared by examples and benches.
+//
+// Supports --name value, --name=value, and bare --flag booleans. Unknown
+// options throw, so typos in bench sweeps fail loudly rather than silently
+// running the default configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dqmc::cli {
+
+class Args {
+ public:
+  /// Parse argv. `allowed` lists the recognized option names (without the
+  /// leading --); pass an empty list to accept anything.
+  Args(int argc, const char* const* argv,
+       std::vector<std::string> allowed = {});
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_long(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_flag(const std::string& name, bool fallback = false) const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dqmc::cli

@@ -1,0 +1,43 @@
+// QUEST-style plain-text input files: "key = value" lines with '#'
+// comments. The paper notes that QUEST's lattice size and physical
+// parameters are "very generally configurable through an input file" —
+// this module provides the same workflow for dqmcpp (see examples/dqmc_run).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dqmc/simulation.h"
+
+namespace dqmc::cli {
+
+/// Parsed key/value file. Keys are case-sensitive; later duplicates win.
+class ConfigFile {
+ public:
+  /// Parse from file contents (not a path; callers read the file).
+  static ConfigFile parse(const std::string& text);
+  /// Read and parse a file on disk; throws on I/O errors.
+  static ConfigFile load(const std::string& path);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long get_long(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  const std::map<std::string, std::string>& entries() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Build a SimulationConfig from a config file. Recognized keys (all
+/// optional, QUEST-flavoured names):
+///   lx, ly, layers, t, tperp, u, mu, beta, slices (or L),
+///   warmup (or nwarm), sweeps (or npass), measure_interval,
+///   measure_slice_interval, bins, seed,
+///   algorithm (qrp | prepivot), cluster_size (or north), delay_rank,
+///   gpu_clustering, gpu_wrapping (0/1)
+/// Unknown keys throw, so typos are caught.
+core::SimulationConfig simulation_config_from(const ConfigFile& file);
+
+}  // namespace dqmc::cli

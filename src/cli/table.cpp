@@ -1,0 +1,113 @@
+#include "cli/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace dqmc::cli {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DQMC_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DQMC_CHECK_MSG(cells.size() <= headers_.size(), "row wider than header");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long v) { return std::to_string(v); }
+
+std::string Table::pm(double mean, double error, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f +- %.*f", precision, mean, precision,
+                error);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::string cell = cells[c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < cells.size()) line += "  ";
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = emit_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c], '-');
+    if (c + 1 < headers_.size()) sep += "  ";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string ascii_heatmap(const std::vector<double>& values, int rows,
+                          int cols, bool symmetric) {
+  DQMC_CHECK(rows >= 1 && cols >= 1);
+  DQMC_CHECK(values.size() == static_cast<std::size_t>(rows) * cols);
+  static const char* kRamp = " .:-=+*#%@";
+  const int levels = 10;
+
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (symmetric) {
+    const double m = std::max(std::fabs(lo), std::fabs(hi));
+    lo = -m;
+    hi = m;
+  }
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+
+  std::string out;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double v = values[static_cast<std::size_t>(r) * cols + c];
+      int level = static_cast<int>((v - lo) / span * (levels - 1) + 0.5);
+      level = std::clamp(level, 0, levels - 1);
+      out += kRamp[level];
+      out += kRamp[level];  // double width: terminal cells are ~2:1
+    }
+    out += '\n';
+  }
+  char footer[96];
+  std::snprintf(footer, sizeof footer, "[min %.4f  max %.4f]\n",
+                symmetric ? lo : lo, symmetric ? hi : hi);
+  out += footer;
+  return out;
+}
+
+}  // namespace dqmc::cli

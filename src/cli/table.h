@@ -1,0 +1,40 @@
+// Aligned text tables for bench/example output — each bench prints the
+// same rows/series its paper figure or table reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dqmc::cli {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; cells beyond the header count throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+  static std::string integer(long v);
+  /// "mean +- error"
+  static std::string pm(double mean, double error, int precision = 4);
+
+  /// Render with aligned columns and a separator under the header.
+  std::string str() const;
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// ASCII heatmap of a row-major grid (used for the contour figures 6/7):
+/// values are mapped onto a shade ramp; negative/positive diverging data
+/// can pass symmetric=true to centre the ramp at zero.
+std::string ascii_heatmap(const std::vector<double>& values, int rows,
+                          int cols, bool symmetric = false);
+
+}  // namespace dqmc::cli

@@ -1,0 +1,19 @@
+#include "common/aligned.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace dqmc {
+
+void* aligned_malloc(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t padded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  void* p = std::aligned_alloc(kAlignment, padded);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void aligned_free(void* p) noexcept { std::free(p); }
+
+}  // namespace dqmc

@@ -1,0 +1,58 @@
+// Cache-line / SIMD aligned allocation used by all dense containers.
+#pragma once
+
+#include <cstddef>
+
+namespace dqmc {
+
+/// Alignment (bytes) used for matrix/vector storage. 64 covers AVX-512 loads
+/// and the x86 cache-line size, so rows packed by the GEMM kernels never
+/// split a vector load across lines.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Allocate `bytes` of kAlignment-aligned storage. Throws std::bad_alloc.
+/// The returned pointer must be released with aligned_free.
+void* aligned_malloc(std::size_t bytes);
+
+/// Release storage obtained from aligned_malloc. Null is a no-op.
+void aligned_free(void* p) noexcept;
+
+/// Minimal RAII owner for aligned storage of `T` (trivially destructible).
+template <class T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    data_ = n ? static_cast<T*>(aligned_malloc(n * sizeof(T))) : nullptr;
+  }
+  ~AlignedBuffer() { aligned_free(data_); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& o) noexcept : data_(o.data_), size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      aligned_free(data_);
+      data_ = o.data_;
+      size_ = o.size_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dqmc

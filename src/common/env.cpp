@@ -1,0 +1,40 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace dqmc {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return std::nullopt;
+  return std::string(v);
+}
+
+long env_long(const char* name, long fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  long v = std::strtol(s->c_str(), &end, 10);
+  return (end && *end == '\0') ? v : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(s->c_str(), &end);
+  return (end && *end == '\0') ? v : fallback;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  std::string lower = *s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower == "1" || lower == "true" || lower == "yes" || lower == "on";
+}
+
+}  // namespace dqmc

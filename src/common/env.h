@@ -1,0 +1,25 @@
+// Environment-variable configuration helpers.
+//
+// Benches and examples honour a few DQMC_* variables (e.g. DQMC_FULL=1 to
+// run paper-scale parameters, DQMC_THREADS to pin the worker count). These
+// helpers centralize the parsing so every binary behaves identically.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace dqmc {
+
+/// Raw lookup; nullopt when the variable is unset or empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Integer lookup; `fallback` when unset or unparsable.
+long env_long(const char* name, long fallback);
+
+/// Floating-point lookup; `fallback` when unset or unparsable.
+double env_double(const char* name, double fallback);
+
+/// Boolean lookup: "1", "true", "yes", "on" (case-insensitive) are true.
+bool env_flag(const char* name, bool fallback = false);
+
+}  // namespace dqmc

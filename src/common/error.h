@@ -1,0 +1,63 @@
+// Error handling primitives for dqmcpp.
+//
+// Library code reports contract violations through exceptions derived from
+// dqmc::Error so callers (tests, examples, benches) can distinguish our
+// failures from std:: ones. DQMC_CHECK is always on; DQMC_ASSERT compiles
+// out in release builds and is reserved for internal invariants on hot paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dqmc {
+
+/// Base class of all exceptions thrown by dqmcpp.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its documented contract
+/// (dimension mismatch, negative size, out-of-range index, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine cannot complete (singular pivot,
+/// eigensolver non-convergence, overflow in a graded product, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": check `" + expr + "` failed" +
+                        (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace dqmc
+
+/// Always-on contract check; throws dqmc::InvalidArgument on failure.
+#define DQMC_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) ::dqmc::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Always-on contract check with an explanatory message.
+#define DQMC_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::dqmc::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+/// Debug-only internal invariant; compiled out with NDEBUG.
+#ifdef NDEBUG
+#define DQMC_ASSERT(expr) ((void)0)
+#else
+#define DQMC_ASSERT(expr) DQMC_CHECK(expr)
+#endif

@@ -1,0 +1,52 @@
+#include "common/profiler.h"
+
+#include <cstdio>
+
+namespace dqmc {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kDelayedUpdate: return "Delayed rank-1 update";
+    case Phase::kStratification: return "Stratification";
+    case Phase::kClustering: return "Clustering";
+    case Phase::kWrapping: return "Wrapping";
+    case Phase::kMeasurement: return "Physical meas.";
+    case Phase::kOther: return "Other";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+void Profiler::reset() {
+  seconds_.fill(0.0);
+  calls_.fill(0);
+}
+
+double Profiler::total_seconds() const {
+  double t = 0.0;
+  for (double s : seconds_) t += s;
+  return t;
+}
+
+double Profiler::percent(Phase p) const {
+  const double total = total_seconds();
+  return total > 0.0 ? 100.0 * seconds(p) / total : 0.0;
+}
+
+std::string Profiler::report() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-24s %12s %8s %10s\n", "phase", "seconds",
+                "share", "calls");
+  out += line;
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
+    const auto p = static_cast<Phase>(i);
+    std::snprintf(line, sizeof line, "%-24s %12.3f %7.1f%% %10llu\n",
+                  phase_name(p), seconds(p), percent(p),
+                  static_cast<unsigned long long>(calls(p)));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dqmc

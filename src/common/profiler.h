@@ -1,0 +1,72 @@
+// Phase profiler used to regenerate Table I of the paper.
+//
+// The DQMC driver brackets each pipeline phase (delayed update,
+// stratification, clustering, wrapping, measurements) with ScopedPhase; the
+// accumulated wall time per phase is then reported as a percentage of the
+// total, exactly the quantity Table I tabulates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/stopwatch.h"
+
+namespace dqmc {
+
+/// The pipeline phases distinguished by Table I of the paper.
+enum class Phase : int {
+  kDelayedUpdate = 0,  ///< blocked rank-1 Metropolis updates
+  kStratification,     ///< graded-QR Green's function recomputation
+  kClustering,         ///< k-fold B-matrix products
+  kWrapping,           ///< G <- B G B^{-1} slice advance
+  kMeasurement,        ///< physical observables
+  kOther,              ///< everything else (RNG, bookkeeping)
+  kCount
+};
+
+/// Human-readable label matching the row names of Table I.
+const char* phase_name(Phase p);
+
+/// Accumulates wall time per phase. Not thread-safe by design: there is one
+/// profiler per Simulation and phases never overlap within a simulation.
+class Profiler {
+ public:
+  void add(Phase p, double seconds) {
+    seconds_[static_cast<int>(p)] += seconds;
+    calls_[static_cast<int>(p)] += 1;
+  }
+  void reset();
+
+  double seconds(Phase p) const { return seconds_[static_cast<int>(p)]; }
+  std::uint64_t calls(Phase p) const { return calls_[static_cast<int>(p)]; }
+  double total_seconds() const;
+  /// Percentage of the total accounted to `p`; 0 when nothing was recorded.
+  double percent(Phase p) const;
+
+  /// Multi-line summary table (one row per phase with time and share).
+  std::string report() const;
+
+ private:
+  std::array<double, static_cast<int>(Phase::kCount)> seconds_{};
+  std::array<std::uint64_t, static_cast<int>(Phase::kCount)> calls_{};
+};
+
+/// RAII bracket crediting its lifetime to one phase of a profiler.
+/// A null profiler disables the bracket (zero cost beyond a branch).
+class ScopedPhase {
+ public:
+  ScopedPhase(Profiler* prof, Phase phase) : prof_(prof), phase_(phase) {}
+  ~ScopedPhase() {
+    if (prof_) prof_->add(phase_, watch_.seconds());
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Profiler* prof_;
+  Phase phase_;
+  Stopwatch watch_;
+};
+
+}  // namespace dqmc

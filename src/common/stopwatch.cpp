@@ -1,0 +1,20 @@
+#include "common/stopwatch.h"
+
+#include <cstdio>
+#include <string>
+
+namespace dqmc {
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace dqmc

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the profiler and the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace dqmc {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart timing from now.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Format a duration in seconds as "1.23 s" / "45.6 ms" / "789 us".
+std::string format_seconds(double s);
+
+}  // namespace dqmc

@@ -1,0 +1,94 @@
+#include "dqmc/checkpoint.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dqmc::core {
+
+namespace {
+constexpr const char* kMagic = "dqmcpp-checkpoint";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_checkpoint(std::ostream& out, DqmcEngine& engine) {
+  out << kMagic << " v" << kVersion << "\n";
+  out << "slices " << engine.slices() << "\n";
+  out << "sites " << engine.n() << "\n";
+  std::uint64_t s[4];
+  engine.rng().state(s);
+  out << "rng " << s[0] << " " << s[1] << " " << s[2] << " " << s[3] << "\n";
+  out << "sign " << engine.config_sign() << "\n";
+  out << "field\n";
+  const HSField& field = engine.field();
+  for (idx l = 0; l < field.slices(); ++l) {
+    for (idx i = 0; i < field.sites(); ++i) {
+      out << (field(l, i) > 0 ? '+' : '-');
+    }
+    out << "\n";
+  }
+  DQMC_CHECK_MSG(out.good(), "checkpoint write failed");
+}
+
+void save_checkpoint_file(const std::string& path, DqmcEngine& engine) {
+  std::ofstream out(path);
+  DQMC_CHECK_MSG(out.good(), "cannot open checkpoint for writing: " + path);
+  save_checkpoint(out, engine);
+}
+
+void load_checkpoint(std::istream& in, DqmcEngine& engine) {
+  std::string magic, version;
+  in >> magic >> version;
+  DQMC_CHECK_MSG(magic == kMagic, "not a dqmcpp checkpoint");
+  DQMC_CHECK_MSG(version == "v1", "unsupported checkpoint version " + version);
+
+  std::string key;
+  idx slices = 0, sites = 0;
+  in >> key >> slices;
+  DQMC_CHECK_MSG(key == "slices", "malformed checkpoint (slices)");
+  in >> key >> sites;
+  DQMC_CHECK_MSG(key == "sites", "malformed checkpoint (sites)");
+  DQMC_CHECK_MSG(slices == engine.slices() && sites == engine.n(),
+                 "checkpoint dimensions do not match the engine");
+
+  std::uint64_t s[4];
+  in >> key >> s[0] >> s[1] >> s[2] >> s[3];
+  DQMC_CHECK_MSG(key == "rng", "malformed checkpoint (rng)");
+
+  int sign = 0;
+  in >> key >> sign;
+  DQMC_CHECK_MSG(key == "sign" && (sign == 1 || sign == -1),
+                 "malformed checkpoint (sign)");
+
+  in >> key;
+  DQMC_CHECK_MSG(key == "field", "malformed checkpoint (field)");
+  HSField& field = engine.field();
+  for (idx l = 0; l < slices; ++l) {
+    std::string row;
+    in >> row;
+    DQMC_CHECK_MSG(static_cast<idx>(row.size()) == sites,
+                   "malformed checkpoint field row " + std::to_string(l));
+    for (idx i = 0; i < sites; ++i) {
+      const char c = row[static_cast<std::size_t>(i)];
+      DQMC_CHECK_MSG(c == '+' || c == '-', "bad field character");
+      field.set(l, i, c == '+' ? hubbard::hs_t{1} : hubbard::hs_t{-1});
+    }
+  }
+  DQMC_CHECK_MSG(!in.fail(), "checkpoint read failed");
+
+  engine.rng().set_state(s);
+  engine.resume();
+  // resume() recomputes the sign from scratch; it must agree with the
+  // recorded one (a mismatch indicates corruption).
+  DQMC_CHECK_MSG(engine.config_sign() == sign,
+                 "checkpoint sign mismatch after resume");
+}
+
+void load_checkpoint_file(const std::string& path, DqmcEngine& engine) {
+  std::ifstream in(path);
+  DQMC_CHECK_MSG(in.good(), "cannot open checkpoint: " + path);
+  load_checkpoint(in, engine);
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,29 @@
+// Checkpointing: serialize the Markov chain state (HS field + RNG + sign)
+// so long runs — the paper's production simulations take 36 hours — can be
+// interrupted and resumed bit-exactly.
+//
+// Format: a small self-describing text header followed by the field as rows
+// of +/- characters. Deterministic and platform-independent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dqmc/engine.h"
+
+namespace dqmc::core {
+
+/// Serialize the engine's Markov state. Does NOT record the model/lattice
+/// configuration — the loader must construct an engine with the same
+/// parameters (a mismatch in dimensions is detected and throws).
+void save_checkpoint(std::ostream& out, DqmcEngine& engine);
+void save_checkpoint_file(const std::string& path, DqmcEngine& engine);
+
+/// Restore state saved by save_checkpoint into `engine` (same lattice and
+/// slice count required) and resume() it: clusters and Green's functions
+/// are rebuilt, after which sweeps continue the original trajectory
+/// bit-exactly. Throws on format or dimension mismatch.
+void load_checkpoint(std::istream& in, DqmcEngine& engine);
+void load_checkpoint_file(const std::string& path, DqmcEngine& engine);
+
+}  // namespace dqmc::core

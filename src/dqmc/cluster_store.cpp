@@ -1,0 +1,67 @@
+#include "dqmc/cluster_store.h"
+
+#include <algorithm>
+
+namespace dqmc::core {
+
+ClusterStore::ClusterStore(const BMatrixFactory& factory, const HSField& field,
+                           idx cluster_size)
+    : factory_(factory), field_(field), cluster_size_(cluster_size) {
+  DQMC_CHECK(cluster_size >= 1);
+  DQMC_CHECK(field.sites() == factory.n());
+  num_clusters_ = (field.slices() + cluster_size - 1) / cluster_size;
+  for (auto& v : clusters_)
+    v.assign(static_cast<std::size_t>(num_clusters_), Matrix());
+}
+
+idx ClusterStore::cluster_end(idx c) const {
+  return std::min(field_.slices(), (c + 1) * cluster_size_);
+}
+
+Matrix ClusterStore::cpu_cluster_product(Spin s, idx c) const {
+  const idx begin = cluster_begin(c), end = cluster_end(c);
+  Matrix prod = factory_.make_b(field_.slice(begin), s);
+  Matrix next(factory_.n(), factory_.n());
+  for (idx l = begin + 1; l < end; ++l) {
+    // prod <- B_l * prod (one GEMM + row scaling via the factory).
+    factory_.apply_b_left(field_.slice(l), s, prod, next);
+    std::swap(prod, next);
+  }
+  return prod;
+}
+
+void ClusterStore::rebuild(idx c, Profiler* prof) {
+  DQMC_CHECK(c >= 0 && c < num_clusters_);
+  ScopedPhase phase(prof, Phase::kClustering);
+  for (Spin s : hubbard::kSpins) {
+    Matrix result;
+    if (gpu_) {
+      std::vector<linalg::Vector> vs;
+      for (idx l = cluster_begin(c); l < cluster_end(c); ++l)
+        vs.push_back(factory_.v_diagonal(field_.slice(l), s));
+      result = gpu_->cluster_product(vs);
+    } else {
+      result = cpu_cluster_product(s, c);
+    }
+    clusters_[spin_index(s)][static_cast<std::size_t>(c)] = std::move(result);
+  }
+}
+
+void ClusterStore::rebuild_all(Profiler* prof) {
+  for (idx c = 0; c < num_clusters_; ++c) rebuild(c, prof);
+}
+
+std::vector<const Matrix*> ClusterStore::rotation(Spin s, idx start) const {
+  DQMC_CHECK(start >= 0 && start < num_clusters_);
+  std::vector<const Matrix*> order;
+  order.reserve(static_cast<std::size_t>(num_clusters_));
+  for (idx i = 0; i < num_clusters_; ++i) {
+    const idx c = (start + i) % num_clusters_;
+    const Matrix& m = cluster(s, c);
+    DQMC_CHECK_MSG(!m.empty(), "cluster not built; call rebuild_all first");
+    order.push_back(&m);
+  }
+  return order;
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,72 @@
+// Matrix clustering with cross-sweep recycling (Sections III-A2, III-B2).
+//
+// Groups k consecutive B-matrices into cluster products
+// Bhat_c = B_{ck+k-1} ... B_{ck} (per spin), cutting the number of graded QR
+// steps by k. The clusters are CACHED: a full sweep only changes the slices
+// of one cluster at a time, so only that cluster is rebuilt (the paper's
+// recycling optimization, eq. (5)). Optionally the products are computed on
+// the simulated GPU (Section VI-A).
+#pragma once
+
+#include <vector>
+
+#include "common/profiler.h"
+#include "dqmc/hs_field.h"
+#include "gpusim/chain.h"
+#include "hubbard/bmatrix.h"
+
+namespace dqmc::core {
+
+using hubbard::BMatrixFactory;
+using hubbard::Spin;
+using linalg::Matrix;
+
+class ClusterStore {
+ public:
+  /// Covers all `field.slices()` slices with clusters of `cluster_size`
+  /// (the paper's k = 10 default); the final cluster may be smaller when
+  /// L is not a multiple of k. References to `factory` and `field` are
+  /// retained; both must outlive the store.
+  ClusterStore(const BMatrixFactory& factory, const HSField& field,
+               idx cluster_size);
+
+  idx num_clusters() const { return num_clusters_; }
+  idx cluster_size() const { return cluster_size_; }
+  /// First slice of cluster c.
+  idx cluster_begin(idx c) const { return c * cluster_size_; }
+  /// One-past-last slice of cluster c.
+  idx cluster_end(idx c) const;
+  /// Cluster containing slice s.
+  idx cluster_of(idx s) const { return s / cluster_size_; }
+
+  /// Offload cluster products to a simulated GPU (B resident on device).
+  /// The chain must wrap the same B as `factory`. Null disables offload.
+  void attach_gpu(gpu::GpuBChain* chain) { gpu_ = chain; }
+  bool gpu_attached() const { return gpu_ != nullptr; }
+
+  /// Recompute cluster c for both spins from the current field.
+  void rebuild(idx c, Profiler* prof = nullptr);
+  /// Recompute everything (initialization and after global field changes).
+  void rebuild_all(Profiler* prof = nullptr);
+
+  const Matrix& cluster(Spin s, idx c) const {
+    return clusters_[spin_index(s)][static_cast<std::size_t>(c)];
+  }
+
+  /// Factor sequence for the Green's function at the boundary BEFORE
+  /// cluster `start`: rightmost-first order
+  /// [Bhat_start, Bhat_{start+1}, ..., Bhat_{start-1}] (cyclic).
+  std::vector<const Matrix*> rotation(Spin s, idx start) const;
+
+ private:
+  Matrix cpu_cluster_product(Spin s, idx c) const;
+
+  const BMatrixFactory& factory_;
+  const HSField& field_;
+  idx cluster_size_;
+  idx num_clusters_;
+  gpu::GpuBChain* gpu_ = nullptr;
+  std::vector<Matrix> clusters_[2];  // [spin][cluster]
+};
+
+}  // namespace dqmc::core

@@ -1,0 +1,66 @@
+#include "dqmc/delayed_update.h"
+
+#include "linalg/blas1.h"
+#include "linalg/blas3.h"
+
+namespace dqmc::core {
+
+DelayedGreens::DelayedGreens(idx n, idx max_rank)
+    : n_(n), max_rank_(max_rank), u_(n, max_rank), w_(n, max_rank) {
+  DQMC_CHECK(n >= 1 && max_rank >= 1);
+}
+
+void DelayedGreens::reset(Matrix g) {
+  DQMC_CHECK(g.rows() == n_ && g.cols() == n_);
+  g_ = std::move(g);
+  filled_ = 0;
+}
+
+double DelayedGreens::diag(idx i) const {
+  double v = g_(i, i);
+  // + sum_m U(i,m) W(i,m): strided dot across the buffers.
+  if (filled_ > 0) v += linalg::dot(filled_, &u_(i, 0), n_, &w_(i, 0), n_);
+  return v;
+}
+
+double DelayedGreens::entry(idx i, idx j) const {
+  double v = g_(i, j);
+  if (filled_ > 0) v += linalg::dot(filled_, &u_(i, 0), n_, &w_(j, 0), n_);
+  return v;
+}
+
+void DelayedGreens::accept(double coeff, idx i) {
+  DQMC_CHECK(i >= 0 && i < n_);
+  if (filled_ == max_rank_) flush(nullptr);
+
+  double* ucol = u_.col(filled_);
+  double* wcol = w_.col(filled_);
+
+  // u = current G(:, i) = G0(:,i) + U * W(i,:)^T
+  for (idx r = 0; r < n_; ++r) ucol[r] = g_(r, i);
+  for (idx m = 0; m < filled_; ++m) {
+    linalg::axpy(n_, w_(i, m), u_.col(m), ucol);
+  }
+  // w_j = delta_ij - current G(i, j) = delta_ij - G0(i,j) - U(i,:) W(:,j)^T
+  for (idx j = 0; j < n_; ++j) wcol[j] = -g_(i, j);
+  for (idx m = 0; m < filled_; ++m) {
+    linalg::axpy(n_, -u_(i, m), w_.col(m), wcol);
+  }
+  wcol[i] += 1.0;
+
+  // Fold the -coeff into the u column so the flush is a plain GEMM.
+  linalg::scal(n_, -coeff, ucol);
+  ++filled_;
+}
+
+Matrix& DelayedGreens::flush(Profiler* prof) {
+  if (filled_ == 0) return g_;
+  ScopedPhase phase(prof, Phase::kDelayedUpdate);
+  linalg::gemm(linalg::Trans::No, linalg::Trans::Yes, 1.0,
+               u_.view().block(0, 0, n_, filled_),
+               w_.view().block(0, 0, n_, filled_), 1.0, g_);
+  filled_ = 0;
+  return g_;
+}
+
+}  // namespace dqmc::core

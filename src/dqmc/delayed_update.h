@@ -1,0 +1,59 @@
+// Delayed (blocked) rank-1 Green's function updates (Section II-B).
+//
+// Accepted Metropolis flips modify G by rank-1 terms. Applying each
+// immediately is a level-2 GER; instead the corrections are accumulated as
+// G = G0 + U W^T and folded into G0 with one GEMM every `max_rank` accepts
+// (QUEST's delayed update, credited to Jarrell in the paper [27]).
+#pragma once
+
+#include "common/profiler.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::core {
+
+using linalg::idx;
+using linalg::Matrix;
+
+class DelayedGreens {
+ public:
+  /// n x n Green's function with up to `max_rank` pending rank-1 terms.
+  DelayedGreens(idx n, idx max_rank);
+
+  idx n() const { return n_; }
+  idx max_rank() const { return max_rank_; }
+  idx pending() const { return filled_; }
+
+  /// Replace the base matrix and drop any pending corrections.
+  void reset(Matrix g);
+
+  /// Current G(i,i) including pending corrections — the only element the
+  /// Metropolis ratio needs, O(pending) to evaluate.
+  double diag(idx i) const;
+
+  /// Current G(i,j) including pending corrections (used by tests).
+  double entry(idx i, idx j) const;
+
+  /// Record the accepted flip at site i: G <- G - coeff * u w^T with
+  /// u = G e_i and w = (I - G)^T e_i (w_j = delta_ij - G(i,j)), both taken
+  /// from the CURRENT G (base + pending). coeff = alpha / d.
+  /// Automatically flushes when the buffer is full.
+  void accept(double coeff, idx i);
+
+  /// Fold all pending corrections into the base matrix (one GEMM) and
+  /// return it. Must be called before wrapping or measuring.
+  Matrix& flush(Profiler* prof = nullptr);
+
+  /// Read-only view of the base; only valid when pending() == 0.
+  const Matrix& base() const {
+    DQMC_CHECK_MSG(filled_ == 0, "base() with pending corrections; flush first");
+    return g_;
+  }
+
+ private:
+  idx n_, max_rank_, filled_ = 0;
+  Matrix g_;
+  Matrix u_;  // n x max_rank
+  Matrix w_;  // n x max_rank
+};
+
+}  // namespace dqmc::core

@@ -1,0 +1,118 @@
+#include "dqmc/dynamic_measurements.h"
+
+#include <cmath>
+
+namespace dqmc::core {
+
+DynamicSample measure_dynamic(const Lattice& lattice, double dtau,
+                              const TimeDisplaced& up,
+                              const TimeDisplaced& dn) {
+  const idx n = lattice.num_sites();
+  const idx nl = static_cast<idx>(up.g_tau0.size());  // L + 1
+  DQMC_CHECK(static_cast<idx>(dn.g_tau0.size()) == nl);
+  DQMC_CHECK(nl >= 2);
+
+  DynamicSample out;
+  out.gloc = Vector::zero(nl);
+  out.chi_af = Vector::zero(nl);
+
+  // Staggered phases eps_i = (-1)^{x+y} (layer-independent).
+  Vector eps(n);
+  for (idx i = 0; i < n; ++i) {
+    const auto c = lattice.coord(i);
+    eps[i] = ((c.x + c.y) % 2 == 0) ? 1.0 : -1.0;
+  }
+
+  // m_j(0) from the l = 0 equal-time Green's functions.
+  Vector m0(n);
+  for (idx j = 0; j < n; ++j) {
+    m0[j] = dn.g_tautau[0](j, j) - up.g_tautau[0](j, j);  // n_up - n_dn
+  }
+  double stag_m0 = 0.0;
+  for (idx j = 0; j < n; ++j) stag_m0 += eps[j] * m0[j];
+
+  for (idx l = 0; l < nl; ++l) {
+    const auto lu = static_cast<std::size_t>(l);
+    const Matrix& gu10 = up.g_tau0[lu];
+    const Matrix& gd10 = dn.g_tau0[lu];
+    const Matrix& gu01 = up.g_0tau[lu];
+    const Matrix& gd01 = dn.g_0tau[lu];
+    const Matrix& gutt = up.g_tautau[lu];
+    const Matrix& gdtt = dn.g_tautau[lu];
+
+    // Local propagator.
+    double tr = 0.0;
+    for (idx i = 0; i < n; ++i) tr += 0.5 * (gu10(i, i) + gd10(i, i));
+    out.gloc[l] = tr / static_cast<double>(n);
+
+    // Disconnected (staggered magnetization) part.
+    double stag_mt = 0.0;
+    for (idx i = 0; i < n; ++i) {
+      const double mi = gdtt(i, i) - gutt(i, i);
+      stag_mt += eps[i] * mi;
+    }
+    double chi = stag_mt * stag_m0;
+
+    // Connected same-spin part:
+    // sum_{ij} eps_i eps_j (-G(0,l)_{ji}) G(l,0)_{ij}, both spins.
+    double conn = 0.0;
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < n; ++i) {
+        const double phase = eps[i] * eps[j];
+        conn -= phase * (gu01(j, i) * gu10(i, j) + gd01(j, i) * gd10(i, j));
+      }
+    }
+    out.chi_af[l] = (chi + conn) / static_cast<double>(n);
+  }
+
+  // Momentum-resolved propagator: Fourier transform of the translation
+  // average of G(l,0), layer-diagonal displacements only.
+  {
+    const auto ks = lattice.momenta();
+    const idx lx = lattice.lx(), ly = lattice.ly(), layers = lattice.layers();
+    out.gk_tau = Matrix::zero(static_cast<idx>(ks.size()), nl);
+    Vector f(lattice.num_displacements());
+    for (idx l = 0; l < nl; ++l) {
+      const auto lu = static_cast<std::size_t>(l);
+      // F(d) = (1/N) sum_r [G_up + G_dn]/2 (r+d, r).
+      f.fill(0.0);
+      for (idx j = 0; j < n; ++j) {
+        for (idx i = 0; i < n; ++i) {
+          f[lattice.displacement_index(j, i)] +=
+              0.5 * (up.g_tau0[lu](i, j) + dn.g_tau0[lu](i, j));
+        }
+      }
+      for (idx d = 0; d < f.size(); ++d) f[d] /= static_cast<double>(n);
+      for (std::size_t kidx = 0; kidx < ks.size(); ++kidx) {
+        double acc = 0.0;
+        for (idx dy = 0; dy < ly; ++dy) {
+          for (idx dx = 0; dx < lx; ++dx) {
+            const idx d = dx + lx * (dy + ly * (layers - 1));  // dz = 0 slot
+            const double phase = ks[kidx].kx * static_cast<double>(dx) +
+                                 ks[kidx].ky * static_cast<double>(dy);
+            acc += std::cos(phase) * f[d];
+          }
+        }
+        out.gk_tau(static_cast<idx>(kidx), l) = acc;
+      }
+    }
+  }
+
+  // Trapezoidal integral over tau in [0, beta].
+  double integral = 0.5 * (out.chi_af[0] + out.chi_af[nl - 1]);
+  for (idx l = 1; l < nl - 1; ++l) integral += out.chi_af[l];
+  out.chi_af_integrated = integral * dtau;
+  return out;
+}
+
+DynamicAccumulator::DynamicAccumulator(idx slices, idx bins)
+    : gloc_(slices + 1, bins), chi_(slices + 1, bins), chi_int_(bins) {}
+
+void DynamicAccumulator::add(const DynamicSample& sample, int sign) {
+  const double s = static_cast<double>(sign);
+  gloc_.add(sample.gloc.data(), s);
+  chi_.add(sample.chi_af.data(), s);
+  chi_int_.add(sample.chi_af_integrated, s);
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,135 @@
+#include "dqmc/engine.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace dqmc::core {
+
+void EngineConfig::validate() const {
+  DQMC_CHECK_MSG(cluster_size >= 1, "cluster_size must be >= 1");
+  DQMC_CHECK_MSG(delay_rank >= 1, "delay_rank must be >= 1");
+  DQMC_CHECK_MSG(qr_block >= 1, "qr_block must be >= 1");
+}
+
+DqmcEngine::DqmcEngine(const Lattice& lattice, const ModelParams& params,
+                       EngineConfig config, std::uint64_t seed)
+    : lattice_(lattice),
+      params_(params),
+      config_(config),
+      factory_(lattice, params),
+      field_(params.slices, lattice.num_sites()),
+      rng_(seed),
+      clusters_(factory_, field_, config.cluster_size),
+      strat_(factory_.n(), config.algorithm, config.qr_block),
+      delayed_{DelayedGreens(factory_.n(), config.delay_rank),
+               DelayedGreens(factory_.n(), config.delay_rank)},
+      wrap_work_(factory_.n(), factory_.n()) {
+  params_.validate();
+  config_.validate();
+  if (config_.gpu_clustering || config_.gpu_wrapping) {
+    device_ = std::make_unique<gpu::Device>();
+    gpu_chain_ = std::make_unique<gpu::GpuBChain>(*device_, factory_.b(),
+                                                  factory_.b_inv());
+    if (config_.gpu_clustering) clusters_.attach_gpu(gpu_chain_.get());
+  }
+}
+
+void DqmcEngine::initialize() {
+  field_.randomize(rng_);
+  resume();
+}
+
+void DqmcEngine::resume() {
+  clusters_.rebuild_all(&profiler_);
+  recompute_greens(0);
+  sign_ = sign_from_scratch();
+  initialized_ = true;
+}
+
+void DqmcEngine::recompute_greens(idx cluster) {
+  for (Spin s : hubbard::kSpins) {
+    delayed_[spin_index(s)].reset(
+        strat_.compute(clusters_.rotation(s, cluster), &profiler_));
+  }
+}
+
+int DqmcEngine::sign_from_scratch() {
+  // sign(det M+ det M-) computed through the graded decomposition, whose
+  // LU targets are well-conditioned at any beta (LU of G itself has
+  // unreliable pivot signs once G's singular values reach rounding).
+  int sign = 1;
+  for (Spin s : hubbard::kSpins) {
+    sign *= chain_det_sign(clusters_.rotation(s, 0), config_.algorithm);
+  }
+  return sign;
+}
+
+const linalg::Matrix& DqmcEngine::greens(Spin s) {
+  return delayed_[spin_index(s)].flush(&profiler_);
+}
+
+void DqmcEngine::wrap_slice(idx slice) {
+  for (Spin s : hubbard::kSpins) {
+    linalg::Matrix& g = delayed_[spin_index(s)].flush(&profiler_);
+    ScopedPhase phase(&profiler_, Phase::kWrapping);
+    if (config_.gpu_wrapping) {
+      gpu_chain_->wrap(g, factory_.v_diagonal(field_.slice(slice), s));
+    } else {
+      factory_.wrap(field_.slice(slice), s, g, wrap_work_);
+    }
+  }
+}
+
+void DqmcEngine::metropolis_slice(idx slice, SweepStats& stats) {
+  ScopedPhase phase(&profiler_, Phase::kDelayedUpdate);
+  const double nu = factory_.nu();
+  const idx nsites = n();
+  DelayedGreens& gup = delayed_[0];
+  DelayedGreens& gdn = delayed_[1];
+
+  for (idx i = 0; i < nsites; ++i) {
+    const double h = static_cast<double>(field_(slice, i));
+    // Flip h -> -h: alpha_sigma = e^{-2 sigma nu h} - 1.
+    const double aup = std::exp(-2.0 * nu * h) - 1.0;
+    const double adn = std::exp(+2.0 * nu * h) - 1.0;
+    const double dup = 1.0 + aup * (1.0 - gup.diag(i));
+    const double ddn = 1.0 + adn * (1.0 - gdn.diag(i));
+    const double r = dup * ddn;
+
+    ++stats.proposed;
+    if (rng_.uniform() < std::fabs(r)) {
+      field_.flip(slice, i);
+      gup.accept(aup / dup, i);
+      gdn.accept(adn / ddn, i);
+      if (r < 0.0) sign_ = -sign_;
+      ++stats.accepted;
+    }
+  }
+  gup.flush(&profiler_);
+  gdn.flush(&profiler_);
+}
+
+SweepStats DqmcEngine::sweep(const SliceHook& on_slice) {
+  DQMC_CHECK_MSG(initialized_, "call initialize() before sweep()");
+  SweepStats stats;
+  for (idx c = 0; c < clusters_.num_clusters(); ++c) {
+    // Fresh, numerically clean G at this cluster's boundary, built from the
+    // cached (recycled) cluster products.
+    recompute_greens(c);
+    for (idx slice = clusters_.cluster_begin(c);
+         slice < clusters_.cluster_end(c); ++slice) {
+      wrap_slice(slice);
+      metropolis_slice(slice, stats);
+      if (on_slice) on_slice(slice);
+    }
+    // The slices of cluster c changed: rebuild its cached product so later
+    // stratifications (and the next sweep) see the new field.
+    clusters_.rebuild(c, &profiler_);
+  }
+  lifetime_.proposed += stats.proposed;
+  lifetime_.accepted += stats.accepted;
+  return stats;
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,130 @@
+// The DQMC engine: Metropolis sweeps over the HS field with numerically
+// stable Green's function maintenance (Algorithm 1 + Sections III/IV).
+//
+// Pipeline per sweep, cluster by cluster (k = cluster size = wrap batch, as
+// in the paper where k = l = 10):
+//   1. stratification — fresh G at the cluster boundary from cached clusters
+//   2. wrapping       — advance G one slice: G <- B_l G B_l^{-1}
+//   3. delayed update — Metropolis site loop, rank-1 corrections batched
+//   4. clustering     — rebuild the just-resampled cluster (recycled later)
+// Each phase reports to the Profiler under its Table-I name.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/profiler.h"
+#include "dqmc/cluster_store.h"
+#include "dqmc/delayed_update.h"
+#include "dqmc/hs_field.h"
+#include "dqmc/rng.h"
+#include "dqmc/stratification.h"
+#include "gpusim/chain.h"
+#include "gpusim/device.h"
+#include "hubbard/bmatrix.h"
+#include "hubbard/lattice.h"
+
+namespace dqmc::core {
+
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using hubbard::Spin;
+
+struct EngineConfig {
+  StratAlgorithm algorithm = StratAlgorithm::kPrePivot;
+  idx cluster_size = 10;  ///< k (= wrap batch l; Section III-B)
+  idx delay_rank = 32;    ///< d: pending rank-1 updates before a GEMM flush
+  idx qr_block = linalg::kQrBlock;  ///< panel width of the blocked QR
+  bool gpu_clustering = false;  ///< offload cluster products (Section VI-A)
+  bool gpu_wrapping = false;    ///< offload wrapping (Section VI-B)
+
+  void validate() const;
+};
+
+struct SweepStats {
+  std::uint64_t proposed = 0;
+  std::uint64_t accepted = 0;
+  double acceptance() const {
+    return proposed ? static_cast<double>(accepted) / static_cast<double>(proposed) : 0.0;
+  }
+};
+
+class DqmcEngine {
+ public:
+  DqmcEngine(const Lattice& lattice, const ModelParams& params,
+             EngineConfig config, std::uint64_t seed);
+
+  idx n() const { return factory_.n(); }
+  idx slices() const { return params_.slices; }
+  const ModelParams& params() const { return params_; }
+  const EngineConfig& config() const { return config_; }
+  const Lattice& lattice() const { return lattice_; }
+
+  /// Randomize the field, build all clusters, compute the initial Green's
+  /// functions and configuration sign. Must be called before sweep().
+  void initialize();
+
+  /// Like initialize(), but keeps the current field and RNG state — used
+  /// when resuming from a checkpoint (see checkpoint.h).
+  void resume();
+
+  /// Called after each slice finishes its Metropolis pass; the engine's
+  /// Green's functions are flushed and positioned at that slice boundary.
+  using SliceHook = std::function<void(idx slice)>;
+
+  /// One full sweep: every (slice, site) visited once. The optional hook
+  /// lets callers measure on every slice (QUEST measures equal-time
+  /// observables across slices, which is what gives Table I its ~18-20%
+  /// measurement share).
+  SweepStats sweep(const SliceHook& on_slice = nullptr);
+
+  /// Green's function of spin `s` at the current slice boundary, with all
+  /// pending corrections flushed.
+  const linalg::Matrix& greens(Spin s);
+
+  /// Sign of the current configuration weight det M+ det M-.
+  int config_sign() const { return sign_; }
+
+  HSField& field() { return field_; }
+  const BMatrixFactory& factory() const { return factory_; }
+  Profiler& profiler() { return profiler_; }
+  const StratStats& strat_stats() const { return strat_.stats(); }
+  Rng& rng() { return rng_; }
+
+  /// Cumulative acceptance across all sweeps so far.
+  const SweepStats& lifetime_stats() const { return lifetime_; }
+
+  /// The simulated GPU device, or null when offload is disabled.
+  gpu::Device* device() { return device_.get(); }
+
+  /// Recompute G for both spins from scratch at the boundary before
+  /// cluster `c` (exposed for the accuracy bench, Fig. 2).
+  void recompute_greens(idx cluster = 0);
+
+ private:
+  void wrap_slice(idx slice);
+  void metropolis_slice(idx slice, SweepStats& stats);
+  int sign_from_scratch();
+
+  Lattice lattice_;
+  ModelParams params_;
+  EngineConfig config_;
+  BMatrixFactory factory_;
+  HSField field_;
+  Rng rng_;
+  ClusterStore clusters_;
+  StratificationEngine strat_;
+  DelayedGreens delayed_[2];
+  linalg::Matrix wrap_work_;
+  Profiler profiler_;
+  SweepStats lifetime_;
+  int sign_ = 1;
+  bool initialized_ = false;
+
+  // Simulated GPU (only when offload is enabled in the config).
+  std::unique_ptr<gpu::Device> device_;
+  std::unique_ptr<gpu::GpuBChain> gpu_chain_;
+};
+
+}  // namespace dqmc::core

@@ -1,0 +1,122 @@
+#include "dqmc/graded.h"
+
+#include <cmath>
+#include <utility>
+
+#include "linalg/blas3.h"
+#include "linalg/diag.h"
+#include "linalg/permutation.h"
+#include "linalg/qrp.h"
+
+namespace dqmc::core {
+
+using linalg::Diag;
+using linalg::Permutation;
+using linalg::Side;
+using linalg::Trans;
+using linalg::UpLo;
+
+const char* strat_algorithm_name(StratAlgorithm a) {
+  switch (a) {
+    case StratAlgorithm::kQRP: return "qrp";
+    case StratAlgorithm::kPrePivot: return "prepivot";
+  }
+  return "?";
+}
+
+GradedAccumulator::GradedAccumulator(idx n, StratAlgorithm algorithm,
+                                     idx qr_block)
+    : n_(n), algorithm_(algorithm), qr_block_(qr_block) {
+  DQMC_CHECK(n >= 1);
+  DQMC_CHECK(qr_block >= 1);
+}
+
+void GradedAccumulator::reset() { empty_ = true; }
+
+const Matrix& GradedAccumulator::u() const {
+  DQMC_CHECK_MSG(!empty_, "GradedAccumulator is empty");
+  return u_;
+}
+const Vector& GradedAccumulator::d() const {
+  DQMC_CHECK_MSG(!empty_, "GradedAccumulator is empty");
+  return d_;
+}
+const Matrix& GradedAccumulator::t() const {
+  DQMC_CHECK_MSG(!empty_, "GradedAccumulator is empty");
+  return t_;
+}
+
+UDT GradedAccumulator::snapshot() const { return UDT{u(), d(), t()}; }
+
+void GradedAccumulator::push(const Matrix& factor) {
+  DQMC_CHECK(factor.rows() == n_ && factor.cols() == n_);
+  if (empty_) {
+    graded_step(Matrix(factor), /*first=*/true);
+    empty_ = false;
+    return;
+  }
+  // C = (factor * U) * diag(d): GEMM between well-scaled operands, then the
+  // graded column scaling (Algorithm 2/3 step 3a).
+  Matrix c(n_, n_);
+  linalg::gemm(Trans::No, Trans::No, 1.0, factor, u_, 0.0, c);
+  linalg::scale_cols(d_.data(), c);
+  graded_step(std::move(c), /*first=*/false);
+}
+
+void GradedAccumulator::graded_step(Matrix&& c, bool first) {
+  ++stats_.steps;
+
+  // Factor c as Q R P^T: genuinely pivoted (Algorithm 2) or pre-pivoted +
+  // unpivoted blocked QR (Algorithm 3).
+  Permutation perm(n_);
+  linalg::QRFactorization qr;
+  if (algorithm_ == StratAlgorithm::kQRP) {
+    linalg::QRPFactorization f = linalg::qrp_factor(std::move(c));
+    perm = std::move(f.jpvt);
+    qr.factors = std::move(f.factors);
+    qr.tau = std::move(f.tau);
+  } else {
+    perm = linalg::prepivot_permutation(c);
+    if (perm.is_identity()) {
+      qr = linalg::qr_factor(std::move(c), qr_block_);
+    } else {
+      Matrix gathered(n_, n_);
+      linalg::apply_permutation(c, perm, gathered);
+      qr = linalg::qr_factor(std::move(gathered), qr_block_);
+    }
+  }
+  stats_.pivot_displacement += static_cast<std::uint64_t>(perm.displacement());
+
+  // d = diag(R); R_s = D^{-1} R (well-scaled upper triangle).
+  d_ = linalg::diagonal(qr.factors);
+  for (idx i = 0; i < n_; ++i) {
+    if (d_[i] == 0.0 || !std::isfinite(d_[i])) {
+      throw NumericalError(
+          "graded step: singular or non-finite factor chain (diagonal entry " +
+          std::to_string(i) + ")");
+    }
+  }
+  Matrix rs = Matrix::zero(n_, n_);
+  for (idx j = 0; j < n_; ++j) {
+    for (idx i = 0; i <= j; ++i) rs(i, j) = qr.factors(i, j) / d_[i];
+  }
+
+  if (first) {
+    // T_1 = (D^{-1} R) P^T: scatter columns.
+    t_.resize(n_, n_);
+    linalg::apply_permutation_transpose(rs, perm, t_);
+  } else {
+    // T_i = (D^{-1} R_i) (P_i^T T_{i-1}): gather rows, triangular multiply.
+    work_.resize(n_, n_);
+    for (idx j = 0; j < n_; ++j) {
+      for (idx i = 0; i < n_; ++i) work_(i, j) = t_(perm[i], j);
+    }
+    linalg::trmm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, rs,
+                 work_);
+    std::swap(t_, work_);
+  }
+
+  u_ = linalg::qr_q(qr, qr_block_);
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,17 @@
+#include "dqmc/hs_field.h"
+
+namespace dqmc::core {
+
+HSField::HSField(idx slices, idx sites)
+    : slices_(slices),
+      sites_(sites),
+      data_(static_cast<std::size_t>(slices) * static_cast<std::size_t>(sites),
+            hs_t{1}) {
+  DQMC_CHECK(slices >= 1 && sites >= 1);
+}
+
+void HSField::randomize(Rng& rng) {
+  for (auto& h : data_) h = rng.coin() ? hs_t{1} : hs_t{-1};
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,51 @@
+// The Hubbard-Stratonovich auxiliary field h(l, i) in {-1, +1}.
+//
+// One Ising-like variable per (imaginary-time slice, lattice site); the
+// Metropolis walk of Algorithm 1 flips them one at a time.
+#pragma once
+
+#include <vector>
+
+#include "dqmc/rng.h"
+#include "hubbard/bmatrix.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::core {
+
+using hubbard::hs_t;
+using linalg::idx;
+
+class HSField {
+ public:
+  /// slices x sites field, all entries initialized to +1.
+  HSField(idx slices, idx sites);
+
+  idx slices() const { return slices_; }
+  idx sites() const { return sites_; }
+
+  /// Randomize every entry with a fair coin.
+  void randomize(Rng& rng);
+
+  hs_t operator()(idx slice, idx site) const {
+    return data_[index(slice, site)];
+  }
+  void flip(idx slice, idx site) {
+    data_[index(slice, site)] = static_cast<hs_t>(-data_[index(slice, site)]);
+  }
+  void set(idx slice, idx site, hs_t v) { data_[index(slice, site)] = v; }
+
+  /// Contiguous row of `sites()` values for one time slice — the layout the
+  /// B-matrix factory consumes directly.
+  const hs_t* slice(idx l) const { return data_.data() + index(l, 0); }
+
+ private:
+  std::size_t index(idx l, idx i) const {
+    DQMC_ASSERT(l >= 0 && l < slices_ && i >= 0 && i < sites_);
+    return static_cast<std::size_t>(l) * static_cast<std::size_t>(sites_) +
+           static_cast<std::size_t>(i);
+  }
+  idx slices_, sites_;
+  std::vector<hs_t> data_;
+};
+
+}  // namespace dqmc::core

@@ -1,0 +1,202 @@
+#include "dqmc/measurements.h"
+
+#include <cmath>
+#include <vector>
+
+namespace dqmc::core {
+
+namespace {
+
+/// Translation-averaged <c^dag_{r'} c_{r'+d}> table over all displacements:
+/// F(d) = (1/N) sum_{r'} (delta_{d,0} - G(r'+d, r')).
+Vector site_pair_average(const Lattice& lat, const Matrix& g) {
+  const idx n = lat.num_sites();
+  Vector f = Vector::zero(lat.num_displacements());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      f[lat.displacement_index(j, i)] -= g(i, j);
+    }
+  }
+  // The delta contributes only to the zero displacement, once per site.
+  f[lat.displacement_index(0, 0)] += static_cast<double>(n);
+  for (idx d = 0; d < f.size(); ++d) f[d] /= static_cast<double>(n);
+  return f;
+}
+
+}  // namespace
+
+EqualTimeSample measure_equal_time(const Lattice& lattice,
+                                   const ModelParams& params,
+                                   const Matrix& gup, const Matrix& gdn) {
+  const idx n = lattice.num_sites();
+  DQMC_CHECK(gup.rows() == n && gup.cols() == n);
+  DQMC_CHECK(gdn.rows() == n && gdn.cols() == n);
+
+  EqualTimeSample s;
+
+  // Densities and double occupancy (opposite spins factorize for a fixed
+  // HS configuration).
+  std::vector<double> nup(static_cast<std::size_t>(n)), ndn(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    nup[static_cast<std::size_t>(i)] = 1.0 - gup(i, i);
+    ndn[static_cast<std::size_t>(i)] = 1.0 - gdn(i, i);
+    s.density_up += nup[static_cast<std::size_t>(i)];
+    s.density_dn += ndn[static_cast<std::size_t>(i)];
+    s.double_occupancy +=
+        nup[static_cast<std::size_t>(i)] * ndn[static_cast<std::size_t>(i)];
+  }
+  s.density_up /= static_cast<double>(n);
+  s.density_dn /= static_cast<double>(n);
+  s.double_occupancy /= static_cast<double>(n);
+  s.density = s.density_up + s.density_dn;
+
+  // Hopping energy per site: -t sum_<ab>,sigma <c^dag_a c_b + c^dag_b c_a>
+  // with <c^dag_a c_b> = -G(b, a) for a != b.
+  for (const auto& bond : lattice.bonds()) {
+    const double hop = bond.interlayer ? params.t_perp : params.t;
+    s.kinetic_energy += hop * (gup(bond.b, bond.a) + gup(bond.a, bond.b) +
+                               gdn(bond.b, bond.a) + gdn(bond.a, bond.b));
+  }
+  s.kinetic_energy /= static_cast<double>(n);
+
+  // Momentum distribution (per spin, averaged over the two spins):
+  // n_k = sum_d e^{-i k . d} F(d), F from the translation-averaged table.
+  const Vector fup = site_pair_average(lattice, gup);
+  const Vector fdn = site_pair_average(lattice, gdn);
+  const auto ks = lattice.momenta();
+  s.momentum_dist = Vector::zero(static_cast<idx>(ks.size()));
+  const idx lx = lattice.lx(), ly = lattice.ly(), layers = lattice.layers();
+  for (std::size_t kidx = 0; kidx < ks.size(); ++kidx) {
+    double acc = 0.0;
+    for (idx dy = 0; dy < ly; ++dy) {
+      for (idx dx = 0; dx < lx; ++dx) {
+        // In-plane displacement, layer-diagonal (dz = 0 slot).
+        const idx d = dx + lx * (dy + ly * (layers - 1));
+        const double phase = ks[kidx].kx * static_cast<double>(dx) +
+                             ks[kidx].ky * static_cast<double>(dy);
+        acc += std::cos(phase) * 0.5 * (fup[d] + fdn[d]);
+      }
+    }
+    // The F table sums over all N sites but only layer-diagonal pairs
+    // contribute to in-plane momenta; renormalize to a per-layer average.
+    s.momentum_dist[static_cast<idx>(kidx)] = acc;
+  }
+
+  // z-spin correlation per displacement:
+  // C_zz(i,j) = sum_sigma [n_sigma(i) n_sigma(j)
+  //                        + (delta_ij - G_sigma(j,i)) G_sigma(i,j)]
+  //             - n_up(i) n_dn(j) - n_dn(i) n_up(j).
+  s.spin_corr = Vector::zero(lattice.num_displacements());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      const double delta = (i == j) ? 1.0 : 0.0;
+      const auto iu = static_cast<std::size_t>(i);
+      const auto ju = static_cast<std::size_t>(j);
+      double czz = nup[iu] * nup[ju] + (delta - gup(j, i)) * gup(i, j) +
+                   ndn[iu] * ndn[ju] + (delta - gdn(j, i)) * gdn(i, j) -
+                   nup[iu] * ndn[ju] - ndn[iu] * nup[ju];
+      s.spin_corr[lattice.displacement_index(j, i)] += czz;
+    }
+  }
+  for (idx d = 0; d < s.spin_corr.size(); ++d)
+    s.spin_corr[d] /= static_cast<double>(n);
+
+  // Pair-field structure factors. For a fixed HS configuration the spins
+  // factorize: <Delta_i Delta^dag_j> = G_up(i,j) G_dn(i,j) (s-wave on
+  // site), and the d-wave bond order parameter dresses both sides with the
+  // +x/+y form factor f(+-x) = +1, f(+-y) = -1.
+  {
+    double ps = 0.0;
+    for (idx j = 0; j < n; ++j)
+      for (idx i = 0; i < n; ++i) ps += gup(i, j) * gdn(i, j);
+    s.pair_s = ps / static_cast<double>(n);
+
+    // Neighbour tables with the d-wave signs.
+    const idx deltas[4][3] = {
+        {1, 0, +1}, {-1, 0, +1}, {0, 1, -1}, {0, -1, -1}};
+    std::vector<idx> nbr(static_cast<std::size_t>(n) * 4);
+    std::vector<double> sign_of(4);
+    for (int d = 0; d < 4; ++d) sign_of[static_cast<std::size_t>(d)] = deltas[d][2];
+    for (idx i = 0; i < n; ++i)
+      for (int d = 0; d < 4; ++d)
+        nbr[static_cast<std::size_t>(i) * 4 + d] =
+            lattice.neighbor(i, deltas[d][0], deltas[d][1]);
+
+    double pd = 0.0;
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < n; ++i) {
+        const double gu = gup(i, j);
+        if (gu == 0.0) continue;
+        double inner = 0.0;
+        for (int di = 0; di < 4; ++di) {
+          const idx ip = nbr[static_cast<std::size_t>(i) * 4 + di];
+          for (int dj = 0; dj < 4; ++dj) {
+            const idx jp = nbr[static_cast<std::size_t>(j) * 4 + dj];
+            inner += sign_of[static_cast<std::size_t>(di)] *
+                     sign_of[static_cast<std::size_t>(dj)] * gdn(ip, jp);
+          }
+        }
+        pd += gu * inner;
+      }
+    }
+    s.pair_d = 0.25 * pd / static_cast<double>(n);
+  }
+
+  // Local moment and AF structure factor (in-plane staggered phase).
+  s.moment_sq = s.spin_corr[lattice.displacement_index(0, 0)];
+  for (idx dz = 0; dz < 2 * layers - 1; ++dz) {
+    for (idx dy = 0; dy < ly; ++dy) {
+      for (idx dx = 0; dx < lx; ++dx) {
+        const idx d = dx + lx * (dy + ly * dz);
+        const double stagger = ((dx + dy) % 2 == 0) ? 1.0 : -1.0;
+        s.af_structure_factor += stagger * s.spin_corr[d];
+      }
+    }
+  }
+
+  return s;
+}
+
+MeasurementAccumulator::MeasurementAccumulator(const Lattice& lattice, idx bins)
+    : density_(bins),
+      density_up_(bins),
+      density_dn_(bins),
+      double_occ_(bins),
+      kinetic_(bins),
+      moment_(bins),
+      af_(bins),
+      pair_s_(bins),
+      pair_d_(bins),
+      nk_(lattice.sites_per_layer(), bins),
+      czz_(lattice.num_displacements(), bins) {}
+
+void MeasurementAccumulator::merge(const MeasurementAccumulator& other) {
+  density_.merge(other.density_);
+  density_up_.merge(other.density_up_);
+  density_dn_.merge(other.density_dn_);
+  double_occ_.merge(other.double_occ_);
+  kinetic_.merge(other.kinetic_);
+  moment_.merge(other.moment_);
+  af_.merge(other.af_);
+  pair_s_.merge(other.pair_s_);
+  pair_d_.merge(other.pair_d_);
+  nk_.merge(other.nk_);
+  czz_.merge(other.czz_);
+}
+
+void MeasurementAccumulator::add(const EqualTimeSample& sample, int sign) {
+  const double s = static_cast<double>(sign);
+  density_.add(sample.density, s);
+  density_up_.add(sample.density_up, s);
+  density_dn_.add(sample.density_dn, s);
+  double_occ_.add(sample.double_occupancy, s);
+  kinetic_.add(sample.kinetic_energy, s);
+  moment_.add(sample.moment_sq, s);
+  af_.add(sample.af_structure_factor, s);
+  pair_s_.add(sample.pair_s, s);
+  pair_d_.add(sample.pair_d, s);
+  nk_.add(sample.momentum_dist.data(), s);
+  czz_.add(sample.spin_corr.data(), s);
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,86 @@
+// Equal-time physical measurements (Section V of the paper).
+//
+// Everything is evaluated from the two equal-time Green's functions via
+// Wick's theorem for a fixed HS configuration; the Monte Carlo average
+// (with sign weighting) is handled by the accumulators in stats.h.
+// Convention: G_sigma(i, j) = <c_i c^dag_j>, so <n_sigma(i)> = 1 - G(i, i).
+#pragma once
+
+#include "common/profiler.h"
+#include "dqmc/stats.h"
+#include "hubbard/lattice.h"
+#include "hubbard/model.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::core {
+
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Single-configuration values (not yet sign-weighted or averaged).
+struct EqualTimeSample {
+  double density = 0.0;        ///< <n> per site, both spins
+  double density_up = 0.0;
+  double density_dn = 0.0;
+  double double_occupancy = 0.0;  ///< <n_up n_dn> per site
+  double kinetic_energy = 0.0;    ///< hopping energy per site (both spins)
+  double moment_sq = 0.0;         ///< <m_z^2> per site = C_zz(0)
+  Vector momentum_dist;  ///< <n_k> per spin, indexed like Lattice::momenta()
+  Vector spin_corr;      ///< C_zz per displacement index (Lattice convention)
+  double af_structure_factor = 0.0;  ///< S(pi,pi) = sum_d (-1)^{dx+dy} C_zz(d)
+  /// Uniform s-wave pair-field structure factor
+  /// P_s = (1/N) sum_{ij} <Delta_i Delta^dag_j>, Delta_i = c_{i dn} c_{i up}.
+  double pair_s = 0.0;
+  /// d-wave pair-field structure factor with form factor f(+-x) = +1,
+  /// f(+-y) = -1 on nearest-neighbour bonds (the cuprate order parameter).
+  double pair_d = 0.0;
+};
+
+/// Evaluate all equal-time observables for one configuration.
+/// `gup`, `gdn` are the flushed N x N Green's functions.
+EqualTimeSample measure_equal_time(const Lattice& lattice,
+                                   const ModelParams& params,
+                                   const Matrix& gup, const Matrix& gdn);
+
+/// Sign-weighted accumulation of EqualTimeSample streams.
+class MeasurementAccumulator {
+ public:
+  MeasurementAccumulator(const Lattice& lattice, idx bins = 16);
+
+  void add(const EqualTimeSample& sample, int sign);
+  idx samples() const { return density_.samples(); }
+
+  /// Fold another accumulator (an independent chain on the same lattice and
+  /// bin count) into this one.
+  void merge(const MeasurementAccumulator& other);
+
+  Estimate density() const { return density_.estimate(); }
+  Estimate density_up() const { return density_up_.estimate(); }
+  Estimate density_dn() const { return density_dn_.estimate(); }
+  Estimate double_occupancy() const { return double_occ_.estimate(); }
+  Estimate kinetic_energy() const { return kinetic_.estimate(); }
+  Estimate moment_sq() const { return moment_.estimate(); }
+  Estimate af_structure_factor() const { return af_.estimate(); }
+  Estimate pair_s() const { return pair_s_.estimate(); }
+  Estimate pair_d() const { return pair_d_.estimate(); }
+  Estimate average_sign() const { return density_.sign_estimate(); }
+
+  /// <n_k> estimates, indexed like Lattice::momenta().
+  Estimate momentum_dist(idx k) const { return nk_.estimate(k); }
+  Vector momentum_dist_means() const { return nk_.means(); }
+  Vector momentum_dist_errors() const { return nk_.errors(); }
+
+  /// C_zz estimates per displacement index.
+  Estimate spin_corr(idx d) const { return czz_.estimate(d); }
+  Vector spin_corr_means() const { return czz_.means(); }
+  Vector spin_corr_errors() const { return czz_.errors(); }
+
+ private:
+  ScalarAccumulator density_, density_up_, density_dn_, double_occ_, kinetic_,
+      moment_, af_, pair_s_, pair_d_;
+  ArrayAccumulator nk_, czz_;
+};
+
+}  // namespace dqmc::core

@@ -1,0 +1,46 @@
+// Monte Carlo random number generator.
+//
+// xoshiro256++ — fast, high-quality, and with a tiny serializable state, so
+// simulations are reproducible from a single seed across platforms
+// (std:: distributions are implementation-defined and would not be).
+#pragma once
+
+#include <cstdint>
+
+namespace dqmc::core {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initialize the state from a seed via splitmix64 (avoids the
+  /// all-zero trap and decorrelates nearby seeds).
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_below(std::uint64_t n);
+
+  /// Fair coin.
+  bool coin() { return (next_u64() >> 63) != 0; }
+
+  /// Raw state access for checkpointing (4 x 64-bit words).
+  void state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void set_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dqmc::core

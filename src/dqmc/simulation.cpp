@@ -1,0 +1,131 @@
+#include "dqmc/simulation.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "dqmc/checkpoint.h"
+#include "parallel/thread_pool.h"
+#include "parallel/topology.h"
+
+namespace dqmc::core {
+
+void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
+                    SimulationResults& results, const ProgressFn& progress) {
+  Stopwatch watch;
+  const Lattice lattice = config.make_lattice();
+
+  if (config.checkpoint_in.empty()) {
+    engine.initialize();
+  } else {
+    load_checkpoint_file(config.checkpoint_in, engine);
+  }
+  const idx total = config.warmup_sweeps + config.measurement_sweeps;
+
+  for (idx sweep = 0; sweep < config.warmup_sweeps; ++sweep) {
+    engine.sweep();
+    if (progress) progress(sweep + 1, total, true);
+  }
+  for (idx sweep = 0; sweep < config.measurement_sweeps; ++sweep) {
+    const bool measuring = sweep % config.measure_interval == 0;
+
+    auto measure_now = [&] {
+      ScopedPhase phase(&engine.profiler(), Phase::kMeasurement);
+      const EqualTimeSample sample = measure_equal_time(
+          lattice, engine.params(), engine.greens(Spin::Up),
+          engine.greens(Spin::Down));
+      results.measurements.add(sample, engine.config_sign());
+    };
+
+    if (measuring && config.measure_slice_interval > 0) {
+      engine.sweep([&](idx slice) {
+        if (slice % config.measure_slice_interval == 0) measure_now();
+      });
+    } else {
+      engine.sweep();
+      if (measuring) measure_now();
+    }
+
+    if (config.measure_dynamic_interval > 0 &&
+        sweep % config.measure_dynamic_interval == 0) {
+      ScopedPhase phase(&engine.profiler(), Phase::kMeasurement);
+      TimeDisplacedGreens tdg(engine.factory(), engine.field(),
+                              config.engine.cluster_size,
+                              config.engine.algorithm);
+      const TimeDisplaced up = tdg.compute(Spin::Up);
+      const TimeDisplaced dn = tdg.compute(Spin::Down);
+      results.dynamic.add(
+          measure_dynamic(lattice, config.model.dtau(), up, dn),
+          engine.config_sign());
+    }
+    if (progress) progress(config.warmup_sweeps + sweep + 1, total, false);
+  }
+
+  if (!config.checkpoint_out.empty()) {
+    save_checkpoint_file(config.checkpoint_out, engine);
+  }
+
+  results.sweep_stats = engine.lifetime_stats();
+  results.strat_stats = engine.strat_stats();
+  results.profiler = engine.profiler();
+  results.elapsed_seconds = watch.seconds();
+}
+
+SimulationResults run_simulation(const SimulationConfig& config,
+                                 const ProgressFn& progress) {
+  SimulationResults results(config);
+  const Lattice lattice = config.make_lattice();
+  DqmcEngine engine(lattice, config.model, config.engine, config.seed);
+  run_simulation(engine, config, results, progress);
+  return results;
+}
+
+SimulationResults run_parallel_simulation(const SimulationConfig& config,
+                                          idx chains, int max_workers) {
+  DQMC_CHECK_MSG(chains >= 1, "need at least one chain");
+  Stopwatch watch;
+
+  const int workers =
+      std::max(1, std::min<int>(max_workers > 0 ? max_workers
+                                                : par::num_threads(),
+                                static_cast<int>(chains)));
+  par::ThreadPool pool(workers);
+
+  std::vector<std::unique_ptr<SimulationResults>> partials(
+      static_cast<std::size_t>(chains));
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(chains));
+  for (idx c = 0; c < chains; ++c) {
+    futures.push_back(pool.submit([&, c] {
+      SimulationConfig chain_cfg = config;
+      chain_cfg.seed = config.seed + static_cast<std::uint64_t>(c);
+      partials[static_cast<std::size_t>(c)] =
+          std::make_unique<SimulationResults>(run_simulation(chain_cfg));
+    }));
+  }
+  for (auto& f : futures) f.get();  // rethrows chain failures
+
+  // Merge deterministically in chain order.
+  SimulationResults merged(config);
+  merged.profiler.reset();
+  for (idx c = 0; c < chains; ++c) {
+    const SimulationResults& p = *partials[static_cast<std::size_t>(c)];
+    merged.measurements.merge(p.measurements);
+    merged.dynamic.merge(p.dynamic);
+    merged.sweep_stats.proposed += p.sweep_stats.proposed;
+    merged.sweep_stats.accepted += p.sweep_stats.accepted;
+    merged.strat_stats.evaluations += p.strat_stats.evaluations;
+    merged.strat_stats.steps += p.strat_stats.steps;
+    merged.strat_stats.pivot_displacement += p.strat_stats.pivot_displacement;
+    for (int ph = 0; ph < static_cast<int>(Phase::kCount); ++ph) {
+      merged.profiler.add(static_cast<Phase>(ph),
+                          p.profiler.seconds(static_cast<Phase>(ph)));
+    }
+  }
+  merged.elapsed_seconds = watch.seconds();
+  return merged;
+}
+
+}  // namespace dqmc::core

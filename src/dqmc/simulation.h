@@ -1,0 +1,86 @@
+// Full DQMC simulation driver: warmup sweeps, measurement sweeps, and
+// result collection — the loop the paper runs with 1000 warmup and 2000
+// measurement sweeps for the physics figures.
+#pragma once
+
+#include <functional>
+
+#include "dqmc/dynamic_measurements.h"
+#include "dqmc/engine.h"
+#include "dqmc/measurements.h"
+#include "dqmc/time_displaced.h"
+
+namespace dqmc::core {
+
+struct SimulationConfig {
+  idx lx = 4;
+  idx ly = 4;
+  idx layers = 1;
+  ModelParams model;
+  EngineConfig engine;
+  idx warmup_sweeps = 100;
+  idx measurement_sweeps = 200;
+  /// Measure every this many sweeps (1 = every sweep).
+  idx measure_interval = 1;
+  /// When > 0, also measure every this many time slices WITHIN each
+  /// measurement sweep (QUEST-style cross-slice averaging; equal-time
+  /// observables are invariant under the cyclic rotation, so every slice
+  /// boundary is a valid sample). 0 = measure only at sweep end.
+  idx measure_slice_interval = 0;
+  /// When > 0, compute the time-displaced Green's functions and dynamic
+  /// observables (Gloc(tau), chi_AF(tau)) every this many measurement
+  /// sweeps. Costs ~2 extra Green's-chain passes per sample; 0 = off.
+  idx measure_dynamic_interval = 0;
+  idx bins = 16;
+  std::uint64_t seed = 1;
+  /// When non-empty, resume the Markov state from this checkpoint file
+  /// instead of a fresh random field (see checkpoint.h).
+  std::string checkpoint_in;
+  /// When non-empty, save the final Markov state to this file.
+  std::string checkpoint_out;
+
+  Lattice make_lattice() const { return Lattice(lx, ly, layers); }
+};
+
+struct SimulationResults {
+  SimulationConfig config;
+  MeasurementAccumulator measurements;
+  /// Populated only when config.measure_dynamic_interval > 0.
+  DynamicAccumulator dynamic;
+  SweepStats sweep_stats;
+  StratStats strat_stats;
+  Profiler profiler;
+  double elapsed_seconds = 0.0;
+
+  explicit SimulationResults(const SimulationConfig& cfg)
+      : config(cfg),
+        measurements(cfg.make_lattice(), cfg.bins),
+        dynamic(cfg.model.slices, cfg.bins) {}
+};
+
+/// Progress callback: (sweeps done, total sweeps, warmup?) — return value
+/// ignored; called once per sweep.
+using ProgressFn = std::function<void(idx, idx, bool)>;
+
+/// Run a complete simulation. Deterministic for a fixed config (seed
+/// included). The callback may be null.
+SimulationResults run_simulation(const SimulationConfig& config,
+                                 const ProgressFn& progress = nullptr);
+
+/// Lower-level variant reusing a caller-constructed engine (the benches use
+/// this to attach profilers / GPU offload configs).
+void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
+                    SimulationResults& results,
+                    const ProgressFn& progress = nullptr);
+
+/// Run `chains` statistically independent Markov chains (seeds
+/// config.seed, config.seed+1, ...) concurrently on a thread pool and merge
+/// their accumulators — the trivially parallel axis of DQMC production
+/// runs. Each chain performs the full warmup + measurement schedule, so the
+/// merged result has `chains` x the samples. Deterministic for a fixed
+/// config regardless of the worker count.
+SimulationResults run_parallel_simulation(const SimulationConfig& config,
+                                          idx chains,
+                                          int max_workers = 0);
+
+}  // namespace dqmc::core

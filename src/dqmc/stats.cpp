@@ -1,0 +1,170 @@
+#include "dqmc/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqmc::core {
+
+namespace {
+
+/// Standard error over per-bin ratio estimates r_b = os_b / s_b.
+Estimate binned_ratio(const std::vector<double>& os,
+                      const std::vector<double>& s,
+                      const std::vector<idx>& count, idx stride, idx comp) {
+  double total_os = 0.0, total_s = 0.0;
+  std::vector<double> ratios;
+  for (std::size_t b = 0; b < s.size(); ++b) {
+    if (count[b] == 0) continue;
+    const double os_b = os[b * static_cast<std::size_t>(stride) +
+                           static_cast<std::size_t>(comp)];
+    total_os += os_b;
+    total_s += s[b];
+    if (s[b] != 0.0) ratios.push_back(os_b / s[b]);
+  }
+  Estimate e;
+  if (total_s == 0.0) return e;
+  e.mean = total_os / total_s;
+  if (ratios.size() >= 2) {
+    double var = 0.0;
+    for (double r : ratios) var += (r - e.mean) * (r - e.mean);
+    var /= static_cast<double>(ratios.size() - 1);
+    e.error = std::sqrt(var / static_cast<double>(ratios.size()));
+  }
+  return e;
+}
+
+}  // namespace
+
+ScalarAccumulator::ScalarAccumulator(idx bins)
+    : bins_(bins),
+      os_(static_cast<std::size_t>(bins), 0.0),
+      s_(static_cast<std::size_t>(bins), 0.0),
+      count_(static_cast<std::size_t>(bins), 0) {
+  DQMC_CHECK(bins >= 1);
+}
+
+void ScalarAccumulator::add(double o, double s) {
+  // Streaming round-robin binning. Contiguous blocks would decorrelate
+  // bins better but need the total sample count up front; round-robin is
+  // the streaming compromise and is exact for the sign-weighted mean
+  // regardless. Cross-check bin adequacy with AutocorrelationEstimator.
+  const std::size_t b = static_cast<std::size_t>(samples_ % bins_);
+  os_[b] += o * s;
+  s_[b] += s;
+  count_[b] += 1;
+  ++samples_;
+}
+
+Estimate ScalarAccumulator::estimate() const {
+  return binned_ratio(os_, s_, count_, 1, 0);
+}
+
+Estimate ScalarAccumulator::sign_estimate() const {
+  Estimate e;
+  double total = 0.0;
+  idx n = 0;
+  std::vector<double> per_bin;
+  for (std::size_t b = 0; b < s_.size(); ++b) {
+    if (count_[b] == 0) continue;
+    total += s_[b];
+    n += count_[b];
+    per_bin.push_back(s_[b] / static_cast<double>(count_[b]));
+  }
+  if (n == 0) return e;
+  e.mean = total / static_cast<double>(n);
+  if (per_bin.size() >= 2) {
+    double var = 0.0;
+    for (double r : per_bin) var += (r - e.mean) * (r - e.mean);
+    var /= static_cast<double>(per_bin.size() - 1);
+    e.error = std::sqrt(var / static_cast<double>(per_bin.size()));
+  }
+  return e;
+}
+
+void ScalarAccumulator::merge(const ScalarAccumulator& other) {
+  DQMC_CHECK_MSG(bins_ == other.bins_, "merge: bin counts differ");
+  for (std::size_t b = 0; b < os_.size(); ++b) {
+    os_[b] += other.os_[b];
+    s_[b] += other.s_[b];
+    count_[b] += other.count_[b];
+  }
+  samples_ += other.samples_;
+}
+
+double AutocorrelationEstimator::rho(idx lag) const {
+  const idx n = samples();
+  DQMC_CHECK(lag >= 0 && lag < n);
+  double mean = 0.0;
+  for (double x : samples_) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double x : samples_) var += (x - mean) * (x - mean);
+  if (var == 0.0) return lag == 0 ? 1.0 : 0.0;
+  double cov = 0.0;
+  for (idx t = 0; t + lag < n; ++t) {
+    cov += (samples_[static_cast<std::size_t>(t)] - mean) *
+           (samples_[static_cast<std::size_t>(t + lag)] - mean);
+  }
+  // Biased normalization (by n) keeps the estimator positive-definite.
+  return cov / var;
+}
+
+double AutocorrelationEstimator::tau_integrated(double c) const {
+  const idx n = samples();
+  if (n < 4) return 0.5;
+  double tau = 0.5;
+  const idx max_lag = n / 4;
+  for (idx w = 1; w <= max_lag; ++w) {
+    tau += rho(w);
+    if (static_cast<double>(w) >= c * tau) break;  // Sokal window
+  }
+  return std::max(tau, 0.5);
+}
+
+ArrayAccumulator::ArrayAccumulator(idx size, idx bins)
+    : size_(size),
+      bins_(bins),
+      os_(static_cast<std::size_t>(size) * static_cast<std::size_t>(bins), 0.0),
+      s_(static_cast<std::size_t>(bins), 0.0),
+      count_(static_cast<std::size_t>(bins), 0) {
+  DQMC_CHECK(size >= 1 && bins >= 1);
+}
+
+void ArrayAccumulator::add(const double* o, double s) {
+  const std::size_t b = static_cast<std::size_t>(samples_ % bins_);
+  double* dst = os_.data() + b * static_cast<std::size_t>(size_);
+  for (idx i = 0; i < size_; ++i) dst[i] += o[i] * s;
+  s_[b] += s;
+  count_[b] += 1;
+  ++samples_;
+}
+
+Estimate ArrayAccumulator::estimate(idx component) const {
+  DQMC_CHECK(component >= 0 && component < size_);
+  return binned_ratio(os_, s_, count_, size_, component);
+}
+
+void ArrayAccumulator::merge(const ArrayAccumulator& other) {
+  DQMC_CHECK_MSG(size_ == other.size_ && bins_ == other.bins_,
+                 "merge: accumulator shapes differ");
+  for (std::size_t i = 0; i < os_.size(); ++i) os_[i] += other.os_[i];
+  for (std::size_t b = 0; b < s_.size(); ++b) {
+    s_[b] += other.s_[b];
+    count_[b] += other.count_[b];
+  }
+  samples_ += other.samples_;
+}
+
+linalg::Vector ArrayAccumulator::means() const {
+  linalg::Vector v(size_);
+  for (idx i = 0; i < size_; ++i) v[i] = estimate(i).mean;
+  return v;
+}
+
+linalg::Vector ArrayAccumulator::errors() const {
+  linalg::Vector v(size_);
+  for (idx i = 0; i < size_; ++i) v[i] = estimate(i).error;
+  return v;
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,101 @@
+// Monte Carlo statistics: sign-weighted, binned accumulators.
+//
+// DQMC observables are ratios <O s>/<s> of sign-weighted averages. Samples
+// are folded into a fixed number of bins as they arrive; the error bar is
+// the standard error of the per-bin ratio estimates, which also absorbs
+// autocorrelation on the bin scale.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::core {
+
+using linalg::idx;
+
+/// Mean and standard error of one measured quantity.
+struct Estimate {
+  double mean = 0.0;
+  double error = 0.0;
+};
+
+/// Scalar observable with sign weighting.
+class ScalarAccumulator {
+ public:
+  explicit ScalarAccumulator(idx bins = 16);
+
+  /// Record one configuration: observable value `o` and weight sign `s`.
+  void add(double o, double s);
+
+  idx samples() const { return samples_; }
+
+  /// <O s> / <s> with a binned standard error. With fewer than 2 non-empty
+  /// bins the error is reported as 0.
+  Estimate estimate() const;
+  /// Plain average of the sign itself.
+  Estimate sign_estimate() const;
+
+  /// Fold another accumulator's bins into this one (independent-chain
+  /// merging). Both must have the same bin count.
+  void merge(const ScalarAccumulator& other);
+
+ private:
+  idx bins_, samples_ = 0;
+  std::vector<double> os_;      // per-bin sum of O*s
+  std::vector<double> s_;       // per-bin sum of s
+  std::vector<idx> count_;      // per-bin sample count
+};
+
+/// Integrated autocorrelation time of a scalar Monte Carlo stream, with
+/// Sokal's self-consistent windowing. Used to validate bin sizes and the
+/// measure interval: error bars are only trustworthy when the bin length
+/// exceeds ~2 tau_int.
+class AutocorrelationEstimator {
+ public:
+  AutocorrelationEstimator() = default;
+
+  void add(double x) { samples_.push_back(x); }
+  idx samples() const { return static_cast<idx>(samples_.size()); }
+
+  /// Normalized autocorrelation rho(lag); requires lag < samples().
+  double rho(idx lag) const;
+
+  /// tau_int = 1/2 + sum_{t=1}^{W} rho(t), with W the smallest window
+  /// satisfying W >= c * tau_int(W) (c = 5, Sokal). Returns 0.5 for an
+  /// uncorrelated stream; needs at least ~10 samples to be meaningful.
+  double tau_integrated(double c = 5.0) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Array observable (momentum distribution, correlation functions): one
+/// sign-weighted binned accumulator per component, sharing the sign stream.
+class ArrayAccumulator {
+ public:
+  ArrayAccumulator(idx size, idx bins = 16);
+
+  idx size() const { return size_; }
+  idx samples() const { return samples_; }
+
+  /// `o` must have size() entries (values for one configuration).
+  void add(const double* o, double s);
+
+  Estimate estimate(idx component) const;
+  /// All means at once.
+  linalg::Vector means() const;
+  linalg::Vector errors() const;
+
+  /// Fold another accumulator's bins into this one (same size and bins).
+  void merge(const ArrayAccumulator& other);
+
+ private:
+  idx size_, bins_, samples_ = 0;
+  std::vector<double> os_;  // [bin * size + component]
+  std::vector<double> s_;   // per-bin sum of s
+  std::vector<idx> count_;
+};
+
+}  // namespace dqmc::core

@@ -1,0 +1,240 @@
+#include "dqmc/time_displaced.h"
+
+#include <cmath>
+
+#include "dqmc/cluster_store.h"
+#include "linalg/blas1.h"
+#include "linalg/blas3.h"
+#include "linalg/diag.h"
+#include "linalg/lu.h"
+#include "linalg/util.h"
+
+namespace dqmc::core {
+
+using linalg::Trans;
+
+namespace {
+
+/// Big/small splitting with the stored-inverse convention of close_greens:
+/// d = db^{-1} * ds elementwise, where db = 1/|d| (<= 1) for |d| > 1 else 1,
+/// and ds = d for |d| <= 1 else sgn(d) (so |ds| <= 1 too).
+struct Split {
+  Vector db, ds;
+};
+
+Split split_diag(const Vector& d) {
+  const idx n = d.size();
+  Split s{Vector(n), Vector(n)};
+  for (idx i = 0; i < n; ++i) {
+    const double di = d[i];
+    if (std::fabs(di) > 1.0) {
+      s.db[i] = 1.0 / std::fabs(di);
+      s.ds[i] = di > 0.0 ? 1.0 : -1.0;
+    } else {
+      s.db[i] = 1.0;
+      s.ds[i] = di;
+    }
+  }
+  return s;
+}
+
+/// Identity fallbacks for the chain edges.
+UDT identity_udt(idx n) {
+  return UDT{Matrix::identity(n), Vector::constant(n, 1.0), Matrix::identity(n)};
+}
+PDQ identity_pdq(idx n) {
+  return PDQ{Matrix::identity(n), Vector::constant(n, 1.0), Matrix::identity(n)};
+}
+
+}  // namespace
+
+Matrix displaced_g_tau0(const UDT* prefix, const PDQ* suffix) {
+  DQMC_CHECK_MSG(prefix || suffix, "both chain parts empty");
+  const idx n = prefix ? prefix->u.rows() : suffix->q.rows();
+  const UDT pre = prefix ? *prefix : identity_udt(n);
+  const PDQ suf = suffix ? *suffix : identity_pdq(n);
+
+  const Split s1 = split_diag(pre.d);
+  const Split s2 = split_diag(suf.d);
+
+  // H = db1 . (U1^T Q2) . db2 + ds1 . (T1 P2) . ds2  (rows . cols scaling)
+  Matrix uq = linalg::matmul(pre.u, suf.q, Trans::Yes, Trans::No);
+  Matrix tp = linalg::matmul(pre.t, suf.p);
+  Matrix h(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      h(i, j) = s1.db[i] * uq(i, j) * s2.db[j] +
+                s1.ds[i] * tp(i, j) * s2.ds[j];
+    }
+  }
+
+  // G = Q2 . diag(db2) . H^{-1} . diag(ds1) . T1
+  Matrix x = pre.t;
+  linalg::scale_rows(s1.ds.data(), x);
+  linalg::LUFactorization hlu = linalg::lu_factor(std::move(h));
+  linalg::lu_solve(hlu, Trans::No, x);
+  linalg::scale_rows(s2.db.data(), x);
+  return linalg::matmul(suf.q, x);
+}
+
+Matrix displaced_g_0tau(const UDT* prefix, const PDQ* suffix) {
+  DQMC_CHECK_MSG(prefix || suffix, "both chain parts empty");
+  const idx n = prefix ? prefix->u.rows() : suffix->q.rows();
+  const UDT pre = prefix ? *prefix : identity_udt(n);
+  const PDQ suf = suffix ? *suffix : identity_pdq(n);
+
+  const Split s1 = split_diag(pre.d);
+  const Split s2 = split_diag(suf.d);
+
+  // H' = db2 . (T1 P2)^{-1} . db1 + ds2 . (Q2^T U1) . ds1
+  Matrix tp = linalg::matmul(pre.t, suf.p);
+  Matrix tp_inv = linalg::lu_inverse(linalg::lu_factor(std::move(tp)));
+  Matrix qu = linalg::matmul(suf.q, pre.u, Trans::Yes, Trans::No);
+  Matrix h(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      h(i, j) = s2.db[i] * tp_inv(i, j) * s1.db[j] +
+                s2.ds[i] * qu(i, j) * s1.ds[j];
+    }
+  }
+
+  // G(0,l) = - T1^{-1} . diag(db1) . H'^{-1} . diag(ds2) . Q2^T
+  Matrix y = linalg::transpose(suf.q);
+  linalg::scale_rows(s2.ds.data(), y);
+  linalg::LUFactorization hlu = linalg::lu_factor(std::move(h));
+  linalg::lu_solve(hlu, Trans::No, y);
+  linalg::scale_rows(s1.db.data(), y);
+  linalg::LUFactorization tlu = linalg::lu_factor(Matrix(pre.t));
+  linalg::lu_solve(tlu, Trans::No, y);
+  for (idx j = 0; j < n; ++j) {
+    linalg::scal(n, -1.0, y.col(j));
+  }
+  return y;
+}
+
+Matrix displaced_g_tau_tau(const UDT* prefix, const PDQ* suffix) {
+  DQMC_CHECK_MSG(prefix || suffix, "both chain parts empty");
+  const idx n = prefix ? prefix->u.rows() : suffix->q.rows();
+  const UDT pre = prefix ? *prefix : identity_udt(n);
+  const PDQ suf = suffix ? *suffix : identity_pdq(n);
+
+  const Split s1 = split_diag(pre.d);
+  const Split s2 = split_diag(suf.d);
+
+  // Same H as displaced_g_tau0; the equal-time inverse closes as
+  // G(l,l) = M^{-1} = Q2 . diag(db2) . H^{-1} . diag(db1) . U1^T.
+  Matrix uq = linalg::matmul(pre.u, suf.q, Trans::Yes, Trans::No);
+  Matrix tp = linalg::matmul(pre.t, suf.p);
+  Matrix h(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      h(i, j) = s1.db[i] * uq(i, j) * s2.db[j] +
+                s1.ds[i] * tp(i, j) * s2.ds[j];
+    }
+  }
+
+  Matrix x = linalg::transpose(pre.u);
+  linalg::scale_rows(s1.db.data(), x);
+  linalg::LUFactorization hlu = linalg::lu_factor(std::move(h));
+  linalg::lu_solve(hlu, Trans::No, x);
+  linalg::scale_rows(s2.db.data(), x);
+  return linalg::matmul(suf.q, x);
+}
+
+TimeDisplacedGreens::TimeDisplacedGreens(const BMatrixFactory& factory,
+                                         const HSField& field,
+                                         idx cluster_size,
+                                         StratAlgorithm algorithm)
+    : factory_(factory), field_(field), cluster_size_(cluster_size),
+      algorithm_(algorithm) {
+  DQMC_CHECK(cluster_size >= 1);
+  DQMC_CHECK(factory.n() == field.sites());
+}
+
+TimeDisplaced TimeDisplacedGreens::compute(Spin s) const {
+  const idx nn = n();
+  const idx slice_count = slices();
+
+  ClusterStore store(factory_, field_, cluster_size_);
+  store.rebuild_all();
+  const idx nc = store.num_clusters();
+
+  // Prefix snapshots A at every cluster boundary: prefixes[c] = UDT of
+  // Bhat_{c-1} ... Bhat_0 (prefixes[0] is the empty chain).
+  std::vector<UDT> prefixes(static_cast<std::size_t>(nc) + 1);
+  {
+    GradedAccumulator acc(nn, algorithm_);
+    for (idx c = 0; c < nc; ++c) {
+      acc.push(store.cluster(s, c));
+      prefixes[static_cast<std::size_t>(c) + 1] = acc.snapshot();
+    }
+  }
+
+  // Suffix snapshots C at every boundary: suffixes[c] = PDQ of
+  // Bhat_{nc-1} ... Bhat_c (suffixes[nc] is the empty chain). Accumulated
+  // through the transposed chain so the orthogonal factor lands on the
+  // right: C^T = Bhat_c^T * ... * Bhat_{nc-1}^T grows by LEFT pushes of
+  // Bhat_c^T as c decreases.
+  std::vector<PDQ> suffixes(static_cast<std::size_t>(nc) + 1);
+  {
+    GradedAccumulator acc(nn, algorithm_);
+    for (idx c = nc - 1; c >= 0; --c) {
+      acc.push(linalg::transpose(store.cluster(s, c)));
+      const UDT t = acc.snapshot();
+      suffixes[static_cast<std::size_t>(c)] =
+          PDQ{linalg::transpose(t.t), t.d, t.u};
+    }
+  }
+
+  TimeDisplaced out;
+  out.g_tau0.resize(static_cast<std::size_t>(slice_count) + 1);
+  out.g_0tau.resize(static_cast<std::size_t>(slice_count) + 1);
+  out.g_tautau.resize(static_cast<std::size_t>(slice_count) + 1);
+
+  Matrix work(nn, nn);
+  for (idx c = 0; c <= nc; ++c) {
+    const idx boundary_slice = (c == nc) ? slice_count : store.cluster_begin(c);
+    const UDT* pre = (c == 0) ? nullptr : &prefixes[static_cast<std::size_t>(c)];
+    const PDQ* suf = (c == nc) ? nullptr : &suffixes[static_cast<std::size_t>(c)];
+
+    const auto bs = static_cast<std::size_t>(boundary_slice);
+    out.g_tau0[bs] = displaced_g_tau0(pre, suf);
+    out.g_0tau[bs] = displaced_g_0tau(pre, suf);
+    out.g_tautau[bs] = displaced_g_tau_tau(pre, suf);
+  }
+
+  // In-between slices: propagate from the last boundary below (bounded
+  // error: at most cluster_size single-slice steps).
+  for (idx l = 1; l <= slice_count; ++l) {
+    const auto lu = static_cast<std::size_t>(l);
+    if (!out.g_tau0[lu].empty()) continue;  // boundary already exact
+    // G(l,0) = B_l * G(l-1,0)
+    out.g_tau0[lu].resize(nn, nn);
+    factory_.apply_b_left(field_.slice(l - 1), s, out.g_tau0[lu - 1],
+                          out.g_tau0[lu]);
+    // G(0,l) = G(0,l-1) * B_l^{-1} = (G(0,l-1) * B^{-1}) . diag(v)^{-1}
+    linalg::gemm(Trans::No, Trans::No, 1.0, out.g_0tau[lu - 1],
+                 factory_.b_inv(), 0.0, work);
+    const Vector vinv = factory_.v_diagonal_inv(field_.slice(l - 1), s);
+    linalg::scale_cols(vinv.data(), work);
+    out.g_0tau[lu] = work;
+    // G(l,l) = B_l G(l-1,l-1) B_l^{-1} (the wrapping update).
+    out.g_tautau[lu] = out.g_tautau[lu - 1];
+    factory_.wrap(field_.slice(l - 1), s, out.g_tautau[lu], work);
+  }
+
+  return out;
+}
+
+Vector TimeDisplacedGreens::local_greens(Spin s) const {
+  const TimeDisplaced td = compute(s);
+  Vector gloc(static_cast<idx>(td.g_tau0.size()));
+  for (std::size_t l = 0; l < td.g_tau0.size(); ++l) {
+    double tr = 0.0;
+    for (idx i = 0; i < n(); ++i) tr += td.g_tau0[l](i, i);
+    gloc[static_cast<idx>(l)] = tr / static_cast<double>(n());
+  }
+  return gloc;
+}
+
+}  // namespace dqmc::core

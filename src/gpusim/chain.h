@@ -1,0 +1,56 @@
+// GPU-offloaded DQMC chain operations: matrix clustering (Algorithms 4/5)
+// and Green's function wrapping (Algorithms 6/7) from Section VI.
+//
+// The fixed factors B = e^{-dtau K} and B^{-1} are uploaded once at
+// construction and kept resident in device memory, exactly as the paper
+// prescribes ("B is fixed and it is computed and stored at the start of the
+// simulation"); per-call traffic is only the diagonal V (N doubles) and the
+// result matrix.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.h"
+
+namespace dqmc::gpu {
+
+class GpuBChain {
+ public:
+  /// `b` is e^{-dtau K}, `binv` its inverse e^{+dtau K} (N x N).
+  GpuBChain(Device& device, ConstMatrixView b, ConstMatrixView binv);
+
+  idx n() const { return n_; }
+  Device& device() { return device_; }
+
+  /// Matrix clustering: returns A = B_{k-1} * ... * B_1 * B_0 where
+  /// B_j = diag(vs[j]) * B. One V upload per factor, one download of A.
+  /// fused_kernel=true uses the Algorithm 5 custom kernel for the row
+  /// scalings; false uses the Algorithm 4 row-by-row cublasDscal path.
+  Matrix cluster_product(const std::vector<Vector>& vs,
+                         bool fused_kernel = true);
+
+  /// Wrapping: g <- B_l g B_l^{-1} with B_l = diag(v) * B, i.e.
+  /// g <- diag(v) (B g B^{-1}) diag(v)^{-1}. Uploads g and v, runs two
+  /// device GEMMs plus the scaling, downloads g.
+  /// fused_kernel=true uses the Algorithm 7 fused row+column kernel; false
+  /// models two row/column cublasDscal sweeps (Algorithm 6).
+  void wrap(MatrixView g, const Vector& v, bool fused_kernel = true);
+
+ private:
+  Device& device_;
+  idx n_;
+  DeviceMatrix b_, binv_;  // resident factors
+  DeviceMatrix t_, a_, g_; // workspaces
+  // Device-op arguments must stay alive until the stream drains, so both
+  // diagonal workspaces are members rather than locals.
+  DeviceVector v_, v_inv_;
+};
+
+/// Flop count of one cluster product of `k` factors of size n (for
+/// GFlop/s reporting in the Fig. 9 bench): (k-1) GEMMs + k row scalings.
+double cluster_product_flops(idx n, idx k);
+
+/// Flop count of one wrap of size n: two GEMMs + the scaling.
+double wrap_flops(idx n);
+
+}  // namespace dqmc::gpu

@@ -1,0 +1,156 @@
+#include "gpusim/device.h"
+
+#include <cstring>
+
+#include "linalg/diag.h"
+
+namespace dqmc::gpu {
+
+Device::Device(DeviceSpec spec) : spec_(spec), stream_(1) {}
+
+Device::~Device() {
+  // Drain outstanding work before tearing down storage the tasks reference.
+  stream_.wait_idle();
+}
+
+DeviceMatrix Device::alloc_matrix(idx rows, idx cols) {
+  DQMC_CHECK(rows >= 0 && cols >= 0);
+  return DeviceMatrix(rows, cols);
+}
+
+DeviceVector Device::alloc_vector(idx n) {
+  DQMC_CHECK(n >= 0);
+  return DeviceVector(n);
+}
+
+void Device::enqueue_compute(double modeled_seconds,
+                             std::function<void()> body) {
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.compute_seconds += modeled_seconds;
+    stats_.kernel_launches += 1;
+  }
+  stream_.submit(std::move(body));
+}
+
+void Device::account_transfer(double bytes, bool h2d) {
+  std::lock_guard lock(stats_mutex_);
+  stats_.transfer_seconds += spec_.transfer_seconds(bytes);
+  stats_.transfers += 1;
+  (h2d ? stats_.bytes_h2d : stats_.bytes_d2h) += bytes;
+}
+
+void Device::set_matrix(ConstMatrixView host, DeviceMatrix& dev) {
+  DQMC_CHECK(host.rows() == dev.rows() && host.cols() == dev.cols());
+  account_transfer(dev.bytes(), /*h2d=*/true);
+  // Copy on the calling thread (cublasSetMatrix is host-synchronous),
+  // but only after previously enqueued device work that may read the
+  // destination has drained.
+  stream_.wait_idle();
+  linalg::copy(host, dev.storage_);
+}
+
+void Device::get_matrix(const DeviceMatrix& dev, MatrixView host) {
+  DQMC_CHECK(host.rows() == dev.rows() && host.cols() == dev.cols());
+  account_transfer(dev.bytes(), /*h2d=*/false);
+  stream_.wait_idle();
+  linalg::copy(dev.storage_, host);
+}
+
+void Device::set_vector(const double* host, idx n, DeviceVector& dev) {
+  DQMC_CHECK(n == dev.size());
+  account_transfer(dev.bytes(), /*h2d=*/true);
+  stream_.wait_idle();
+  std::memcpy(dev.storage_.data(), host,
+              sizeof(double) * static_cast<std::size_t>(n));
+}
+
+void Device::copy(const DeviceMatrix& src, DeviceMatrix& dst) {
+  DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const double seconds = spec_.fused_kernel_seconds(2.0 * src.bytes());
+  enqueue_compute(seconds, [&src, &dst] {
+    linalg::copy(src.storage_, dst.storage_);
+  });
+}
+
+void Device::gemm(Trans transa, Trans transb, double alpha,
+                  const DeviceMatrix& a, const DeviceMatrix& b, double beta,
+                  DeviceMatrix& c) {
+  const idx m = transa == Trans::Yes ? a.cols() : a.rows();
+  const idx k = transa == Trans::Yes ? a.rows() : a.cols();
+  const idx n = transb == Trans::Yes ? b.rows() : b.cols();
+  const double seconds = spec_.gemm_seconds(m, n, k);
+  enqueue_compute(seconds, [=, &a, &b, &c] {
+    linalg::gemm(transa, transb, alpha, a.storage_, b.storage_, beta,
+                 c.storage_);
+  });
+}
+
+void Device::scale_rows_rowwise(const DeviceVector& v, const DeviceMatrix& src,
+                                DeviceMatrix& dst) {
+  DQMC_CHECK(v.size() == src.rows());
+  DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const double seconds = spec_.rowwise_scal_seconds(src.rows(), src.cols());
+  {
+    // One accounting entry, rows() modeled launches.
+    std::lock_guard lock(stats_mutex_);
+    stats_.compute_seconds += seconds;
+    stats_.kernel_launches += static_cast<std::uint64_t>(src.rows());
+  }
+  stream_.submit([&v, &src, &dst] {
+    linalg::scale_rows_into(v.storage_.data(), src.storage_, dst.storage_);
+  });
+}
+
+void Device::scale_cols_rowwise(const DeviceVector& v, const DeviceMatrix& src,
+                                DeviceMatrix& dst) {
+  DQMC_CHECK(v.size() == src.cols());
+  DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  // cols() launches, each streaming one contiguous (coalesced) column.
+  const double per_col_bytes = 2.0 * static_cast<double>(src.rows()) * sizeof(double);
+  const double seconds =
+      static_cast<double>(src.cols()) *
+      (spec_.kernel_launch_s + per_col_bytes / (spec_.mem_bandwidth_gbs * 1e9));
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.compute_seconds += seconds;
+    stats_.kernel_launches += static_cast<std::uint64_t>(src.cols());
+  }
+  stream_.submit([&v, &src, &dst] {
+    if (&src != &dst) linalg::copy(src.storage_, dst.storage_);
+    linalg::scale_cols(v.storage_.data(), dst.storage_);
+  });
+}
+
+void Device::scale_rows_kernel(const DeviceVector& v, const DeviceMatrix& src,
+                               DeviceMatrix& dst) {
+  DQMC_CHECK(v.size() == src.rows());
+  DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const double seconds = spec_.fused_kernel_seconds(2.0 * src.bytes());
+  enqueue_compute(seconds, [&v, &src, &dst] {
+    linalg::scale_rows_into(v.storage_.data(), src.storage_, dst.storage_);
+  });
+}
+
+void Device::wrap_scale_kernel(const DeviceVector& v, DeviceMatrix& g) {
+  DQMC_CHECK(v.size() == g.rows() && g.rows() == g.cols());
+  const double seconds = spec_.fused_kernel_seconds(2.0 * g.bytes());
+  enqueue_compute(seconds, [&v, &g] {
+    linalg::scale_rows_cols_inv(v.storage_.data(), v.storage_.data(),
+                                g.storage_);
+  });
+}
+
+void Device::synchronize() { stream_.wait_idle(); }
+
+DeviceStats Device::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+void Device::reset_stats() {
+  std::lock_guard lock(stats_mutex_);
+  stats_ = DeviceStats{};
+}
+
+}  // namespace dqmc::gpu

@@ -1,0 +1,143 @@
+// The simulated GPU device and its CUBLAS-like command API.
+//
+// Commands execute asynchronously on a single-threaded stream (FIFO order,
+// like operations enqueued on one CUDA stream); get_* calls and
+// synchronize() block the host. Results are computed on the host CPU with
+// the library's own kernels — bit-identical to the CPU path — while a
+// virtual clock advances per the DeviceSpec cost model. Benchmarks report
+// performance against the virtual clock; see DESIGN.md "Substitutions".
+#pragma once
+
+#include <memory>
+
+#include "gpusim/device_spec.h"
+#include "linalg/blas3.h"
+#include "linalg/matrix.h"
+#include "parallel/thread_pool.h"
+
+namespace dqmc::gpu {
+
+using linalg::ConstMatrixView;
+using linalg::Matrix;
+using linalg::MatrixView;
+using linalg::Trans;
+using linalg::Vector;
+
+class Device;
+
+/// A matrix allocated in (simulated) device memory. Opaque to the host:
+/// contents are only reachable through Device::get_matrix.
+class DeviceMatrix {
+ public:
+  DeviceMatrix() = default;
+  idx rows() const { return storage_.rows(); }
+  idx cols() const { return storage_.cols(); }
+  double bytes() const {
+    return static_cast<double>(rows()) * cols() * sizeof(double);
+  }
+
+ private:
+  friend class Device;
+  explicit DeviceMatrix(idx rows, idx cols) : storage_(rows, cols) {}
+  Matrix storage_;
+};
+
+/// A vector in device memory (diagonal scalings live here).
+class DeviceVector {
+ public:
+  DeviceVector() = default;
+  idx size() const { return storage_.size(); }
+  double bytes() const { return static_cast<double>(size()) * sizeof(double); }
+
+ private:
+  friend class Device;
+  explicit DeviceVector(idx n) : storage_(n) {}
+  Vector storage_;
+};
+
+/// Cumulative accounting of the virtual timeline.
+struct DeviceStats {
+  double compute_seconds = 0.0;   ///< kernels + library calls
+  double transfer_seconds = 0.0;  ///< host <-> device copies
+  double bytes_h2d = 0.0;
+  double bytes_d2h = 0.0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t transfers = 0;
+
+  double total_seconds() const { return compute_seconds + transfer_seconds; }
+};
+
+/// LIFETIME CONTRACT: compute methods (gemm, copy, scale_*) enqueue work
+/// that runs asynchronously and holds references to the DeviceMatrix /
+/// DeviceVector arguments. Every argument must stay alive until the stream
+/// next drains — i.e. until synchronize(), get_matrix(), set_matrix(), or
+/// set_vector() returns — exactly like device pointers across an
+/// unsynchronized CUDA stream.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::tesla_c2050());
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Allocate uninitialized device storage.
+  DeviceMatrix alloc_matrix(idx rows, idx cols);
+  DeviceVector alloc_vector(idx n);
+
+  /// cublasSetMatrix: host -> device.
+  void set_matrix(ConstMatrixView host, DeviceMatrix& dev);
+  /// cublasGetMatrix: device -> host. Blocks until the stream drains.
+  void get_matrix(const DeviceMatrix& dev, MatrixView host);
+  /// cublasSetVector: host -> device.
+  void set_vector(const double* host, idx n, DeviceVector& dev);
+
+  /// cublasDcopy on matrices: dst <- src (device-side).
+  void copy(const DeviceMatrix& src, DeviceMatrix& dst);
+
+  /// cublasDgemm: C <- alpha op(A) op(B) + beta C (device-side).
+  void gemm(Trans transa, Trans transb, double alpha, const DeviceMatrix& a,
+            const DeviceMatrix& b, double beta, DeviceMatrix& c);
+
+  /// Algorithm 4 path: dst <- diag(v) * src issued as rows() separate
+  /// cublasDscal calls (correct but modeled as slow / non-coalesced).
+  void scale_rows_rowwise(const DeviceVector& v, const DeviceMatrix& src,
+                          DeviceMatrix& dst);
+
+  /// Companion of the Algorithm 6 path: dst <- src * diag(v), issued as
+  /// cols() separate cublasDscal calls. Column access is contiguous
+  /// (coalesced) on the device, but still pays one launch per column.
+  void scale_cols_rowwise(const DeviceVector& v, const DeviceMatrix& src,
+                          DeviceMatrix& dst);
+
+  /// Algorithm 5 custom kernel: dst <- diag(v) * src, one fused launch,
+  /// coalesced accesses.
+  void scale_rows_kernel(const DeviceVector& v, const DeviceMatrix& src,
+                         DeviceMatrix& dst);
+
+  /// Algorithm 7 custom kernel: g <- diag(v) * g * diag(v)^{-1}, one fused
+  /// launch (texture-cached column factor).
+  void wrap_scale_kernel(const DeviceVector& v, DeviceMatrix& g);
+
+  /// Block the host until all enqueued work has executed.
+  void synchronize();
+
+  /// Virtual-clock accounting (valid after synchronize()).
+  DeviceStats stats() const;
+  /// Reset the stats (not the memory).
+  void reset_stats();
+
+ private:
+  void enqueue_compute(double modeled_seconds, std::function<void()> body);
+  void account_transfer(double bytes, bool h2d);
+
+  DeviceSpec spec_;
+  // Single worker = one CUDA stream: strict FIFO execution.
+  par::ThreadPool stream_;
+  mutable std::mutex stats_mutex_;
+  DeviceStats stats_;
+};
+
+}  // namespace dqmc::gpu

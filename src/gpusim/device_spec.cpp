@@ -1,0 +1,37 @@
+#include "gpusim/device_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqmc::gpu {
+
+double DeviceSpec::gemm_seconds(idx m, idx n, idx k) const {
+  if (m <= 0 || n <= 0 || k <= 0) return kernel_launch_s;
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  // Efficiency ramp: small problems underutilize the device. Use the
+  // geometric-mean dimension so skinny products are penalized too.
+  const double dim = std::cbrt(static_cast<double>(m) * n * k);
+  const double d3 = dim * dim * dim;
+  const double h3 = gemm_half_rate_dim * gemm_half_rate_dim * gemm_half_rate_dim;
+  const double rate = gemm_peak_gflops * 1e9 * (d3 / (d3 + h3));
+  return kernel_launch_s + flops / rate;
+}
+
+double DeviceSpec::fused_kernel_seconds(double bytes) const {
+  return kernel_launch_s + bytes / (mem_bandwidth_gbs * 1e9);
+}
+
+double DeviceSpec::rowwise_scal_seconds(idx m, idx n) const {
+  // m separate cublasDscal launches, each reading+writing one strided row
+  // (n elements) at non-coalesced bandwidth.
+  const double per_row_bytes = 2.0 * static_cast<double>(n) * sizeof(double);
+  const double per_row =
+      kernel_launch_s + per_row_bytes / (noncoalesced_bandwidth_gbs * 1e9);
+  return static_cast<double>(m) * per_row;
+}
+
+double DeviceSpec::transfer_seconds(double bytes) const {
+  return transfer_latency_s + bytes / (pcie_bandwidth_gbs * 1e9);
+}
+
+}  // namespace dqmc::gpu

@@ -1,0 +1,56 @@
+// Cost model of the simulated GPU device.
+//
+// SUBSTITUTION (see DESIGN.md): the paper's Section VI runs on an Nvidia
+// Tesla C2050 through CUBLAS. This machine has no GPU, so the device here is
+// *simulated*: every operation computes bit-identical results on the host,
+// while a virtual clock advances by the modeled cost of the same operation
+// on the device. The model captures exactly the effects the paper's Fig. 9
+// and 10 are about:
+//   * device GEMM is much faster than host GEMM but needs PCIe transfers,
+//   * clustering amortizes one transfer over k GEMMs, wrapping over only 2,
+//   * a fused scaling kernel (Alg. 5/7) is memory-bound at device bandwidth,
+//   * per-row cublasDscal calls (Alg. 4) pay a launch per row and lose
+//     coalescing — the inefficiency the paper's custom kernel removes.
+// Default constants follow the C2050 datasheet and common PCIe 2.0 hosts.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace dqmc::gpu {
+
+using linalg::idx;
+
+/// Tunable constants of the simulated device.
+struct DeviceSpec {
+  /// Peak sustained DGEMM rate for large matrices (GFlop/s).
+  double gemm_peak_gflops = 300.0;
+  /// Matrix dimension at which DGEMM reaches half of peak (rate ramps as
+  /// n^3 / (n^3 + half_rate_dim^3), matching the measured CUBLAS ramp).
+  double gemm_half_rate_dim = 160.0;
+  /// Device memory bandwidth for fused, coalesced kernels (GB/s).
+  double mem_bandwidth_gbs = 110.0;
+  /// Effective bandwidth for non-coalesced row-by-row access (GB/s) —
+  /// the Algorithm 4 penalty.
+  double noncoalesced_bandwidth_gbs = 14.0;
+  /// Kernel / library-call launch overhead (seconds).
+  double kernel_launch_s = 5e-6;
+  /// Host <-> device transfer bandwidth (GB/s, PCIe 2.0 x16 effective).
+  double pcie_bandwidth_gbs = 5.5;
+  /// Per-transfer latency (seconds).
+  double transfer_latency_s = 10e-6;
+
+  /// Factory mirroring the paper's hardware (the defaults).
+  static DeviceSpec tesla_c2050() { return DeviceSpec{}; }
+
+  /// Modeled wall time of C(m x n) += A(m x k) B(k x n) on the device.
+  double gemm_seconds(idx m, idx n, idx k) const;
+  /// Modeled wall time of a fused kernel touching `bytes` of device memory.
+  double fused_kernel_seconds(double bytes) const;
+  /// Modeled wall time of one row-by-row dscal pass over an m x n matrix
+  /// issued as m separate level-1 calls (Algorithm 4 path).
+  double rowwise_scal_seconds(idx m, idx n) const;
+  /// Modeled wall time of moving `bytes` across PCIe (either direction).
+  double transfer_seconds(double bytes) const;
+};
+
+}  // namespace dqmc::gpu

@@ -1,0 +1,61 @@
+#include "hubbard/bmatrix.h"
+
+#include <cmath>
+
+#include "linalg/blas3.h"
+#include "linalg/diag.h"
+
+namespace dqmc::hubbard {
+
+BMatrixFactory::BMatrixFactory(const Lattice& lattice,
+                               const ModelParams& params)
+    : params_(params), nu_(params.hs_nu()) {
+  KineticExponentials ke = kinetic_exponentials(lattice, params);
+  b_ = std::move(ke.b);
+  b_inv_ = std::move(ke.b_inv);
+  eig_ = std::move(ke.eig);
+}
+
+Vector BMatrixFactory::v_diagonal(const hs_t* h, Spin sigma) const {
+  const idx nn = n();
+  Vector v(nn);
+  const double s = spin_sign(sigma) * nu_;
+  for (idx i = 0; i < nn; ++i) v[i] = std::exp(s * static_cast<double>(h[i]));
+  return v;
+}
+
+Vector BMatrixFactory::v_diagonal_inv(const hs_t* h, Spin sigma) const {
+  const idx nn = n();
+  Vector v(nn);
+  const double s = -spin_sign(sigma) * nu_;
+  for (idx i = 0; i < nn; ++i) v[i] = std::exp(s * static_cast<double>(h[i]));
+  return v;
+}
+
+Matrix BMatrixFactory::make_b(const hs_t* h, Spin sigma) const {
+  Matrix out = b_;
+  const Vector v = v_diagonal(h, sigma);
+  linalg::scale_rows(v.data(), out);
+  return out;
+}
+
+void BMatrixFactory::apply_b_left(const hs_t* h, Spin sigma,
+                                  ConstMatrixView in, MatrixView out) const {
+  DQMC_CHECK(in.rows() == n() && out.rows() == n() && in.cols() == out.cols());
+  linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, b_, in, 0.0, out);
+  const Vector v = v_diagonal(h, sigma);
+  linalg::scale_rows(v.data(), out);
+}
+
+void BMatrixFactory::wrap(const hs_t* h, Spin sigma, MatrixView g,
+                          MatrixView work) const {
+  DQMC_CHECK(g.rows() == n() && g.cols() == n());
+  DQMC_CHECK(work.rows() == n() && work.cols() == n());
+  // work = B * g; g = work * B^{-1}; then the diagonal conjugation.
+  linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, b_, g, 0.0, work);
+  linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, work, b_inv_, 0.0, g);
+  const Vector v = v_diagonal(h, sigma);
+  linalg::scale_rows_cols_inv(v.data(), v.data(), g);
+}
+
+}  // namespace dqmc::hubbard

@@ -1,0 +1,58 @@
+// Checkerboard (split-bond) approximation of B = e^{-dtau K}.
+//
+// QUEST offers this sparse alternative to the dense matrix exponential for
+// large lattices: the bond set is partitioned into groups of non-sharing
+// bonds (graph edge coloring; 4 groups on the even periodic square
+// lattice), and
+//
+//   B_cb = e^{dtau mu} * prod_g e^{-dtau K_g},
+//
+// where each e^{-dtau K_g} factors into independent 2x2 rotations
+// [[cosh(dtau t), sinh(dtau t)], [sinh(dtau t), cosh(dtau t)]] per bond —
+// applicable to a dense matrix in O(bonds x columns) instead of a GEMM.
+// The splitting error is O(dtau^2), the same order as the Trotter error
+// already accepted by the simulation.
+#pragma once
+
+#include <vector>
+
+#include "hubbard/lattice.h"
+#include "hubbard/model.h"
+
+namespace dqmc::hubbard {
+
+using linalg::ConstMatrixView;
+using linalg::Matrix;
+using linalg::MatrixView;
+
+class CheckerboardB {
+ public:
+  CheckerboardB(const Lattice& lattice, const ModelParams& params);
+
+  idx n() const { return n_; }
+  /// Number of bond groups (colors) the lattice needed.
+  idx num_groups() const { return static_cast<idx>(groups_.size()); }
+
+  /// x <- B_cb * x (in place; x is n() x anything).
+  void apply_left(MatrixView x) const;
+  /// x <- B_cb^{-1} * x (exact inverse of the approximation).
+  void apply_inverse_left(MatrixView x) const;
+
+  /// Dense representation (for tests and for seeding the graded engine).
+  Matrix dense() const;
+  Matrix dense_inverse() const;
+
+ private:
+  struct Bond {
+    idx a, b;
+    double cosh_t, sinh_t;  // cosh/sinh(dtau * hop)
+  };
+
+  void apply_groups(MatrixView x, bool inverse) const;
+
+  idx n_;
+  double mu_scale_;      // e^{dtau mu} (the -mu diagonal of K)
+  std::vector<std::vector<Bond>> groups_;
+};
+
+}  // namespace dqmc::hubbard

@@ -1,0 +1,64 @@
+#include "hubbard/free_fermion.h"
+
+#include <cmath>
+
+#include "linalg/blas3.h"
+#include "linalg/diag.h"
+
+namespace dqmc::hubbard {
+
+Matrix free_greens_function(const Lattice& lattice,
+                            const ModelParams& params) {
+  // G = (I + e^{-beta K})^{-1} = V diag(1/(1 + e^{-beta w})) V^T.
+  const Matrix k = kinetic_matrix(lattice, params);
+  linalg::SymmetricEigen eig = linalg::eig_sym(k);
+  const idx n = k.rows();
+  linalg::Vector g(n);
+  for (idx i = 0; i < n; ++i) {
+    // 1/(1+e^{-beta w}) evaluated stably for both signs of w.
+    const double bw = params.beta * eig.eigenvalues[i];
+    g[i] = (bw >= 0.0) ? 1.0 / (1.0 + std::exp(-bw))
+                       : std::exp(bw) / (1.0 + std::exp(bw));
+  }
+  Matrix scaled = eig.eigenvectors;
+  linalg::scale_cols(g.data(), scaled);
+  return linalg::matmul(scaled, eig.eigenvectors, linalg::Trans::No,
+                        linalg::Trans::Yes);
+}
+
+double free_dispersion(const ModelParams& params, Momentum k) {
+  return -2.0 * params.t * (std::cos(k.kx) + std::cos(k.ky)) - params.mu;
+}
+
+double fermi_function(double beta, double eps) {
+  const double be = beta * eps;
+  return (be >= 0.0) ? std::exp(-be) / (1.0 + std::exp(-be))
+                     : 1.0 / (1.0 + std::exp(be));
+}
+
+double free_momentum_occupation(const ModelParams& params, Momentum k) {
+  return fermi_function(params.beta, free_dispersion(params, k));
+}
+
+double free_density(const Lattice& lattice, const ModelParams& params) {
+  DQMC_CHECK_MSG(lattice.layers() == 1,
+                 "closed-form density is implemented for single layers");
+  double sum = 0.0;
+  for (const Momentum& k : lattice.momenta())
+    sum += free_momentum_occupation(params, k);
+  return 2.0 * sum / static_cast<double>(lattice.num_sites());
+}
+
+double free_energy_per_site(const Lattice& lattice,
+                            const ModelParams& params) {
+  DQMC_CHECK_MSG(lattice.layers() == 1,
+                 "closed-form energy is implemented for single layers");
+  double sum = 0.0;
+  for (const Momentum& k : lattice.momenta()) {
+    const double eps = free_dispersion(params, k);
+    sum += eps * fermi_function(params.beta, eps);
+  }
+  return 2.0 * sum / static_cast<double>(lattice.num_sites());
+}
+
+}  // namespace dqmc::hubbard

@@ -1,0 +1,37 @@
+// Exact U = 0 (free-fermion) reference solutions.
+//
+// At U = 0 the HS field decouples (nu = 0) and every DQMC quantity has a
+// closed form through the spectrum of K. These are the oracles for the
+// validation tests and the U = 0 sanity rows of the physics benches:
+//   G        = (I + e^{-beta K})^{-1}           (equal-time Green's function)
+//   <n_k>    = f(eps_k) = 1 / (1 + e^{beta eps_k})
+//   <n>      = (2/N) sum_k f(eps_k)             (both spins)
+#pragma once
+
+#include "hubbard/kinetic.h"
+#include "hubbard/lattice.h"
+#include "hubbard/model.h"
+
+namespace dqmc::hubbard {
+
+/// Exact equal-time Green's function G(i,j) = <c_i c^dag_j> at U = 0.
+Matrix free_greens_function(const Lattice& lattice, const ModelParams& params);
+
+/// Tight-binding dispersion of one layer:
+/// eps(k) = -2t (cos kx + cos ky) - mu.
+double free_dispersion(const ModelParams& params, Momentum k);
+
+/// Fermi factor 1 / (1 + e^{beta eps}).
+double fermi_function(double beta, double eps);
+
+/// Exact <n_{k,sigma}> per spin on a single-layer lattice.
+double free_momentum_occupation(const ModelParams& params, Momentum k);
+
+/// Exact density per site (both spins) on a single-layer lattice.
+double free_density(const Lattice& lattice, const ModelParams& params);
+
+/// Exact kinetic + chemical energy per site at U = 0 (both spins):
+/// (2/N) sum_k eps_k f(eps_k).
+double free_energy_per_site(const Lattice& lattice, const ModelParams& params);
+
+}  // namespace dqmc::hubbard

@@ -1,0 +1,43 @@
+#include "hubbard/kinetic.h"
+
+#include <cmath>
+
+#include "linalg/blas3.h"
+#include "linalg/diag.h"
+
+namespace dqmc::hubbard {
+
+Matrix kinetic_matrix(const Lattice& lattice, const ModelParams& params) {
+  params.validate();
+  const idx n = lattice.num_sites();
+  Matrix k = Matrix::zero(n, n);
+  for (const auto& bond : lattice.bonds()) {
+    const double hop = bond.interlayer ? params.t_perp : params.t;
+    k(bond.a, bond.b) -= hop;
+    k(bond.b, bond.a) -= hop;
+  }
+  for (idx i = 0; i < n; ++i) k(i, i) = -params.mu;
+  return k;
+}
+
+KineticExponentials kinetic_exponentials(const Lattice& lattice,
+                                         const ModelParams& params) {
+  const Matrix k = kinetic_matrix(lattice, params);
+  linalg::SymmetricEigen eig = linalg::eig_sym(k);
+  const double dtau = params.dtau();
+  const idx n = k.rows();
+
+  auto assemble = [&](double sign) {
+    linalg::Vector w(n);
+    for (idx i = 0; i < n; ++i) w[i] = std::exp(sign * dtau * eig.eigenvalues[i]);
+    Matrix scaled = eig.eigenvectors;
+    linalg::scale_cols(w.data(), scaled);
+    return linalg::matmul(scaled, eig.eigenvectors, linalg::Trans::No,
+                          linalg::Trans::Yes);
+  };
+
+  KineticExponentials out{assemble(-1.0), assemble(+1.0), std::move(eig)};
+  return out;
+}
+
+}  // namespace dqmc::hubbard

@@ -1,0 +1,31 @@
+// The single-particle kinetic matrix K and its exponentials.
+//
+// K collects hopping and chemical potential: H_K = sum c^dag K c with
+// K(a,b) = -t on nearest-neighbor bonds (-t_perp across layers) and
+// K(a,a) = -mu. B = e^{-dtau K} is formed exactly from the spectral
+// decomposition (K is symmetric), along with B^{-1} = e^{+dtau K} which the
+// wrapping update needs.
+#pragma once
+
+#include "hubbard/lattice.h"
+#include "hubbard/model.h"
+#include "linalg/eig_sym.h"
+
+namespace dqmc::hubbard {
+
+using linalg::Matrix;
+
+/// Assemble the N x N kinetic matrix for `lattice` and `params`.
+Matrix kinetic_matrix(const Lattice& lattice, const ModelParams& params);
+
+/// e^{-dtau K} and e^{+dtau K}, plus the spectral decomposition of K
+/// (reused by the free-fermion reference solution).
+struct KineticExponentials {
+  Matrix b;       ///< e^{-dtau K}
+  Matrix b_inv;   ///< e^{+dtau K}
+  linalg::SymmetricEigen eig;  ///< decomposition of K itself
+};
+KineticExponentials kinetic_exponentials(const Lattice& lattice,
+                                         const ModelParams& params);
+
+}  // namespace dqmc::hubbard

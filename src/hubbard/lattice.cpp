@@ -1,0 +1,85 @@
+#include "hubbard/lattice.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dqmc::hubbard {
+
+Lattice::Lattice(idx lx, idx ly, idx layers)
+    : lx_(lx), ly_(ly), layers_(layers) {
+  DQMC_CHECK_MSG(lx >= 2 && ly >= 2, "lattice extents must be >= 2");
+  DQMC_CHECK_MSG(layers >= 1, "need at least one layer");
+
+  // Enumerate each nearest-neighbor bond once: +x and +y within a layer
+  // (periodic), +z across layers (open).
+  for (idx z = 0; z < layers_; ++z) {
+    for (idx y = 0; y < ly_; ++y) {
+      for (idx x = 0; x < lx_; ++x) {
+        const idx s = site(x, y, z);
+        // With extent 2, s+1 and s-1 are the same site; emit the bond once.
+        if (lx_ > 2 || x == 0) bonds_.push_back({s, site((x + 1) % lx_, y, z), false});
+        if (ly_ > 2 || y == 0) bonds_.push_back({s, site(x, (y + 1) % ly_, z), false});
+        if (z + 1 < layers_) bonds_.push_back({s, site(x, y, z + 1), true});
+      }
+    }
+  }
+}
+
+idx Lattice::site(idx x, idx y, idx z) const {
+  DQMC_ASSERT(x >= 0 && x < lx_ && y >= 0 && y < ly_ && z >= 0 && z < layers_);
+  return x + lx_ * (y + ly_ * z);
+}
+
+SiteCoord Lattice::coord(idx s) const {
+  DQMC_ASSERT(s >= 0 && s < num_sites());
+  SiteCoord c;
+  c.x = s % lx_;
+  c.y = (s / lx_) % ly_;
+  c.z = s / (lx_ * ly_);
+  return c;
+}
+
+idx Lattice::neighbor(idx s, idx dx, idx dy, idx dz) const {
+  const SiteCoord c = coord(s);
+  const idx nx = ((c.x + dx) % lx_ + lx_) % lx_;
+  const idx ny = ((c.y + dy) % ly_ + ly_) % ly_;
+  const idx nz = c.z + dz;
+  DQMC_CHECK_MSG(nz >= 0 && nz < layers_, "interlayer neighbor out of range");
+  return site(nx, ny, nz);
+}
+
+std::vector<Momentum> Lattice::momenta() const {
+  std::vector<Momentum> ks;
+  ks.reserve(static_cast<std::size_t>(sites_per_layer()));
+  for (idx ny = 0; ny < ly_; ++ny) {
+    for (idx nx = 0; nx < lx_; ++nx) {
+      ks.push_back({2.0 * std::numbers::pi * static_cast<double>(nx) / static_cast<double>(lx_),
+                    2.0 * std::numbers::pi * static_cast<double>(ny) / static_cast<double>(ly_)});
+    }
+  }
+  return ks;
+}
+
+SiteCoord Lattice::displacement(idx a, idx b) const {
+  const SiteCoord ca = coord(a), cb = coord(b);
+  SiteCoord d;
+  d.x = cb.x - ca.x;
+  d.y = cb.y - ca.y;
+  d.z = cb.z - ca.z;
+  // Minimum image in the periodic directions.
+  if (d.x > lx_ / 2) d.x -= lx_;
+  if (d.x < -(lx_ - 1) / 2) d.x += lx_;
+  if (d.y > ly_ / 2) d.y -= ly_;
+  if (d.y < -(ly_ - 1) / 2) d.y += ly_;
+  return d;
+}
+
+idx Lattice::displacement_index(idx a, idx b) const {
+  const SiteCoord ca = coord(a), cb = coord(b);
+  const idx dx = ((cb.x - ca.x) % lx_ + lx_) % lx_;
+  const idx dy = ((cb.y - ca.y) % ly_ + ly_) % ly_;
+  const idx dz = cb.z - ca.z + (layers_ - 1);  // [0, 2*layers-1)
+  return dx + lx_ * (dy + ly_ * dz);
+}
+
+}  // namespace dqmc::hubbard

@@ -1,0 +1,80 @@
+// Lattice geometry: 2D periodic rectangular lattices and multilayer stacks.
+//
+// QUEST's default geometry is the Lx x Ly periodic rectangular lattice; the
+// paper's motivation (Section I) is stacking 6-8 such layers to model
+// interfaces, so the lattice here supports `layers` copies of the plane
+// coupled by a perpendicular hopping t_perp (open boundaries in z, as for a
+// physical film).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dqmc::hubbard {
+
+using linalg::idx;
+
+/// Integer site coordinate (x, y, layer).
+struct SiteCoord {
+  idx x = 0;
+  idx y = 0;
+  idx z = 0;
+};
+
+/// A momentum-space point of the 2D Brillouin zone.
+struct Momentum {
+  double kx = 0.0;
+  double ky = 0.0;
+};
+
+class Lattice {
+ public:
+  /// Periodic Lx x Ly plane stacked `layers` times (layers >= 1). The
+  /// in-plane directions are periodic; the stacking direction is open.
+  Lattice(idx lx, idx ly, idx layers = 1);
+
+  /// Square single-layer convenience.
+  static Lattice square(idx l) { return Lattice(l, l, 1); }
+
+  idx lx() const { return lx_; }
+  idx ly() const { return ly_; }
+  idx layers() const { return layers_; }
+  idx sites_per_layer() const { return lx_ * ly_; }
+  idx num_sites() const { return lx_ * ly_ * layers_; }
+
+  /// Flatten (x, y, z) -> site index.
+  idx site(idx x, idx y, idx z = 0) const;
+  /// Inverse of site().
+  SiteCoord coord(idx s) const;
+
+  /// In-plane neighbor with periodic wrap; dz is NOT wrapped (open) and
+  /// must stay inside [0, layers).
+  idx neighbor(idx s, idx dx, idx dy, idx dz = 0) const;
+
+  /// Unordered list of nearest-neighbor bonds (each pair once), including
+  /// interlayer bonds when layers > 1.
+  struct Bond {
+    idx a, b;
+    bool interlayer;
+  };
+  const std::vector<Bond>& bonds() const { return bonds_; }
+
+  /// All N in-plane momenta k = (2 pi nx / Lx, 2 pi ny / Ly) of one layer.
+  std::vector<Momentum> momenta() const;
+
+  /// Displacement d = r_b - r_a with minimum-image convention in-plane,
+  /// plain difference across layers.
+  SiteCoord displacement(idx a, idx b) const;
+
+  /// Index of a displacement for accumulation tables: in-plane part folded
+  /// into [0,Lx) x [0,Ly), layer difference shifted to [0, 2*layers-1).
+  idx displacement_index(idx a, idx b) const;
+  idx num_displacements() const { return lx_ * ly_ * (2 * layers_ - 1); }
+
+ private:
+  idx lx_, ly_, layers_;
+  std::vector<Bond> bonds_;
+};
+
+}  // namespace dqmc::hubbard

@@ -1,0 +1,47 @@
+// Physical parameters of the Hubbard model simulation.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.h"
+#include "hubbard/lattice.h"
+
+namespace dqmc::hubbard {
+
+/// Parameters of H = H_T + H_V + H_mu (Section II-A of the paper), in the
+/// particle-hole symmetric convention: the interaction is written
+/// U (n_up - 1/2)(n_dn - 1/2) and `mu` is measured FROM HALF FILLING, so
+/// mu = 0 gives density rho = 1 on any bipartite lattice and a
+/// sign-problem-free simulation.
+struct ModelParams {
+  double t = 1.0;       ///< nearest-neighbor hopping (energy unit)
+  double t_perp = 1.0;  ///< interlayer hopping (multilayer lattices)
+  double u = 2.0;       ///< on-site repulsion U >= 0
+  double mu = 0.0;      ///< chemical potential measured from half filling
+  double beta = 4.0;    ///< inverse temperature
+  idx slices = 40;      ///< L: imaginary-time slices; dtau = beta / L
+
+  double dtau() const { return beta / static_cast<double>(slices); }
+
+  /// HS coupling nu = acosh(e^{U dtau / 2}) (Section II-A).
+  double hs_nu() const {
+    const double x = std::exp(0.5 * u * dtau());
+    return std::acosh(x);
+  }
+
+  /// Validate the physical ranges; throws InvalidArgument.
+  void validate() const {
+    DQMC_CHECK_MSG(u >= 0.0, "repulsive Hubbard model requires U >= 0");
+    DQMC_CHECK_MSG(beta > 0.0, "beta must be positive");
+    DQMC_CHECK_MSG(slices >= 1, "need at least one time slice");
+    DQMC_CHECK_MSG(t >= 0.0, "hopping must be non-negative");
+  }
+};
+
+/// Spin projection labels (sigma in {+, -}).
+enum class Spin : int { Up = +1, Down = -1 };
+inline constexpr Spin kSpins[2] = {Spin::Up, Spin::Down};
+inline int spin_index(Spin s) { return s == Spin::Up ? 0 : 1; }
+inline double spin_sign(Spin s) { return s == Spin::Up ? +1.0 : -1.0; }
+
+}  // namespace dqmc::hubbard

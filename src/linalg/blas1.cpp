@@ -1,0 +1,87 @@
+#include "linalg/blas1.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dqmc::linalg {
+
+double dot(idx n, const double* x, idx incx, const double* y, idx incy) {
+  double acc = 0.0;
+  if (incx == 1 && incy == 1) {
+    for (idx i = 0; i < n; ++i) acc += x[i] * y[i];
+  } else {
+    for (idx i = 0; i < n; ++i) acc += x[i * incx] * y[i * incy];
+  }
+  return acc;
+}
+
+double dot(idx n, const double* x, const double* y) {
+  return dot(n, x, 1, y, 1);
+}
+
+double nrm2(idx n, const double* x, idx incx) {
+  // One-pass scaled sum of squares (cf. LAPACK dlassq): tracks the running
+  // maximum `scale` and accumulates (x/scale)^2, immune to overflow for
+  // |x| up to DBL_MAX and to destructive underflow for tiny graded columns.
+  double scale = 0.0, ssq = 1.0;
+  for (idx i = 0; i < n; ++i) {
+    const double a = std::fabs(x[i * incx]);
+    if (a == 0.0) continue;
+    if (scale < a) {
+      const double r = scale / a;
+      ssq = 1.0 + ssq * r * r;
+      scale = a;
+    } else {
+      const double r = a / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double asum(idx n, const double* x, idx incx) {
+  double acc = 0.0;
+  for (idx i = 0; i < n; ++i) acc += std::fabs(x[i * incx]);
+  return acc;
+}
+
+void scal(idx n, double alpha, double* x, idx incx) {
+  if (incx == 1) {
+    for (idx i = 0; i < n; ++i) x[i] *= alpha;
+  } else {
+    for (idx i = 0; i < n; ++i) x[i * incx] *= alpha;
+  }
+}
+
+void axpy(idx n, double alpha, const double* x, idx incx, double* y, idx incy) {
+  if (alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    for (idx i = 0; i < n; ++i) y[i] += alpha * x[i];
+  } else {
+    for (idx i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+  }
+}
+
+void axpy(idx n, double alpha, const double* x, double* y) {
+  axpy(n, alpha, x, 1, y, 1);
+}
+
+void swap(idx n, double* x, idx incx, double* y, idx incy) {
+  for (idx i = 0; i < n; ++i) std::swap(x[i * incx], y[i * incy]);
+}
+
+idx iamax(idx n, const double* x, idx incx) {
+  if (n <= 0) return 0;
+  idx best = 0;
+  double bestval = std::fabs(x[0]);
+  for (idx i = 1; i < n; ++i) {
+    const double a = std::fabs(x[i * incx]);
+    if (a > bestval) {
+      bestval = a;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace dqmc::linalg

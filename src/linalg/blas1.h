@@ -1,0 +1,37 @@
+// Level-1 BLAS-style vector kernels (double precision, unit or general stride).
+//
+// These are the building blocks of the Householder code path; nrm2 uses the
+// LAPACK-style scaled accumulation so graded columns spanning many orders of
+// magnitude (the whole point of stratification) neither overflow nor
+// underflow.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// sum_i x[i*incx] * y[i*incy]
+double dot(idx n, const double* x, idx incx, const double* y, idx incy);
+/// Unit-stride convenience overload.
+double dot(idx n, const double* x, const double* y);
+
+/// Euclidean norm with overflow/underflow-safe scaling.
+double nrm2(idx n, const double* x, idx incx = 1);
+
+/// sum of |x[i]|
+double asum(idx n, const double* x, idx incx = 1);
+
+/// x <- alpha * x
+void scal(idx n, double alpha, double* x, idx incx = 1);
+
+/// y <- alpha * x + y
+void axpy(idx n, double alpha, const double* x, idx incx, double* y, idx incy);
+void axpy(idx n, double alpha, const double* x, double* y);
+
+/// Exchange x and y.
+void swap(idx n, double* x, idx incx, double* y, idx incy);
+
+/// Index of the element with the largest |x[i]| (0 when n <= 0).
+idx iamax(idx n, const double* x, idx incx = 1);
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,69 @@
+#include "linalg/blas2.h"
+
+#include "linalg/blas1.h"
+
+namespace dqmc::linalg {
+
+void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
+          double beta, double* y) {
+  const idx m = a.rows(), n = a.cols();
+  if (trans == Trans::No) {
+    // y (m) <- alpha * A x (n) + beta y: accumulate column-by-column so the
+    // inner loop walks contiguous memory.
+    if (beta == 0.0) {
+      for (idx i = 0; i < m; ++i) y[i] = 0.0;
+    } else if (beta != 1.0) {
+      scal(m, beta, y);
+    }
+    for (idx j = 0; j < n; ++j) axpy(m, alpha * x[j], a.col(j), y);
+  } else {
+    // y (n) <- alpha * A^T x (m) + beta y: each output is one column dot.
+    for (idx j = 0; j < n; ++j) {
+      const double t = alpha * dot(m, a.col(j), x);
+      y[j] = (beta == 0.0) ? t : beta * y[j] + t;
+    }
+  }
+}
+
+void ger(double alpha, const double* x, const double* y, MatrixView a) {
+  const idx m = a.rows(), n = a.cols();
+  if (alpha == 0.0) return;
+  for (idx j = 0; j < n; ++j) axpy(m, alpha * y[j], x, a.col(j));
+}
+
+void trsv(UpLo uplo, Trans trans, Diag diag, ConstMatrixView t, double* x) {
+  DQMC_CHECK(t.rows() == t.cols());
+  const idx n = t.rows();
+  const bool unit = diag == Diag::Unit;
+
+  if (trans == Trans::No) {
+    if (uplo == UpLo::Upper) {
+      // Back substitution; after computing x[j], eliminate it from rows above
+      // using the contiguous column j.
+      for (idx j = n - 1; j >= 0; --j) {
+        if (!unit) x[j] /= t(j, j);
+        axpy(j, -x[j], t.col(j), x);
+      }
+    } else {
+      for (idx j = 0; j < n; ++j) {
+        if (!unit) x[j] /= t(j, j);
+        axpy(n - j - 1, -x[j], t.col(j) + j + 1, x + j + 1);
+      }
+    }
+  } else {
+    if (uplo == UpLo::Upper) {
+      // T^T is lower triangular: forward substitution with column dots.
+      for (idx j = 0; j < n; ++j) {
+        double s = x[j] - dot(j, t.col(j), x);
+        x[j] = unit ? s : s / t(j, j);
+      }
+    } else {
+      for (idx j = n - 1; j >= 0; --j) {
+        double s = x[j] - dot(n - j - 1, t.col(j) + j + 1, x + j + 1);
+        x[j] = unit ? s : s / t(j, j);
+      }
+    }
+  }
+}
+
+}  // namespace dqmc::linalg

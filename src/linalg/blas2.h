@@ -1,0 +1,27 @@
+// Level-2 BLAS-style matrix-vector kernels.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// Transposition selector mirroring the BLAS character argument.
+enum class Trans { No, Yes };
+
+/// y <- alpha*op(A)*x + beta*y, op(A) = A or A^T.
+/// x must have op(A).cols() elements and y op(A).rows().
+void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
+          double beta, double* y);
+
+/// Rank-1 update A <- A + alpha * x * y^T.
+void ger(double alpha, const double* x, const double* y, MatrixView a);
+
+/// Upper/lower selector for triangular kernels.
+enum class UpLo { Upper, Lower };
+enum class Diag { NonUnit, Unit };
+
+/// Triangular solve with a single right-hand side:
+/// solves op(T) * x = b in place (x overwrites b).
+void trsv(UpLo uplo, Trans trans, Diag diag, ConstMatrixView t, double* x);
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,312 @@
+#include "linalg/blas3.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/aligned.h"
+#include "linalg/blas1.h"
+#include "linalg/gemm_kernel.h"
+#include "parallel/parallel_for.h"
+
+namespace dqmc::linalg {
+
+using namespace detail;
+
+namespace {
+
+/// Scale C by beta (handles 0 and 1 fast paths).
+void scale_c(MatrixView c, double beta) {
+  if (beta == 1.0) return;
+  for (idx j = 0; j < c.cols(); ++j) {
+    if (beta == 0.0) {
+      std::fill(c.col(j), c.col(j) + c.rows(), 0.0);
+    } else {
+      scal(c.rows(), beta, c.col(j));
+    }
+  }
+}
+
+/// Inner GEBP block: C(mc x nc) += alpha * Apacked(mc x kc) * Bpacked(kc x nc)
+/// with the M dimension split across threads (each thread owns disjoint rows
+/// of C, so no synchronization is needed on the output).
+void gebp(idx mc, idx nc, idx kc, double alpha, const double* apack,
+          const double* bpack, double beta, MatrixView c) {
+  const idx mtiles = (mc + kMR - 1) / kMR;
+  par::parallel_for(
+      0, mtiles,
+      [&](par::index_t it) {
+        const idx i = static_cast<idx>(it) * kMR;
+        const idx mr = std::min(kMR, mc - i);
+        const double* a = apack + i * kc;
+        for (idx j = 0; j < nc; j += kNR) {
+          const idx nr = std::min(kNR, nc - j);
+          micro_kernel(kc, alpha, a, bpack + j * kc, beta,
+                       &c(i, j), c.ld(), mr, nr);
+        }
+      },
+      // One row-tile of work is kc*nc flops heavy; always worth threading
+      // when there is more than one tile per worker.
+      {.grain = 1});
+}
+
+}  // namespace
+
+void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const bool ta = transa == Trans::Yes;
+  const bool tb = transb == Trans::Yes;
+  const idx m = ta ? a.cols() : a.rows();
+  const idx k = ta ? a.rows() : a.cols();
+  const idx kb = tb ? b.cols() : b.rows();
+  const idx n = tb ? b.rows() : b.cols();
+  DQMC_CHECK_MSG(k == kb, "gemm inner dimensions differ");
+  DQMC_CHECK_MSG(c.rows() == m && c.cols() == n, "gemm output shape mismatch");
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0) {
+    scale_c(c, beta);
+    return;
+  }
+
+  // General beta is applied once up front; the packed loops then accumulate.
+  scale_c(c, beta);
+
+  AlignedBuffer<double> apack(static_cast<std::size_t>(round_up(std::min(m, kMC), kMR)) * kKC);
+  AlignedBuffer<double> bpack(static_cast<std::size_t>(kKC) * round_up(std::min(n, kNC), kNR));
+
+  for (idx jc = 0; jc < n; jc += kNC) {
+    const idx nc = std::min(kNC, n - jc);
+    for (idx pc = 0; pc < k; pc += kKC) {
+      const idx kc = std::min(kKC, k - pc);
+      pack_b(b, tb, pc, jc, kc, nc, bpack.data());
+      for (idx ic = 0; ic < m; ic += kMC) {
+        const idx mc = std::min(kMC, m - ic);
+        pack_a(a, ta, ic, pc, mc, kc, apack.data());
+        gebp(mc, nc, kc, alpha, apack.data(), bpack.data(), /*beta=*/1.0,
+             c.block(ic, jc, mc, nc));
+      }
+    }
+  }
+}
+
+Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans transa,
+              Trans transb) {
+  const idx m = transa == Trans::Yes ? a.cols() : a.rows();
+  const idx n = transb == Trans::Yes ? b.rows() : b.cols();
+  Matrix c(m, n);
+  gemm(transa, transb, 1.0, a, b, 0.0, c);
+  return c;
+}
+
+namespace {
+
+/// Block size for the triangular level-3 drivers: diagonal blocks run the
+/// unblocked kernels, everything else becomes GEMM.
+constexpr idx kTriBlock = 64;
+
+/// Is the effective factor op(T) upper triangular?
+bool effective_upper(UpLo uplo, Trans trans) {
+  return (uplo == UpLo::Upper && trans == Trans::No) ||
+         (uplo == UpLo::Lower && trans == Trans::Yes);
+}
+
+/// Unblocked B <- op(Tkk) * B for a small diagonal block (column-parallel).
+void trmm_left_unblocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView t,
+                         MatrixView b) {
+  const idx m = b.rows();
+  const bool unit = diag == Diag::Unit;
+  par::parallel_for(
+      0, b.cols(),
+      [&](par::index_t jj) {
+        double* x = b.col(static_cast<idx>(jj));
+        if (effective_upper(uplo, trans)) {
+          for (idx i = 0; i < m; ++i) {
+            double s = unit ? x[i] : t(i, i) * x[i];
+            for (idx p = i + 1; p < m; ++p)
+              s += (trans == Trans::No ? t(i, p) : t(p, i)) * x[p];
+            x[i] = s;
+          }
+        } else {
+          for (idx i = m - 1; i >= 0; --i) {
+            double s = unit ? x[i] : t(i, i) * x[i];
+            for (idx p = 0; p < i; ++p)
+              s += (trans == Trans::No ? t(i, p) : t(p, i)) * x[p];
+            x[i] = s;
+          }
+        }
+      },
+      {.grain = 4});
+}
+
+/// Unblocked op(Tkk) X = B solve for a small diagonal block.
+void trsm_left_unblocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView t,
+                         MatrixView b) {
+  par::parallel_for(
+      0, b.cols(),
+      [&](par::index_t j) {
+        trsv(uplo, trans, diag, t, b.col(static_cast<idx>(j)));
+      },
+      {.grain = 4});
+}
+
+}  // namespace
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  DQMC_CHECK(t.rows() == t.cols());
+  if (side == Side::Left) {
+    DQMC_CHECK(t.rows() == b.rows());
+    const idx m = b.rows(), n = b.cols();
+    if (alpha != 1.0)
+      for (idx j = 0; j < n; ++j) scal(m, alpha, b.col(j));
+
+    // Blocked substitution: solve one kTriBlock diagonal block at a time,
+    // then eliminate it from the remaining rows with a GEMM — the level-3
+    // formulation that keeps trsm near gemm speed.
+    if (effective_upper(uplo, trans)) {
+      // Bottom-up.
+      for (idx k = (m - 1) / kTriBlock * kTriBlock; k >= 0; k -= kTriBlock) {
+        const idx nb = std::min(kTriBlock, m - k);
+        trsm_left_unblocked(uplo, trans, diag, t.block(k, k, nb, nb),
+                            b.block(k, 0, nb, n));
+        if (k > 0) {
+          // rows [0, k) -= op(T)(0:k, k:k+nb) * X_k
+          if (trans == Trans::No) {
+            gemm(Trans::No, Trans::No, -1.0, t.block(0, k, k, nb),
+                 b.block(k, 0, nb, n), 1.0, b.block(0, 0, k, n));
+          } else {
+            gemm(Trans::Yes, Trans::No, -1.0, t.block(k, 0, nb, k),
+                 b.block(k, 0, nb, n), 1.0, b.block(0, 0, k, n));
+          }
+        }
+        if (k == 0) break;  // idx is signed, but avoid wrap past zero
+      }
+    } else {
+      // Top-down.
+      for (idx k = 0; k < m; k += kTriBlock) {
+        const idx nb = std::min(kTriBlock, m - k);
+        trsm_left_unblocked(uplo, trans, diag, t.block(k, k, nb, nb),
+                            b.block(k, 0, nb, n));
+        const idx rest = m - k - nb;
+        if (rest > 0) {
+          if (trans == Trans::No) {
+            gemm(Trans::No, Trans::No, -1.0, t.block(k + nb, k, rest, nb),
+                 b.block(k, 0, nb, n), 1.0, b.block(k + nb, 0, rest, n));
+          } else {
+            gemm(Trans::Yes, Trans::No, -1.0, t.block(k, k + nb, nb, rest),
+                 b.block(k, 0, nb, n), 1.0, b.block(k + nb, 0, rest, n));
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // Right side: X * op(T) = alpha * B. Row-oriented substitution expressed
+  // column-wise on X (columns of T drive the elimination order).
+  DQMC_CHECK(t.rows() == b.cols());
+  const idx n = t.rows();
+  const idx m = b.rows();
+  if (alpha != 1.0)
+    for (idx j = 0; j < b.cols(); ++j) scal(m, alpha, b.col(j));
+  const bool unit = diag == Diag::Unit;
+
+  if ((uplo == UpLo::Upper && trans == Trans::No) ||
+      (uplo == UpLo::Lower && trans == Trans::Yes)) {
+    // Effective triangular factor is upper: process columns left to right.
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < j; ++i) {
+        const double tij = trans == Trans::No ? t(i, j) : t(j, i);
+        axpy(m, -tij, b.col(i), b.col(j));
+      }
+      if (!unit) scal(m, 1.0 / t(j, j), b.col(j));
+    }
+  } else {
+    // Effective factor lower: right to left.
+    for (idx j = n - 1; j >= 0; --j) {
+      for (idx i = j + 1; i < n; ++i) {
+        const double tij = trans == Trans::No ? t(i, j) : t(j, i);
+        axpy(m, -tij, b.col(i), b.col(j));
+      }
+      if (!unit) scal(m, 1.0 / t(j, j), b.col(j));
+    }
+  }
+}
+
+void trmm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  DQMC_CHECK(t.rows() == t.cols());
+  const bool unit = diag == Diag::Unit;
+  const idx m = b.rows(), n = b.cols();
+
+  if (side == Side::Left) {
+    DQMC_CHECK(t.rows() == m);
+    // Blocked in place: each block row is op(T)_kk * B_k (unblocked) plus a
+    // GEMM against the not-yet-overwritten part of B.
+    if (effective_upper(uplo, trans)) {
+      // Top-down: row block k only reads rows >= k.
+      for (idx k = 0; k < m; k += kTriBlock) {
+        const idx nb = std::min(kTriBlock, m - k);
+        MatrixView bk = b.block(k, 0, nb, n);
+        trmm_left_unblocked(uplo, trans, diag, t.block(k, k, nb, nb), bk);
+        const idx rest = m - k - nb;
+        if (rest > 0) {
+          if (trans == Trans::No) {
+            gemm(Trans::No, Trans::No, 1.0, t.block(k, k + nb, nb, rest),
+                 b.block(k + nb, 0, rest, n), 1.0, bk);
+          } else {
+            gemm(Trans::Yes, Trans::No, 1.0, t.block(k + nb, k, rest, nb),
+                 b.block(k + nb, 0, rest, n), 1.0, bk);
+          }
+        }
+      }
+    } else {
+      // Bottom-up: row block k only reads rows <= k.
+      for (idx k = (m - 1) / kTriBlock * kTriBlock; k >= 0; k -= kTriBlock) {
+        const idx nb = std::min(kTriBlock, m - k);
+        MatrixView bk = b.block(k, 0, nb, n);
+        trmm_left_unblocked(uplo, trans, diag, t.block(k, k, nb, nb), bk);
+        if (k > 0) {
+          if (trans == Trans::No) {
+            gemm(Trans::No, Trans::No, 1.0, t.block(k, 0, nb, k),
+                 b.block(0, 0, k, n), 1.0, bk);
+          } else {
+            gemm(Trans::Yes, Trans::No, 1.0, t.block(0, k, k, nb),
+                 b.block(0, 0, k, n), 1.0, bk);
+          }
+        }
+        if (k == 0) break;
+      }
+    }
+    if (alpha != 1.0)
+      for (idx j = 0; j < n; ++j) scal(m, alpha, b.col(j));
+    return;
+  }
+
+  DQMC_CHECK(t.rows() == n);
+  // Right side: B <- alpha * B * op(T), processed so each output column only
+  // reads not-yet-overwritten inputs.
+  if ((uplo == UpLo::Upper && trans == Trans::No) ||
+      (uplo == UpLo::Lower && trans == Trans::Yes)) {
+    for (idx j = n - 1; j >= 0; --j) {
+      const double tjj = unit ? 1.0 : t(j, j);
+      scal(m, tjj, b.col(j));
+      for (idx i = 0; i < j; ++i) {
+        const double tij = trans == Trans::No ? t(i, j) : t(j, i);
+        axpy(m, tij, b.col(i), b.col(j));
+      }
+      if (alpha != 1.0) scal(m, alpha, b.col(j));
+    }
+  } else {
+    for (idx j = 0; j < n; ++j) {
+      const double tjj = unit ? 1.0 : t(j, j);
+      scal(m, tjj, b.col(j));
+      for (idx i = j + 1; i < n; ++i) {
+        const double tij = trans == Trans::No ? t(i, j) : t(j, i);
+        axpy(m, tij, b.col(i), b.col(j));
+      }
+      if (alpha != 1.0) scal(m, alpha, b.col(j));
+    }
+  }
+}
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,39 @@
+// Level-3 BLAS-style kernels: GEMM (blocked/packed/threaded), TRSM, TRMM.
+//
+// gemm is the library's DGEMM stand-in: a Goto-style blocked implementation
+// with operand packing and OpenMP threading over row panels. Everything
+// level-3 in the DQMC pipeline (clustering, wrapping, delayed-update flushes,
+// blocked QR updates) funnels through it, so the Fig. 1/4 performance
+// comparisons measure the same kernel the simulation runs on.
+#pragma once
+
+#include "linalg/blas2.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// C <- alpha * op(A) * op(B) + beta * C.
+/// Dimensions must satisfy op(A): m x k, op(B): k x n, C: m x n.
+void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c);
+
+/// Convenience: returns op(A) * op(B) as a fresh matrix.
+Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans transa = Trans::No,
+              Trans transb = Trans::No);
+
+/// Side selector for triangular multiply/solve.
+enum class Side { Left, Right };
+
+/// Triangular solve with multiple right-hand sides:
+///   Side::Left :  op(T) * X = alpha * B,  X overwrites B (T is m x m)
+///   Side::Right:  X * op(T) = alpha * B,  X overwrites B (T is n x n)
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b);
+
+/// Triangular matrix multiply:
+///   Side::Left :  B <- alpha * op(T) * B
+///   Side::Right:  B <- alpha * B * op(T)
+void trmm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b);
+
+}  // namespace dqmc::linalg

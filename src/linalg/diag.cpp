@@ -1,0 +1,73 @@
+#include "linalg/diag.h"
+
+#include "parallel/parallel_for.h"
+
+namespace dqmc::linalg {
+
+void scale_rows(const double* d, MatrixView a) {
+  // Column-major: thread over columns so each task streams one contiguous
+  // column while re-reading the (cache-resident) scale vector.
+  par::parallel_for(
+      0, a.cols(),
+      [&](par::index_t jj) {
+        const idx j = static_cast<idx>(jj);
+        double* col = a.col(j);
+        for (idx i = 0; i < a.rows(); ++i) col[i] *= d[i];
+      },
+      {.grain = 8});
+}
+
+void scale_cols(const double* d, MatrixView a) {
+  par::parallel_for(
+      0, a.cols(),
+      [&](par::index_t jj) {
+        const idx j = static_cast<idx>(jj);
+        const double s = d[j];
+        double* col = a.col(j);
+        for (idx i = 0; i < a.rows(); ++i) col[i] *= s;
+      },
+      {.grain = 8});
+}
+
+void scale_rows_cols_inv(const double* r, const double* c, MatrixView a) {
+  par::parallel_for(
+      0, a.cols(),
+      [&](par::index_t jj) {
+        const idx j = static_cast<idx>(jj);
+        const double cinv = 1.0 / c[j];
+        double* col = a.col(j);
+        for (idx i = 0; i < a.rows(); ++i) col[i] *= r[i] * cinv;
+      },
+      {.grain = 8});
+}
+
+void scale_rows_into(const double* d, ConstMatrixView a, MatrixView out) {
+  DQMC_CHECK(a.rows() == out.rows() && a.cols() == out.cols());
+  par::parallel_for(
+      0, a.cols(),
+      [&](par::index_t jj) {
+        const idx j = static_cast<idx>(jj);
+        const double* src = a.col(j);
+        double* dst = out.col(j);
+        for (idx i = 0; i < a.rows(); ++i) dst[i] = d[i] * src[i];
+      },
+      {.grain = 8});
+}
+
+Vector diagonal(ConstMatrixView a) {
+  DQMC_CHECK(a.rows() == a.cols());
+  Vector d(a.rows());
+  for (idx i = 0; i < a.rows(); ++i) d[i] = a(i, i);
+  return d;
+}
+
+Vector reciprocal(const Vector& d) {
+  Vector r(d.size());
+  for (idx i = 0; i < d.size(); ++i) {
+    DQMC_CHECK_MSG(d[i] != 0.0, "reciprocal of zero diagonal entry");
+    r[i] = 1.0 / d[i];
+  }
+  return r;
+}
+
+}  // namespace dqmc::linalg

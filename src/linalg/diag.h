@@ -1,0 +1,33 @@
+// Diagonal scaling kernels: the "fine-grain operations" of Section IV-B.
+//
+// Every B-matrix application in DQMC is a row scaling (B_l = V_l * B with
+// V_l diagonal), every graded step a column scaling by D_i, and the wrapping
+// update a combined row+column scaling. These are memory-bound level-2
+// operations, so they are threaded over rows/columns with parallel_for — the
+// same OpenMP treatment the paper gives them.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// A <- diag(d) * A  (scales row i by d[i]; d has A.rows() elements).
+void scale_rows(const double* d, MatrixView a);
+
+/// A <- A * diag(d)  (scales column j by d[j]; d has A.cols() elements).
+void scale_cols(const double* d, MatrixView a);
+
+/// A <- diag(r) * A * diag(c)^{-1}: the wrapping scaling
+/// (Algorithm 7 of the paper, CPU version).
+void scale_rows_cols_inv(const double* r, const double* c, MatrixView a);
+
+/// out <- diag(d) * A, leaving A untouched.
+void scale_rows_into(const double* d, ConstMatrixView a, MatrixView out);
+
+/// Extract the diagonal of a square matrix.
+Vector diagonal(ConstMatrixView a);
+
+/// Reciprocal of every entry (checked against zero).
+Vector reciprocal(const Vector& d);
+
+}  // namespace dqmc::linalg

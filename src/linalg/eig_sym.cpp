@@ -1,0 +1,178 @@
+#include "linalg/eig_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/norms.h"
+
+namespace dqmc::linalg {
+
+namespace {
+
+/// Householder reduction of a symmetric matrix held in `z` to tridiagonal
+/// form, accumulating the orthogonal transformation in `z` itself
+/// (EISPACK tred2). On return d holds the diagonal, e the subdiagonal
+/// (e[0] unused).
+void tridiagonalize(Matrix& z, Vector& d, Vector& e) {
+  const idx n = z.rows();
+  for (idx i = n - 1; i >= 1; --i) {
+    const idx l = i - 1;
+    double h = 0.0, scale = 0.0;
+    if (l > 0) {
+      for (idx k = 0; k <= l; ++k) scale += std::fabs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (idx k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (idx j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (idx k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (idx k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (idx j = 0; j <= l; ++j) {
+          f = z(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (idx k = 0; k <= j; ++k)
+            z(j, k) -= f * e[k] + g * z(i, k);
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate transformations.
+  for (idx i = 0; i < n; ++i) {
+    const idx l = i - 1;
+    if (d[i] != 0.0) {
+      for (idx j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (idx k = 0; k <= l; ++k) g += z(i, k) * z(k, j);
+        for (idx k = 0; k <= l; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (idx j = 0; j <= l; ++j) {
+      z(j, i) = 0.0;
+      z(i, j) = 0.0;
+    }
+  }
+}
+
+/// Implicit-shift QL iteration on the tridiagonal (d, e), rotating the
+/// eigenvector matrix z along (EISPACK tql2).
+void ql_implicit(Vector& d, Vector& e, Matrix& z) {
+  const idx n = d.size();
+  for (idx i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (idx l = 0; l < n; ++l) {
+    int iter = 0;
+    idx m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-300 + std::numeric_limits<double>::epsilon() * dd)
+          break;
+      }
+      if (m != l) {
+        if (++iter > 50) {
+          throw NumericalError("eig_sym: QL iteration failed to converge");
+        }
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        bool underflow = false;
+        for (idx i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Rotation annihilated early: recover and restart the sweep.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (idx k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  // Sort ascending, carrying eigenvectors (selection sort; n is small).
+  for (idx i = 0; i < n - 1; ++i) {
+    idx kmin = i;
+    for (idx j = i + 1; j < n; ++j)
+      if (d[j] < d[kmin]) kmin = j;
+    if (kmin != i) {
+      std::swap(d[kmin], d[i]);
+      for (idx r2 = 0; r2 < n; ++r2) std::swap(z(r2, kmin), z(r2, i));
+    }
+  }
+}
+
+}  // namespace
+
+SymmetricEigen eig_sym(ConstMatrixView a, double symmetry_tol) {
+  DQMC_CHECK(a.rows() == a.cols());
+  const idx n = a.rows();
+  DQMC_CHECK(n >= 1);
+
+  // Symmetry contract check.
+  const double scale = max_abs(a);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j + 1; i < n; ++i) {
+      DQMC_CHECK_MSG(std::fabs(a(i, j) - a(j, i)) <=
+                         symmetry_tol * std::max(1.0, scale),
+                     "eig_sym: matrix is not symmetric");
+    }
+  }
+
+  SymmetricEigen out{Vector(n), Matrix::copy_of(a)};
+  Vector e(n);
+  if (n == 1) {
+    out.eigenvalues[0] = a(0, 0);
+    out.eigenvectors(0, 0) = 1.0;
+    return out;
+  }
+  tridiagonalize(out.eigenvectors, out.eigenvalues, e);
+  ql_implicit(out.eigenvalues, e, out.eigenvectors);
+  return out;
+}
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,27 @@
+// Symmetric eigensolver: Householder tridiagonalization followed by the
+// implicit-shift QL iteration (EISPACK tred2/tql2 lineage, the same
+// algorithm underneath LAPACK's dsteqr).
+//
+// DQMC needs this once per simulation: the hopping matrix K is symmetric and
+// B = e^{-dtau K} is formed exactly from its spectral decomposition. The
+// U = 0 free-fermion reference solution used by the validation tests is also
+// built from it.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// Spectral decomposition A = V diag(w) V^T of a symmetric matrix.
+struct SymmetricEigen {
+  Vector eigenvalues;   ///< ascending
+  Matrix eigenvectors;  ///< orthonormal columns, eigenvectors[:,i] <-> w[i]
+};
+
+/// Compute all eigenvalues and eigenvectors. `a` must be symmetric to within
+/// `symmetry_tol` times its max element (checked); only the lower triangle
+/// is referenced for the reduction. Throws NumericalError if the QL sweep
+/// fails to converge (> 50 iterations for one eigenvalue, as in EISPACK).
+SymmetricEigen eig_sym(ConstMatrixView a, double symmetry_tol = 1e-12);
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,44 @@
+#include "linalg/expm.h"
+
+#include <cmath>
+
+#include "linalg/blas3.h"
+#include "linalg/diag.h"
+
+namespace dqmc::linalg {
+
+namespace {
+
+/// V diag(w) V^T given the eigenvector matrix and transformed eigenvalues.
+Matrix assemble(const Matrix& v, const Vector& w) {
+  Matrix scaled = v;  // scaled = V * diag(w)
+  scale_cols(w.data(), scaled);
+  return matmul(scaled, v, Trans::No, Trans::Yes);
+}
+
+}  // namespace
+
+Matrix expm_symmetric(ConstMatrixView a, double t) {
+  const SymmetricEigen eig = eig_sym(a);
+  Vector w(eig.eigenvalues.size());
+  for (idx i = 0; i < w.size(); ++i) w[i] = std::exp(t * eig.eigenvalues[i]);
+  return assemble(eig.eigenvectors, w);
+}
+
+ExpmPair expm_symmetric_pair(ConstMatrixView a, double t) {
+  const SymmetricEigen eig = eig_sym(a);
+  Vector wp(eig.eigenvalues.size()), wn(eig.eigenvalues.size());
+  for (idx i = 0; i < wp.size(); ++i) {
+    wp[i] = std::exp(t * eig.eigenvalues[i]);
+    wn[i] = std::exp(-t * eig.eigenvalues[i]);
+  }
+  return {assemble(eig.eigenvectors, wp), assemble(eig.eigenvectors, wn)};
+}
+
+Matrix spectral_function(const SymmetricEigen& eig, double (*f)(double)) {
+  Vector w(eig.eigenvalues.size());
+  for (idx i = 0; i < w.size(); ++i) w[i] = f(eig.eigenvalues[i]);
+  return assemble(eig.eigenvectors, w);
+}
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,26 @@
+// Matrix exponential of a symmetric matrix via its spectral decomposition.
+//
+// DQMC forms B = e^{-dtau K} once at setup (K is the symmetric hopping
+// matrix); the spectral route is exact to rounding and also yields
+// B^{-1} = e^{+dtau K} for free, which the wrapping update needs.
+#pragma once
+
+#include "linalg/eig_sym.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// e^{t*A} for symmetric A: V diag(e^{t w}) V^T.
+Matrix expm_symmetric(ConstMatrixView a, double t = 1.0);
+
+/// Both e^{t*A} and e^{-t*A} from one eigendecomposition.
+struct ExpmPair {
+  Matrix exp_pos;  ///< e^{+t A}
+  Matrix exp_neg;  ///< e^{-t A}
+};
+ExpmPair expm_symmetric_pair(ConstMatrixView a, double t);
+
+/// Rebuild f(A) = V diag(f(w)) V^T from a precomputed decomposition.
+Matrix spectral_function(const SymmetricEigen& eig, double (*f)(double));
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,101 @@
+#include "linalg/householder.h"
+
+#include <cmath>
+
+#include "linalg/blas1.h"
+#include "linalg/blas2.h"
+
+namespace dqmc::linalg {
+
+double make_householder(idx n, double* x) {
+  if (n <= 1) return 0.0;
+  const double alpha = x[0];
+  const double xnorm = nrm2(n - 1, x + 1);
+  if (xnorm == 0.0) return 0.0;
+
+  // beta = -sign(alpha) * ||x||, computed via hypot for overflow safety.
+  double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  const double tau = (beta - alpha) / beta;
+  scal(n - 1, 1.0 / (alpha - beta), x + 1);
+  x[0] = beta;
+  return tau;
+}
+
+void apply_householder_left(double tau, const double* v, MatrixView c,
+                            double* work) {
+  if (tau == 0.0 || c.empty()) return;
+  const idx m = c.rows(), n = c.cols();
+  // w = C^T v  (v(0) == 1 implicit)
+  for (idx j = 0; j < n; ++j) {
+    const double* cj = c.col(j);
+    work[j] = cj[0] + dot(m - 1, cj + 1, v + 1);
+  }
+  // C -= tau * v w^T
+  for (idx j = 0; j < n; ++j) {
+    double* cj = c.col(j);
+    const double s = tau * work[j];
+    cj[0] -= s;
+    axpy(m - 1, -s, v + 1, cj + 1);
+  }
+}
+
+namespace {
+/// In build_t_factor: t(0:i,i) <- T(0:i,0:i) * t(0:i,i), using the already
+/// finished leading i x i upper triangle of T.
+void triangular_update_column(MatrixView t, idx i) {
+  for (idx r = 0; r < i; ++r) {
+    double s = 0.0;
+    for (idx k = r; k < i; ++k) s += t(r, k) * t(k, i);
+    t(r, i) = s;
+  }
+}
+}  // namespace
+
+void build_t_factor(ConstMatrixView v, const double* tau, MatrixView t) {
+  const idx m = v.rows();
+  const idx nb = v.cols();
+  DQMC_CHECK(t.rows() == nb && t.cols() == nb);
+  for (idx i = 0; i < nb; ++i) {
+    t(i, i) = tau[i];
+    if (i == 0) continue;
+    // t(0:i,i) = -tau_i * V(:,0:i)^T v_i, with v_i = [0...0,1,V(i+1:,i)].
+    // Split at row i: the unit row and the trapezoidal tail.
+    for (idx k = 0; k < i; ++k) {
+      // V(:,k)^T v_i over rows i..m; V(i,k) pairs with the implicit 1.
+      double s = v(i, k);
+      s += dot(m - i - 1, &v(i + 1, k), &v(i + 1, i));
+      t(k, i) = -tau[i] * s;
+    }
+    // t(0:i,i) = T(0:i,0:i) * t(0:i,i) (triangular update).
+    triangular_update_column(t, i);
+  }
+}
+
+void apply_block_reflector_left(ConstMatrixView v, ConstMatrixView t,
+                                Trans trans, MatrixView c) {
+  const idx m = c.rows(), n = c.cols();
+  const idx nb = v.cols();
+  if (nb == 0 || c.empty()) return;
+  DQMC_CHECK(v.rows() == m && t.rows() == nb && t.cols() == nb);
+
+  // Split V = [V1; V2]: V1 nb x nb unit lower triangular, V2 (m-nb) x nb.
+  ConstMatrixView v1 = v.block(0, 0, nb, nb);
+  ConstMatrixView v2 = v.block(nb, 0, m - nb, nb);
+  MatrixView c1 = c.block(0, 0, nb, n);
+  MatrixView c2 = c.block(nb, 0, m - nb, n);
+
+  // W = V^T C = V1^T C1 + V2^T C2   (nb x n)
+  Matrix w = Matrix::copy_of(c1);
+  trmm(Side::Left, UpLo::Lower, Trans::Yes, Diag::Unit, 1.0, v1, w);
+  if (m > nb) gemm(Trans::Yes, Trans::No, 1.0, v2, c2, 1.0, w);
+
+  // W <- op(T) W
+  trmm(Side::Left, UpLo::Upper, trans, Diag::NonUnit, 1.0, t, w);
+
+  // C -= V W: C2 -= V2 W (gemm), C1 -= V1 W (trmm + subtract).
+  if (m > nb) gemm(Trans::No, Trans::No, -1.0, v2, w, 1.0, c2);
+  trmm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, v1, w);
+  for (idx j = 0; j < n; ++j) axpy(nb, -1.0, w.col(j), c1.col(j));
+}
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,35 @@
+// Householder reflector primitives (LAPACK dlarfg/dlarf/dlarft analogues).
+//
+// Reflectors are stored LAPACK-style: H = I - tau * v v^T with v(0) = 1
+// implicit and v(1:) kept below the diagonal of the factored matrix. The
+// blocked paths aggregate nb reflectors into the compact-WY form
+// Q = I - V T V^T so trailing updates run on level-3 kernels.
+#pragma once
+
+#include "linalg/blas3.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// Generate a reflector annihilating x(1:n-1):
+/// on return x(0) = beta, x(1:) = v(1:), and (I - tau v v^T) x_in = beta e1.
+/// Returns tau (0 when x(1:) is already zero).
+double make_householder(idx n, double* x);
+
+/// Apply H = I - tau v v^T from the left to C (v has C.rows() entries,
+/// v(0) treated as 1, actual v(1:) read from v+1). `work` needs C.cols().
+void apply_householder_left(double tau, const double* v, MatrixView c,
+                            double* work);
+
+/// Build the nb x nb upper-triangular T of the compact-WY representation
+/// from the factored panel V (m x nb, unit lower trapezoidal, reflectors in
+/// columns) and taus. (dlarft, forward columnwise.)
+void build_t_factor(ConstMatrixView v, const double* tau, MatrixView t);
+
+/// Apply the compact-WY block reflector Q = I - V T V^T (or its transpose)
+/// from the left to C. V is m x nb with the unit lower-trapezoidal layout of
+/// a factored panel (entries on/above the panel diagonal are ignored).
+void apply_block_reflector_left(ConstMatrixView v, ConstMatrixView t,
+                                Trans trans, MatrixView c);
+
+}  // namespace dqmc::linalg

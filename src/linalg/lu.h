@@ -1,0 +1,45 @@
+// LU factorization with partial pivoting (DGETRF analogue) plus solves,
+// explicit inversion, and log-determinant — the closing step of the
+// stratified Green's function evaluation solves with
+// (T^{-T} Q^T D_b + D_s)^T via this module.
+#pragma once
+
+#include <vector>
+
+#include "linalg/blas3.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// P * A = L * U with unit lower L and row-pivot sequence `piv`
+/// (piv[k] = row swapped with k at step k, LAPACK ipiv zero-based).
+struct LUFactorization {
+  Matrix factors;
+  std::vector<idx> piv;
+  /// +1 / -1: parity of the row swaps (for determinant sign).
+  int pivot_sign = 1;
+
+  idx n() const { return factors.rows(); }
+};
+
+/// Factor a square matrix; throws NumericalError on an exactly zero pivot.
+LUFactorization lu_factor(Matrix a, idx block = 32);
+
+/// Solve op(A) X = B in place given the factorization of A.
+void lu_solve(const LUFactorization& f, Trans trans, MatrixView b);
+
+/// Explicit inverse (used only where the algorithm genuinely needs the full
+/// matrix, e.g. forming the Green's function itself).
+Matrix lu_inverse(const LUFactorization& f);
+
+/// Convenience: inverse of `a`.
+Matrix inverse(Matrix a);
+
+/// log|det A| and sign(det A) from the factorization.
+struct LogDet {
+  double log_abs;
+  int sign;
+};
+LogDet lu_logdet(const LUFactorization& f);
+
+}  // namespace dqmc::linalg

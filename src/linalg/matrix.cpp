@@ -1,0 +1,110 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dqmc::linalg {
+
+Matrix::Matrix(idx rows, idx cols, std::initializer_list<double> row_major)
+    : Matrix(rows, cols) {
+  DQMC_CHECK_MSG(static_cast<idx>(row_major.size()) == rows * cols,
+                 "initializer size must equal rows*cols");
+  auto it = row_major.begin();
+  for (idx i = 0; i < rows; ++i)
+    for (idx j = 0; j < cols; ++j) (*this)(i, j) = *it++;
+}
+
+Matrix::Matrix(const Matrix& o) : Matrix(o.rows_, o.cols_) {
+  if (!empty()) std::memcpy(data(), o.data(), sizeof(double) * size());
+}
+
+Matrix& Matrix::operator=(const Matrix& o) {
+  if (this != &o) {
+    resize(o.rows_, o.cols_);
+    if (!empty()) std::memcpy(data(), o.data(), sizeof(double) * size());
+  }
+  return *this;
+}
+
+Matrix Matrix::zero(idx rows, idx cols) {
+  Matrix m(rows, cols);
+  m.fill(0.0);
+  return m;
+}
+
+Matrix Matrix::identity(idx n) {
+  Matrix m = zero(n, n);
+  for (idx i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::copy_of(ConstMatrixView v) {
+  Matrix m(v.rows(), v.cols());
+  copy(v, m);
+  return m;
+}
+
+void Matrix::fill(double value) { std::fill(data(), data() + size(), value); }
+
+void Matrix::set_identity() {
+  DQMC_CHECK(square());
+  fill(0.0);
+  for (idx i = 0; i < rows_; ++i) (*this)(i, i) = 1.0;
+}
+
+void Matrix::resize(idx rows, idx cols) {
+  if (rows == rows_ && cols == cols_) return;
+  buf_ = AlignedBuffer<double>(check_size(rows, cols));
+  rows_ = rows;
+  cols_ = cols;
+}
+
+Vector::Vector(std::initializer_list<double> values)
+    : Vector(static_cast<idx>(values.size())) {
+  std::copy(values.begin(), values.end(), data());
+}
+
+Vector::Vector(const Vector& o) : Vector(o.n_) {
+  if (n_) std::memcpy(data(), o.data(), sizeof(double) * static_cast<std::size_t>(n_));
+}
+
+Vector& Vector::operator=(const Vector& o) {
+  if (this != &o) {
+    resize(o.n_);
+    if (n_) std::memcpy(data(), o.data(), sizeof(double) * static_cast<std::size_t>(n_));
+  }
+  return *this;
+}
+
+Vector Vector::zero(idx n) { return constant(n, 0.0); }
+
+Vector Vector::constant(idx n, double value) {
+  Vector v(n);
+  v.fill(value);
+  return v;
+}
+
+void Vector::fill(double value) { std::fill(begin(), end(), value); }
+
+void Vector::resize(idx n) {
+  if (n == n_) return;
+  buf_ = AlignedBuffer<double>(check_size(n));
+  n_ = n;
+}
+
+void copy(ConstMatrixView src, MatrixView dst) {
+  DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  if (src.empty()) return;
+  if (src.contiguous() && dst.contiguous()) {
+    std::memcpy(dst.data(), src.data(),
+                sizeof(double) * static_cast<std::size_t>(src.rows()) *
+                    static_cast<std::size_t>(src.cols()));
+    return;
+  }
+  for (idx j = 0; j < src.cols(); ++j) {
+    std::memcpy(dst.col(j), src.col(j),
+                sizeof(double) * static_cast<std::size_t>(src.rows()));
+  }
+}
+
+}  // namespace dqmc::linalg

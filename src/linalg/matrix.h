@@ -1,0 +1,225 @@
+// Dense column-major matrix and vector containers.
+//
+// The whole library works in double precision with column-major layout and an
+// explicit leading dimension, matching the BLAS/LAPACK conventions the paper's
+// kernels (DGEMM / DGEQRF / DGEQP3) assume. Views are non-owning and cheap to
+// copy; owning containers use 64-byte aligned storage (common/aligned.h).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+
+#include "common/aligned.h"
+#include "common/error.h"
+
+namespace dqmc::linalg {
+
+/// Index type for all dimensions and strides. Signed, so loop arithmetic and
+/// downdating expressions stay natural.
+using idx = std::int64_t;
+
+class Matrix;
+
+/// Non-owning mutable view of a column-major block: element (i,j) lives at
+/// data()[i + j*ld()].
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, idx rows, idx cols, idx ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    DQMC_CHECK(rows >= 0 && cols >= 0 && ld >= rows);
+  }
+
+  double* data() const noexcept { return data_; }
+  idx rows() const noexcept { return rows_; }
+  idx cols() const noexcept { return cols_; }
+  idx ld() const noexcept { return ld_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  /// True when rows()==ld(): the block is one contiguous run of memory.
+  bool contiguous() const noexcept { return ld_ == rows_; }
+
+  double& operator()(idx i, idx j) const noexcept {
+    DQMC_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  /// Pointer to the top of column j.
+  double* col(idx j) const noexcept {
+    DQMC_ASSERT(j >= 0 && j < cols_);
+    return data_ + j * ld_;
+  }
+
+  /// Sub-block view of `r` rows and `c` columns starting at (i, j).
+  MatrixView block(idx i, idx j, idx r, idx c) const {
+    DQMC_CHECK(i >= 0 && j >= 0 && r >= 0 && c >= 0 && i + r <= rows_ &&
+               j + c <= cols_);
+    return MatrixView(data_ + i + j * ld_, r, c, ld_);
+  }
+
+ private:
+  double* data_ = nullptr;
+  idx rows_ = 0, cols_ = 0, ld_ = 0;
+};
+
+/// Non-owning read-only view; see MatrixView.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, idx rows, idx cols, idx ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    DQMC_CHECK(rows >= 0 && cols >= 0 && ld >= rows);
+  }
+  /* implicit */ ConstMatrixView(MatrixView v)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  const double* data() const noexcept { return data_; }
+  idx rows() const noexcept { return rows_; }
+  idx cols() const noexcept { return cols_; }
+  idx ld() const noexcept { return ld_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  bool contiguous() const noexcept { return ld_ == rows_; }
+
+  const double& operator()(idx i, idx j) const noexcept {
+    DQMC_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  const double* col(idx j) const noexcept {
+    DQMC_ASSERT(j >= 0 && j < cols_);
+    return data_ + j * ld_;
+  }
+
+  ConstMatrixView block(idx i, idx j, idx r, idx c) const {
+    DQMC_CHECK(i >= 0 && j >= 0 && r >= 0 && c >= 0 && i + r <= rows_ &&
+               j + c <= cols_);
+    return ConstMatrixView(data_ + i + j * ld_, r, c, ld_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  idx rows_ = 0, cols_ = 0, ld_ = 0;
+};
+
+/// Owning column-major matrix with contiguous storage (ld == rows).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(idx rows, idx cols) : rows_(rows), cols_(cols), buf_(check_size(rows, cols)) {}
+
+  /// Row-major initializer for small literal matrices in tests:
+  /// Matrix m(2, 2, {1, 2, 3, 4}) is [[1,2],[3,4]].
+  Matrix(idx rows, idx cols, std::initializer_list<double> row_major);
+
+  Matrix(const Matrix& o);
+  Matrix& operator=(const Matrix& o);
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  static Matrix zero(idx rows, idx cols);
+  static Matrix identity(idx n);
+  /// Deep copy of any (possibly strided) view.
+  static Matrix copy_of(ConstMatrixView v);
+
+  idx rows() const noexcept { return rows_; }
+  idx cols() const noexcept { return cols_; }
+  idx ld() const noexcept { return rows_; }
+  idx size() const noexcept { return rows_ * cols_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  bool square() const noexcept { return rows_ == cols_; }
+
+  double* data() noexcept { return buf_.data(); }
+  const double* data() const noexcept { return buf_.data(); }
+
+  double& operator()(idx i, idx j) noexcept {
+    DQMC_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return buf_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  const double& operator()(idx i, idx j) const noexcept {
+    DQMC_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return buf_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  double* col(idx j) noexcept { return data() + j * rows_; }
+  const double* col(idx j) const noexcept { return data() + j * rows_; }
+
+  /* implicit */ operator MatrixView() {
+    return MatrixView(data(), rows_, cols_, rows_);
+  }
+  /* implicit */ operator ConstMatrixView() const {
+    return ConstMatrixView(data(), rows_, cols_, rows_);
+  }
+  MatrixView view() { return *this; }
+  ConstMatrixView view() const { return *this; }
+  MatrixView block(idx i, idx j, idx r, idx c) { return view().block(i, j, r, c); }
+  ConstMatrixView block(idx i, idx j, idx r, idx c) const {
+    return view().block(i, j, r, c);
+  }
+
+  /// Fill every element with `value`.
+  void fill(double value);
+  /// Reset to the identity (square matrices only).
+  void set_identity();
+  /// Resize, discarding contents (no-op when dimensions already match).
+  void resize(idx rows, idx cols);
+
+ private:
+  static std::size_t check_size(idx rows, idx cols) {
+    DQMC_CHECK(rows >= 0 && cols >= 0);
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+
+  idx rows_ = 0, cols_ = 0;
+  AlignedBuffer<double> buf_;
+};
+
+/// Owning dense vector (aligned, contiguous).
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(idx n) : n_(n), buf_(check_size(n)) {}
+  Vector(std::initializer_list<double> values);
+
+  Vector(const Vector& o);
+  Vector& operator=(const Vector& o);
+  Vector(Vector&&) noexcept = default;
+  Vector& operator=(Vector&&) noexcept = default;
+
+  static Vector zero(idx n);
+  static Vector constant(idx n, double value);
+
+  idx size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double* data() noexcept { return buf_.data(); }
+  const double* data() const noexcept { return buf_.data(); }
+
+  double& operator[](idx i) noexcept {
+    DQMC_ASSERT(i >= 0 && i < n_);
+    return buf_[static_cast<std::size_t>(i)];
+  }
+  const double& operator[](idx i) const noexcept {
+    DQMC_ASSERT(i >= 0 && i < n_);
+    return buf_[static_cast<std::size_t>(i)];
+  }
+
+  double* begin() noexcept { return data(); }
+  double* end() noexcept { return data() + n_; }
+  const double* begin() const noexcept { return data(); }
+  const double* end() const noexcept { return data() + n_; }
+
+  void fill(double value);
+  void resize(idx n);
+
+ private:
+  static std::size_t check_size(idx n) {
+    DQMC_CHECK(n >= 0);
+    return static_cast<std::size_t>(n);
+  }
+  idx n_ = 0;
+  AlignedBuffer<double> buf_;
+};
+
+/// Copy src into dst (dimensions must match; views may be strided).
+void copy(ConstMatrixView src, MatrixView dst);
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,77 @@
+#include "linalg/norms.h"
+
+#include <cmath>
+
+#include "linalg/blas1.h"
+#include "parallel/parallel_for.h"
+
+namespace dqmc::linalg {
+
+double frobenius_norm(ConstMatrixView a) {
+  // Column-wise scaled accumulation, combined with the same scale/ssq update
+  // as nrm2 so graded matrices cannot overflow the sum of squares.
+  double scale = 0.0, ssq = 1.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    const double cn = nrm2(a.rows(), a.col(j));
+    if (cn == 0.0) continue;
+    if (scale < cn) {
+      const double r = scale / cn;
+      ssq = 1.0 + ssq * r * r;
+      scale = cn;
+    } else {
+      const double r = cn / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double max_abs(ConstMatrixView a) {
+  double best = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      best = std::max(best, std::fabs(a(i, j)));
+    }
+  }
+  return best;
+}
+
+void column_norms(ConstMatrixView a, double* out) {
+  par::parallel_for(
+      0, a.cols(),
+      [&](par::index_t j) {
+        out[j] = nrm2(a.rows(), a.col(static_cast<idx>(j)));
+      },
+      // A few columns per thread already amortize the fork.
+      {.grain = 8});
+}
+
+Vector column_norms(ConstMatrixView a) {
+  Vector v(a.cols());
+  column_norms(a, v.data());
+  return v;
+}
+
+double relative_difference(ConstMatrixView a, ConstMatrixView b) {
+  DQMC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double scale = 0.0, ssq = 1.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      const double d = std::fabs(a(i, j) - b(i, j));
+      if (d == 0.0) continue;
+      if (scale < d) {
+        const double r = scale / d;
+        ssq = 1.0 + ssq * r * r;
+        scale = d;
+      } else {
+        const double r = d / scale;
+        ssq += r * r;
+      }
+    }
+  }
+  const double diff = scale * std::sqrt(ssq);
+  const double ref = frobenius_norm(b);
+  return ref > 0.0 ? diff / ref : diff;
+}
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,27 @@
+// Matrix norms and the threaded column-norm kernel used by pre-pivoting.
+//
+// Section IV-B of the paper notes that computing all column norms through
+// level-1 BLAS calls leaves parallelism on the table; here the columns are
+// distributed across threads (one norm per task), which is exactly the
+// OpenMP scheme the paper describes.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// Frobenius norm (overflow-safe).
+double frobenius_norm(ConstMatrixView a);
+
+/// Max-abs element.
+double max_abs(ConstMatrixView a);
+
+/// 2-norm of every column, written to out[0..cols). Threaded over columns.
+void column_norms(ConstMatrixView a, double* out);
+Vector column_norms(ConstMatrixView a);
+
+/// ||a - b||_F / ||b||_F; the Fig. 2 accuracy metric. Returns the absolute
+/// norm of `a - b` when ||b|| == 0.
+double relative_difference(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,86 @@
+#include "linalg/permutation.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace dqmc::linalg {
+
+Permutation::Permutation(idx n) : map_(static_cast<std::size_t>(n)) {
+  DQMC_CHECK(n >= 0);
+  set_identity();
+}
+
+Permutation::Permutation(std::vector<idx> map) : map_(std::move(map)) {
+  check_valid();
+}
+
+void Permutation::set_identity() {
+  std::iota(map_.begin(), map_.end(), idx{0});
+}
+
+bool Permutation::is_identity() const {
+  for (idx j = 0; j < size(); ++j)
+    if (map_[static_cast<std::size_t>(j)] != j) return false;
+  return true;
+}
+
+idx Permutation::displacement() const {
+  idx d = 0;
+  for (idx j = 0; j < size(); ++j)
+    if (map_[static_cast<std::size_t>(j)] != j) ++d;
+  return d;
+}
+
+Permutation Permutation::inverse() const {
+  Permutation q(size());
+  for (idx j = 0; j < size(); ++j) q[(*this)[j]] = j;
+  return q;
+}
+
+void Permutation::check_valid() const {
+  std::vector<bool> seen(map_.size(), false);
+  for (idx v : map_) {
+    DQMC_CHECK_MSG(v >= 0 && v < size(), "permutation entry out of range");
+    DQMC_CHECK_MSG(!seen[static_cast<std::size_t>(v)],
+                   "permutation entry repeated");
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+void apply_permutation(ConstMatrixView src, const Permutation& p,
+                       MatrixView dst) {
+  DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  DQMC_CHECK(p.size() == src.cols());
+  DQMC_CHECK_MSG(src.data() != dst.data(), "apply_permutation must be out of place");
+  for (idx j = 0; j < src.cols(); ++j) {
+    std::memcpy(dst.col(j), src.col(p[j]),
+                sizeof(double) * static_cast<std::size_t>(src.rows()));
+  }
+}
+
+void apply_permutation_transpose(ConstMatrixView src, const Permutation& p,
+                                 MatrixView dst) {
+  DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  DQMC_CHECK(p.size() == src.cols());
+  DQMC_CHECK_MSG(src.data() != dst.data(),
+                 "apply_permutation_transpose must be out of place");
+  for (idx j = 0; j < src.cols(); ++j) {
+    std::memcpy(dst.col(p[j]), src.col(j),
+                sizeof(double) * static_cast<std::size_t>(src.rows()));
+  }
+}
+
+void permute_vector_transpose(const Permutation& p, double* x) {
+  std::vector<double> tmp(static_cast<std::size_t>(p.size()));
+  for (idx j = 0; j < p.size(); ++j) tmp[static_cast<std::size_t>(p[j])] = x[j];
+  std::copy(tmp.begin(), tmp.end(), x);
+}
+
+void permute_vector(const Permutation& p, double* x) {
+  std::vector<double> tmp(static_cast<std::size_t>(p.size()));
+  for (idx j = 0; j < p.size(); ++j) tmp[static_cast<std::size_t>(j)] = x[p[j]];
+  std::copy(tmp.begin(), tmp.end(), x);
+}
+
+}  // namespace dqmc::linalg

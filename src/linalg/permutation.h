@@ -1,0 +1,55 @@
+// Column permutations for the pivoted / pre-pivoted QR paths.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// A permutation p of {0..n-1}. Applying "forward" maps column j of the
+/// source to column j of the destination taken from source column p[j]
+/// (i.e. dst(:,j) = src(:,p[j]) — the LAPACK jpvt convention, so
+/// A * P has columns A(:,p[0]), A(:,p[1]), ...).
+class Permutation {
+ public:
+  Permutation() = default;
+  explicit Permutation(idx n);
+  explicit Permutation(std::vector<idx> map);
+
+  idx size() const { return static_cast<idx>(map_.size()); }
+  idx operator[](idx j) const { return map_[static_cast<std::size_t>(j)]; }
+  idx& operator[](idx j) { return map_[static_cast<std::size_t>(j)]; }
+  const std::vector<idx>& map() const { return map_; }
+
+  void set_identity();
+  bool is_identity() const;
+  /// Number of positions where p[j] != j (a cheap "how much pivoting
+  /// actually happened" diagnostic used by the pre-pivoting study).
+  idx displacement() const;
+
+  /// Inverse permutation q with q[p[j]] = j.
+  Permutation inverse() const;
+
+  /// Validate that map() is a bijection on {0..n-1}; throws otherwise.
+  void check_valid() const;
+
+ private:
+  std::vector<idx> map_;
+};
+
+/// dst(:,j) = src(:,p[j])  — form A*P (gathers columns).
+void apply_permutation(ConstMatrixView src, const Permutation& p,
+                       MatrixView dst);
+
+/// dst(:,p[j]) = src(:,j)  — form A*P^T (scatters columns).
+void apply_permutation_transpose(ConstMatrixView src, const Permutation& p,
+                                 MatrixView dst);
+
+/// In-place x <- P^T x on a vector of values (x[p[j]] receives old x[j]).
+void permute_vector_transpose(const Permutation& p, double* x);
+
+/// In-place gather x <- (x[p[0]], x[p[1]], ...).
+void permute_vector(const Permutation& p, double* x);
+
+}  // namespace dqmc::linalg

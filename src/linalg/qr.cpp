@@ -1,0 +1,96 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/blas1.h"
+
+namespace dqmc::linalg {
+
+namespace {
+
+/// Unblocked panel factorization on `a` (level-2), LAPACK dgeqr2.
+void qr_panel(MatrixView a, double* tau, double* work) {
+  const idx m = a.rows(), n = a.cols();
+  const idx kmax = std::min(m, n);
+  for (idx k = 0; k < kmax; ++k) {
+    tau[k] = make_householder(m - k, &a(k, k));
+    if (k + 1 < n) {
+      apply_householder_left(tau[k], &a(k, k),
+                             a.block(k, k + 1, m - k, n - k - 1), work);
+    }
+  }
+}
+
+}  // namespace
+
+void qr_factor_inplace(MatrixView a, double* tau, idx block) {
+  const idx m = a.rows(), n = a.cols();
+  const idx kmax = std::min(m, n);
+  DQMC_CHECK(block >= 1);
+  std::vector<double> work(static_cast<std::size_t>(std::max<idx>(n, 1)));
+  Matrix t(block, block);
+
+  for (idx j = 0; j < kmax; j += block) {
+    const idx nb = std::min(block, kmax - j);
+    MatrixView panel = a.block(j, j, m - j, nb);
+    qr_panel(panel, tau + j, work.data());
+    if (j + nb < n) {
+      // Trailing update C <- (I - V T V^T)^T C on rows j..m, cols j+nb..n.
+      MatrixView tview = t.block(0, 0, nb, nb);
+      build_t_factor(panel, tau + j, tview);
+      apply_block_reflector_left(panel, tview, Trans::Yes,
+                                 a.block(j, j + nb, m - j, n - j - nb));
+    }
+  }
+}
+
+QRFactorization qr_factor(Matrix a, idx block) {
+  const idx k = std::min(a.rows(), a.cols());
+  QRFactorization f{std::move(a), Vector(k)};
+  qr_factor_inplace(f.factors, f.tau.data(), block);
+  return f;
+}
+
+Matrix qr_r(const QRFactorization& f) {
+  const idx m = f.rows(), n = f.cols();
+  const idx k = std::min(m, n);
+  Matrix r = Matrix::zero(k, n);
+  for (idx j = 0; j < n; ++j) {
+    const idx top = std::min(j + 1, k);
+    for (idx i = 0; i < top; ++i) r(i, j) = f.factors(i, j);
+  }
+  return r;
+}
+
+void qr_apply_q_left(const QRFactorization& f, Trans trans, MatrixView c,
+                     idx block) {
+  const idx m = f.rows();
+  const idx kmax = std::min(m, f.cols());
+  DQMC_CHECK(c.rows() == m);
+  if (kmax == 0 || c.empty()) return;
+
+  Matrix t(block, block);
+  // Q = H_0 H_1 ... H_{k-1}. Q^T C applies panels first-to-last; Q C
+  // last-to-first. Each panel only touches rows j..m.
+  std::vector<idx> starts;
+  for (idx j = 0; j < kmax; j += block) starts.push_back(j);
+  if (trans == Trans::No) std::reverse(starts.begin(), starts.end());
+
+  for (idx j : starts) {
+    const idx nb = std::min(block, kmax - j);
+    ConstMatrixView panel = f.factors.block(j, j, m - j, nb);
+    MatrixView tview = t.block(0, 0, nb, nb);
+    build_t_factor(panel, f.tau.data() + j, tview);
+    apply_block_reflector_left(panel, tview, trans,
+                               c.block(j, 0, m - j, c.cols()));
+  }
+}
+
+Matrix qr_q(const QRFactorization& f, idx block) {
+  Matrix q = Matrix::identity(f.rows());
+  qr_apply_q_left(f, Trans::No, q, block);
+  return q;
+}
+
+}  // namespace dqmc::linalg

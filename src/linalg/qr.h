@@ -1,0 +1,43 @@
+// Blocked Householder QR (DGEQRF / DORGQR / DORMQR analogues).
+//
+// This is the unpivoted, fully level-3 decomposition that the pre-pivoted
+// stratification (Algorithm 3 of the paper) substitutes for QRP: the panel
+// factorization is level-2 but every trailing update is a compact-WY GEMM.
+#pragma once
+
+#include "linalg/householder.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// Result of a QR factorization: `factors` holds R on and above the diagonal
+/// and the Householder vectors below it; `tau` the reflector scalings.
+struct QRFactorization {
+  Matrix factors;
+  Vector tau;
+
+  idx rows() const { return factors.rows(); }
+  idx cols() const { return factors.cols(); }
+};
+
+/// Default panel width for the blocked algorithm.
+inline constexpr idx kQrBlock = 16;
+
+/// Factor A = Q R (A consumed by value; move in to avoid the copy).
+QRFactorization qr_factor(Matrix a, idx block = kQrBlock);
+
+/// In-place variant: on return `a` has the factored layout and tau[i] the
+/// reflector scalings (tau must have min(m,n) entries).
+void qr_factor_inplace(MatrixView a, double* tau, idx block = kQrBlock);
+
+/// Extract the upper-triangular R (min(m,n) x n).
+Matrix qr_r(const QRFactorization& f);
+
+/// Form the m x m orthogonal factor Q explicitly.
+Matrix qr_q(const QRFactorization& f, idx block = kQrBlock);
+
+/// C <- op(Q) * C without forming Q (DORMQR, left side).
+void qr_apply_q_left(const QRFactorization& f, Trans trans, MatrixView c,
+                     idx block = kQrBlock);
+
+}  // namespace dqmc::linalg

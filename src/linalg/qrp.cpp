@@ -1,0 +1,214 @@
+#include "linalg/qrp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "linalg/blas1.h"
+#include "linalg/blas2.h"
+#include "linalg/blas3.h"
+#include "linalg/householder.h"
+#include "linalg/norms.h"
+
+namespace dqmc::linalg {
+
+namespace {
+
+/// Threshold below which a downdated partial norm cannot be trusted
+/// (LAPACK's tol3z).
+const double kTol3z = std::sqrt(std::numeric_limits<double>::epsilon());
+
+}  // namespace
+
+QRPFactorization qrp_factor_unblocked(Matrix a) {
+  const idx m = a.rows(), n = a.cols();
+  const idx kmax = std::min(m, n);
+  QRPFactorization f{std::move(a), Vector(kmax), Permutation(n)};
+  Matrix& A = f.factors;
+
+  // Partial (vn1) and reference (vn2) column norms for the downdate
+  // safeguard, cf. LAPACK dlaqp2.
+  Vector vn1 = column_norms(A);
+  Vector vn2 = vn1;
+  std::vector<double> work(static_cast<std::size_t>(n));
+
+  for (idx k = 0; k < kmax; ++k) {
+    // Pivot: remaining column with the largest partial norm.
+    idx pvt = k;
+    for (idx j = k + 1; j < n; ++j)
+      if (vn1[j] > vn1[pvt]) pvt = j;
+
+    if (pvt != k) {
+      swap(m, A.col(pvt), 1, A.col(k), 1);
+      std::swap(f.jpvt[pvt], f.jpvt[k]);
+      vn1[pvt] = vn1[k];
+      vn2[pvt] = vn2[k];
+    }
+
+    f.tau[k] = make_householder(m - k, &A(k, k));
+    if (k + 1 < n) {
+      apply_householder_left(f.tau[k], &A(k, k),
+                             A.block(k, k + 1, m - k, n - k - 1), work.data());
+    }
+
+    // Downdate the partial norms of the trailing columns; recompute when
+    // cancellation makes the running value untrustworthy.
+    for (idx j = k + 1; j < n; ++j) {
+      if (vn1[j] == 0.0) continue;
+      double temp = std::fabs(A(k, j)) / vn1[j];
+      temp = std::max(0.0, (1.0 + temp) * (1.0 - temp));
+      const double ratio = vn1[j] / vn2[j];
+      const double temp2 = temp * ratio * ratio;
+      if (temp2 <= kTol3z) {
+        if (k + 1 < m) {
+          vn1[j] = nrm2(m - k - 1, &A(k + 1, j));
+          vn2[j] = vn1[j];
+        } else {
+          vn1[j] = 0.0;
+          vn2[j] = 0.0;
+        }
+      } else {
+        vn1[j] *= std::sqrt(temp);
+      }
+    }
+  }
+  return f;
+}
+
+QRPFactorization qrp_factor(Matrix a, idx panel) {
+  DQMC_CHECK_MSG(a.rows() == a.cols(),
+                 "blocked qrp_factor expects a square matrix; use "
+                 "qrp_factor_unblocked for rectangular inputs");
+  DQMC_CHECK(panel >= 1);
+  const idx n = a.rows();
+  QRPFactorization f{std::move(a), Vector(n), Permutation(n)};
+  Matrix& A = f.factors;
+
+  Vector vn1 = column_norms(A);
+  Vector vn2 = vn1;
+
+  // Per-panel auxiliary F (LAPACK dlaqps): row l of F holds the update
+  // coefficients of global column p0+l against the panel's reflectors, so
+  // trailing columns can stay stale until the end-of-panel GEMM.
+  Matrix fmat;            // (n - p0) x nb
+  std::vector<double> w;  // scratch for V^T v
+
+  for (idx p0 = 0; p0 < n; p0 += panel) {
+    const idx nb = std::min(panel, n - p0);
+    const idx ncols = n - p0;  // trailing columns including the panel
+    fmat.resize(ncols, nb);
+    fmat.fill(0.0);
+    w.assign(static_cast<std::size_t>(nb), 0.0);
+
+    for (idx j = 0; j < nb; ++j) {
+      const idx jj = p0 + j;  // global pivot column/row
+
+      // 1) Pivot among the not-yet-factored columns.
+      idx pvt = jj;
+      for (idx c = jj + 1; c < n; ++c)
+        if (vn1[c] > vn1[pvt]) pvt = c;
+      if (pvt != jj) {
+        swap(n, A.col(pvt), 1, A.col(jj), 1);
+        swap(nb, &fmat(pvt - p0, 0), fmat.ld(), &fmat(j, 0), fmat.ld());
+        std::swap(f.jpvt[pvt], f.jpvt[jj]);
+        vn1[pvt] = vn1[jj];
+        vn2[pvt] = vn2[jj];
+      }
+
+      // 2) Bring column jj up to date below the finalized rows: apply the j
+      //    pending reflector tails, A(jj:n, jj) -= V(jj:n, 0:j) F(j, 0:j)^T
+      //    (rows p0..jj-1 were finalized by step 5 of earlier iterations).
+      for (idx l = 0; l < j; ++l) {
+        axpy(n - jj, -fmat(j, l), &A(jj, p0 + l), &A(jj, jj));
+      }
+
+      // 3) Householder annihilating A(jj+1:n, jj).
+      f.tau[jj] = make_householder(n - jj, &A(jj, jj));
+
+      // 4) F(:, j) = tau * (A_stale^T v - F V^T v) over the trailing
+      //    columns (rows j+1.. of F). The A^T v GEMV is the level-2 pivot
+      //    bookkeeping that keeps DGEQP3 below DGEQRF (paper Fig. 1).
+      if (f.tau[jj] != 0.0 && j + 1 < ncols) {
+        const double tau = f.tau[jj];
+        // v = [1, A(jj+1:n, jj)]; w = V(jj:n, 0:j)^T v.
+        for (idx l = 0; l < j; ++l) {
+          w[static_cast<std::size_t>(l)] =
+              A(jj, p0 + l) + dot(n - jj - 1, &A(jj + 1, p0 + l), &A(jj + 1, jj));
+        }
+        for (idx c = j + 1; c < ncols; ++c) {
+          double s = A(jj, p0 + c) +
+                     dot(n - jj - 1, &A(jj + 1, p0 + c), &A(jj + 1, jj));
+          for (idx l = 0; l < j; ++l)
+            s -= fmat(c, l) * w[static_cast<std::size_t>(l)];
+          fmat(c, j) = tau * s;
+        }
+      }
+
+      // 5) Update the pivot row across the trailing columns with all j+1
+      //    reflectors (later reflectors are zero on this row, so the row is
+      //    final after this):
+      //    A(jj, jj+1:n) -= V(jj, 0:j+1) * F(j+1:, 0:j+1)^T,
+      //    with V(jj, j) = 1 (unit diagonal of the reflector).
+      for (idx c = j + 1; c < ncols; ++c) {
+        double upd = fmat(c, j);  // l = j term, V(jj, j) = 1
+        for (idx l = 0; l < j; ++l) upd += A(jj, p0 + l) * fmat(c, l);
+        A(jj, p0 + c) -= upd;
+      }
+
+      // 6) Norm downdates using the (now final) pivot-row entries.
+      for (idx c = jj + 1; c < n; ++c) {
+        if (vn1[c] == 0.0) continue;
+        double temp = std::fabs(A(jj, c)) / vn1[c];
+        temp = std::max(0.0, (1.0 + temp) * (1.0 - temp));
+        const double ratio = vn1[c] / vn2[c];
+        if (temp * ratio * ratio <= kTol3z) {
+          // Recompute from the TRUE column: stale A minus pending updates.
+          const idx rows = n - jj - 1;
+          if (rows <= 0) {
+            vn1[c] = vn2[c] = 0.0;
+            continue;
+          }
+          std::vector<double> col(static_cast<std::size_t>(rows));
+          for (idx r = 0; r < rows; ++r) col[static_cast<std::size_t>(r)] = A(jj + 1 + r, c);
+          for (idx l = 0; l <= j; ++l) {
+            axpy(rows, -fmat(c - p0, l), &A(jj + 1, p0 + l), col.data());
+          }
+          vn1[c] = nrm2(rows, col.data());
+          vn2[c] = vn1[c];
+        } else {
+          vn1[c] *= std::sqrt(temp);
+        }
+      }
+    }
+
+    // End of panel: one GEMM applies every deferred update to the rows
+    // BELOW the panel (rows p0..p0+nb of the trailing columns were already
+    // finalized row-by-row in step 5):
+    // A(p0+nb:n, p0+nb:n) -= V(p0+nb:n, 0:nb) * F(nb:, 0:nb)^T.
+    const idx rest = n - p0 - nb;
+    if (rest > 0) {
+      gemm(Trans::No, Trans::Yes, -1.0, A.block(p0 + nb, p0, rest, nb),
+           fmat.block(nb, 0, rest, nb), 1.0,
+           A.block(p0 + nb, p0 + nb, rest, rest));
+    }
+  }
+  return f;
+}
+
+Permutation prepivot_permutation(ConstMatrixView a) {
+  Vector norms = column_norms(a);
+  std::vector<idx> order(static_cast<std::size_t>(a.cols()));
+  std::iota(order.begin(), order.end(), idx{0});
+  std::stable_sort(order.begin(), order.end(), [&](idx x, idx y) {
+    return norms[x] > norms[y];
+  });
+  return Permutation(std::move(order));
+}
+
+void gather_columns(ConstMatrixView a, const Permutation& p, MatrixView out) {
+  apply_permutation(a, p, out);
+}
+
+}  // namespace dqmc::linalg

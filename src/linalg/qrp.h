@@ -1,0 +1,53 @@
+// QR with column pivoting (DGEQP3/DGEQP2 analogue) and the pre-pivoting
+// permutation of the paper's Algorithm 3.
+//
+// qrp_factor is the numerically stabilizing baseline of classic
+// stratification: at every step it moves the remaining column of largest
+// norm to the front, producing |R(0,0)| >= |R(1,1)| >= ... . The pivot
+// search needs up-to-date partial column norms — the level-2 serialization
+// the paper identifies as the multicore bottleneck.
+//
+// prepivot_permutation is the paper's replacement: ONE descending sort of
+// the full column norms before an unpivoted blocked QR. It is exact when the
+// matrix is already column-graded, which the stratification loop
+// progressively enforces.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "linalg/permutation.h"
+#include "linalg/qr.h"
+
+namespace dqmc::linalg {
+
+/// Result of a pivoted QR: A * P = Q * R with |R| diagonal non-increasing.
+/// `jpvt` follows the Permutation convention: (A*P)(:,j) = A(:, jpvt[j]).
+struct QRPFactorization {
+  Matrix factors;  ///< R on/above the diagonal, Householder v's below
+  Vector tau;
+  Permutation jpvt;
+
+  idx rows() const { return factors.rows(); }
+  idx cols() const { return factors.cols(); }
+};
+
+/// Factor A*P = Q*R with greedy column pivoting, blocked DGEQP3-style:
+/// pivot selection and the F-matrix updates are level-2 (the unavoidable
+/// serialization the paper identifies), but the bulk trailing update is one
+/// GEMM per panel (LAPACK dlaqps). Square matrices only.
+QRPFactorization qrp_factor(Matrix a, idx panel = 32);
+
+/// Fully unblocked variant (LAPACK dgeqp2): every trailing update is
+/// level-2. Kept as the conservative reference implementation; handles
+/// rectangular matrices.
+QRPFactorization qrp_factor_unblocked(Matrix a);
+
+/// The pre-pivoting step of Algorithm 3: permutation sorting the columns of
+/// `a` by descending 2-norm (stable, so already-graded matrices keep their
+/// order). Column norms are computed with the threaded kernel.
+Permutation prepivot_permutation(ConstMatrixView a);
+
+/// Convenience used by the stratification engine: gather columns of `a`
+/// by `p` into `out` (out = a * P).
+void gather_columns(ConstMatrixView a, const Permutation& p, MatrixView out);
+
+}  // namespace dqmc::linalg

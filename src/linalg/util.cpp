@@ -1,0 +1,92 @@
+#include "linalg/util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "linalg/diag.h"
+#include "linalg/qr.h"
+
+namespace dqmc::linalg {
+
+Matrix transpose(ConstMatrixView a) {
+  Matrix t(a.cols(), a.rows());
+  // Blocked to keep both the read and write streams cache-resident.
+  constexpr idx kB = 64;
+  for (idx jb = 0; jb < a.cols(); jb += kB) {
+    for (idx ib = 0; ib < a.rows(); ib += kB) {
+      const idx jmax = std::min(jb + kB, a.cols());
+      const idx imax = std::min(ib + kB, a.rows());
+      for (idx j = jb; j < jmax; ++j)
+        for (idx i = ib; i < imax; ++i) t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+Matrix add(ConstMatrixView a, ConstMatrixView b, double alpha) {
+  DQMC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (idx j = 0; j < a.cols(); ++j)
+    for (idx i = 0; i < a.rows(); ++i) c(i, j) = a(i, j) + alpha * b(i, j);
+  return c;
+}
+
+void add_identity(MatrixView a, double alpha) {
+  DQMC_CHECK(a.rows() == a.cols());
+  for (idx i = 0; i < a.rows(); ++i) a(i, i) += alpha;
+}
+
+std::uint64_t MatrixRng::next_u64() {
+  // splitmix64: tiny, high-quality, and reproducible everywhere.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double MatrixRng::uniform(double lo, double hi) {
+  const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+double MatrixRng::normal() {
+  // Box-Muller; discards the second variate for simplicity.
+  double u1 = uniform(), u2 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Matrix MatrixRng::uniform_matrix(idx rows, idx cols) {
+  Matrix m(rows, cols);
+  for (idx j = 0; j < cols; ++j)
+    for (idx i = 0; i < rows; ++i) m(i, j) = uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix MatrixRng::gaussian_matrix(idx rows, idx cols) {
+  Matrix m(rows, cols);
+  for (idx j = 0; j < cols; ++j)
+    for (idx i = 0; i < rows; ++i) m(i, j) = normal();
+  return m;
+}
+
+Matrix MatrixRng::orthogonal_matrix(idx n) {
+  return qr_q(qr_factor(gaussian_matrix(n, n)));
+}
+
+Matrix MatrixRng::graded_matrix(idx n, double grade) {
+  Matrix m = gaussian_matrix(n, n);
+  Vector scales(n);
+  double s = 1.0;
+  for (idx j = 0; j < n; ++j) {
+    scales[j] = s;
+    s *= grade;
+  }
+  scale_cols(scales.data(), m);
+  return m;
+}
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,45 @@
+// Small dense utilities shared by tests, benches, and the DQMC engine.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// Out-of-place transpose.
+Matrix transpose(ConstMatrixView a);
+
+/// C = A + alpha * B (fresh matrix).
+Matrix add(ConstMatrixView a, ConstMatrixView b, double alpha = 1.0);
+
+/// A <- A + alpha * I (square).
+void add_identity(MatrixView a, double alpha = 1.0);
+
+/// Deterministic pseudo-random test matrices (splitmix64-based, so results
+/// are identical across platforms and independent of std:: distributions).
+class MatrixRng {
+ public:
+  explicit MatrixRng(std::uint64_t seed) : state_(seed) {}
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+  /// Standard normal (Box-Muller on the uniform stream).
+  double normal();
+
+  /// Matrix with iid uniform [-1, 1) entries.
+  Matrix uniform_matrix(idx rows, idx cols);
+  /// Matrix with iid standard normal entries.
+  Matrix gaussian_matrix(idx rows, idx cols);
+  /// Random orthogonal matrix (QR of a Gaussian matrix).
+  Matrix orthogonal_matrix(idx n);
+  /// Column-graded matrix: column j scaled by `grade^j` — the shape the
+  /// stratification loop produces and pre-pivoting exploits.
+  Matrix graded_matrix(idx n, double grade);
+
+ private:
+  std::uint64_t next_u64();
+  std::uint64_t state_;
+};
+
+}  // namespace dqmc::linalg

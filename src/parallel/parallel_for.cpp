@@ -1,0 +1,75 @@
+#include "parallel/parallel_for.h"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "parallel/topology.h"
+
+namespace dqmc::par {
+
+namespace detail {
+
+namespace {
+/// Number of workers a loop of `n` iterations should use given the options.
+int plan_workers(index_t n, const ForOptions& opt) {
+  int workers = opt.max_threads > 0 ? std::min(opt.max_threads, num_threads())
+                                    : num_threads();
+  const index_t grain = std::max<index_t>(1, opt.grain);
+  return static_cast<int>(
+      std::min<index_t>(workers, std::max<index_t>(1, n / grain)));
+}
+}  // namespace
+
+void parallel_for_impl(index_t begin, index_t end, const ForOptions& opt,
+                       const std::function<void(index_t, index_t)>& body) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+
+  const int workers = plan_workers(n, opt);
+  if (workers <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  // Static partition into `workers` nearly-equal chunks. OpenMP reuses its
+  // worker pool across regions, so repeated small launches stay cheap.
+  const index_t chunk = (n + workers - 1) / workers;
+#pragma omp parallel num_threads(workers)
+  {
+    const index_t t = omp_get_thread_num();
+    const index_t lo = begin + t * chunk;
+    const index_t hi = std::min(end, lo + chunk);
+    if (lo < hi) body(lo, hi);
+  }
+}
+
+}  // namespace detail
+
+double parallel_sum(index_t begin, index_t end,
+                    const std::function<double(index_t)>& term,
+                    ForOptions opt) {
+  DQMC_CHECK(begin <= end);
+  const index_t n = end - begin;
+  if (n <= 0) return 0.0;
+
+  const int workers = detail::plan_workers(n, opt);
+  if (workers <= 1) {
+    double acc = 0.0;
+    for (index_t i = begin; i < end; ++i) acc += term(i);
+    return acc;
+  }
+
+  double total = 0.0;
+  const index_t chunk = (n + workers - 1) / workers;
+#pragma omp parallel num_threads(workers) reduction(+ : total)
+  {
+    const index_t t = omp_get_thread_num();
+    const index_t lo = begin + t * chunk;
+    const index_t hi = std::min(end, lo + chunk);
+    for (index_t i = lo; i < hi; ++i) total += term(i);
+  }
+  return total;
+}
+
+}  // namespace dqmc::par

@@ -1,0 +1,60 @@
+// Data-parallel loop primitives.
+//
+// All fine-grain parallelism in the library (row/column scalings, column
+// norms, packing) goes through parallel_for, mirroring the paper's OpenMP
+// parallelization of level-2 fringe operations (Section IV-B). A grain-size
+// heuristic keeps tiny problems serial: for the small matrices typical of
+// DQMC (N <= 1024) thread fork/join overhead easily exceeds the work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/error.h"
+
+namespace dqmc::par {
+
+using index_t = std::int64_t;
+
+/// Tuning knobs for a parallel loop.
+struct ForOptions {
+  /// Minimum number of iterations that justifies spawning one extra worker.
+  /// A loop with fewer than 2*grain iterations runs serially.
+  index_t grain = 1024;
+  /// Cap on the number of workers (0 = library default, see topology.h).
+  int max_threads = 0;
+};
+
+namespace detail {
+void parallel_for_impl(index_t begin, index_t end, const ForOptions& opt,
+                       const std::function<void(index_t, index_t)>& body);
+}
+
+/// Run `body(i)` for i in [begin, end), potentially on multiple threads.
+/// `body` must be safe to invoke concurrently for distinct i.
+template <class Body>
+void parallel_for(index_t begin, index_t end, Body&& body,
+                  ForOptions opt = {}) {
+  DQMC_CHECK(begin <= end);
+  detail::parallel_for_impl(begin, end, opt,
+                            [&body](index_t lo, index_t hi) {
+                              for (index_t i = lo; i < hi; ++i) body(i);
+                            });
+}
+
+/// Run `body(lo, hi)` on contiguous chunks covering [begin, end).
+/// Chunked variant: lets the body amortize per-chunk setup (e.g. pointers).
+template <class Body>
+void parallel_for_chunks(index_t begin, index_t end, Body&& body,
+                         ForOptions opt = {}) {
+  DQMC_CHECK(begin <= end);
+  detail::parallel_for_impl(begin, end, opt,
+                            [&body](index_t lo, index_t hi) { body(lo, hi); });
+}
+
+/// Parallel reduction: sums body(i) over [begin, end).
+double parallel_sum(index_t begin, index_t end,
+                    const std::function<double(index_t)>& term,
+                    ForOptions opt = {});
+
+}  // namespace dqmc::par

@@ -1,0 +1,63 @@
+// A small fixed-size thread pool.
+//
+// The dense kernels use OpenMP directly (parallel_for.h); this pool serves
+// components that need *persistent* asynchronous workers with futures — most
+// importantly the simulated GPU device, whose single worker thread models the
+// device executing a command stream asynchronously from the host.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dqmc::par {
+
+/// Fixed-size FIFO thread pool. Tasks are executed in submission order when
+/// the pool has a single thread (the gpusim "stream" relies on this).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <class F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      DQMC_CHECK_MSG(!stopping_, "submit() on a stopped ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  int active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dqmc::par

@@ -1,0 +1,34 @@
+#include "parallel/topology.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/env.h"
+
+namespace dqmc::par {
+
+namespace {
+std::atomic<int> g_override{0};
+
+int default_threads() {
+  const long env = env_long("DQMC_THREADS", 0);
+  if (env > 0) return static_cast<int>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+}  // namespace
+
+int num_threads() {
+  const int o = g_override.load(std::memory_order_relaxed);
+  return o > 0 ? o : default_threads();
+}
+
+void set_num_threads(int n) {
+  g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+  omp_set_num_threads(num_threads());
+}
+
+}  // namespace dqmc::par

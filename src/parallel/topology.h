@@ -1,0 +1,20 @@
+// Thread-count policy for the whole library.
+//
+// The paper's multicore results depend on using all cores of the two-socket
+// Westmere node; here the worker count defaults to the hardware concurrency
+// and can be overridden globally (DQMC_THREADS env var or set_num_threads),
+// which the bench harness uses for thread-scaling sweeps.
+#pragma once
+
+namespace dqmc::par {
+
+/// Number of worker threads the library will use for data-parallel regions.
+/// Resolution order: set_num_threads() override > DQMC_THREADS env var >
+/// std::thread::hardware_concurrency() (min 1).
+int num_threads();
+
+/// Override the worker count for subsequent parallel regions (0 = reset to
+/// the default policy). Also applied to OpenMP via omp_set_num_threads.
+void set_num_threads(int n);
+
+}  // namespace dqmc::par

@@ -1,0 +1,60 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dqmc::cli {
+namespace {
+
+Args make(std::initializer_list<const char*> argv,
+          std::vector<std::string> allowed = {}) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data(), std::move(allowed));
+}
+
+TEST(Args, ParsesSpaceAndEqualsSyntax) {
+  Args a = make({"prog", "--l", "8", "--beta=5.5"});
+  EXPECT_EQ(a.get_long("l", 0), 8);
+  EXPECT_DOUBLE_EQ(a.get_double("beta", 0.0), 5.5);
+  EXPECT_EQ(a.program(), "prog");
+}
+
+TEST(Args, BareFlagIsTrue) {
+  Args a = make({"prog", "--verbose", "--l", "4"});
+  EXPECT_TRUE(a.get_flag("verbose"));
+  EXPECT_FALSE(a.get_flag("quiet"));
+  EXPECT_TRUE(a.get_flag("quiet", true));
+  EXPECT_EQ(a.get_long("l", 0), 4);
+}
+
+TEST(Args, TrailingBareFlag) {
+  Args a = make({"prog", "--progress"});
+  EXPECT_TRUE(a.get_flag("progress"));
+}
+
+TEST(Args, UnknownOptionThrowsWhenAllowlisted) {
+  EXPECT_THROW(make({"prog", "--bogus", "1"}, {"l", "beta"}), InvalidArgument);
+  EXPECT_NO_THROW(make({"prog", "--l", "2"}, {"l", "beta"}));
+}
+
+TEST(Args, NonOptionTokenThrows) {
+  EXPECT_THROW(make({"prog", "positional"}), InvalidArgument);
+}
+
+TEST(Args, TypeErrorsThrow) {
+  Args a = make({"prog", "--l", "abc"});
+  EXPECT_THROW(a.get_long("l", 0), InvalidArgument);
+  EXPECT_THROW(a.get_double("l", 0.0), InvalidArgument);
+}
+
+TEST(Args, FallbacksWhenMissing) {
+  Args a = make({"prog"});
+  EXPECT_EQ(a.get("name", "dflt"), "dflt");
+  EXPECT_EQ(a.get_long("n", 3), 3);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.5), 1.5);
+  EXPECT_FALSE(a.has("n"));
+}
+
+}  // namespace
+}  // namespace dqmc::cli

@@ -1,0 +1,99 @@
+#include "cli/config_file.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dqmc::cli {
+namespace {
+
+TEST(ConfigFile, ParsesKeysValuesAndComments) {
+  ConfigFile cfg = ConfigFile::parse(
+      "# a comment line\n"
+      "lx = 8\n"
+      "beta = 5.5   # trailing comment\n"
+      "\n"
+      "algorithm = qrp\n");
+  EXPECT_TRUE(cfg.has("lx"));
+  EXPECT_EQ(cfg.get_long("lx", 0), 8);
+  EXPECT_DOUBLE_EQ(cfg.get_double("beta", 0.0), 5.5);
+  EXPECT_EQ(cfg.get("algorithm", ""), "qrp");
+  EXPECT_FALSE(cfg.has("missing"));
+  EXPECT_EQ(cfg.get_long("missing", 42), 42);
+}
+
+TEST(ConfigFile, LaterDuplicatesWin) {
+  ConfigFile cfg = ConfigFile::parse("u = 2\nu = 6\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("u", 0.0), 6.0);
+}
+
+TEST(ConfigFile, MalformedLinesThrow) {
+  EXPECT_THROW(ConfigFile::parse("just words\n"), InvalidArgument);
+  EXPECT_THROW(ConfigFile::parse("= value\n"), InvalidArgument);
+}
+
+TEST(ConfigFile, TypeMismatchesThrow) {
+  ConfigFile cfg = ConfigFile::parse("lx = eight\n");
+  EXPECT_THROW(cfg.get_long("lx", 0), InvalidArgument);
+  EXPECT_THROW(cfg.get_double("lx", 0.0), InvalidArgument);
+}
+
+TEST(SimulationConfigFrom, MapsAllKeys) {
+  ConfigFile cfg = ConfigFile::parse(
+      "lx = 6\nly = 4\nlayers = 2\n"
+      "t = 1.5\ntperp = 0.5\nu = 3.0\nmu = 0.25\nbeta = 7.0\nslices = 70\n"
+      "warmup = 11\nsweeps = 22\nmeasure_interval = 2\n"
+      "measure_slice_interval = 3\nbins = 8\nseed = 77\n"
+      "algorithm = qrp\ncluster_size = 7\ndelay_rank = 16\n"
+      "gpu_clustering = 1\ngpu_wrapping = 0\n");
+  core::SimulationConfig sim = simulation_config_from(cfg);
+  EXPECT_EQ(sim.lx, 6);
+  EXPECT_EQ(sim.ly, 4);
+  EXPECT_EQ(sim.layers, 2);
+  EXPECT_DOUBLE_EQ(sim.model.t, 1.5);
+  EXPECT_DOUBLE_EQ(sim.model.t_perp, 0.5);
+  EXPECT_DOUBLE_EQ(sim.model.u, 3.0);
+  EXPECT_DOUBLE_EQ(sim.model.mu, 0.25);
+  EXPECT_DOUBLE_EQ(sim.model.beta, 7.0);
+  EXPECT_EQ(sim.model.slices, 70);
+  EXPECT_EQ(sim.warmup_sweeps, 11);
+  EXPECT_EQ(sim.measurement_sweeps, 22);
+  EXPECT_EQ(sim.measure_interval, 2);
+  EXPECT_EQ(sim.measure_slice_interval, 3);
+  EXPECT_EQ(sim.bins, 8);
+  EXPECT_EQ(sim.seed, 77u);
+  EXPECT_EQ(sim.engine.algorithm, core::StratAlgorithm::kQRP);
+  EXPECT_EQ(sim.engine.cluster_size, 7);
+  EXPECT_EQ(sim.engine.delay_rank, 16);
+  EXPECT_TRUE(sim.engine.gpu_clustering);
+  EXPECT_FALSE(sim.engine.gpu_wrapping);
+}
+
+TEST(SimulationConfigFrom, QuestAliasesWork) {
+  ConfigFile cfg = ConfigFile::parse("L = 80\nnwarm = 5\nnpass = 9\nnorth = 12\n");
+  core::SimulationConfig sim = simulation_config_from(cfg);
+  EXPECT_EQ(sim.model.slices, 80);
+  EXPECT_EQ(sim.warmup_sweeps, 5);
+  EXPECT_EQ(sim.measurement_sweeps, 9);
+  EXPECT_EQ(sim.engine.cluster_size, 12);
+}
+
+TEST(SimulationConfigFrom, UnknownKeyThrows) {
+  ConfigFile cfg = ConfigFile::parse("banana = 3\n");
+  EXPECT_THROW(simulation_config_from(cfg), InvalidArgument);
+}
+
+TEST(SimulationConfigFrom, BadAlgorithmThrows) {
+  ConfigFile cfg = ConfigFile::parse("algorithm = magic\n");
+  EXPECT_THROW(simulation_config_from(cfg), InvalidArgument);
+}
+
+TEST(SimulationConfigFrom, DefaultsAreSensible) {
+  core::SimulationConfig sim = simulation_config_from(ConfigFile::parse(""));
+  EXPECT_EQ(sim.lx, 4);
+  EXPECT_EQ(sim.ly, 4);  // ly defaults to lx
+  EXPECT_EQ(sim.engine.algorithm, core::StratAlgorithm::kPrePivot);
+}
+
+}  // namespace
+}  // namespace dqmc::cli

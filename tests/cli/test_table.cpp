@@ -1,0 +1,61 @@
+#include "cli/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dqmc::cli {
+namespace {
+
+TEST(Table, AlignsColumnsAndSeparates) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2.5"});
+  const std::string s = t.str();
+  // Header, separator, two rows.
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("------  -----"), std::string::npos);
+  EXPECT_NE(s.find("longer  2.5"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(Table, TooWideRowThrows) {
+  Table t({"only"});
+  EXPECT_THROW(t.add_row({"1", "2"}), InvalidArgument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(Table::pm(1.0, 0.25, 2), "1.00 +- 0.25");
+}
+
+TEST(AsciiHeatmap, MapsExtremesToRampEnds) {
+  // 1x2 grid: min -> ' ', max -> '@'.
+  std::string s = ascii_heatmap({0.0, 1.0}, 1, 2);
+  EXPECT_EQ(s.substr(0, 4), "  @@");
+}
+
+TEST(AsciiHeatmap, SymmetricModeCentersZero) {
+  // Values -1, 0, 1 with symmetric scaling: middle maps to mid-ramp.
+  std::string s = ascii_heatmap({-1.0, 0.0, 1.0}, 1, 3);
+  EXPECT_EQ(s[0], ' ');
+  EXPECT_EQ(s[4], '@');
+}
+
+TEST(AsciiHeatmap, ConstantGridDoesNotDivideByZero) {
+  EXPECT_NO_THROW(ascii_heatmap({2.0, 2.0, 2.0, 2.0}, 2, 2));
+}
+
+TEST(AsciiHeatmap, SizeMismatchThrows) {
+  EXPECT_THROW(ascii_heatmap({1.0, 2.0}, 2, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::cli

@@ -1,0 +1,55 @@
+#include "common/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace dqmc {
+namespace {
+
+TEST(Aligned, MallocReturnsAlignedPointer) {
+  for (std::size_t bytes : {1u, 7u, 64u, 100u, 4096u}) {
+    void* p = aligned_malloc(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kAlignment, 0u);
+    aligned_free(p);
+  }
+}
+
+TEST(Aligned, ZeroBytesYieldsNull) {
+  EXPECT_EQ(aligned_malloc(0), nullptr);
+  aligned_free(nullptr);  // must be a no-op
+}
+
+TEST(AlignedBuffer, SizeAndAccess) {
+  AlignedBuffer<double> buf(10);
+  EXPECT_EQ(buf.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) buf[i] = static_cast<double>(i);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(buf[i], static_cast<double>(i));
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<double> a(4);
+  a[0] = 42.0;
+  double* raw = a.data();
+  AlignedBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b[0], 42.0);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+
+  AlignedBuffer<double> c(1);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), raw);
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(AlignedBuffer, DefaultConstructedIsEmpty) {
+  AlignedBuffer<double> buf;
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dqmc

@@ -1,0 +1,62 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace dqmc {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetVar(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    names_.push_back(name);
+  }
+  void TearDown() override {
+    for (const char* n : names_) ::unsetenv(n);
+  }
+  std::vector<const char*> names_;
+};
+
+TEST_F(EnvTest, StringUnsetIsNullopt) {
+  ::unsetenv("DQMC_TEST_UNSET");
+  EXPECT_FALSE(env_string("DQMC_TEST_UNSET").has_value());
+}
+
+TEST_F(EnvTest, StringEmptyIsNullopt) {
+  SetVar("DQMC_TEST_EMPTY", "");
+  EXPECT_FALSE(env_string("DQMC_TEST_EMPTY").has_value());
+}
+
+TEST_F(EnvTest, LongParsesAndFallsBack) {
+  SetVar("DQMC_TEST_LONG", "42");
+  EXPECT_EQ(env_long("DQMC_TEST_LONG", -1), 42);
+  SetVar("DQMC_TEST_LONG", "not a number");
+  EXPECT_EQ(env_long("DQMC_TEST_LONG", -1), -1);
+  SetVar("DQMC_TEST_LONG", "12abc");  // trailing junk => fallback
+  EXPECT_EQ(env_long("DQMC_TEST_LONG", -1), -1);
+}
+
+TEST_F(EnvTest, DoubleParsesAndFallsBack) {
+  SetVar("DQMC_TEST_DBL", "2.5");
+  EXPECT_DOUBLE_EQ(env_double("DQMC_TEST_DBL", 0.0), 2.5);
+  SetVar("DQMC_TEST_DBL", "x");
+  EXPECT_DOUBLE_EQ(env_double("DQMC_TEST_DBL", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, FlagVariants) {
+  for (const char* v : {"1", "true", "YES", "On"}) {
+    SetVar("DQMC_TEST_FLAG", v);
+    EXPECT_TRUE(env_flag("DQMC_TEST_FLAG")) << v;
+  }
+  for (const char* v : {"0", "false", "no", "off", "banana"}) {
+    SetVar("DQMC_TEST_FLAG", v);
+    EXPECT_FALSE(env_flag("DQMC_TEST_FLAG")) << v;
+  }
+  ::unsetenv("DQMC_TEST_FLAG");
+  EXPECT_TRUE(env_flag("DQMC_TEST_FLAG", true));
+}
+
+}  // namespace
+}  // namespace dqmc

@@ -1,0 +1,74 @@
+#include "common/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dqmc {
+namespace {
+
+TEST(Profiler, AccumulatesSecondsAndCalls) {
+  Profiler p;
+  p.add(Phase::kStratification, 1.0);
+  p.add(Phase::kStratification, 2.0);
+  p.add(Phase::kWrapping, 1.0);
+  EXPECT_DOUBLE_EQ(p.seconds(Phase::kStratification), 3.0);
+  EXPECT_EQ(p.calls(Phase::kStratification), 2u);
+  EXPECT_DOUBLE_EQ(p.total_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(p.percent(Phase::kStratification), 75.0);
+  EXPECT_DOUBLE_EQ(p.percent(Phase::kWrapping), 25.0);
+}
+
+TEST(Profiler, EmptyProfilerReportsZero) {
+  Profiler p;
+  EXPECT_DOUBLE_EQ(p.total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(p.percent(Phase::kMeasurement), 0.0);
+}
+
+TEST(Profiler, ResetClearsState) {
+  Profiler p;
+  p.add(Phase::kClustering, 5.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.total_seconds(), 0.0);
+  EXPECT_EQ(p.calls(Phase::kClustering), 0u);
+}
+
+TEST(Profiler, ScopedPhaseRecordsElapsedTime) {
+  Profiler p;
+  {
+    ScopedPhase scope(&p, Phase::kMeasurement);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(p.seconds(Phase::kMeasurement), 0.005);
+  EXPECT_EQ(p.calls(Phase::kMeasurement), 1u);
+}
+
+TEST(Profiler, NullProfilerScopedPhaseIsSafe) {
+  ScopedPhase scope(nullptr, Phase::kOther);  // must not crash
+}
+
+TEST(Profiler, ReportContainsPaperPhaseNames) {
+  Profiler p;
+  p.add(Phase::kDelayedUpdate, 1.0);
+  const std::string r = p.report();
+  EXPECT_NE(r.find("Delayed rank-1 update"), std::string::npos);
+  EXPECT_NE(r.find("Stratification"), std::string::npos);
+  EXPECT_NE(r.find("Physical meas."), std::string::npos);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(w.seconds(), 0.0);
+  w.reset();
+  EXPECT_LT(w.seconds(), 0.05);
+}
+
+TEST(Stopwatch, FormatSeconds) {
+  EXPECT_EQ(format_seconds(2.0), "2.00 s");
+  EXPECT_EQ(format_seconds(0.002), "2.00 ms");
+  EXPECT_EQ(format_seconds(2e-6), "2 us");
+}
+
+}  // namespace
+}  // namespace dqmc

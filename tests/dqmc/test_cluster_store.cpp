@@ -1,0 +1,122 @@
+#include "dqmc/cluster_store.h"
+
+#include <gtest/gtest.h>
+
+#include "dqmc/rng.h"
+#include "linalg/norms.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::core {
+namespace {
+
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using linalg::Matrix;
+
+struct ClusterFixture : ::testing::Test {
+  ClusterFixture()
+      : lat(4, 4), factory(lat, params()), field(12, 16) {
+    Rng rng(571);
+    field.randomize(rng);
+  }
+  static ModelParams params() {
+    ModelParams p;
+    p.u = 4.0;
+    p.beta = 3.0;
+    p.slices = 12;
+    return p;
+  }
+  Lattice lat;
+  hubbard::BMatrixFactory factory;
+  HSField field;
+};
+
+TEST_F(ClusterFixture, GeometryWithEvenDivision) {
+  ClusterStore store(factory, field, 4);
+  EXPECT_EQ(store.num_clusters(), 3);
+  EXPECT_EQ(store.cluster_begin(1), 4);
+  EXPECT_EQ(store.cluster_end(1), 8);
+  EXPECT_EQ(store.cluster_of(7), 1);
+}
+
+TEST_F(ClusterFixture, GeometryWithRaggedTail) {
+  ClusterStore store(factory, field, 5);
+  EXPECT_EQ(store.num_clusters(), 3);
+  EXPECT_EQ(store.cluster_end(2), 12);  // last cluster has 2 slices
+  EXPECT_EQ(store.cluster_begin(2), 10);
+}
+
+TEST_F(ClusterFixture, ClusterEqualsExplicitBProduct) {
+  ClusterStore store(factory, field, 4);
+  store.rebuild_all();
+  for (idx c = 0; c < 3; ++c) {
+    Matrix expected = factory.make_b(field.slice(store.cluster_begin(c)),
+                                     hubbard::Spin::Up);
+    for (idx l = store.cluster_begin(c) + 1; l < store.cluster_end(c); ++l) {
+      expected = testing::reference_matmul(
+          factory.make_b(field.slice(l), hubbard::Spin::Up), expected);
+    }
+    EXPECT_LE(linalg::relative_difference(store.cluster(hubbard::Spin::Up, c),
+                                          expected),
+              1e-12)
+        << "cluster " << c;
+  }
+}
+
+TEST_F(ClusterFixture, RotationOrdersClustersCyclically) {
+  ClusterStore store(factory, field, 4);
+  store.rebuild_all();
+  auto rot = store.rotation(hubbard::Spin::Down, 1);
+  ASSERT_EQ(rot.size(), 3u);
+  EXPECT_EQ(rot[0], &store.cluster(hubbard::Spin::Down, 1));
+  EXPECT_EQ(rot[1], &store.cluster(hubbard::Spin::Down, 2));
+  EXPECT_EQ(rot[2], &store.cluster(hubbard::Spin::Down, 0));
+}
+
+TEST_F(ClusterFixture, RebuildPicksUpFieldChanges) {
+  ClusterStore store(factory, field, 4);
+  store.rebuild_all();
+  Matrix before = store.cluster(hubbard::Spin::Up, 0);
+  field.flip(1, 7);  // slice 1 lives in cluster 0
+  store.rebuild(0);
+  Matrix after = store.cluster(hubbard::Spin::Up, 0);
+  EXPECT_GT(linalg::relative_difference(after, before), 1e-8);
+  // Other clusters untouched by the rebuild of cluster 0.
+  field.flip(1, 7);  // restore
+}
+
+TEST_F(ClusterFixture, GpuPathMatchesCpuPath) {
+  ClusterStore cpu(factory, field, 4);
+  cpu.rebuild_all();
+
+  gpu::Device device;
+  gpu::GpuBChain chain(device, factory.b(), factory.b_inv());
+  ClusterStore gpu_store(factory, field, 4);
+  gpu_store.attach_gpu(&chain);
+  EXPECT_TRUE(gpu_store.gpu_attached());
+  gpu_store.rebuild_all();
+
+  for (idx c = 0; c < 3; ++c) {
+    for (hubbard::Spin s : hubbard::kSpins) {
+      EXPECT_LE(linalg::relative_difference(gpu_store.cluster(s, c),
+                                            cpu.cluster(s, c)),
+                1e-13);
+    }
+  }
+}
+
+TEST_F(ClusterFixture, ProfilerCreditsClusteringPhase) {
+  ClusterStore store(factory, field, 4);
+  Profiler prof;
+  store.rebuild_all(&prof);
+  EXPECT_GT(prof.seconds(Phase::kClustering), 0.0);
+  EXPECT_EQ(prof.calls(Phase::kClustering), 3u);
+}
+
+TEST_F(ClusterFixture, UnbuiltRotationThrows) {
+  ClusterStore store(factory, field, 4);
+  EXPECT_THROW(store.rotation(hubbard::Spin::Up, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::core

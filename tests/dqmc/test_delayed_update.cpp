@@ -1,0 +1,125 @@
+#include "dqmc/delayed_update.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::core {
+namespace {
+
+using linalg::MatrixRng;
+
+/// Reference: apply the rank-1 update G <- G - coeff * (G e_i)(e_i^T(I-G))
+/// eagerly on a dense matrix.
+void eager_update(Matrix& g, double coeff, idx i) {
+  const idx n = g.rows();
+  linalg::Vector u(n), w(n);
+  for (idx r = 0; r < n; ++r) u[r] = g(r, i);
+  for (idx j = 0; j < n; ++j) w[j] = ((i == j) ? 1.0 : 0.0) - g(i, j);
+  for (idx j = 0; j < n; ++j)
+    for (idx r = 0; r < n; ++r) g(r, j) -= coeff * u[r] * w[j];
+}
+
+TEST(DelayedGreens, SingleAcceptMatchesEagerUpdate) {
+  MatrixRng rng(301);
+  Matrix g = rng.uniform_matrix(10, 10);
+  Matrix ref = g;
+  DelayedGreens d(10, 4);
+  d.reset(g);
+  d.accept(0.7, 3);
+  eager_update(ref, 0.7, 3);
+  EXPECT_MATRIX_NEAR(d.flush(), ref, 1e-13);
+}
+
+TEST(DelayedGreens, ManyAcceptsAcrossFlushesMatchEager) {
+  MatrixRng rng(303);
+  Matrix g = rng.uniform_matrix(12, 12);
+  Matrix ref = g;
+  DelayedGreens d(12, 3);  // forces several auto-flushes
+  d.reset(g);
+  const idx sites[] = {0, 5, 5, 11, 2, 7, 3, 3, 9};
+  double coeff = 0.3;
+  for (idx s : sites) {
+    d.accept(coeff, s);
+    eager_update(ref, coeff, s);
+    coeff = -coeff * 0.9;
+  }
+  EXPECT_MATRIX_NEAR(d.flush(), ref, 1e-11);
+}
+
+TEST(DelayedGreens, DiagTracksPendingCorrections) {
+  MatrixRng rng(305);
+  Matrix g = rng.uniform_matrix(8, 8);
+  Matrix ref = g;
+  DelayedGreens d(8, 16);
+  d.reset(g);
+  d.accept(0.5, 2);
+  d.accept(-0.25, 6);
+  eager_update(ref, 0.5, 2);
+  eager_update(ref, -0.25, 6);
+  ASSERT_EQ(d.pending(), 2);
+  for (idx i = 0; i < 8; ++i) EXPECT_NEAR(d.diag(i), ref(i, i), 1e-13) << i;
+}
+
+TEST(DelayedGreens, EntryTracksPendingCorrections) {
+  MatrixRng rng(307);
+  Matrix g = rng.uniform_matrix(6, 6);
+  Matrix ref = g;
+  DelayedGreens d(6, 16);
+  d.reset(g);
+  d.accept(0.4, 1);
+  eager_update(ref, 0.4, 1);
+  for (idx j = 0; j < 6; ++j)
+    for (idx i = 0; i < 6; ++i)
+      EXPECT_NEAR(d.entry(i, j), ref(i, j), 1e-13) << i << "," << j;
+}
+
+TEST(DelayedGreens, FlushIsIdempotent) {
+  MatrixRng rng(309);
+  Matrix g = rng.uniform_matrix(5, 5);
+  DelayedGreens d(5, 4);
+  d.reset(g);
+  d.accept(0.1, 0);
+  Matrix first = d.flush();
+  Matrix second = d.flush();
+  EXPECT_MATRIX_NEAR(first, second, 0.0);
+  EXPECT_EQ(d.pending(), 0);
+}
+
+TEST(DelayedGreens, BaseThrowsWithPendingCorrections) {
+  DelayedGreens d(4, 4);
+  d.reset(Matrix::identity(4));
+  d.accept(0.5, 1);
+  EXPECT_THROW(d.base(), InvalidArgument);
+  d.flush();
+  EXPECT_NO_THROW(d.base());
+}
+
+TEST(DelayedGreens, SweepEquivalenceToShermanMorrisonInversion) {
+  // Physics-grade check: updating G = M^{-1} through accept() must equal
+  // recomputing the inverse of the explicitly updated M.
+  MatrixRng rng(311);
+  const idx n = 8;
+  Matrix m = rng.uniform_matrix(n, n);
+  linalg::add_identity(m, 5.0);
+  Matrix g = testing::reference_inverse(m);
+
+  DelayedGreens d(n, 4);
+  d.reset(g);
+  const double alpha = 0.6;
+  const idx site = 3;
+  // M' = M + alpha e_i e_i^T (M - I)  <=>  A' = (I + alpha e e^T) A.
+  const double denom = 1.0 + alpha * (1.0 - g(site, site));
+  d.accept(alpha / denom, site);
+
+  Matrix mprime = m;
+  for (idx j = 0; j < n; ++j) {
+    mprime(site, j) += alpha * (m(site, j) - ((site == j) ? 1.0 : 0.0));
+  }
+  Matrix gprime = testing::reference_inverse(mprime);
+  EXPECT_MATRIX_NEAR(d.flush(), gprime, 1e-11);
+}
+
+}  // namespace
+}  // namespace dqmc::core

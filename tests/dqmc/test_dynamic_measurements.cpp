@@ -1,0 +1,160 @@
+#include "dqmc/dynamic_measurements.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dqmc/measurements.h"
+#include "hubbard/free_fermion.h"
+#include "linalg/util.h"
+
+namespace dqmc::core {
+namespace {
+
+using hubbard::BMatrixFactory;
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using hubbard::Spin;
+
+struct DynamicFixture : ::testing::Test {
+  static TimeDisplaced displaced(const Lattice& lat, const ModelParams& p,
+                                 const HSField& field, Spin s) {
+    BMatrixFactory factory(lat, p);
+    TimeDisplacedGreens tdg(factory, field, 5);
+    return tdg.compute(s);
+  }
+};
+
+TEST_F(DynamicFixture, ChiAtTauZeroMatchesEqualTimeStructureFactor) {
+  // chi_AF(0) must equal the S(pi,pi) of the equal-time measurement module
+  // on the same configuration (same Wick contractions, tau -> 0 limit).
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 4.0;
+  p.beta = 3.0;
+  p.slices = 15;
+  HSField field(p.slices, 16);
+  Rng rng(2024);
+  field.randomize(rng);
+
+  TimeDisplaced up = displaced(lat, p, field, Spin::Up);
+  TimeDisplaced dn = displaced(lat, p, field, Spin::Down);
+  DynamicSample dyn = measure_dynamic(lat, p.dtau(), up, dn);
+
+  EqualTimeSample eq =
+      measure_equal_time(lat, p, up.g_tautau[0], dn.g_tautau[0]);
+  EXPECT_NEAR(dyn.chi_af[0], eq.af_structure_factor, 1e-8);
+}
+
+TEST_F(DynamicFixture, FreeFermionChiIsSpinSymmetricAndPositive) {
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 0.0;
+  p.beta = 4.0;
+  p.slices = 20;
+  HSField field(p.slices, 16);
+
+  TimeDisplaced up = displaced(lat, p, field, Spin::Up);
+  TimeDisplaced dn = displaced(lat, p, field, Spin::Down);
+  DynamicSample dyn = measure_dynamic(lat, p.dtau(), up, dn);
+
+  for (idx l = 0; l <= p.slices; ++l) {
+    EXPECT_GT(dyn.chi_af[l], 0.0) << l;
+  }
+  EXPECT_GT(dyn.chi_af_integrated, 0.0);
+  // Symmetry chi(tau) = chi(beta - tau) for this static field.
+  for (idx l = 0; l <= p.slices; ++l) {
+    EXPECT_NEAR(dyn.chi_af[l], dyn.chi_af[p.slices - l], 1e-8) << l;
+  }
+}
+
+TEST_F(DynamicFixture, GlocEndpointsSatisfySumRule) {
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 4.0;
+  p.beta = 4.0;
+  p.slices = 20;
+  HSField field(p.slices, 16);
+  Rng rng(4048);
+  field.randomize(rng);
+
+  TimeDisplaced up = displaced(lat, p, field, Spin::Up);
+  TimeDisplaced dn = displaced(lat, p, field, Spin::Down);
+  DynamicSample dyn = measure_dynamic(lat, p.dtau(), up, dn);
+  EXPECT_NEAR(dyn.gloc[0] + dyn.gloc[p.slices], 1.0, 1e-8);
+}
+
+TEST_F(DynamicFixture, FreeFermionGlocMatchesSpectralSum) {
+  // Gloc(tau) at U=0: (1/N) sum_k e^{-tau e_k}/(1 + e^{-beta e_k}).
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 0.0;
+  p.beta = 5.0;
+  p.slices = 25;
+  HSField field(p.slices, 16);
+
+  TimeDisplaced up = displaced(lat, p, field, Spin::Up);
+  TimeDisplaced dn = displaced(lat, p, field, Spin::Down);
+  DynamicSample dyn = measure_dynamic(lat, p.dtau(), up, dn);
+
+  for (idx l = 0; l <= p.slices; ++l) {
+    const double tau = p.dtau() * static_cast<double>(l);
+    double expected = 0.0;
+    for (const auto& k : lat.momenta()) {
+      const double e = hubbard::free_dispersion(p, k);
+      expected += (e >= 0.0)
+                      ? std::exp(-tau * e) / (1.0 + std::exp(-p.beta * e))
+                      : std::exp((p.beta - tau) * e) /
+                            (std::exp(p.beta * e) + 1.0);
+    }
+    expected /= static_cast<double>(lat.num_sites());
+    EXPECT_NEAR(dyn.gloc[l], expected, 1e-9) << "tau slice " << l;
+  }
+}
+
+TEST_F(DynamicFixture, FreeFermionGkTauMatchesDispersionDecay) {
+  // At U = 0, G(k, tau) = e^{-tau eps_k} / (1 + e^{-beta eps_k}) exactly.
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 0.0;
+  p.beta = 3.0;
+  p.slices = 15;
+  HSField field(p.slices, 16);
+
+  TimeDisplaced up = displaced(lat, p, field, Spin::Up);
+  TimeDisplaced dn = displaced(lat, p, field, Spin::Down);
+  DynamicSample dyn = measure_dynamic(lat, p.dtau(), up, dn);
+
+  const auto ks = lat.momenta();
+  ASSERT_EQ(dyn.gk_tau.rows(), 16);
+  ASSERT_EQ(dyn.gk_tau.cols(), 16);
+  for (std::size_t kidx = 0; kidx < ks.size(); ++kidx) {
+    const double e = hubbard::free_dispersion(p, ks[kidx]);
+    for (idx l = 0; l <= p.slices; ++l) {
+      const double tau = p.dtau() * static_cast<double>(l);
+      const double expected =
+          (e >= 0.0) ? std::exp(-tau * e) / (1.0 + std::exp(-p.beta * e))
+                     : std::exp((p.beta - tau) * e) /
+                           (std::exp(p.beta * e) + 1.0);
+      EXPECT_NEAR(dyn.gk_tau(static_cast<idx>(kidx), l), expected, 1e-9)
+          << "k " << kidx << " slice " << l;
+    }
+  }
+}
+
+TEST(DynamicAccumulator, AccumulatesWithSign) {
+  DynamicAccumulator acc(4, 2);
+  DynamicSample s;
+  s.gloc = Vector::constant(5, 0.5);
+  s.chi_af = Vector::constant(5, 2.0);
+  s.chi_af_integrated = 1.5;
+  acc.add(s, 1);
+  acc.add(s, 1);
+  EXPECT_EQ(acc.samples(), 2);
+  EXPECT_NEAR(acc.gloc(2).mean, 0.5, 1e-14);
+  EXPECT_NEAR(acc.chi_af(0).mean, 2.0, 1e-14);
+  EXPECT_NEAR(acc.chi_af_integrated().mean, 1.5, 1e-14);
+}
+
+}  // namespace
+}  // namespace dqmc::core

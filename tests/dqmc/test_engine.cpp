@@ -1,0 +1,258 @@
+#include "dqmc/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hubbard/free_fermion.h"
+#include "linalg/lu.h"
+#include "linalg/util.h"
+#include "linalg/norms.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::core {
+namespace {
+
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using linalg::Matrix;
+
+ModelParams small_params(double u = 4.0, double beta = 2.0, idx slices = 8) {
+  ModelParams p;
+  p.u = u;
+  p.beta = beta;
+  p.slices = slices;
+  return p;
+}
+
+EngineConfig small_config() {
+  EngineConfig c;
+  c.cluster_size = 4;
+  c.delay_rank = 8;
+  return c;
+}
+
+/// Brute-force det(M_sigma) for the current field of an engine.
+double direct_det(const DqmcEngine& ignored, const hubbard::BMatrixFactory& f,
+                  const HSField& field, hubbard::Spin s) {
+  (void)ignored;
+  const idx n = f.n();
+  Matrix prod = Matrix::identity(n);
+  for (idx l = 0; l < field.slices(); ++l)
+    prod = testing::reference_matmul(f.make_b(field.slice(l), s), prod);
+  linalg::add_identity(prod, 1.0);
+  linalg::LogDet d = linalg::lu_logdet(linalg::lu_factor(std::move(prod)));
+  return static_cast<double>(d.sign) * std::exp(d.log_abs);
+}
+
+TEST(Engine, MetropolisRatioMatchesDeterminantRatio) {
+  // The rank-1 ratio r = d+ d- must equal det(M'+)det(M'-)/det(M+)det(M-)
+  // computed by brute force. Small, warm system so dets are representable.
+  Lattice lat(2, 2);
+  ModelParams p = small_params(4.0, 1.0, 4);
+  DqmcEngine engine(lat, p, small_config(), 99);
+  engine.initialize();
+
+  // G at boundary 0; wrap to slice 0 manually via a sweep-free path:
+  // use recompute + the engine's own wrap by running ratio checks at the
+  // first slice of the first cluster (l = 0) — reproduce internals here.
+  const auto& factory = engine.factory();
+  HSField& field = engine.field();
+
+  const double det_before = direct_det(engine, factory, field, hubbard::Spin::Up) *
+                            direct_det(engine, factory, field, hubbard::Spin::Down);
+
+  // Green's functions with B_0 leftmost: chain B_0 B_{L-1} ... B_1 —
+  // that is the wrap of the boundary-0 G by B_0.
+  engine.recompute_greens(0);
+  Matrix gup = engine.greens(hubbard::Spin::Up);
+  Matrix gdn = engine.greens(hubbard::Spin::Down);
+  Matrix work(4, 4);
+  factory.wrap(field.slice(0), hubbard::Spin::Up, gup, work);
+  factory.wrap(field.slice(0), hubbard::Spin::Down, gdn, work);
+
+  const double nu = factory.nu();
+  for (idx i = 0; i < 4; ++i) {
+    const double h = static_cast<double>(field(0, i));
+    const double aup = std::exp(-2.0 * nu * h) - 1.0;
+    const double adn = std::exp(+2.0 * nu * h) - 1.0;
+    const double r = (1.0 + aup * (1.0 - gup(i, i))) *
+                     (1.0 + adn * (1.0 - gdn(i, i)));
+
+    field.flip(0, i);
+    const double det_after =
+        direct_det(engine, factory, field, hubbard::Spin::Up) *
+        direct_det(engine, factory, field, hubbard::Spin::Down);
+    field.flip(0, i);  // restore
+
+    EXPECT_NEAR(r, det_after / det_before, 1e-8 * std::fabs(r)) << "site " << i;
+  }
+}
+
+TEST(Engine, SweepKeepsGreensConsistentWithScratchRecompute) {
+  // After a full sweep (wraps + rank-1 updates + recycled clusters), the
+  // engine's G must match a from-scratch stratification of the final field.
+  Lattice lat(4, 4);
+  ModelParams p = small_params(4.0, 4.0, 16);
+  DqmcEngine engine(lat, p, small_config(), 7);
+  engine.initialize();
+  engine.sweep();
+
+  Matrix g_engine = engine.greens(hubbard::Spin::Up);
+
+  // Scratch: all clusters were rebuilt during the sweep, so a fresh
+  // stratification at boundary 0 is the reference.
+  engine.recompute_greens(0);
+  Matrix g_fresh = engine.greens(hubbard::Spin::Up);
+  EXPECT_LE(linalg::relative_difference(g_engine, g_fresh), 1e-7);
+}
+
+TEST(Engine, AcceptanceIsReasonable) {
+  Lattice lat(4, 4);
+  DqmcEngine engine(lat, small_params(), small_config(), 21);
+  engine.initialize();
+  SweepStats s = engine.sweep();
+  EXPECT_EQ(s.proposed, 8u * 16u);
+  EXPECT_GT(s.acceptance(), 0.05);
+  EXPECT_LT(s.acceptance(), 0.95);
+}
+
+TEST(Engine, ZeroInteractionAcceptsEverythingAndKeepsExactGreens) {
+  // At U = 0 every ratio is exactly 1 (alpha = 0): all flips accepted, and
+  // G never moves away from the free-fermion result.
+  Lattice lat(4, 4);
+  ModelParams p = small_params(0.0, 3.0, 12);
+  DqmcEngine engine(lat, p, small_config(), 5);
+  engine.initialize();
+  SweepStats s = engine.sweep();
+  EXPECT_EQ(s.accepted, s.proposed);
+
+  Matrix g = engine.greens(hubbard::Spin::Up);
+  Matrix exact = hubbard::free_greens_function(lat, p);
+  EXPECT_LE(linalg::relative_difference(g, exact), 1e-9);
+}
+
+TEST(Engine, SignStaysPositiveAtHalfFilling) {
+  Lattice lat(4, 4);
+  DqmcEngine engine(lat, small_params(6.0, 3.0, 12), small_config(), 13);
+  engine.initialize();
+  EXPECT_EQ(engine.config_sign(), 1);
+  for (int i = 0; i < 3; ++i) {
+    engine.sweep();
+    EXPECT_EQ(engine.config_sign(), 1) << "sweep " << i;
+  }
+}
+
+TEST(Engine, DeterministicForFixedSeed) {
+  Lattice lat(4, 4);
+  DqmcEngine e1(lat, small_params(), small_config(), 42);
+  DqmcEngine e2(lat, small_params(), small_config(), 42);
+  e1.initialize();
+  e2.initialize();
+  SweepStats s1 = e1.sweep();
+  SweepStats s2 = e2.sweep();
+  EXPECT_EQ(s1.accepted, s2.accepted);
+  EXPECT_MATRIX_NEAR(e1.greens(hubbard::Spin::Up), e2.greens(hubbard::Spin::Up),
+                     0.0);
+}
+
+TEST(Engine, QrpAndPrePivotSamplersAgreeStatistically) {
+  // Same seed => same random stream. Ratios differ only at rounding level,
+  // so the entire Markov chains coincide and final fields match.
+  Lattice lat(4, 4);
+  EngineConfig cq = small_config();
+  cq.algorithm = StratAlgorithm::kQRP;
+  EngineConfig cp = small_config();
+  cp.algorithm = StratAlgorithm::kPrePivot;
+  DqmcEngine e1(lat, small_params(), cq, 77);
+  DqmcEngine e2(lat, small_params(), cp, 77);
+  e1.initialize();
+  e2.initialize();
+  for (int i = 0; i < 2; ++i) {
+    e1.sweep();
+    e2.sweep();
+  }
+  idx differing = 0;
+  for (idx l = 0; l < 8; ++l)
+    for (idx i = 0; i < 16; ++i)
+      if (e1.field()(l, i) != e2.field()(l, i)) ++differing;
+  EXPECT_EQ(differing, 0);
+}
+
+TEST(Engine, GpuOffloadReproducesCpuTrajectory) {
+  Lattice lat(4, 4);
+  EngineConfig cpu_cfg = small_config();
+  EngineConfig gpu_cfg = small_config();
+  gpu_cfg.gpu_clustering = true;
+  gpu_cfg.gpu_wrapping = true;
+  DqmcEngine e1(lat, small_params(), cpu_cfg, 31);
+  DqmcEngine e2(lat, small_params(), gpu_cfg, 31);
+  e1.initialize();
+  e2.initialize();
+  SweepStats s1 = e1.sweep();
+  SweepStats s2 = e2.sweep();
+  EXPECT_EQ(s1.accepted, s2.accepted);
+  EXPECT_LE(linalg::relative_difference(e1.greens(hubbard::Spin::Up),
+                                        e2.greens(hubbard::Spin::Up)),
+            1e-12);
+}
+
+TEST(Engine, ProfilerCoversAllPipelinePhases) {
+  Lattice lat(4, 4);
+  DqmcEngine engine(lat, small_params(), small_config(), 3);
+  engine.initialize();
+  engine.sweep();
+  const Profiler& prof = engine.profiler();
+  EXPECT_GT(prof.seconds(Phase::kStratification), 0.0);
+  EXPECT_GT(prof.seconds(Phase::kWrapping), 0.0);
+  EXPECT_GT(prof.seconds(Phase::kDelayedUpdate), 0.0);
+  EXPECT_GT(prof.seconds(Phase::kClustering), 0.0);
+}
+
+TEST(Engine, MultilayerStackSimulatesConsistently) {
+  // The paper's motivating geometry: stacked planes with t_perp coupling.
+  // The stack is bipartite, so half filling still guarantees sign = +1 and
+  // density 1; the wrapped G must stay consistent with scratch recompute.
+  Lattice lat(2, 2, 3);  // 12 sites, 3 layers
+  ModelParams p = small_params(4.0, 2.0, 8);
+  p.t_perp = 0.6;
+  DqmcEngine engine(lat, p, small_config(), 71);
+  engine.initialize();
+  for (int s = 0; s < 2; ++s) engine.sweep();
+  EXPECT_EQ(engine.config_sign(), 1);
+
+  Matrix g_engine = engine.greens(hubbard::Spin::Up);
+  engine.recompute_greens(0);
+  EXPECT_LE(linalg::relative_difference(g_engine,
+                                        engine.greens(hubbard::Spin::Up)),
+            1e-8);
+
+  // Density per site = 1 on average over both spins for this config-free
+  // check: trace identity <n> = 2 - (tr Gup + tr Gdn)/N should be near 1
+  // after a couple of sweeps (loose sanity bound).
+  const Matrix& gu = engine.greens(hubbard::Spin::Up);
+  const Matrix& gd = engine.greens(hubbard::Spin::Down);
+  double ntot = 0.0;
+  for (idx i = 0; i < 12; ++i) ntot += 2.0 - gu(i, i) - gd(i, i);
+  EXPECT_NEAR(ntot / 12.0, 1.0, 0.35);
+}
+
+TEST(Engine, NonFiniteFieldInputIsRejectedByStratification) {
+  // Failure injection: a NaN planted in a cluster matrix must surface as a
+  // NumericalError (singular pivot chain) rather than propagate silently.
+  core::StratificationEngine strat(4, StratAlgorithm::kPrePivot);
+  std::vector<Matrix> factors;
+  Matrix bad = Matrix::identity(4);
+  bad(2, 2) = 0.0;  // exactly singular factor
+  factors.push_back(bad);
+  EXPECT_THROW(strat.compute(factors), NumericalError);
+}
+
+TEST(Engine, SweepBeforeInitializeThrows) {
+  Lattice lat(2, 2);
+  DqmcEngine engine(lat, small_params(), small_config(), 1);
+  EXPECT_THROW(engine.sweep(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::core

@@ -1,0 +1,55 @@
+#include "dqmc/hs_field.h"
+
+#include <gtest/gtest.h>
+
+namespace dqmc::core {
+namespace {
+
+TEST(HSField, InitializedToPlusOne) {
+  HSField h(4, 6);
+  for (idx l = 0; l < 4; ++l)
+    for (idx i = 0; i < 6; ++i) EXPECT_EQ(h(l, i), 1);
+}
+
+TEST(HSField, FlipTogglesSingleEntry) {
+  HSField h(3, 3);
+  h.flip(1, 2);
+  EXPECT_EQ(h(1, 2), -1);
+  EXPECT_EQ(h(1, 1), 1);
+  EXPECT_EQ(h(0, 2), 1);
+  h.flip(1, 2);
+  EXPECT_EQ(h(1, 2), 1);
+}
+
+TEST(HSField, SliceRowIsContiguousAndMatchesAccessors) {
+  HSField h(3, 4);
+  h.set(1, 0, -1);
+  h.set(1, 3, -1);
+  const hs_t* row = h.slice(1);
+  EXPECT_EQ(row[0], -1);
+  EXPECT_EQ(row[1], 1);
+  EXPECT_EQ(row[3], -1);
+  // Other slices untouched.
+  EXPECT_EQ(h.slice(0)[0], 1);
+  EXPECT_EQ(h.slice(2)[3], 1);
+}
+
+TEST(HSField, RandomizeProducesBothSigns) {
+  HSField h(10, 10);
+  Rng rng(42);
+  h.randomize(rng);
+  int plus = 0, minus = 0;
+  for (idx l = 0; l < 10; ++l)
+    for (idx i = 0; i < 10; ++i) (h(l, i) > 0 ? plus : minus)++;
+  EXPECT_GT(plus, 10);
+  EXPECT_GT(minus, 10);
+  EXPECT_EQ(plus + minus, 100);
+}
+
+TEST(HSField, RejectsDegenerateDimensions) {
+  EXPECT_THROW(HSField(0, 5), InvalidArgument);
+  EXPECT_THROW(HSField(5, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::core

@@ -1,0 +1,175 @@
+#include "dqmc/measurements.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "hubbard/free_fermion.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::core {
+namespace {
+
+using hubbard::free_greens_function;
+using hubbard::Lattice;
+using hubbard::ModelParams;
+
+TEST(Measurements, FreeFermionDensityAndMomentum) {
+  // With G = exact U=0 Green's function, the measured density and <n_k>
+  // must equal the closed forms.
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 0.0;
+  p.beta = 3.0;
+  p.mu = -0.3;
+  Matrix g = free_greens_function(lat, p);
+  EqualTimeSample s = measure_equal_time(lat, p, g, g);
+
+  EXPECT_NEAR(s.density, hubbard::free_density(lat, p), 1e-10);
+  EXPECT_NEAR(s.density_up, s.density_dn, 1e-14);
+
+  const auto ks = lat.momenta();
+  for (std::size_t k = 0; k < ks.size(); ++k) {
+    EXPECT_NEAR(s.momentum_dist[static_cast<idx>(k)],
+                hubbard::free_momentum_occupation(p, ks[k]), 1e-10)
+        << "k index " << k;
+  }
+}
+
+TEST(Measurements, FreeFermionKineticEnergy) {
+  Lattice lat(6, 6);
+  ModelParams p;
+  p.u = 0.0;
+  p.beta = 4.0;
+  p.mu = 0.0;
+  Matrix g = free_greens_function(lat, p);
+  EqualTimeSample s = measure_equal_time(lat, p, g, g);
+  // At mu = 0 the closed-form band energy IS the hopping energy.
+  EXPECT_NEAR(s.kinetic_energy, hubbard::free_energy_per_site(lat, p), 1e-10);
+}
+
+TEST(Measurements, UncorrelatedGreensGiveFactorizedDoubleOccupancy) {
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.beta = 2.0;
+  Matrix g = free_greens_function(lat, p);
+  EqualTimeSample s = measure_equal_time(lat, p, g, g);
+  // <n_up n_dn> = <n_up><n_dn> per site for identical diagonal G's.
+  double expect = 0.0;
+  for (idx i = 0; i < 16; ++i)
+    expect += (1.0 - g(i, i)) * (1.0 - g(i, i));
+  EXPECT_NEAR(s.double_occupancy, expect / 16.0, 1e-12);
+}
+
+TEST(Measurements, MomentSquaredIdentity) {
+  // <m_z^2> = <n_up> + <n_dn> - 2 <n_up n_dn> for the same-site correlator.
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.beta = 2.0;
+  p.mu = 0.2;
+  Matrix g = free_greens_function(lat, p);
+  EqualTimeSample s = measure_equal_time(lat, p, g, g);
+  EXPECT_NEAR(s.moment_sq, s.density - 2.0 * s.double_occupancy, 1e-10);
+}
+
+TEST(Measurements, SpinCorrSumRuleAtZeroDistance) {
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.beta = 3.0;
+  Matrix g = free_greens_function(lat, p);
+  EqualTimeSample s = measure_equal_time(lat, p, g, g);
+  EXPECT_NEAR(s.spin_corr[lat.displacement_index(0, 0)], s.moment_sq, 1e-12);
+}
+
+TEST(Measurements, IdentityMinusHalfGivesHalfFilledUncorrelatedLimit) {
+  // G = I/2 (infinite temperature): density 1, double occupancy 1/4,
+  // kinetic 0, n_k = 1/2, Czz(d != 0) = 0, Czz(0) = 1/2.
+  Lattice lat(4, 4);
+  ModelParams p;
+  Matrix g = Matrix::identity(16);
+  for (idx i = 0; i < 16; ++i) g(i, i) = 0.5;
+  EqualTimeSample s = measure_equal_time(lat, p, g, g);
+  EXPECT_NEAR(s.density, 1.0, 1e-14);
+  EXPECT_NEAR(s.double_occupancy, 0.25, 1e-14);
+  EXPECT_NEAR(s.kinetic_energy, 0.0, 1e-14);
+  EXPECT_NEAR(s.moment_sq, 0.5, 1e-14);
+  for (idx k = 0; k < 16; ++k)
+    EXPECT_NEAR(s.momentum_dist[k], 0.5, 1e-13);
+  for (idx d = 1; d < lat.num_displacements(); ++d)
+    EXPECT_NEAR(s.spin_corr[d], 0.0, 1e-13) << d;
+  // S_af = Czz(0) here.
+  EXPECT_NEAR(s.af_structure_factor, 0.5, 1e-12);
+}
+
+TEST(Measurements, PairFieldsAtInfiniteTemperature) {
+  // G = I/2: P_s = 1/4 and P_d = 1/4 (only i=j, delta=delta' terms
+  // survive; 4 bonds x (1/2)^2 x the 1/4 normalization).
+  Lattice lat(4, 4);
+  ModelParams p;
+  Matrix g = Matrix::identity(16);
+  for (idx i = 0; i < 16; ++i) g(i, i) = 0.5;
+  EqualTimeSample s = measure_equal_time(lat, p, g, g);
+  EXPECT_NEAR(s.pair_s, 0.25, 1e-13);
+  EXPECT_NEAR(s.pair_d, 0.25, 1e-13);
+}
+
+TEST(Measurements, PairFieldsFreeFermionsPositive) {
+  Lattice lat(6, 6);
+  ModelParams p;
+  p.beta = 4.0;
+  Matrix g = free_greens_function(lat, p);
+  EqualTimeSample s = measure_equal_time(lat, p, g, g);
+  // s-wave structure factor is a sum of squares here (G_up == G_dn).
+  EXPECT_GT(s.pair_s, 0.0);
+  // Free-fermion d-wave: finite and comparable in magnitude.
+  EXPECT_GT(std::fabs(s.pair_d), 1e-4);
+}
+
+TEST(Measurements, SWavePairMatchesHandSum) {
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.beta = 2.0;
+  p.mu = 0.3;
+  Matrix g = free_greens_function(lat, p);
+  EqualTimeSample s = measure_equal_time(lat, p, g, g);
+  double expect = 0.0;
+  for (idx j = 0; j < 16; ++j)
+    for (idx i = 0; i < 16; ++i) expect += g(i, j) * g(i, j);
+  EXPECT_NEAR(s.pair_s, expect / 16.0, 1e-12);
+}
+
+TEST(MeasurementAccumulator, AveragesSamplesWithSign) {
+  Lattice lat(2, 2);
+  MeasurementAccumulator acc(lat, 4);
+  EqualTimeSample s;
+  s.momentum_dist = linalg::Vector::zero(4);
+  s.spin_corr = linalg::Vector::zero(lat.num_displacements());
+  s.density = 2.0;
+  acc.add(s, 1);
+  s.density = 4.0;
+  acc.add(s, 1);
+  EXPECT_EQ(acc.samples(), 2);
+  EXPECT_NEAR(acc.density().mean, 3.0, 1e-14);
+  EXPECT_NEAR(acc.average_sign().mean, 1.0, 1e-14);
+}
+
+TEST(MeasurementAccumulator, NegativeSignsReweight) {
+  Lattice lat(2, 2);
+  MeasurementAccumulator acc(lat, 2);
+  EqualTimeSample s;
+  s.momentum_dist = linalg::Vector::zero(4);
+  s.spin_corr = linalg::Vector::zero(lat.num_displacements());
+  // <O s> / <s> with samples (O=1,s=+), (O=3,s=-):
+  // (1 - 3) / (1 - 1) undefined => use 3 samples for a finite sign.
+  s.density = 1.0;
+  acc.add(s, 1);
+  acc.add(s, 1);
+  s.density = 3.0;
+  acc.add(s, -1);
+  EXPECT_NEAR(acc.density().mean, (1.0 + 1.0 - 3.0) / (1.0), 1e-14);
+  EXPECT_NEAR(acc.average_sign().mean, 1.0 / 3.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace dqmc::core

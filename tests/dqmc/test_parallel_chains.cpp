@@ -1,0 +1,88 @@
+// run_parallel_simulation: independent-chain parallelism + accumulator
+// merging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dqmc/simulation.h"
+
+namespace dqmc::core {
+namespace {
+
+SimulationConfig tiny_config() {
+  SimulationConfig cfg;
+  cfg.lx = cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 2.0;
+  cfg.model.slices = 10;
+  cfg.engine.cluster_size = 5;
+  cfg.warmup_sweeps = 20;
+  cfg.measurement_sweeps = 60;
+  cfg.bins = 6;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(ParallelChains, MergedSampleCountIsSumOfChains) {
+  SimulationConfig cfg = tiny_config();
+  SimulationResults merged = run_parallel_simulation(cfg, 3, 2);
+  EXPECT_EQ(merged.measurements.samples(), 3 * cfg.measurement_sweeps);
+  EXPECT_EQ(merged.sweep_stats.proposed,
+            3u * static_cast<std::uint64_t>(
+                     (cfg.warmup_sweeps + cfg.measurement_sweeps) * 10 * 4));
+}
+
+TEST(ParallelChains, MergeEqualsManualCombination) {
+  SimulationConfig cfg = tiny_config();
+  SimulationResults merged = run_parallel_simulation(cfg, 2, 2);
+
+  // Manual: run the two chains serially and merge by hand.
+  SimulationConfig c0 = cfg;
+  SimulationConfig c1 = cfg;
+  c1.seed = cfg.seed + 1;
+  SimulationResults r0 = run_simulation(c0);
+  SimulationResults r1 = run_simulation(c1);
+  r0.measurements.merge(r1.measurements);
+
+  EXPECT_NEAR(merged.measurements.density().mean,
+              r0.measurements.density().mean, 1e-14);
+  EXPECT_NEAR(merged.measurements.double_occupancy().mean,
+              r0.measurements.double_occupancy().mean, 1e-14);
+  EXPECT_NEAR(merged.measurements.af_structure_factor().mean,
+              r0.measurements.af_structure_factor().mean, 1e-14);
+}
+
+TEST(ParallelChains, WorkerCountDoesNotChangeResults) {
+  SimulationConfig cfg = tiny_config();
+  cfg.measurement_sweeps = 30;
+  SimulationResults a = run_parallel_simulation(cfg, 3, 1);
+  SimulationResults b = run_parallel_simulation(cfg, 3, 3);
+  EXPECT_DOUBLE_EQ(a.measurements.density().mean,
+                   b.measurements.density().mean);
+  EXPECT_DOUBLE_EQ(a.measurements.kinetic_energy().mean,
+                   b.measurements.kinetic_energy().mean);
+}
+
+TEST(ParallelChains, MoreChainsShrinkErrorBars) {
+  SimulationConfig cfg = tiny_config();
+  SimulationResults one = run_parallel_simulation(cfg, 1, 1);
+  SimulationResults eight = run_parallel_simulation(cfg, 8, 2);
+  // 8x the samples: error should drop clearly (not exactly sqrt(8) due to
+  // binning granularity, but well below the single-chain error).
+  EXPECT_LT(eight.measurements.double_occupancy().error,
+            one.measurements.double_occupancy().error);
+}
+
+TEST(ParallelChains, RejectsZeroChains) {
+  EXPECT_THROW(run_parallel_simulation(tiny_config(), 0), InvalidArgument);
+}
+
+TEST(StatsMerge, ShapeMismatchThrows) {
+  ScalarAccumulator a(4), b(8);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  ArrayAccumulator x(3, 4), y(4, 4);
+  EXPECT_THROW(x.merge(y), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::core

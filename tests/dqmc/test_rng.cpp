@@ -1,0 +1,64 @@
+#include "dqmc/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dqmc::core {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowStaysInRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, CoinIsRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.coin()) ++heads;
+  EXPECT_NEAR(heads / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  // splitmix64 seeding must avoid the all-zero state.
+  bool nonzero = false;
+  for (int i = 0; i < 10; ++i)
+    if (rng.next_u64() != 0) nonzero = true;
+  EXPECT_TRUE(nonzero);
+}
+
+}  // namespace
+}  // namespace dqmc::core

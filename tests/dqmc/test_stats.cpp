@@ -1,0 +1,135 @@
+#include "dqmc/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dqmc/rng.h"
+
+namespace dqmc::core {
+namespace {
+
+TEST(ScalarAccumulator, MeanOfConstantStream) {
+  ScalarAccumulator acc(8);
+  for (int i = 0; i < 100; ++i) acc.add(2.5, 1.0);
+  Estimate e = acc.estimate();
+  EXPECT_NEAR(e.mean, 2.5, 1e-14);
+  EXPECT_NEAR(e.error, 0.0, 1e-14);
+}
+
+TEST(ScalarAccumulator, ErrorShrinksWithSamples) {
+  Rng rng(17);
+  ScalarAccumulator small(16), large(16);
+  for (int i = 0; i < 64; ++i) small.add(rng.uniform(), 1.0);
+  for (int i = 0; i < 6400; ++i) large.add(rng.uniform(), 1.0);
+  EXPECT_GT(small.estimate().error, large.estimate().error);
+  // Uniform [0,1): mean 1/2, sd ~0.289; 6400 samples => error ~0.0036.
+  EXPECT_NEAR(large.estimate().mean, 0.5, 0.02);
+  EXPECT_LT(large.estimate().error, 0.02);
+  EXPECT_GT(large.estimate().error, 0.0);
+}
+
+TEST(ScalarAccumulator, SignWeightingComputesRatio) {
+  ScalarAccumulator acc(4);
+  acc.add(1.0, 1.0);
+  acc.add(2.0, 1.0);
+  acc.add(10.0, -1.0);
+  // <O s>/<s> = (1 + 2 - 10) / (1 + 1 - 1) = -7.
+  EXPECT_NEAR(acc.estimate().mean, -7.0, 1e-13);
+  EXPECT_NEAR(acc.sign_estimate().mean, 1.0 / 3.0, 1e-13);
+}
+
+TEST(ScalarAccumulator, EmptyReportsZero) {
+  ScalarAccumulator acc;
+  EXPECT_EQ(acc.samples(), 0);
+  EXPECT_DOUBLE_EQ(acc.estimate().mean, 0.0);
+  EXPECT_DOUBLE_EQ(acc.estimate().error, 0.0);
+}
+
+TEST(ScalarAccumulator, GaussianErrorBarIsCalibrated) {
+  // The 1-sigma error bar should cover the true mean about 2/3 of the time;
+  // check a weaker statement: the measured error matches sd/sqrt(n) within
+  // a factor of 2 for a large Gaussian-ish sample.
+  Rng rng(23);
+  ScalarAccumulator acc(32);
+  const int n = 32000;
+  for (int i = 0; i < n; ++i) {
+    // Sum of 4 uniforms: variance 4/12 = 1/3.
+    double v = rng.uniform() + rng.uniform() + rng.uniform() + rng.uniform();
+    acc.add(v, 1.0);
+  }
+  const double expected_error = std::sqrt(1.0 / 3.0 / n);
+  EXPECT_GT(acc.estimate().error, expected_error / 2.0);
+  EXPECT_LT(acc.estimate().error, expected_error * 2.0);
+}
+
+TEST(ArrayAccumulator, PerComponentMeans) {
+  ArrayAccumulator acc(3, 4);
+  const double a[3] = {1.0, 2.0, 3.0};
+  const double b[3] = {3.0, 2.0, 1.0};
+  for (int i = 0; i < 10; ++i) {
+    acc.add(a, 1.0);
+    acc.add(b, 1.0);
+  }
+  EXPECT_NEAR(acc.estimate(0).mean, 2.0, 1e-14);
+  EXPECT_NEAR(acc.estimate(1).mean, 2.0, 1e-14);
+  EXPECT_NEAR(acc.estimate(2).mean, 2.0, 1e-14);
+  linalg::Vector means = acc.means();
+  EXPECT_EQ(means.size(), 3);
+  EXPECT_NEAR(means[1], 2.0, 1e-14);
+}
+
+TEST(ArrayAccumulator, OutOfRangeComponentThrows) {
+  ArrayAccumulator acc(2, 2);
+  EXPECT_THROW(acc.estimate(2), InvalidArgument);
+  EXPECT_THROW(acc.estimate(-1), InvalidArgument);
+}
+
+TEST(Accumulators, RejectNonPositiveBins) {
+  EXPECT_THROW(ScalarAccumulator(0), InvalidArgument);
+  EXPECT_THROW(ArrayAccumulator(3, 0), InvalidArgument);
+  EXPECT_THROW(ArrayAccumulator(0, 3), InvalidArgument);
+}
+
+
+TEST(Autocorrelation, IidStreamHasTauHalf) {
+  Rng rng(71);
+  AutocorrelationEstimator est;
+  for (int i = 0; i < 8000; ++i) est.add(rng.uniform());
+  EXPECT_NEAR(est.tau_integrated(), 0.5, 0.15);
+}
+
+TEST(Autocorrelation, Ar1StreamMatchesClosedForm) {
+  // AR(1): x_{t+1} = a x_t + noise; tau_int = (1 + a) / (2 (1 - a)).
+  Rng rng(73);
+  AutocorrelationEstimator est;
+  const double a = 0.7;
+  double x = 0.0;
+  for (int i = 0; i < 40000; ++i) {
+    x = a * x + (rng.uniform() - 0.5);
+    est.add(x);
+  }
+  const double expected = 0.5 * (1.0 + a) / (1.0 - a);  // ~2.83
+  EXPECT_NEAR(est.tau_integrated(), expected, 0.8);
+}
+
+TEST(Autocorrelation, RhoBasics) {
+  AutocorrelationEstimator est;
+  for (int i = 0; i < 32; ++i) est.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(est.rho(0), 1.0, 1e-12);
+  EXPECT_LT(est.rho(1), -0.8);  // perfectly anti-correlated
+  EXPECT_THROW(est.rho(32), InvalidArgument);
+}
+
+TEST(Autocorrelation, TinyOrConstantStreamsAreSafe) {
+  AutocorrelationEstimator est;
+  est.add(1.0);
+  est.add(1.0);
+  EXPECT_DOUBLE_EQ(est.tau_integrated(), 0.5);
+  AutocorrelationEstimator flat;
+  for (int i = 0; i < 100; ++i) flat.add(3.0);
+  EXPECT_GE(flat.tau_integrated(), 0.5);
+}
+
+}  // namespace
+}  // namespace dqmc::core

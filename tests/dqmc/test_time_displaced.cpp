@@ -1,0 +1,248 @@
+#include "dqmc/time_displaced.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dqmc/stratification.h"
+#include "hubbard/free_fermion.h"
+#include "linalg/diag.h"
+#include "linalg/norms.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::core {
+namespace {
+
+using hubbard::BMatrixFactory;
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using hubbard::Spin;
+using linalg::Matrix;
+
+/// Exact U = 0 G(tau,0) = e^{-tau K} (I + e^{-beta K})^{-1}, evaluated
+/// stably in the spectral basis.
+Matrix exact_free_g_tau0(const Lattice& lat, const ModelParams& p, double tau) {
+  const Matrix k = hubbard::kinetic_matrix(lat, p);
+  linalg::SymmetricEigen eig = linalg::eig_sym(k);
+  const idx n = k.rows();
+  linalg::Vector f(n);
+  for (idx i = 0; i < n; ++i) {
+    const double w = eig.eigenvalues[i];
+    // e^{-tau w} / (1 + e^{-beta w}), overflow-safe for both signs of w.
+    f[i] = (w >= 0.0) ? std::exp(-tau * w) / (1.0 + std::exp(-p.beta * w))
+                      : std::exp((p.beta - tau) * w) /
+                            (std::exp(p.beta * w) + 1.0);
+  }
+  Matrix scaled = eig.eigenvectors;
+  linalg::scale_cols(f.data(), scaled);
+  return linalg::matmul(scaled, eig.eigenvectors, linalg::Trans::No,
+                        linalg::Trans::Yes);
+}
+
+/// Exact U = 0 G(0,tau) = -e^{tau K} (I + e^{beta K})^{-1}.
+Matrix exact_free_g_0tau(const Lattice& lat, const ModelParams& p, double tau) {
+  const Matrix k = hubbard::kinetic_matrix(lat, p);
+  linalg::SymmetricEigen eig = linalg::eig_sym(k);
+  const idx n = k.rows();
+  linalg::Vector f(n);
+  for (idx i = 0; i < n; ++i) {
+    const double w = eig.eigenvalues[i];
+    // -e^{tau w} / (1 + e^{beta w}), overflow-safe.
+    f[i] = (w <= 0.0) ? -std::exp(tau * w) / (1.0 + std::exp(p.beta * w))
+                      : -std::exp((tau - p.beta) * w) /
+                            (std::exp(-p.beta * w) + 1.0);
+  }
+  Matrix scaled = eig.eigenvectors;
+  linalg::scale_cols(f.data(), scaled);
+  return linalg::matmul(scaled, eig.eigenvectors, linalg::Trans::No,
+                        linalg::Trans::Yes);
+}
+
+TEST(TimeDisplaced, FreeFermionsMatchAnalyticAtEverySlice) {
+  // U = 0, beta = 8: the full chain condition number is ~1e28, so this
+  // exercises the stabilized machinery hard; every slice must match the
+  // spectral answer.
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 0.0;
+  p.beta = 8.0;
+  p.slices = 40;
+  BMatrixFactory factory(lat, p);
+  HSField field(p.slices, 16);
+
+  TimeDisplacedGreens tdg(factory, field, /*cluster_size=*/10);
+  TimeDisplaced td = tdg.compute(Spin::Up);
+  ASSERT_EQ(td.g_tau0.size(), 41u);
+  ASSERT_EQ(td.g_0tau.size(), 41u);
+
+  for (idx l = 0; l <= p.slices; ++l) {
+    const double tau = p.dtau() * static_cast<double>(l);
+    Matrix exact10 = exact_free_g_tau0(lat, p, tau);
+    Matrix exact01 = exact_free_g_0tau(lat, p, tau);
+    EXPECT_LE(linalg::relative_difference(td.g_tau0[static_cast<std::size_t>(l)],
+                                          exact10),
+              1e-9)
+        << "G(l,0) at slice " << l;
+    EXPECT_LE(linalg::relative_difference(td.g_0tau[static_cast<std::size_t>(l)],
+                                          exact01),
+              1e-9)
+        << "G(0,l) at slice " << l;
+  }
+}
+
+TEST(TimeDisplaced, InteractingChainMatchesDirectProductAtSmallBeta) {
+  // At beta = 1 the chain is mild enough for a long-double direct check.
+  Lattice lat(2, 2);
+  ModelParams p;
+  p.u = 4.0;
+  p.beta = 1.0;
+  p.slices = 8;
+  BMatrixFactory factory(lat, p);
+  HSField field(p.slices, 4);
+  Rng rng(31415);
+  field.randomize(rng);
+
+  TimeDisplacedGreens tdg(factory, field, /*cluster_size=*/4);
+  TimeDisplaced td = tdg.compute(Spin::Down);
+
+  // Direct: G(0,0) by inverse; G(l,0) = B_l ... B_1 G(0,0).
+  Matrix chain = Matrix::identity(4);
+  for (idx l = 0; l < p.slices; ++l)
+    chain = testing::reference_matmul(factory.make_b(field.slice(l), Spin::Down),
+                                      chain);
+  Matrix m = chain;
+  linalg::add_identity(m, 1.0);
+  Matrix g0 = testing::reference_inverse(m);
+
+  Matrix acc = g0;
+  EXPECT_LE(linalg::relative_difference(td.g_tau0[0], g0), 1e-9);
+  for (idx l = 1; l <= p.slices; ++l) {
+    acc = testing::reference_matmul(factory.make_b(field.slice(l - 1), Spin::Down),
+                                    acc);
+    EXPECT_LE(linalg::relative_difference(td.g_tau0[static_cast<std::size_t>(l)],
+                                          acc),
+              1e-8)
+        << "slice " << l;
+  }
+
+  // G(0,l) = -(I - G(0,0)) * (B_l...B_1)^{-1}.
+  Matrix partial = Matrix::identity(4);
+  for (idx l = 1; l <= p.slices; ++l) {
+    partial = testing::reference_matmul(
+        factory.make_b(field.slice(l - 1), Spin::Down), partial);
+    Matrix inv_partial = testing::reference_inverse(partial);
+    Matrix expected = Matrix::zero(4, 4);
+    Matrix img0 = g0;
+    for (idx i = 0; i < 4; ++i) img0(i, i) -= 1.0;  // -(I - G) = G - I
+    expected = testing::reference_matmul(img0, inv_partial);
+    EXPECT_LE(linalg::relative_difference(td.g_0tau[static_cast<std::size_t>(l)],
+                                          expected),
+              1e-8)
+        << "slice " << l;
+  }
+}
+
+TEST(TimeDisplaced, BoundaryIdentities) {
+  // G(0,0) equals the equal-time stratified G; G(L,0) = I - G(0,0)
+  // (anti-periodicity); G(0,0)-displaced = -(I - G(0,0)).
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 4.0;
+  p.beta = 4.0;
+  p.slices = 20;
+  BMatrixFactory factory(lat, p);
+  HSField field(p.slices, 16);
+  Rng rng(999);
+  field.randomize(rng);
+
+  TimeDisplacedGreens tdg(factory, field, /*cluster_size=*/5);
+  TimeDisplaced td = tdg.compute(Spin::Up);
+
+  // Equal-time reference from the stratification engine.
+  StratificationEngine strat(16, StratAlgorithm::kPrePivot);
+  std::vector<Matrix> factors;
+  for (idx l = 0; l < p.slices; ++l)
+    factors.push_back(factory.make_b(field.slice(l), Spin::Up));
+  Matrix g0 = strat.compute(factors);
+
+  EXPECT_LE(linalg::relative_difference(td.g_tau0[0], g0), 1e-9);
+
+  Matrix i_minus_g = g0;
+  for (idx i = 0; i < 16; ++i) i_minus_g(i, i) -= 1.0;
+  for (idx j = 0; j < 16; ++j)
+    for (idx i = 0; i < 16; ++i) i_minus_g(i, j) = -i_minus_g(i, j);
+  EXPECT_LE(linalg::relative_difference(td.g_tau0[20], i_minus_g), 1e-8);
+
+  Matrix minus_imG = i_minus_g;
+  for (idx j = 0; j < 16; ++j)
+    for (idx i = 0; i < 16; ++i) minus_imG(i, j) = -minus_imG(i, j);
+  EXPECT_LE(linalg::relative_difference(td.g_0tau[0], minus_imG), 1e-8);
+}
+
+TEST(TimeDisplaced, LocalGreensDecaysMonotonicallyAtHalfFilling) {
+  // Gloc(tau) = (1/N) tr G(tau,0) is positive and decays from G(0,0) toward
+  // the anti-periodic boundary value 1 - Gloc(0) at tau = beta.
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 4.0;
+  p.beta = 4.0;
+  p.slices = 40;
+  BMatrixFactory factory(lat, p);
+  HSField field(p.slices, 16);
+  Rng rng(777);
+  field.randomize(rng);
+
+  TimeDisplacedGreens tdg(factory, field);
+  Vector gloc = tdg.local_greens(Spin::Up);
+  ASSERT_EQ(gloc.size(), 41);
+  for (idx l = 0; l <= 40; ++l) {
+    EXPECT_GT(gloc[l], 0.0) << l;
+    EXPECT_LT(gloc[l], 1.0) << l;
+  }
+  // Endpoint sum rule: Gloc(0) + Gloc(beta) = 1 exactly.
+  EXPECT_NEAR(gloc[0] + gloc[40], 1.0, 1e-8);
+  // The minimum sits in the middle (dome shape of -G(tau)).
+  EXPECT_LT(gloc[20], gloc[0]);
+  EXPECT_LT(gloc[20], gloc[40]);
+}
+
+TEST(DisplacedFormulas, EmptyPrefixGivesEqualTimeGreens) {
+  // (I + C)^{-1} from the PDQ route must equal close_greens from the UDT
+  // route on the same chain.
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.u = 6.0;
+  p.beta = 6.0;
+  p.slices = 30;
+  BMatrixFactory factory(lat, p);
+  HSField field(p.slices, 16);
+  Rng rng(555);
+  field.randomize(rng);
+
+  // UDT route.
+  GradedAccumulator acc(16, StratAlgorithm::kPrePivot);
+  std::vector<Matrix> factors;
+  for (idx l = 0; l < p.slices; ++l)
+    factors.push_back(factory.make_b(field.slice(l), Spin::Up));
+  for (const auto& f : factors) acc.push(f);
+  Matrix g_udt = close_greens(acc.u(), acc.d(), acc.t());
+
+  // PDQ route via the transposed accumulation.
+  GradedAccumulator acc_t(16, StratAlgorithm::kPrePivot);
+  for (idx l = p.slices - 1; l >= 0; --l)
+    acc_t.push(linalg::transpose(factors[static_cast<std::size_t>(l)]));
+  UDT t = acc_t.snapshot();
+  PDQ suffix{linalg::transpose(t.t), t.d, t.u};
+  Matrix g_pdq = displaced_g_tau0(nullptr, &suffix);
+
+  EXPECT_LE(linalg::relative_difference(g_pdq, g_udt), 1e-9);
+}
+
+TEST(DisplacedFormulas, BothPartsNullThrows) {
+  EXPECT_THROW(displaced_g_tau0(nullptr, nullptr), InvalidArgument);
+  EXPECT_THROW(displaced_g_0tau(nullptr, nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::core

@@ -1,0 +1,146 @@
+#include "gpusim/chain.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hubbard/bmatrix.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::gpu {
+namespace {
+
+using hubbard::BMatrixFactory;
+using hubbard::hs_t;
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using hubbard::Spin;
+using linalg::idx;
+using linalg::Matrix;
+using linalg::MatrixRng;
+
+struct ChainFixture : ::testing::Test {
+  ChainFixture() : lat(4, 4), factory(lat, params()) {}
+  static ModelParams params() {
+    ModelParams p;
+    p.u = 4.0;
+    p.beta = 2.0;
+    p.slices = 10;
+    return p;
+  }
+  std::vector<hs_t> random_field(std::uint64_t seed) {
+    MatrixRng rng(seed);
+    std::vector<hs_t> h(16);
+    for (auto& x : h) x = rng.uniform() < 0.5 ? hs_t{-1} : hs_t{1};
+    return h;
+  }
+  Lattice lat;
+  BMatrixFactory factory;
+};
+
+TEST_F(ChainFixture, ClusterProductMatchesHostChain) {
+  Device dev;
+  GpuBChain chain(dev, factory.b(), factory.b_inv());
+
+  const int k = 5;
+  std::vector<std::vector<hs_t>> fields;
+  std::vector<linalg::Vector> vs;
+  for (int l = 0; l < k; ++l) {
+    fields.push_back(random_field(200 + l));
+    vs.push_back(factory.v_diagonal(fields.back().data(), Spin::Up));
+  }
+
+  Matrix gpu_result = chain.cluster_product(vs, /*fused_kernel=*/true);
+
+  // Host reference: B_{k-1} ... B_0.
+  Matrix host = factory.make_b(fields[0].data(), Spin::Up);
+  for (int l = 1; l < k; ++l) {
+    host = testing::reference_matmul(factory.make_b(fields[l].data(), Spin::Up),
+                                     host);
+  }
+  EXPECT_MATRIX_NEAR(gpu_result, host, 1e-11);
+}
+
+TEST_F(ChainFixture, FusedAndRowwiseKernelsGiveSameProduct) {
+  Device dev;
+  GpuBChain chain(dev, factory.b(), factory.b_inv());
+  std::vector<linalg::Vector> vs;
+  for (int l = 0; l < 3; ++l) {
+    auto h = random_field(300 + l);
+    vs.push_back(factory.v_diagonal(h.data(), Spin::Down));
+  }
+  Matrix fused = chain.cluster_product(vs, true);
+  Matrix rowwise = chain.cluster_product(vs, false);
+  EXPECT_MATRIX_NEAR(fused, rowwise, 0.0);
+}
+
+TEST_F(ChainFixture, WrapMatchesHostWrap) {
+  Device dev;
+  GpuBChain chain(dev, factory.b(), factory.b_inv());
+  auto h = random_field(400);
+  MatrixRng rng(401);
+  Matrix g = rng.uniform_matrix(16, 16);
+  Matrix g_host = g;
+  Matrix work(16, 16);
+  factory.wrap(h.data(), Spin::Up, g_host, work);
+
+  chain.wrap(g, factory.v_diagonal(h.data(), Spin::Up), true);
+  EXPECT_MATRIX_NEAR(g, g_host, 1e-10);
+}
+
+TEST_F(ChainFixture, WrapVariantsAgree) {
+  Device dev;
+  GpuBChain chain(dev, factory.b(), factory.b_inv());
+  auto h = random_field(500);
+  MatrixRng rng(501);
+  Matrix g1 = rng.uniform_matrix(16, 16);
+  Matrix g2 = g1;
+  const linalg::Vector v = factory.v_diagonal(h.data(), Spin::Up);
+  chain.wrap(g1, v, true);
+  chain.wrap(g2, v, false);
+  EXPECT_MATRIX_NEAR(g1, g2, 1e-12);
+}
+
+TEST_F(ChainFixture, ClusteringAmortizesTransfersBetterThanWrapping) {
+  // The Fig. 9 story: per flop, clustering moves far less PCIe data than
+  // wrapping. Compare modeled transfer seconds per modeled compute second.
+  Device dev;
+  GpuBChain chain(dev, factory.b(), factory.b_inv());
+
+  std::vector<linalg::Vector> vs;
+  for (int l = 0; l < 10; ++l) {
+    auto h = random_field(600 + l);
+    vs.push_back(factory.v_diagonal(h.data(), Spin::Up));
+  }
+  dev.reset_stats();
+  (void)chain.cluster_product(vs, true);
+  dev.synchronize();
+  const DeviceStats cluster = dev.stats();
+
+  MatrixRng rng(601);
+  Matrix g = rng.uniform_matrix(16, 16);
+  dev.reset_stats();
+  chain.wrap(g, vs[0], true);
+  dev.synchronize();
+  const DeviceStats wrap = dev.stats();
+
+  const double cluster_ratio = cluster.transfer_seconds / cluster.compute_seconds;
+  const double wrap_ratio = wrap.transfer_seconds / wrap.compute_seconds;
+  EXPECT_LT(cluster_ratio, wrap_ratio);
+}
+
+TEST_F(ChainFixture, FlopCountsArePositiveAndOrdered) {
+  EXPECT_GT(cluster_product_flops(256, 10), wrap_flops(256));
+  EXPECT_GT(wrap_flops(256), 0.0);
+}
+
+TEST_F(ChainFixture, EmptyClusterThrows) {
+  Device dev;
+  GpuBChain chain(dev, factory.b(), factory.b_inv());
+  std::vector<linalg::Vector> vs;
+  EXPECT_THROW(chain.cluster_product(vs), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::gpu

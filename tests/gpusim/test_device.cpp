@@ -1,0 +1,138 @@
+#include "gpusim/device.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::gpu {
+namespace {
+
+using linalg::idx;
+using linalg::Matrix;
+using linalg::MatrixRng;
+
+TEST(DeviceSpec, GemmTimeScalesWithWork) {
+  const DeviceSpec spec = DeviceSpec::tesla_c2050();
+  const double t256 = spec.gemm_seconds(256, 256, 256);
+  const double t512 = spec.gemm_seconds(512, 512, 512);
+  EXPECT_GT(t512, t256);
+  // Large-n rate approaches peak: 2n^3 / t within 30% of peak at n=1024.
+  const double t1024 = spec.gemm_seconds(1024, 1024, 1024);
+  const double rate = 2.0 * 1024.0 * 1024.0 * 1024.0 / t1024 / 1e9;
+  EXPECT_GT(rate, 0.7 * spec.gemm_peak_gflops);
+  EXPECT_LT(rate, spec.gemm_peak_gflops);
+}
+
+TEST(DeviceSpec, SmallGemmIsFarBelowPeak) {
+  const DeviceSpec spec = DeviceSpec::tesla_c2050();
+  const double t64 = spec.gemm_seconds(64, 64, 64);
+  const double rate = 2.0 * 64.0 * 64.0 * 64.0 / t64 / 1e9;
+  EXPECT_LT(rate, 0.2 * spec.gemm_peak_gflops);
+}
+
+TEST(DeviceSpec, RowwiseScalIsSlowerThanFusedKernel) {
+  const DeviceSpec spec = DeviceSpec::tesla_c2050();
+  const idx n = 512;
+  const double bytes = 2.0 * n * n * sizeof(double);
+  EXPECT_GT(spec.rowwise_scal_seconds(n, n),
+            5.0 * spec.fused_kernel_seconds(bytes));
+}
+
+TEST(Device, RoundTripTransferPreservesData) {
+  Device dev;
+  MatrixRng rng(179);
+  Matrix host = rng.uniform_matrix(33, 17);
+  DeviceMatrix d = dev.alloc_matrix(33, 17);
+  dev.set_matrix(host, d);
+  Matrix back(33, 17);
+  dev.get_matrix(d, back);
+  EXPECT_MATRIX_NEAR(back, host, 0.0);
+}
+
+TEST(Device, GemmMatchesHostBitForBit) {
+  Device dev;
+  MatrixRng rng(181);
+  Matrix a = rng.uniform_matrix(40, 30);
+  Matrix b = rng.uniform_matrix(30, 20);
+  DeviceMatrix da = dev.alloc_matrix(40, 30);
+  DeviceMatrix db = dev.alloc_matrix(30, 20);
+  DeviceMatrix dc = dev.alloc_matrix(40, 20);
+  dev.set_matrix(a, da);
+  dev.set_matrix(b, db);
+  dev.gemm(Trans::No, Trans::No, 1.0, da, db, 0.0, dc);
+  Matrix got(40, 20);
+  dev.get_matrix(dc, got);
+
+  Matrix expected = linalg::matmul(a, b);
+  EXPECT_MATRIX_NEAR(got, expected, 0.0);  // same kernel => identical bits
+}
+
+TEST(Device, ScaleKernelsAgreeWithEachOther) {
+  Device dev;
+  MatrixRng rng(191);
+  Matrix src = rng.uniform_matrix(24, 24);
+  linalg::Vector v(24);
+  for (idx i = 0; i < 24; ++i) v[i] = rng.uniform(0.5, 2.0);
+
+  DeviceMatrix dsrc = dev.alloc_matrix(24, 24);
+  DeviceMatrix d1 = dev.alloc_matrix(24, 24);
+  DeviceMatrix d2 = dev.alloc_matrix(24, 24);
+  DeviceVector dv = dev.alloc_vector(24);
+  dev.set_matrix(src, dsrc);
+  dev.set_vector(v.data(), 24, dv);
+  dev.scale_rows_kernel(dv, dsrc, d1);
+  dev.scale_rows_rowwise(dv, dsrc, d2);
+  Matrix m1(24, 24), m2(24, 24);
+  dev.get_matrix(d1, m1);
+  dev.get_matrix(d2, m2);
+  EXPECT_MATRIX_NEAR(m1, m2, 0.0);
+  // But the modeled cost differs: rowwise must be the slow path.
+  // (checked at the spec level in DeviceSpec tests)
+}
+
+TEST(Device, WrapScaleKernelComputesConjugation) {
+  Device dev;
+  MatrixRng rng(193);
+  Matrix g = rng.uniform_matrix(16, 16);
+  Matrix g0 = g;
+  linalg::Vector v(16);
+  for (idx i = 0; i < 16; ++i) v[i] = rng.uniform(0.5, 2.0);
+
+  DeviceMatrix dg = dev.alloc_matrix(16, 16);
+  DeviceVector dv = dev.alloc_vector(16);
+  dev.set_matrix(g, dg);
+  dev.set_vector(v.data(), 16, dv);
+  dev.wrap_scale_kernel(dv, dg);
+  dev.get_matrix(dg, g);
+  for (idx j = 0; j < 16; ++j)
+    for (idx i = 0; i < 16; ++i)
+      EXPECT_NEAR(g(i, j), v[i] * g0(i, j) / v[j], 1e-14);
+}
+
+TEST(Device, StatsAccumulateTransfersAndKernels) {
+  Device dev;
+  Matrix host = Matrix::identity(8);
+  DeviceMatrix d = dev.alloc_matrix(8, 8);
+  dev.reset_stats();
+  dev.set_matrix(host, d);
+  DeviceMatrix c = dev.alloc_matrix(8, 8);
+  dev.gemm(Trans::No, Trans::No, 1.0, d, d, 0.0, c);
+  dev.synchronize();
+  const DeviceStats s = dev.stats();
+  EXPECT_EQ(s.transfers, 1u);
+  EXPECT_EQ(s.kernel_launches, 1u);
+  EXPECT_DOUBLE_EQ(s.bytes_h2d, 8.0 * 8.0 * sizeof(double));
+  EXPECT_GT(s.compute_seconds, 0.0);
+  EXPECT_GT(s.transfer_seconds, 0.0);
+}
+
+TEST(Device, ShapeMismatchesThrow) {
+  Device dev;
+  Matrix host = Matrix::identity(4);
+  DeviceMatrix d = dev.alloc_matrix(5, 5);
+  EXPECT_THROW(dev.set_matrix(host, d), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::gpu

@@ -1,0 +1,122 @@
+#include "hubbard/bmatrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/diag.h"
+#include "linalg/lu.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::hubbard {
+namespace {
+
+std::vector<hs_t> alternating_field(idx n) {
+  std::vector<hs_t> h(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) h[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 1 : -1;
+  return h;
+}
+
+class BMatrixTest : public ::testing::Test {
+ protected:
+  BMatrixTest() : lat_(4, 4), factory_(lat_, params()) {}
+  static ModelParams params() {
+    ModelParams p;
+    p.u = 4.0;
+    p.beta = 2.0;
+    p.slices = 10;
+    return p;
+  }
+  Lattice lat_;
+  BMatrixFactory factory_;
+};
+
+TEST_F(BMatrixTest, NuMatchesDefinition) {
+  const ModelParams p = params();
+  EXPECT_NEAR(std::cosh(factory_.nu()), std::exp(p.u * p.dtau() / 2.0), 1e-14);
+}
+
+TEST_F(BMatrixTest, VDiagonalSignsFollowSpinAndField) {
+  auto h = alternating_field(16);
+  Vector vup = factory_.v_diagonal(h.data(), Spin::Up);
+  Vector vdn = factory_.v_diagonal(h.data(), Spin::Down);
+  const double nu = factory_.nu();
+  EXPECT_NEAR(vup[0], std::exp(nu), 1e-14);   // h=+1, sigma=+
+  EXPECT_NEAR(vup[1], std::exp(-nu), 1e-14);  // h=-1
+  EXPECT_NEAR(vdn[0], std::exp(-nu), 1e-14);  // opposite spin
+  // Up and down diagonals are elementwise inverses (the PHS structure).
+  for (idx i = 0; i < 16; ++i) EXPECT_NEAR(vup[i] * vdn[i], 1.0, 1e-14);
+}
+
+TEST_F(BMatrixTest, VDiagonalInvIsElementwiseInverse) {
+  auto h = alternating_field(16);
+  Vector v = factory_.v_diagonal(h.data(), Spin::Up);
+  Vector vinv = factory_.v_diagonal_inv(h.data(), Spin::Up);
+  for (idx i = 0; i < 16; ++i) EXPECT_NEAR(v[i] * vinv[i], 1.0, 1e-14);
+}
+
+TEST_F(BMatrixTest, MakeBEqualsDiagTimesB) {
+  auto h = alternating_field(16);
+  Matrix bl = factory_.make_b(h.data(), Spin::Down);
+  const Vector v = factory_.v_diagonal(h.data(), Spin::Down);
+  for (idx j = 0; j < 16; ++j)
+    for (idx i = 0; i < 16; ++i)
+      EXPECT_NEAR(bl(i, j), v[i] * factory_.b()(i, j), 1e-14);
+}
+
+TEST_F(BMatrixTest, ApplyBLeftMatchesExplicitProduct) {
+  auto h = alternating_field(16);
+  linalg::MatrixRng rng(163);
+  Matrix x = rng.uniform_matrix(16, 16);
+  Matrix out(16, 16);
+  factory_.apply_b_left(h.data(), Spin::Up, x, out);
+  Matrix expected =
+      testing::reference_matmul(factory_.make_b(h.data(), Spin::Up), x);
+  EXPECT_MATRIX_NEAR(out, expected, 1e-12);
+}
+
+TEST_F(BMatrixTest, WrapConjugatesByBl) {
+  auto h = alternating_field(16);
+  linalg::MatrixRng rng(167);
+  Matrix g = rng.uniform_matrix(16, 16);
+  Matrix g0 = g;
+  Matrix work(16, 16);
+  factory_.wrap(h.data(), Spin::Up, g, work);
+
+  Matrix bl = factory_.make_b(h.data(), Spin::Up);
+  Matrix bl_inv = linalg::inverse(bl);
+  Matrix expected =
+      testing::reference_matmul(testing::reference_matmul(bl, g0), bl_inv);
+  EXPECT_MATRIX_NEAR(g, expected, 1e-10);
+}
+
+TEST_F(BMatrixTest, WrapIsInvertibleNumerically) {
+  // Wrapping by B_l then by its inverse conjugation returns the original.
+  auto h = alternating_field(16);
+  linalg::MatrixRng rng(173);
+  Matrix g = rng.uniform_matrix(16, 16);
+  Matrix g0 = g;
+  Matrix work(16, 16);
+  factory_.wrap(h.data(), Spin::Up, g, work);
+  // Inverse conjugation: G = B^{-1} diag(v)^{-1} G diag(v) B done via the
+  // same wrap pieces in reverse.
+  const Vector vinv = factory_.v_diagonal_inv(h.data(), Spin::Up);
+  linalg::scale_rows_cols_inv(vinv.data(), vinv.data(), g);
+  Matrix t = testing::reference_matmul(factory_.b_inv(), g);
+  g = testing::reference_matmul(t, factory_.b());
+  EXPECT_MATRIX_NEAR(g, g0, 1e-10);
+}
+
+TEST_F(BMatrixTest, ZeroUGivesUnitV) {
+  ModelParams p = params();
+  p.u = 0.0;
+  BMatrixFactory f0(lat_, p);
+  auto h = alternating_field(16);
+  Vector v = f0.v_diagonal(h.data(), Spin::Up);
+  for (idx i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(v[i], 1.0);
+}
+
+}  // namespace
+}  // namespace dqmc::hubbard

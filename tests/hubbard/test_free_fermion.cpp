@@ -1,0 +1,100 @@
+#include "hubbard/free_fermion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/expm.h"
+#include "linalg/lu.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::hubbard {
+namespace {
+
+TEST(FreeFermion, GreensEqualsDirectInverse) {
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.beta = 3.0;
+  p.mu = 0.15;
+  Matrix g = free_greens_function(lat, p);
+  // Direct: (I + e^{-beta K})^{-1}.
+  Matrix ebk = linalg::expm_symmetric(kinetic_matrix(lat, p), -p.beta);
+  linalg::add_identity(ebk, 1.0);
+  Matrix ref = linalg::inverse(std::move(ebk));
+  EXPECT_MATRIX_NEAR(g, ref, 1e-11);
+}
+
+TEST(FreeFermion, HalfFillingDensityIsOne) {
+  Lattice lat(6, 6);
+  ModelParams p;
+  p.mu = 0.0;
+  p.beta = 5.0;
+  EXPECT_NEAR(free_density(lat, p), 1.0, 1e-12);
+}
+
+TEST(FreeFermion, DensityFromGreensMatchesMomentumSum) {
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.mu = -0.4;
+  p.beta = 2.5;
+  Matrix g = free_greens_function(lat, p);
+  double rho = 0.0;
+  for (idx i = 0; i < g.rows(); ++i) rho += 2.0 * (1.0 - g(i, i));
+  rho /= static_cast<double>(g.rows());
+  EXPECT_NEAR(rho, free_density(lat, p), 1e-12);
+}
+
+TEST(FreeFermion, FermiFunctionLimits) {
+  EXPECT_NEAR(fermi_function(10.0, -100.0), 1.0, 1e-12);
+  EXPECT_NEAR(fermi_function(10.0, +100.0), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fermi_function(10.0, 0.0), 0.5);
+  // No overflow at extreme arguments.
+  EXPECT_NEAR(fermi_function(1000.0, -1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(fermi_function(1000.0, 1000.0), 0.0, 1e-12);
+}
+
+TEST(FreeFermion, DispersionAtSymmetryPoints) {
+  ModelParams p;
+  p.t = 1.0;
+  p.mu = 0.0;
+  EXPECT_DOUBLE_EQ(free_dispersion(p, {0.0, 0.0}), -4.0);
+  EXPECT_NEAR(free_dispersion(p, {std::numbers::pi, std::numbers::pi}), 4.0, 1e-14);
+  EXPECT_NEAR(free_dispersion(p, {std::numbers::pi, 0.0}), 0.0, 1e-14);
+}
+
+TEST(FreeFermion, MomentumOccupationIsSharpAtLowTemperature) {
+  ModelParams p;
+  p.beta = 100.0;
+  p.mu = 0.0;
+  EXPECT_NEAR(free_momentum_occupation(p, {0.0, 0.0}), 1.0, 1e-10);
+  EXPECT_NEAR(free_momentum_occupation(p, {std::numbers::pi, std::numbers::pi}),
+              0.0, 1e-10);
+}
+
+TEST(FreeFermion, EnergyIsNegativeBelowHalfBand) {
+  Lattice lat(8, 8);
+  ModelParams p;
+  p.mu = 0.0;
+  p.beta = 8.0;
+  // At half filling the band energy is strictly negative.
+  EXPECT_LT(free_energy_per_site(lat, p), -0.5);
+  EXPECT_GT(free_energy_per_site(lat, p), -4.0);
+}
+
+TEST(FreeFermion, MultilayerGreensStillProjector) {
+  // G + (I+e^{-beta K})^{-1}-consistency holds on stacked lattices too.
+  Lattice lat(3, 3, 2);
+  ModelParams p;
+  p.beta = 2.0;
+  p.t_perp = 0.5;
+  Matrix g = free_greens_function(lat, p);
+  Matrix ebk = linalg::expm_symmetric(kinetic_matrix(lat, p), -p.beta);
+  linalg::add_identity(ebk, 1.0);
+  Matrix prod = testing::reference_matmul(g, ebk);
+  EXPECT_MATRIX_NEAR(prod, Matrix::identity(18), 1e-11);
+}
+
+}  // namespace
+}  // namespace dqmc::hubbard

@@ -1,0 +1,100 @@
+#include "hubbard/kinetic.h"
+
+#include "linalg/expm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "testing/test_utils.h"
+
+namespace dqmc::hubbard {
+namespace {
+
+TEST(Kinetic, MatrixIsSymmetricWithCorrectPattern) {
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.t = 1.5;
+  p.mu = 0.3;
+  Matrix k = kinetic_matrix(lat, p);
+  for (idx j = 0; j < k.cols(); ++j)
+    for (idx i = 0; i < k.rows(); ++i) EXPECT_EQ(k(i, j), k(j, i));
+  // Diagonal carries -mu.
+  for (idx i = 0; i < k.rows(); ++i) EXPECT_DOUBLE_EQ(k(i, i), -0.3);
+  // Nearest neighbors carry -t.
+  const idx s = lat.site(1, 1);
+  EXPECT_DOUBLE_EQ(k(s, lat.site(2, 1)), -1.5);
+  EXPECT_DOUBLE_EQ(k(s, lat.site(1, 2)), -1.5);
+  EXPECT_DOUBLE_EQ(k(s, lat.site(2, 2)), 0.0);  // diagonal neighbor: none
+}
+
+TEST(Kinetic, RowSumsMatchCoordination) {
+  // With mu = 0 each row sums to -t * (number of neighbors) = -4t in 2D.
+  Lattice lat(6, 6);
+  ModelParams p;
+  p.t = 1.0;
+  p.mu = 0.0;
+  Matrix k = kinetic_matrix(lat, p);
+  for (idx i = 0; i < k.rows(); ++i) {
+    double sum = 0.0;
+    for (idx j = 0; j < k.cols(); ++j) sum += k(i, j);
+    EXPECT_NEAR(sum, -4.0, 1e-14);
+  }
+}
+
+TEST(Kinetic, MultilayerUsesPerpendicularHopping) {
+  Lattice lat(3, 3, 2);
+  ModelParams p;
+  p.t = 1.0;
+  p.t_perp = 0.25;
+  Matrix k = kinetic_matrix(lat, p);
+  const idx a = lat.site(1, 1, 0), b = lat.site(1, 1, 1);
+  EXPECT_DOUBLE_EQ(k(a, b), -0.25);
+  EXPECT_DOUBLE_EQ(k(a, lat.site(2, 1, 0)), -1.0);
+}
+
+TEST(Kinetic, SpectrumMatchesTightBindingDispersion) {
+  // Eigenvalues of K on the periodic square lattice are
+  // -2t (cos kx + cos ky) - mu over the momentum grid.
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.t = 1.0;
+  p.mu = 0.2;
+  Matrix k = kinetic_matrix(lat, p);
+  linalg::SymmetricEigen eig = linalg::eig_sym(k);
+
+  std::vector<double> expected;
+  for (const Momentum& q : lat.momenta())
+    expected.push_back(-2.0 * (std::cos(q.kx) + std::cos(q.ky)) - 0.2);
+  std::sort(expected.begin(), expected.end());
+  for (idx i = 0; i < k.rows(); ++i)
+    EXPECT_NEAR(eig.eigenvalues[i], expected[static_cast<std::size_t>(i)], 1e-12)
+        << i;
+}
+
+TEST(Kinetic, ExponentialsAreMutualInverses) {
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.beta = 4.0;
+  p.slices = 20;
+  KineticExponentials ke = kinetic_exponentials(lat, p);
+  Matrix prod = testing::reference_matmul(ke.b, ke.b_inv);
+  EXPECT_MATRIX_NEAR(prod, Matrix::identity(16), 1e-12);
+}
+
+TEST(Kinetic, ExponentialPowerEqualsFullBeta) {
+  // (e^{-dtau K})^L == e^{-beta K} exactly (same spectral basis).
+  Lattice lat(4, 4);
+  ModelParams p;
+  p.beta = 2.0;
+  p.slices = 8;
+  KineticExponentials ke = kinetic_exponentials(lat, p);
+  Matrix power = Matrix::identity(16);
+  for (idx l = 0; l < p.slices; ++l) power = testing::reference_matmul(ke.b, power);
+  Matrix full = linalg::expm_symmetric(kinetic_matrix(lat, p), -p.beta);
+  EXPECT_MATRIX_NEAR(power, full, 1e-11);
+}
+
+}  // namespace
+}  // namespace dqmc::hubbard

@@ -1,0 +1,103 @@
+#include "hubbard/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "common/error.h"
+
+namespace dqmc::hubbard {
+namespace {
+
+TEST(Lattice, SiteIndexingRoundTrips) {
+  Lattice lat(4, 3, 2);
+  EXPECT_EQ(lat.num_sites(), 24);
+  for (idx s = 0; s < lat.num_sites(); ++s) {
+    const SiteCoord c = lat.coord(s);
+    EXPECT_EQ(lat.site(c.x, c.y, c.z), s);
+  }
+}
+
+TEST(Lattice, BondCountSingleLayer) {
+  // Periodic Lx x Ly: 2 * N bonds (each site contributes +x and +y).
+  Lattice lat(4, 4);
+  EXPECT_EQ(static_cast<idx>(lat.bonds().size()), 2 * lat.num_sites());
+}
+
+TEST(Lattice, BondCountMultilayer) {
+  // layers stacked with open z: in-plane 2*N total + (layers-1)*Nplane.
+  Lattice lat(4, 4, 3);
+  const idx plane = 16;
+  EXPECT_EQ(static_cast<idx>(lat.bonds().size()), 2 * 3 * plane + 2 * plane);
+}
+
+TEST(Lattice, ExtentTwoDoesNotDoubleCountBonds) {
+  // On a 2 x 2 periodic lattice +x from x=0 and from x=1 hit the same pair.
+  Lattice lat(2, 2);
+  std::set<std::pair<idx, idx>> uniq;
+  for (const auto& b : lat.bonds()) {
+    auto key = std::minmax(b.a, b.b);
+    EXPECT_TRUE(uniq.insert(key).second)
+        << "duplicate bond " << b.a << "-" << b.b;
+  }
+  EXPECT_EQ(uniq.size(), 4u);  // 2 x-bonds + 2 y-bonds
+}
+
+TEST(Lattice, NeighborWrapsPeriodically) {
+  Lattice lat(4, 4);
+  const idx s = lat.site(3, 0);
+  EXPECT_EQ(lat.neighbor(s, 1, 0), lat.site(0, 0));
+  EXPECT_EQ(lat.neighbor(s, -4, 0), s);
+  EXPECT_EQ(lat.neighbor(lat.site(0, 0), 0, -1), lat.site(0, 3));
+}
+
+TEST(Lattice, InterlayerNeighborIsOpen) {
+  Lattice lat(3, 3, 2);
+  const idx bottom = lat.site(1, 1, 0);
+  EXPECT_EQ(lat.neighbor(bottom, 0, 0, 1), lat.site(1, 1, 1));
+  EXPECT_THROW(lat.neighbor(bottom, 0, 0, -1), InvalidArgument);
+}
+
+TEST(Lattice, MomentaCoverBrillouinZone) {
+  Lattice lat(4, 4);
+  auto ks = lat.momenta();
+  ASSERT_EQ(ks.size(), 16u);
+  EXPECT_DOUBLE_EQ(ks[0].kx, 0.0);
+  EXPECT_DOUBLE_EQ(ks[0].ky, 0.0);
+  // All momenta distinct mod 2 pi.
+  std::set<std::pair<long, long>> uniq;
+  for (const auto& k : ks) {
+    uniq.insert({std::lround(k.kx * 1e9), std::lround(k.ky * 1e9)});
+  }
+  EXPECT_EQ(uniq.size(), 16u);
+}
+
+TEST(Lattice, DisplacementMinimumImage) {
+  Lattice lat(6, 6);
+  const idx a = lat.site(0, 0);
+  const idx b = lat.site(5, 0);
+  const SiteCoord d = lat.displacement(a, b);
+  EXPECT_EQ(d.x, -1);  // wrap: 5 == -1 mod 6
+  EXPECT_EQ(d.y, 0);
+}
+
+TEST(Lattice, DisplacementIndexIsTranslationInvariant) {
+  Lattice lat(4, 5);
+  const idx d1 = lat.displacement_index(lat.site(0, 0), lat.site(2, 3));
+  const idx d2 = lat.displacement_index(lat.site(1, 1), lat.site(3, 4));
+  const idx d3 = lat.displacement_index(lat.site(3, 4), lat.site(1, 2));
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d2, d3);  // (2,3) shift from (3,4) wraps to (1,2)
+  EXPECT_GE(d1, 0);
+  EXPECT_LT(d1, lat.num_displacements());
+}
+
+TEST(Lattice, RejectsDegenerateExtents) {
+  EXPECT_THROW(Lattice(1, 4), InvalidArgument);
+  EXPECT_THROW(Lattice(4, 4, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::hubbard

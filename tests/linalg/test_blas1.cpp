@@ -1,0 +1,103 @@
+#include "linalg/blas1.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dqmc::linalg {
+namespace {
+
+TEST(Blas1, DotUnitStride) {
+  const double x[] = {1, 2, 3};
+  const double y[] = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(3, x, y), 32.0);
+}
+
+TEST(Blas1, DotGeneralStride) {
+  const double x[] = {1, 0, 2, 0, 3, 0};
+  const double y[] = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(3, x, 2, y, 1), 32.0);
+}
+
+TEST(Blas1, Nrm2MatchesHandComputation) {
+  const double x[] = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(nrm2(2, x), 5.0);
+}
+
+TEST(Blas1, Nrm2DoesNotOverflow) {
+  // Plain sum of squares of 1e200 overflows; scaled nrm2 must not.
+  const double x[] = {1e200, 1e200};
+  EXPECT_NEAR(nrm2(2, x), std::sqrt(2.0) * 1e200, 1e186);
+}
+
+TEST(Blas1, Nrm2DoesNotUnderflow) {
+  // (1e-200)^2 underflows to zero; scaled accumulation keeps the value.
+  const double x[] = {1e-200, 1e-200};
+  EXPECT_NEAR(nrm2(2, x), std::sqrt(2.0) * 1e-200, 1e-214);
+}
+
+TEST(Blas1, Nrm2ZeroAndEmpty) {
+  const double x[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(nrm2(2, x), 0.0);
+  EXPECT_DOUBLE_EQ(nrm2(0, x), 0.0);
+}
+
+TEST(Blas1, Asum) {
+  const double x[] = {-1.0, 2.0, -3.0};
+  EXPECT_DOUBLE_EQ(asum(3, x), 6.0);
+}
+
+TEST(Blas1, ScalScalesInPlace) {
+  double x[] = {1.0, -2.0, 3.0};
+  scal(3, -2.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  EXPECT_DOUBLE_EQ(x[2], -6.0);
+}
+
+TEST(Blas1, ScalStrided) {
+  double x[] = {1.0, 99.0, 2.0, 99.0};
+  scal(2, 10.0, x, 2);
+  EXPECT_DOUBLE_EQ(x[0], 10.0);
+  EXPECT_DOUBLE_EQ(x[1], 99.0);
+  EXPECT_DOUBLE_EQ(x[2], 20.0);
+}
+
+TEST(Blas1, AxpyAccumulates) {
+  const double x[] = {1.0, 2.0};
+  double y[] = {10.0, 20.0};
+  axpy(2, 3.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 26.0);
+}
+
+TEST(Blas1, AxpyAlphaZeroLeavesYUntouched) {
+  const double x[] = {1e308, 1e308};  // would pollute if touched
+  double y[] = {1.0, 2.0};
+  axpy(2, 0.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(Blas1, SwapExchangesStridedVectors) {
+  double x[] = {1, 2, 3};
+  double y[] = {4, 5, 6};
+  swap(3, x, 1, y, 1);
+  EXPECT_DOUBLE_EQ(x[0], 4);
+  EXPECT_DOUBLE_EQ(y[2], 3);
+}
+
+TEST(Blas1, IamaxFindsLargestMagnitude) {
+  const double x[] = {1.0, -7.0, 3.0};
+  EXPECT_EQ(iamax(3, x), 1);
+  EXPECT_EQ(iamax(0, x), 0);
+}
+
+TEST(Blas1, IamaxReturnsFirstOnTies) {
+  const double x[] = {2.0, -2.0, 2.0};
+  EXPECT_EQ(iamax(3, x), 0);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

@@ -1,0 +1,99 @@
+#include "linalg/blas2.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+TEST(Gemv, NoTransMatchesHandResult) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const double x[] = {1, 1, 1};
+  double y[] = {10, 10};
+  gemv(Trans::No, 1.0, a, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Gemv, TransMatchesHandResult) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const double x[] = {1, 2};
+  double y[] = {0, 0, 0};
+  gemv(Trans::Yes, 1.0, a, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(Gemv, AlphaBetaCombine) {
+  Matrix a = Matrix::identity(2);
+  const double x[] = {1, 2};
+  double y[] = {10, 20};
+  gemv(Trans::No, 2.0, a, x, 3.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 32.0);
+  EXPECT_DOUBLE_EQ(y[1], 64.0);
+}
+
+TEST(Ger, RankOneUpdate) {
+  Matrix a = Matrix::zero(2, 2);
+  const double x[] = {1, 2};
+  const double y[] = {3, 4};
+  ger(2.0, x, y, a);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 16.0);
+}
+
+TEST(Ger, AlphaZeroIsNoop) {
+  Matrix a = Matrix::identity(2);
+  const double x[] = {1e300, 1e300};
+  ger(0.0, x, x, a);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+}
+
+class TrsvTest : public ::testing::TestWithParam<std::tuple<UpLo, Trans, Diag>> {};
+
+TEST_P(TrsvTest, SolveThenMultiplyRoundTrips) {
+  auto [uplo, trans, diag] = GetParam();
+  MatrixRng rng(42);
+  const idx n = 12;
+  // Well-conditioned triangular matrix: dominant diagonal.
+  Matrix t = rng.uniform_matrix(n, n);
+  for (idx i = 0; i < n; ++i) t(i, i) = 4.0 + i * 0.1;
+  // Zero-out the irrelevant triangle so the reference multiply below is easy.
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < n; ++i) {
+      const bool keep = (uplo == UpLo::Upper) ? (i <= j) : (i >= j);
+      if (!keep) t(i, j) = 0.0;
+    }
+  if (diag == Diag::Unit)
+    for (idx i = 0; i < n; ++i) t(i, i) = 1.0;
+
+  Vector b(n);
+  for (idx i = 0; i < n; ++i) b[i] = rng.uniform(-1, 1);
+  Vector x = b;
+  trsv(uplo, trans, diag, t, x.data());
+
+  // Check op(T) * x == b.
+  Matrix op = (trans == Trans::Yes) ? transpose(t) : t;
+  Vector tx(n);
+  for (idx i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (idx j = 0; j < n; ++j) s += op(i, j) * x[j];
+    tx[i] = s;
+  }
+  for (idx i = 0; i < n; ++i) EXPECT_NEAR(tx[i], b[i], 1e-12) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsvTest,
+    ::testing::Combine(::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+}  // namespace
+}  // namespace dqmc::linalg

@@ -1,0 +1,169 @@
+#include "linalg/blas3.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+using testing::reference_gemm;
+
+/// Parameter sweep: (m, n, k, transa, transb, alpha, beta). Shapes straddle
+/// the micro-kernel tile (8x6) and cache-block boundaries on purpose.
+class GemmSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::tuple<idx, idx, idx>, bool, bool, double, double>> {};
+
+TEST_P(GemmSweep, MatchesNaiveReference) {
+  const auto [shape, ta, tb, alpha, beta] = GetParam();
+  const auto [m, n, k] = shape;
+  MatrixRng rng(static_cast<std::uint64_t>(m * 131 + n * 17 + k));
+
+  Matrix a = ta ? rng.uniform_matrix(k, m) : rng.uniform_matrix(m, k);
+  Matrix b = tb ? rng.uniform_matrix(n, k) : rng.uniform_matrix(k, n);
+  Matrix c = rng.uniform_matrix(m, n);
+
+  Matrix expected = reference_gemm(ta, tb, alpha, a, b, beta, c);
+  gemm(ta ? Trans::Yes : Trans::No, tb ? Trans::Yes : Trans::No, alpha, a, b,
+       beta, c);
+  // Error bound ~ k * eps * |row||col|; generous fixed tolerance.
+  EXPECT_MATRIX_NEAR(c, expected, 1e-11 * std::max<idx>(k, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndFlags, GemmSweep,
+    ::testing::Combine(
+        ::testing::Values(std::tuple<idx, idx, idx>{1, 1, 1},
+                          std::tuple<idx, idx, idx>{8, 6, 4},
+                          std::tuple<idx, idx, idx>{9, 7, 5},
+                          std::tuple<idx, idx, idx>{16, 12, 256},
+                          std::tuple<idx, idx, idx>{64, 64, 64},
+                          std::tuple<idx, idx, idx>{100, 50, 300},
+                          std::tuple<idx, idx, idx>{200, 3, 200},
+                          std::tuple<idx, idx, idx>{3, 200, 200},
+                          std::tuple<idx, idx, idx>{193, 100, 257}),
+        ::testing::Bool(), ::testing::Bool(), ::testing::Values(1.0, -0.5),
+        ::testing::Values(0.0, 1.0, 2.0)));
+
+TEST(Gemm, ZeroInnerDimensionScalesC) {
+  Matrix a(3, 0);
+  Matrix b(0, 2);
+  Matrix c(3, 2, {1, 2, 3, 4, 5, 6});
+  gemm(Trans::No, Trans::No, 1.0, a, b, 2.0, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(2, 1), 12.0);
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  Matrix a = Matrix::zero(3, 4);
+  Matrix b = Matrix::zero(5, 2);
+  Matrix c = Matrix::zero(3, 2);
+  EXPECT_THROW(gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, c),
+               InvalidArgument);
+}
+
+TEST(Gemm, WorksOnStridedViews) {
+  MatrixRng rng(7);
+  Matrix big = rng.uniform_matrix(20, 20);
+  Matrix a = Matrix::copy_of(big.block(2, 3, 10, 6));
+  Matrix b = Matrix::copy_of(big.block(0, 0, 6, 8));
+  Matrix c1 = Matrix::zero(10, 8);
+  gemm(Trans::No, Trans::No, 1.0, big.block(2, 3, 10, 6),
+       big.block(0, 0, 6, 8), 0.0, c1);
+  Matrix c2 = testing::reference_matmul(a, b);
+  EXPECT_MATRIX_NEAR(c1, c2, 1e-12);
+}
+
+TEST(Matmul, ConvenienceWrapper) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  Matrix ct = matmul(a, b, Trans::Yes, Trans::No);
+  EXPECT_DOUBLE_EQ(ct(0, 0), 26.0);
+}
+
+class TrsmSweep
+    : public ::testing::TestWithParam<std::tuple<Side, UpLo, Trans, Diag>> {};
+
+TEST_P(TrsmSweep, SolutionSatisfiesEquation) {
+  const auto [side, uplo, trans, diag] = GetParam();
+  MatrixRng rng(99);
+  const idx m = 17, n = 9;
+  const idx tn = side == Side::Left ? m : n;
+
+  Matrix t = rng.uniform_matrix(tn, tn);
+  for (idx j = 0; j < tn; ++j)
+    for (idx i = 0; i < tn; ++i) {
+      const bool keep = (uplo == UpLo::Upper) ? (i <= j) : (i >= j);
+      if (!keep) t(i, j) = 0.0;
+    }
+  for (idx i = 0; i < tn; ++i)
+    t(i, i) = (diag == Diag::Unit) ? 1.0 : 3.0 + 0.1 * i;
+
+  Matrix b0 = rng.uniform_matrix(m, n);
+  Matrix x = b0;
+  const double alpha = 2.0;
+  trsm(side, uplo, trans, diag, alpha, t, x);
+
+  Matrix opt = (trans == Trans::Yes) ? transpose(t) : Matrix(t);
+  Matrix lhs = (side == Side::Left) ? testing::reference_matmul(opt, x)
+                                    : testing::reference_matmul(x, opt);
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < m; ++i)
+      EXPECT_NEAR(lhs(i, j), alpha * b0(i, j), 1e-10) << i << "," << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmSweep,
+    ::testing::Combine(::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+class TrmmSweep
+    : public ::testing::TestWithParam<std::tuple<Side, UpLo, Trans, Diag>> {};
+
+TEST_P(TrmmSweep, MatchesDenseMultiply) {
+  const auto [side, uplo, trans, diag] = GetParam();
+  MatrixRng rng(5);
+  const idx m = 13, n = 11;
+  const idx tn = side == Side::Left ? m : n;
+
+  Matrix t = rng.uniform_matrix(tn, tn);
+  for (idx j = 0; j < tn; ++j)
+    for (idx i = 0; i < tn; ++i) {
+      const bool keep = (uplo == UpLo::Upper) ? (i <= j) : (i >= j);
+      if (!keep) t(i, j) = 0.0;
+    }
+  if (diag == Diag::Unit)
+    for (idx i = 0; i < tn; ++i) t(i, i) = 1.0;
+
+  Matrix b = rng.uniform_matrix(m, n);
+  Matrix expected;
+  {
+    Matrix opt = (trans == Trans::Yes) ? transpose(t) : Matrix(t);
+    expected = (side == Side::Left) ? testing::reference_matmul(opt, b)
+                                    : testing::reference_matmul(b, opt);
+    const double alpha = -1.5;
+    for (idx j = 0; j < n; ++j)
+      for (idx i = 0; i < m; ++i) expected(i, j) *= alpha;
+  }
+  trmm(side, uplo, trans, diag, -1.5, t, b);
+  EXPECT_MATRIX_NEAR(b, expected, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrmmSweep,
+    ::testing::Combine(::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+}  // namespace
+}  // namespace dqmc::linalg

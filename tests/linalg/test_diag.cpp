@@ -1,0 +1,89 @@
+#include "linalg/diag.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+TEST(Diag, ScaleRows) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  const double d[] = {10, 100};
+  scale_rows(d, a);
+  EXPECT_DOUBLE_EQ(a(0, 0), 10);
+  EXPECT_DOUBLE_EQ(a(0, 1), 20);
+  EXPECT_DOUBLE_EQ(a(1, 0), 300);
+  EXPECT_DOUBLE_EQ(a(1, 1), 400);
+}
+
+TEST(Diag, ScaleCols) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  const double d[] = {10, 100};
+  scale_cols(d, a);
+  EXPECT_DOUBLE_EQ(a(0, 0), 10);
+  EXPECT_DOUBLE_EQ(a(0, 1), 200);
+  EXPECT_DOUBLE_EQ(a(1, 0), 30);
+  EXPECT_DOUBLE_EQ(a(1, 1), 400);
+}
+
+TEST(Diag, ScaleRowsColsInvMatchesComposition) {
+  MatrixRng rng(109);
+  Matrix a = rng.uniform_matrix(9, 9);
+  Matrix b = a;
+  Vector r(9), c(9);
+  for (idx i = 0; i < 9; ++i) {
+    r[i] = rng.uniform(0.5, 2.0);
+    c[i] = rng.uniform(0.5, 2.0);
+  }
+  scale_rows_cols_inv(r.data(), c.data(), a);
+
+  scale_rows(r.data(), b);
+  Vector cinv = reciprocal(c);
+  scale_cols(cinv.data(), b);
+  EXPECT_MATRIX_NEAR(a, b, 1e-14);
+}
+
+TEST(Diag, ScaleRowsIntoLeavesSourceIntact) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix out(2, 2);
+  const double d[] = {2, 3};
+  scale_rows_into(d, a, out);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1);
+  EXPECT_DOUBLE_EQ(out(0, 0), 2);
+  EXPECT_DOUBLE_EQ(out(1, 1), 12);
+}
+
+TEST(Diag, DiagonalExtraction) {
+  Matrix a(2, 2, {5, 1, 2, 7});
+  Vector d = diagonal(a);
+  EXPECT_DOUBLE_EQ(d[0], 5);
+  EXPECT_DOUBLE_EQ(d[1], 7);
+  EXPECT_THROW(diagonal(Matrix::zero(2, 3)), InvalidArgument);
+}
+
+TEST(Diag, ReciprocalChecksZero) {
+  Vector d{2.0, 4.0};
+  Vector r = reciprocal(d);
+  EXPECT_DOUBLE_EQ(r[0], 0.5);
+  EXPECT_DOUBLE_EQ(r[1], 0.25);
+  Vector z{1.0, 0.0};
+  EXPECT_THROW(reciprocal(z), InvalidArgument);
+}
+
+TEST(Diag, LargeMatrixThreadedPathIsCorrect) {
+  // Exercise the parallel branch (cols >> grain).
+  MatrixRng rng(113);
+  Matrix a = rng.uniform_matrix(64, 300);
+  Matrix ref = a;
+  Vector d(64);
+  for (idx i = 0; i < 64; ++i) d[i] = rng.uniform(0.1, 2.0);
+  scale_rows(d.data(), a);
+  for (idx j = 0; j < 300; ++j)
+    for (idx i = 0; i < 64; ++i)
+      ASSERT_DOUBLE_EQ(a(i, j), ref(i, j) * d[i]);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

@@ -1,0 +1,117 @@
+#include "linalg/eig_sym.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+using testing::orthogonality_defect;
+using testing::reference_matmul;
+
+/// Build a random symmetric matrix with a known spectrum: V diag(w) V^T.
+Matrix symmetric_with_spectrum(MatrixRng& rng, const Vector& w) {
+  const idx n = w.size();
+  Matrix v = rng.orthogonal_matrix(n);
+  Matrix scaled = v;
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < n; ++i) scaled(i, j) *= w[j];
+  return testing::reference_gemm(false, true, 1.0, scaled, v, 0.0,
+                                 Matrix::zero(n, n));
+}
+
+class EigSizes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(EigSizes, RecoverseigenpairsOfRandomSymmetric) {
+  const idx n = GetParam();
+  MatrixRng rng(static_cast<std::uint64_t>(n) * 101);
+  Matrix a = rng.uniform_matrix(n, n);
+  // Symmetrize.
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < j; ++i) {
+      const double s = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = a(j, i) = s;
+    }
+
+  SymmetricEigen e = eig_sym(a);
+  EXPECT_LE(orthogonality_defect(e.eigenvectors), 1e-12 * n);
+  // Ascending order.
+  for (idx i = 1; i < n; ++i)
+    EXPECT_LE(e.eigenvalues[i - 1], e.eigenvalues[i] + 1e-13);
+  // A v_i == w_i v_i.
+  Matrix av = reference_matmul(a, e.eigenvectors);
+  for (idx i = 0; i < n; ++i)
+    for (idx r = 0; r < n; ++r)
+      EXPECT_NEAR(av(r, i), e.eigenvalues[i] * e.eigenvectors(r, i), 1e-11 * n)
+          << "pair " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizes, ::testing::Values(1, 2, 3, 5, 16, 40, 81));
+
+TEST(EigSym, KnownSpectrumIsRecovered) {
+  MatrixRng rng(73);
+  Vector w{-3.0, -1.0, 0.5, 2.0, 10.0};
+  Matrix a = symmetric_with_spectrum(rng, w);
+  SymmetricEigen e = eig_sym(a);
+  for (idx i = 0; i < 5; ++i) EXPECT_NEAR(e.eigenvalues[i], w[i], 1e-11);
+}
+
+TEST(EigSym, DegenerateEigenvaluesStillOrthogonal) {
+  MatrixRng rng(79);
+  Vector w{1.0, 1.0, 1.0, 4.0, 4.0};
+  Matrix a = symmetric_with_spectrum(rng, w);
+  SymmetricEigen e = eig_sym(a);
+  EXPECT_LE(orthogonality_defect(e.eigenvectors), 1e-11);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-11);
+  EXPECT_NEAR(e.eigenvalues[4], 4.0, 1e-11);
+}
+
+TEST(EigSym, DiagonalMatrixIsItsOwnSpectrum) {
+  Matrix a = Matrix::zero(4, 4);
+  a(0, 0) = 4;
+  a(1, 1) = -2;
+  a(2, 2) = 0;
+  a(3, 3) = 1;
+  SymmetricEigen e = eig_sym(a);
+  EXPECT_NEAR(e.eigenvalues[0], -2, 1e-14);
+  EXPECT_NEAR(e.eigenvalues[1], 0, 1e-14);
+  EXPECT_NEAR(e.eigenvalues[2], 1, 1e-14);
+  EXPECT_NEAR(e.eigenvalues[3], 4, 1e-14);
+}
+
+TEST(EigSym, TightBindingRingHasKnownSpectrum) {
+  // 1D periodic hopping matrix: eigenvalues -2 cos(2 pi k / n).
+  const idx n = 12;
+  Matrix k = Matrix::zero(n, n);
+  for (idx i = 0; i < n; ++i) {
+    k(i, (i + 1) % n) = -1.0;
+    k((i + 1) % n, i) = -1.0;
+  }
+  SymmetricEigen e = eig_sym(k);
+  Vector expected(n);
+  for (idx m = 0; m < n; ++m)
+    expected[m] = -2.0 * std::cos(2.0 * std::numbers::pi * m / n);
+  std::sort(expected.begin(), expected.end());
+  for (idx i = 0; i < n; ++i)
+    EXPECT_NEAR(e.eigenvalues[i], expected[i], 1e-12) << i;
+}
+
+TEST(EigSym, RejectsNonSymmetric) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  EXPECT_THROW(eig_sym(a), InvalidArgument);
+}
+
+TEST(EigSym, OneByOne) {
+  Matrix a(1, 1, {42.0});
+  SymmetricEigen e = eig_sym(a);
+  EXPECT_EQ(e.eigenvalues[0], 42.0);
+  EXPECT_EQ(e.eigenvectors(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

@@ -1,0 +1,104 @@
+#include "linalg/expm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+using testing::reference_matmul;
+
+TEST(Expm, DiagonalMatrix) {
+  Matrix a = Matrix::zero(3, 3);
+  a(0, 0) = 0.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = -2.0;
+  Matrix e = expm_symmetric(a);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e(1, 1), std::exp(1.0), 1e-13);
+  EXPECT_NEAR(e(2, 2), std::exp(-2.0), 1e-14);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  Matrix a = Matrix::zero(5, 5);
+  Matrix e = expm_symmetric(a);
+  EXPECT_MATRIX_NEAR(e, Matrix::identity(5), 1e-14);
+}
+
+TEST(Expm, MatchesTaylorSeriesOnSmallMatrix) {
+  MatrixRng rng(83);
+  Matrix a = rng.uniform_matrix(8, 8);
+  for (idx j = 0; j < 8; ++j)
+    for (idx i = 0; i < j; ++i) {
+      const double s = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = a(j, i) = s;
+    }
+  // Scale down so the Taylor series converges quickly.
+  for (idx j = 0; j < 8; ++j)
+    for (idx i = 0; i < 8; ++i) a(i, j) *= 0.1;
+
+  Matrix expected = Matrix::identity(8);
+  Matrix term = Matrix::identity(8);
+  for (int k = 1; k <= 30; ++k) {
+    term = reference_matmul(term, a);
+    for (idx j = 0; j < 8; ++j)
+      for (idx i = 0; i < 8; ++i) {
+        term(i, j) /= k;
+        expected(i, j) += term(i, j);
+      }
+  }
+  Matrix e = expm_symmetric(a);
+  EXPECT_MATRIX_NEAR(e, expected, 1e-12);
+}
+
+TEST(Expm, PairGivesMutualInverses) {
+  MatrixRng rng(89);
+  Matrix a = rng.uniform_matrix(12, 12);
+  for (idx j = 0; j < 12; ++j)
+    for (idx i = 0; i < j; ++i) {
+      const double s = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = a(j, i) = s;
+    }
+  ExpmPair p = expm_symmetric_pair(a, 0.7);
+  Matrix prod = reference_matmul(p.exp_pos, p.exp_neg);
+  EXPECT_MATRIX_NEAR(prod, Matrix::identity(12), 1e-11);
+}
+
+TEST(Expm, ScalingParameterIsApplied) {
+  Matrix a(1, 1, {2.0});
+  Matrix e = expm_symmetric(a, -0.5);
+  EXPECT_NEAR(e(0, 0), std::exp(-1.0), 1e-14);
+}
+
+TEST(Expm, ExponentialIsSymmetricPositiveDefinite) {
+  MatrixRng rng(97);
+  Matrix a = rng.uniform_matrix(10, 10);
+  for (idx j = 0; j < 10; ++j)
+    for (idx i = 0; i < j; ++i) {
+      const double s = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = a(j, i) = s;
+    }
+  Matrix e = expm_symmetric(a);
+  for (idx j = 0; j < 10; ++j)
+    for (idx i = 0; i < 10; ++i) EXPECT_NEAR(e(i, j), e(j, i), 1e-12);
+  SymmetricEigen se = eig_sym(e);
+  EXPECT_GT(se.eigenvalues[0], 0.0);
+}
+
+TEST(SpectralFunction, AppliesArbitraryFunction) {
+  Matrix a = Matrix::zero(2, 2);
+  a(0, 0) = 4.0;
+  a(1, 1) = 9.0;
+  SymmetricEigen e = eig_sym(a);
+  Matrix s = spectral_function(e, [](double x) { return std::sqrt(x); });
+  EXPECT_NEAR(s(0, 0), 2.0, 1e-13);
+  EXPECT_NEAR(s(1, 1), 3.0, 1e-13);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

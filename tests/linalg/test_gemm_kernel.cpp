@@ -1,0 +1,127 @@
+// Direct unit tests of the GEMM packing routines and micro-kernel.
+#include "linalg/gemm_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/aligned.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg::detail {
+namespace {
+
+TEST(GemmKernel, PackAMirrorsColumnStrips) {
+  MatrixRng rng(601);
+  Matrix a = rng.uniform_matrix(10, 5);
+  const idx mc = 10, kc = 5;
+  std::vector<double> buf(static_cast<std::size_t>(round_up(mc, kMR)) * kc,
+                          -99.0);
+  pack_a(a, /*trans=*/false, 0, 0, mc, kc, buf.data());
+  // Element (i, p) lives at strip(i/kMR)*kc*kMR + p*kMR + i%kMR.
+  for (idx p = 0; p < kc; ++p) {
+    for (idx i = 0; i < mc; ++i) {
+      const idx strip = i / kMR;
+      const double got =
+          buf[static_cast<std::size_t>(strip * kc * kMR + p * kMR + i % kMR)];
+      EXPECT_EQ(got, a(i, p)) << i << "," << p;
+    }
+  }
+  // Zero padding to the strip height.
+  for (idx p = 0; p < kc; ++p) {
+    for (idx i = mc; i < round_up(mc, kMR); ++i) {
+      const idx strip = i / kMR;
+      EXPECT_EQ(buf[static_cast<std::size_t>(strip * kc * kMR + p * kMR + i % kMR)], 0.0);
+    }
+  }
+}
+
+TEST(GemmKernel, PackATransposed) {
+  MatrixRng rng(603);
+  Matrix a = rng.uniform_matrix(6, 9);  // packing a^T block: 9 rows, 6 cols
+  std::vector<double> buf(static_cast<std::size_t>(round_up(9, kMR)) * 6);
+  pack_a(a, /*trans=*/true, 0, 0, /*mc=*/9, /*kc=*/6, buf.data());
+  for (idx p = 0; p < 6; ++p)
+    for (idx i = 0; i < 9; ++i) {
+      const idx strip = i / kMR;
+      EXPECT_EQ(buf[static_cast<std::size_t>(strip * 6 * kMR + p * kMR + i % kMR)],
+                a(p, i));
+    }
+}
+
+TEST(GemmKernel, PackBMirrorsRowStrips) {
+  MatrixRng rng(605);
+  Matrix b = rng.uniform_matrix(4, 13);
+  const idx kc = 4, nc = 13;
+  std::vector<double> buf(static_cast<std::size_t>(kc) * round_up(nc, kNR),
+                          -99.0);
+  pack_b(b, false, 0, 0, kc, nc, buf.data());
+  for (idx p = 0; p < kc; ++p) {
+    for (idx j = 0; j < nc; ++j) {
+      const idx strip = j / kNR;
+      const double got =
+          buf[static_cast<std::size_t>(strip * kc * kNR + p * kNR + j % kNR)];
+      EXPECT_EQ(got, b(p, j)) << p << "," << j;
+    }
+  }
+}
+
+TEST(GemmKernel, MicroKernelFullTileMatchesNaive) {
+  MatrixRng rng(607);
+  const idx kc = 23;
+  Matrix a = rng.uniform_matrix(kMR, kc);
+  Matrix b = rng.uniform_matrix(kc, kNR);
+  // Pack manually: contiguous strips.
+  std::vector<double> ap(static_cast<std::size_t>(kMR) * kc);
+  std::vector<double> bp(static_cast<std::size_t>(kc) * kNR);
+  for (idx p = 0; p < kc; ++p)
+    for (idx i = 0; i < kMR; ++i) ap[static_cast<std::size_t>(p * kMR + i)] = a(i, p);
+  for (idx p = 0; p < kc; ++p)
+    for (idx j = 0; j < kNR; ++j) bp[static_cast<std::size_t>(p * kNR + j)] = b(p, j);
+
+  Matrix c = Matrix::zero(kMR, kNR);
+  micro_kernel(kc, 1.0, ap.data(), bp.data(), 0.0, c.data(), kMR, kMR, kNR);
+  Matrix expected = testing::reference_matmul(a, b);
+  EXPECT_MATRIX_NEAR(c, expected, 1e-13);
+}
+
+TEST(GemmKernel, MicroKernelEdgeTile) {
+  MatrixRng rng(609);
+  const idx kc = 7, mr = 3, nr = 2;
+  std::vector<double> ap(static_cast<std::size_t>(kMR) * kc, 0.0);
+  std::vector<double> bp(static_cast<std::size_t>(kc) * kNR, 0.0);
+  Matrix a = rng.uniform_matrix(mr, kc);
+  Matrix b = rng.uniform_matrix(kc, nr);
+  for (idx p = 0; p < kc; ++p) {
+    for (idx i = 0; i < mr; ++i) ap[static_cast<std::size_t>(p * kMR + i)] = a(i, p);
+    for (idx j = 0; j < nr; ++j) bp[static_cast<std::size_t>(p * kNR + j)] = b(p, j);
+  }
+  // Guard ring: C larger than the tile; only (mr x nr) may change.
+  Matrix c = Matrix::zero(kMR, kNR);
+  c.fill(7.0);
+  micro_kernel(kc, 1.0, ap.data(), bp.data(), 0.0, c.data(), kMR, mr, nr);
+  Matrix expected = testing::reference_matmul(a, b);
+  for (idx j = 0; j < kNR; ++j)
+    for (idx i = 0; i < kMR; ++i) {
+      if (i < mr && j < nr) {
+        EXPECT_NEAR(c(i, j), expected(i, j), 1e-13);
+      } else {
+        EXPECT_EQ(c(i, j), 7.0) << "guard overwritten at " << i << "," << j;
+      }
+    }
+}
+
+TEST(GemmKernel, MicroKernelBetaOneAccumulates) {
+  const idx kc = 3;
+  std::vector<double> ap(static_cast<std::size_t>(kMR) * kc, 1.0);
+  std::vector<double> bp(static_cast<std::size_t>(kc) * kNR, 1.0);
+  Matrix c = Matrix::zero(kMR, kNR);
+  c.fill(10.0);
+  micro_kernel(kc, 1.0, ap.data(), bp.data(), 1.0, c.data(), kMR, kMR, kNR);
+  for (idx j = 0; j < kNR; ++j)
+    for (idx i = 0; i < kMR; ++i) EXPECT_EQ(c(i, j), 13.0);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg::detail

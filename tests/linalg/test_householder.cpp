@@ -1,0 +1,117 @@
+// Unit tests of the Householder primitives underlying both QR variants.
+#include "linalg/householder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas1.h"
+#include "linalg/qr.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+TEST(MakeHouseholder, AnnihilatesTail) {
+  MatrixRng rng(701);
+  const idx n = 9;
+  Vector x(n), orig(n);
+  for (idx i = 0; i < n; ++i) orig[i] = x[i] = rng.uniform(-1, 1);
+  const double tau = make_householder(n, x.data());
+
+  // Reconstruct v = [1, x(1:)] and apply H = I - tau v v^T to the original.
+  Vector v(n);
+  v[0] = 1.0;
+  for (idx i = 1; i < n; ++i) v[i] = x[i];
+  const double vdotx = dot(n, v.data(), orig.data());
+  Vector hx(n);
+  for (idx i = 0; i < n; ++i) hx[i] = orig[i] - tau * vdotx * v[i];
+
+  EXPECT_NEAR(hx[0], x[0], 1e-13);  // beta
+  for (idx i = 1; i < n; ++i) EXPECT_NEAR(hx[i], 0.0, 1e-13) << i;
+  // Norm preservation: |beta| == ||x||.
+  EXPECT_NEAR(std::fabs(x[0]), nrm2(n, orig.data()), 1e-13);
+}
+
+TEST(MakeHouseholder, ZeroTailGivesZeroTau) {
+  Vector x{3.0, 0.0, 0.0};
+  EXPECT_EQ(make_householder(3, x.data()), 0.0);
+  EXPECT_EQ(x[0], 3.0);  // untouched
+}
+
+TEST(MakeHouseholder, LengthOneIsIdentity) {
+  Vector x{5.0};
+  EXPECT_EQ(make_householder(1, x.data()), 0.0);
+}
+
+TEST(ApplyHouseholderLeft, MatchesExplicitReflector) {
+  MatrixRng rng(703);
+  const idx m = 8, ncols = 5;
+  Vector x(m);
+  for (idx i = 0; i < m; ++i) x[i] = rng.uniform(-1, 1);
+  Vector xf = x;
+  const double tau = make_householder(m, xf.data());
+
+  Matrix c = rng.uniform_matrix(m, ncols);
+  Matrix expected = c;
+  // H = I - tau v v^T explicitly.
+  Vector v(m);
+  v[0] = 1.0;
+  for (idx i = 1; i < m; ++i) v[i] = xf[i];
+  for (idx j = 0; j < ncols; ++j) {
+    const double s = tau * dot(m, v.data(), expected.col(j));
+    for (idx i = 0; i < m; ++i) expected(i, j) -= s * v[i];
+  }
+
+  std::vector<double> work(static_cast<std::size_t>(ncols));
+  apply_householder_left(tau, xf.data(), c, work.data());
+  EXPECT_MATRIX_NEAR(c, expected, 1e-13);
+}
+
+TEST(BuildTFactor, BlockReflectorEqualsSequentialReflectors) {
+  // Factor a panel, then check I - V T V^T equals H_0 H_1 ... H_{nb-1}.
+  MatrixRng rng(707);
+  const idx m = 12, nb = 4;
+  Matrix a = rng.uniform_matrix(m, nb);
+  Vector tau(nb);
+  qr_factor_inplace(a, tau.data(), /*block=*/nb);
+
+  Matrix t(nb, nb);
+  build_t_factor(a, tau.data(), t);
+
+  // Sequential: apply H_{nb-1} ... then H_0 to the identity => Q.
+  Matrix q_seq = Matrix::identity(m);
+  std::vector<double> work(static_cast<std::size_t>(m));
+  for (idx k = nb - 1; k >= 0; --k) {
+    // v_k lives in column k, rows k..m.
+    apply_householder_left(tau[k], &a(k, k),
+                           q_seq.view().block(k, 0, m - k, m), work.data());
+  }
+
+  // Blocked: Q = I - V T V^T applied to identity.
+  Matrix q_blk = Matrix::identity(m);
+  apply_block_reflector_left(a, t, Trans::No, q_blk);
+
+  EXPECT_MATRIX_NEAR(q_blk, q_seq, 1e-12);
+}
+
+TEST(ApplyBlockReflector, TransposeIsInverse) {
+  MatrixRng rng(709);
+  const idx m = 10, nb = 3;
+  Matrix a = rng.uniform_matrix(m, nb);
+  Vector tau(nb);
+  qr_factor_inplace(a, tau.data(), nb);
+  Matrix t(nb, nb);
+  build_t_factor(a, tau.data(), t);
+
+  Matrix c = rng.uniform_matrix(m, 6);
+  Matrix orig = c;
+  apply_block_reflector_left(a, t, Trans::No, c);
+  apply_block_reflector_left(a, t, Trans::Yes, c);
+  EXPECT_MATRIX_NEAR(c, orig, 1e-12);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

@@ -1,0 +1,115 @@
+#include "linalg/lu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+using testing::reference_inverse;
+using testing::reference_matmul;
+
+class LuSizes : public ::testing::TestWithParam<std::tuple<idx, idx>> {};
+
+TEST_P(LuSizes, SolveReturnsTrueSolution) {
+  const auto [n, block] = GetParam();
+  MatrixRng rng(static_cast<std::uint64_t>(n * 100 + block));
+  Matrix a = rng.uniform_matrix(n, n);
+  add_identity(a, static_cast<double>(n));  // diagonally dominant => well conditioned
+
+  Matrix x_true = rng.uniform_matrix(n, 3);
+  Matrix b = reference_matmul(a, x_true);
+
+  LUFactorization f = lu_factor(a, block);
+  lu_solve(f, Trans::No, b);
+  EXPECT_MATRIX_NEAR(b, x_true, 1e-10);
+}
+
+TEST_P(LuSizes, TransposeSolve) {
+  const auto [n, block] = GetParam();
+  MatrixRng rng(static_cast<std::uint64_t>(n * 100 + block + 1));
+  Matrix a = rng.uniform_matrix(n, n);
+  add_identity(a, static_cast<double>(n));
+
+  Matrix x_true = rng.uniform_matrix(n, 2);
+  Matrix at = transpose(a);
+  Matrix b = reference_matmul(at, x_true);
+
+  LUFactorization f = lu_factor(a, block);
+  lu_solve(f, Trans::Yes, b);
+  EXPECT_MATRIX_NEAR(b, x_true, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, LuSizes,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16, 33, 80),
+                       ::testing::Values(1, 8, 32)));
+
+TEST(Lu, InverseMatchesReference) {
+  MatrixRng rng(61);
+  Matrix a = rng.uniform_matrix(24, 24);
+  add_identity(a, 8.0);
+  Matrix inv = inverse(a);
+  Matrix ref = reference_inverse(a);
+  EXPECT_MATRIX_NEAR(inv, ref, 1e-11);
+  // A * inv(A) == I.
+  Matrix prod = reference_matmul(a, inv);
+  EXPECT_MATRIX_NEAR(prod, Matrix::identity(24), 1e-11);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a = Matrix::zero(3, 3);
+  a(0, 0) = 1.0;  // rank 1
+  EXPECT_THROW(lu_factor(a), NumericalError);
+}
+
+TEST(Lu, NonSquareThrows) {
+  Matrix a = Matrix::zero(3, 4);
+  EXPECT_THROW(lu_factor(a), InvalidArgument);
+}
+
+TEST(Lu, LogDetMatchesKnownDeterminant) {
+  // det of a 2x2: ad - bc.
+  Matrix a(2, 2, {3, 1, 4, 2});  // det = 2
+  LogDet d = lu_logdet(lu_factor(a));
+  EXPECT_EQ(d.sign, 1);
+  EXPECT_NEAR(d.log_abs, std::log(2.0), 1e-13);
+
+  Matrix b(2, 2, {1, 2, 3, 4});  // det = -2
+  LogDet db = lu_logdet(lu_factor(b));
+  EXPECT_EQ(db.sign, -1);
+  EXPECT_NEAR(db.log_abs, std::log(2.0), 1e-13);
+}
+
+TEST(Lu, LogDetOfOrthogonalIsZero) {
+  MatrixRng rng(67);
+  Matrix q = rng.orthogonal_matrix(20);
+  LogDet d = lu_logdet(lu_factor(q));
+  EXPECT_NEAR(d.log_abs, 0.0, 1e-11);
+  EXPECT_TRUE(d.sign == 1 || d.sign == -1);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingElement) {
+  Matrix a(2, 2, {0, 1, 1, 0});  // needs a row swap
+  LUFactorization f = lu_factor(a);
+  Matrix inv = lu_inverse(f);
+  EXPECT_MATRIX_NEAR(inv, a, 1e-14);  // this permutation is its own inverse
+  EXPECT_EQ(f.pivot_sign, -1);
+}
+
+TEST(Lu, BlockedAndUnblockedAgree) {
+  MatrixRng rng(71);
+  Matrix a = rng.uniform_matrix(50, 50);
+  add_identity(a, 10.0);
+  Matrix i1 = lu_inverse(lu_factor(a, 1));
+  Matrix i2 = lu_inverse(lu_factor(a, 32));
+  EXPECT_MATRIX_NEAR(i1, i2, 1e-12);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

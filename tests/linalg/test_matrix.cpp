@@ -1,0 +1,144 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dqmc::linalg {
+namespace {
+
+TEST(Matrix, RowMajorInitializerFillsAsWritten) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 2), 3);
+  EXPECT_EQ(m(1, 0), 4);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, StorageIsColumnMajor) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  // Columns are contiguous: [1,3] then [2,4].
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[1], 3);
+  EXPECT_EQ(m.data()[2], 2);
+  EXPECT_EQ(m.data()[3], 4);
+  EXPECT_EQ(m.col(1)[0], 2);
+}
+
+TEST(Matrix, InitializerSizeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Matrix, IdentityAndZero) {
+  Matrix i = Matrix::identity(3);
+  Matrix z = Matrix::zero(3, 3);
+  for (idx r = 0; r < 3; ++r)
+    for (idx c = 0; c < 3; ++c) {
+      EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+      EXPECT_EQ(z(r, c), 0.0);
+    }
+}
+
+TEST(Matrix, CopyIsDeep) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b = a;
+  b(0, 0) = 99;
+  EXPECT_EQ(a(0, 0), 1);
+  EXPECT_EQ(b(0, 0), 99);
+}
+
+TEST(Matrix, MoveStealsStorage) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  const double* raw = a.data();
+  Matrix b = std::move(a);
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b(1, 1), 4);
+}
+
+TEST(Matrix, BlockViewsShareStorage) {
+  Matrix a = Matrix::zero(4, 4);
+  MatrixView blk = a.block(1, 1, 2, 2);
+  blk(0, 0) = 5.0;
+  EXPECT_EQ(a(1, 1), 5.0);
+  EXPECT_EQ(blk.ld(), 4);
+  EXPECT_FALSE(blk.contiguous());
+}
+
+TEST(Matrix, NestedBlockIndexing) {
+  Matrix a(4, 4);
+  for (idx j = 0; j < 4; ++j)
+    for (idx i = 0; i < 4; ++i) a(i, j) = static_cast<double>(10 * i + j);
+  ConstMatrixView outer = a.block(1, 1, 3, 3);
+  ConstMatrixView inner = outer.block(1, 1, 2, 2);
+  EXPECT_EQ(inner(0, 0), a(2, 2));
+  EXPECT_EQ(inner(1, 1), a(3, 3));
+}
+
+TEST(Matrix, BlockOutOfRangeThrows) {
+  Matrix a = Matrix::zero(3, 3);
+  EXPECT_THROW(a.block(1, 1, 3, 1), InvalidArgument);
+  EXPECT_THROW(a.block(-1, 0, 1, 1), InvalidArgument);
+}
+
+TEST(Matrix, SetIdentityRequiresSquare) {
+  Matrix a = Matrix::zero(2, 3);
+  EXPECT_THROW(a.set_identity(), InvalidArgument);
+}
+
+TEST(Matrix, ResizeDiscardsAndReallocates) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  a.resize(3, 5);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 5);
+}
+
+TEST(Matrix, CopyOfStridedView) {
+  Matrix a(4, 4);
+  for (idx j = 0; j < 4; ++j)
+    for (idx i = 0; i < 4; ++i) a(i, j) = static_cast<double>(i + 10 * j);
+  Matrix sub = Matrix::copy_of(a.block(1, 2, 2, 2));
+  EXPECT_EQ(sub.rows(), 2);
+  EXPECT_EQ(sub(0, 0), a(1, 2));
+  EXPECT_EQ(sub(1, 1), a(2, 3));
+  EXPECT_TRUE(sub.view().contiguous());
+}
+
+TEST(Vector, BasicOperations) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_EQ(v[1], 2.0);
+  v.fill(7.0);
+  for (double x : v) EXPECT_EQ(x, 7.0);
+  Vector c = Vector::constant(4, 2.5);
+  EXPECT_EQ(c.size(), 4);
+  EXPECT_EQ(c[3], 2.5);
+}
+
+TEST(Vector, CopyAndMove) {
+  Vector v{1.0, 2.0};
+  Vector w = v;
+  w[0] = 9.0;
+  EXPECT_EQ(v[0], 1.0);
+  Vector m = std::move(v);
+  EXPECT_EQ(m[1], 2.0);
+}
+
+TEST(CopyFunction, HandlesStridedViews) {
+  Matrix a(4, 4);
+  for (idx j = 0; j < 4; ++j)
+    for (idx i = 0; i < 4; ++i) a(i, j) = static_cast<double>(i + 4 * j);
+  Matrix b = Matrix::zero(4, 4);
+  copy(a.block(0, 0, 2, 2), b.block(2, 2, 2, 2));
+  EXPECT_EQ(b(2, 2), a(0, 0));
+  EXPECT_EQ(b(3, 3), a(1, 1));
+  EXPECT_EQ(b(0, 0), 0.0);
+}
+
+TEST(CopyFunction, DimensionMismatchThrows) {
+  Matrix a = Matrix::zero(2, 2);
+  Matrix b = Matrix::zero(3, 2);
+  EXPECT_THROW(copy(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

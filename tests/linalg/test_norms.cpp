@@ -1,0 +1,72 @@
+#include "linalg/norms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+TEST(Norms, FrobeniusOfKnownMatrix) {
+  Matrix a(2, 2, {1, 2, 2, 4});  // sum of squares = 25
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+}
+
+TEST(Norms, FrobeniusHandlesHugeEntries) {
+  Matrix a(1, 2, {1e200, 1e200});
+  EXPECT_NEAR(frobenius_norm(a), std::sqrt(2.0) * 1e200, 1e187);
+}
+
+TEST(Norms, MaxAbs) {
+  Matrix a(2, 2, {1, -9, 3, 4});
+  EXPECT_DOUBLE_EQ(max_abs(a), 9.0);
+  EXPECT_DOUBLE_EQ(max_abs(Matrix::zero(3, 3)), 0.0);
+}
+
+TEST(Norms, ColumnNormsMatchPerColumnNrm2) {
+  MatrixRng rng(103);
+  Matrix a = rng.uniform_matrix(37, 23);
+  Vector norms = column_norms(a);
+  for (idx j = 0; j < 23; ++j) {
+    double ss = 0.0;
+    for (idx i = 0; i < 37; ++i) ss += a(i, j) * a(i, j);
+    EXPECT_NEAR(norms[j], std::sqrt(ss), 1e-13) << j;
+  }
+}
+
+TEST(Norms, ColumnNormsOnStridedView) {
+  MatrixRng rng(107);
+  Matrix a = rng.uniform_matrix(10, 10);
+  Vector norms = column_norms(a.block(2, 3, 5, 4));
+  for (idx j = 0; j < 4; ++j) {
+    double ss = 0.0;
+    for (idx i = 0; i < 5; ++i) ss += a(2 + i, 3 + j) * a(2 + i, 3 + j);
+    EXPECT_NEAR(norms[j], std::sqrt(ss), 1e-13) << j;
+  }
+}
+
+TEST(Norms, RelativeDifferenceBasics) {
+  Matrix a = Matrix::identity(3);
+  Matrix b = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(relative_difference(a, b), 0.0);
+  b(0, 0) = 1.0 + 1e-10;
+  const double rd = relative_difference(b, a);
+  EXPECT_NEAR(rd, 1e-10 / std::sqrt(3.0), 1e-16);
+}
+
+TEST(Norms, RelativeDifferenceAgainstZeroReference) {
+  Matrix a(1, 1, {3.0});
+  Matrix z = Matrix::zero(1, 1);
+  EXPECT_DOUBLE_EQ(relative_difference(a, z), 3.0);
+}
+
+TEST(Norms, RelativeDifferenceShapeMismatchThrows) {
+  EXPECT_THROW(relative_difference(Matrix::zero(2, 2), Matrix::zero(2, 3)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

@@ -1,0 +1,89 @@
+#include "linalg/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+TEST(Permutation, IdentityByDefault) {
+  Permutation p(4);
+  EXPECT_TRUE(p.is_identity());
+  EXPECT_EQ(p.displacement(), 0);
+}
+
+TEST(Permutation, InvalidMapsThrow) {
+  EXPECT_THROW(Permutation({0, 0, 1}), InvalidArgument);   // repeated
+  EXPECT_THROW(Permutation({0, 3, 1}), InvalidArgument);   // out of range
+  EXPECT_THROW(Permutation({-1, 0, 1}), InvalidArgument);  // negative
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  Permutation p({2, 0, 3, 1});
+  Permutation q = p.inverse();
+  for (idx j = 0; j < 4; ++j) EXPECT_EQ(q[p[j]], j);
+}
+
+TEST(Permutation, DisplacementCountsMovedEntries) {
+  Permutation p({1, 0, 2, 3});
+  EXPECT_EQ(p.displacement(), 2);
+}
+
+TEST(ApplyPermutation, GathersColumns) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Permutation p({2, 0, 1});
+  Matrix out(2, 3);
+  apply_permutation(a, p, out);
+  // out(:,0) = a(:,2), out(:,1) = a(:,0), out(:,2) = a(:,1)
+  EXPECT_DOUBLE_EQ(out(0, 0), 3);
+  EXPECT_DOUBLE_EQ(out(0, 1), 1);
+  EXPECT_DOUBLE_EQ(out(0, 2), 2);
+}
+
+TEST(ApplyPermutation, TransposeScattersColumns) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Permutation p({2, 0, 1});
+  Matrix gathered(2, 3), back(2, 3);
+  apply_permutation(a, p, gathered);
+  apply_permutation_transpose(gathered, p, back);
+  EXPECT_MATRIX_NEAR(back, a, 0.0);
+}
+
+TEST(ApplyPermutation, MatchesExplicitPermutationMatrix) {
+  // A*P where P = [e_{p0} e_{p1} ...]: column j of A*P is A(:,p[j]).
+  MatrixRng rng(127);
+  Matrix a = rng.uniform_matrix(5, 5);
+  Permutation p({4, 2, 0, 1, 3});
+  Matrix pm = Matrix::zero(5, 5);
+  for (idx j = 0; j < 5; ++j) pm(p[j], j) = 1.0;
+  Matrix expected = testing::reference_matmul(a, pm);
+  Matrix out(5, 5);
+  apply_permutation(a, p, out);
+  EXPECT_MATRIX_NEAR(out, expected, 0.0);
+}
+
+TEST(ApplyPermutation, InPlaceAliasThrows) {
+  Matrix a = Matrix::zero(2, 2);
+  Permutation p(2);
+  EXPECT_THROW(apply_permutation(a, p, a), InvalidArgument);
+}
+
+TEST(PermuteVector, GatherAndScatterAreInverse) {
+  Permutation p({3, 1, 0, 2});
+  double x[] = {10, 11, 12, 13};
+  permute_vector(p, x);  // x[j] = old x[p[j]]
+  EXPECT_DOUBLE_EQ(x[0], 13);
+  EXPECT_DOUBLE_EQ(x[1], 11);
+  EXPECT_DOUBLE_EQ(x[2], 10);
+  EXPECT_DOUBLE_EQ(x[3], 12);
+  permute_vector_transpose(p, x);
+  EXPECT_DOUBLE_EQ(x[0], 10);
+  EXPECT_DOUBLE_EQ(x[1], 11);
+  EXPECT_DOUBLE_EQ(x[2], 12);
+  EXPECT_DOUBLE_EQ(x[3], 13);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

@@ -1,0 +1,127 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas1.h"
+#include "linalg/norms.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+using testing::orthogonality_defect;
+using testing::reference_matmul;
+
+class QrShapes : public ::testing::TestWithParam<std::tuple<idx, idx, idx>> {};
+
+TEST_P(QrShapes, ReconstructsAndQIsOrthogonal) {
+  const auto [m, n, block] = GetParam();
+  MatrixRng rng(static_cast<std::uint64_t>(m * 1000 + n * 10 + block));
+  Matrix a = rng.uniform_matrix(m, n);
+
+  QRFactorization f = qr_factor(a, block);
+  Matrix q = qr_q(f, block);
+  Matrix r = qr_r(f);
+
+  EXPECT_LE(orthogonality_defect(q), 1e-13 * std::max<idx>(m, 1));
+
+  // Q (m x m) * R-extended: qr_r gives min(m,n) x n; pad for reconstruction.
+  Matrix rfull = Matrix::zero(m, n);
+  copy(r, rfull.block(0, 0, r.rows(), n));
+  Matrix qr = reference_matmul(q, rfull);
+  EXPECT_MATRIX_NEAR(qr, a, 1e-12 * std::max<idx>(m, n));
+
+  // R is upper triangular.
+  for (idx j = 0; j < r.cols(); ++j)
+    for (idx i = j + 1; i < r.rows(); ++i) EXPECT_EQ(r(i, j), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBlocks, QrShapes,
+    ::testing::Values(std::tuple<idx, idx, idx>{1, 1, 4},
+                      std::tuple<idx, idx, idx>{8, 8, 4},
+                      std::tuple<idx, idx, idx>{33, 33, 8},
+                      std::tuple<idx, idx, idx>{64, 64, 32},
+                      std::tuple<idx, idx, idx>{100, 100, 32},
+                      std::tuple<idx, idx, idx>{50, 20, 8},   // tall
+                      std::tuple<idx, idx, idx>{20, 50, 8},   // wide
+                      std::tuple<idx, idx, idx>{65, 65, 64},  // block ~ n
+                      std::tuple<idx, idx, idx>{48, 48, 100}  // block > n
+                      ));
+
+TEST(Qr, ApplyQLeftMatchesExplicitQ) {
+  MatrixRng rng(11);
+  const idx m = 40, n = 40;
+  Matrix a = rng.uniform_matrix(m, n);
+  QRFactorization f = qr_factor(a);
+  Matrix q = qr_q(f);
+
+  Matrix c = rng.uniform_matrix(m, 7);
+  Matrix qc_direct = reference_matmul(q, c);
+  Matrix c1 = c;
+  qr_apply_q_left(f, Trans::No, c1);
+  EXPECT_MATRIX_NEAR(c1, qc_direct, 1e-12);
+
+  Matrix qtc_direct = testing::reference_gemm(true, false, 1.0, q, c, 0.0,
+                                              Matrix::zero(m, 7));
+  Matrix c2 = c;
+  qr_apply_q_left(f, Trans::Yes, c2);
+  EXPECT_MATRIX_NEAR(c2, qtc_direct, 1e-12);
+}
+
+TEST(Qr, ApplyQThenQTransposeRoundTrips) {
+  MatrixRng rng(13);
+  Matrix a = rng.uniform_matrix(30, 30);
+  QRFactorization f = qr_factor(a);
+  Matrix c = rng.uniform_matrix(30, 5);
+  Matrix orig = c;
+  qr_apply_q_left(f, Trans::No, c);
+  qr_apply_q_left(f, Trans::Yes, c);
+  EXPECT_MATRIX_NEAR(c, orig, 1e-12);
+}
+
+TEST(Qr, BlockedMatchesUnblocked) {
+  MatrixRng rng(17);
+  Matrix a = rng.uniform_matrix(60, 60);
+  QRFactorization f1 = qr_factor(a, /*block=*/1);
+  QRFactorization f64 = qr_factor(a, /*block=*/64);
+  // Same R up to rounding (Householder QR is deterministic).
+  EXPECT_MATRIX_NEAR(qr_r(f1), qr_r(f64), 1e-11);
+}
+
+TEST(Qr, RankDeficientColumnGivesZeroTau) {
+  Matrix a = Matrix::zero(5, 3);
+  for (idx i = 0; i < 5; ++i) a(i, 0) = 1.0;
+  // Column 1 is a multiple of column 0, column 2 zero.
+  for (idx i = 0; i < 5; ++i) a(i, 1) = 2.0;
+  QRFactorization f = qr_factor(a);
+  Matrix q = qr_q(f);
+  EXPECT_LE(orthogonality_defect(q), 1e-13);
+  Matrix r = qr_r(f);
+  EXPECT_NEAR(r(1, 1), 0.0, 1e-14);
+  EXPECT_NEAR(r(2, 2), 0.0, 1e-14);
+}
+
+TEST(Qr, GradedMatrixReconstructionStaysAccurate) {
+  // Columns spanning 30 orders of magnitude: the QR itself must not mix
+  // scales (each column's error is relative to its own norm).
+  MatrixRng rng(23);
+  Matrix a = rng.graded_matrix(24, 0.05);
+  QRFactorization f = qr_factor(a);
+  Matrix q = qr_q(f);
+  Matrix r = qr_r(f);
+  Matrix qr = reference_matmul(q, r);
+  for (idx j = 0; j < a.cols(); ++j) {
+    const double colnorm = nrm2(a.rows(), a.col(j));
+    double err = 0.0;
+    for (idx i = 0; i < a.rows(); ++i)
+      err = std::max(err, std::fabs(qr(i, j) - a(i, j)));
+    EXPECT_LE(err, 1e-13 * std::max(colnorm, 1e-300)) << "column " << j;
+  }
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

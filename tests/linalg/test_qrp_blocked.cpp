@@ -1,0 +1,108 @@
+// The blocked (DGEQP3-style) pivoted QR against the unblocked reference
+// and its own contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas1.h"
+#include "linalg/norms.h"
+#include "linalg/qrp.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+using testing::orthogonality_defect;
+using testing::reference_matmul;
+
+class QrpBlockedSweep : public ::testing::TestWithParam<std::tuple<idx, idx>> {};
+
+TEST_P(QrpBlockedSweep, ReconstructsPermutedMatrix) {
+  const auto [n, panel] = GetParam();
+  MatrixRng rng(static_cast<std::uint64_t>(n * 37 + panel));
+  Matrix a = rng.uniform_matrix(n, n);
+
+  QRPFactorization f = qrp_factor(a, panel);
+  f.jpvt.check_valid();
+  QRFactorization qf{f.factors, f.tau};
+  Matrix q = qr_q(qf);
+  Matrix r = qr_r(qf);
+  EXPECT_LE(orthogonality_defect(q), 1e-12 * n);
+
+  Matrix ap(n, n);
+  apply_permutation(a, f.jpvt, ap);
+  EXPECT_MATRIX_NEAR(reference_matmul(q, r), ap, 1e-11 * n);
+}
+
+TEST_P(QrpBlockedSweep, DiagonalOfRIsNonIncreasing) {
+  const auto [n, panel] = GetParam();
+  MatrixRng rng(static_cast<std::uint64_t>(n * 41 + panel));
+  Matrix a = rng.uniform_matrix(n, n);
+  QRPFactorization f = qrp_factor(a, panel);
+  for (idx i = 1; i < n; ++i) {
+    EXPECT_LE(std::fabs(f.factors(i, i)),
+              std::fabs(f.factors(i - 1, i - 1)) * (1.0 + 1e-10) + 1e-12)
+        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndPanels, QrpBlockedSweep,
+    ::testing::Combine(::testing::Values(1, 5, 16, 33, 64, 96),
+                       ::testing::Values(4, 8, 32, 100)));
+
+TEST(QrpBlocked, MatchesUnblockedOnWellSeparatedNorms) {
+  // With strongly graded columns the pivot sequence is unambiguous, so the
+  // blocked and unblocked algorithms must produce identical permutations
+  // and R factors (up to roundoff).
+  MatrixRng rng(523);
+  Matrix a = rng.graded_matrix(48, 0.5);
+  QRPFactorization fb = qrp_factor(a, 8);
+  QRPFactorization fu = qrp_factor_unblocked(a);
+  for (idx j = 0; j < 48; ++j) EXPECT_EQ(fb.jpvt[j], fu.jpvt[j]) << j;
+  for (idx i = 0; i < 48; ++i)
+    EXPECT_NEAR(std::fabs(fb.factors(i, i)), std::fabs(fu.factors(i, i)),
+                1e-10 * std::fabs(fu.factors(0, 0)))
+        << i;
+}
+
+TEST(QrpBlocked, HandlesRankDeficiency) {
+  MatrixRng rng(541);
+  Matrix u = rng.uniform_matrix(40, 3);
+  Matrix v = rng.uniform_matrix(3, 40);
+  Matrix a = reference_matmul(u, v);  // rank 3
+  QRPFactorization f = qrp_factor(a, 8);
+  for (idx i = 3; i < 40; ++i)
+    EXPECT_NEAR(f.factors(i, i), 0.0, 1e-10) << i;
+}
+
+TEST(QrpBlocked, IllConditionedGradedInputStaysAccurate) {
+  // The DQMC-like case: columns spanning ~20 decades.
+  MatrixRng rng(547);
+  Matrix a = rng.graded_matrix(32, 0.2);
+  QRPFactorization f = qrp_factor(a, 8);
+  QRFactorization qf{f.factors, f.tau};
+  Matrix q = qr_q(qf);
+  Matrix r = qr_r(qf);
+  Matrix ap(32, 32);
+  apply_permutation(a, f.jpvt, ap);
+  Matrix qr = reference_matmul(q, r);
+  // Column-wise relative accuracy (each column to its own scale).
+  for (idx j = 0; j < 32; ++j) {
+    const double scale = nrm2(32, ap.col(j));
+    double err = 0.0;
+    for (idx i = 0; i < 32; ++i)
+      err = std::max(err, std::fabs(qr(i, j) - ap(i, j)));
+    EXPECT_LE(err, 1e-12 * std::max(scale, 1e-300)) << j;
+  }
+}
+
+TEST(QrpBlocked, RejectsRectangular) {
+  Matrix a = Matrix::zero(4, 6);
+  EXPECT_THROW(qrp_factor(a), InvalidArgument);
+  EXPECT_NO_THROW(qrp_factor_unblocked(std::move(a)));
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

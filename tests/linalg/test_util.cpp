@@ -1,0 +1,83 @@
+#include "linalg/util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+TEST(Util, TransposeRoundTrips) {
+  MatrixRng rng(131);
+  Matrix a = rng.uniform_matrix(70, 130);  // crosses the 64-block boundary
+  Matrix t = transpose(a);
+  ASSERT_EQ(t.rows(), 130);
+  ASSERT_EQ(t.cols(), 70);
+  for (idx j = 0; j < a.cols(); ++j)
+    for (idx i = 0; i < a.rows(); ++i) ASSERT_EQ(t(j, i), a(i, j));
+  Matrix tt = transpose(t);
+  EXPECT_MATRIX_NEAR(tt, a, 0.0);
+}
+
+TEST(Util, AddAndAddIdentity) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {10, 20, 30, 40});
+  Matrix c = add(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(c(0, 0), 6);
+  EXPECT_DOUBLE_EQ(c(1, 1), 24);
+  add_identity(a, 10.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 11);
+  EXPECT_DOUBLE_EQ(a(1, 1), 14);
+  EXPECT_DOUBLE_EQ(a(0, 1), 2);
+}
+
+TEST(MatrixRng, DeterministicAcrossInstances) {
+  MatrixRng r1(42), r2(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(r1.uniform(), r2.uniform());
+}
+
+TEST(MatrixRng, UniformRespectsBounds) {
+  MatrixRng rng(137);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(MatrixRng, NormalHasPlausibleMoments) {
+  MatrixRng rng(139);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(MatrixRng, OrthogonalMatrixIsOrthogonal) {
+  MatrixRng rng(149);
+  Matrix q = rng.orthogonal_matrix(25);
+  EXPECT_LE(testing::orthogonality_defect(q), 1e-13);
+}
+
+TEST(MatrixRng, GradedMatrixColumnNormsDecay) {
+  MatrixRng rng(151);
+  Matrix g = rng.graded_matrix(16, 0.1);
+  Vector norms = column_norms(g);
+  for (idx j = 1; j < 16; ++j) {
+    EXPECT_LT(norms[j], norms[j - 1]) << "grading broken at column " << j;
+  }
+  // Roughly 15 decades between first and last.
+  EXPECT_LT(norms[15] / norms[0], 1e-12);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg

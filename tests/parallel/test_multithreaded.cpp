@@ -1,0 +1,134 @@
+// Force multiple worker threads (regardless of the host's core count) and
+// verify that every threaded kernel produces results identical to the
+// serial path — the determinism contract of the static partitioning.
+#include <gtest/gtest.h>
+
+#include "dqmc/engine.h"
+#include "linalg/blas3.h"
+#include "linalg/diag.h"
+#include "linalg/norms.h"
+#include "linalg/util.h"
+#include "parallel/topology.h"
+#include "testing/test_utils.h"
+
+namespace dqmc {
+namespace {
+
+using linalg::idx;
+using linalg::Matrix;
+using linalg::MatrixRng;
+using linalg::Trans;
+
+/// Runs the body once with 1 thread and once with `threads`, restoring the
+/// global setting afterwards.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int threads) { par::set_num_threads(threads); }
+  ~ThreadCountGuard() { par::set_num_threads(0); }
+};
+
+class MultithreadedKernels : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultithreadedKernels, GemmMatchesSerial) {
+  MatrixRng rng(11);
+  Matrix a = rng.uniform_matrix(150, 120);
+  Matrix b = rng.uniform_matrix(120, 90);
+  Matrix serial = Matrix::zero(150, 90);
+  {
+    ThreadCountGuard guard(1);
+    linalg::gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, serial);
+  }
+  Matrix threaded = Matrix::zero(150, 90);
+  {
+    ThreadCountGuard guard(GetParam());
+    linalg::gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, threaded);
+  }
+  // Same partition arithmetic per row-tile => bitwise identical.
+  EXPECT_MATRIX_NEAR(threaded, serial, 0.0);
+}
+
+TEST_P(MultithreadedKernels, ColumnNormsMatchSerial) {
+  MatrixRng rng(13);
+  Matrix a = rng.uniform_matrix(200, 160);
+  linalg::Vector serial(160), threaded(160);
+  {
+    ThreadCountGuard guard(1);
+    linalg::column_norms(a, serial.data());
+  }
+  {
+    ThreadCountGuard guard(GetParam());
+    linalg::column_norms(a, threaded.data());
+  }
+  for (idx j = 0; j < 160; ++j) ASSERT_EQ(serial[j], threaded[j]) << j;
+}
+
+TEST_P(MultithreadedKernels, ScalingKernelsMatchSerial) {
+  MatrixRng rng(17);
+  Matrix base = rng.uniform_matrix(180, 140);
+  linalg::Vector r(180), c(140);
+  for (idx i = 0; i < 180; ++i) r[i] = rng.uniform(0.5, 2.0);
+  for (idx j = 0; j < 140; ++j) c[j] = rng.uniform(0.5, 2.0);
+
+  Matrix serial = base, threaded = base;
+  {
+    ThreadCountGuard guard(1);
+    linalg::scale_rows(r.data(), serial);
+    linalg::scale_cols(c.data(), serial);
+  }
+  {
+    ThreadCountGuard guard(GetParam());
+    linalg::scale_rows(r.data(), threaded);
+    linalg::scale_cols(c.data(), threaded);
+  }
+  EXPECT_MATRIX_NEAR(threaded, serial, 0.0);
+}
+
+TEST_P(MultithreadedKernels, TrsmMatchesSerial) {
+  MatrixRng rng(19);
+  const idx n = 170;
+  Matrix t = rng.uniform_matrix(n, n);
+  for (idx j = 0; j < n; ++j)
+    for (idx i = j + 1; i < n; ++i) t(i, j) = 0.0;
+  for (idx i = 0; i < n; ++i) t(i, i) = 3.0 + 0.01 * static_cast<double>(i);
+  Matrix b = rng.uniform_matrix(n, 40);
+
+  Matrix serial = b, threaded = b;
+  {
+    ThreadCountGuard guard(1);
+    linalg::trsm(linalg::Side::Left, linalg::UpLo::Upper, Trans::No,
+                 linalg::Diag::NonUnit, 1.0, t, serial);
+  }
+  {
+    ThreadCountGuard guard(GetParam());
+    linalg::trsm(linalg::Side::Left, linalg::UpLo::Upper, Trans::No,
+                 linalg::Diag::NonUnit, 1.0, t, threaded);
+  }
+  EXPECT_MATRIX_NEAR(threaded, serial, 0.0);
+}
+
+TEST_P(MultithreadedKernels, FullSweepTrajectoryMatchesSerial) {
+  hubbard::Lattice lat(4, 4);
+  hubbard::ModelParams p;
+  p.u = 4.0;
+  p.beta = 2.0;
+  p.slices = 8;
+  core::EngineConfig cfg;
+  cfg.cluster_size = 4;
+
+  auto run = [&](int threads) {
+    ThreadCountGuard guard(threads);
+    core::DqmcEngine engine(lat, p, cfg, 303);
+    engine.initialize();
+    engine.sweep();
+    return Matrix(engine.greens(hubbard::Spin::Up));
+  };
+  Matrix serial = run(1);
+  Matrix threaded = run(GetParam());
+  EXPECT_MATRIX_NEAR(threaded, serial, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, MultithreadedKernels,
+                         ::testing::Values(2, 4, 7));
+
+}  // namespace
+}  // namespace dqmc

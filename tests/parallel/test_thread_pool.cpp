@@ -1,0 +1,69 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dqmc::par {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&] { count.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadPreservesFifoOrder) {
+  // The gpusim stream depends on this: one worker => strict submission order.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i)
+    futs.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  for (auto& f : futs) f.get();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::par

@@ -1,0 +1,157 @@
+#include "testing/exact_diag.h"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/eig_sym.h"
+
+namespace dqmc::testing {
+
+namespace {
+
+/// Parity of set bits of `mask` strictly between positions a < b.
+int between_parity(unsigned mask, idx a, idx b) {
+  if (a > b) std::swap(a, b);
+  int count = 0;
+  for (idx p = a + 1; p < b; ++p)
+    if (mask & (1u << p)) ++count;
+  return count % 2;
+}
+
+}  // namespace
+
+ExactThermal exact_thermal(const Lattice& lattice, const ModelParams& params) {
+  const idx n = lattice.num_sites();
+  DQMC_CHECK_MSG(n <= 4, "exact_thermal: Fock space too large");
+  const unsigned nmask = 1u << n;
+  const idx dim = static_cast<idx>(nmask) * static_cast<idx>(nmask);
+
+  auto state = [&](unsigned up, unsigned dn) -> idx {
+    return static_cast<idx>(up) * static_cast<idx>(nmask) + static_cast<idx>(dn);
+  };
+
+  // Dense Hamiltonian. Ordering: up modes 0..n-1 then dn modes 0..n-1, so
+  // same-spin hopping signs depend only on that spin's mask.
+  linalg::Matrix h = linalg::Matrix::zero(dim, dim);
+  for (unsigned up = 0; up < nmask; ++up) {
+    for (unsigned dn = 0; dn < nmask; ++dn) {
+      const idx row = state(up, dn);
+      // Diagonal: interaction + chemical potential.
+      double diag = 0.0;
+      for (idx i = 0; i < n; ++i) {
+        const double nu_i = (up >> i) & 1u;
+        const double nd_i = (dn >> i) & 1u;
+        diag += params.u * (nu_i - 0.5) * (nd_i - 0.5);
+        diag -= params.mu * (nu_i + nd_i);
+      }
+      h(row, row) += diag;
+
+      // Hopping: -t c^dag_a c_b (+ h.c. arrives from the mirrored bond).
+      for (const auto& bond : lattice.bonds()) {
+        const double hop = bond.interlayer ? params.t_perp : params.t;
+        for (int dir = 0; dir < 2; ++dir) {
+          const idx a = dir ? bond.b : bond.a;
+          const idx b = dir ? bond.a : bond.b;
+          // up spin: c^dag_a c_b |up>
+          if (((up >> b) & 1u) && !((up >> a) & 1u)) {
+            const unsigned up2 = (up ^ (1u << b)) | (1u << a);
+            const int sign = between_parity(up, a, b) ? -1 : 1;
+            h(state(up2, dn), row) += -hop * sign;
+          }
+          // dn spin.
+          if (((dn >> b) & 1u) && !((dn >> a) & 1u)) {
+            const unsigned dn2 = (dn ^ (1u << b)) | (1u << a);
+            const int sign = between_parity(dn, a, b) ? -1 : 1;
+            h(state(up, dn2), row) += -hop * sign;
+          }
+        }
+      }
+    }
+  }
+
+  linalg::SymmetricEigen eig = linalg::eig_sym(h, 1e-9);
+
+  // Boltzmann weights relative to the ground state (avoids overflow).
+  const double e0 = eig.eigenvalues[0];
+  std::vector<double> w(static_cast<std::size_t>(dim));
+  double z = 0.0;
+  for (idx m = 0; m < dim; ++m) {
+    w[static_cast<std::size_t>(m)] =
+        std::exp(-params.beta * (eig.eigenvalues[m] - e0));
+    z += w[static_cast<std::size_t>(m)];
+  }
+
+  // Thermal probability of each Fock state: p(s) = sum_m (w_m/Z) |<s|m>|^2.
+  // Diagonal observables then reduce to plain sums over the 4^N states.
+  std::vector<double> p(static_cast<std::size_t>(dim), 0.0);
+  for (idx m = 0; m < dim; ++m) {
+    const double wm = w[static_cast<std::size_t>(m)] / z;
+    for (idx s = 0; s < dim; ++s) {
+      const double c = eig.eigenvectors(s, m);
+      p[static_cast<std::size_t>(s)] += wm * c * c;
+    }
+  }
+  auto thermal_diag = [&](auto&& f) {
+    double acc = 0.0;
+    for (unsigned up = 0; up < nmask; ++up) {
+      for (unsigned dn = 0; dn < nmask; ++dn) {
+        acc += p[static_cast<std::size_t>(state(up, dn))] * f(up, dn);
+      }
+    }
+    return acc;
+  };
+
+  ExactThermal out;
+  out.density = thermal_diag([&](unsigned up, unsigned dn) {
+                  return static_cast<double>(__builtin_popcount(up) +
+                                             __builtin_popcount(dn));
+                }) /
+                static_cast<double>(n);
+  out.double_occupancy = thermal_diag([&](unsigned up, unsigned dn) {
+                           return static_cast<double>(
+                               __builtin_popcount(up & dn));
+                         }) /
+                         static_cast<double>(n);
+  out.moment_sq = thermal_diag([&](unsigned up, unsigned dn) {
+                    // sum_i (nu_i - nd_i)^2 = count(up XOR dn)
+                    return static_cast<double>(__builtin_popcount(up ^ dn));
+                  }) /
+                  static_cast<double>(n);
+
+  // Kinetic energy per site: <H_T> = <H> - <diagonal part>.
+  double h_avg = 0.0;
+  for (idx m = 0; m < dim; ++m)
+    h_avg += w[static_cast<std::size_t>(m)] * eig.eigenvalues[m];
+  h_avg /= z;
+  const double diag_avg = thermal_diag([&](unsigned up, unsigned dn) {
+    double d = 0.0;
+    for (idx i = 0; i < n; ++i) {
+      const double nu_i = (up >> i) & 1u;
+      const double nd_i = (dn >> i) & 1u;
+      d += params.u * (nu_i - 0.5) * (nd_i - 0.5) - params.mu * (nu_i + nd_i);
+    }
+    return d;
+  });
+  out.kinetic_energy = (h_avg - diag_avg) / static_cast<double>(n);
+
+  // C_zz(d): translation-averaged S_z S_z correlations.
+  out.spin_corr = linalg::Vector::zero(lattice.num_displacements());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      const double c = thermal_diag([&](unsigned up, unsigned dn) {
+        const double mi = static_cast<double>((up >> i) & 1u) -
+                          static_cast<double>((dn >> i) & 1u);
+        const double mj = static_cast<double>((up >> j) & 1u) -
+                          static_cast<double>((dn >> j) & 1u);
+        return mi * mj;
+      });
+      out.spin_corr[lattice.displacement_index(j, i)] += c;
+    }
+  }
+  for (idx d = 0; d < out.spin_corr.size(); ++d)
+    out.spin_corr[d] /= static_cast<double>(n);
+
+  return out;
+}
+
+}  // namespace dqmc::testing

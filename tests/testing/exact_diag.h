@@ -1,0 +1,33 @@
+// Brute-force many-body exact diagonalization of the Hubbard model on tiny
+// lattices — the independent physics oracle for the DQMC integration tests.
+//
+// The full Fock space (4^N states) is enumerated as (up-mask, dn-mask)
+// pairs with Jordan-Wigner fermion signs; H is diagonalized densely, and
+// thermal expectation values evaluated exactly. Capped at N = 4 (dim 256).
+#pragma once
+
+#include "hubbard/lattice.h"
+#include "hubbard/model.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::testing {
+
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using linalg::idx;
+
+/// Exact thermal expectation values at the model's (beta, U, mu).
+/// Uses the same particle-hole symmetric convention as ModelParams:
+/// H = -t sum c^dag c + U sum (n_up - 1/2)(n_dn - 1/2) - mu sum n.
+struct ExactThermal {
+  double density;           ///< <n> per site (both spins)
+  double double_occupancy;  ///< <n_up n_dn> per site
+  double kinetic_energy;    ///< hopping energy per site
+  double moment_sq;         ///< <(n_up - n_dn)^2> per site
+  /// C_zz(d) per displacement index (Lattice::displacement_index).
+  linalg::Vector spin_corr;
+};
+
+ExactThermal exact_thermal(const Lattice& lattice, const ModelParams& params);
+
+}  // namespace dqmc::testing

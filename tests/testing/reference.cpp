@@ -1,0 +1,90 @@
+#include "testing/test_utils.h"
+
+#include <cmath>
+#include <vector>
+
+namespace dqmc::testing {
+
+Matrix reference_gemm(bool transa, bool transb, double alpha,
+                      ConstMatrixView a, ConstMatrixView b, double beta,
+                      ConstMatrixView c) {
+  const idx m = transa ? a.cols() : a.rows();
+  const idx k = transa ? a.rows() : a.cols();
+  const idx n = transb ? b.rows() : b.cols();
+  Matrix out = Matrix::copy_of(c);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      long double acc = 0.0L;
+      for (idx p = 0; p < k; ++p) {
+        const double av = transa ? a(p, i) : a(i, p);
+        const double bv = transb ? b(j, p) : b(p, j);
+        acc += static_cast<long double>(av) * bv;
+      }
+      out(i, j) = static_cast<double>(alpha * acc + beta * c(i, j));
+    }
+  }
+  return out;
+}
+
+Matrix reference_matmul(ConstMatrixView a, ConstMatrixView b) {
+  Matrix zero = Matrix::zero(a.rows(), b.cols());
+  return reference_gemm(false, false, 1.0, a, b, 0.0, zero);
+}
+
+Matrix reference_inverse(ConstMatrixView a) {
+  const idx n = a.rows();
+  // Gauss-Jordan on [A | I] in long double.
+  std::vector<long double> w(static_cast<std::size_t>(n) * 2 * n);
+  auto at = [&](idx i, idx j) -> long double& {
+    return w[static_cast<std::size_t>(i) * 2 * n + j];
+  };
+  for (idx i = 0; i < n; ++i) {
+    for (idx j = 0; j < n; ++j) at(i, j) = a(i, j);
+    for (idx j = 0; j < n; ++j) at(i, n + j) = (i == j) ? 1.0L : 0.0L;
+  }
+  for (idx k = 0; k < n; ++k) {
+    idx pvt = k;
+    for (idx i = k + 1; i < n; ++i)
+      if (std::fabs(static_cast<double>(at(i, k))) >
+          std::fabs(static_cast<double>(at(pvt, k))))
+        pvt = i;
+    if (pvt != k)
+      for (idx j = 0; j < 2 * n; ++j) std::swap(at(k, j), at(pvt, j));
+    const long double d = at(k, k);
+    for (idx j = 0; j < 2 * n; ++j) at(k, j) /= d;
+    for (idx i = 0; i < n; ++i) {
+      if (i == k) continue;
+      const long double f = at(i, k);
+      if (f == 0.0L) continue;
+      for (idx j = 0; j < 2 * n; ++j) at(i, j) -= f * at(k, j);
+    }
+  }
+  Matrix inv(n, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) inv(i, j) = static_cast<double>(at(i, n + j));
+  return inv;
+}
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double best = 0.0;
+  for (idx j = 0; j < a.cols(); ++j)
+    for (idx i = 0; i < a.rows(); ++i)
+      best = std::max(best, std::fabs(a(i, j) - b(i, j)));
+  return best;
+}
+
+double orthogonality_defect(ConstMatrixView q) {
+  Matrix zero = Matrix::zero(q.cols(), q.cols());
+  Matrix qtq = reference_gemm(true, false, 1.0, q, q, 0.0, zero);
+  double best = 0.0;
+  for (idx j = 0; j < qtq.cols(); ++j)
+    for (idx i = 0; i < qtq.rows(); ++i) {
+      const double target = (i == j) ? 1.0 : 0.0;
+      best = std::max(best, std::fabs(qtq(i, j) - target));
+    }
+  return best;
+}
+
+}  // namespace dqmc::testing

@@ -1,0 +1,40 @@
+// Shared gtest helpers: naive reference kernels and dense matchers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+
+namespace dqmc::testing {
+
+using linalg::ConstMatrixView;
+using linalg::idx;
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Naive O(mnk) reference GEMM: C = alpha*op(A)*op(B) + beta*C.
+Matrix reference_gemm(bool transa, bool transb, double alpha,
+                      ConstMatrixView a, ConstMatrixView b, double beta,
+                      ConstMatrixView c);
+
+/// Naive matrix product A*B.
+Matrix reference_matmul(ConstMatrixView a, ConstMatrixView b);
+
+/// Naive inverse via Gauss-Jordan with partial pivoting (long double
+/// accumulation) — the independent oracle for LU / Green's function tests.
+Matrix reference_inverse(ConstMatrixView a);
+
+/// Max elementwise |a - b|.
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+
+/// EXPECT that two matrices agree elementwise within `tol`.
+#define EXPECT_MATRIX_NEAR(a, b, tol)                                   \
+  do {                                                                  \
+    const double dqmc_mad = ::dqmc::testing::max_abs_diff((a), (b));    \
+    EXPECT_LE(dqmc_mad, (tol)) << "matrices differ by " << dqmc_mad;    \
+  } while (0)
+
+/// ||I - Q^T Q||_max: orthogonality defect.
+double orthogonality_defect(ConstMatrixView q);
+
+}  // namespace dqmc::testing
