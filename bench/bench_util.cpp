@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "dqmc/run_manifest.h"
 
 namespace dqmc::bench {
+
+void maybe_write_manifest(const core::SimulationResults& results) {
+  if (const auto path = env_string("DQMC_MANIFEST_JSON")) {
+    core::write_run_manifest(results, *path);
+    std::printf("manifest written to %s\n", path->c_str());
+  }
+}
 
 FiveNumber five_number_summary(std::vector<double> samples) {
   DQMC_CHECK(!samples.empty());

@@ -13,6 +13,7 @@
 #include "common/env.h"
 #include "common/stopwatch.h"
 #include "cli/table.h"
+#include "dqmc/simulation.h"
 #include "linalg/matrix.h"
 
 namespace dqmc::bench {
@@ -62,5 +63,10 @@ struct FiveNumber {
   double min, q1, median, q3, max;
 };
 FiveNumber five_number_summary(std::vector<double> samples);
+
+/// When DQMC_MANIFEST_JSON is set, write the run manifest of `results`
+/// there (see dqmc/run_manifest.h) so bench runs leave a machine-readable
+/// record next to the tee'd text output. No-op when the variable is unset.
+void maybe_write_manifest(const core::SimulationResults& results);
 
 }  // namespace dqmc::bench

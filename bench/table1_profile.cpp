@@ -35,6 +35,8 @@ int main() {
     results.push_back(core::run_simulation(cfg));
     headers.push_back(std::to_string(l * l));
   }
+  // DQMC_MANIFEST_JSON=path records the largest run's full manifest.
+  maybe_write_manifest(results.back());
 
   cli::Table t(headers);
   const Phase rows[] = {Phase::kDelayedUpdate, Phase::kStratification,

@@ -16,17 +16,30 @@
 //   # checkpoint_in = run0.ckpt    # ...or resume a previous run
 //
 // With no --config, a built-in demo configuration is used.
+//
+// Observability:
+//   --warmup N / --sweeps N / --seed N   override the config-file schedule
+//   --metrics-json FILE   write the run manifest (config, seed, phase
+//                         times, metrics registry, numerical health)
+//   --trace-json FILE     record a Chrome-trace timeline of every pipeline
+//                         span; open in chrome://tracing or ui.perfetto.dev
 #include <cstdio>
 
 #include "cli/args.h"
 #include "cli/config_file.h"
 #include "cli/table.h"
+#include "dqmc/run_manifest.h"
 #include "dqmc/simulation.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
   using namespace dqmc;
   using linalg::idx;
-  cli::Args args(argc, argv, {"config", "progress"});
+  cli::Args args(argc, argv,
+                 {"config", "progress", "warmup", "sweeps", "seed",
+                  "trace-json", "metrics-json"});
 
   core::SimulationConfig cfg;
   if (args.has("config")) {
@@ -40,6 +53,20 @@ int main(int argc, char** argv) {
     cfg.warmup_sweeps = 100;
     cfg.measurement_sweeps = 200;
   }
+  if (args.has("warmup")) cfg.warmup_sweeps = args.get_long("warmup", 0);
+  if (args.has("sweeps")) cfg.measurement_sweeps = args.get_long("sweeps", 0);
+  if (args.has("seed")) {
+    cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  }
+
+  const std::string trace_path = args.get("trace-json", "");
+  const std::string metrics_path = args.get("metrics-json", "");
+  // Metrics and health are cheap; keep them on for the summary and manifest.
+  // Tracing records every span, so it is opt-in via --trace-json.
+  obs::metrics().set_enabled(true);
+  obs::health().set_enabled(true);
+  obs::Tracer::global().set_enabled(!trace_path.empty());
+  obs::Tracer::global().set_current_thread_name("main");
 
   std::printf("lattice %lldx%lldx%lld  t=%.3f t'=%.3f U=%.3f mu=%.3f "
               "beta=%.3f L=%lld (dtau=%.4f)\n",
@@ -88,10 +115,27 @@ int main(int argc, char** argv) {
                  cli::Table::pm(m.average_sign().mean, m.average_sign().error)});
   table.print();
 
-  std::printf("\nacceptance %.1f%%, %llu Green's evaluations, elapsed %s\n",
-              100.0 * res.sweep_stats.acceptance(),
-              static_cast<unsigned long long>(res.strat_stats.evaluations),
-              format_seconds(res.elapsed_seconds).c_str());
+  std::printf("\nelapsed %s\n", format_seconds(res.elapsed_seconds).c_str());
   std::printf("\n%s", res.profiler.report().c_str());
+  // Acceptance, Green's evaluations, flush ranks, GEMM GFLOP/s, ... all come
+  // from the metrics registry now — one formatter instead of ad-hoc printf.
+  std::printf("\n%s", obs::metrics().report().c_str());
+
+  const obs::HealthMonitor::Summary hs = obs::health().summary();
+  std::printf("\nhealth: wrap drift max %.3e, sortedness min %.3f, "
+              "average sign %.3f, violations %llu\n",
+              hs.wrap_drift.max, hs.sortedness.min, hs.average_sign(),
+              static_cast<unsigned long long>(hs.violations));
+
+  if (!metrics_path.empty()) {
+    core::write_run_manifest(res, metrics_path);
+    std::printf("manifest written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::global().write_json(trace_path);
+    std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                trace_path.c_str(), obs::Tracer::global().recorded(),
+                static_cast<unsigned long long>(obs::Tracer::global().dropped()));
+  }
   return 0;
 }

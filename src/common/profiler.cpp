@@ -1,6 +1,9 @@
 #include "common/profiler.h"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "common/error.h"
 
 namespace dqmc {
 
@@ -17,14 +20,43 @@ const char* phase_name(Phase p) {
   return "?";
 }
 
+void Profiler::begin(Phase p) {
+  stack_.push_back({p, std::chrono::steady_clock::now(), 0.0});
+}
+
+void Profiler::end() {
+  DQMC_CHECK_MSG(!stack_.empty(), "Profiler::end() without begin()");
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    frame.start)
+          .count();
+  const int p = static_cast<int>(frame.phase);
+  inclusive_[p] += elapsed;
+  // Nested brackets already billed their (inclusive) time; what is left is
+  // this phase's own work. Clamp against clock jitter on empty brackets.
+  exclusive_[p] += std::max(0.0, elapsed - frame.child_seconds);
+  calls_[p] += 1;
+  if (!stack_.empty()) stack_.back().child_seconds += elapsed;
+}
+
+void Profiler::add(Phase p, double seconds) {
+  exclusive_[static_cast<int>(p)] += seconds;
+  inclusive_[static_cast<int>(p)] += seconds;
+  calls_[static_cast<int>(p)] += 1;
+}
+
 void Profiler::reset() {
-  seconds_.fill(0.0);
+  exclusive_.fill(0.0);
+  inclusive_.fill(0.0);
   calls_.fill(0);
+  stack_.clear();
 }
 
 double Profiler::total_seconds() const {
   double t = 0.0;
-  for (double s : seconds_) t += s;
+  for (double s : exclusive_) t += s;
   return t;
 }
 
@@ -33,16 +65,26 @@ double Profiler::percent(Phase p) const {
   return total > 0.0 ? 100.0 * seconds(p) / total : 0.0;
 }
 
+void Profiler::merge(const Profiler& other) {
+  DQMC_CHECK_MSG(stack_.empty() && other.stack_.empty(),
+                 "Profiler::merge with open phase brackets");
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
+    exclusive_[i] += other.exclusive_[i];
+    inclusive_[i] += other.inclusive_[i];
+    calls_[i] += other.calls_[i];
+  }
+}
+
 std::string Profiler::report() const {
   std::string out;
   char line[160];
-  std::snprintf(line, sizeof line, "%-24s %12s %8s %10s\n", "phase", "seconds",
-                "share", "calls");
+  std::snprintf(line, sizeof line, "%-24s %12s %8s %12s %10s\n", "phase",
+                "seconds", "share", "inclusive", "calls");
   out += line;
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
     const auto p = static_cast<Phase>(i);
-    std::snprintf(line, sizeof line, "%-24s %12.3f %7.1f%% %10llu\n",
-                  phase_name(p), seconds(p), percent(p),
+    std::snprintf(line, sizeof line, "%-24s %12.3f %7.1f%% %12.3f %10llu\n",
+                  phase_name(p), seconds(p), percent(p), inclusive_seconds(p),
                   static_cast<unsigned long long>(calls(p)));
     out += line;
   }

@@ -4,13 +4,25 @@
 // stratification, clustering, wrapping, measurements) with ScopedPhase; the
 // accumulated wall time per phase is then reported as a percentage of the
 // total, exactly the quantity Table I tabulates.
+//
+// Phases may nest (e.g. a delayed-update flush inside the Metropolis span):
+// the profiler keeps a phase stack and bills each phase both INCLUSIVE time
+// (its whole bracket) and EXCLUSIVE time (bracket minus nested brackets), so
+// nested spans are never double counted in the totals. seconds()/percent()
+// report exclusive time, which sums to the true wall time.
+//
+// ScopedPhase also emits a span on the global obs::Tracer when tracing is
+// enabled, so every Table-I phase shows up in the Chrome-trace timeline.
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace dqmc {
 
@@ -29,36 +41,74 @@ enum class Phase : int {
 const char* phase_name(Phase p);
 
 /// Accumulates wall time per phase. Not thread-safe by design: there is one
-/// profiler per Simulation and phases never overlap within a simulation.
+/// profiler per Simulation and each simulation runs on one thread; use
+/// merge() to aggregate per-chain profilers afterwards.
 class Profiler {
  public:
-  void add(Phase p, double seconds) {
-    seconds_[static_cast<int>(p)] += seconds;
-    calls_[static_cast<int>(p)] += 1;
-  }
+  /// Open a bracket for `p` (nesting allowed). Prefer ScopedPhase.
+  void begin(Phase p);
+  /// Close the innermost bracket and bill its time.
+  void end();
+
+  /// Record a leaf sample directly (no nesting interaction): `seconds` is
+  /// billed to `p` both inclusively and exclusively, one call.
+  void add(Phase p, double seconds);
+
   void reset();
 
-  double seconds(Phase p) const { return seconds_[static_cast<int>(p)]; }
+  /// Exclusive time: the phase's brackets minus brackets nested inside
+  /// them. Sums to total_seconds() without double counting.
+  double seconds(Phase p) const { return exclusive_[static_cast<int>(p)]; }
+  /// Inclusive time: the phase's whole brackets, nested work included.
+  double inclusive_seconds(Phase p) const {
+    return inclusive_[static_cast<int>(p)];
+  }
   std::uint64_t calls(Phase p) const { return calls_[static_cast<int>(p)]; }
   double total_seconds() const;
-  /// Percentage of the total accounted to `p`; 0 when nothing was recorded.
+  /// Percentage of the total accounted to `p`; 0 when nothing was recorded
+  /// (the zero-total case is explicit, not a division by zero).
   double percent(Phase p) const;
 
-  /// Multi-line summary table (one row per phase with time and share).
+  /// Fold another profiler's totals into this one (independent-chain
+  /// aggregation). Both profilers must have no open brackets.
+  void merge(const Profiler& other);
+
+  /// Multi-line summary table (one row per phase with exclusive time,
+  /// share, inclusive time, and calls).
   std::string report() const;
 
  private:
-  std::array<double, static_cast<int>(Phase::kCount)> seconds_{};
+  struct Frame {
+    Phase phase;
+    std::chrono::steady_clock::time_point start;
+    double child_seconds;  ///< time billed to brackets nested inside
+  };
+
+  std::array<double, static_cast<int>(Phase::kCount)> exclusive_{};
+  std::array<double, static_cast<int>(Phase::kCount)> inclusive_{};
   std::array<std::uint64_t, static_cast<int>(Phase::kCount)> calls_{};
+  std::vector<Frame> stack_;
 };
 
-/// RAII bracket crediting its lifetime to one phase of a profiler.
-/// A null profiler disables the bracket (zero cost beyond a branch).
+/// RAII bracket crediting its lifetime to one phase of a profiler, and —
+/// when tracing is enabled — emitting the same span on the global tracer.
+/// A null profiler disables the profiling half (the trace span remains).
 class ScopedPhase {
  public:
-  ScopedPhase(Profiler* prof, Phase phase) : prof_(prof), phase_(phase) {}
+  ScopedPhase(Profiler* prof, Phase phase) : prof_(prof), phase_(phase) {
+    if (prof_) prof_->begin(phase_);
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      start_us_ = tracer.now_us();
+    }
+  }
   ~ScopedPhase() {
-    if (prof_) prof_->add(phase_, watch_.seconds());
+    if (prof_) prof_->end();
+    if (tracer_) {
+      tracer_->complete(phase_name(phase_), "phase", start_us_,
+                        tracer_->now_us() - start_us_);
+    }
   }
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
@@ -66,7 +116,8 @@ class ScopedPhase {
  private:
   Profiler* prof_;
   Phase phase_;
-  Stopwatch watch_;
+  obs::Tracer* tracer_ = nullptr;
+  double start_us_ = 0.0;
 };
 
 }  // namespace dqmc

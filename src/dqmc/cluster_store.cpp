@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dqmc::core {
 
 ClusterStore::ClusterStore(const BMatrixFactory& factory, const HSField& field,
@@ -33,6 +37,9 @@ Matrix ClusterStore::cpu_cluster_product(Spin s, idx c) const {
 void ClusterStore::rebuild(idx c, Profiler* prof) {
   DQMC_CHECK(c >= 0 && c < num_clusters_);
   ScopedPhase phase(prof, Phase::kClustering);
+  obs::TraceSpan span("cluster_rebuild");
+  span.arg("cluster", static_cast<double>(c));
+  Stopwatch watch;
   for (Spin s : hubbard::kSpins) {
     Matrix result;
     if (gpu_) {
@@ -44,6 +51,18 @@ void ClusterStore::rebuild(idx c, Profiler* prof) {
       result = cpu_cluster_product(s, c);
     }
     clusters_[spin_index(s)][static_cast<std::size_t>(c)] = std::move(result);
+  }
+  obs::MetricsRegistry& reg = obs::metrics();
+  if (reg.enabled()) {
+    const double s = watch.seconds();
+    reg.count("cluster.rebuilds");
+    reg.observe("cluster.rebuild_ms", s * 1e3);
+    // Per spin: (len-1) GEMMs of 2 n^3 flops dominate the product.
+    const double n = static_cast<double>(factory_.n());
+    const double len = static_cast<double>(cluster_end(c) - cluster_begin(c));
+    if (s > 0.0 && len > 1.0) {
+      reg.observe("cluster.gflops", 2.0 * (len - 1.0) * 2.0 * n * n * n / s / 1e9);
+    }
   }
 }
 

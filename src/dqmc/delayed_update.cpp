@@ -1,7 +1,10 @@
 #include "dqmc/delayed_update.h"
 
+#include "common/stopwatch.h"
 #include "linalg/blas1.h"
 #include "linalg/blas3.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dqmc::core {
 
@@ -56,9 +59,28 @@ void DelayedGreens::accept(double coeff, idx i) {
 Matrix& DelayedGreens::flush(Profiler* prof) {
   if (filled_ == 0) return g_;
   ScopedPhase phase(prof, Phase::kDelayedUpdate);
-  linalg::gemm(linalg::Trans::No, linalg::Trans::Yes, 1.0,
-               u_.view().block(0, 0, n_, filled_),
-               w_.view().block(0, 0, n_, filled_), 1.0, g_);
+  obs::TraceSpan span("delayed_flush");
+  span.arg("rank", static_cast<double>(filled_));
+
+  const auto fold = [&] {
+    linalg::gemm(linalg::Trans::No, linalg::Trans::Yes, 1.0,
+                 u_.view().block(0, 0, n_, filled_),
+                 w_.view().block(0, 0, n_, filled_), 1.0, g_);
+  };
+  obs::MetricsRegistry& reg = obs::metrics();
+  if (reg.enabled()) {
+    Stopwatch watch;
+    fold();
+    const double s = watch.seconds();
+    reg.observe("delayed_update.flush_rank", static_cast<double>(filled_));
+    // Rank-k update: 2 n^2 k flops, the GEMM rate behind Fig. 1.
+    if (s > 0.0) {
+      reg.observe("gemm.gflops", 2.0 * static_cast<double>(n_) * n_ * filled_ /
+                                     s / 1e9);
+    }
+  } else {
+    fold();
+  }
   filled_ = 0;
   return g_;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "linalg/lu.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
 
 namespace dqmc::core {
 
@@ -47,10 +49,36 @@ void DqmcEngine::resume() {
   initialized_ = true;
 }
 
-void DqmcEngine::recompute_greens(idx cluster) {
+namespace {
+
+double max_abs_diff(const linalg::Matrix& a, const linalg::Matrix& b) {
+  double m = 0.0;
+  const idx total = a.rows() * a.cols();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (idx i = 0; i < total; ++i) {
+    const double d = std::fabs(pa[i] - pb[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace
+
+void DqmcEngine::recompute_greens(idx cluster, bool record_drift) {
+  const bool monitor =
+      record_drift && initialized_ && obs::health().enabled();
   for (Spin s : hubbard::kSpins) {
-    delayed_[spin_index(s)].reset(
-        strat_.compute(clusters_.rotation(s, cluster), &profiler_));
+    DelayedGreens& dg = delayed_[spin_index(s)];
+    linalg::Matrix fresh =
+        strat_.compute(clusters_.rotation(s, cluster), &profiler_);
+    if (monitor) {
+      // The wrapped/updated G was advanced to this same cluster boundary;
+      // its distance from the clean stratified G is the wrap drift.
+      obs::health().record_wrap_drift(
+          max_abs_diff(dg.flush(&profiler_), fresh));
+    }
+    dg.reset(std::move(fresh));
   }
 }
 
@@ -116,7 +144,7 @@ SweepStats DqmcEngine::sweep(const SliceHook& on_slice) {
   for (idx c = 0; c < clusters_.num_clusters(); ++c) {
     // Fresh, numerically clean G at this cluster's boundary, built from the
     // cached (recycled) cluster products.
-    recompute_greens(c);
+    recompute_greens(c, /*record_drift=*/true);
     for (idx slice = clusters_.cluster_begin(c);
          slice < clusters_.cluster_end(c); ++slice) {
       wrap_slice(slice);
@@ -129,6 +157,14 @@ SweepStats DqmcEngine::sweep(const SliceHook& on_slice) {
   }
   lifetime_.proposed += stats.proposed;
   lifetime_.accepted += stats.accepted;
+  obs::MetricsRegistry& reg = obs::metrics();
+  if (reg.enabled()) {
+    reg.count("sweeps");
+    reg.count("metropolis.proposed", stats.proposed);
+    reg.count("metropolis.accepted", stats.accepted);
+    reg.set("metropolis.accept_rate", lifetime_.acceptance());
+  }
+  obs::health().record_sign(sign_);
   return stats;
 }
 

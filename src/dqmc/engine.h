@@ -99,8 +99,11 @@ class DqmcEngine {
   gpu::Device* device() { return device_.get(); }
 
   /// Recompute G for both spins from scratch at the boundary before
-  /// cluster `c` (exposed for the accuracy bench, Fig. 2).
-  void recompute_greens(idx cluster = 0);
+  /// cluster `c` (exposed for the accuracy bench, Fig. 2). When
+  /// `record_drift` is set and the global obs::HealthMonitor is enabled,
+  /// ‖G_wrap − G_fresh‖_max is reported before the fresh G replaces the
+  /// wrapped one.
+  void recompute_greens(idx cluster = 0, bool record_drift = false);
 
  private:
   void wrap_slice(idx slice);

@@ -7,6 +7,8 @@
 #include "linalg/diag.h"
 #include "linalg/permutation.h"
 #include "linalg/qrp.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
 
 namespace dqmc::core {
 
@@ -86,6 +88,13 @@ void GradedAccumulator::graded_step(Matrix&& c, bool first) {
     }
   }
   stats_.pivot_displacement += static_cast<std::uint64_t>(perm.displacement());
+  obs::metrics().count(algorithm_ == StratAlgorithm::kQRP ? "strat.qrp_calls"
+                                                          : "strat.qr_calls");
+  // The permutation sorts the column norms, so its presorted fraction IS
+  // the pre-pivot sortedness (Algorithm 3's "very few interchanges").
+  if (obs::health().enabled()) {
+    obs::health().record_sortedness(perm.presorted_fraction());
+  }
 
   // d = diag(R); R_s = D^{-1} R (well-scaled upper triangle).
   d_ = linalg::diagonal(qr.factors);

@@ -1,0 +1,103 @@
+#include "dqmc/run_manifest.h"
+
+#include <fstream>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/topology.h"
+
+namespace dqmc::core {
+
+namespace {
+
+obs::Json config_json(const SimulationConfig& cfg) {
+  return obs::Json::object()
+      .set("lx", cfg.lx)
+      .set("ly", cfg.ly)
+      .set("layers", cfg.layers)
+      .set("t", cfg.model.t)
+      .set("t_perp", cfg.model.t_perp)
+      .set("u", cfg.model.u)
+      .set("mu", cfg.model.mu)
+      .set("beta", cfg.model.beta)
+      .set("slices", cfg.model.slices)
+      .set("dtau", cfg.model.dtau())
+      .set("algorithm", strat_algorithm_name(cfg.engine.algorithm))
+      .set("cluster_size", cfg.engine.cluster_size)
+      .set("delay_rank", cfg.engine.delay_rank)
+      .set("qr_block", cfg.engine.qr_block)
+      .set("gpu_clustering", cfg.engine.gpu_clustering)
+      .set("gpu_wrapping", cfg.engine.gpu_wrapping)
+      .set("warmup_sweeps", cfg.warmup_sweeps)
+      .set("measurement_sweeps", cfg.measurement_sweeps)
+      .set("measure_interval", cfg.measure_interval)
+      .set("measure_slice_interval", cfg.measure_slice_interval)
+      .set("measure_dynamic_interval", cfg.measure_dynamic_interval)
+      .set("bins", cfg.bins);
+}
+
+obs::Json phases_json(const Profiler& prof) {
+  obs::Json phases = obs::Json::object();
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    phases.set(phase_name(phase),
+               obs::Json::object()
+                   .set("seconds", prof.seconds(phase))
+                   .set("inclusive_seconds", prof.inclusive_seconds(phase))
+                   .set("percent", prof.percent(phase))
+                   .set("calls", prof.calls(phase)));
+  }
+  phases.set("total_seconds", prof.total_seconds());
+  return phases;
+}
+
+obs::Json metrics_json(const SimulationResults& r) {
+  const SweepStats& sw = r.sweep_stats;
+  const StratStats& st = r.strat_stats;
+  obs::Json m = obs::Json::object()
+                    .set("accept_rate", sw.acceptance())
+                    .set("proposed", sw.proposed)
+                    .set("accepted", sw.accepted)
+                    .set("greens_evaluations", st.evaluations)
+                    .set("qr_steps", st.steps)
+                    .set("pivot_displacement", st.pivot_displacement);
+  // The live registry snapshot (counters/gauges/histograms recorded by the
+  // engine, gpusim device, delayed updates, ...).
+  m.set("registry", obs::metrics().json_value());
+  return m;
+}
+
+}  // namespace
+
+obs::Json run_manifest(const SimulationResults& results) {
+  const obs::Tracer& tracer = obs::Tracer::global();
+  return obs::Json::object()
+      .set("manifest", obs::Json::object()
+                           .set("program", "dqmcpp")
+                           .set("format_version", 1)
+                           .set("seed", results.config.seed)
+                           .set("algorithm", strat_algorithm_name(
+                                                 results.config.engine.algorithm))
+                           .set("hardware_threads", par::num_threads())
+                           .set("elapsed_seconds", results.elapsed_seconds))
+      .set("config", config_json(results.config))
+      .set("phases", phases_json(results.profiler))
+      .set("metrics", metrics_json(results))
+      .set("health", obs::health().json_value())
+      .set("trace", obs::Json::object()
+                        .set("enabled", tracer.enabled())
+                        .set("recorded", tracer.recorded())
+                        .set("dropped", tracer.dropped()));
+}
+
+void write_run_manifest(const SimulationResults& results,
+                        const std::string& path) {
+  std::ofstream out(path);
+  DQMC_CHECK_MSG(out.good(), "cannot open manifest file: " + path);
+  out << run_manifest(results).dump(2) << '\n';
+  out.flush();
+  DQMC_CHECK_MSG(out.good(), "failed writing manifest file: " + path);
+}
+
+}  // namespace dqmc::core

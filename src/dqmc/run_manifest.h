@@ -1,0 +1,26 @@
+// Run manifest: a single JSON document capturing everything needed to
+// understand (and re-run) a simulation after the fact — the configuration,
+// seed provenance, per-phase timings, the metrics-registry snapshot, and the
+// numerical-health summary. The bench harness and `dqmc_run --metrics-json`
+// both emit this format; tests/tools/obs_json_check validates it.
+#pragma once
+
+#include <string>
+
+#include "dqmc/simulation.h"
+#include "obs/json.h"
+
+namespace dqmc::core {
+
+/// Build the manifest document for `results`. Reads the GLOBAL
+/// obs::MetricsRegistry / obs::HealthMonitor / obs::Tracer state, so call
+/// it before resetting them. Top-level keys: "manifest", "config",
+/// "phases", "metrics", "health", "trace".
+obs::Json run_manifest(const SimulationResults& results);
+
+/// Write run_manifest(results) to `path` (pretty-printed). Throws
+/// dqmc::Error on I/O failure.
+void write_run_manifest(const SimulationResults& results,
+                        const std::string& path);
+
+}  // namespace dqmc::core

@@ -119,10 +119,7 @@ SimulationResults run_parallel_simulation(const SimulationConfig& config,
     merged.strat_stats.evaluations += p.strat_stats.evaluations;
     merged.strat_stats.steps += p.strat_stats.steps;
     merged.strat_stats.pivot_displacement += p.strat_stats.pivot_displacement;
-    for (int ph = 0; ph < static_cast<int>(Phase::kCount); ++ph) {
-      merged.profiler.add(static_cast<Phase>(ph),
-                          p.profiler.seconds(static_cast<Phase>(ph)));
-    }
+    merged.profiler.merge(p.profiler);
   }
   merged.elapsed_seconds = watch.seconds();
   return merged;

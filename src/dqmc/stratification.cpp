@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "common/stopwatch.h"
 #include "linalg/blas3.h"
 #include "linalg/diag.h"
 #include "linalg/lu.h"
 #include "linalg/util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dqmc::core {
 
@@ -90,6 +93,9 @@ int chain_det_sign(const std::vector<const Matrix*>& factors,
 Matrix StratificationEngine::compute(const std::vector<const Matrix*>& factors,
                                      Profiler* prof) {
   ScopedPhase phase(prof, Phase::kStratification);
+  obs::TraceSpan span("greens_eval");
+  span.arg("factors", static_cast<double>(factors.size()));
+  Stopwatch watch;
   DQMC_CHECK_MSG(!factors.empty(), "stratification needs at least one factor");
   for (const Matrix* f : factors) {
     DQMC_CHECK(f && f->rows() == n() && f->cols() == n());
@@ -103,7 +109,13 @@ Matrix StratificationEngine::compute(const std::vector<const Matrix*>& factors,
   const std::uint64_t evals = stats_.evaluations + 1;
   stats_ = acc_.stats();
   stats_.evaluations = evals;
-  return close_greens(acc_.u(), acc_.d(), acc_.t());
+  Matrix g = close_greens(acc_.u(), acc_.d(), acc_.t());
+  obs::MetricsRegistry& reg = obs::metrics();
+  if (reg.enabled()) {
+    reg.count("strat.evaluations");
+    reg.observe("strat.eval_ms", watch.seconds() * 1e3);
+  }
+  return g;
 }
 
 Matrix StratificationEngine::compute(const std::vector<Matrix>& factors,

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "linalg/diag.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dqmc::gpu {
 
@@ -23,21 +25,46 @@ DeviceVector Device::alloc_vector(idx n) {
   return DeviceVector(n);
 }
 
-void Device::enqueue_compute(double modeled_seconds,
+void Device::submit_traced(const char* kernel, std::function<void()> body) {
+  if (obs::Tracer::global().enabled()) {
+    stream_.submit([kernel, body = std::move(body)] {
+      obs::TraceSpan span(kernel, "gpusim");
+      body();
+    });
+  } else {
+    stream_.submit(std::move(body));
+  }
+}
+
+void Device::enqueue_compute(const char* kernel, double modeled_seconds,
                              std::function<void()> body) {
   {
     std::lock_guard lock(stats_mutex_);
     stats_.compute_seconds += modeled_seconds;
     stats_.kernel_launches += 1;
   }
-  stream_.submit(std::move(body));
+  obs::MetricsRegistry& reg = obs::metrics();
+  if (reg.enabled()) {
+    reg.count("gpusim.kernel_launches");
+    reg.observe("gpusim.kernel_modeled_ms", modeled_seconds * 1e3);
+  }
+  submit_traced(kernel, std::move(body));
 }
 
 void Device::account_transfer(double bytes, bool h2d) {
-  std::lock_guard lock(stats_mutex_);
-  stats_.transfer_seconds += spec_.transfer_seconds(bytes);
-  stats_.transfers += 1;
-  (h2d ? stats_.bytes_h2d : stats_.bytes_d2h) += bytes;
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.transfer_seconds += spec_.transfer_seconds(bytes);
+    stats_.transfers += 1;
+    (h2d ? stats_.bytes_h2d : stats_.bytes_d2h) += bytes;
+  }
+  obs::MetricsRegistry& reg = obs::metrics();
+  if (reg.enabled()) {
+    reg.count("gpusim.transfers");
+    reg.count(h2d ? "gpusim.bytes_h2d" : "gpusim.bytes_d2h",
+              static_cast<std::uint64_t>(bytes));
+  }
+  obs::Tracer::global().instant(h2d ? "h2d" : "d2h", "gpusim", "bytes", bytes);
 }
 
 void Device::set_matrix(ConstMatrixView host, DeviceMatrix& dev) {
@@ -68,7 +95,7 @@ void Device::set_vector(const double* host, idx n, DeviceVector& dev) {
 void Device::copy(const DeviceMatrix& src, DeviceMatrix& dst) {
   DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
   const double seconds = spec_.fused_kernel_seconds(2.0 * src.bytes());
-  enqueue_compute(seconds, [&src, &dst] {
+  enqueue_compute("copy", seconds, [&src, &dst] {
     linalg::copy(src.storage_, dst.storage_);
   });
 }
@@ -80,7 +107,7 @@ void Device::gemm(Trans transa, Trans transb, double alpha,
   const idx k = transa == Trans::Yes ? a.rows() : a.cols();
   const idx n = transb == Trans::Yes ? b.rows() : b.cols();
   const double seconds = spec_.gemm_seconds(m, n, k);
-  enqueue_compute(seconds, [=, &a, &b, &c] {
+  enqueue_compute("gemm", seconds, [=, &a, &b, &c] {
     linalg::gemm(transa, transb, alpha, a.storage_, b.storage_, beta,
                  c.storage_);
   });
@@ -97,7 +124,9 @@ void Device::scale_rows_rowwise(const DeviceVector& v, const DeviceMatrix& src,
     stats_.compute_seconds += seconds;
     stats_.kernel_launches += static_cast<std::uint64_t>(src.rows());
   }
-  stream_.submit([&v, &src, &dst] {
+  obs::metrics().count("gpusim.kernel_launches",
+                       static_cast<std::uint64_t>(src.rows()));
+  submit_traced("scale_rows_rowwise", [&v, &src, &dst] {
     linalg::scale_rows_into(v.storage_.data(), src.storage_, dst.storage_);
   });
 }
@@ -116,7 +145,9 @@ void Device::scale_cols_rowwise(const DeviceVector& v, const DeviceMatrix& src,
     stats_.compute_seconds += seconds;
     stats_.kernel_launches += static_cast<std::uint64_t>(src.cols());
   }
-  stream_.submit([&v, &src, &dst] {
+  obs::metrics().count("gpusim.kernel_launches",
+                       static_cast<std::uint64_t>(src.cols()));
+  submit_traced("scale_cols_rowwise", [&v, &src, &dst] {
     if (&src != &dst) linalg::copy(src.storage_, dst.storage_);
     linalg::scale_cols(v.storage_.data(), dst.storage_);
   });
@@ -127,7 +158,7 @@ void Device::scale_rows_kernel(const DeviceVector& v, const DeviceMatrix& src,
   DQMC_CHECK(v.size() == src.rows());
   DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
   const double seconds = spec_.fused_kernel_seconds(2.0 * src.bytes());
-  enqueue_compute(seconds, [&v, &src, &dst] {
+  enqueue_compute("scale_rows_kernel", seconds, [&v, &src, &dst] {
     linalg::scale_rows_into(v.storage_.data(), src.storage_, dst.storage_);
   });
 }
@@ -135,7 +166,7 @@ void Device::scale_rows_kernel(const DeviceVector& v, const DeviceMatrix& src,
 void Device::wrap_scale_kernel(const DeviceVector& v, DeviceMatrix& g) {
   DQMC_CHECK(v.size() == g.rows() && g.rows() == g.cols());
   const double seconds = spec_.fused_kernel_seconds(2.0 * g.bytes());
-  enqueue_compute(seconds, [&v, &g] {
+  enqueue_compute("wrap_scale_kernel", seconds, [&v, &g] {
     linalg::scale_rows_cols_inv(v.storage_.data(), v.storage_.data(),
                                 g.storage_);
   });

@@ -130,7 +130,13 @@ class Device {
   void reset_stats();
 
  private:
-  void enqueue_compute(double modeled_seconds, std::function<void()> body);
+  /// Enqueue `body` on the stream, bill `modeled_seconds` to the virtual
+  /// clock, and (when tracing) emit a span named `kernel` on the stream
+  /// thread's timeline. `kernel` must be a string literal.
+  void enqueue_compute(const char* kernel, double modeled_seconds,
+                       std::function<void()> body);
+  /// Submit without compute accounting (callers bill stats themselves).
+  void submit_traced(const char* kernel, std::function<void()> body);
   void account_transfer(double bytes, bool h2d);
 
   DeviceSpec spec_;

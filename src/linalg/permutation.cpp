@@ -32,6 +32,20 @@ idx Permutation::displacement() const {
   return d;
 }
 
+double Permutation::presorted_fraction() const {
+  if (size() < 2) return 1.0;
+  // pos[v] = destination slot of source column v.
+  std::vector<idx> pos(map_.size());
+  for (idx j = 0; j < size(); ++j)
+    pos[static_cast<std::size_t>(map_[static_cast<std::size_t>(j)])] = j;
+  idx kept = 0;
+  for (idx v = 0; v + 1 < size(); ++v) {
+    if (pos[static_cast<std::size_t>(v)] < pos[static_cast<std::size_t>(v + 1)])
+      ++kept;
+  }
+  return static_cast<double>(kept) / static_cast<double>(size() - 1);
+}
+
 Permutation Permutation::inverse() const {
   Permutation q(size());
   for (idx j = 0; j < size(); ++j) q[(*this)[j]] = j;

@@ -28,6 +28,14 @@ class Permutation {
   /// actually happened" diagnostic used by the pre-pivoting study).
   idx displacement() const;
 
+  /// Fraction of adjacent source columns (j, j+1) whose relative order this
+  /// permutation preserves: 1 for the identity, ~0.5 for a random shuffle,
+  /// 0 for a full reversal. Viewing p as the sort permutation of column
+  /// norms, this measures how sorted the columns already were — the
+  /// premise of the paper's pre-pivoted QR (Algorithm 3). Returns 1 when
+  /// size() < 2.
+  double presorted_fraction() const;
+
   /// Inverse permutation q with q[p[j]] = j.
   Permutation inverse() const;
 

@@ -1,0 +1,110 @@
+#include "obs/health.h"
+
+#include "obs/trace.h"
+
+namespace dqmc::obs {
+
+Json RunningStat::json_value() const {
+  Json j = Json::object();
+  j.set("count", count);
+  j.set("mean", mean());
+  if (count > 0) {
+    j.set("min", min);
+    j.set("max", max);
+  }
+  return j;
+}
+
+HealthMonitor& HealthMonitor::global() {
+  // Leaked so instrumented code may record during static destruction.
+  static HealthMonitor* instance = new HealthMonitor();
+  return *instance;
+}
+
+void HealthMonitor::set_thresholds(const HealthThresholds& t) {
+  std::lock_guard lock(mutex_);
+  thresholds_ = t;
+}
+
+HealthThresholds HealthMonitor::thresholds() const {
+  std::lock_guard lock(mutex_);
+  return thresholds_;
+}
+
+void HealthMonitor::violation(const char* what, double value) {
+  // Called with mutex_ held; the tracer has its own locking.
+  ++state_.violations;
+  Tracer::global().instant(what, "health", "value", value);
+}
+
+void HealthMonitor::record_wrap_drift(double drift) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  state_.wrap_drift.add(drift);
+  if (drift > thresholds_.max_wrap_drift) {
+    violation("health.wrap_drift_warn", drift);
+  }
+}
+
+void HealthMonitor::record_sortedness(double sortedness) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  state_.sortedness.add(sortedness);
+  if (sortedness < thresholds_.min_sortedness) {
+    violation("health.sortedness_warn", sortedness);
+  }
+}
+
+void HealthMonitor::record_sign(int sign) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  ++state_.sign_samples;
+  state_.sign_sum += static_cast<double>(sign);
+  // The running average is a property of the whole stream, not one sample:
+  // warn once per crossing instead of on every subsequent configuration.
+  if (state_.sign_samples >= thresholds_.min_sign_samples) {
+    const double avg = state_.average_sign();
+    if (avg < thresholds_.min_avg_sign) {
+      if (!sign_warned_) violation("health.sign_warn", avg);
+      sign_warned_ = true;
+    } else {
+      sign_warned_ = false;
+    }
+  }
+}
+
+HealthMonitor::Summary HealthMonitor::summary() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+std::uint64_t HealthMonitor::violations() const {
+  std::lock_guard lock(mutex_);
+  return state_.violations;
+}
+
+Json HealthMonitor::json_value() const {
+  std::lock_guard lock(mutex_);
+  Json j = Json::object();
+  j.set("enabled", enabled());
+  j.set("wrap_drift", state_.wrap_drift.json_value());
+  j.set("sortedness", state_.sortedness.json_value());
+  j.set("average_sign", state_.average_sign());
+  j.set("sign_samples", state_.sign_samples);
+  j.set("violations", state_.violations);
+  Json t = Json::object();
+  t.set("max_wrap_drift", thresholds_.max_wrap_drift);
+  t.set("min_sortedness", thresholds_.min_sortedness);
+  t.set("min_avg_sign", thresholds_.min_avg_sign);
+  t.set("min_sign_samples", thresholds_.min_sign_samples);
+  j.set("thresholds", std::move(t));
+  return j;
+}
+
+void HealthMonitor::reset() {
+  std::lock_guard lock(mutex_);
+  state_ = Summary{};
+  sign_warned_ = false;
+}
+
+}  // namespace dqmc::obs

@@ -1,0 +1,82 @@
+// Minimal JSON document model shared by the observability exporters.
+//
+// Every obs artifact (Chrome trace, metrics snapshot, run manifest) is built
+// as a Json tree and serialized with dump(); parse() gives tests and the
+// ctest smoke validator a round-trip check without external dependencies.
+// Objects preserve insertion order so emitted documents are deterministic.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dqmc::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), number_(v) {}
+  template <class T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  Json(T v) : Json(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool boolean() const;
+  double number() const;
+  const std::string& str() const;
+
+  /// Object member access. set() replaces an existing key and returns *this
+  /// so documents can be built by chaining.
+  Json& set(const std::string& key, Json value);
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  /// Null when absent (object-typed values only).
+  const Json* find(const std::string& key) const;
+  /// Throws InvalidArgument when the key is absent.
+  const Json& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Array access.
+  void push_back(Json value);
+  std::size_t size() const;
+  const Json& operator[](std::size_t i) const;
+
+  /// Serialize. indent < 0 emits compact single-line JSON; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; throws InvalidArgument (with the byte
+  /// offset) on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;  // object
+  std::vector<Json> items_;                            // array
+};
+
+}  // namespace dqmc::obs

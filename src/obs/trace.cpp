@@ -1,0 +1,185 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dqmc::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(Clock::now()), id_(next_tracer_id()) {}
+
+Tracer& Tracer::global() {
+  // Leaked so worker threads may emit during static destruction.
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::set_buffer_capacity(std::size_t events) {
+  DQMC_CHECK_MSG(events >= 1, "trace buffer capacity must be >= 1");
+  std::lock_guard lock(registry_mutex_);
+  capacity_ = events;
+}
+
+void Tracer::ThreadBuffer::push(const TraceEvent& e) {
+  std::lock_guard buf_lock(mutex);
+  if (ring.empty()) ring.reserve(capacity);
+  if (count < capacity) {
+    ring.push_back(e);
+    ++count;
+  } else {
+    // Overwrite the oldest event (ring policy) and account the loss.
+    ring[head] = e;
+    head = (head + 1) % capacity;
+    ++dropped;
+  }
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Per-thread cache of (tracer id -> buffer). Tracer ids are never reused,
+  // so a stale entry can never alias a new tracer instance.
+  struct CacheEntry {
+    std::uint64_t tracer_id;
+    ThreadBuffer* buffer;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.tracer_id == id_) return *e.buffer;
+  }
+  std::lock_guard lock(registry_mutex_);
+  const int tid = static_cast<int>(buffers_.size());
+  buffers_.push_back(std::make_unique<ThreadBuffer>(tid, capacity_));
+  ThreadBuffer* buf = buffers_.back().get();
+  cache.push_back({id_, buf});
+  return *buf;
+}
+
+void Tracer::complete(const char* name, const char* cat, double ts_us,
+                      double dur_us, const char* arg_name, double arg_value) {
+  if (!enabled()) return;
+  local_buffer().push({name, cat, ts_us, dur_us, 'X', arg_name, arg_value});
+}
+
+void Tracer::instant(const char* name, const char* cat, const char* arg_name,
+                     double arg_value) {
+  if (!enabled()) return;
+  local_buffer().push({name, cat, now_us(), 0.0, 'i', arg_name, arg_value});
+}
+
+void Tracer::counter(const char* name, const char* cat, const char* series,
+                     double value) {
+  if (!enabled()) return;
+  local_buffer().push({name, cat, now_us(), 0.0, 'C', series, value});
+}
+
+void Tracer::set_current_thread_name(const std::string& name) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard lock(buf.mutex);
+  buf.name = name;
+}
+
+std::size_t Tracer::recorded() const {
+  std::lock_guard lock(registry_mutex_);
+  std::size_t total = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard buf_lock(buf->mutex);
+    total += buf->count;
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard buf_lock(buf->mutex);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+Json Tracer::trace_json() const {
+  struct Tagged {
+    TraceEvent event;
+    int tid;
+  };
+  std::vector<Tagged> events;
+  std::vector<std::pair<int, std::string>> names;
+  {
+    std::lock_guard lock(registry_mutex_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard buf_lock(buf->mutex);
+      for (std::size_t i = 0; i < buf->count; ++i) {
+        const TraceEvent& e = buf->ring[(buf->head + i) % buf->capacity];
+        events.push_back({e, buf->tid});
+      }
+      names.emplace_back(buf->tid, buf->name.empty()
+                                       ? "thread-" + std::to_string(buf->tid)
+                                       : buf->name);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.event.ts_us < b.event.ts_us;
+                   });
+
+  Json list = Json::array();
+  for (const auto& [tid, name] : names) {
+    Json meta = Json::object();
+    meta.set("name", "thread_name").set("ph", "M").set("pid", 1).set("tid", tid);
+    meta.set("args", Json::object().set("name", name));
+    list.push_back(std::move(meta));
+  }
+  for (const Tagged& t : events) {
+    const TraceEvent& e = t.event;
+    Json ev = Json::object();
+    ev.set("name", e.name).set("cat", e.cat);
+    ev.set("ph", std::string(1, e.ph));
+    ev.set("ts", e.ts_us);
+    if (e.ph == 'X') ev.set("dur", e.dur_us);
+    if (e.ph == 'i') ev.set("s", "t");  // thread-scoped instant
+    ev.set("pid", 1).set("tid", t.tid);
+    if (e.arg_name != nullptr) {
+      ev.set("args", Json::object().set(e.arg_name, e.arg_value));
+    }
+    list.push_back(std::move(ev));
+  }
+
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(list));
+  doc.set("displayTimeUnit", "ms");
+  doc.set("droppedEvents", dropped());
+  return doc;
+}
+
+void Tracer::write_json(const std::string& path) const {
+  const std::string text = json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw Error("cannot open trace output file: " + path);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    throw Error("short write to trace output file: " + path);
+  }
+}
+
+void Tracer::reset() {
+  std::lock_guard lock(registry_mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard buf_lock(buf->mutex);
+    buf->ring.clear();
+    buf->head = 0;
+    buf->count = 0;
+    buf->dropped = 0;
+  }
+  epoch_ = Clock::now();
+}
+
+}  // namespace dqmc::obs

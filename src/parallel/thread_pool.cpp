@@ -1,12 +1,16 @@
 #include "parallel/thread_pool.h"
 
+#include <string>
+
+#include "obs/trace.h"
+
 namespace dqmc::par {
 
 ThreadPool::ThreadPool(int threads) {
   DQMC_CHECK(threads >= 1);
   workers_.reserve(threads);
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -19,7 +23,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
+  obs::Tracer::global().set_current_thread_name("worker-" +
+                                                std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {

@@ -1,0 +1,94 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace dqmc::obs {
+namespace {
+
+TEST(Json, ScalarsRoundTrip) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(std::uint64_t{123456789}).dump(), "123456789");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json(std::string("\x01", 1)).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndChains) {
+  Json j = Json::object().set("b", 1).set("a", 2);
+  EXPECT_EQ(j.dump(), "{\"b\":1,\"a\":2}");
+  j.set("b", 3);  // replace keeps position
+  EXPECT_EQ(j.dump(), "{\"b\":3,\"a\":2}");
+  EXPECT_TRUE(j.has("a"));
+  EXPECT_FALSE(j.has("z"));
+  EXPECT_DOUBLE_EQ(j.at("a").number(), 2.0);
+  EXPECT_EQ(j.find("z"), nullptr);
+  EXPECT_THROW(j.at("z"), InvalidArgument);
+}
+
+TEST(Json, ArrayAccess) {
+  Json a = Json::array();
+  a.push_back(1);
+  a.push_back("two");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a[0].number(), 1.0);
+  EXPECT_EQ(a[1].str(), "two");
+  EXPECT_EQ(a.dump(), "[1,\"two\"]");
+}
+
+TEST(Json, PrettyPrint) {
+  Json j = Json::object().set("k", Json::array());
+  EXPECT_EQ(j.dump(2), "{\n  \"k\": []\n}");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2.5,true,null,\"s\\u0041\"],\"b\":{\"c\":-3e2}}";
+  Json j = Json::parse(text);
+  EXPECT_EQ(j.at("a").size(), 5u);
+  EXPECT_DOUBLE_EQ(j.at("a")[1].number(), 2.5);
+  EXPECT_TRUE(j.at("a")[2].boolean());
+  EXPECT_TRUE(j.at("a")[3].is_null());
+  EXPECT_EQ(j.at("a")[4].str(), "sA");
+  EXPECT_DOUBLE_EQ(j.at("b").at("c").number(), -300.0);
+  // dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST(Json, ParseAcceptsWhitespace) {
+  Json j = Json::parse("  { \"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(j.at("a").size(), 2u);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), InvalidArgument);
+  EXPECT_THROW(Json::parse("{"), InvalidArgument);
+  EXPECT_THROW(Json::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), InvalidArgument);
+  EXPECT_THROW(Json::parse("nul"), InvalidArgument);
+  EXPECT_THROW(Json::parse("\"unterminated"), InvalidArgument);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1.0).str(), InvalidArgument);
+  EXPECT_THROW(Json("s").number(), InvalidArgument);
+  EXPECT_THROW(Json().at("k"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::obs

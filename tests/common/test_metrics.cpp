@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace dqmc::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, StoresLastValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, SummaryStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(-2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), -2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_NEAR(h.mean(), 2.0 / 3.0, 1e-15);
+}
+
+TEST(Histogram, IgnoresNonFiniteSamples) {
+  Histogram h;
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(std::nan(""));
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, CumulativeDecadeBuckets) {
+  Histogram h;
+  h.observe(0.05);  // decade bucket le = 0.1
+  h.observe(0.5);   // le = 1
+  h.observe(0.7);   // le = 1
+  h.observe(5.0);   // le = 10
+  h.observe(1e20);  // overflow bucket
+  const Json j = h.json_value();
+  const Json& buckets = j.at("buckets");
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_NEAR(buckets[0].at("le").number(), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(buckets[0].at("count").number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].at("le").number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].at("count").number(), 3.0);  // cumulative
+  EXPECT_DOUBLE_EQ(buckets[2].at("le").number(), 10.0);
+  EXPECT_DOUBLE_EQ(buckets[2].at("count").number(), 4.0);
+  EXPECT_EQ(buckets[3].at("le").str(), "inf");
+  EXPECT_DOUBLE_EQ(buckets[3].at("count").number(), 5.0);
+}
+
+TEST(MetricsRegistry, DisabledHelpersAreNoOps) {
+  MetricsRegistry reg;
+  EXPECT_FALSE(reg.enabled());
+  reg.count("c");
+  reg.set("g", 1.0);
+  reg.observe("h", 1.0);
+  // Nothing was even registered.
+  EXPECT_EQ(reg.find_counter("c"), nullptr);
+  EXPECT_EQ(reg.find_gauge("g"), nullptr);
+  EXPECT_EQ(reg.find_histogram("h"), nullptr);
+}
+
+TEST(MetricsRegistry, HelpersRecordWhenEnabled) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.count("accepts", 3);
+  reg.set("rate", 0.5);
+  reg.observe("sizes", 8.0);
+  ASSERT_NE(reg.find_counter("accepts"), nullptr);
+  EXPECT_EQ(reg.find_counter("accepts")->value(), 3u);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("rate")->value(), 0.5);
+  EXPECT_EQ(reg.find_histogram("sizes")->count(), 1u);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("x");
+  Counter& c2 = reg.counter("x");
+  EXPECT_EQ(&c1, &c2);
+}
+
+TEST(MetricsRegistry, CrossKindNameCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("name");
+  EXPECT_THROW(reg.gauge("name"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("name"), InvalidArgument);
+  reg.gauge("other");
+  EXPECT_THROW(reg.counter("other"), InvalidArgument);
+}
+
+TEST(MetricsRegistry, JsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.count("sweeps", 7);
+  reg.set("accept_rate", 0.25);
+  reg.observe("flush_rank", 32.0);
+
+  const Json parsed = Json::parse(reg.json());
+  EXPECT_DOUBLE_EQ(parsed.at("counters").at("sweeps").number(), 7.0);
+  EXPECT_DOUBLE_EQ(parsed.at("gauges").at("accept_rate").number(), 0.25);
+  const Json& h = parsed.at("histograms").at("flush_rank");
+  EXPECT_DOUBLE_EQ(h.at("count").number(), 1.0);
+  EXPECT_DOUBLE_EQ(h.at("mean").number(), 32.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.count("c", 5);
+  Counter* before = &reg.counter("c");
+  reg.reset();
+  EXPECT_EQ(reg.find_counter("c")->value(), 0u);
+  EXPECT_EQ(&reg.counter("c"), before);
+}
+
+TEST(MetricsRegistry, ReportListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.count("my.counter");
+  reg.set("my.gauge", 1.0);
+  reg.observe("my.histogram", 2.0);
+  const std::string r = reg.report();
+  EXPECT_NE(r.find("my.counter"), std::string::npos);
+  EXPECT_NE(r.find("my.gauge"), std::string::npos);
+  EXPECT_NE(r.find("my.histogram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dqmc::obs

@@ -56,6 +56,86 @@ TEST(Profiler, ReportContainsPaperPhaseNames) {
   EXPECT_NE(r.find("Physical meas."), std::string::npos);
 }
 
+TEST(Profiler, NestedBracketsBillExclusiveAndInclusive) {
+  Profiler p;
+  p.begin(Phase::kDelayedUpdate);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  p.begin(Phase::kStratification);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  p.end();
+  p.end();
+
+  const double outer_excl = p.seconds(Phase::kDelayedUpdate);
+  const double outer_incl = p.inclusive_seconds(Phase::kDelayedUpdate);
+  const double inner = p.seconds(Phase::kStratification);
+
+  // The inner bracket's time is inside the outer's inclusive time but
+  // subtracted from its exclusive time, so nothing is counted twice.
+  EXPECT_GE(inner, 0.005);
+  EXPECT_GE(outer_incl, outer_excl + inner - 1e-9);
+  EXPECT_LT(outer_excl, outer_incl);
+  EXPECT_NEAR(p.total_seconds(), outer_excl + inner, 1e-9);
+}
+
+TEST(Profiler, NestedSamePhaseIsNotDoubleCounted) {
+  // The real-world shape: DelayedGreens::flush opens a kDelayedUpdate
+  // bracket inside metropolis_slice's kDelayedUpdate bracket.
+  Profiler p;
+  p.begin(Phase::kDelayedUpdate);
+  p.begin(Phase::kDelayedUpdate);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  p.end();
+  p.end();
+
+  // Exclusive total must be ~the wall time once, not twice.
+  EXPECT_LT(p.seconds(Phase::kDelayedUpdate),
+            1.5 * p.inclusive_seconds(Phase::kDelayedUpdate) / 2.0 + 0.005);
+  EXPECT_EQ(p.calls(Phase::kDelayedUpdate), 2u);
+  EXPECT_NEAR(p.total_seconds(), p.seconds(Phase::kDelayedUpdate), 1e-12);
+}
+
+TEST(Profiler, MergeSumsPerChainTotals) {
+  Profiler a, b;
+  a.add(Phase::kStratification, 2.0);
+  a.add(Phase::kWrapping, 1.0);
+  b.add(Phase::kStratification, 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds(Phase::kStratification), 5.0);
+  EXPECT_DOUBLE_EQ(a.seconds(Phase::kWrapping), 1.0);
+  EXPECT_EQ(a.calls(Phase::kStratification), 2u);
+  EXPECT_DOUBLE_EQ(a.percent(Phase::kStratification), 5.0 / 6.0 * 100.0);
+  // b is untouched.
+  EXPECT_DOUBLE_EQ(b.seconds(Phase::kStratification), 3.0);
+}
+
+TEST(Profiler, MergeWithOpenBracketThrows) {
+  Profiler a, b;
+  b.begin(Phase::kOther);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  b.end();
+  a.merge(b);  // fine once closed
+}
+
+TEST(Profiler, PercentOfZeroTotalIsZeroForEveryPhase) {
+  Profiler p;
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
+    EXPECT_DOUBLE_EQ(p.percent(static_cast<Phase>(i)), 0.0);
+  }
+}
+
+TEST(Profiler, ScopedPhaseNests) {
+  Profiler p;
+  {
+    ScopedPhase outer(&p, Phase::kDelayedUpdate);
+    ScopedPhase inner(&p, Phase::kDelayedUpdate);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Two brackets, but the exclusive total is the elapsed time once.
+  EXPECT_EQ(p.calls(Phase::kDelayedUpdate), 2u);
+  EXPECT_LT(p.total_seconds(),
+            2.0 * p.inclusive_seconds(Phase::kDelayedUpdate));
+}
+
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch w;
   std::this_thread::sleep_for(std::chrono::milliseconds(5));

@@ -1,0 +1,99 @@
+#include "dqmc/run_manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace dqmc::core {
+namespace {
+
+// Global-state guard: these tests enable the process-wide registry/monitor
+// and must leave them as they found them for the rest of the binary.
+class RunManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::metrics().set_enabled(true);
+    obs::metrics().reset();
+    obs::health().set_enabled(true);
+    obs::health().reset();
+  }
+  void TearDown() override {
+    obs::metrics().set_enabled(false);
+    obs::metrics().reset();
+    obs::health().set_enabled(false);
+    obs::health().reset();
+  }
+};
+
+SimulationConfig tiny_config() {
+  SimulationConfig cfg;
+  cfg.lx = cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 1.0;
+  cfg.model.slices = 10;
+  cfg.warmup_sweeps = 1;
+  cfg.measurement_sweeps = 2;
+  cfg.bins = 2;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST_F(RunManifestTest, ContainsTheContractKeys) {
+  const SimulationResults res = run_simulation(tiny_config());
+  const obs::Json m = run_manifest(res);
+
+  EXPECT_EQ(m.at("manifest").at("program").str(), "dqmcpp");
+  EXPECT_DOUBLE_EQ(m.at("manifest").at("seed").number(), 99.0);
+  EXPECT_DOUBLE_EQ(m.at("config").at("u").number(), 4.0);
+  EXPECT_DOUBLE_EQ(m.at("config").at("slices").number(), 10.0);
+
+  // Every Table-I phase appears with seconds/percent/calls.
+  const obs::Json& phases = m.at("phases");
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+    const obs::Json& row = phases.at(phase_name(static_cast<Phase>(p)));
+    EXPECT_TRUE(row.has("seconds"));
+    EXPECT_TRUE(row.has("percent"));
+    EXPECT_TRUE(row.has("calls"));
+  }
+  EXPECT_GT(phases.at("total_seconds").number(), 0.0);
+
+  const obs::Json& metrics = m.at("metrics");
+  EXPECT_GT(metrics.at("accept_rate").number(), 0.0);
+  EXPECT_GT(metrics.at("greens_evaluations").number(), 0.0);
+  EXPECT_TRUE(metrics.at("registry").has("counters"));
+
+  const obs::Json& health = m.at("health");
+  EXPECT_TRUE(health.at("enabled").boolean());
+  // 3 sweeps x num_clusters recomputes, minus the uninitialized first pass.
+  EXPECT_GT(health.at("wrap_drift").at("count").number(), 0.0);
+  EXPECT_GT(health.at("sortedness").at("count").number(), 0.0);
+
+  // The document survives a dump/parse round trip.
+  EXPECT_EQ(obs::Json::parse(m.dump(2)).at("manifest").at("program").str(),
+            "dqmcpp");
+}
+
+TEST_F(RunManifestTest, WriteProducesAParsableFile) {
+  const SimulationResults res = run_simulation(tiny_config());
+  const std::string path = testing::TempDir() + "dqmc_test_manifest.json";
+  write_run_manifest(res, path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+
+  const obs::Json m = obs::Json::parse(text.str());
+  EXPECT_TRUE(m.at("manifest").has("seed"));
+  EXPECT_TRUE(m.at("metrics").has("accept_rate"));
+}
+
+}  // namespace
+}  // namespace dqmc::core

@@ -70,6 +70,28 @@ TEST(ApplyPermutation, InPlaceAliasThrows) {
   EXPECT_THROW(apply_permutation(a, p, a), InvalidArgument);
 }
 
+TEST(Permutation, PresortedFractionIdentityIsOne) {
+  Permutation p(5);
+  EXPECT_DOUBLE_EQ(p.presorted_fraction(), 1.0);
+}
+
+TEST(Permutation, PresortedFractionReversalIsZero) {
+  Permutation p({4, 3, 2, 1, 0});
+  EXPECT_DOUBLE_EQ(p.presorted_fraction(), 0.0);
+}
+
+TEST(Permutation, PresortedFractionCountsAdjacentInversions) {
+  // p maps sorted slots to source columns 0,1,3,2: only the (2,3) adjacent
+  // source pair is out of order -> 2 of 3 pairs preserved.
+  Permutation p({0, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(p.presorted_fraction(), 2.0 / 3.0);
+}
+
+TEST(Permutation, PresortedFractionDegenerateSizes) {
+  EXPECT_DOUBLE_EQ(Permutation(1).presorted_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(Permutation(0).presorted_fraction(), 1.0);
+}
+
 TEST(PermuteVector, GatherAndScatterAreInverse) {
   Permutation p({3, 1, 0, 2});
   double x[] = {10, 11, 12, 13};

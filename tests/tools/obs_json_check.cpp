@@ -1,0 +1,131 @@
+// Validator behind the observability smoke test: checks that the JSON
+// artifacts emitted by `dqmc_run --trace-json ... --metrics-json ...` parse
+// and contain the keys downstream tooling depends on. Exits non-zero (with
+// a message on stderr) on any missing key, failing the ctest entry.
+//
+//   obs_json_check --trace trace.json --metrics metrics.json
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using dqmc::obs::Json;
+
+Json load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "obs_json_check: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Json::parse(text.str());
+}
+
+int failures = 0;
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "obs_json_check: FAILED: %s\n", what);
+    ++failures;
+  }
+}
+
+const Json* walk(const Json& root, const Json** out, const char* a,
+                 const char* b = nullptr) {
+  const Json* v = root.find(a);
+  if (v != nullptr && b != nullptr) v = v->find(b);
+  *out = v;
+  return v;
+}
+
+void check_trace(const Json& trace) {
+  const Json* events = trace.find("traceEvents");
+  require(events != nullptr && events->is_array(),
+          "trace has a traceEvents array");
+  if (events == nullptr || !events->is_array()) return;
+
+  // Every Table-I phase must appear as a complete span.
+  const char* phases[] = {"Delayed rank-1 update", "Stratification",
+                          "Clustering", "Wrapping", "Physical meas."};
+  for (const char* phase : phases) {
+    bool found = false;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+      const Json& e = (*events)[i];
+      const Json* name = e.find("name");
+      const Json* ph = e.find("ph");
+      if (name != nullptr && name->is_string() && name->str() == phase &&
+          ph != nullptr && ph->is_string() && ph->str() == "X") {
+        found = true;
+        break;
+      }
+    }
+    char msg[128];
+    std::snprintf(msg, sizeof msg, "trace contains an 'X' span for '%s'",
+                  phase);
+    require(found, msg);
+  }
+}
+
+void check_manifest(const Json& m) {
+  const Json* v = nullptr;
+  require(walk(m, &v, "manifest", "seed") && v->is_number(),
+          "manifest.seed is present");
+  require(walk(m, &v, "manifest", "program") && v->is_string(),
+          "manifest.program is present");
+  require(walk(m, &v, "phases") && v->is_object(), "phases is present");
+  if (m.find("phases") != nullptr) {
+    require(m.at("phases").has("Stratification"),
+            "phases contains Stratification");
+    require(m.at("phases").has("total_seconds"),
+            "phases contains total_seconds");
+  }
+  require(walk(m, &v, "metrics", "accept_rate") && v->is_number(),
+          "metrics.accept_rate is present");
+  require(walk(m, &v, "health", "wrap_drift") && v->is_object(),
+          "health.wrap_drift is present");
+  require(walk(m, &v, "config") && v->is_object(), "config is present");
+  const Json* reg = nullptr;
+  require(walk(m, &reg, "metrics", "registry") && reg->is_object(),
+          "metrics.registry is present");
+  if (reg != nullptr && reg->is_object()) {
+    const Json* gemm = nullptr;
+    require(walk(*reg, &gemm, "histograms", "gemm.gflops"),
+            "metrics.registry records gemm.gflops");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, metrics_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--trace") trace_path = argv[i + 1];
+    else if (flag == "--metrics") metrics_path = argv[i + 1];
+  }
+  if (trace_path.empty() || metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: obs_json_check --trace FILE --metrics FILE\n");
+    return 2;
+  }
+
+  try {
+    check_trace(load(trace_path));
+    check_manifest(load(metrics_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs_json_check: exception: %s\n", e.what());
+    return 1;
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "obs_json_check: %d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("obs_json_check: all checks passed\n");
+  return 0;
+}
