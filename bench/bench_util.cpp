@@ -1,9 +1,13 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/error.h"
 #include "dqmc/run_manifest.h"
+#include "obs/metrics.h"
+#include "parallel/task_runtime.h"
+#include "parallel/topology.h"
 
 namespace dqmc::bench {
 
@@ -12,6 +16,36 @@ void maybe_write_manifest(const core::SimulationResults& results) {
     core::write_run_manifest(results, *path);
     std::printf("manifest written to %s\n", path->c_str());
   }
+}
+
+void maybe_write_bench_manifest(const std::string& bench,
+                                const obs::Json& results) {
+  const auto path = env_string("DQMC_MANIFEST_JSON");
+  if (!path) return;
+  const par::RuntimeStats st = par::TaskRuntime::global().stats();
+  const obs::Json doc =
+      obs::Json::object()
+          .set("manifest", obs::Json::object()
+                               .set("program", "dqmcpp-bench")
+                               .set("bench", bench)
+                               .set("format_version", 1)
+                               .set("hardware_threads", par::num_threads()))
+          .set("results", results)
+          .set("runtime", obs::Json::object()
+                              .set("workers_alive",
+                                   par::TaskRuntime::global().workers())
+                              .set("tasks_spawned", st.tasks_spawned)
+                              .set("tasks_executed", st.tasks_executed)
+                              .set("tasks_stolen", st.tasks_stolen)
+                              .set("tasks_helped", st.tasks_helped)
+                              .set("groups", st.groups))
+          .set("metrics", obs::metrics().json_value());
+  std::ofstream out(*path);
+  DQMC_CHECK_MSG(out.good(), "cannot open manifest file: " + *path);
+  out << doc.dump(2) << '\n';
+  out.flush();
+  DQMC_CHECK_MSG(out.good(), "failed writing manifest file: " + *path);
+  std::printf("manifest written to %s\n", path->c_str());
 }
 
 FiveNumber five_number_summary(std::vector<double> samples) {

@@ -15,6 +15,7 @@
 #include "cli/table.h"
 #include "dqmc/simulation.h"
 #include "linalg/matrix.h"
+#include "obs/json.h"
 
 namespace dqmc::bench {
 
@@ -68,5 +69,12 @@ FiveNumber five_number_summary(std::vector<double> samples);
 /// there (see dqmc/run_manifest.h) so bench runs leave a machine-readable
 /// record next to the tee'd text output. No-op when the variable is unset.
 void maybe_write_manifest(const core::SimulationResults& results);
+
+/// Manifest variant for kernel benches that have no SimulationResults:
+/// writes {"manifest": ..., "results": ..., "runtime": ..., "metrics": ...}
+/// to DQMC_MANIFEST_JSON (e.g. the BENCH_greens.json perf-trajectory record
+/// from fig04_greens_gflops). No-op when the variable is unset.
+void maybe_write_bench_manifest(const std::string& bench,
+                                const obs::Json& results);
 
 }  // namespace dqmc::bench

@@ -30,6 +30,7 @@ int main() {
 
   cli::Table table({"N", "greens GF/s", "dgemm GF/s", "dgeqrf GF/s",
                     "greens/gemm"});
+  obs::Json rows = obs::Json::array();
   for (idx l : ls) {
     const idx n = l * l;
     hubbard::Lattice lat(l, l);
@@ -80,9 +81,16 @@ int main() {
                    cli::Table::num(gf_greens, 2), cli::Table::num(gf_gemm, 2),
                    cli::Table::num(gf_qr, 2),
                    cli::Table::num(gf_greens / gf_gemm, 3)});
+    rows.push_back(obs::Json::object()
+                       .set("n", n)
+                       .set("greens_gflops", gf_greens)
+                       .set("dgemm_gflops", gf_gemm)
+                       .set("dgeqrf_gflops", gf_qr)
+                       .set("greens_over_gemm", gf_greens / gf_gemm));
   }
   table.print();
   std::printf("\nexpected shape (paper Fig. 4): greens rate ~0.7x dgemm and "
               "above dgeqrf for the larger sizes.\n\n");
+  maybe_write_bench_manifest("fig04_greens_gflops", rows);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "linalg/lu.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "parallel/task_runtime.h"
 
 namespace dqmc::core {
 
@@ -23,10 +24,14 @@ DqmcEngine::DqmcEngine(const Lattice& lattice, const ModelParams& params,
       field_(params.slices, lattice.num_sites()),
       rng_(seed),
       clusters_(factory_, field_, config.cluster_size),
-      strat_(factory_.n(), config.algorithm, config.qr_block),
+      strat_{StratificationEngine(factory_.n(), config.algorithm,
+                                  config.qr_block),
+             StratificationEngine(factory_.n(), config.algorithm,
+                                  config.qr_block)},
       delayed_{DelayedGreens(factory_.n(), config.delay_rank),
                DelayedGreens(factory_.n(), config.delay_rank)},
-      wrap_work_(factory_.n(), factory_.n()) {
+      wrap_work_{linalg::Matrix(factory_.n(), factory_.n()),
+                 linalg::Matrix(factory_.n(), factory_.n())} {
   params_.validate();
   config_.validate();
   if (config_.gpu_clustering || config_.gpu_wrapping) {
@@ -68,17 +73,32 @@ double max_abs_diff(const linalg::Matrix& a, const linalg::Matrix& b) {
 void DqmcEngine::recompute_greens(idx cluster, bool record_drift) {
   const bool monitor =
       record_drift && initialized_ && obs::health().enabled();
+  // The two spin chains are independent: stratify them as concurrent tasks,
+  // each with its own engine, workspace and profiler (the Profiler is not
+  // thread-safe; the per-spin instances are merged after the join). The
+  // nested GEMM/QR parallelism inside each chain runs on the same workers.
+  linalg::Matrix fresh[2];
+  Profiler prof[2];
+  par::TaskGroup spins;
   for (Spin s : hubbard::kSpins) {
-    DelayedGreens& dg = delayed_[spin_index(s)];
-    linalg::Matrix fresh =
-        strat_.compute(clusters_.rotation(s, cluster), &profiler_);
+    const int si = spin_index(s);
+    spins.run([this, s, si, cluster, &fresh, &prof] {
+      fresh[si] =
+          strat_[si].compute(clusters_.rotation(s, cluster), &prof[si]);
+    });
+  }
+  spins.wait();
+  for (Spin s : hubbard::kSpins) {
+    const int si = spin_index(s);
+    profiler_.merge(prof[si]);
+    DelayedGreens& dg = delayed_[si];
     if (monitor) {
       // The wrapped/updated G was advanced to this same cluster boundary;
       // its distance from the clean stratified G is the wrap drift.
       obs::health().record_wrap_drift(
-          max_abs_diff(dg.flush(&profiler_), fresh));
+          max_abs_diff(dg.flush(&profiler_), fresh[si]));
     }
-    dg.reset(std::move(fresh));
+    dg.reset(std::move(fresh[si]));
   }
 }
 
@@ -86,11 +106,26 @@ int DqmcEngine::sign_from_scratch() {
   // sign(det M+ det M-) computed through the graded decomposition, whose
   // LU targets are well-conditioned at any beta (LU of G itself has
   // unreliable pivot signs once G's singular values reach rounding).
-  int sign = 1;
+  // The per-spin determinants are independent: evaluate them concurrently.
+  int sgn[2] = {1, 1};
+  par::TaskGroup spins;
   for (Spin s : hubbard::kSpins) {
-    sign *= chain_det_sign(clusters_.rotation(s, 0), config_.algorithm);
+    const int si = spin_index(s);
+    spins.run([this, s, si, &sgn] {
+      sgn[si] = chain_det_sign(clusters_.rotation(s, 0), config_.algorithm);
+    });
   }
-  return sign;
+  spins.wait();
+  return sgn[0] * sgn[1];
+}
+
+StratStats DqmcEngine::strat_stats() const {
+  StratStats merged = strat_[0].stats();
+  const StratStats& dn = strat_[1].stats();
+  merged.evaluations += dn.evaluations;
+  merged.steps += dn.steps;
+  merged.pivot_displacement += dn.pivot_displacement;
+  return merged;
 }
 
 const linalg::Matrix& DqmcEngine::greens(Spin s) {
@@ -98,15 +133,35 @@ const linalg::Matrix& DqmcEngine::greens(Spin s) {
 }
 
 void DqmcEngine::wrap_slice(idx slice) {
-  for (Spin s : hubbard::kSpins) {
-    linalg::Matrix& g = delayed_[spin_index(s)].flush(&profiler_);
-    ScopedPhase phase(&profiler_, Phase::kWrapping);
-    if (config_.gpu_wrapping) {
+  if (config_.gpu_wrapping) {
+    // The simulated device exposes one in-order command stream; keep the
+    // spin chains sequential on it.
+    for (Spin s : hubbard::kSpins) {
+      linalg::Matrix& g = delayed_[spin_index(s)].flush(&profiler_);
+      ScopedPhase phase(&profiler_, Phase::kWrapping);
       gpu_chain_->wrap(g, factory_.v_diagonal(field_.slice(slice), s));
-    } else {
-      factory_.wrap(field_.slice(slice), s, g, wrap_work_);
     }
+    return;
   }
+  // Flush both spins on the sweep thread (the flush profiles into the shared
+  // profiler), then wrap the two chains as concurrent tasks, each with its
+  // own workspace.
+  linalg::Matrix* g[2] = {nullptr, nullptr};
+  for (Spin s : hubbard::kSpins) {
+    g[spin_index(s)] = &delayed_[spin_index(s)].flush(&profiler_);
+  }
+  Profiler prof[2];
+  par::TaskGroup spins;
+  for (Spin s : hubbard::kSpins) {
+    const int si = spin_index(s);
+    spins.run([this, s, si, slice, &g, &prof] {
+      ScopedPhase phase(&prof[si], Phase::kWrapping);
+      factory_.wrap(field_.slice(slice), s, *g[si], wrap_work_[si]);
+    });
+  }
+  spins.wait();
+  profiler_.merge(prof[0]);
+  profiler_.merge(prof[1]);
 }
 
 void DqmcEngine::metropolis_slice(idx slice, SweepStats& stats) {

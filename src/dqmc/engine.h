@@ -89,7 +89,8 @@ class DqmcEngine {
   HSField& field() { return field_; }
   const BMatrixFactory& factory() const { return factory_; }
   Profiler& profiler() { return profiler_; }
-  const StratStats& strat_stats() const { return strat_.stats(); }
+  /// Stratification diagnostics merged over the two spin chains.
+  StratStats strat_stats() const;
   Rng& rng() { return rng_; }
 
   /// Cumulative acceptance across all sweeps so far.
@@ -117,9 +118,11 @@ class DqmcEngine {
   HSField field_;
   Rng rng_;
   ClusterStore clusters_;
-  StratificationEngine strat_;
+  // Per-spin stratification engines and wrap workspaces: the Up/Down chains
+  // run as concurrent tasks, so each spin owns its scratch state.
+  StratificationEngine strat_[2];
   DelayedGreens delayed_[2];
-  linalg::Matrix wrap_work_;
+  linalg::Matrix wrap_work_[2];
   Profiler profiler_;
   SweepStats lifetime_;
   int sign_ = 1;

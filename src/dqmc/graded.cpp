@@ -9,6 +9,7 @@
 #include "linalg/qrp.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "parallel/parallel_for.h"
 
 namespace dqmc::core {
 
@@ -105,21 +106,33 @@ void GradedAccumulator::graded_step(Matrix&& c, bool first) {
           std::to_string(i) + ")");
     }
   }
-  Matrix rs = Matrix::zero(n_, n_);
-  for (idx j = 0; j < n_; ++j) {
-    for (idx i = 0; i <= j; ++i) rs(i, j) = qr.factors(i, j) / d_[i];
-  }
+  // R-scaling fringe (O(N^2) level-2 work), columns in parallel: each column
+  // writes its scaled upper part and zeros the strictly-lower part.
+  Matrix rs(n_, n_);
+  par::parallel_for(
+      0, n_,
+      [&](par::index_t jj) {
+        const idx j = static_cast<idx>(jj);
+        for (idx i = 0; i <= j; ++i) rs(i, j) = qr.factors(i, j) / d_[i];
+        for (idx i = j + 1; i < n_; ++i) rs(i, j) = 0.0;
+      },
+      {.grain = 8});
 
   if (first) {
     // T_1 = (D^{-1} R) P^T: scatter columns.
     t_.resize(n_, n_);
     linalg::apply_permutation_transpose(rs, perm, t_);
   } else {
-    // T_i = (D^{-1} R_i) (P_i^T T_{i-1}): gather rows, triangular multiply.
+    // T_i = (D^{-1} R_i) (P_i^T T_{i-1}): gather rows (columns in parallel),
+    // then triangular multiply.
     work_.resize(n_, n_);
-    for (idx j = 0; j < n_; ++j) {
-      for (idx i = 0; i < n_; ++i) work_(i, j) = t_(perm[i], j);
-    }
+    par::parallel_for(
+        0, n_,
+        [&](par::index_t jj) {
+          const idx j = static_cast<idx>(jj);
+          for (idx i = 0; i < n_; ++i) work_(i, j) = t_(perm[i], j);
+        },
+        {.grain = 8});
     linalg::trmm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, rs,
                  work_);
     std::swap(t_, work_);

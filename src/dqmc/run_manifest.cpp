@@ -5,6 +5,7 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/task_runtime.h"
 #include "parallel/topology.h"
 
 namespace dqmc::core {
@@ -68,6 +69,21 @@ obs::Json metrics_json(const SimulationResults& r) {
   return m;
 }
 
+/// Task-runtime scheduling counters (see docs/PERFORMANCE.md on reading
+/// them: stolen/helped ≪ executed means tasks mostly ran where spawned).
+obs::Json runtime_json() {
+  const par::TaskRuntime& rt = par::TaskRuntime::global();
+  const par::RuntimeStats st = rt.stats();
+  return obs::Json::object()
+      .set("thread_budget", par::num_threads())
+      .set("workers_alive", rt.workers())
+      .set("tasks_spawned", st.tasks_spawned)
+      .set("tasks_executed", st.tasks_executed)
+      .set("tasks_stolen", st.tasks_stolen)
+      .set("tasks_helped", st.tasks_helped)
+      .set("groups", st.groups);
+}
+
 }  // namespace
 
 obs::Json run_manifest(const SimulationResults& results) {
@@ -84,6 +100,7 @@ obs::Json run_manifest(const SimulationResults& results) {
       .set("config", config_json(results.config))
       .set("phases", phases_json(results.profiler))
       .set("metrics", metrics_json(results))
+      .set("runtime", runtime_json())
       .set("health", obs::health().json_value())
       .set("trace", obs::Json::object()
                         .set("enabled", tracer.enabled())

@@ -9,6 +9,7 @@
 #include "linalg/util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 
 namespace dqmc::core {
 
@@ -44,11 +45,16 @@ Matrix close_greens(const Matrix& u, const Vector& d, const Matrix& t) {
   // as printed in the paper text does not invert I + UDT — see DESIGN.md.)
   Matrix ut = linalg::transpose(u);
   Matrix a(n, n);
-  for (idx j = 0; j < n; ++j) {
-    for (idx i = 0; i < n; ++i) {
-      a(i, j) = db[i] * ut(i, j) + ds[i] * t(i, j);
-    }
-  }
+  // D_b/D_s assembly fringe (O(N^2)), columns in parallel.
+  par::parallel_for(
+      0, n,
+      [&](par::index_t jj) {
+        const idx j = static_cast<idx>(jj);
+        for (idx i = 0; i < n; ++i) {
+          a(i, j) = db[i] * ut(i, j) + ds[i] * t(i, j);
+        }
+      },
+      {.grain = 8});
   linalg::scale_rows(db.data(), ut);  // RHS = D_b U^T
   linalg::LUFactorization alu = linalg::lu_factor(std::move(a));
   linalg::lu_solve(alu, Trans::No, ut);
@@ -80,11 +86,15 @@ int chain_det_sign(const std::vector<const Matrix*>& factors,
     }
   }
   Matrix a(n, n);
-  for (idx j = 0; j < n; ++j) {
-    for (idx i = 0; i < n; ++i) {
-      a(i, j) = db[i] * u(j, i) + ds[i] * t(i, j);
-    }
-  }
+  par::parallel_for(
+      0, n,
+      [&](par::index_t jj) {
+        const idx j = static_cast<idx>(jj);
+        for (idx i = 0; i < n; ++i) {
+          a(i, j) = db[i] * u(j, i) + ds[i] * t(i, j);
+        }
+      },
+      {.grain = 8});
   const int sign_a = linalg::lu_logdet(linalg::lu_factor(std::move(a))).sign;
   const int sign_u = linalg::lu_logdet(linalg::lu_factor(Matrix(u))).sign;
   return sign_a * sign_u;

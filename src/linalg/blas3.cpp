@@ -14,37 +14,52 @@ using namespace detail;
 
 namespace {
 
-/// Scale C by beta (handles 0 and 1 fast paths).
+/// Scale C by beta (handles 0 and 1 fast paths), columns in parallel.
 void scale_c(MatrixView c, double beta) {
   if (beta == 1.0) return;
-  for (idx j = 0; j < c.cols(); ++j) {
-    if (beta == 0.0) {
-      std::fill(c.col(j), c.col(j) + c.rows(), 0.0);
-    } else {
-      scal(c.rows(), beta, c.col(j));
-    }
-  }
+  par::parallel_for(
+      0, c.cols(),
+      [&](par::index_t jj) {
+        const idx j = static_cast<idx>(jj);
+        if (beta == 0.0) {
+          std::fill(c.col(j), c.col(j) + c.rows(), 0.0);
+        } else {
+          scal(c.rows(), beta, c.col(j));
+        }
+      },
+      {.grain = 64});
 }
 
+/// Width of one GEBP column slab. Multiple of kNR so slab boundaries fall on
+/// packed-strip boundaries; ~40 register tiles of work per (row-tile, slab)
+/// task keeps tasks coarse while still exposing M x N parallelism.
+constexpr idx kGebpNC = 240;
+
 /// Inner GEBP block: C(mc x nc) += alpha * Apacked(mc x kc) * Bpacked(kc x nc)
-/// with the M dimension split across threads (each thread owns disjoint rows
-/// of C, so no synchronization is needed on the output).
+/// partitioned 2D over (M row-tiles) x (N column slabs). Each task owns a
+/// disjoint block of C, so no synchronization is needed on the output, and
+/// the tile arithmetic is identical whichever thread runs it (bitwise
+/// deterministic for any worker count).
 void gebp(idx mc, idx nc, idx kc, double alpha, const double* apack,
-          const double* bpack, double beta, MatrixView c) {
+          const double* bpack, MatrixView c) {
   const idx mtiles = (mc + kMR - 1) / kMR;
+  const idx nslabs = (nc + kGebpNC - 1) / kGebpNC;
   par::parallel_for(
-      0, mtiles,
-      [&](par::index_t it) {
-        const idx i = static_cast<idx>(it) * kMR;
+      0, mtiles * nslabs,
+      [&](par::index_t task) {
+        // Row tile fastest: consecutive tasks reuse the same B slab.
+        const idx i = static_cast<idx>(task % mtiles) * kMR;
+        const idx j0 = static_cast<idx>(task / mtiles) * kGebpNC;
+        const idx j1 = std::min(nc, j0 + kGebpNC);
         const idx mr = std::min(kMR, mc - i);
         const double* a = apack + i * kc;
-        for (idx j = 0; j < nc; j += kNR) {
+        for (idx j = j0; j < j1; j += kNR) {
           const idx nr = std::min(kNR, nc - j);
-          micro_kernel(kc, alpha, a, bpack + j * kc, beta,
+          micro_kernel(kc, alpha, a, bpack + j * kc, /*beta=*/1.0,
                        &c(i, j), c.ld(), mr, nr);
         }
       },
-      // One row-tile of work is kc*nc flops heavy; always worth threading
+      // One tile of work is kc*kGebpNC flops heavy; always worth threading
       // when there is more than one tile per worker.
       {.grain = 1});
 }
@@ -70,20 +85,47 @@ void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
   // General beta is applied once up front; the packed loops then accumulate.
   scale_c(c, beta);
 
-  AlignedBuffer<double> apack(static_cast<std::size_t>(round_up(std::min(m, kMC), kMR)) * kKC);
   AlignedBuffer<double> bpack(static_cast<std::size_t>(kKC) * round_up(std::min(n, kNC), kNR));
+  const std::size_t apack_elems =
+      static_cast<std::size_t>(round_up(std::min(m, kMC), kMR)) * kKC;
+  const idx mblocks = (m + kMC - 1) / kMC;
 
   for (idx jc = 0; jc < n; jc += kNC) {
     const idx nc = std::min(kNC, n - jc);
     for (idx pc = 0; pc < k; pc += kKC) {
       const idx kc = std::min(kKC, k - pc);
-      pack_b(b, tb, pc, jc, kc, nc, bpack.data());
-      for (idx ic = 0; ic < m; ic += kMC) {
-        const idx mc = std::min(kMC, m - ic);
-        pack_a(a, ta, ic, pc, mc, kc, apack.data());
-        gebp(mc, nc, kc, alpha, apack.data(), bpack.data(), /*beta=*/1.0,
-             c.block(ic, jc, mc, nc));
-      }
+
+      // Parallel pack of the shared B panel: each task packs a disjoint run
+      // of kNR-wide strips (the packed layout composes over strip ranges, so
+      // the buffer contents are identical to a serial pack).
+      const idx nstrips = (nc + kNR - 1) / kNR;
+      par::parallel_for_chunks(
+          0, nstrips,
+          [&](par::index_t s0, par::index_t s1) {
+            const idx js = static_cast<idx>(s0) * kNR;
+            const idx w = std::min(nc - js, static_cast<idx>(s1 - s0) * kNR);
+            pack_b(b, tb, pc, jc + js, kc, w, bpack.data() + js * kc);
+          },
+          {.grain = 16});
+
+      // BLIS-style threading of the ic loop: each task packs its own A block
+      // into a task-local buffer and runs GEBP against the shared B panel.
+      // The buffer is task-local (not thread-local) on purpose: a thread that
+      // helps inside a nested wait may pick up a second ic task before its
+      // first finished using the buffer.
+      par::parallel_for_chunks(
+          0, mblocks,
+          [&](par::index_t blk0, par::index_t blk1) {
+            AlignedBuffer<double> apack(apack_elems);
+            for (par::index_t blk = blk0; blk < blk1; ++blk) {
+              const idx ic = static_cast<idx>(blk) * kMC;
+              const idx mc = std::min(kMC, m - ic);
+              pack_a(a, ta, ic, pc, mc, kc, apack.data());
+              gebp(mc, nc, kc, alpha, apack.data(), bpack.data(),
+                   c.block(ic, jc, mc, nc));
+            }
+          },
+          {.grain = 1});
     }
   }
 }
@@ -148,6 +190,82 @@ void trsm_left_unblocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView t,
       {.grain = 4});
 }
 
+/// Unblocked X * op(Tkk) = B solve for a small diagonal block. Each row of X
+/// is an independent solve, so the row range is split across threads; every
+/// row runs the same column-substitution arithmetic regardless of chunking.
+void trsm_right_unblocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView t,
+                          MatrixView b) {
+  const idx n = t.rows();
+  const bool unit = diag == Diag::Unit;
+  par::parallel_for_chunks(
+      0, b.rows(),
+      [&](par::index_t lo_, par::index_t hi_) {
+        const idx lo = static_cast<idx>(lo_);
+        const idx len = static_cast<idx>(hi_) - lo;
+        if (effective_upper(uplo, trans)) {
+          for (idx j = 0; j < n; ++j) {
+            for (idx i = 0; i < j; ++i) {
+              const double tij = trans == Trans::No ? t(i, j) : t(j, i);
+              axpy(len, -tij, b.col(i) + lo, b.col(j) + lo);
+            }
+            if (!unit) scal(len, 1.0 / t(j, j), b.col(j) + lo);
+          }
+        } else {
+          for (idx j = n - 1; j >= 0; --j) {
+            for (idx i = j + 1; i < n; ++i) {
+              const double tij = trans == Trans::No ? t(i, j) : t(j, i);
+              axpy(len, -tij, b.col(i) + lo, b.col(j) + lo);
+            }
+            if (!unit) scal(len, 1.0 / t(j, j), b.col(j) + lo);
+          }
+        }
+      },
+      {.grain = 64});
+}
+
+/// Unblocked B <- B * op(Tkk) for a small diagonal block (row-chunk
+/// parallel, same independence argument as trsm_right_unblocked).
+void trmm_right_unblocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView t,
+                          MatrixView b) {
+  const idx n = t.rows();
+  const bool unit = diag == Diag::Unit;
+  par::parallel_for_chunks(
+      0, b.rows(),
+      [&](par::index_t lo_, par::index_t hi_) {
+        const idx lo = static_cast<idx>(lo_);
+        const idx len = static_cast<idx>(hi_) - lo;
+        if (effective_upper(uplo, trans)) {
+          // Column j reads columns < j: go right to left.
+          for (idx j = n - 1; j >= 0; --j) {
+            if (!unit) scal(len, t(j, j), b.col(j) + lo);
+            for (idx i = 0; i < j; ++i) {
+              const double tij = trans == Trans::No ? t(i, j) : t(j, i);
+              axpy(len, tij, b.col(i) + lo, b.col(j) + lo);
+            }
+          }
+        } else {
+          // Column j reads columns > j: go left to right.
+          for (idx j = 0; j < n; ++j) {
+            if (!unit) scal(len, t(j, j), b.col(j) + lo);
+            for (idx i = j + 1; i < n; ++i) {
+              const double tij = trans == Trans::No ? t(i, j) : t(j, i);
+              axpy(len, tij, b.col(i) + lo, b.col(j) + lo);
+            }
+          }
+        }
+      },
+      {.grain = 64});
+}
+
+/// Scale all columns of b by alpha, columns in parallel.
+void scale_cols(double alpha, MatrixView b) {
+  if (alpha == 1.0) return;
+  par::parallel_for(
+      0, b.cols(),
+      [&](par::index_t j) { scal(b.rows(), alpha, b.col(static_cast<idx>(j))); },
+      {.grain = 64});
+}
+
 }  // namespace
 
 void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
@@ -156,8 +274,7 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
   if (side == Side::Left) {
     DQMC_CHECK(t.rows() == b.rows());
     const idx m = b.rows(), n = b.cols();
-    if (alpha != 1.0)
-      for (idx j = 0; j < n; ++j) scal(m, alpha, b.col(j));
+    scale_cols(alpha, b);
 
     // Blocked substitution: solve one kTriBlock diagonal block at a time,
     // then eliminate it from the remaining rows with a GEMM — the level-3
@@ -201,33 +318,49 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
     return;
   }
 
-  // Right side: X * op(T) = alpha * B. Row-oriented substitution expressed
-  // column-wise on X (columns of T drive the elimination order).
+  // Right side: X * op(T) = alpha * B. Blocked like the left side: eliminate
+  // the already-solved column blocks with a GEMM, then solve the diagonal
+  // block with the unblocked kernel.
   DQMC_CHECK(t.rows() == b.cols());
   const idx n = t.rows();
   const idx m = b.rows();
-  if (alpha != 1.0)
-    for (idx j = 0; j < b.cols(); ++j) scal(m, alpha, b.col(j));
-  const bool unit = diag == Diag::Unit;
+  scale_cols(alpha, b);
 
-  if ((uplo == UpLo::Upper && trans == Trans::No) ||
-      (uplo == UpLo::Lower && trans == Trans::Yes)) {
-    // Effective triangular factor is upper: process columns left to right.
-    for (idx j = 0; j < n; ++j) {
-      for (idx i = 0; i < j; ++i) {
-        const double tij = trans == Trans::No ? t(i, j) : t(j, i);
-        axpy(m, -tij, b.col(i), b.col(j));
+  if (effective_upper(uplo, trans)) {
+    // Left to right: column block k depends on solved blocks [0, k).
+    for (idx k = 0; k < n; k += kTriBlock) {
+      const idx nb = std::min(kTriBlock, n - k);
+      MatrixView bk = b.block(0, k, m, nb);
+      if (k > 0) {
+        // B_k -= X(:, 0:k) * op(T)(0:k, k:k+nb)
+        if (trans == Trans::No) {
+          gemm(Trans::No, Trans::No, -1.0, b.block(0, 0, m, k),
+               t.block(0, k, k, nb), 1.0, bk);
+        } else {
+          gemm(Trans::No, Trans::Yes, -1.0, b.block(0, 0, m, k),
+               t.block(k, 0, nb, k), 1.0, bk);
+        }
       }
-      if (!unit) scal(m, 1.0 / t(j, j), b.col(j));
+      trsm_right_unblocked(uplo, trans, diag, t.block(k, k, nb, nb), bk);
     }
   } else {
     // Effective factor lower: right to left.
-    for (idx j = n - 1; j >= 0; --j) {
-      for (idx i = j + 1; i < n; ++i) {
-        const double tij = trans == Trans::No ? t(i, j) : t(j, i);
-        axpy(m, -tij, b.col(i), b.col(j));
+    for (idx k = (n - 1) / kTriBlock * kTriBlock; k >= 0; k -= kTriBlock) {
+      const idx nb = std::min(kTriBlock, n - k);
+      MatrixView bk = b.block(0, k, m, nb);
+      const idx rest = n - k - nb;
+      if (rest > 0) {
+        // B_k -= X(:, k+nb:n) * op(T)(k+nb:n, k:k+nb)
+        if (trans == Trans::No) {
+          gemm(Trans::No, Trans::No, -1.0, b.block(0, k + nb, m, rest),
+               t.block(k + nb, k, rest, nb), 1.0, bk);
+        } else {
+          gemm(Trans::No, Trans::Yes, -1.0, b.block(0, k + nb, m, rest),
+               t.block(k, k + nb, nb, rest), 1.0, bk);
+        }
       }
-      if (!unit) scal(m, 1.0 / t(j, j), b.col(j));
+      trsm_right_unblocked(uplo, trans, diag, t.block(k, k, nb, nb), bk);
+      if (k == 0) break;  // idx is signed, but avoid wrap past zero
     }
   }
 }
@@ -235,7 +368,6 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
 void trmm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
           ConstMatrixView t, MatrixView b) {
   DQMC_CHECK(t.rows() == t.cols());
-  const bool unit = diag == Diag::Unit;
   const idx m = b.rows(), n = b.cols();
 
   if (side == Side::Left) {
@@ -277,36 +409,53 @@ void trmm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
         if (k == 0) break;
       }
     }
-    if (alpha != 1.0)
-      for (idx j = 0; j < n; ++j) scal(m, alpha, b.col(j));
+    scale_cols(alpha, b);
     return;
   }
 
   DQMC_CHECK(t.rows() == n);
-  // Right side: B <- alpha * B * op(T), processed so each output column only
-  // reads not-yet-overwritten inputs.
-  if ((uplo == UpLo::Upper && trans == Trans::No) ||
-      (uplo == UpLo::Lower && trans == Trans::Yes)) {
-    for (idx j = n - 1; j >= 0; --j) {
-      const double tjj = unit ? 1.0 : t(j, j);
-      scal(m, tjj, b.col(j));
-      for (idx i = 0; i < j; ++i) {
-        const double tij = trans == Trans::No ? t(i, j) : t(j, i);
-        axpy(m, tij, b.col(i), b.col(j));
+  // Right side: B <- alpha * B * op(T), blocked like the left side. Each
+  // column block is op(T)_kk applied in place (unblocked) plus a GEMM against
+  // the not-yet-overwritten part of B; the traversal order guarantees every
+  // GEMM input block is still original.
+  if (effective_upper(uplo, trans)) {
+    // Column block k reads input columns <= k: go right to left.
+    for (idx k = (n - 1) / kTriBlock * kTriBlock; k >= 0; k -= kTriBlock) {
+      const idx nb = std::min(kTriBlock, n - k);
+      MatrixView bk = b.block(0, k, m, nb);
+      trmm_right_unblocked(uplo, trans, diag, t.block(k, k, nb, nb), bk);
+      if (k > 0) {
+        // B_k += B(:, 0:k) * op(T)(0:k, k:k+nb)
+        if (trans == Trans::No) {
+          gemm(Trans::No, Trans::No, 1.0, b.block(0, 0, m, k),
+               t.block(0, k, k, nb), 1.0, bk);
+        } else {
+          gemm(Trans::No, Trans::Yes, 1.0, b.block(0, 0, m, k),
+               t.block(k, 0, nb, k), 1.0, bk);
+        }
       }
-      if (alpha != 1.0) scal(m, alpha, b.col(j));
+      if (k == 0) break;
     }
   } else {
-    for (idx j = 0; j < n; ++j) {
-      const double tjj = unit ? 1.0 : t(j, j);
-      scal(m, tjj, b.col(j));
-      for (idx i = j + 1; i < n; ++i) {
-        const double tij = trans == Trans::No ? t(i, j) : t(j, i);
-        axpy(m, tij, b.col(i), b.col(j));
+    // Column block k reads input columns >= k: go left to right.
+    for (idx k = 0; k < n; k += kTriBlock) {
+      const idx nb = std::min(kTriBlock, n - k);
+      MatrixView bk = b.block(0, k, m, nb);
+      trmm_right_unblocked(uplo, trans, diag, t.block(k, k, nb, nb), bk);
+      const idx rest = n - k - nb;
+      if (rest > 0) {
+        // B_k += B(:, k+nb:n) * op(T)(k+nb:n, k:k+nb)
+        if (trans == Trans::No) {
+          gemm(Trans::No, Trans::No, 1.0, b.block(0, k + nb, m, rest),
+               t.block(k + nb, k, rest, nb), 1.0, bk);
+        } else {
+          gemm(Trans::No, Trans::Yes, 1.0, b.block(0, k + nb, m, rest),
+               t.block(k, k + nb, nb, rest), 1.0, bk);
+        }
       }
-      if (alpha != 1.0) scal(m, alpha, b.col(j));
     }
   }
+  scale_cols(alpha, b);
 }
 
 }  // namespace dqmc::linalg

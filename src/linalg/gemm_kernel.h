@@ -17,10 +17,22 @@ inline constexpr idx kMR = 8;
 inline constexpr idx kNR = 6;
 
 /// Cache-blocking parameters (elements): A-panel is kMC x kKC (~L2-sized),
-/// B-panel kKC x kNC (~L3-sized).
-inline constexpr idx kMC = 192;
-inline constexpr idx kKC = 256;
-inline constexpr idx kNC = 2048;
+/// B-panel kKC x kNC (~L3-sized). Overridable at configure time
+/// (-DDQMC_GEMM_MC=...) so bench/micro_kernels can sweep candidate blockings
+/// without editing the source; the defaults below are the best of the sweeps
+/// recorded in docs/PERFORMANCE.md.
+#ifndef DQMC_GEMM_MC
+#define DQMC_GEMM_MC 192
+#endif
+#ifndef DQMC_GEMM_KC
+#define DQMC_GEMM_KC 256
+#endif
+#ifndef DQMC_GEMM_NC
+#define DQMC_GEMM_NC 2048
+#endif
+inline constexpr idx kMC = DQMC_GEMM_MC;
+inline constexpr idx kKC = DQMC_GEMM_KC;
+inline constexpr idx kNC = DQMC_GEMM_NC;
 
 /// Pack the `mc x kc` block A(i0:i0+mc, p0:p0+kc) (or its transpose when
 /// `trans`) into `buf` as column-strips of height kMR, zero-padded to a

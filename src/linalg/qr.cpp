@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "linalg/blas1.h"
+#include "parallel/task_runtime.h"
 
 namespace dqmc::linalg {
 
@@ -31,17 +32,48 @@ void qr_factor_inplace(MatrixView a, double* tau, idx block) {
   std::vector<double> work(static_cast<std::size_t>(std::max<idx>(n, 1)));
   Matrix t(block, block);
 
-  for (idx j = 0; j < kmax; j += block) {
-    const idx nb = std::min(block, kmax - j);
+  // Look-ahead pipeline: after factoring panel j, only the next panel's
+  // columns must be up to date before panel j+nb can factor. So the trailing
+  // update is split — the next-panel columns are updated inline, the rest of
+  // the trailing matrix is spawned as a task, and the next panel factors
+  // concurrently with that GEMM-heavy update. The block reflector acts on
+  // each column independently, so the split produces bitwise the same
+  // factors as one fused update.
+  idx j = 0;
+  idx nb = std::min(block, kmax);
+  qr_panel(a.block(j, j, m, nb), tau, work.data());
+
+  par::TaskGroup lookahead;
+  while (j + nb < n) {
     MatrixView panel = a.block(j, j, m - j, nb);
-    qr_panel(panel, tau + j, work.data());
-    if (j + nb < n) {
-      // Trailing update C <- (I - V T V^T)^T C on rows j..m, cols j+nb..n.
-      MatrixView tview = t.block(0, 0, nb, nb);
-      build_t_factor(panel, tau + j, tview);
+    MatrixView tview = t.block(0, 0, nb, nb);
+    build_t_factor(panel, tau + j, tview);
+
+    const idx jn = j + nb;
+    if (jn >= kmax) {
+      // No next panel to factor — just update the remaining columns.
       apply_block_reflector_left(panel, tview, Trans::Yes,
-                                 a.block(j, j + nb, m - j, n - j - nb));
+                                 a.block(j, jn, m - j, n - jn));
+      break;
     }
+
+    const idx next_nb = std::min(block, kmax - jn);
+    apply_block_reflector_left(panel, tview, Trans::Yes,
+                               a.block(j, jn, m - j, next_nb));
+    const idx rest = n - jn - next_nb;
+    if (rest > 0) {
+      lookahead.run([panel, tview, &a, j, jn, next_nb, rest, m] {
+        apply_block_reflector_left(panel, tview, Trans::Yes,
+                                   a.block(j, jn + next_nb, m - j, rest));
+      });
+    }
+    qr_panel(a.block(jn, jn, m - jn, next_nb), tau + jn, work.data());
+    // The shared T buffer and the next trailing columns are reused next
+    // iteration, so the look-ahead task must be done before continuing.
+    lookahead.wait();
+
+    j = jn;
+    nb = next_nb;
   }
 }
 
@@ -88,8 +120,28 @@ void qr_apply_q_left(const QRFactorization& f, Trans trans, MatrixView c,
 }
 
 Matrix qr_q(const QRFactorization& f, idx block) {
-  Matrix q = Matrix::identity(f.rows());
-  qr_apply_q_left(f, Trans::No, q, block);
+  const idx m = f.rows();
+  Matrix q = Matrix::identity(m);
+  const idx kmax = std::min(m, f.cols());
+  if (kmax == 0) return q;
+
+  // dorgqr-style trailing-identity build: applying the panels last-to-first,
+  // panel j only needs to touch the trailing q(j:m, j:m) block — columns
+  // left of j are still identity columns supported on rows < j (a reflector
+  // supported on rows >= j maps them to themselves), and panels processed so
+  // far never wrote to rows < j. Restricting the update roughly halves the
+  // flops of the explicit-Q build versus applying to the full m x m identity
+  // while producing bitwise the same matrix.
+  Matrix t(block, block);
+  for (idx j = (kmax - 1) / block * block;; j -= block) {
+    const idx nb = std::min(block, kmax - j);
+    ConstMatrixView panel = f.factors.block(j, j, m - j, nb);
+    MatrixView tview = t.block(0, 0, nb, nb);
+    build_t_factor(panel, f.tau.data() + j, tview);
+    apply_block_reflector_left(panel, tview, Trans::No,
+                               q.block(j, j, m - j, m - j));
+    if (j == 0) break;
+  }
   return q;
 }
 

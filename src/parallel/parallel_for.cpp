@@ -1,9 +1,9 @@
 #include "parallel/parallel_for.h"
 
-#include <omp.h>
-
 #include <algorithm>
+#include <vector>
 
+#include "parallel/task_runtime.h"
 #include "parallel/topology.h"
 
 namespace dqmc::par {
@@ -32,16 +32,21 @@ void parallel_for_impl(index_t begin, index_t end, const ForOptions& opt,
     return;
   }
 
-  // Static partition into `workers` nearly-equal chunks. OpenMP reuses its
-  // worker pool across regions, so repeated small launches stay cheap.
+  // Static partition into `workers` nearly-equal chunks. The chunk
+  // boundaries depend only on (n, workers), and every chunk performs the
+  // same arithmetic whichever lane executes it, so threaded results match
+  // the serial ones bitwise. The spawning thread takes chunk 0 itself and
+  // then helps with the rest inside wait() — a nested parallel_for (e.g.
+  // GEMM tiles inside a spawned spin task) composes instead of serializing.
   const index_t chunk = (n + workers - 1) / workers;
-#pragma omp parallel num_threads(workers)
-  {
-    const index_t t = omp_get_thread_num();
-    const index_t lo = begin + t * chunk;
+  TaskGroup group;
+  for (int t = 1; t < workers; ++t) {
+    const index_t lo = begin + static_cast<index_t>(t) * chunk;
     const index_t hi = std::min(end, lo + chunk);
-    if (lo < hi) body(lo, hi);
+    if (lo < hi) group.run([lo, hi, &body] { body(lo, hi); });
   }
+  body(begin, std::min(end, begin + chunk));
+  group.wait();
 }
 
 }  // namespace detail
@@ -60,15 +65,25 @@ double parallel_sum(index_t begin, index_t end,
     return acc;
   }
 
-  double total = 0.0;
+  // Per-chunk partials combined in fixed chunk order, so the reduction is
+  // deterministic for a given worker count.
   const index_t chunk = (n + workers - 1) / workers;
-#pragma omp parallel num_threads(workers) reduction(+ : total)
-  {
-    const index_t t = omp_get_thread_num();
-    const index_t lo = begin + t * chunk;
+  std::vector<double> partial(static_cast<std::size_t>(workers), 0.0);
+  TaskGroup group;
+  for (int t = 0; t < workers; ++t) {
+    const index_t lo = begin + static_cast<index_t>(t) * chunk;
     const index_t hi = std::min(end, lo + chunk);
-    for (index_t i = lo; i < hi; ++i) total += term(i);
+    if (lo >= hi) break;
+    double* slot = &partial[static_cast<std::size_t>(t)];
+    group.run([lo, hi, slot, &term] {
+      double acc = 0.0;
+      for (index_t i = lo; i < hi; ++i) acc += term(i);
+      *slot = acc;
+    });
   }
+  group.wait();
+  double total = 0.0;
+  for (double p : partial) total += p;
   return total;
 }
 

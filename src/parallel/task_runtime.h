@@ -1,0 +1,114 @@
+// Persistent work-stealing task runtime.
+//
+// The library's coarse task parallelism (spin-level Green's pipelines, QR
+// look-ahead) and its fine loop parallelism (parallel_for.h, which is built
+// on top of this runtime) share one pool of persistent workers with
+// per-worker deques. Two properties matter for DQMC:
+//
+//   * Nested parallelism COMPOSES. A thread that waits on a TaskGroup does
+//     not block: it executes pending tasks (its own deque first, then steals
+//     from the other lanes), so a parallel_for inside a spawned task — e.g.
+//     the GEMM tiles of one spin's stratification chain — runs on the same
+//     workers instead of serializing, and recursive groups cannot deadlock.
+//   * Scheduling never changes results. Tasks own disjoint outputs and every
+//     task performs the same arithmetic regardless of which lane runs it, so
+//     results are bitwise identical for any worker count (the determinism
+//     contract tests/parallel/test_multithreaded.cpp pins down).
+//
+// Exceptions thrown inside a task are captured and rethrown from the
+// spawning group's wait(). Steal/execution counters are exported through
+// stats() and surface as the `runtime.*` section of the run manifest; per
+// task latency is recorded into the `runtime.task_us` histogram when the
+// global metrics registry is enabled (see docs/PERFORMANCE.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/error.h"
+
+namespace dqmc::par {
+
+/// Cumulative scheduling counters since process start (all lanes).
+struct RuntimeStats {
+  std::uint64_t tasks_spawned = 0;   ///< TaskGroup::run() calls
+  std::uint64_t tasks_executed = 0;  ///< tasks run to completion
+  std::uint64_t tasks_stolen = 0;    ///< executed from another lane's deque
+  std::uint64_t tasks_helped = 0;    ///< executed by a thread inside wait()
+  std::uint64_t groups = 0;          ///< TaskGroup waits completed
+};
+
+namespace detail {
+struct GroupState;
+}
+
+/// The process-wide worker pool. Workers are spawned lazily on first use and
+/// grown when par::set_num_threads raises the thread budget; a budget of 1
+/// (the default on single-core hosts) spawns no workers at all and every
+/// task executes inline in its spawning thread, in spawn order.
+class TaskRuntime {
+ public:
+  static TaskRuntime& global();
+
+  TaskRuntime(const TaskRuntime&) = delete;
+  TaskRuntime& operator=(const TaskRuntime&) = delete;
+
+  /// Worker threads currently alive (excludes the calling thread).
+  int workers() const { return workers_alive_.load(std::memory_order_acquire); }
+
+  RuntimeStats stats() const;
+
+ private:
+  friend class TaskGroup;
+  struct Impl;
+
+  TaskRuntime();
+  ~TaskRuntime();
+
+  /// Enqueue onto the current lane's deque (lane 0 for external threads)
+  /// and wake a worker. Executes inline when the thread budget is 1.
+  void spawn(std::function<void()> fn, std::shared_ptr<detail::GroupState> g);
+
+  /// Help until `g` has no pending tasks: run own/stolen tasks, block on the
+  /// group only when no task is runnable anywhere.
+  void wait(detail::GroupState& g);
+
+  std::unique_ptr<Impl> impl_;
+  std::atomic<int> workers_alive_{0};
+};
+
+/// A set of tasks joined by one wait. Usage:
+///
+///   TaskGroup g;
+///   g.run([&] { ... spin Down ... });
+///   g.run([&] { ... spin Up ... });
+///   g.wait();   // helps execute; rethrows the first captured exception
+///
+/// run() may be called from inside one of the group's own tasks
+/// (spawn-from-task); calling run() from an unrelated thread concurrently
+/// with wait() is not supported. The destructor waits for stragglers but
+/// DISCARDS any captured exception — call wait() to observe failures.
+class TaskGroup {
+ public:
+  TaskGroup();
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedule `fn` on the runtime (or run it inline under a budget of 1).
+  void run(std::function<void()> fn);
+
+  /// Block until every task of this group finished, executing pending work
+  /// while waiting. Rethrows the first exception any task raised. The group
+  /// is reusable after wait() returns (a captured exception is sticky and
+  /// rethrown by subsequent waits).
+  void wait();
+
+ private:
+  std::shared_ptr<detail::GroupState> state_;
+};
+
+}  // namespace dqmc::par

@@ -1,7 +1,5 @@
 #include "parallel/topology.h"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <atomic>
 #include <thread>
@@ -28,7 +26,6 @@ int num_threads() {
 
 void set_num_threads(int n) {
   g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
-  omp_set_num_threads(num_threads());
 }
 
 }  // namespace dqmc::par

@@ -14,7 +14,8 @@ namespace dqmc::par {
 int num_threads();
 
 /// Override the worker count for subsequent parallel regions (0 = reset to
-/// the default policy). Also applied to OpenMP via omp_set_num_threads.
+/// the default policy). The task runtime grows its worker pool lazily the
+/// next time a parallel region runs under the new budget.
 void set_num_threads(int n);
 
 }  // namespace dqmc::par

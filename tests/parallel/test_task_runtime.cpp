@@ -1,0 +1,159 @@
+// Torture tests for the work-stealing task runtime: spawn-from-task,
+// recursive groups, exception propagation, and nested parallel_for — the
+// properties the engine's spin-level task parallelism depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/task_runtime.h"
+#include "parallel/topology.h"
+
+namespace dqmc::par {
+namespace {
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int threads) { set_num_threads(threads); }
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+class TaskRuntimeTorture : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskRuntimeTorture, RunsEveryTaskExactlyOnce) {
+  ThreadCountGuard guard(GetParam());
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  TaskGroup group;
+  for (int i = 0; i < kTasks; ++i) {
+    group.run([&hits, i] { hits[i].fetch_add(1); });
+  }
+  group.wait();
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(TaskRuntimeTorture, SpawnFromTask) {
+  ThreadCountGuard guard(GetParam());
+  std::atomic<int> count{0};
+  TaskGroup group;
+  for (int i = 0; i < 16; ++i) {
+    group.run([&group, &count] {
+      count.fetch_add(1);
+      // Children join the same group; wait() must not return before them.
+      for (int j = 0; j < 4; ++j) {
+        group.run([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 16 * 5);
+}
+
+TEST_P(TaskRuntimeTorture, RecursiveGroupsDoNotDeadlock) {
+  ThreadCountGuard guard(GetParam());
+  // Each task opens its own nested group and waits on it — a waiting thread
+  // must help execute pending tasks or this recursion starves the pool.
+  std::function<int(int)> tree = [&](int depth) -> int {
+    if (depth == 0) return 1;
+    int left = 0, right = 0;
+    TaskGroup g;
+    g.run([&] { left = tree(depth - 1); });
+    g.run([&] { right = tree(depth - 1); });
+    g.wait();
+    return left + right;
+  };
+  EXPECT_EQ(tree(6), 64);
+}
+
+TEST_P(TaskRuntimeTorture, ExceptionPropagatesToWait) {
+  ThreadCountGuard guard(GetParam());
+  TaskGroup group;
+  for (int i = 0; i < 8; ++i) {
+    group.run([i] {
+      if (i == 5) throw std::runtime_error("task failure");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The captured exception is sticky: later waits rethrow it too.
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST_P(TaskRuntimeTorture, GroupIsReusableAfterWait) {
+  ThreadCountGuard guard(GetParam());
+  TaskGroup group;
+  std::atomic<int> count{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      group.run([&count] { count.fetch_add(1); });
+    }
+    group.wait();
+    EXPECT_EQ(count.load(), 32 * (round + 1));
+  }
+}
+
+TEST_P(TaskRuntimeTorture, NestedParallelForComposes) {
+  ThreadCountGuard guard(GetParam());
+  constexpr index_t kOuter = 8, kInner = 64;
+  std::vector<double> out(static_cast<std::size_t>(kOuter * kInner), 0.0);
+  parallel_for(
+      0, kOuter,
+      [&](index_t i) {
+        // Nested loop inside a task: must run (not deadlock, not skip
+        // iterations) whatever the thread budget.
+        parallel_for(
+            0, kInner,
+            [&](index_t j) {
+              out[static_cast<std::size_t>(i * kInner + j)] =
+                  static_cast<double>(i * kInner + j);
+            },
+            {.grain = 4});
+      },
+      {.grain = 1});
+  for (index_t i = 0; i < kOuter * kInner; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], static_cast<double>(i));
+  }
+}
+
+TEST_P(TaskRuntimeTorture, ParallelSumMatchesSerial) {
+  ThreadCountGuard guard(GetParam());
+  const double threaded = parallel_sum(
+      0, 10000, [](index_t i) { return static_cast<double>(i); }, {.grain = 8});
+  EXPECT_EQ(threaded, 10000.0 * 9999.0 / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, TaskRuntimeTorture,
+                         ::testing::Values(1, 2, 4, 7));
+
+TEST(TaskRuntimeStats, CountersAreMonotonic) {
+  const RuntimeStats before = TaskRuntime::global().stats();
+  ThreadCountGuard guard(4);
+  TaskGroup group;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) group.run([&count] { count.fetch_add(1); });
+  group.wait();
+  const RuntimeStats after = TaskRuntime::global().stats();
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_GE(after.tasks_spawned, before.tasks_spawned + 64);
+  EXPECT_GE(after.tasks_executed, before.tasks_executed + 64);
+  EXPECT_GE(after.groups, before.groups + 1);
+  EXPECT_GE(after.tasks_stolen, before.tasks_stolen);
+  EXPECT_GE(after.tasks_helped, before.tasks_helped);
+}
+
+TEST(TaskRuntimeStats, WorkersStayWithinBudget) {
+  {
+    ThreadCountGuard guard(3);
+    TaskGroup group;
+    for (int i = 0; i < 16; ++i) group.run([] {});
+    group.wait();
+  }
+  // Workers are persistent; the pool must have grown to budget-1 at least
+  // once but never beyond the largest budget seen so far in this process.
+  EXPECT_GE(TaskRuntime::global().workers(), 2);
+}
+
+}  // namespace
+}  // namespace dqmc::par

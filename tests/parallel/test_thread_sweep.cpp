@@ -1,0 +1,193 @@
+// Thread-count sweep: the same computation run under budgets 1, 2 and the
+// parameterized maximum (both via set_num_threads and ForOptions::max_threads)
+// must produce bitwise-identical GEMM, QR and stratification results — the
+// determinism contract of the static partitioning in the task runtime.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dqmc/engine.h"
+#include "dqmc/stratification.h"
+#include "linalg/blas3.h"
+#include "linalg/qr.h"
+#include "linalg/util.h"
+#include "parallel/parallel_for.h"
+#include "parallel/topology.h"
+#include "testing/test_utils.h"
+
+namespace dqmc {
+namespace {
+
+using linalg::idx;
+using linalg::Matrix;
+using linalg::MatrixRng;
+using linalg::Trans;
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int threads) { par::set_num_threads(threads); }
+  ~ThreadCountGuard() { par::set_num_threads(0); }
+};
+
+const std::vector<int> kSweep = {1, 2, 4};
+
+class ThreadSweep : public ::testing::Test {};
+
+TEST_F(ThreadSweep, GemmBitwiseIdenticalAcrossThreadCounts) {
+  MatrixRng rng(101);
+  Matrix a = rng.uniform_matrix(210, 190);
+  Matrix b = rng.uniform_matrix(190, 170);
+  Matrix reference;
+  for (int threads : kSweep) {
+    ThreadCountGuard guard(threads);
+    Matrix c = Matrix::zero(210, 170);
+    linalg::gemm(Trans::No, Trans::Yes, 1.5, a,
+                 linalg::transpose(b), -0.5, c);
+    if (threads == kSweep.front()) {
+      reference = std::move(c);
+    } else {
+      EXPECT_MATRIX_NEAR(c, reference, 0.0);
+    }
+  }
+}
+
+TEST_F(ThreadSweep, MaxThreadsOptionIsBitwiseEquivalent) {
+  // Capping through ForOptions::max_threads must agree with capping through
+  // the global budget: both select the same static partition.
+  MatrixRng rng(103);
+  Matrix a = rng.uniform_matrix(300, 64);
+  auto sum_with = [&](par::ForOptions opt) {
+    return par::parallel_sum(
+        0, a.rows() * a.cols(),
+        [&](par::index_t i) { return a.data()[i] * a.data()[i]; }, opt);
+  };
+  double serial;
+  {
+    ThreadCountGuard inner(1);
+    serial = sum_with({.grain = 16});
+  }
+  ThreadCountGuard guard(4);
+  const double capped = sum_with({.grain = 16, .max_threads = 1});
+  const double budget2 = sum_with({.grain = 16, .max_threads = 2});
+  EXPECT_EQ(capped, serial);
+  // Two workers sum two ordered partials; same arithmetic every run.
+  double budget2_again = sum_with({.grain = 16, .max_threads = 2});
+  EXPECT_EQ(budget2, budget2_again);
+}
+
+TEST_F(ThreadSweep, QrBitwiseIdenticalAcrossThreadCounts) {
+  MatrixRng rng(107);
+  Matrix a = rng.uniform_matrix(160, 160);
+  Matrix ref_factors, ref_q;
+  linalg::Vector ref_tau;
+  for (int threads : kSweep) {
+    ThreadCountGuard guard(threads);
+    linalg::QRFactorization f = linalg::qr_factor(a);
+    Matrix q = linalg::qr_q(f);
+    if (threads == kSweep.front()) {
+      ref_factors = f.factors;
+      ref_tau = f.tau;
+      ref_q = std::move(q);
+    } else {
+      EXPECT_MATRIX_NEAR(f.factors, ref_factors, 0.0);
+      for (idx i = 0; i < ref_tau.size(); ++i) {
+        ASSERT_EQ(f.tau[i], ref_tau[i]) << "threads=" << threads << " i=" << i;
+      }
+      EXPECT_MATRIX_NEAR(q, ref_q, 0.0);
+    }
+  }
+}
+
+TEST_F(ThreadSweep, TriangularKernelsBitwiseIdenticalAcrossThreadCounts) {
+  MatrixRng rng(109);
+  const idx n = 150;
+  Matrix t = rng.uniform_matrix(n, n);
+  for (idx i = 0; i < n; ++i) t(i, i) = 4.0 + 0.01 * static_cast<double>(i);
+  Matrix b0 = rng.uniform_matrix(90, n);
+
+  for (auto uplo : {linalg::UpLo::Upper, linalg::UpLo::Lower}) {
+    for (auto trans : {Trans::No, Trans::Yes}) {
+      Matrix ref_solve, ref_mult;
+      for (int threads : kSweep) {
+        ThreadCountGuard guard(threads);
+        Matrix bs = b0;
+        linalg::trsm(linalg::Side::Right, uplo, trans, linalg::Diag::NonUnit,
+                     1.0, t, bs);
+        Matrix bm = b0;
+        linalg::trmm(linalg::Side::Right, uplo, trans, linalg::Diag::NonUnit,
+                     1.0, t, bm);
+        if (threads == kSweep.front()) {
+          ref_solve = std::move(bs);
+          ref_mult = std::move(bm);
+        } else {
+          EXPECT_MATRIX_NEAR(bs, ref_solve, 0.0);
+          EXPECT_MATRIX_NEAR(bm, ref_mult, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ThreadSweep, StratificationBitwiseIdenticalAcrossThreadCounts) {
+  const idx n = 64;
+  MatrixRng rng(113);
+  std::vector<Matrix> factors;
+  for (int f = 0; f < 12; ++f) {
+    Matrix m = rng.uniform_matrix(n, n);
+    // Stretch the spectrum so the graded decomposition actually grades.
+    for (idx j = 0; j < n; ++j) {
+      const double s = j % 2 == 0 ? 3.0 : 0.3;
+      for (idx i = 0; i < n; ++i) m(i, j) *= s;
+    }
+    factors.push_back(std::move(m));
+  }
+
+  for (auto algorithm :
+       {core::StratAlgorithm::kPrePivot, core::StratAlgorithm::kQRP}) {
+    Matrix reference;
+    for (int threads : kSweep) {
+      ThreadCountGuard guard(threads);
+      core::StratificationEngine engine(n, algorithm);
+      Matrix g = engine.compute(factors);
+      if (threads == kSweep.front()) {
+        reference = std::move(g);
+      } else {
+        EXPECT_MATRIX_NEAR(g, reference, 0.0);
+      }
+    }
+  }
+}
+
+TEST_F(ThreadSweep, EngineTrajectoryAndSignIdenticalAcrossThreadCounts) {
+  hubbard::Lattice lat(4, 4);
+  hubbard::ModelParams p;
+  p.u = 4.0;
+  p.beta = 2.0;
+  p.slices = 8;
+  core::EngineConfig cfg;
+  cfg.cluster_size = 4;
+
+  Matrix ref_up, ref_dn;
+  int ref_sign = 0;
+  for (int threads : kSweep) {
+    ThreadCountGuard guard(threads);
+    core::DqmcEngine engine(lat, p, cfg, 719);
+    engine.initialize();
+    engine.sweep();
+    engine.sweep();
+    Matrix up(engine.greens(hubbard::Spin::Up));
+    Matrix dn(engine.greens(hubbard::Spin::Down));
+    if (threads == kSweep.front()) {
+      ref_up = std::move(up);
+      ref_dn = std::move(dn);
+      ref_sign = engine.config_sign();
+    } else {
+      EXPECT_MATRIX_NEAR(up, ref_up, 0.0);
+      EXPECT_MATRIX_NEAR(dn, ref_dn, 0.0);
+      EXPECT_EQ(engine.config_sign(), ref_sign) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqmc
