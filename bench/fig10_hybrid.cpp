@@ -2,16 +2,23 @@
 // hybrid CPU+GPU configuration (clustering + wrapping offloaded to the
 // simulated device, stratification on the host) vs CPU-only.
 //
-// Hybrid time = host stratification wall time + device virtual time for the
-// offloaded pieces (serial composition — no overlap is assumed, matching
-// the paper's synchronous CUBLAS usage).
+// Two hybrid numbers are reported:
+//   serial bound — host stratification wall time + the device's full
+//     virtual time (no overlap assumed, the paper's synchronous CUBLAS
+//     composition), and
+//   pipelined — host stratification wall time + the device's *pipeline*
+//     cost (transfers + exposed stalls only; modeled compute that the
+//     host timeline hid is not charged twice). The bench drives the same
+//     rebuild_async + lazy-factor stratification path the engine uses, so
+//     the deferred cluster product genuinely overlaps the graded QR.
 #include <vector>
 
+#include "backend/bchain.h"
+#include "backend/gpusim_backend.h"
 #include "bench_util.h"
 #include "dqmc/cluster_store.h"
 #include "dqmc/hs_field.h"
 #include "dqmc/stratification.h"
-#include "gpusim/chain.h"
 #include "hubbard/bmatrix.h"
 
 int main() {
@@ -28,7 +35,9 @@ int main() {
     ls.push_back(32);
   }
 
-  cli::Table table({"N", "cpu GF/s", "hybrid GF/s", "hybrid/cpu"});
+  obs::Json rows = obs::Json::array();
+  cli::Table table({"N", "cpu GF/s", "hybrid serial GF/s",
+                    "hybrid pipelined GF/s", "pipelined/cpu"});
   for (idx l : ls) {
     const idx n = l * l;
     hubbard::Lattice lat(l, l);
@@ -45,7 +54,7 @@ int main() {
     const double flops =
         greens_eval_flops(n, (slices + k - 1) / k) +
         // plus one cluster rebuild per evaluation (the recycled pipeline)
-        gpu::cluster_product_flops(n, k);
+        backend::cluster_product_flops(n, k);
 
     // CPU only: wall time for cluster rebuild + stratification.
     double cpu_time;
@@ -63,39 +72,61 @@ int main() {
     }
 
     // Hybrid: clustering on the device (virtual clock), stratification on
-    // the host (wall clock minus the device-cluster host compute, which we
-    // exclude by timing only the stratification calls).
-    double hybrid_time;
+    // the host. rebuild_async defers the cluster product to a task that
+    // overlaps the stratification — the rebuilt cluster is the LAST factor
+    // of the rotation, so the provider only blocks at the very end.
+    double host_strat = 0.0;
+    backend::BackendStats dev;
     {
-      gpu::Device device;
-      gpu::GpuBChain chain(device, factory.b(), factory.b_inv());
+      backend::GpuSimBackend gpusim;
+      backend::BackendBChain up(gpusim, factory.b(), factory.b_inv());
+      backend::BackendBChain dn(gpusim, factory.b(), factory.b_inv());
       core::ClusterStore store(factory, field, k);
-      store.attach_gpu(&chain);
+      store.attach_backend(&up, &dn);
       store.rebuild_all();
       core::StratificationEngine strat(n, core::StratAlgorithm::kPrePivot);
 
-      double host_strat = 0.0;
-      device.reset_stats();
+      gpusim.reset_stats();
       for (idx e = 0; e < evals; ++e) {
-        store.rebuild(e % store.num_clusters());  // device virtual time
+        const idx start = e % store.num_clusters();
+        store.rebuild_async(start == 0 ? store.num_clusters() - 1 : start - 1);
         Stopwatch watch;
-        (void)strat.compute(store.rotation(hubbard::Spin::Up,
-                                           e % store.num_clusters()));
+        (void)strat.compute(store.num_clusters(),
+                            [&](idx i) -> const linalg::Matrix& {
+                              return store.factor(hubbard::Spin::Up, start, i);
+                            });
         host_strat += watch.seconds();
       }
-      device.synchronize();
-      hybrid_time = (host_strat + device.stats().total_seconds()) /
-                    static_cast<double>(evals);
+      gpusim.synchronize();
+      dev = gpusim.stats();
     }
+    const double serial_time =
+        (host_strat + dev.total_seconds()) / static_cast<double>(evals);
+    const double pipelined_time =
+        (host_strat + dev.pipeline_seconds()) / static_cast<double>(evals);
 
+    rows.push_back(obs::Json::object()
+                       .set("n", n)
+                       .set("cpu_gflops", flops / cpu_time / 1e9)
+                       .set("hybrid_serial_gflops", flops / serial_time / 1e9)
+                       .set("hybrid_pipelined_gflops",
+                            flops / pipelined_time / 1e9)
+                       .set("device_compute_seconds", dev.compute_seconds)
+                       .set("device_transfer_seconds", dev.transfer_seconds)
+                       .set("device_exposed_wait_seconds",
+                            dev.exposed_wait_seconds));
     table.add_row({cli::Table::integer(static_cast<long>(n)),
                    cli::Table::num(flops / cpu_time / 1e9, 2),
-                   cli::Table::num(flops / hybrid_time / 1e9, 2),
-                   cli::Table::num(cpu_time / hybrid_time, 2)});
+                   cli::Table::num(flops / serial_time / 1e9, 2),
+                   cli::Table::num(flops / pipelined_time / 1e9, 2),
+                   cli::Table::num(cpu_time / pipelined_time, 2)});
   }
   table.print();
-  std::printf("\nexpected shape (paper Fig. 10): hybrid rate above CPU-only "
-              "and the gap grows with N (device clustering removes the "
-              "cluster-product cost from the host).\n\n");
+  std::printf("\nexpected shape (paper Fig. 10): hybrid rates above CPU-only "
+              "with the gap growing with N (device clustering removes the "
+              "cluster-product cost from the host); the pipelined rate is "
+              ">= the serial bound because overlapped device compute is not "
+              "charged twice.\n\n");
+  maybe_write_bench_manifest("fig10_hybrid", rows);
   return 0;
 }

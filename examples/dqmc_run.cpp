@@ -1,7 +1,7 @@
 // dqmc_run: the production driver — a full simulation specified by a
 // QUEST-style input file, mirroring how the paper's package is used.
 //
-//   ./dqmc_run --config sim.in [--progress]
+//   ./dqmc_run --config sim.in [--progress] [--backend host|gpusim]
 //
 // Example input file:
 //   # half-filled 8x8 Hubbard model
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   using linalg::idx;
   cli::Args args(argc, argv,
                  {"config", "progress", "warmup", "sweeps", "seed",
-                  "trace-json", "metrics-json"});
+                  "backend", "trace-json", "metrics-json"});
 
   core::SimulationConfig cfg;
   if (args.has("config")) {
@@ -58,6 +58,12 @@ int main(int argc, char** argv) {
   if (args.has("seed")) {
     cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   }
+  if (args.has("backend")) {
+    // Trajectories are bitwise identical across backends; gpusim adds the
+    // virtual-clock device accounting to the manifest.
+    cfg.engine.backend =
+        backend::backend_kind_from_string(args.get("backend", "host"));
+  }
 
   const std::string trace_path = args.get("trace-json", "");
   const std::string metrics_path = args.get("metrics-json", "");
@@ -75,13 +81,14 @@ int main(int argc, char** argv) {
               cfg.model.t_perp, cfg.model.u, cfg.model.mu, cfg.model.beta,
               static_cast<long long>(cfg.model.slices), cfg.model.dtau());
   std::printf("%lld warmup + %lld measurement sweeps, algorithm=%s, "
-              "k=%lld, d=%lld, seed=%llu\n\n",
+              "k=%lld, d=%lld, seed=%llu, backend=%s\n\n",
               static_cast<long long>(cfg.warmup_sweeps),
               static_cast<long long>(cfg.measurement_sweeps),
               core::strat_algorithm_name(cfg.engine.algorithm),
               static_cast<long long>(cfg.engine.cluster_size),
               static_cast<long long>(cfg.engine.delay_rank),
-              static_cast<unsigned long long>(cfg.seed));
+              static_cast<unsigned long long>(cfg.seed),
+              backend::backend_kind_name(cfg.engine.backend));
 
   core::ProgressFn progress = nullptr;
   if (args.get_flag("progress")) {
@@ -120,6 +127,17 @@ int main(int argc, char** argv) {
   // Acceptance, Green's evaluations, flush ranks, GEMM GFLOP/s, ... all come
   // from the metrics registry now — one formatter instead of ad-hoc printf.
   std::printf("\n%s", obs::metrics().report().c_str());
+
+  const backend::BackendStats& bs = res.backend_stats;
+  std::printf("\nbackend %s: compute %s, transfer %s, %llu launches, "
+              "%llu transfers, exposed wait %s, %llu wrap uploads skipped\n",
+              res.backend_name.c_str(),
+              format_seconds(bs.compute_seconds).c_str(),
+              format_seconds(bs.transfer_seconds).c_str(),
+              static_cast<unsigned long long>(bs.kernel_launches),
+              static_cast<unsigned long long>(bs.transfers),
+              format_seconds(bs.exposed_wait_seconds).c_str(),
+              static_cast<unsigned long long>(res.wrap_uploads_skipped));
 
   const obs::HealthMonitor::Summary hs = obs::health().summary();
   std::printf("\nhealth: wrap drift max %.3e, sortedness min %.3f, "

@@ -1,11 +1,12 @@
-// GPU offload demo (Section VI): the same simulation run CPU-only and with
-// clustering + wrapping offloaded to the simulated device, showing that the
-// Markov chain trajectories are identical and reporting the device's
-// virtual-clock accounting (transfers vs compute).
+// GPU offload demo (Section VI): the same simulation run on the host
+// backend and on the simulated-GPU backend, showing that the Markov chain
+// trajectories are identical and reporting the device's virtual-clock
+// accounting (transfers vs compute vs exposed stalls).
 //
 // NOTE: the "GPU" is the cost-modeled simulated device described in
-// DESIGN.md — results are computed on the host with identical arithmetic,
-// while the virtual clock tracks what a Tesla-C2050-class part would spend.
+// DESIGN.md and docs/BACKENDS.md — results are computed on the host with
+// identical arithmetic, while the virtual clock tracks what a
+// Tesla-C2050-class part would spend.
 //
 //   ./gpu_offload [--l 6] [--u 4.0] [--beta 3.0] [--slices 40]
 //                 [--sweeps 5] [--seed 5]
@@ -33,10 +34,9 @@ int main(int argc, char** argv) {
 
   core::EngineConfig cpu_cfg;
   core::EngineConfig gpu_cfg;
-  gpu_cfg.gpu_clustering = true;
-  gpu_cfg.gpu_wrapping = true;
+  gpu_cfg.backend = backend::BackendKind::kGpuSim;
 
-  std::printf("CPU-only vs simulated-GPU offload, %lldx%lld, L=%lld, "
+  std::printf("host backend vs simulated-GPU backend, %lldx%lld, L=%lld, "
               "%lld sweeps\n\n",
               static_cast<long long>(lat.lx()),
               static_cast<long long>(lat.ly()),
@@ -56,31 +56,36 @@ int main(int argc, char** argv) {
   Stopwatch gpu_watch;
   core::SweepStats gpu_stats;
   for (idx s = 0; s < sweeps; ++s) gpu_stats = gpu.sweep();
+  gpu.compute_backend().synchronize();
   const double gpu_elapsed = gpu_watch.seconds();
 
   const double drift = linalg::relative_difference(
       gpu.greens(hubbard::Spin::Up), cpu.greens(hubbard::Spin::Up));
 
   cli::Table table({"engine", "acceptance", "host wall time"});
-  table.add_row({"CPU only", cli::Table::num(cpu_stats.acceptance(), 3),
+  table.add_row({"host backend", cli::Table::num(cpu_stats.acceptance(), 3),
                  format_seconds(cpu_elapsed)});
-  table.add_row({"CPU + simulated GPU", cli::Table::num(gpu_stats.acceptance(), 3),
+  table.add_row({"gpusim backend", cli::Table::num(gpu_stats.acceptance(), 3),
                  format_seconds(gpu_elapsed)});
   table.print();
 
-  std::printf("\nGreen's function relative difference CPU vs GPU path: %.2e\n"
+  std::printf("\nGreen's function relative difference host vs gpusim: %.2e\n"
               "(identical arithmetic; any difference is a bug)\n\n",
               drift);
 
-  const gpu::DeviceStats stats = gpu.device()->stats();
+  const backend::BackendStats stats = gpu.compute_backend().stats();
   std::printf("simulated device accounting (virtual clock, C2050 model):\n");
   cli::Table dev({"metric", "value"});
   dev.add_row({"kernel launches", cli::Table::integer(static_cast<long>(stats.kernel_launches))});
   dev.add_row({"PCIe transfers", cli::Table::integer(static_cast<long>(stats.transfers))});
-  dev.add_row({"bytes host->device", cli::Table::sci(stats.bytes_h2d)});
-  dev.add_row({"bytes device->host", cli::Table::sci(stats.bytes_d2h)});
+  dev.add_row({"bytes host->device", cli::Table::sci(static_cast<double>(stats.bytes_h2d))});
+  dev.add_row({"bytes device->host", cli::Table::sci(static_cast<double>(stats.bytes_d2h))});
   dev.add_row({"modeled compute", format_seconds(stats.compute_seconds)});
   dev.add_row({"modeled transfer", format_seconds(stats.transfer_seconds)});
+  dev.add_row({"exposed wait", format_seconds(stats.exposed_wait_seconds)});
+  dev.add_row({"pipeline cost", format_seconds(stats.pipeline_seconds())});
+  dev.add_row({"wrap uploads skipped",
+               cli::Table::integer(static_cast<long>(gpu.wrap_uploads_skipped()))});
   dev.print();
   return 0;
 }

@@ -1,0 +1,48 @@
+#include "backend/backend.h"
+
+#include "backend/gpusim_backend.h"
+#include "backend/host_backend.h"
+#include "common/error.h"
+
+namespace dqmc::backend {
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kHost:
+      return "host";
+    case BackendKind::kGpuSim:
+      return "gpusim";
+  }
+  throw InvalidArgument("unknown BackendKind");
+}
+
+BackendKind backend_kind_from_string(const std::string& name) {
+  if (name == "host") return BackendKind::kHost;
+  if (name == "gpusim") return BackendKind::kGpuSim;
+  throw InvalidArgument("unknown backend '" + name +
+                        "' (expected host or gpusim)");
+}
+
+BackendStats& BackendStats::operator+=(const BackendStats& o) {
+  compute_seconds += o.compute_seconds;
+  transfer_seconds += o.transfer_seconds;
+  bytes_h2d += o.bytes_h2d;
+  bytes_d2h += o.bytes_d2h;
+  kernel_launches += o.kernel_launches;
+  transfers += o.transfers;
+  exposed_wait_seconds += o.exposed_wait_seconds;
+  synchronizations += o.synchronizations;
+  return *this;
+}
+
+std::unique_ptr<ComputeBackend> make_backend(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kHost:
+      return std::make_unique<HostBackend>();
+    case BackendKind::kGpuSim:
+      return std::make_unique<GpuSimBackend>();
+  }
+  throw InvalidArgument("unknown BackendKind");
+}
+
+}  // namespace dqmc::backend

@@ -1,0 +1,176 @@
+// The compute-backend abstraction: one interface for the DQMC hot path
+// (cluster products, Green's function wrapping) that runs either on the
+// host task runtime (HostBackend) or on the simulated GPU with its
+// virtual-clock cost model (GpuSimBackend) — the paper's hybrid CPU/GPU
+// execution model behind a single seam (Section VI).
+//
+// Semantics follow the CUDA-stream model the simulated device implements:
+//
+//   * Matrices and vectors live in backend-owned opaque storage; the host
+//     reaches contents only through upload()/download().
+//   * Compute calls ENQUEUE work. On an async() backend they may return
+//     before the work ran; every handle (and nothing else) referenced by an
+//     enqueued op must stay alive until the stream next drains — i.e. until
+//     synchronize() or any download()/upload() returns.
+//   * Enqueue order is execution order (one in-order stream).
+//
+// Both backends compute with the library's own kernels, so for identical
+// call sequences the results are BITWISE identical — the property the
+// host<->gpusim parity tests pin down (tests/backend/). See
+// docs/BACKENDS.md for the full contract and how to add a real CUDA
+// backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "linalg/blas3.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::backend {
+
+using linalg::ConstMatrixView;
+using linalg::idx;
+using linalg::MatrixView;
+using linalg::Trans;
+
+enum class BackendKind { kHost, kGpuSim };
+
+/// "host" / "gpusim".
+const char* backend_kind_name(BackendKind kind);
+/// Parse "host" / "gpusim" (throws InvalidArgument otherwise).
+BackendKind backend_kind_from_string(const std::string& name);
+
+/// Cumulative accounting. For GpuSimBackend the seconds are virtual-clock
+/// (cost-model) time; for HostBackend they are measured wall time. Either
+/// way compute/transfer are the serial totals, while exposed_wait_seconds
+/// is only the part of the async timeline the host actually stalled on —
+/// work hidden behind concurrent host compute is not double-counted.
+struct BackendStats {
+  double compute_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double bytes_h2d = 0.0;
+  double bytes_d2h = 0.0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t transfers = 0;
+  /// Async stall the host observed at drain points (always 0 on a
+  /// synchronous backend, where compute happens inside the call).
+  double exposed_wait_seconds = 0.0;
+  std::uint64_t synchronizations = 0;
+
+  /// Serial-composition total (every op end to end).
+  double total_seconds() const { return compute_seconds + transfer_seconds; }
+  /// Pipelined-composition total: what the backend adds to host wall time
+  /// when compute overlaps host work (transfers block the host by contract).
+  double pipeline_seconds() const {
+    return exposed_wait_seconds + transfer_seconds;
+  }
+
+  BackendStats& operator+=(const BackendStats& o);
+};
+
+/// Opaque backend-resident matrix. Created by ComputeBackend::alloc_matrix;
+/// a handle is only valid with the backend that allocated it.
+class MatrixHandle {
+ public:
+  virtual ~MatrixHandle() = default;
+  idx rows() const { return rows_; }
+  idx cols() const { return cols_; }
+  double bytes() const {
+    return static_cast<double>(rows_) * static_cast<double>(cols_) *
+           sizeof(double);
+  }
+  BackendKind kind() const { return kind_; }
+
+ protected:
+  MatrixHandle(BackendKind kind, idx rows, idx cols)
+      : kind_(kind), rows_(rows), cols_(cols) {}
+
+ private:
+  BackendKind kind_;
+  idx rows_, cols_;
+};
+
+/// Opaque backend-resident vector (diagonal scalings live here).
+class VectorHandle {
+ public:
+  virtual ~VectorHandle() = default;
+  idx size() const { return size_; }
+  double bytes() const { return static_cast<double>(size_) * sizeof(double); }
+  BackendKind kind() const { return kind_; }
+
+ protected:
+  VectorHandle(BackendKind kind, idx n) : kind_(kind), size_(n) {}
+
+ private:
+  BackendKind kind_;
+  idx size_;
+};
+
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  const char* name() const { return backend_kind_name(kind()); }
+
+  /// True when compute calls enqueue asynchronously (the CUDA-stream
+  /// model): callers must keep arguments alive until the stream drains and
+  /// should serialize command submission from one thread at a time.
+  virtual bool async() const = 0;
+
+  /// Allocate uninitialized backend storage.
+  virtual std::unique_ptr<MatrixHandle> alloc_matrix(idx rows, idx cols) = 0;
+  virtual std::unique_ptr<VectorHandle> alloc_vector(idx n) = 0;
+
+  /// Host -> backend (cublasSetMatrix). Blocks until complete.
+  virtual void upload(ConstMatrixView host, MatrixHandle& dst) = 0;
+  /// Backend -> host (cublasGetMatrix). Blocks until the stream drains.
+  virtual void download(const MatrixHandle& src, MatrixView host) = 0;
+  /// Host -> backend vector (cublasSetVector). Blocks until complete; the
+  /// host buffer may be reused immediately after return.
+  virtual void upload_vector(const double* host, idx n, VectorHandle& dst) = 0;
+
+  /// Host -> backend, enqueued on the stream (cublasSetMatrixAsync): the
+  /// host storage behind `host` must stay alive AND unmodified until the
+  /// stream next drains. Immediate copy on a synchronous backend.
+  virtual void upload_async(ConstMatrixView host, MatrixHandle& dst) = 0;
+  /// Async vector upload with the same lifetime contract as upload_async.
+  virtual void upload_vector_async(const double* host, idx n,
+                                   VectorHandle& dst) = 0;
+
+  /// dst <- src (backend-side).
+  virtual void copy(const MatrixHandle& src, MatrixHandle& dst) = 0;
+
+  /// C <- alpha op(A) op(B) + beta C (backend-side DGEMM).
+  virtual void gemm(Trans transa, Trans transb, double alpha,
+                    const MatrixHandle& a, const MatrixHandle& b, double beta,
+                    MatrixHandle& c) = 0;
+
+  /// dst <- diag(v) * src. `fused` selects the Algorithm 5 single-launch
+  /// kernel; false models the Algorithm 4 row-by-row cublasDscal path
+  /// (identical arithmetic, different cost model). src and dst may alias.
+  virtual void scale_rows(const VectorHandle& v, const MatrixHandle& src,
+                          MatrixHandle& dst, bool fused = true) = 0;
+
+  /// dst <- src * diag(v), one launch per column (the Algorithm 6
+  /// companion). src and dst may alias.
+  virtual void scale_cols(const VectorHandle& v, const MatrixHandle& src,
+                          MatrixHandle& dst) = 0;
+
+  /// g <- diag(v) * g * diag(v)^{-1} in one fused launch (Algorithm 7).
+  virtual void wrap_scale(const VectorHandle& v, MatrixHandle& g) = 0;
+
+  /// Block the host until all enqueued work has executed.
+  virtual void synchronize() = 0;
+
+  virtual BackendStats stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+/// Construct a backend of the given kind (GpuSim uses the default
+/// Tesla-C2050 cost model).
+std::unique_ptr<ComputeBackend> make_backend(BackendKind kind);
+
+}  // namespace dqmc::backend

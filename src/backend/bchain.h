@@ -1,0 +1,74 @@
+// Backend-resident DQMC chain operations: matrix clustering (Algorithms
+// 4/5) and Green's function wrapping (Algorithms 6/7) from Section VI,
+// expressed against the ComputeBackend interface so the exact same call
+// sequence runs on the host task runtime or the simulated GPU.
+//
+// The fixed factors B = e^{-dtau K} and B^{-1} are uploaded once at
+// construction and kept resident, exactly as the paper prescribes ("B is
+// fixed and it is computed and stored at the start of the simulation");
+// per-call traffic is only the diagonal V (N doubles) and the result
+// matrix — and the wrap can skip re-uploading G entirely when the host
+// copy is unchanged since the previous wrap downloaded it (delayed updates
+// keep G resident between wraps).
+#pragma once
+
+#include <vector>
+
+#include "backend/backend.h"
+
+namespace dqmc::backend {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class BackendBChain {
+ public:
+  /// `b` is e^{-dtau K}, `binv` its inverse e^{+dtau K} (N x N).
+  BackendBChain(ComputeBackend& backend, ConstMatrixView b,
+                ConstMatrixView binv);
+
+  idx n() const { return n_; }
+  ComputeBackend& backend() { return backend_; }
+
+  /// Matrix clustering: returns A = B_{k-1} * ... * B_1 * B_0 where
+  /// B_j = diag(vs[j]) * B. One V upload per factor (async, pipelined
+  /// behind the previous GEMM), one download of A.
+  /// fused_kernel=true uses the Algorithm 5 custom kernel for the row
+  /// scalings; false uses the Algorithm 4 row-by-row cublasDscal path.
+  Matrix cluster_product(const std::vector<Vector>& vs,
+                         bool fused_kernel = true);
+
+  /// Wrapping: g <- B_l g B_l^{-1} with B_l = diag(v) * B, i.e.
+  /// g <- diag(v) (B g B^{-1}) diag(v)^{-1}. Uploads g and v, runs two
+  /// backend GEMMs plus the scaling, downloads g.
+  /// fused_kernel=true uses the Algorithm 7 fused row+column kernel; false
+  /// models two row/column cublasDscal sweeps (Algorithm 6).
+  /// `host_unchanged=true` asserts the host g is bitwise what the previous
+  /// wrap() downloaded, letting the resident copy stand in for the upload.
+  void wrap(MatrixView g, const Vector& v, bool fused_kernel = true,
+            bool host_unchanged = false);
+
+  /// Wrap uploads elided because G was still resident (Section VI-B's
+  /// "keep G on the device between wraps" traffic optimization).
+  std::uint64_t wrap_uploads_skipped() const { return wrap_uploads_skipped_; }
+
+ private:
+  ComputeBackend& backend_;
+  idx n_;
+  std::unique_ptr<MatrixHandle> b_, binv_;   // resident factors
+  std::unique_ptr<MatrixHandle> t_, a_, g_;  // workspaces
+  // Backend-op arguments must stay alive until the stream drains, so both
+  // diagonal workspaces are members rather than locals.
+  std::unique_ptr<VectorHandle> v_, v_inv_;
+  bool g_resident_ = false;
+  std::uint64_t wrap_uploads_skipped_ = 0;
+};
+
+/// Flop count of one cluster product of `k` factors of size n (for
+/// GFlop/s reporting in the Fig. 9 bench): (k-1) GEMMs + k row scalings.
+double cluster_product_flops(idx n, idx k);
+
+/// Flop count of one wrap of size n: two GEMMs + the scaling.
+double wrap_flops(idx n);
+
+}  // namespace dqmc::backend

@@ -1,0 +1,127 @@
+#include "backend/gpusim_backend.h"
+
+namespace dqmc::backend {
+
+namespace {
+
+class GpuSimMatrix final : public MatrixHandle {
+ public:
+  GpuSimMatrix(gpu::Device& device, idx rows, idx cols)
+      : MatrixHandle(BackendKind::kGpuSim, rows, cols),
+        storage(device.alloc_matrix(rows, cols)) {}
+  gpu::DeviceMatrix storage;
+};
+
+class GpuSimVector final : public VectorHandle {
+ public:
+  GpuSimVector(gpu::Device& device, idx n)
+      : VectorHandle(BackendKind::kGpuSim, n),
+        storage(device.alloc_vector(n)) {}
+  gpu::DeviceVector storage;
+};
+
+gpu::DeviceMatrix& as(MatrixHandle& h) {
+  DQMC_CHECK_MSG(h.kind() == BackendKind::kGpuSim,
+                 "matrix handle belongs to a different backend");
+  return static_cast<GpuSimMatrix&>(h).storage;
+}
+
+const gpu::DeviceMatrix& as(const MatrixHandle& h) {
+  DQMC_CHECK_MSG(h.kind() == BackendKind::kGpuSim,
+                 "matrix handle belongs to a different backend");
+  return static_cast<const GpuSimMatrix&>(h).storage;
+}
+
+gpu::DeviceVector& as(VectorHandle& h) {
+  DQMC_CHECK_MSG(h.kind() == BackendKind::kGpuSim,
+                 "vector handle belongs to a different backend");
+  return static_cast<GpuSimVector&>(h).storage;
+}
+
+const gpu::DeviceVector& as(const VectorHandle& h) {
+  DQMC_CHECK_MSG(h.kind() == BackendKind::kGpuSim,
+                 "vector handle belongs to a different backend");
+  return static_cast<const GpuSimVector&>(h).storage;
+}
+
+}  // namespace
+
+GpuSimBackend::GpuSimBackend(gpu::DeviceSpec spec) : device_(spec) {}
+
+std::unique_ptr<MatrixHandle> GpuSimBackend::alloc_matrix(idx rows, idx cols) {
+  return std::make_unique<GpuSimMatrix>(device_, rows, cols);
+}
+
+std::unique_ptr<VectorHandle> GpuSimBackend::alloc_vector(idx n) {
+  return std::make_unique<GpuSimVector>(device_, n);
+}
+
+void GpuSimBackend::upload(ConstMatrixView host, MatrixHandle& dst) {
+  device_.set_matrix(host, as(dst));
+}
+
+void GpuSimBackend::download(const MatrixHandle& src, MatrixView host) {
+  device_.get_matrix(as(src), host);
+}
+
+void GpuSimBackend::upload_vector(const double* host, idx n,
+                                  VectorHandle& dst) {
+  device_.set_vector(host, n, as(dst));
+}
+
+void GpuSimBackend::upload_async(ConstMatrixView host, MatrixHandle& dst) {
+  device_.set_matrix_async(host, as(dst));
+}
+
+void GpuSimBackend::upload_vector_async(const double* host, idx n,
+                                        VectorHandle& dst) {
+  device_.set_vector_async(host, n, as(dst));
+}
+
+void GpuSimBackend::copy(const MatrixHandle& src, MatrixHandle& dst) {
+  device_.copy(as(src), as(dst));
+}
+
+void GpuSimBackend::gemm(Trans transa, Trans transb, double alpha,
+                         const MatrixHandle& a, const MatrixHandle& b,
+                         double beta, MatrixHandle& c) {
+  device_.gemm(transa, transb, alpha, as(a), as(b), beta, as(c));
+}
+
+void GpuSimBackend::scale_rows(const VectorHandle& v, const MatrixHandle& src,
+                               MatrixHandle& dst, bool fused) {
+  if (fused) {
+    device_.scale_rows_kernel(as(v), as(src), as(dst));
+  } else {
+    device_.scale_rows_rowwise(as(v), as(src), as(dst));
+  }
+}
+
+void GpuSimBackend::scale_cols(const VectorHandle& v, const MatrixHandle& src,
+                               MatrixHandle& dst) {
+  device_.scale_cols_rowwise(as(v), as(src), as(dst));
+}
+
+void GpuSimBackend::wrap_scale(const VectorHandle& v, MatrixHandle& g) {
+  device_.wrap_scale_kernel(as(v), as(g));
+}
+
+void GpuSimBackend::synchronize() { device_.synchronize(); }
+
+BackendStats GpuSimBackend::stats() const {
+  const gpu::DeviceStats d = device_.stats();
+  BackendStats s;
+  s.compute_seconds = d.compute_seconds;
+  s.transfer_seconds = d.transfer_seconds;
+  s.bytes_h2d = d.bytes_h2d;
+  s.bytes_d2h = d.bytes_d2h;
+  s.kernel_launches = d.kernel_launches;
+  s.transfers = d.transfers;
+  s.exposed_wait_seconds = d.exposed_wait_seconds;
+  s.synchronizations = d.synchronizations;
+  return s;
+}
+
+void GpuSimBackend::reset_stats() { device_.reset_stats(); }
+
+}  // namespace dqmc::backend

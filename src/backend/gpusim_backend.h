@@ -1,0 +1,53 @@
+// GpuSimBackend: the ComputeBackend over the simulated GPU. Every compute
+// call enqueues on the device's single FIFO stream and bills the
+// virtual-clock cost model (async() == true: arguments must outlive the
+// stream until it next drains). Arithmetic runs with the same host kernels
+// as HostBackend, so identical call sequences stay bitwise identical.
+#pragma once
+
+#include "backend/backend.h"
+#include "gpusim/device.h"
+
+namespace dqmc::backend {
+
+class GpuSimBackend final : public ComputeBackend {
+ public:
+  explicit GpuSimBackend(
+      gpu::DeviceSpec spec = gpu::DeviceSpec::tesla_c2050());
+
+  BackendKind kind() const override { return BackendKind::kGpuSim; }
+  bool async() const override { return true; }
+
+  std::unique_ptr<MatrixHandle> alloc_matrix(idx rows, idx cols) override;
+  std::unique_ptr<VectorHandle> alloc_vector(idx n) override;
+
+  void upload(ConstMatrixView host, MatrixHandle& dst) override;
+  void download(const MatrixHandle& src, MatrixView host) override;
+  void upload_vector(const double* host, idx n, VectorHandle& dst) override;
+  void upload_async(ConstMatrixView host, MatrixHandle& dst) override;
+  void upload_vector_async(const double* host, idx n,
+                           VectorHandle& dst) override;
+
+  void copy(const MatrixHandle& src, MatrixHandle& dst) override;
+  void gemm(Trans transa, Trans transb, double alpha, const MatrixHandle& a,
+            const MatrixHandle& b, double beta, MatrixHandle& c) override;
+  void scale_rows(const VectorHandle& v, const MatrixHandle& src,
+                  MatrixHandle& dst, bool fused = true) override;
+  void scale_cols(const VectorHandle& v, const MatrixHandle& src,
+                  MatrixHandle& dst) override;
+  void wrap_scale(const VectorHandle& v, MatrixHandle& g) override;
+
+  void synchronize() override;
+
+  BackendStats stats() const override;
+  void reset_stats() override;
+
+  /// The underlying simulated device (cost-model spec, raw device API).
+  gpu::Device& device() { return device_; }
+  const gpu::Device& device() const { return device_; }
+
+ private:
+  gpu::Device device_;
+};
+
+}  // namespace dqmc::backend

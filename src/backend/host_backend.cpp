@@ -1,0 +1,175 @@
+#include "backend/host_backend.h"
+
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "linalg/diag.h"
+
+namespace dqmc::backend {
+
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class HostMatrix final : public MatrixHandle {
+ public:
+  HostMatrix(idx rows, idx cols)
+      : MatrixHandle(BackendKind::kHost, rows, cols), storage(rows, cols) {}
+  Matrix storage;
+};
+
+class HostVector final : public VectorHandle {
+ public:
+  explicit HostVector(idx n)
+      : VectorHandle(BackendKind::kHost, n), storage(n) {}
+  Vector storage;
+};
+
+Matrix& as(MatrixHandle& h) {
+  DQMC_CHECK_MSG(h.kind() == BackendKind::kHost,
+                 "matrix handle belongs to a different backend");
+  return static_cast<HostMatrix&>(h).storage;
+}
+
+const Matrix& as(const MatrixHandle& h) {
+  DQMC_CHECK_MSG(h.kind() == BackendKind::kHost,
+                 "matrix handle belongs to a different backend");
+  return static_cast<const HostMatrix&>(h).storage;
+}
+
+Vector& as(VectorHandle& h) {
+  DQMC_CHECK_MSG(h.kind() == BackendKind::kHost,
+                 "vector handle belongs to a different backend");
+  return static_cast<HostVector&>(h).storage;
+}
+
+const Vector& as(const VectorHandle& h) {
+  DQMC_CHECK_MSG(h.kind() == BackendKind::kHost,
+                 "vector handle belongs to a different backend");
+  return static_cast<const HostVector&>(h).storage;
+}
+
+}  // namespace
+
+std::unique_ptr<MatrixHandle> HostBackend::alloc_matrix(idx rows, idx cols) {
+  DQMC_CHECK(rows >= 0 && cols >= 0);
+  return std::make_unique<HostMatrix>(rows, cols);
+}
+
+std::unique_ptr<VectorHandle> HostBackend::alloc_vector(idx n) {
+  DQMC_CHECK(n >= 0);
+  return std::make_unique<HostVector>(n);
+}
+
+void HostBackend::account_compute(double seconds) {
+  std::lock_guard lock(stats_mutex_);
+  stats_.compute_seconds += seconds;
+  stats_.kernel_launches += 1;
+}
+
+void HostBackend::account_transfer(double bytes, double seconds, bool h2d) {
+  std::lock_guard lock(stats_mutex_);
+  stats_.transfer_seconds += seconds;
+  stats_.transfers += 1;
+  (h2d ? stats_.bytes_h2d : stats_.bytes_d2h) += bytes;
+}
+
+void HostBackend::upload(ConstMatrixView host, MatrixHandle& dst) {
+  Matrix& d = as(dst);
+  DQMC_CHECK(host.rows() == d.rows() && host.cols() == d.cols());
+  Stopwatch watch;
+  linalg::copy(host, d);
+  account_transfer(dst.bytes(), watch.seconds(), /*h2d=*/true);
+}
+
+void HostBackend::download(const MatrixHandle& src, MatrixView host) {
+  const Matrix& s = as(src);
+  DQMC_CHECK(host.rows() == s.rows() && host.cols() == s.cols());
+  Stopwatch watch;
+  linalg::copy(s, host);
+  account_transfer(src.bytes(), watch.seconds(), /*h2d=*/false);
+}
+
+void HostBackend::upload_vector(const double* host, idx n, VectorHandle& dst) {
+  DQMC_CHECK(n == dst.size());
+  Stopwatch watch;
+  std::memcpy(as(dst).data(), host,
+              sizeof(double) * static_cast<std::size_t>(n));
+  account_transfer(dst.bytes(), watch.seconds(), /*h2d=*/true);
+}
+
+void HostBackend::upload_async(ConstMatrixView host, MatrixHandle& dst) {
+  // Synchronous backend: the async contract degenerates to a direct copy.
+  upload(host, dst);
+}
+
+void HostBackend::upload_vector_async(const double* host, idx n,
+                                      VectorHandle& dst) {
+  upload_vector(host, n, dst);
+}
+
+void HostBackend::copy(const MatrixHandle& src, MatrixHandle& dst) {
+  const Matrix& s = as(src);
+  Matrix& d = as(dst);
+  DQMC_CHECK(s.rows() == d.rows() && s.cols() == d.cols());
+  Stopwatch watch;
+  linalg::copy(s, d);
+  account_compute(watch.seconds());
+}
+
+void HostBackend::gemm(Trans transa, Trans transb, double alpha,
+                       const MatrixHandle& a, const MatrixHandle& b,
+                       double beta, MatrixHandle& c) {
+  Stopwatch watch;
+  linalg::gemm(transa, transb, alpha, as(a), as(b), beta, as(c));
+  account_compute(watch.seconds());
+}
+
+void HostBackend::scale_rows(const VectorHandle& v, const MatrixHandle& src,
+                             MatrixHandle& dst, bool /*fused*/) {
+  const Matrix& s = as(src);
+  Matrix& d = as(dst);
+  DQMC_CHECK(v.size() == s.rows());
+  DQMC_CHECK(s.rows() == d.rows() && s.cols() == d.cols());
+  Stopwatch watch;
+  linalg::scale_rows_into(as(v).data(), s, d);
+  account_compute(watch.seconds());
+}
+
+void HostBackend::scale_cols(const VectorHandle& v, const MatrixHandle& src,
+                             MatrixHandle& dst) {
+  const Matrix& s = as(src);
+  Matrix& d = as(dst);
+  DQMC_CHECK(v.size() == s.cols());
+  DQMC_CHECK(s.rows() == d.rows() && s.cols() == d.cols());
+  Stopwatch watch;
+  if (&s != &d) linalg::copy(s, d);
+  linalg::scale_cols(as(v).data(), d);
+  account_compute(watch.seconds());
+}
+
+void HostBackend::wrap_scale(const VectorHandle& v, MatrixHandle& g) {
+  Matrix& m = as(g);
+  DQMC_CHECK(v.size() == m.rows() && m.rows() == m.cols());
+  Stopwatch watch;
+  linalg::scale_rows_cols_inv(as(v).data(), as(v).data(), m);
+  account_compute(watch.seconds());
+}
+
+void HostBackend::synchronize() {
+  std::lock_guard lock(stats_mutex_);
+  stats_.synchronizations += 1;
+}
+
+BackendStats HostBackend::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+void HostBackend::reset_stats() {
+  std::lock_guard lock(stats_mutex_);
+  stats_ = BackendStats{};
+}
+
+}  // namespace dqmc::backend

@@ -1,0 +1,53 @@
+// HostBackend: the ComputeBackend that runs every operation synchronously
+// on the calling thread with the library's own kernels — which themselves
+// fan out over the task runtime (threaded GEMM, parallel fringes). Handles
+// own plain linalg storage; upload/download are deep copies so the
+// ownership rules match the async backends exactly.
+#pragma once
+
+#include <mutex>
+
+#include "backend/backend.h"
+
+namespace dqmc::backend {
+
+class HostBackend final : public ComputeBackend {
+ public:
+  HostBackend() = default;
+
+  BackendKind kind() const override { return BackendKind::kHost; }
+  bool async() const override { return false; }
+
+  std::unique_ptr<MatrixHandle> alloc_matrix(idx rows, idx cols) override;
+  std::unique_ptr<VectorHandle> alloc_vector(idx n) override;
+
+  void upload(ConstMatrixView host, MatrixHandle& dst) override;
+  void download(const MatrixHandle& src, MatrixView host) override;
+  void upload_vector(const double* host, idx n, VectorHandle& dst) override;
+  void upload_async(ConstMatrixView host, MatrixHandle& dst) override;
+  void upload_vector_async(const double* host, idx n,
+                           VectorHandle& dst) override;
+
+  void copy(const MatrixHandle& src, MatrixHandle& dst) override;
+  void gemm(Trans transa, Trans transb, double alpha, const MatrixHandle& a,
+            const MatrixHandle& b, double beta, MatrixHandle& c) override;
+  void scale_rows(const VectorHandle& v, const MatrixHandle& src,
+                  MatrixHandle& dst, bool fused = true) override;
+  void scale_cols(const VectorHandle& v, const MatrixHandle& src,
+                  MatrixHandle& dst) override;
+  void wrap_scale(const VectorHandle& v, MatrixHandle& g) override;
+
+  void synchronize() override;
+
+  BackendStats stats() const override;
+  void reset_stats() override;
+
+ private:
+  void account_compute(double seconds);
+  void account_transfer(double bytes, double seconds, bool h2d);
+
+  mutable std::mutex stats_mutex_;
+  BackendStats stats_;
+};
+
+}  // namespace dqmc::backend

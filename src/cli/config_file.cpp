@@ -92,7 +92,7 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
       "slices", "L", "warmup", "nwarm", "sweeps", "npass",
       "measure_interval", "measure_slice_interval", "measure_dynamic_interval",
       "bins", "seed",
-      "algorithm", "cluster_size", "north", "delay_rank",
+      "algorithm", "cluster_size", "north", "delay_rank", "backend",
       "gpu_clustering", "gpu_wrapping", "checkpoint_in", "checkpoint_out"};
   for (const auto& [key, value] : file.entries()) {
     DQMC_CHECK_MSG(kKnown.count(key) > 0, "unknown config key: " + key);
@@ -129,8 +129,15 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
   cfg.engine.cluster_size =
       file.get_long("cluster_size", file.get_long("north", 10));
   cfg.engine.delay_rank = file.get_long("delay_rank", 32);
-  cfg.engine.gpu_clustering = file.get_long("gpu_clustering", 0) != 0;
-  cfg.engine.gpu_wrapping = file.get_long("gpu_wrapping", 0) != 0;
+  // "backend = host|gpusim" selects the compute backend. The pre-backend
+  // keys gpu_clustering / gpu_wrapping are kept as deprecated aliases:
+  // either one non-zero maps to backend = gpusim.
+  if (file.has("backend")) {
+    cfg.engine.backend = backend::backend_kind_from_string(file.get("backend", "host"));
+  } else if (file.get_long("gpu_clustering", 0) != 0 ||
+             file.get_long("gpu_wrapping", 0) != 0) {
+    cfg.engine.backend = backend::BackendKind::kGpuSim;
+  }
   cfg.checkpoint_in = file.get("checkpoint_in", "");
   cfg.checkpoint_out = file.get("checkpoint_out", "");
   return cfg;

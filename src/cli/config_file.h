@@ -36,7 +36,9 @@ class ConfigFile {
 ///   warmup (or nwarm), sweeps (or npass), measure_interval,
 ///   measure_slice_interval, bins, seed,
 ///   algorithm (qrp | prepivot), cluster_size (or north), delay_rank,
-///   gpu_clustering, gpu_wrapping (0/1)
+///   backend (host | gpusim)
+/// gpu_clustering / gpu_wrapping (0/1) are accepted as deprecated aliases:
+/// either one non-zero selects backend = gpusim.
 /// Unknown keys throw, so typos are caught.
 core::SimulationConfig simulation_config_from(const ConfigFile& file);
 

@@ -18,8 +18,28 @@ ClusterStore::ClusterStore(const BMatrixFactory& factory, const HSField& field,
     v.assign(static_cast<std::size_t>(num_clusters_), Matrix());
 }
 
+ClusterStore::~ClusterStore() {
+  // Drain a deferred rebuild before the storage it writes goes away. The
+  // group wait may rethrow a captured task error; destruction must not.
+  try {
+    materialize();
+  } catch (...) {
+  }
+}
+
 idx ClusterStore::cluster_end(idx c) const {
   return std::min(field_.slices(), (c + 1) * cluster_size_);
+}
+
+void ClusterStore::attach_backend(backend::BackendBChain* up,
+                                  backend::BackendBChain* dn) {
+  DQMC_CHECK_MSG((up == nullptr) == (dn == nullptr),
+                 "attach_backend needs both spin chains or neither");
+  if (up) {
+    DQMC_CHECK(up->n() == factory_.n() && dn->n() == factory_.n());
+  }
+  chain_[0] = up;
+  chain_[1] = dn;
 }
 
 Matrix ClusterStore::cpu_cluster_product(Spin s, idx c) const {
@@ -34,23 +54,22 @@ Matrix ClusterStore::cpu_cluster_product(Spin s, idx c) const {
   return prod;
 }
 
-void ClusterStore::rebuild(idx c, Profiler* prof) {
-  DQMC_CHECK(c >= 0 && c < num_clusters_);
-  ScopedPhase phase(prof, Phase::kClustering);
+void ClusterStore::rebuild_now(idx c) {
   obs::TraceSpan span("cluster_rebuild");
   span.arg("cluster", static_cast<double>(c));
   Stopwatch watch;
   for (Spin s : hubbard::kSpins) {
+    const int si = spin_index(s);
     Matrix result;
-    if (gpu_) {
+    if (chain_[si]) {
       std::vector<linalg::Vector> vs;
       for (idx l = cluster_begin(c); l < cluster_end(c); ++l)
         vs.push_back(factory_.v_diagonal(field_.slice(l), s));
-      result = gpu_->cluster_product(vs);
+      result = chain_[si]->cluster_product(vs);
     } else {
       result = cpu_cluster_product(s, c);
     }
-    clusters_[spin_index(s)][static_cast<std::size_t>(c)] = std::move(result);
+    clusters_[si][static_cast<std::size_t>(c)] = std::move(result);
   }
   obs::MetricsRegistry& reg = obs::metrics();
   if (reg.enabled()) {
@@ -66,17 +85,80 @@ void ClusterStore::rebuild(idx c, Profiler* prof) {
   }
 }
 
+void ClusterStore::rebuild(idx c, Profiler* prof) {
+  DQMC_CHECK(c >= 0 && c < num_clusters_);
+  materialize();
+  ScopedPhase phase(prof, Phase::kClustering);
+  rebuild_now(c);
+}
+
 void ClusterStore::rebuild_all(Profiler* prof) {
   for (idx c = 0; c < num_clusters_; ++c) rebuild(c, prof);
 }
 
-std::vector<const Matrix*> ClusterStore::rotation(Spin s, idx start) const {
+void ClusterStore::rebuild_async(idx c) {
+  DQMC_CHECK(c >= 0 && c < num_clusters_);
+  materialize();
+  std::lock_guard lock(pending_mutex_);
+  pending_cluster_.store(c, std::memory_order_release);
+  pending_group_ = std::make_shared<par::TaskGroup>();
+  pending_group_->run([this, c] {
+    Stopwatch watch;
+    rebuild_now(c);
+    std::lock_guard plock(profile_mutex_);
+    deferred_seconds_ += watch.seconds();
+  });
+}
+
+void ClusterStore::materialize() {
+  std::shared_ptr<par::TaskGroup> group;
+  {
+    std::lock_guard lock(pending_mutex_);
+    group = pending_group_;
+  }
+  if (!group) return;
+  // Wait WITHOUT holding pending_mutex_: the wait helps execute queued
+  // tasks, and one of those may call back into this store (the other spin's
+  // stratification reaching the pending factor).
+  group->wait();
+  std::lock_guard lock(pending_mutex_);
+  if (pending_group_ == group) {
+    pending_group_.reset();
+    pending_cluster_.store(-1, std::memory_order_release);
+  }
+}
+
+void ClusterStore::drain_deferred_profile(Profiler* prof) {
+  double seconds = 0.0;
+  {
+    std::lock_guard lock(profile_mutex_);
+    std::swap(seconds, deferred_seconds_);
+  }
+  if (prof && seconds > 0.0) prof->add(Phase::kClustering, seconds);
+}
+
+const Matrix& ClusterStore::cluster(Spin s, idx c) {
+  DQMC_CHECK(c >= 0 && c < num_clusters_);
+  if (pending_cluster_.load(std::memory_order_acquire) == c) materialize();
+  return clusters_[spin_index(s)][static_cast<std::size_t>(c)];
+}
+
+const Matrix& ClusterStore::factor(Spin s, idx start, idx i) {
+  const idx c = (start + i) % num_clusters_;
+  if (pending_cluster_.load(std::memory_order_acquire) == c) materialize();
+  const Matrix& m = clusters_[spin_index(s)][static_cast<std::size_t>(c)];
+  DQMC_CHECK_MSG(!m.empty(), "cluster not built; call rebuild_all first");
+  return m;
+}
+
+std::vector<const Matrix*> ClusterStore::rotation(Spin s, idx start) {
   DQMC_CHECK(start >= 0 && start < num_clusters_);
+  materialize();
   std::vector<const Matrix*> order;
   order.reserve(static_cast<std::size_t>(num_clusters_));
   for (idx i = 0; i < num_clusters_; ++i) {
     const idx c = (start + i) % num_clusters_;
-    const Matrix& m = cluster(s, c);
+    const Matrix& m = clusters_[spin_index(s)][static_cast<std::size_t>(c)];
     DQMC_CHECK_MSG(!m.empty(), "cluster not built; call rebuild_all first");
     order.push_back(&m);
   }

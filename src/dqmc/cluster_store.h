@@ -4,16 +4,24 @@
 // Bhat_c = B_{ck+k-1} ... B_{ck} (per spin), cutting the number of graded QR
 // steps by k. The clusters are CACHED: a full sweep only changes the slices
 // of one cluster at a time, so only that cluster is rebuilt (the paper's
-// recycling optimization, eq. (5)). Optionally the products are computed on
-// the simulated GPU (Section VI-A).
+// recycling optimization, eq. (5)). With a backend chain attached the
+// products are computed through the ComputeBackend (Section VI-A), and
+// rebuild_async defers the work to a task-runtime task that overlaps the
+// caller's stratification — the paper's CPU/GPU pipelining: the rebuilt
+// cluster is the LAST factor of the next rotation, so the graded QR of the
+// other factors proceeds while the product is still being formed.
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "backend/bchain.h"
 #include "common/profiler.h"
 #include "dqmc/hs_field.h"
-#include "gpusim/chain.h"
 #include "hubbard/bmatrix.h"
+#include "parallel/task_runtime.h"
 
 namespace dqmc::core {
 
@@ -29,6 +37,7 @@ class ClusterStore {
   /// retained; both must outlive the store.
   ClusterStore(const BMatrixFactory& factory, const HSField& field,
                idx cluster_size);
+  ~ClusterStore();
 
   idx num_clusters() const { return num_clusters_; }
   idx cluster_size() const { return cluster_size_; }
@@ -39,34 +48,64 @@ class ClusterStore {
   /// Cluster containing slice s.
   idx cluster_of(idx s) const { return s / cluster_size_; }
 
-  /// Offload cluster products to a simulated GPU (B resident on device).
-  /// The chain must wrap the same B as `factory`. Null disables offload.
-  void attach_gpu(gpu::GpuBChain* chain) { gpu_ = chain; }
-  bool gpu_attached() const { return gpu_ != nullptr; }
+  /// Route cluster products through per-spin backend chains (B resident on
+  /// the backend). Both chains must wrap the same B as `factory` and must
+  /// outlive the store; nulls disable the backend path.
+  void attach_backend(backend::BackendBChain* up, backend::BackendBChain* dn);
+  bool backend_attached() const { return chain_[0] != nullptr; }
 
-  /// Recompute cluster c for both spins from the current field.
+  /// Recompute cluster c for both spins from the current field (blocking).
   void rebuild(idx c, Profiler* prof = nullptr);
   /// Recompute everything (initialization and after global field changes).
   void rebuild_all(Profiler* prof = nullptr);
 
-  const Matrix& cluster(Spin s, idx c) const {
-    return clusters_[spin_index(s)][static_cast<std::size_t>(c)];
-  }
+  /// Deferred rebuild: the products are computed by a task-runtime task so
+  /// the caller's next stratification overlaps the rebuild. Readers of
+  /// cluster c (factor/rotation/cluster) block until the task lands; its
+  /// wall time is billed through drain_deferred_profile().
+  void rebuild_async(idx c);
+  /// Block until a pending rebuild_async has landed. Thread-safe; a no-op
+  /// when nothing is pending.
+  void materialize();
+  /// Fold Phase::kClustering wall time recorded by deferred rebuilds into
+  /// `prof` (call from the profiler-owning thread).
+  void drain_deferred_profile(Profiler* prof);
+
+  /// Cluster product Bhat_c (materializes a pending rebuild of c first).
+  const Matrix& cluster(Spin s, idx c);
+
+  /// Factor i (rightmost-first) of the rotation starting at `start`:
+  /// Bhat_{(start+i) mod m}. Thread-safe against a pending rebuild — this
+  /// is the lazy access the stratification provider uses.
+  const Matrix& factor(Spin s, idx start, idx i);
 
   /// Factor sequence for the Green's function at the boundary BEFORE
   /// cluster `start`: rightmost-first order
   /// [Bhat_start, Bhat_{start+1}, ..., Bhat_{start-1}] (cyclic).
-  std::vector<const Matrix*> rotation(Spin s, idx start) const;
+  /// Materializes any pending rebuild up front.
+  std::vector<const Matrix*> rotation(Spin s, idx start);
 
  private:
   Matrix cpu_cluster_product(Spin s, idx c) const;
+  /// The old synchronous rebuild body (no profiler bracket): both spins,
+  /// metrics included. Safe to run off-thread.
+  void rebuild_now(idx c);
 
   const BMatrixFactory& factory_;
   const HSField& field_;
   idx cluster_size_;
   idx num_clusters_;
-  gpu::GpuBChain* gpu_ = nullptr;
+  backend::BackendBChain* chain_[2] = {nullptr, nullptr};
   std::vector<Matrix> clusters_[2];  // [spin][cluster]
+
+  // Deferred-rebuild state. pending_cluster_ is -1 when nothing is in
+  // flight; materialize() never holds pending_mutex_ across the group wait
+  // (waiters may help-execute unrelated tasks that re-enter the store).
+  std::mutex pending_mutex_;
+  std::shared_ptr<par::TaskGroup> pending_group_;
+  std::atomic<idx> pending_cluster_{-1};
+  std::mutex profile_mutex_;
+  double deferred_seconds_ = 0.0;
 };
 
 }  // namespace dqmc::core

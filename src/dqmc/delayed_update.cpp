@@ -17,6 +17,7 @@ void DelayedGreens::reset(Matrix g) {
   DQMC_CHECK(g.rows() == n_ && g.cols() == n_);
   g_ = std::move(g);
   filled_ = 0;
+  ++revision_;
 }
 
 double DelayedGreens::diag(idx i) const {
@@ -54,6 +55,7 @@ void DelayedGreens::accept(double coeff, idx i) {
   // Fold the -coeff into the u column so the flush is a plain GEMM.
   linalg::scal(n_, -coeff, ucol);
   ++filled_;
+  ++revision_;
 }
 
 Matrix& DelayedGreens::flush(Profiler* prof) {

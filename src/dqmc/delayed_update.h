@@ -23,6 +23,13 @@ class DelayedGreens {
   idx max_rank() const { return max_rank_; }
   idx pending() const { return filled_; }
 
+  /// Bumped whenever the represented G changes VALUE: on reset() and every
+  /// accept(). flush() only changes the representation (folds pending terms
+  /// into the base), so it leaves the revision alone — callers holding a
+  /// copy of a flushed G can use an unchanged revision to prove the copy is
+  /// still current (the backend wrap skips re-uploading a resident G).
+  std::uint64_t revision() const { return revision_; }
+
   /// Replace the base matrix and drop any pending corrections.
   void reset(Matrix g);
 
@@ -51,6 +58,7 @@ class DelayedGreens {
 
  private:
   idx n_, max_rank_, filled_ = 0;
+  std::uint64_t revision_ = 0;
   Matrix g_;
   Matrix u_;  // n x max_rank
   Matrix w_;  // n x max_rank

@@ -23,23 +23,21 @@ DqmcEngine::DqmcEngine(const Lattice& lattice, const ModelParams& params,
       factory_(lattice, params),
       field_(params.slices, lattice.num_sites()),
       rng_(seed),
+      backend_(backend::make_backend(config.backend)),
+      chains_{std::make_unique<backend::BackendBChain>(*backend_, factory_.b(),
+                                                       factory_.b_inv()),
+              std::make_unique<backend::BackendBChain>(*backend_, factory_.b(),
+                                                       factory_.b_inv())},
       clusters_(factory_, field_, config.cluster_size),
       strat_{StratificationEngine(factory_.n(), config.algorithm,
                                   config.qr_block),
              StratificationEngine(factory_.n(), config.algorithm,
                                   config.qr_block)},
       delayed_{DelayedGreens(factory_.n(), config.delay_rank),
-               DelayedGreens(factory_.n(), config.delay_rank)},
-      wrap_work_{linalg::Matrix(factory_.n(), factory_.n()),
-                 linalg::Matrix(factory_.n(), factory_.n())} {
+               DelayedGreens(factory_.n(), config.delay_rank)} {
   params_.validate();
   config_.validate();
-  if (config_.gpu_clustering || config_.gpu_wrapping) {
-    device_ = std::make_unique<gpu::Device>();
-    gpu_chain_ = std::make_unique<gpu::GpuBChain>(*device_, factory_.b(),
-                                                  factory_.b_inv());
-    if (config_.gpu_clustering) clusters_.attach_gpu(gpu_chain_.get());
-  }
+  clusters_.attach_backend(chains_[0].get(), chains_[1].get());
 }
 
 void DqmcEngine::initialize() {
@@ -83,11 +81,19 @@ void DqmcEngine::recompute_greens(idx cluster, bool record_drift) {
   for (Spin s : hubbard::kSpins) {
     const int si = spin_index(s);
     spins.run([this, s, si, cluster, &fresh, &prof] {
-      fresh[si] =
-          strat_[si].compute(clusters_.rotation(s, cluster), &prof[si]);
+      // Lazy factor access: a rebuild_async of the previous cluster is
+      // still in flight, and that cluster is the LAST factor of this
+      // rotation — the graded QR of the other factors overlaps it.
+      fresh[si] = strat_[si].compute(
+          clusters_.num_clusters(),
+          [this, s, cluster](idx i) -> const linalg::Matrix& {
+            return clusters_.factor(s, cluster, i);
+          },
+          &prof[si]);
     });
   }
   spins.wait();
+  clusters_.drain_deferred_profile(&profiler_);
   for (Spin s : hubbard::kSpins) {
     const int si = spin_index(s);
     profiler_.merge(prof[si]);
@@ -133,30 +139,42 @@ const linalg::Matrix& DqmcEngine::greens(Spin s) {
 }
 
 void DqmcEngine::wrap_slice(idx slice) {
-  if (config_.gpu_wrapping) {
-    // The simulated device exposes one in-order command stream; keep the
-    // spin chains sequential on it.
+  if (backend_->async()) {
+    // An asynchronous backend exposes one in-order command stream; keep the
+    // spin chains sequential on it (one submitter, FIFO ordering).
     for (Spin s : hubbard::kSpins) {
-      linalg::Matrix& g = delayed_[spin_index(s)].flush(&profiler_);
+      const int si = spin_index(s);
+      DelayedGreens& dg = delayed_[si];
+      linalg::Matrix& g = dg.flush(&profiler_);
       ScopedPhase phase(&profiler_, Phase::kWrapping);
-      gpu_chain_->wrap(g, factory_.v_diagonal(field_.slice(slice), s));
+      // G is still resident on the device from the previous wrap unless a
+      // Metropolis accept (or a stratification reset) touched it since.
+      const bool resident = wrapped_revision_[si] == dg.revision();
+      chains_[si]->wrap(g, factory_.v_diagonal(field_.slice(slice), s),
+                        /*fused_kernel=*/true, /*host_unchanged=*/resident);
+      wrapped_revision_[si] = dg.revision();
     }
     return;
   }
   // Flush both spins on the sweep thread (the flush profiles into the shared
-  // profiler), then wrap the two chains as concurrent tasks, each with its
-  // own workspace.
+  // profiler), then wrap the two chains as concurrent tasks, each on its own
+  // backend chain (a synchronous backend is thread-safe across handles).
   linalg::Matrix* g[2] = {nullptr, nullptr};
+  bool resident[2] = {false, false};
   for (Spin s : hubbard::kSpins) {
-    g[spin_index(s)] = &delayed_[spin_index(s)].flush(&profiler_);
+    const int si = spin_index(s);
+    g[si] = &delayed_[si].flush(&profiler_);
+    resident[si] = wrapped_revision_[si] == delayed_[si].revision();
+    wrapped_revision_[si] = delayed_[si].revision();
   }
   Profiler prof[2];
   par::TaskGroup spins;
   for (Spin s : hubbard::kSpins) {
     const int si = spin_index(s);
-    spins.run([this, s, si, slice, &g, &prof] {
+    spins.run([this, s, si, slice, &g, &resident, &prof] {
       ScopedPhase phase(&prof[si], Phase::kWrapping);
-      factory_.wrap(field_.slice(slice), s, *g[si], wrap_work_[si]);
+      chains_[si]->wrap(*g[si], factory_.v_diagonal(field_.slice(slice), s),
+                        /*fused_kernel=*/true, /*host_unchanged=*/resident[si]);
     });
   }
   spins.wait();
@@ -207,8 +225,10 @@ SweepStats DqmcEngine::sweep(const SliceHook& on_slice) {
       if (on_slice) on_slice(slice);
     }
     // The slices of cluster c changed: rebuild its cached product so later
-    // stratifications (and the next sweep) see the new field.
-    clusters_.rebuild(c, &profiler_);
+    // stratifications (and the next sweep) see the new field. Deferred to a
+    // task-runtime task — the next cluster's stratification overlaps it
+    // (the rebuilt cluster is the last factor of that rotation).
+    clusters_.rebuild_async(c);
   }
   lifetime_.proposed += stats.proposed;
   lifetime_.accepted += stats.accepted;

@@ -14,14 +14,14 @@
 #include <memory>
 #include <optional>
 
+#include "backend/backend.h"
+#include "backend/bchain.h"
 #include "common/profiler.h"
 #include "dqmc/cluster_store.h"
 #include "dqmc/delayed_update.h"
 #include "dqmc/hs_field.h"
 #include "dqmc/rng.h"
 #include "dqmc/stratification.h"
-#include "gpusim/chain.h"
-#include "gpusim/device.h"
 #include "hubbard/bmatrix.h"
 #include "hubbard/lattice.h"
 
@@ -36,8 +36,11 @@ struct EngineConfig {
   idx cluster_size = 10;  ///< k (= wrap batch l; Section III-B)
   idx delay_rank = 32;    ///< d: pending rank-1 updates before a GEMM flush
   idx qr_block = linalg::kQrBlock;  ///< panel width of the blocked QR
-  bool gpu_clustering = false;  ///< offload cluster products (Section VI-A)
-  bool gpu_wrapping = false;    ///< offload wrapping (Section VI-B)
+  /// Compute backend for the hot path (cluster products, wrapping): kHost
+  /// runs on the task runtime, kGpuSim on the simulated device with its
+  /// virtual-clock cost model (Section VI). Trajectories are bitwise
+  /// identical across backends.
+  backend::BackendKind backend = backend::BackendKind::kHost;
 
   void validate() const;
 };
@@ -96,8 +99,16 @@ class DqmcEngine {
   /// Cumulative acceptance across all sweeps so far.
   const SweepStats& lifetime_stats() const { return lifetime_; }
 
-  /// The simulated GPU device, or null when offload is disabled.
-  gpu::Device* device() { return device_.get(); }
+  /// The compute backend the hot path runs on (always present).
+  backend::ComputeBackend& compute_backend() { return *backend_; }
+  const backend::ComputeBackend& compute_backend() const { return *backend_; }
+
+  /// Wrap uploads elided because G stayed resident on the backend between
+  /// wraps (summed over both spin chains).
+  std::uint64_t wrap_uploads_skipped() const {
+    return chains_[0]->wrap_uploads_skipped() +
+           chains_[1]->wrap_uploads_skipped();
+  }
 
   /// Recompute G for both spins from scratch at the boundary before
   /// cluster `c` (exposed for the accuracy bench, Fig. 2). When
@@ -117,20 +128,23 @@ class DqmcEngine {
   BMatrixFactory factory_;
   HSField field_;
   Rng rng_;
+  // The backend and its per-spin chains are declared BEFORE clusters_: the
+  // store's destructor drains deferred rebuild tasks that still use the
+  // chains, so it must run first (reverse declaration order).
+  std::unique_ptr<backend::ComputeBackend> backend_;
+  std::unique_ptr<backend::BackendBChain> chains_[2];
   ClusterStore clusters_;
-  // Per-spin stratification engines and wrap workspaces: the Up/Down chains
-  // run as concurrent tasks, so each spin owns its scratch state.
+  // Per-spin stratification engines: the Up/Down chains run as concurrent
+  // tasks, so each spin owns its scratch state.
   StratificationEngine strat_[2];
   DelayedGreens delayed_[2];
-  linalg::Matrix wrap_work_[2];
+  // DelayedGreens revision each chain's resident G was downloaded at; lets
+  // wrap_slice skip the upload when no flip touched G since the last wrap.
+  std::uint64_t wrapped_revision_[2] = {~0ull, ~0ull};
   Profiler profiler_;
   SweepStats lifetime_;
   int sign_ = 1;
   bool initialized_ = false;
-
-  // Simulated GPU (only when offload is enabled in the config).
-  std::unique_ptr<gpu::Device> device_;
-  std::unique_ptr<gpu::GpuBChain> gpu_chain_;
 };
 
 }  // namespace dqmc::core

@@ -28,8 +28,7 @@ obs::Json config_json(const SimulationConfig& cfg) {
       .set("cluster_size", cfg.engine.cluster_size)
       .set("delay_rank", cfg.engine.delay_rank)
       .set("qr_block", cfg.engine.qr_block)
-      .set("gpu_clustering", cfg.engine.gpu_clustering)
-      .set("gpu_wrapping", cfg.engine.gpu_wrapping)
+      .set("backend", backend::backend_kind_name(cfg.engine.backend))
       .set("warmup_sweeps", cfg.warmup_sweeps)
       .set("measurement_sweeps", cfg.measurement_sweeps)
       .set("measure_interval", cfg.measure_interval)
@@ -69,6 +68,29 @@ obs::Json metrics_json(const SimulationResults& r) {
   return m;
 }
 
+/// Compute-backend accounting: what the engine hot path cost on its
+/// backend. `device.*` exposes the virtual-timeline view (exposed_wait is
+/// stall time not hidden behind host compute — the pipelining figure of
+/// merit; it is NOT compute + transfer, which would double-count work that
+/// overlapped the host).
+obs::Json backend_json(const SimulationResults& r) {
+  const backend::BackendStats& s = r.backend_stats;
+  return obs::Json::object()
+      .set("name", r.backend_name)
+      .set("compute_seconds", s.compute_seconds)
+      .set("transfer_seconds", s.transfer_seconds)
+      .set("bytes_h2d", s.bytes_h2d)
+      .set("bytes_d2h", s.bytes_d2h)
+      .set("kernel_launches", s.kernel_launches)
+      .set("transfers", s.transfers)
+      .set("synchronizations", s.synchronizations)
+      .set("wrap_uploads_skipped", r.wrap_uploads_skipped)
+      .set("device", obs::Json::object()
+                         .set("exposed_wait_seconds", s.exposed_wait_seconds)
+                         .set("pipeline_seconds", s.pipeline_seconds())
+                         .set("total_seconds", s.total_seconds()));
+}
+
 /// Task-runtime scheduling counters (see docs/PERFORMANCE.md on reading
 /// them: stolen/helped ≪ executed means tasks mostly ran where spawned).
 obs::Json runtime_json() {
@@ -100,6 +122,7 @@ obs::Json run_manifest(const SimulationResults& results) {
       .set("config", config_json(results.config))
       .set("phases", phases_json(results.profiler))
       .set("metrics", metrics_json(results))
+      .set("backend", backend_json(results))
       .set("runtime", runtime_json())
       .set("health", obs::health().json_value())
       .set("trace", obs::Json::object()

@@ -1,14 +1,11 @@
 #include "dqmc/simulation.h"
 
-#include <algorithm>
-#include <future>
 #include <memory>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "dqmc/checkpoint.h"
-#include "parallel/thread_pool.h"
-#include "parallel/topology.h"
+#include "parallel/task_runtime.h"
 
 namespace dqmc::core {
 
@@ -67,9 +64,13 @@ void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
     save_checkpoint_file(config.checkpoint_out, engine);
   }
 
+  engine.compute_backend().synchronize();
   results.sweep_stats = engine.lifetime_stats();
   results.strat_stats = engine.strat_stats();
   results.profiler = engine.profiler();
+  results.backend_name = engine.compute_backend().name();
+  results.backend_stats = engine.compute_backend().stats();
+  results.wrap_uploads_skipped = engine.wrap_uploads_skipped();
   results.elapsed_seconds = watch.seconds();
 }
 
@@ -85,27 +86,21 @@ SimulationResults run_simulation(const SimulationConfig& config,
 SimulationResults run_parallel_simulation(const SimulationConfig& config,
                                           idx chains, int max_workers) {
   DQMC_CHECK_MSG(chains >= 1, "need at least one chain");
+  (void)max_workers;  // scheduling delegated to the shared task runtime
   Stopwatch watch;
-
-  const int workers =
-      std::max(1, std::min<int>(max_workers > 0 ? max_workers
-                                                : par::num_threads(),
-                                static_cast<int>(chains)));
-  par::ThreadPool pool(workers);
 
   std::vector<std::unique_ptr<SimulationResults>> partials(
       static_cast<std::size_t>(chains));
-  std::vector<std::future<void>> futures;
-  futures.reserve(static_cast<std::size_t>(chains));
+  par::TaskGroup group;
   for (idx c = 0; c < chains; ++c) {
-    futures.push_back(pool.submit([&, c] {
+    group.run([&, c] {
       SimulationConfig chain_cfg = config;
       chain_cfg.seed = config.seed + static_cast<std::uint64_t>(c);
       partials[static_cast<std::size_t>(c)] =
           std::make_unique<SimulationResults>(run_simulation(chain_cfg));
-    }));
+    });
   }
-  for (auto& f : futures) f.get();  // rethrows chain failures
+  group.wait();  // rethrows chain failures
 
   // Merge deterministically in chain order.
   SimulationResults merged(config);
@@ -120,6 +115,9 @@ SimulationResults run_parallel_simulation(const SimulationConfig& config,
     merged.strat_stats.steps += p.strat_stats.steps;
     merged.strat_stats.pivot_displacement += p.strat_stats.pivot_displacement;
     merged.profiler.merge(p.profiler);
+    merged.backend_name = p.backend_name;
+    merged.backend_stats += p.backend_stats;
+    merged.wrap_uploads_skipped += p.wrap_uploads_skipped;
   }
   merged.elapsed_seconds = watch.seconds();
   return merged;

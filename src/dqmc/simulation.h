@@ -50,6 +50,12 @@ struct SimulationResults {
   SweepStats sweep_stats;
   StratStats strat_stats;
   Profiler profiler;
+  /// Compute-backend accounting for the engine hot path ("host"/"gpusim";
+  /// summed across chains in run_parallel_simulation).
+  std::string backend_name;
+  backend::BackendStats backend_stats;
+  /// Wrap uploads elided because G stayed resident on the backend.
+  std::uint64_t wrap_uploads_skipped = 0;
   double elapsed_seconds = 0.0;
 
   explicit SimulationResults(const SimulationConfig& cfg)
@@ -74,11 +80,13 @@ void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
                     const ProgressFn& progress = nullptr);
 
 /// Run `chains` statistically independent Markov chains (seeds
-/// config.seed, config.seed+1, ...) concurrently on a thread pool and merge
-/// their accumulators — the trivially parallel axis of DQMC production
-/// runs. Each chain performs the full warmup + measurement schedule, so the
-/// merged result has `chains` x the samples. Deterministic for a fixed
-/// config regardless of the worker count.
+/// config.seed, config.seed+1, ...) concurrently as task-runtime tasks and
+/// merge their accumulators — the trivially parallel axis of DQMC
+/// production runs. Each chain performs the full warmup + measurement
+/// schedule, so the merged result has `chains` x the samples. Deterministic
+/// for a fixed config regardless of the worker count. `max_workers` is
+/// retained for call-site compatibility; scheduling is delegated to the
+/// shared task runtime.
 SimulationResults run_parallel_simulation(const SimulationConfig& config,
                                           idx chains,
                                           int max_workers = 0);

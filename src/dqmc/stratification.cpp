@@ -100,19 +100,20 @@ int chain_det_sign(const std::vector<const Matrix*>& factors,
   return sign_a * sign_u;
 }
 
-Matrix StratificationEngine::compute(const std::vector<const Matrix*>& factors,
+Matrix StratificationEngine::compute(idx count, const FactorProvider& factor,
                                      Profiler* prof) {
   ScopedPhase phase(prof, Phase::kStratification);
   obs::TraceSpan span("greens_eval");
-  span.arg("factors", static_cast<double>(factors.size()));
+  span.arg("factors", static_cast<double>(count));
   Stopwatch watch;
-  DQMC_CHECK_MSG(!factors.empty(), "stratification needs at least one factor");
-  for (const Matrix* f : factors) {
-    DQMC_CHECK(f && f->rows() == n() && f->cols() == n());
-  }
+  DQMC_CHECK_MSG(count > 0, "stratification needs at least one factor");
 
   acc_.reset();
-  for (const Matrix* f : factors) acc_.push(*f);
+  for (idx i = 0; i < count; ++i) {
+    const Matrix& f = factor(i);
+    DQMC_CHECK(f.rows() == n() && f.cols() == n());
+    acc_.push(f);
+  }
 
   // Steps/pivot counters accumulate inside the accumulator across calls;
   // the evaluation count is ours.
@@ -126,6 +127,17 @@ Matrix StratificationEngine::compute(const std::vector<const Matrix*>& factors,
     reg.observe("strat.eval_ms", watch.seconds() * 1e3);
   }
   return g;
+}
+
+Matrix StratificationEngine::compute(const std::vector<const Matrix*>& factors,
+                                     Profiler* prof) {
+  for (const Matrix* f : factors) DQMC_CHECK(f != nullptr);
+  return compute(
+      static_cast<idx>(factors.size()),
+      [&factors](idx i) -> const Matrix& {
+        return *factors[static_cast<std::size_t>(i)];
+      },
+      prof);
 }
 
 Matrix StratificationEngine::compute(const std::vector<Matrix>& factors,

@@ -15,6 +15,7 @@
 //                              updates entirely level-3.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/profiler.h"
@@ -41,6 +42,17 @@ class StratificationEngine {
 
   /// Convenience overload for owned matrices.
   Matrix compute(const std::vector<Matrix>& factors, Profiler* prof = nullptr);
+
+  /// Yields factor i (rightmost-first) on demand; called once per index in
+  /// increasing order.
+  using FactorProvider = std::function<const Matrix&(idx)>;
+
+  /// Lazy-provider overload: factors are requested one at a time as the
+  /// graded accumulation consumes them, so a factor still being produced
+  /// elsewhere (e.g. a cluster product pipelining on the device) only
+  /// blocks when its turn comes — the paper's CPU/GPU overlap.
+  Matrix compute(idx count, const FactorProvider& factor,
+                 Profiler* prof = nullptr);
 
  private:
   GradedAccumulator acc_;

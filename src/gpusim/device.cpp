@@ -1,5 +1,6 @@
 #include "gpusim/device.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "linalg/diag.h"
@@ -8,7 +9,7 @@
 
 namespace dqmc::gpu {
 
-Device::Device(DeviceSpec spec) : spec_(spec), stream_(1) {}
+Device::Device(DeviceSpec spec) : spec_(spec) {}
 
 Device::~Device() {
   // Drain outstanding work before tearing down storage the tasks reference.
@@ -36,19 +37,35 @@ void Device::submit_traced(const char* kernel, std::function<void()> body) {
   }
 }
 
+void Device::bill_compute(double modeled_seconds, std::uint64_t launches) {
+  const double now = clock_.seconds();
+  std::lock_guard lock(stats_mutex_);
+  stats_.compute_seconds += modeled_seconds;
+  stats_.kernel_launches += launches;
+  device_free_at_ = std::max(device_free_at_, now) + modeled_seconds;
+}
+
 void Device::enqueue_compute(const char* kernel, double modeled_seconds,
                              std::function<void()> body) {
-  {
-    std::lock_guard lock(stats_mutex_);
-    stats_.compute_seconds += modeled_seconds;
-    stats_.kernel_launches += 1;
-  }
+  bill_compute(modeled_seconds, 1);
   obs::MetricsRegistry& reg = obs::metrics();
   if (reg.enabled()) {
     reg.count("gpusim.kernel_launches");
     reg.observe("gpusim.kernel_modeled_ms", modeled_seconds * 1e3);
   }
   submit_traced(kernel, std::move(body));
+}
+
+void Device::drain() {
+  stream_.wait_idle();
+  const double now = clock_.seconds();
+  std::lock_guard lock(stats_mutex_);
+  if (device_free_at_ > now) {
+    stats_.exposed_wait_seconds += device_free_at_ - now;
+  }
+  // The host and device timelines are level again; re-anchor so a second
+  // drain right after this one observes no stall.
+  device_free_at_ = now;
 }
 
 void Device::account_transfer(double bytes, bool h2d) {
@@ -73,23 +90,39 @@ void Device::set_matrix(ConstMatrixView host, DeviceMatrix& dev) {
   // Copy on the calling thread (cublasSetMatrix is host-synchronous),
   // but only after previously enqueued device work that may read the
   // destination has drained.
-  stream_.wait_idle();
+  drain();
   linalg::copy(host, dev.storage_);
 }
 
 void Device::get_matrix(const DeviceMatrix& dev, MatrixView host) {
   DQMC_CHECK(host.rows() == dev.rows() && host.cols() == dev.cols());
   account_transfer(dev.bytes(), /*h2d=*/false);
-  stream_.wait_idle();
+  drain();
   linalg::copy(dev.storage_, host);
 }
 
 void Device::set_vector(const double* host, idx n, DeviceVector& dev) {
   DQMC_CHECK(n == dev.size());
   account_transfer(dev.bytes(), /*h2d=*/true);
-  stream_.wait_idle();
+  drain();
   std::memcpy(dev.storage_.data(), host,
               sizeof(double) * static_cast<std::size_t>(n));
+}
+
+void Device::set_matrix_async(ConstMatrixView host, DeviceMatrix& dev) {
+  DQMC_CHECK(host.rows() == dev.rows() && host.cols() == dev.cols());
+  account_transfer(dev.bytes(), /*h2d=*/true);
+  submit_traced("set_matrix_async",
+                [host, &dev] { linalg::copy(host, dev.storage_); });
+}
+
+void Device::set_vector_async(const double* host, idx n, DeviceVector& dev) {
+  DQMC_CHECK(n == dev.size());
+  account_transfer(dev.bytes(), /*h2d=*/true);
+  submit_traced("set_vector_async", [host, n, &dev] {
+    std::memcpy(dev.storage_.data(), host,
+                sizeof(double) * static_cast<std::size_t>(n));
+  });
 }
 
 void Device::copy(const DeviceMatrix& src, DeviceMatrix& dst) {
@@ -118,12 +151,8 @@ void Device::scale_rows_rowwise(const DeviceVector& v, const DeviceMatrix& src,
   DQMC_CHECK(v.size() == src.rows());
   DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
   const double seconds = spec_.rowwise_scal_seconds(src.rows(), src.cols());
-  {
-    // One accounting entry, rows() modeled launches.
-    std::lock_guard lock(stats_mutex_);
-    stats_.compute_seconds += seconds;
-    stats_.kernel_launches += static_cast<std::uint64_t>(src.rows());
-  }
+  // One accounting entry, rows() modeled launches.
+  bill_compute(seconds, static_cast<std::uint64_t>(src.rows()));
   obs::metrics().count("gpusim.kernel_launches",
                        static_cast<std::uint64_t>(src.rows()));
   submit_traced("scale_rows_rowwise", [&v, &src, &dst] {
@@ -140,11 +169,7 @@ void Device::scale_cols_rowwise(const DeviceVector& v, const DeviceMatrix& src,
   const double seconds =
       static_cast<double>(src.cols()) *
       (spec_.kernel_launch_s + per_col_bytes / (spec_.mem_bandwidth_gbs * 1e9));
-  {
-    std::lock_guard lock(stats_mutex_);
-    stats_.compute_seconds += seconds;
-    stats_.kernel_launches += static_cast<std::uint64_t>(src.cols());
-  }
+  bill_compute(seconds, static_cast<std::uint64_t>(src.cols()));
   obs::metrics().count("gpusim.kernel_launches",
                        static_cast<std::uint64_t>(src.cols()));
   submit_traced("scale_cols_rowwise", [&v, &src, &dst] {
@@ -172,7 +197,11 @@ void Device::wrap_scale_kernel(const DeviceVector& v, DeviceMatrix& g) {
   });
 }
 
-void Device::synchronize() { stream_.wait_idle(); }
+void Device::synchronize() {
+  drain();
+  std::lock_guard lock(stats_mutex_);
+  stats_.synchronizations += 1;
+}
 
 DeviceStats Device::stats() const {
   std::lock_guard lock(stats_mutex_);

@@ -1,6 +1,6 @@
 // The simulated GPU device and its CUBLAS-like command API.
 //
-// Commands execute asynchronously on a single-threaded stream (FIFO order,
+// Commands execute asynchronously on a dedicated stream thread (FIFO order,
 // like operations enqueued on one CUDA stream); get_* calls and
 // synchronize() block the host. Results are computed on the host CPU with
 // the library's own kernels — bit-identical to the CPU path — while a
@@ -8,12 +8,15 @@
 // performance against the virtual clock; see DESIGN.md "Substitutions".
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
 
+#include "common/stopwatch.h"
 #include "gpusim/device_spec.h"
+#include "gpusim/stream.h"
 #include "linalg/blas3.h"
 #include "linalg/matrix.h"
-#include "parallel/thread_pool.h"
 
 namespace dqmc::gpu {
 
@@ -63,8 +66,20 @@ struct DeviceStats {
   double bytes_d2h = 0.0;
   std::uint64_t kernel_launches = 0;
   std::uint64_t transfers = 0;
+  /// Virtual-clock stall the host actually observed at drain points. Device
+  /// compute that finished behind concurrent host work costs nothing here,
+  /// so summing host wall time with exposed_wait_seconds never double-counts
+  /// the overlap (summing with compute_seconds does).
+  double exposed_wait_seconds = 0.0;
+  std::uint64_t synchronizations = 0;
 
+  /// Serial-composition total (every op end to end).
   double total_seconds() const { return compute_seconds + transfer_seconds; }
+  /// What the device adds to host wall time when compute overlaps host
+  /// work: exposed stalls plus host-blocking transfers.
+  double pipeline_seconds() const {
+    return exposed_wait_seconds + transfer_seconds;
+  }
 };
 
 /// LIFETIME CONTRACT: compute methods (gemm, copy, scale_*) enqueue work
@@ -93,6 +108,14 @@ class Device {
   void get_matrix(const DeviceMatrix& dev, MatrixView host);
   /// cublasSetVector: host -> device.
   void set_vector(const double* host, idx n, DeviceVector& dev);
+
+  /// cublasSetMatrixAsync: the copy is enqueued on the stream instead of
+  /// draining it, so it pipelines behind earlier kernels. The host storage
+  /// must stay alive AND unmodified until the stream next drains (same
+  /// contract as device-op arguments).
+  void set_matrix_async(ConstMatrixView host, DeviceMatrix& dev);
+  /// cublasSetVectorAsync, with the same lifetime contract.
+  void set_vector_async(const double* host, idx n, DeviceVector& dev);
 
   /// cublasDcopy on matrices: dst <- src (device-side).
   void copy(const DeviceMatrix& src, DeviceMatrix& dst);
@@ -135,14 +158,25 @@ class Device {
   /// thread's timeline. `kernel` must be a string literal.
   void enqueue_compute(const char* kernel, double modeled_seconds,
                        std::function<void()> body);
+  /// Bill `modeled_seconds` of compute against the virtual timeline:
+  /// the device becomes free at max(free, now) + modeled_seconds.
+  void bill_compute(double modeled_seconds, std::uint64_t launches);
   /// Submit without compute accounting (callers bill stats themselves).
   void submit_traced(const char* kernel, std::function<void()> body);
   void account_transfer(double bytes, bool h2d);
+  /// Drain the stream and bill only the stall the host actually observed:
+  /// exposed_wait += max(0, device_free_at - now), then re-anchor the
+  /// timeline so consecutive drains cost nothing extra.
+  void drain();
 
   DeviceSpec spec_;
-  // Single worker = one CUDA stream: strict FIFO execution.
-  par::ThreadPool stream_;
+  // Dedicated worker = one CUDA stream: strict FIFO execution.
+  StreamThread stream_;
+  // Host wall clock the virtual timeline is anchored to: enqueued work
+  // completes (virtually) at device_free_at_, host "now" is clock_.seconds().
+  Stopwatch clock_;
   mutable std::mutex stats_mutex_;
+  double device_free_at_ = 0.0;
   DeviceStats stats_;
 };
 

@@ -1,0 +1,50 @@
+#include "gpusim/stream.h"
+
+#include "common/error.h"
+#include "obs/trace.h"
+
+namespace dqmc::gpu {
+
+StreamThread::StreamThread() : worker_([this] { run(); }) {}
+
+StreamThread::~StreamThread() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void StreamThread::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    DQMC_CHECK_MSG(!stopping_, "submit() on a stopped StreamThread");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void StreamThread::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void StreamThread::run() {
+  obs::Tracer::global().set_current_thread_name("gpusim-stream");
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_, drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    task();
+    lock.lock();
+    busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace dqmc::gpu

@@ -1,0 +1,44 @@
+// The device command stream: one dedicated thread executing submitted
+// commands in strict FIFO order, modeling a single CUDA stream. Replaces
+// the legacy general-purpose thread pool — the stream never steals, never
+// reorders, and exists for the lifetime of the Device.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace dqmc::gpu {
+
+class StreamThread {
+ public:
+  StreamThread();
+  ~StreamThread();
+
+  StreamThread(const StreamThread&) = delete;
+  StreamThread& operator=(const StreamThread&) = delete;
+
+  /// Enqueue a command; it runs on the stream thread after everything
+  /// submitted before it. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Block until every command submitted so far has executed.
+  void wait_idle();
+
+ private:
+  void run();
+
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  bool busy_ = false;
+  bool stopping_ = false;
+  // Declared last: the worker starts in the constructor and immediately
+  // touches the queue state above, which must already be constructed.
+  std::thread worker_;
+};
+
+}  // namespace dqmc::gpu

@@ -1,0 +1,188 @@
+// BackendBChain: clustering and wrapping through the ComputeBackend seam.
+// Ported from the retired gpusim chain tests, now parameterized over both
+// backends, plus the resident-G upload-skip contract.
+#include "backend/bchain.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "backend/gpusim_backend.h"
+#include "hubbard/bmatrix.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::backend {
+namespace {
+
+using hubbard::BMatrixFactory;
+using hubbard::hs_t;
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using hubbard::Spin;
+using linalg::Matrix;
+using linalg::MatrixRng;
+
+struct ChainFixture : ::testing::TestWithParam<BackendKind> {
+  ChainFixture() : lat(4, 4), factory(lat, params()) {}
+  static ModelParams params() {
+    ModelParams p;
+    p.u = 4.0;
+    p.beta = 2.0;
+    p.slices = 10;
+    return p;
+  }
+  std::vector<hs_t> random_field(std::uint64_t seed) {
+    MatrixRng rng(seed);
+    std::vector<hs_t> h(16);
+    for (auto& x : h) x = rng.uniform() < 0.5 ? hs_t{-1} : hs_t{1};
+    return h;
+  }
+  Lattice lat;
+  BMatrixFactory factory;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ChainFixture,
+                         ::testing::Values(BackendKind::kHost,
+                                           BackendKind::kGpuSim),
+                         [](const auto& info) {
+                           return std::string(backend_kind_name(info.param));
+                         });
+
+TEST_P(ChainFixture, ClusterProductMatchesHostChain) {
+  auto be = make_backend(GetParam());
+  BackendBChain chain(*be, factory.b(), factory.b_inv());
+
+  const int k = 5;
+  std::vector<std::vector<hs_t>> fields;
+  std::vector<linalg::Vector> vs;
+  for (int l = 0; l < k; ++l) {
+    fields.push_back(random_field(200 + l));
+    vs.push_back(factory.v_diagonal(fields.back().data(), Spin::Up));
+  }
+
+  Matrix result = chain.cluster_product(vs, /*fused_kernel=*/true);
+
+  // Host reference: B_{k-1} ... B_0.
+  Matrix host = factory.make_b(fields[0].data(), Spin::Up);
+  for (int l = 1; l < k; ++l) {
+    host = testing::reference_matmul(factory.make_b(fields[l].data(), Spin::Up),
+                                     host);
+  }
+  EXPECT_MATRIX_NEAR(result, host, 1e-11);
+}
+
+TEST_P(ChainFixture, FusedAndRowwiseKernelsGiveSameProduct) {
+  auto be = make_backend(GetParam());
+  BackendBChain chain(*be, factory.b(), factory.b_inv());
+  std::vector<linalg::Vector> vs;
+  for (int l = 0; l < 3; ++l) {
+    auto h = random_field(300 + l);
+    vs.push_back(factory.v_diagonal(h.data(), Spin::Down));
+  }
+  Matrix fused = chain.cluster_product(vs, true);
+  Matrix rowwise = chain.cluster_product(vs, false);
+  EXPECT_MATRIX_NEAR(fused, rowwise, 0.0);
+}
+
+TEST_P(ChainFixture, WrapMatchesHostWrap) {
+  auto be = make_backend(GetParam());
+  BackendBChain chain(*be, factory.b(), factory.b_inv());
+  auto h = random_field(400);
+  MatrixRng rng(401);
+  Matrix g = rng.uniform_matrix(16, 16);
+  Matrix g_host = g;
+  Matrix work(16, 16);
+  factory.wrap(h.data(), Spin::Up, g_host, work);
+
+  chain.wrap(g, factory.v_diagonal(h.data(), Spin::Up), true);
+  // Identical gemm + fused-scaling sequence: bitwise equal.
+  EXPECT_MATRIX_NEAR(g, g_host, 0.0);
+}
+
+TEST_P(ChainFixture, WrapVariantsAgree) {
+  auto be = make_backend(GetParam());
+  BackendBChain chain(*be, factory.b(), factory.b_inv());
+  auto h = random_field(500);
+  MatrixRng rng(501);
+  Matrix g1 = rng.uniform_matrix(16, 16);
+  Matrix g2 = g1;
+  const linalg::Vector v = factory.v_diagonal(h.data(), Spin::Up);
+  chain.wrap(g1, v, true);
+  chain.wrap(g2, v, false);
+  EXPECT_MATRIX_NEAR(g1, g2, 1e-12);
+}
+
+TEST_P(ChainFixture, ResidentGreensSkipsUpload) {
+  auto be = make_backend(GetParam());
+  BackendBChain chain(*be, factory.b(), factory.b_inv());
+  auto h1 = random_field(700);
+  auto h2 = random_field(701);
+  MatrixRng rng(702);
+  Matrix g = rng.uniform_matrix(16, 16);
+  Matrix g_ref = g;
+
+  const linalg::Vector v1 = factory.v_diagonal(h1.data(), Spin::Up);
+  const linalg::Vector v2 = factory.v_diagonal(h2.data(), Spin::Up);
+
+  chain.wrap(g, v1, true);  // first wrap always uploads
+  EXPECT_EQ(chain.wrap_uploads_skipped(), 0u);
+  // The host copy is untouched since the previous wrap downloaded it, so
+  // the resident device copy may stand in for the upload...
+  chain.wrap(g, v2, true, /*host_unchanged=*/true);
+  EXPECT_EQ(chain.wrap_uploads_skipped(), 1u);
+
+  // ...and the result must be bitwise what uploading would have produced.
+  BackendBChain fresh(*be, factory.b(), factory.b_inv());
+  fresh.wrap(g_ref, v1, true);
+  fresh.wrap(g_ref, v2, true, /*host_unchanged=*/false);
+  EXPECT_EQ(fresh.wrap_uploads_skipped(), 0u);
+  EXPECT_MATRIX_NEAR(g, g_ref, 0.0);
+}
+
+TEST_P(ChainFixture, EmptyClusterThrows) {
+  auto be = make_backend(GetParam());
+  BackendBChain chain(*be, factory.b(), factory.b_inv());
+  std::vector<linalg::Vector> vs;
+  EXPECT_THROW(chain.cluster_product(vs), InvalidArgument);
+}
+
+TEST(ChainAccounting, ClusteringAmortizesTransfersBetterThanWrapping) {
+  // The Fig. 9 story: per flop, clustering moves far less PCIe data than
+  // wrapping. Compare modeled transfer seconds per modeled compute second.
+  Lattice lat(4, 4);
+  BMatrixFactory factory(lat, ChainFixture::params());
+  GpuSimBackend gpusim;
+  BackendBChain chain(gpusim, factory.b(), factory.b_inv());
+
+  MatrixRng rng(600);
+  std::vector<linalg::Vector> vs;
+  for (int l = 0; l < 10; ++l) {
+    linalg::Vector v(16);
+    for (idx i = 0; i < 16; ++i) v[i] = rng.uniform(0.7, 1.4);
+    vs.push_back(std::move(v));
+  }
+  gpusim.reset_stats();
+  (void)chain.cluster_product(vs, true);
+  gpusim.synchronize();
+  const BackendStats cluster = gpusim.stats();
+
+  Matrix g = rng.uniform_matrix(16, 16);
+  gpusim.reset_stats();
+  chain.wrap(g, vs[0], true);
+  gpusim.synchronize();
+  const BackendStats wrap = gpusim.stats();
+
+  const double cluster_ratio =
+      cluster.transfer_seconds / cluster.compute_seconds;
+  const double wrap_ratio = wrap.transfer_seconds / wrap.compute_seconds;
+  EXPECT_LT(cluster_ratio, wrap_ratio);
+}
+
+TEST(ChainFlops, FlopCountsArePositiveAndOrdered) {
+  EXPECT_GT(cluster_product_flops(256, 10), wrap_flops(256));
+  EXPECT_GT(wrap_flops(256), 0.0);
+}
+
+}  // namespace
+}  // namespace dqmc::backend

@@ -45,7 +45,7 @@ TEST(SimulationConfigFrom, MapsAllKeys) {
       "warmup = 11\nsweeps = 22\nmeasure_interval = 2\n"
       "measure_slice_interval = 3\nbins = 8\nseed = 77\n"
       "algorithm = qrp\ncluster_size = 7\ndelay_rank = 16\n"
-      "gpu_clustering = 1\ngpu_wrapping = 0\n");
+      "backend = gpusim\n");
   core::SimulationConfig sim = simulation_config_from(cfg);
   EXPECT_EQ(sim.lx, 6);
   EXPECT_EQ(sim.ly, 4);
@@ -65,8 +65,31 @@ TEST(SimulationConfigFrom, MapsAllKeys) {
   EXPECT_EQ(sim.engine.algorithm, core::StratAlgorithm::kQRP);
   EXPECT_EQ(sim.engine.cluster_size, 7);
   EXPECT_EQ(sim.engine.delay_rank, 16);
-  EXPECT_TRUE(sim.engine.gpu_clustering);
-  EXPECT_FALSE(sim.engine.gpu_wrapping);
+  EXPECT_EQ(sim.engine.backend, backend::BackendKind::kGpuSim);
+}
+
+TEST(SimulationConfigFrom, BackendDefaultsToHost) {
+  ConfigFile cfg = ConfigFile::parse("lx = 4\n");
+  EXPECT_EQ(simulation_config_from(cfg).engine.backend,
+            backend::BackendKind::kHost);
+}
+
+TEST(SimulationConfigFrom, DeprecatedGpuKeysSelectGpusim) {
+  ConfigFile on = ConfigFile::parse("gpu_clustering = 1\n");
+  EXPECT_EQ(simulation_config_from(on).engine.backend,
+            backend::BackendKind::kGpuSim);
+  ConfigFile off = ConfigFile::parse("gpu_clustering = 0\ngpu_wrapping = 0\n");
+  EXPECT_EQ(simulation_config_from(off).engine.backend,
+            backend::BackendKind::kHost);
+  // An explicit backend key wins over the deprecated aliases.
+  ConfigFile both = ConfigFile::parse("backend = host\ngpu_wrapping = 1\n");
+  EXPECT_EQ(simulation_config_from(both).engine.backend,
+            backend::BackendKind::kHost);
+}
+
+TEST(SimulationConfigFrom, BadBackendThrows) {
+  ConfigFile cfg = ConfigFile::parse("backend = cuda\n");
+  EXPECT_THROW(simulation_config_from(cfg), InvalidArgument);
 }
 
 TEST(SimulationConfigFrom, QuestAliasesWork) {

@@ -4,10 +4,10 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
-#include "parallel/thread_pool.h"
 
 namespace dqmc::obs {
 namespace {
@@ -73,23 +73,22 @@ TEST(Tracer, RingBufferOverflowDropsOldest) {
   EXPECT_DOUBLE_EQ(doc.at("droppedEvents").number(), 6.0);
 }
 
-TEST(Tracer, ConcurrentEmissionFromThreadPoolWorkers) {
+TEST(Tracer, ConcurrentEmissionFromWorkerThreads) {
   Tracer tracer;
   tracer.set_enabled(true);
   constexpr int kTasks = 16;
   constexpr int kEventsPerTask = 200;
   {
-    par::ThreadPool pool(4);
-    std::vector<std::future<void>> futures;
+    std::vector<std::thread> threads;
     for (int t = 0; t < kTasks; ++t) {
-      futures.push_back(pool.submit([&tracer] {
+      threads.emplace_back([&tracer] {
         for (int i = 0; i < kEventsPerTask; ++i) {
           TraceSpan span(tracer, "work", "pool");
           span.arg("i", static_cast<double>(i));
         }
-      }));
+      });
     }
-    for (auto& f : futures) f.get();
+    for (auto& t : threads) t.join();
   }
   EXPECT_EQ(tracer.recorded(),
             static_cast<std::size_t>(kTasks * kEventsPerTask));

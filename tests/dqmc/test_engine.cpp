@@ -179,12 +179,11 @@ TEST(Engine, QrpAndPrePivotSamplersAgreeStatistically) {
   EXPECT_EQ(differing, 0);
 }
 
-TEST(Engine, GpuOffloadReproducesCpuTrajectory) {
+TEST(Engine, GpusimBackendReproducesHostTrajectoryBitwise) {
   Lattice lat(4, 4);
   EngineConfig cpu_cfg = small_config();
   EngineConfig gpu_cfg = small_config();
-  gpu_cfg.gpu_clustering = true;
-  gpu_cfg.gpu_wrapping = true;
+  gpu_cfg.backend = backend::BackendKind::kGpuSim;
   DqmcEngine e1(lat, small_params(), cpu_cfg, 31);
   DqmcEngine e2(lat, small_params(), gpu_cfg, 31);
   e1.initialize();
@@ -192,9 +191,15 @@ TEST(Engine, GpuOffloadReproducesCpuTrajectory) {
   SweepStats s1 = e1.sweep();
   SweepStats s2 = e2.sweep();
   EXPECT_EQ(s1.accepted, s2.accepted);
-  EXPECT_LE(linalg::relative_difference(e1.greens(hubbard::Spin::Up),
+  // Both backends run the same kernels in the same order: bitwise equal.
+  EXPECT_EQ(linalg::relative_difference(e1.greens(hubbard::Spin::Up),
                                         e2.greens(hubbard::Spin::Up)),
-            1e-12);
+            0.0);
+  // The gpusim backend billed its virtual clock along the way.
+  const backend::BackendStats stats = e2.compute_backend().stats();
+  EXPECT_GT(stats.kernel_launches, 0u);
+  EXPECT_GT(stats.compute_seconds, 0.0);
+  EXPECT_GT(stats.bytes_h2d, 0.0);
 }
 
 TEST(Engine, ProfilerCoversAllPipelinePhases) {

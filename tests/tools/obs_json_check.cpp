@@ -89,6 +89,21 @@ void check_manifest(const Json& m) {
   require(walk(m, &v, "health", "wrap_drift") && v->is_object(),
           "health.wrap_drift is present");
   require(walk(m, &v, "config") && v->is_object(), "config is present");
+  require(walk(m, &v, "config", "backend") && v->is_string(),
+          "config.backend is present");
+  require(walk(m, &v, "backend", "name") && v->is_string(),
+          "backend.name is present");
+  require(walk(m, &v, "backend", "compute_seconds") && v->is_number(),
+          "backend.compute_seconds is present");
+  require(walk(m, &v, "backend", "device") && v->is_object(),
+          "backend.device section is present");
+  if (m.find("backend") != nullptr && m.at("backend").has("device")) {
+    const Json& dev = m.at("backend").at("device");
+    require(dev.has("exposed_wait_seconds"),
+            "backend.device.exposed_wait_seconds is present");
+    require(dev.has("pipeline_seconds"),
+            "backend.device.pipeline_seconds is present");
+  }
   const Json* reg = nullptr;
   require(walk(m, &reg, "metrics", "registry") && reg->is_object(),
           "metrics.registry is present");
