@@ -6,10 +6,18 @@
 // The BM_Sweep pair measures the end-to-end sweep loop both ways — with
 // everything disabled it must sit within noise of the pre-instrumentation
 // baseline; with everything enabled the cost stays a few percent.
+// The fail-point registry (src/fault) carries the same contract: a
+// DQMC_FAILPOINT site costs one relaxed atomic load while nothing is armed
+// — BM_FailpointDisarmed measures the hot-path probe, and
+// BM_FailpointArmedOtherSite shows the armed-registry cost when some OTHER
+// site is armed (the probed site still must not slow down beyond the
+// registry lookup). Compile-out (-DDQMC_NO_FAILPOINTS) is proven by
+// tests/fault/test_failpoint_compileout.
 #include <benchmark/benchmark.h>
 
 #include "common/profiler.h"
 #include "dqmc/simulation.h"
+#include "fault/failpoint.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -73,6 +81,27 @@ void BM_CounterEnabled(benchmark::State& state) {
   obs::metrics().reset();
 }
 BENCHMARK(BM_CounterEnabled);
+
+void BM_FailpointDisarmed(benchmark::State& state) {
+  fault::failpoints().disarm_all();
+  for (auto _ : state) {
+    DQMC_FAILPOINT("bench.site");
+  }
+}
+BENCHMARK(BM_FailpointDisarmed);
+
+void BM_FailpointArmedOtherSite(benchmark::State& state) {
+  // Arm a DIFFERENT site persistently from hit 1; the probed site now pays
+  // the registry lookup on every hit but never fires.
+  fault::failpoints().disarm_all();
+  fault::failpoints().arm("bench.other", 1,
+                          fault::FailPointRegistry::kPersistent);
+  for (auto _ : state) {
+    DQMC_FAILPOINT("bench.site");
+  }
+  fault::failpoints().disarm_all();
+}
+BENCHMARK(BM_FailpointArmedOtherSite);
 
 // End-to-end: one full 4x4 sweep with the observability layer off vs on.
 // The two medians must agree within noise when obs is off (satellite check;

@@ -20,9 +20,20 @@
 // Observability:
 //   --warmup N / --sweeps N / --seed N   override the config-file schedule
 //   --metrics-json FILE   write the run manifest (config, seed, phase
-//                         times, metrics registry, numerical health)
+//                         times, metrics registry, numerical health,
+//                         fault-recovery summary)
 //   --trace-json FILE     record a Chrome-trace timeline of every pipeline
 //                         span; open in chrome://tracing or ui.perfetto.dev
+//
+// Fault tolerance (docs/RELIABILITY.md): the run executes under the walker
+// supervisor — checkpointed segments, retry with backoff, restart from the
+// last checkpoint, gpusim->host degradation — so injected or genuine
+// faults recover without forking the trajectory.
+//   --failpoint SITE:N    arm a deterministic fail point (repeatable via a
+//                         comma-separated spec; see src/fault/failpoint.h);
+//                         config key `failpoints` does the same
+//   --max-retries N       replay attempts per segment before escalating
+//   --checkpoint-interval N   sweeps per recovery checkpoint segment
 #include <cstdio>
 
 #include "cli/args.h"
@@ -30,6 +41,8 @@
 #include "cli/table.h"
 #include "dqmc/run_manifest.h"
 #include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
+#include "fault/failpoint.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -39,11 +52,20 @@ int main(int argc, char** argv) {
   using linalg::idx;
   cli::Args args(argc, argv,
                  {"config", "progress", "warmup", "sweeps", "seed",
-                  "backend", "trace-json", "metrics-json"});
+                  "backend", "trace-json", "metrics-json", "failpoint",
+                  "max-retries", "checkpoint-interval"});
 
   core::SimulationConfig cfg;
+  core::SupervisorPolicy policy;
   if (args.has("config")) {
-    cfg = cli::simulation_config_from(cli::ConfigFile::load(args.get("config", "")));
+    const cli::ConfigFile file = cli::ConfigFile::load(args.get("config", ""));
+    cfg = cli::simulation_config_from(file);
+    policy = cli::supervisor_policy_from(file);
+    // Arming happens HERE, not in the parser: loading a config never has
+    // fail-point side effects unless this driver asks for them.
+    if (file.has("failpoints")) {
+      fault::failpoints().arm_spec(file.get("failpoints", ""));
+    }
   } else {
     std::printf("(no --config given; running the built-in 4x4 demo)\n");
     cfg.lx = cfg.ly = 4;
@@ -64,6 +86,16 @@ int main(int argc, char** argv) {
     cfg.engine.backend =
         backend::backend_kind_from_string(args.get("backend", "host"));
   }
+  if (args.has("failpoint")) {
+    fault::failpoints().arm_spec(args.get("failpoint", ""));
+  }
+  if (args.has("max-retries")) {
+    policy.max_retries = static_cast<int>(args.get_long("max-retries", 3));
+  }
+  if (args.has("checkpoint-interval")) {
+    policy.checkpoint_interval = args.get_long("checkpoint-interval", 25);
+  }
+  policy.validate();
 
   const std::string trace_path = args.get("trace-json", "");
   const std::string metrics_path = args.get("metrics-json", "");
@@ -101,7 +133,8 @@ int main(int argc, char** argv) {
     };
   }
 
-  core::SimulationResults res = core::run_simulation(cfg, progress);
+  core::SimulationResults res =
+      core::run_supervised_simulation(cfg, policy, progress);
   const auto& m = res.measurements;
 
   cli::Table table({"observable", "value"});
@@ -144,6 +177,20 @@ int main(int argc, char** argv) {
               "average sign %.3f, violations %llu\n",
               hs.wrap_drift.max, hs.sortedness.min, hs.average_sign(),
               static_cast<unsigned long long>(hs.violations));
+
+  const fault::FaultReport& fr = res.fault_report;
+  std::printf("fault: %llu observed, %llu retries, %llu restarts, "
+              "%llu degradations, final backend %s%s\n",
+              static_cast<unsigned long long>(fr.faults),
+              static_cast<unsigned long long>(fr.retries),
+              static_cast<unsigned long long>(fr.restarts),
+              static_cast<unsigned long long>(fr.degradations),
+              fr.final_backend.c_str(), fr.degraded ? " (degraded)" : "");
+  for (const fault::FaultEvent& ev : fr.events) {
+    std::printf("  [sweep %lld] %s (%s) -> %s: %s\n",
+                static_cast<long long>(ev.sweep), ev.site.c_str(),
+                ev.fault_class.c_str(), ev.action.c_str(), ev.detail.c_str());
+  }
 
   if (!metrics_path.empty()) {
     core::write_run_manifest(res, metrics_path);

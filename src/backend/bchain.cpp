@@ -1,6 +1,23 @@
 #include "backend/bchain.h"
 
+#include "fault/failpoint.h"
+
 namespace dqmc::backend {
+
+namespace {
+
+// Fail points at the enqueue path: the generic site plus a
+// backend-qualified one, so tests can fault only the gpusim path (a
+// persistent backend.enqueue.gpusim fault goes quiet after the supervisor
+// degrades the chain to the host backend).
+void enqueue_failpoint(const ComputeBackend& backend) {
+  DQMC_FAILPOINT("backend.enqueue");
+  DQMC_FAILPOINT(backend.kind() == BackendKind::kGpuSim
+                     ? "backend.enqueue.gpusim"
+                     : "backend.enqueue.host");
+}
+
+}  // namespace
 
 BackendBChain::BackendBChain(ComputeBackend& backend, ConstMatrixView b,
                              ConstMatrixView binv)
@@ -22,6 +39,7 @@ Matrix BackendBChain::cluster_product(const std::vector<Vector>& vs,
                                       bool fused_kernel) {
   DQMC_CHECK_MSG(!vs.empty(), "cluster_product needs at least one factor");
   for (const Vector& v : vs) DQMC_CHECK(v.size() == n_);
+  enqueue_failpoint(backend_);
 
   // A = diag(vs[0]) * B    (Algorithm 4/5 first step)
   backend_.upload_vector_async(vs[0].data(), n_, *v_);
@@ -46,6 +64,7 @@ void BackendBChain::wrap(MatrixView g, const Vector& v, bool fused_kernel,
                          bool host_unchanged) {
   DQMC_CHECK(g.rows() == n_ && g.cols() == n_);
   DQMC_CHECK(v.size() == n_);
+  enqueue_failpoint(backend_);
 
   if (host_unchanged && g_resident_) {
     // The device copy still holds exactly what the previous wrap downloaded

@@ -93,7 +93,8 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
       "measure_interval", "measure_slice_interval", "measure_dynamic_interval",
       "bins", "seed",
       "algorithm", "cluster_size", "north", "delay_rank", "backend",
-      "gpu_clustering", "gpu_wrapping", "checkpoint_in", "checkpoint_out"};
+      "gpu_clustering", "gpu_wrapping", "checkpoint_in", "checkpoint_out",
+      "failpoints", "max_retries", "checkpoint_interval"};
   for (const auto& [key, value] : file.entries()) {
     DQMC_CHECK_MSG(kKnown.count(key) > 0, "unknown config key: " + key);
     (void)value;
@@ -141,6 +142,16 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
   cfg.checkpoint_in = file.get("checkpoint_in", "");
   cfg.checkpoint_out = file.get("checkpoint_out", "");
   return cfg;
+}
+
+core::SupervisorPolicy supervisor_policy_from(const ConfigFile& file) {
+  core::SupervisorPolicy policy;
+  policy.max_retries =
+      static_cast<int>(file.get_long("max_retries", policy.max_retries));
+  policy.checkpoint_interval =
+      file.get_long("checkpoint_interval", policy.checkpoint_interval);
+  policy.validate();
+  return policy;
 }
 
 }  // namespace dqmc::cli

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
 
 namespace dqmc::cli {
 
@@ -39,7 +40,13 @@ class ConfigFile {
 ///   backend (host | gpusim)
 /// gpu_clustering / gpu_wrapping (0/1) are accepted as deprecated aliases:
 /// either one non-zero selects backend = gpusim.
-/// Unknown keys throw, so typos are caught.
+/// Unknown keys throw, so typos are caught. Fault-tolerance keys:
+///   failpoints (arm spec — the CALLER arms the global registry; parsing
+///   a file never does), max_retries, checkpoint_interval.
 core::SimulationConfig simulation_config_from(const ConfigFile& file);
+
+/// Supervisor knobs from the same file (max_retries,
+/// checkpoint_interval); everything else keeps SupervisorPolicy defaults.
+core::SupervisorPolicy supervisor_policy_from(const ConfigFile& file);
 
 }  // namespace dqmc::cli

@@ -1,33 +1,97 @@
 #include "dqmc/checkpoint.h"
 
+#include <bit>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "fault/failpoint.h"
+
 namespace dqmc::core {
 
 namespace {
-constexpr const char* kMagic = "dqmcpp-checkpoint";
-constexpr int kVersion = 1;
-}  // namespace
 
-void save_checkpoint(std::ostream& out, DqmcEngine& engine) {
-  out << kMagic << " v" << kVersion << "\n";
+constexpr const char* kMagic = "dqmcpp-checkpoint";
+
+// Doubles travel as IEEE-754 bit patterns: 16 lowercase hex digits per
+// value, so the round trip is exact on any platform and the file diffs
+// cleanly.
+void write_matrix_hex(std::ostream& out, const linalg::Matrix& m) {
+  static const char* digits = "0123456789abcdef";
+  const idx total = m.rows() * m.cols();
+  const double* p = m.data();
+  char word[17];
+  word[16] = '\0';
+  for (idx i = 0; i < total; ++i) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(p[i]);
+    for (int d = 15; d >= 0; --d) {
+      word[d] = digits[bits & 0xf];
+      bits >>= 4;
+    }
+    out << word << (((i + 1) % m.rows() == 0) ? '\n' : ' ');
+  }
+}
+
+void read_matrix_hex(std::istream& in, linalg::Matrix& m) {
+  const idx total = m.rows() * m.cols();
+  double* p = m.data();
+  std::string word;
+  for (idx i = 0; i < total; ++i) {
+    in >> word;
+    DQMC_CHECK_MSG(word.size() == 16, "malformed checkpoint greens word");
+    std::uint64_t bits = 0;
+    for (const char c : word) {
+      const int digit = c >= '0' && c <= '9'   ? c - '0'
+                        : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                               : -1;
+      DQMC_CHECK_MSG(digit >= 0, "malformed checkpoint greens word");
+      bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+    }
+    p[i] = std::bit_cast<double>(bits);
+  }
+}
+
+void write_header(std::ostream& out, DqmcEngine& engine, int version) {
+  out << kMagic << " v" << version << "\n";
   out << "slices " << engine.slices() << "\n";
   out << "sites " << engine.n() << "\n";
   std::uint64_t s[4];
   engine.rng().state(s);
   out << "rng " << s[0] << " " << s[1] << " " << s[2] << " " << s[3] << "\n";
   out << "sign " << engine.config_sign() << "\n";
+}
+
+void write_field(std::ostream& out, const HSField& field) {
   out << "field\n";
-  const HSField& field = engine.field();
   for (idx l = 0; l < field.slices(); ++l) {
     for (idx i = 0; i < field.sites(); ++i) {
       out << (field(l, i) > 0 ? '+' : '-');
     }
     out << "\n";
   }
+}
+
+void read_field(std::istream& in, HSField& field, idx slices, idx sites) {
+  for (idx l = 0; l < slices; ++l) {
+    std::string row;
+    in >> row;
+    DQMC_CHECK_MSG(static_cast<idx>(row.size()) == sites,
+                   "malformed checkpoint field row " + std::to_string(l));
+    for (idx i = 0; i < sites; ++i) {
+      const char c = row[static_cast<std::size_t>(i)];
+      DQMC_CHECK_MSG(c == '+' || c == '-', "bad field character");
+      field.set(l, i, c == '+' ? hubbard::hs_t{1} : hubbard::hs_t{-1});
+    }
+  }
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, DqmcEngine& engine) {
+  DQMC_FAILPOINT("checkpoint.save");
+  write_header(out, engine, /*version=*/1);
+  write_field(out, engine.field());
   DQMC_CHECK_MSG(out.good(), "checkpoint write failed");
 }
 
@@ -37,11 +101,35 @@ void save_checkpoint_file(const std::string& path, DqmcEngine& engine) {
   save_checkpoint(out, engine);
 }
 
+void save_checkpoint_mid_sweep(std::ostream& out, DqmcEngine& engine,
+                               idx next_slice) {
+  DQMC_FAILPOINT("checkpoint.save");
+  DQMC_CHECK_MSG(next_slice >= 0 && next_slice <= engine.slices(),
+                 "checkpoint position out of range");
+  write_header(out, engine, /*version=*/2);
+  out << "position " << next_slice << "\n";
+  out << "greens\n";
+  write_matrix_hex(out, engine.greens(Spin::Up));
+  write_matrix_hex(out, engine.greens(Spin::Down));
+  write_field(out, engine.field());
+  DQMC_CHECK_MSG(out.good(), "checkpoint write failed");
+}
+
+void save_checkpoint_mid_sweep_file(const std::string& path,
+                                    DqmcEngine& engine, idx next_slice) {
+  std::ofstream out(path);
+  DQMC_CHECK_MSG(out.good(), "cannot open checkpoint for writing: " + path);
+  save_checkpoint_mid_sweep(out, engine, next_slice);
+}
+
 void load_checkpoint(std::istream& in, DqmcEngine& engine) {
+  DQMC_FAILPOINT("checkpoint.load");
   std::string magic, version;
   in >> magic >> version;
   DQMC_CHECK_MSG(magic == kMagic, "not a dqmcpp checkpoint");
-  DQMC_CHECK_MSG(version == "v1", "unsupported checkpoint version " + version);
+  DQMC_CHECK_MSG(version == "v1" || version == "v2",
+                 "unsupported checkpoint version " + version);
+  const bool mid_sweep = version == "v2";
 
   std::string key;
   idx slices = 0, sites = 0;
@@ -61,26 +149,33 @@ void load_checkpoint(std::istream& in, DqmcEngine& engine) {
   DQMC_CHECK_MSG(key == "sign" && (sign == 1 || sign == -1),
                  "malformed checkpoint (sign)");
 
+  idx position = 0;
+  linalg::Matrix gup, gdn;
+  if (mid_sweep) {
+    in >> key >> position;
+    DQMC_CHECK_MSG(key == "position" && position >= 0 && position <= slices,
+                   "malformed checkpoint (position)");
+    in >> key;
+    DQMC_CHECK_MSG(key == "greens", "malformed checkpoint (greens)");
+    gup.resize(sites, sites);
+    gdn.resize(sites, sites);
+    read_matrix_hex(in, gup);
+    read_matrix_hex(in, gdn);
+  }
+
   in >> key;
   DQMC_CHECK_MSG(key == "field", "malformed checkpoint (field)");
-  HSField& field = engine.field();
-  for (idx l = 0; l < slices; ++l) {
-    std::string row;
-    in >> row;
-    DQMC_CHECK_MSG(static_cast<idx>(row.size()) == sites,
-                   "malformed checkpoint field row " + std::to_string(l));
-    for (idx i = 0; i < sites; ++i) {
-      const char c = row[static_cast<std::size_t>(i)];
-      DQMC_CHECK_MSG(c == '+' || c == '-', "bad field character");
-      field.set(l, i, c == '+' ? hubbard::hs_t{1} : hubbard::hs_t{-1});
-    }
-  }
+  read_field(in, engine.field(), slices, sites);
   DQMC_CHECK_MSG(!in.fail(), "checkpoint read failed");
 
   engine.rng().set_state(s);
-  engine.resume();
-  // resume() recomputes the sign from scratch; it must agree with the
-  // recorded one (a mismatch indicates corruption).
+  if (mid_sweep) {
+    engine.resume_mid_sweep(position, std::move(gup), std::move(gdn));
+  } else {
+    engine.resume();
+  }
+  // Both resume flavors recompute the sign from scratch; it must agree
+  // with the recorded one (a mismatch indicates corruption).
   DQMC_CHECK_MSG(engine.config_sign() == sign,
                  "checkpoint sign mismatch after resume");
 }
@@ -89,6 +184,33 @@ void load_checkpoint_file(const std::string& path, DqmcEngine& engine) {
   std::ifstream in(path);
   DQMC_CHECK_MSG(in.good(), "cannot open checkpoint: " + path);
   load_checkpoint(in, engine);
+}
+
+std::uint64_t trajectory_hash(DqmcEngine& engine) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ull;  // FNV prime
+    }
+  };
+  const HSField& field = engine.field();
+  for (idx l = 0; l < field.slices(); ++l) {
+    for (idx i = 0; i < field.sites(); ++i) {
+      mix(field(l, i) > 0 ? 1u : 0u);
+    }
+  }
+  std::uint64_t s[4];
+  engine.rng().state(s);
+  for (const std::uint64_t w : s) mix(w);
+  mix(engine.config_sign() > 0 ? 1u : 0u);
+  for (const Spin spin : hubbard::kSpins) {
+    const linalg::Matrix& g = engine.greens(spin);
+    const double* p = g.data();
+    const idx total = g.rows() * g.cols();
+    for (idx i = 0; i < total; ++i) mix(std::bit_cast<std::uint64_t>(p[i]));
+  }
+  return h;
 }
 
 }  // namespace dqmc::core

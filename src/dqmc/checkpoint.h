@@ -2,10 +2,18 @@
 // so long runs — the paper's production simulations take 36 hours — can be
 // interrupted and resumed bit-exactly.
 //
-// Format: a small self-describing text header followed by the field as rows
-// of +/- characters. Deterministic and platform-independent.
+// Two formats, both small self-describing text (deterministic and
+// platform-independent; doubles travel as IEEE-754 bit patterns in hex):
+//   v1 — sweep boundary: field + RNG + sign. Loading resume()s the engine
+//        (clusters and G re-derived from the field, which is exact there).
+//   v2 — mid-sweep slice boundary: v1 plus the resume position and the two
+//        wrapped Green's functions. Loading RESTORES G instead of
+//        re-deriving it — re-stratifying mid-cluster would hand the next
+//        Metropolis pass a cleaner G than the interrupted run's wrapped one
+//        and fork the trajectory (see DqmcEngine::resume_mid_sweep).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -13,17 +21,35 @@
 
 namespace dqmc::core {
 
-/// Serialize the engine's Markov state. Does NOT record the model/lattice
-/// configuration — the loader must construct an engine with the same
-/// parameters (a mismatch in dimensions is detected and throws).
+/// Serialize the engine's Markov state at a sweep boundary (v1). Does NOT
+/// record the model/lattice configuration — the loader must construct an
+/// engine with the same parameters (a mismatch in dimensions is detected
+/// and throws). Fail point: "checkpoint.save".
 void save_checkpoint(std::ostream& out, DqmcEngine& engine);
 void save_checkpoint_file(const std::string& path, DqmcEngine& engine);
 
-/// Restore state saved by save_checkpoint into `engine` (same lattice and
-/// slice count required) and resume() it: clusters and Green's functions
-/// are rebuilt, after which sweeps continue the original trajectory
-/// bit-exactly. Throws on format or dimension mismatch.
+/// Serialize mid-sweep state at the boundary after a slice's Metropolis
+/// pass (v2): call from a sweep's SliceHook with `next_slice` = the hook's
+/// slice + 1. The delayed-update buffers are flushed at that point, so the
+/// two wrapped Green's matrices capture them completely.
+void save_checkpoint_mid_sweep(std::ostream& out, DqmcEngine& engine,
+                               idx next_slice);
+void save_checkpoint_mid_sweep_file(const std::string& path,
+                                    DqmcEngine& engine, idx next_slice);
+
+/// Restore state saved by either save_checkpoint flavor into `engine`
+/// (same lattice and slice count required): v1 resume()s, v2
+/// resume_mid_sweep()s — after which sweeps continue the original
+/// trajectory bit-exactly. Throws on format or dimension mismatch.
+/// Fail point: "checkpoint.load".
 void load_checkpoint(std::istream& in, DqmcEngine& engine);
 void load_checkpoint_file(const std::string& path, DqmcEngine& engine);
+
+/// Order-sensitive FNV-1a digest of the engine's Markov state: field, RNG
+/// state, sign, and both flushed Green's functions (bit patterns). Two
+/// engines on the same trajectory agree; any divergence — field flip, RNG
+/// draw, one ULP in G — changes it. Recorded in the run manifest and the
+/// golden regression fixtures.
+std::uint64_t trajectory_hash(DqmcEngine& engine);
 
 }  // namespace dqmc::core

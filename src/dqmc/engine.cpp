@@ -1,6 +1,7 @@
 #include "dqmc/engine.h"
 
 #include <cmath>
+#include <utility>
 
 #include "linalg/lu.h"
 #include "obs/health.h"
@@ -50,6 +51,27 @@ void DqmcEngine::resume() {
   recompute_greens(0);
   sign_ = sign_from_scratch();
   initialized_ = true;
+  resume_slice_ = std::nullopt;
+}
+
+void DqmcEngine::resume_mid_sweep(idx next_slice, linalg::Matrix gup,
+                                  linalg::Matrix gdn) {
+  DQMC_CHECK_MSG(next_slice >= 0 && next_slice <= slices(),
+                 "resume slice out of range");
+  DQMC_CHECK(gup.rows() == n() && gup.cols() == n());
+  DQMC_CHECK(gdn.rows() == n() && gdn.cols() == n());
+  clusters_.rebuild_all(&profiler_);
+  delayed_[0].reset(std::move(gup));
+  delayed_[1].reset(std::move(gdn));
+  // Force the first wrap after the restore to re-upload G (the fresh
+  // backend chains hold nothing); uploading identical bits is the only
+  // difference from the interrupted run's residency fast path.
+  wrapped_revision_[0] = wrapped_revision_[1] = ~0ull;
+  sign_ = sign_from_scratch();
+  initialized_ = true;
+  resume_slice_ = (next_slice > 0 && next_slice < slices())
+                      ? std::optional<idx>(next_slice)
+                      : std::nullopt;
 }
 
 namespace {
@@ -214,11 +236,27 @@ void DqmcEngine::metropolis_slice(idx slice, SweepStats& stats) {
 SweepStats DqmcEngine::sweep(const SliceHook& on_slice) {
   DQMC_CHECK_MSG(initialized_, "call initialize() before sweep()");
   SweepStats stats;
-  for (idx c = 0; c < clusters_.num_clusters(); ++c) {
+  // Mid-sweep restore: finish the interrupted sweep from resume_slice_.
+  // The in-flight cluster keeps the RESTORED wrapped G (no re-stratify —
+  // that's the re-derivation bug this path exists to avoid); a resume
+  // exactly at a cluster boundary rejoins the normal flow below, which
+  // re-stratifies there just as the interrupted run was about to.
+  idx first_cluster = 0;
+  std::optional<idx> resume_at = std::exchange(resume_slice_, std::nullopt);
+  if (resume_at) {
+    while (clusters_.cluster_end(first_cluster) <= *resume_at) ++first_cluster;
+    if (*resume_at == clusters_.cluster_begin(first_cluster)) {
+      resume_at = std::nullopt;  // k-aligned: nothing of the cluster is done
+    }
+  }
+  for (idx c = first_cluster; c < clusters_.num_clusters(); ++c) {
     // Fresh, numerically clean G at this cluster's boundary, built from the
-    // cached (recycled) cluster products.
-    recompute_greens(c, /*record_drift=*/true);
-    for (idx slice = clusters_.cluster_begin(c);
+    // cached (recycled) cluster products — unless we are mid-cluster on a
+    // restored G, which is already positioned at resume_at's boundary.
+    const bool mid_cluster_resume = resume_at && c == first_cluster;
+    if (!mid_cluster_resume) recompute_greens(c, /*record_drift=*/true);
+    for (idx slice =
+             mid_cluster_resume ? *resume_at : clusters_.cluster_begin(c);
          slice < clusters_.cluster_end(c); ++slice) {
       wrap_slice(slice);
       metropolis_slice(slice, stats);

@@ -72,6 +72,22 @@ class DqmcEngine {
   /// when resuming from a checkpoint (see checkpoint.h).
   void resume();
 
+  /// Resume at a mid-sweep slice boundary: `next_slice` is the first slice
+  /// the next sweep() call still has to visit, and gup/gdn are the wrapped
+  /// Green's functions exactly as they stood at that boundary (saved by
+  /// save_checkpoint_mid_sweep). Clusters are rebuilt from the field — the
+  /// in-flight cluster's stale cache entry is never read again before its
+  /// own rebuild, so the rebuilt cache is bitwise what the interrupted run
+  /// would have used — while G is RESTORED, not re-derived: re-stratifying
+  /// at a non-k-aligned slice would hand the Metropolis pass a cleaner G
+  /// than the wrapped one it saw originally and fork the trajectory.
+  void resume_mid_sweep(idx next_slice, linalg::Matrix gup,
+                        linalg::Matrix gdn);
+
+  /// Slice the next sweep() resumes from (mid-sweep restore pending), or
+  /// nullopt when the engine is at a sweep boundary.
+  std::optional<idx> pending_resume_slice() const { return resume_slice_; }
+
   /// Called after each slice finishes its Metropolis pass; the engine's
   /// Green's functions are flushed and positioned at that slice boundary.
   using SliceHook = std::function<void(idx slice)>;
@@ -145,6 +161,8 @@ class DqmcEngine {
   SweepStats lifetime_;
   int sign_ = 1;
   bool initialized_ = false;
+  // Set by resume_mid_sweep(); consumed by the next sweep().
+  std::optional<idx> resume_slice_;
 };
 
 }  // namespace dqmc::core

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "linalg/blas3.h"
 #include "linalg/diag.h"
 #include "linalg/permutation.h"
@@ -68,6 +69,9 @@ void GradedAccumulator::push(const Matrix& factor) {
 
 void GradedAccumulator::graded_step(Matrix&& c, bool first) {
   ++stats_.steps;
+  // Models a stabilization blow-up inside the graded QR (the same failure
+  // the NumericalError below reports for a genuinely singular chain).
+  DQMC_FAILPOINT("graded.qr");
 
   // Factor c as Q R P^T: genuinely pivoted (Algorithm 2) or pre-pivoted +
   // unpivoted blocked QR (Algorithm 3).

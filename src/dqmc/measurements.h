@@ -67,6 +67,15 @@ class MeasurementAccumulator {
   Estimate pair_d() const { return pair_d_.estimate(); }
   Estimate average_sign() const { return density_.sign_estimate(); }
 
+  /// Delete-one-bin jackknife variants (see ScalarAccumulator::jackknife)
+  /// — what the ED cross-check test compares against exact results.
+  Estimate density_jackknife() const { return density_.jackknife(); }
+  Estimate double_occupancy_jackknife() const {
+    return double_occ_.jackknife();
+  }
+  Estimate kinetic_energy_jackknife() const { return kinetic_.jackknife(); }
+  Estimate moment_sq_jackknife() const { return moment_.jackknife(); }
+
   /// <n_k> estimates, indexed like Lattice::momenta().
   Estimate momentum_dist(idx k) const { return nk_.estimate(k); }
   Vector momentum_dist_means() const { return nk_.means(); }

@@ -1,5 +1,8 @@
 #include "dqmc/run_manifest.h"
 
+#include <bit>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 
 #include "obs/health.h"
@@ -106,6 +109,23 @@ obs::Json runtime_json() {
       .set("groups", st.groups);
 }
 
+std::string hex_u64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// {"bits": "<hex IEEE-754 pattern>", "value": <rounded readable>} — the
+/// bits field is what the golden diff compares; the value is for humans.
+obs::Json stable_double(double v) {
+  char readable[32];
+  std::snprintf(readable, sizeof(readable), "%.9g", v);
+  return obs::Json::object()
+      .set("bits", hex_u64(std::bit_cast<std::uint64_t>(v)))
+      .set("value", std::string(readable));
+}
+
 }  // namespace
 
 obs::Json run_manifest(const SimulationResults& results) {
@@ -118,17 +138,48 @@ obs::Json run_manifest(const SimulationResults& results) {
                            .set("algorithm", strat_algorithm_name(
                                                  results.config.engine.algorithm))
                            .set("hardware_threads", par::num_threads())
-                           .set("elapsed_seconds", results.elapsed_seconds))
+                           .set("elapsed_seconds", results.elapsed_seconds)
+                           .set("trajectory_hash",
+                                hex_u64(results.trajectory_hash)))
       .set("config", config_json(results.config))
       .set("phases", phases_json(results.profiler))
       .set("metrics", metrics_json(results))
       .set("backend", backend_json(results))
       .set("runtime", runtime_json())
+      .set("fault", results.fault_report.json_value())
       .set("health", obs::health().json_value())
       .set("trace", obs::Json::object()
                         .set("enabled", tracer.enabled())
                         .set("recorded", tracer.recorded())
                         .set("dropped", tracer.dropped()));
+}
+
+obs::Json golden_manifest(const SimulationResults& results) {
+  const fault::FaultReport& fr = results.fault_report;
+  const MeasurementAccumulator& meas = results.measurements;
+  return obs::Json::object()
+      .set("golden_version", 1)
+      .set("seed", results.config.seed)
+      .set("config", config_json(results.config))
+      .set("trajectory_hash", hex_u64(results.trajectory_hash))
+      .set("samples", meas.samples())
+      .set("sign", stable_double(meas.average_sign().mean))
+      .set("density", stable_double(meas.density().mean))
+      .set("double_occupancy", stable_double(meas.double_occupancy().mean))
+      .set("kinetic_energy", stable_double(meas.kinetic_energy().mean))
+      .set("moment_sq", stable_double(meas.moment_sq().mean))
+      .set("fault", obs::Json::object()
+                        .set("faults", fr.faults)
+                        .set("retries", fr.retries)
+                        .set("restarts", fr.restarts)
+                        .set("degradations", fr.degradations)
+                        .set("health_trips", fr.health_trips)
+                        .set("checkpoints", fr.checkpoints)
+                        .set("checkpoint_faults", fr.checkpoint_faults)
+                        .set("degraded", fr.degraded)
+                        .set("final_backend", fr.final_backend)
+                        .set("events", static_cast<std::uint64_t>(
+                                           fr.events.size())));
 }
 
 void write_run_manifest(const SimulationResults& results,

@@ -15,8 +15,16 @@ namespace dqmc::core {
 /// Build the manifest document for `results`. Reads the GLOBAL
 /// obs::MetricsRegistry / obs::HealthMonitor / obs::Tracer state, so call
 /// it before resetting them. Top-level keys: "manifest", "config",
-/// "phases", "metrics", "health", "trace".
+/// "phases", "metrics", "health", "trace", "fault".
 obs::Json run_manifest(const SimulationResults& results);
+
+/// The deterministic subset of the manifest used as a golden regression
+/// fixture (tests/fault/test_golden_manifest): configuration echo,
+/// trajectory hash, sign, key measurement means, and the fault-recovery
+/// counters. No timings, no host state. Doubles are rendered as 16-digit
+/// hex IEEE-754 bit patterns ("bits") next to a rounded readable value, so
+/// the serialized document is byte-stable wherever the trajectory is.
+obs::Json golden_manifest(const SimulationResults& results);
 
 /// Write run_manifest(results) to `path` (pretty-printed). Throws
 /// dqmc::Error on I/O failure.

@@ -72,6 +72,8 @@ void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
   results.backend_stats = engine.compute_backend().stats();
   results.wrap_uploads_skipped = engine.wrap_uploads_skipped();
   results.elapsed_seconds = watch.seconds();
+  results.trajectory_hash = core::trajectory_hash(engine);
+  results.fault_report.final_backend = results.backend_name;
 }
 
 SimulationResults run_simulation(const SimulationConfig& config,
@@ -118,6 +120,9 @@ SimulationResults run_parallel_simulation(const SimulationConfig& config,
     merged.backend_name = p.backend_name;
     merged.backend_stats += p.backend_stats;
     merged.wrap_uploads_skipped += p.wrap_uploads_skipped;
+    merged.trajectory_hash = mix_chain_hash(merged.trajectory_hash,
+                                            p.trajectory_hash);
+    merged.fault_report += p.fault_report;
   }
   merged.elapsed_seconds = watch.seconds();
   return merged;

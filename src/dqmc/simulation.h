@@ -5,6 +5,7 @@
 
 #include <functional>
 
+#include "fault/report.h"
 #include "dqmc/dynamic_measurements.h"
 #include "dqmc/engine.h"
 #include "dqmc/measurements.h"
@@ -57,12 +58,29 @@ struct SimulationResults {
   /// Wrap uploads elided because G stayed resident on the backend.
   std::uint64_t wrap_uploads_skipped = 0;
   double elapsed_seconds = 0.0;
+  /// Digest of the final Markov state (see core::trajectory_hash); for
+  /// multi-chain runs, the per-chain hashes FNV-mixed in chain order.
+  std::uint64_t trajectory_hash = 0;
+  /// Faults observed and recovery actions taken (empty for unsupervised
+  /// runs except final_backend); lands in the manifest's "fault" section.
+  fault::FaultReport fault_report;
 
   explicit SimulationResults(const SimulationConfig& cfg)
       : config(cfg),
         measurements(cfg.make_lattice(), cfg.bins),
         dynamic(cfg.model.slices, cfg.bins) {}
 };
+
+/// FNV-1a fold of one chain's trajectory hash into a multi-chain digest
+/// (chain order sensitive; 0 accumulator seeds the offset basis).
+inline std::uint64_t mix_chain_hash(std::uint64_t acc, std::uint64_t chain) {
+  if (acc == 0) acc = 0xcbf29ce484222325ull;
+  for (int b = 0; b < 8; ++b) {
+    acc ^= (chain >> (8 * b)) & 0xff;
+    acc *= 0x100000001b3ull;
+  }
+  return acc;
+}
 
 /// Progress callback: (sweeps done, total sweeps, warmup?) — return value
 /// ignored; called once per sweep.

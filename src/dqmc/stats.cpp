@@ -59,6 +59,38 @@ Estimate ScalarAccumulator::estimate() const {
   return binned_ratio(os_, s_, count_, 1, 0);
 }
 
+Estimate ScalarAccumulator::jackknife() const {
+  double total_os = 0.0, total_s = 0.0;
+  std::vector<std::size_t> used;
+  for (std::size_t b = 0; b < s_.size(); ++b) {
+    if (count_[b] == 0) continue;
+    total_os += os_[b];
+    total_s += s_[b];
+    used.push_back(b);
+  }
+  if (total_s == 0.0) return Estimate{};
+  const double full = total_os / total_s;
+  // Leave-one-bin-out replicates; a bin whose removal zeroes the sign sum
+  // cannot form a replicate and is excluded from the resample.
+  std::vector<double> theta;
+  for (const std::size_t b : used) {
+    const double s_rest = total_s - s_[b];
+    if (s_rest == 0.0) continue;
+    theta.push_back((total_os - os_[b]) / s_rest);
+  }
+  const double n = static_cast<double>(theta.size());
+  if (theta.size() < 2) return estimate();
+  double bar = 0.0;
+  for (const double t : theta) bar += t;
+  bar /= n;
+  double var = 0.0;
+  for (const double t : theta) var += (t - bar) * (t - bar);
+  Estimate e;
+  e.mean = n * full - (n - 1.0) * bar;  // bias-corrected
+  e.error = std::sqrt((n - 1.0) / n * var);
+  return e;
+}
+
 Estimate ScalarAccumulator::sign_estimate() const {
   Estimate e;
   double total = 0.0;

@@ -34,6 +34,12 @@ class ScalarAccumulator {
   /// <O s> / <s> with a binned standard error. With fewer than 2 non-empty
   /// bins the error is reported as 0.
   Estimate estimate() const;
+  /// Delete-one-bin jackknife of the same ratio: mean is the bias-corrected
+  /// jackknife estimate, error the jackknife standard error — the right
+  /// error bar for a ratio estimator like <O s>/<s>, where naive per-bin
+  /// ratios understate the sign covariance. Falls back to estimate() with
+  /// fewer than 2 usable bins.
+  Estimate jackknife() const;
   /// Plain average of the sign itself.
   Estimate sign_estimate() const;
 

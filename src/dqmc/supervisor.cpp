@@ -1,0 +1,429 @@
+#include "dqmc/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "dqmc/checkpoint.h"
+#include "fault/failpoint.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "parallel/task_runtime.h"
+
+namespace dqmc::core {
+
+void SupervisorPolicy::validate() const {
+  DQMC_CHECK_MSG(max_retries >= 0, "max_retries must be >= 0");
+  DQMC_CHECK_MSG(backoff_base_ms >= 0.0 && backoff_max_ms >= backoff_base_ms,
+                 "backoff interval is malformed");
+}
+
+namespace {
+
+/// A health-monitor trip surfaced as an exception so it routes through the
+/// same per-segment recovery as thrown faults.
+class HealthTripError : public Error {
+ public:
+  explicit HealthTripError(std::uint64_t violations)
+      : Error("health monitor tripped (" + std::to_string(violations) +
+              " violations)") {}
+};
+
+double backoff_ms(const SupervisorPolicy& policy, int attempt) {
+  double ms = policy.backoff_base_ms;
+  for (int i = 1; i < attempt; ++i) ms *= 2.0;
+  return ms < policy.backoff_max_ms ? ms : policy.backoff_max_ms;
+}
+
+/// One supervised chain's mutable state.
+class ChainSupervisor {
+ public:
+  ChainSupervisor(const SimulationConfig& config,
+                  const SupervisorPolicy& policy, const ProgressFn& progress,
+                  SimulationResults& results)
+      : config_(config),
+        policy_(policy),
+        progress_(progress),
+        results_(results),
+        lattice_(config.make_lattice()),
+        backend_(config.engine.backend) {}
+
+  void run() {
+    const idx total = config_.warmup_sweeps + config_.measurement_sweeps;
+    const idx interval =
+        policy_.checkpoint_interval > 0 ? policy_.checkpoint_interval : total;
+    int attempt = 0;
+    bool need_restore = false;
+
+    while (done_ < total || !engine_) {
+      try {
+        if (!engine_) {
+          start_engine();
+        } else if (need_restore) {
+          restore();
+          need_restore = false;
+        }
+        if (done_ >= total) break;
+        const idx seg_end = std::min(done_ + interval, total);
+        run_segment(done_, seg_end);
+        check_health();
+        take_checkpoint(seg_end);
+        commit(seg_end);
+        attempt = 0;
+      } catch (const fault::InjectedFault& e) {
+        ++attempt;
+        if (!recover(e.site(), e.fault_class(), e.what(), attempt))
+          throw;
+        need_restore = true;
+      } catch (const HealthTripError& e) {
+        ++attempt;
+        if (!recover("health", fault::FaultClass::kHealthTrip, e.what(),
+                     attempt))
+          throw;
+        need_restore = true;
+      } catch (const NumericalError& e) {
+        ++attempt;
+        if (!recover("numerical", fault::FaultClass::kNumericalFault,
+                     e.what(), attempt))
+          throw;
+        need_restore = true;
+      } catch (const std::exception& e) {
+        ++attempt;
+        if (!recover("device", fault::FaultClass::kDeviceFault, e.what(),
+                     attempt))
+          throw;
+        need_restore = true;
+      }
+      // A fault while restoring (or starting) loops back into the same
+      // recovery ladder: need_restore stays set until a restore commits.
+    }
+
+    finish();
+  }
+
+ private:
+  void start_engine() {
+    engine_ = std::make_unique<DqmcEngine>(lattice_, config_.model,
+                                           engine_config(), config_.seed);
+    if (config_.checkpoint_in.empty()) {
+      engine_->initialize();
+    } else {
+      load_checkpoint_file(config_.checkpoint_in, *engine_);
+    }
+    // The recovery point for faults before the first segment commits.
+    take_checkpoint(0);
+  }
+
+  EngineConfig engine_config() const {
+    EngineConfig cfg = config_.engine;
+    cfg.backend = backend_;
+    return cfg;
+  }
+
+  /// Rebuild the engine on the current backend and restore the last
+  /// checkpoint, then replay any sweeps committed after it (a skipped
+  /// checkpoint leaves ckpt_sweep_ < done_) WITHOUT re-measuring — sweeps
+  /// are deterministic and measurement never perturbs the trajectory, so
+  /// the fast-forward is bitwise and the committed samples stay unique.
+  void restore() {
+    discard_scratch();
+    engine_.reset();  // old backend drains before the new one spins up
+    engine_ = std::make_unique<DqmcEngine>(lattice_, config_.model,
+                                           engine_config(), config_.seed);
+    if (ckpt_.empty()) {
+      // Initial checkpoint was skipped: restart from the very beginning.
+      if (config_.checkpoint_in.empty()) {
+        engine_->initialize();
+      } else {
+        load_checkpoint_file(config_.checkpoint_in, *engine_);
+      }
+    } else {
+      std::istringstream in(ckpt_);
+      load_checkpoint(in, *engine_);
+    }
+    ++results_.fault_report.restarts;
+    obs::metrics().count("fault.recovery.restarts");
+    for (idx g = ckpt_sweep_; g < done_; ++g) engine_->sweep();
+  }
+
+  /// Decide and record the recovery for one caught fault. Returns false
+  /// when the supervisor gives up (caller rethrows the original).
+  bool recover(const std::string& site, fault::FaultClass cls,
+               const std::string& detail, int attempt) {
+    fault::FaultReport& report = results_.fault_report;
+    ++report.faults;
+    if (cls == fault::FaultClass::kHealthTrip) ++report.health_trips;
+    obs::metrics().count("fault.observed");
+
+    FaultEventBuilder event{site, cls, detail, attempt};
+    if (attempt <= policy_.max_retries) {
+      ++report.retries;
+      obs::metrics().count("fault.recovery.retries");
+      const double ms = backoff_ms(policy_, attempt);
+      if (policy_.sleep_on_backoff && ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+      }
+      push_event(event, "retry", ms);
+      return true;
+    }
+    if (cls == fault::FaultClass::kHealthTrip) {
+      // Deterministic re-trips mean the anomaly is real but the chain can
+      // still run: degrade the monitoring, not the physics.
+      check_health_ = false;
+      push_event(event, "disable-health", 0.0);
+      return true;
+    }
+    if (cls == fault::FaultClass::kDeviceFault && policy_.allow_degrade &&
+        backend_ == backend::BackendKind::kGpuSim) {
+      backend_ = backend::BackendKind::kHost;
+      ++report.degradations;
+      report.degraded = true;
+      obs::metrics().count("fault.recovery.degradations");
+      push_event(event, "degrade", 0.0);
+      return true;
+    }
+    push_event(event, "abort", 0.0);
+    return false;
+  }
+
+  struct FaultEventBuilder {
+    std::string site;
+    fault::FaultClass cls;
+    std::string detail;
+    int attempt;
+  };
+
+  void push_event(const FaultEventBuilder& b, const char* action,
+                  double backoff) {
+    results_.fault_report.events.push_back(fault::FaultEvent{
+        b.site, fault::fault_class_name(b.cls), action, done_, b.attempt,
+        backoff, b.detail});
+  }
+
+  void run_segment(idx g_begin, idx g_end) {
+    const idx total = config_.warmup_sweeps + config_.measurement_sweeps;
+    for (idx g = g_begin; g < g_end; ++g) {
+      if (g < config_.warmup_sweeps) {
+        add_stats(engine_->sweep());
+      } else {
+        measurement_sweep(g - config_.warmup_sweeps);
+      }
+      if (progress_) progress_(g + 1, total, g < config_.warmup_sweeps);
+    }
+  }
+
+  void measurement_sweep(idx m) {
+    const bool measuring = m % config_.measure_interval == 0;
+    auto measure_now = [&] {
+      ScopedPhase phase(&engine_->profiler(), Phase::kMeasurement);
+      scratch_samples_.emplace_back(
+          measure_equal_time(lattice_, engine_->params(),
+                             engine_->greens(Spin::Up),
+                             engine_->greens(Spin::Down)),
+          engine_->config_sign());
+    };
+    if (measuring && config_.measure_slice_interval > 0) {
+      add_stats(engine_->sweep([&](idx slice) {
+        if (slice % config_.measure_slice_interval == 0) measure_now();
+      }));
+    } else {
+      add_stats(engine_->sweep());
+      if (measuring) measure_now();
+    }
+    if (config_.measure_dynamic_interval > 0 &&
+        m % config_.measure_dynamic_interval == 0) {
+      ScopedPhase phase(&engine_->profiler(), Phase::kMeasurement);
+      TimeDisplacedGreens tdg(engine_->factory(), engine_->field(),
+                              config_.engine.cluster_size,
+                              config_.engine.algorithm);
+      const TimeDisplaced up = tdg.compute(Spin::Up);
+      const TimeDisplaced dn = tdg.compute(Spin::Down);
+      scratch_dynamic_.emplace_back(
+          measure_dynamic(lattice_, config_.model.dtau(), up, dn),
+          engine_->config_sign());
+    }
+  }
+
+  void add_stats(const SweepStats& s) {
+    scratch_stats_.proposed += s.proposed;
+    scratch_stats_.accepted += s.accepted;
+  }
+
+  /// Post-segment health gate (fail point "supervisor.health" simulates a
+  /// trip). A violation-count increase since the last gate throws; the
+  /// baseline advances first so the REPLAY's own samples decide whether the
+  /// anomaly persists.
+  void check_health() {
+    // The fail point sits behind the same gate the recovery ladder
+    // disables: "disable-health" must silence injected trips the way it
+    // silences real ones, or a persistent arming could never converge.
+    if (check_health_) DQMC_FAILPOINT("supervisor.health");
+    if (!policy_.trip_on_health || !check_health_ || !obs::health().enabled())
+      return;
+    const std::uint64_t v = obs::health().violations();
+    if (v > health_baseline_) {
+      health_baseline_ = v;
+      throw HealthTripError(v);
+    }
+    health_baseline_ = v;
+  }
+
+  /// Serialize the recovery checkpoint for sweep boundary `sweep`. A
+  /// checkpoint I/O fault is absorbed: one immediate retry, then the
+  /// segment commits anyway with the previous checkpoint kept as the
+  /// recovery point ("skip-checkpoint").
+  void take_checkpoint(idx sweep) {
+    fault::FaultReport& report = results_.fault_report;
+    for (int io_attempt = 1;; ++io_attempt) {
+      try {
+        std::ostringstream out;
+        save_checkpoint(out, *engine_);
+        ckpt_ = out.str();
+        ckpt_sweep_ = sweep;
+        ++report.checkpoints;
+        return;
+      } catch (const std::exception& e) {
+        ++report.faults;
+        ++report.checkpoint_faults;
+        obs::metrics().count("fault.checkpoint_faults");
+        const bool retry = io_attempt == 1;
+        report.events.push_back(fault::FaultEvent{
+            "checkpoint.save",
+            fault::fault_class_name(fault::FaultClass::kIoError),
+            retry ? "retry-checkpoint" : "skip-checkpoint", sweep, io_attempt,
+            0.0, e.what()});
+        if (!retry) return;
+      }
+    }
+  }
+
+  void commit(idx seg_end) {
+    for (const auto& [sample, sign] : scratch_samples_) {
+      results_.measurements.add(sample, sign);
+    }
+    for (const auto& [sample, sign] : scratch_dynamic_) {
+      results_.dynamic.add(sample, sign);
+    }
+    results_.sweep_stats.proposed += scratch_stats_.proposed;
+    results_.sweep_stats.accepted += scratch_stats_.accepted;
+    discard_scratch();
+    done_ = seg_end;
+  }
+
+  void discard_scratch() {
+    scratch_samples_.clear();
+    scratch_dynamic_.clear();
+    scratch_stats_ = SweepStats{};
+  }
+
+  void finish() {
+    if (!config_.checkpoint_out.empty()) {
+      fault::FaultReport& report = results_.fault_report;
+      for (int io_attempt = 1;; ++io_attempt) {
+        try {
+          save_checkpoint_file(config_.checkpoint_out, *engine_);
+          break;
+        } catch (const std::exception& e) {
+          ++report.faults;
+          ++report.checkpoint_faults;
+          const bool retry = io_attempt == 1;
+          report.events.push_back(fault::FaultEvent{
+              "checkpoint.save",
+              fault::fault_class_name(fault::FaultClass::kIoError),
+              retry ? "retry-checkpoint" : "skip-checkpoint", done_,
+              io_attempt, 0.0, e.what()});
+          if (!retry) break;
+        }
+      }
+    }
+    engine_->compute_backend().synchronize();
+    results_.strat_stats = engine_->strat_stats();
+    results_.profiler = engine_->profiler();
+    results_.backend_name = engine_->compute_backend().name();
+    results_.backend_stats = engine_->compute_backend().stats();
+    results_.wrap_uploads_skipped = engine_->wrap_uploads_skipped();
+    results_.trajectory_hash = trajectory_hash(*engine_);
+    results_.fault_report.final_backend = results_.backend_name;
+  }
+
+  const SimulationConfig& config_;
+  const SupervisorPolicy& policy_;
+  const ProgressFn& progress_;
+  SimulationResults& results_;
+  Lattice lattice_;
+  backend::BackendKind backend_;
+  std::unique_ptr<DqmcEngine> engine_;
+  idx done_ = 0;        ///< sweeps committed
+  idx ckpt_sweep_ = 0;  ///< sweep boundary ckpt_ captures
+  std::string ckpt_;    ///< in-memory v1 checkpoint at ckpt_sweep_
+  std::vector<std::pair<EqualTimeSample, int>> scratch_samples_;
+  std::vector<std::pair<DynamicSample, int>> scratch_dynamic_;
+  SweepStats scratch_stats_;
+  bool check_health_ = true;
+  std::uint64_t health_baseline_ = 0;
+};
+
+}  // namespace
+
+SimulationResults run_supervised_simulation(const SimulationConfig& config,
+                                            const SupervisorPolicy& policy,
+                                            const ProgressFn& progress) {
+  policy.validate();
+  Stopwatch watch;
+  SimulationResults results(config);
+  ChainSupervisor chain(config, policy, progress, results);
+  chain.run();
+  results.elapsed_seconds = watch.seconds();
+  return results;
+}
+
+SimulationResults run_supervised_parallel(const SimulationConfig& config,
+                                          const SupervisorPolicy& policy,
+                                          idx chains) {
+  DQMC_CHECK_MSG(chains >= 1, "need at least one chain");
+  policy.validate();
+  Stopwatch watch;
+
+  std::vector<std::unique_ptr<SimulationResults>> partials(
+      static_cast<std::size_t>(chains));
+  par::TaskGroup group;
+  for (idx c = 0; c < chains; ++c) {
+    group.run([&, c] {
+      SimulationConfig chain_cfg = config;
+      chain_cfg.seed = config.seed + static_cast<std::uint64_t>(c);
+      partials[static_cast<std::size_t>(c)] =
+          std::make_unique<SimulationResults>(
+              run_supervised_simulation(chain_cfg, policy));
+    });
+  }
+  group.wait();  // rethrows chain failures the supervisors gave up on
+
+  SimulationResults merged(config);
+  merged.profiler.reset();
+  for (idx c = 0; c < chains; ++c) {
+    const SimulationResults& p = *partials[static_cast<std::size_t>(c)];
+    merged.measurements.merge(p.measurements);
+    merged.dynamic.merge(p.dynamic);
+    merged.sweep_stats.proposed += p.sweep_stats.proposed;
+    merged.sweep_stats.accepted += p.sweep_stats.accepted;
+    merged.strat_stats.evaluations += p.strat_stats.evaluations;
+    merged.strat_stats.steps += p.strat_stats.steps;
+    merged.strat_stats.pivot_displacement += p.strat_stats.pivot_displacement;
+    merged.profiler.merge(p.profiler);
+    merged.backend_name = p.backend_name;
+    merged.backend_stats += p.backend_stats;
+    merged.wrap_uploads_skipped += p.wrap_uploads_skipped;
+    merged.trajectory_hash =
+        mix_chain_hash(merged.trajectory_hash, p.trajectory_hash);
+    merged.fault_report += p.fault_report;
+  }
+  merged.elapsed_seconds = watch.seconds();
+  return merged;
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,156 @@
+// Deterministic fail-point injection for the fault-recovery subsystem.
+//
+// A fail point is a NAMED site in the code (see docs/RELIABILITY.md for the
+// catalog) that can be armed to raise an InjectedFault on its Nth hit —
+// letting tests and operators exercise failure paths (device faults, I/O
+// errors, health trips) reproducibly: the same arm spec against the same
+// run always fires at the same point of the trajectory.
+//
+// Zero-overhead contract: a DQMC_FAILPOINT in a hot path costs exactly one
+// relaxed atomic load while nothing is armed (and compiles out entirely
+// under -DDQMC_NO_FAILPOINTS; bench/obs_overhead measures both). Hit
+// counters only tick for armed sites, so the registry does no bookkeeping
+// for sites nobody asked about.
+//
+// Activation:
+//   * env:    DQMC_FAILPOINTS="backend.enqueue:3,checkpoint.save:1"
+//             (read once, on first registry use)
+//   * CLI:    dqmc_run --failpoint=<site>:<n>
+//   * config: failpoints = <spec> in the input file
+//   * code:   fault::failpoints().arm("graded.qr", 5)
+//
+// Spec grammar, per comma-separated entry:
+//   site:N      fire once, on the Nth hit (1-based)
+//   site:N+     fire on the Nth hit and every hit after it (persistent)
+//   site:N:M    fire on hits N .. N+M-1 (M consecutive failures)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dqmc::fault {
+
+/// Failure taxonomy the walker supervisor recovers by (see
+/// dqmc/supervisor.h for the class -> recovery-action mapping).
+enum class FaultClass {
+  kDeviceFault,     ///< backend / device stream failure -> retry, degrade
+  kIoError,         ///< checkpoint read/write failure -> retry, skip
+  kNumericalFault,  ///< graded QR / stabilization blow-up -> restart
+  kHealthTrip,      ///< health-monitor anomaly -> restart, then disable
+};
+
+const char* fault_class_name(FaultClass c);
+
+/// Class of a (known or unknown) site, by prefix: checkpoint.* -> I/O,
+/// graded.*/strat.* -> numerical, supervisor.*/health.* -> health trip,
+/// everything else (backend.*, gpusim.*) -> device fault.
+FaultClass fault_class_for_site(const std::string& site);
+
+/// The exception an armed fail point raises when it fires.
+class InjectedFault : public Error {
+ public:
+  InjectedFault(std::string site, FaultClass cls, std::uint64_t hit);
+
+  const std::string& site() const { return site_; }
+  FaultClass fault_class() const { return class_; }
+  /// Which hit of the site fired (1-based).
+  std::uint64_t hit() const { return hit_; }
+
+ private:
+  std::string site_;
+  FaultClass class_;
+  std::uint64_t hit_;
+};
+
+/// Observable state of one armed (or exhausted) site.
+struct FailPointState {
+  std::uint64_t hits = 0;        ///< hits observed since arming
+  std::uint64_t trigger_at = 0;  ///< first firing hit (1-based)
+  std::uint64_t fire_count = 1;  ///< consecutive firings (kPersistent = all)
+  std::uint64_t fired = 0;       ///< times it actually fired
+  bool armed = false;            ///< still able to fire
+};
+
+class FailPointRegistry {
+ public:
+  /// fire_count sentinel: fire on every hit from trigger_at on.
+  static constexpr std::uint64_t kPersistent = ~std::uint64_t{0};
+
+  FailPointRegistry() = default;
+  FailPointRegistry(const FailPointRegistry&) = delete;
+  FailPointRegistry& operator=(const FailPointRegistry&) = delete;
+
+  /// The process-wide registry DQMC_FAILPOINT reports to. On first use it
+  /// arms itself from the DQMC_FAILPOINTS environment spec (if set).
+  static FailPointRegistry& global();
+
+  /// Arm `site` to fire on hits [nth, nth + count) (nth is 1-based;
+  /// count = kPersistent never exhausts). Re-arming a site resets its
+  /// counters.
+  void arm(const std::string& site, std::uint64_t nth,
+           std::uint64_t count = 1);
+  /// Arm from a comma-separated spec (see file comment for the grammar).
+  /// Empty spec is a no-op; malformed entries throw InvalidArgument.
+  void arm_spec(const std::string& spec);
+  void disarm(const std::string& site);
+  /// Forget every site (state AND counters) — tests call this between cases.
+  void disarm_all();
+
+  /// True while at least one site can still fire. This is the single
+  /// relaxed load the DQMC_FAILPOINT macro pays on the hot path.
+  bool any_armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Count a hit at `site`; returns true when the site fires. Non-throwing
+  /// on the fire path — contexts that must not throw (the gpusim stream
+  /// thread) use this and surface the fault themselves. `hit_out`, when
+  /// non-null, receives the 1-based hit number.
+  bool fire(const char* site, std::uint64_t* hit_out = nullptr);
+
+  /// Count a hit and throw InjectedFault when the site fires.
+  void hit(const char* site);
+
+  /// Snapshot of a site's counters (zeros when never armed).
+  FailPointState state(const std::string& site) const;
+  /// All sites ever armed since the last disarm_all(), in name order.
+  std::vector<std::pair<std::string, FailPointState>> sites() const;
+  /// Total firings across all sites since the last disarm_all().
+  std::uint64_t total_fired() const;
+
+ private:
+  std::atomic<int> armed_sites_{0};
+  mutable std::mutex mutex_;
+  std::map<std::string, FailPointState> sites_;
+  std::uint64_t total_fired_ = 0;
+};
+
+/// Shorthand for FailPointRegistry::global().
+inline FailPointRegistry& failpoints() { return FailPointRegistry::global(); }
+
+}  // namespace dqmc::fault
+
+#if defined(DQMC_NO_FAILPOINTS)
+/// Compiled out: the site costs nothing (tests/fault/test_failpoint_compileout
+/// proves it stays dead even with the registry armed).
+#define DQMC_FAILPOINT(site) ((void)0)
+#define DQMC_FAILPOINT_FIRE(site) (false)
+#else
+/// Throwing fail point: one relaxed atomic load when nothing is armed.
+#define DQMC_FAILPOINT(site)                        \
+  do {                                              \
+    if (::dqmc::fault::failpoints().any_armed())    \
+      ::dqmc::fault::failpoints().hit(site);        \
+  } while (0)
+/// Non-throwing fail point for code that surfaces faults asynchronously.
+#define DQMC_FAILPOINT_FIRE(site)                   \
+  (::dqmc::fault::failpoints().any_armed() &&       \
+   ::dqmc::fault::failpoints().fire(site))
+#endif

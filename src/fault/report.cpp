@@ -1,0 +1,44 @@
+#include "fault/report.h"
+
+namespace dqmc::fault {
+
+FaultReport& FaultReport::operator+=(const FaultReport& other) {
+  events.insert(events.end(), other.events.begin(), other.events.end());
+  faults += other.faults;
+  retries += other.retries;
+  restarts += other.restarts;
+  degradations += other.degradations;
+  health_trips += other.health_trips;
+  checkpoints += other.checkpoints;
+  checkpoint_faults += other.checkpoint_faults;
+  degraded = degraded || other.degraded;
+  if (final_backend.empty()) final_backend = other.final_backend;
+  return *this;
+}
+
+obs::Json FaultReport::json_value() const {
+  obs::Json evs = obs::Json::array();
+  for (const FaultEvent& e : events) {
+    evs.push_back(obs::Json::object()
+                      .set("site", e.site)
+                      .set("class", e.fault_class)
+                      .set("action", e.action)
+                      .set("sweep", e.sweep)
+                      .set("attempt", e.attempt)
+                      .set("backoff_ms", e.backoff_ms)
+                      .set("detail", e.detail));
+  }
+  return obs::Json::object()
+      .set("faults", faults)
+      .set("retries", retries)
+      .set("restarts", restarts)
+      .set("degradations", degradations)
+      .set("health_trips", health_trips)
+      .set("checkpoints", checkpoints)
+      .set("checkpoint_faults", checkpoint_faults)
+      .set("degraded", degraded)
+      .set("final_backend", final_backend)
+      .set("events", std::move(evs));
+}
+
+}  // namespace dqmc::fault

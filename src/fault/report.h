@@ -1,0 +1,48 @@
+// Fault-recovery accounting: every fault the walker supervisor observed,
+// what it did about it, and the summary counters that land in the run
+// manifest's "fault" section (and the golden regression fixtures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dqmc::fault {
+
+/// One observed fault (or recovery decision) on a chain's timeline.
+struct FaultEvent {
+  std::string site;         ///< fail-point site, "health", or "checkpoint"
+  std::string fault_class;  ///< fault_class_name() of the classification
+  /// What the supervisor did: "retry" | "restart" | "degrade" |
+  /// "retry-checkpoint" | "skip-checkpoint" | "disable-health" | "abort".
+  std::string action;
+  std::int64_t sweep = 0;   ///< global sweep index of the segment boundary
+  int attempt = 0;          ///< 1-based attempt number within the segment
+  double backoff_ms = 0.0;  ///< deterministic backoff scheduled before retry
+  std::string detail;       ///< exception message
+};
+
+/// Per-chain (or chain-merged) recovery summary.
+struct FaultReport {
+  std::vector<FaultEvent> events;
+  std::uint64_t faults = 0;       ///< faults observed (all classes)
+  std::uint64_t retries = 0;      ///< same-backend restart attempts
+  std::uint64_t restarts = 0;     ///< checkpoint restorations performed
+  std::uint64_t degradations = 0; ///< gpusim -> host backend switches
+  std::uint64_t health_trips = 0; ///< health-monitor trips (injected or real)
+  std::uint64_t checkpoints = 0;  ///< recovery checkpoints taken
+  std::uint64_t checkpoint_faults = 0;  ///< checkpoint I/O failures absorbed
+  bool degraded = false;          ///< finished on a different backend
+  std::string final_backend;      ///< backend the run finished on
+
+  /// Fold another chain's report into this one (counters add, events
+  /// append in order, degraded ORs).
+  FaultReport& operator+=(const FaultReport& other);
+
+  /// {"faults","retries",...,"degraded","final_backend","events":[...]}.
+  obs::Json json_value() const;
+};
+
+}  // namespace dqmc::fault

@@ -2,9 +2,14 @@
 // commands in strict FIFO order, modeling a single CUDA stream. Replaces
 // the legacy general-purpose thread pool — the stream never steals, never
 // reorders, and exists for the lifetime of the Device.
+//
+// The stream thread runs with par::set_thread_serial(true): it must stay a
+// pure producer the task runtime can wait on (wait_idle() from a runtime
+// task is legal), so it never enters the shared runtime itself.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -24,7 +29,12 @@ class StreamThread {
   /// submitted before it. Tasks must not throw.
   void submit(std::function<void()> task);
 
-  /// Block until every command submitted so far has executed.
+  /// Block until every command submitted so far has executed. If the
+  /// "gpusim.stream" fail point fired on the stream thread since the last
+  /// wait, throws fault::InjectedFault here — the stream thread itself
+  /// never throws, so injected device faults surface at the next sync
+  /// point, the way a sticky CUDA async error surfaces at cudaStreamSync.
+  /// The pending fault is cleared by the throw; the stream stays usable.
   void wait_idle();
 
  private:
@@ -36,6 +46,8 @@ class StreamThread {
   std::condition_variable idle_cv_;
   bool busy_ = false;
   bool stopping_ = false;
+  bool fault_pending_ = false;       // "gpusim.stream" fired, not yet thrown
+  std::uint64_t fault_hit_ = 0;      // hit number that fired
   // Declared last: the worker starts in the constructor and immediately
   // touches the queue state above, which must already be constructed.
   std::thread worker_;

@@ -223,7 +223,13 @@ void TaskRuntime::spawn(std::function<void()> fn,
     std::lock_guard lock(mine.mutex);
     mine.deque.push_back(Task{std::move(fn), std::move(g)});
   }
-  impl_->queued_.fetch_add(1, std::memory_order_release);
+  {
+    // The increment must be ordered with the workers' predicate check under
+    // pool_mutex_: without the lock a worker can evaluate queued_ == 0,
+    // have this notify fire before it blocks, and sleep through the task.
+    std::lock_guard lock(impl_->pool_mutex_);
+    impl_->queued_.fetch_add(1, std::memory_order_release);
+  }
   impl_->work_cv_.notify_one();
 }
 
@@ -253,6 +259,17 @@ TaskGroup::~TaskGroup() {
   if (state_->pending.load(std::memory_order_acquire) > 0) {
     TaskRuntime::global().wait(*state_);
   }
+  // Release the captured error here, on the owner's thread. A worker can
+  // still hold the GroupState for an instant after its final task_done()
+  // (task.group.reset() comes after), and if that release were the last
+  // one it would run the exception's destructor concurrently with a catch
+  // handler that is still reading the object — ordered only by refcount
+  // atomics inside uninstrumented libstdc++, which TSan cannot see.
+  std::exception_ptr err;
+  {
+    std::lock_guard lock(state_->mutex);
+    err = std::move(state_->error);
+  }
 }
 
 void TaskGroup::run(std::function<void()> fn) {
@@ -267,8 +284,15 @@ void TaskGroup::wait() {
   Stopwatch watch;
   rt.wait(*state_);
   if (timed) reg.observe("runtime.group_wait_us", watch.seconds() * 1e6);
-  std::lock_guard lock(state_->mutex);
-  if (state_->error) std::rethrow_exception(state_->error);
+  // Rethrow a copy of the stored pointer (the error stays sticky for later
+  // waits); the stored reference itself is released in ~TaskGroup, on the
+  // owner's thread — see the note there.
+  std::exception_ptr err;
+  {
+    std::lock_guard lock(state_->mutex);
+    err = state_->error;
+  }
+  if (err) std::rethrow_exception(std::move(err));
 }
 
 }  // namespace dqmc::par

@@ -10,6 +10,7 @@ namespace dqmc::par {
 
 namespace {
 std::atomic<int> g_override{0};
+thread_local bool t_serial = false;
 
 int default_threads() {
   const long env = env_long("DQMC_THREADS", 0);
@@ -20,6 +21,7 @@ int default_threads() {
 }  // namespace
 
 int num_threads() {
+  if (t_serial) return 1;
   const int o = g_override.load(std::memory_order_relaxed);
   return o > 0 ? o : default_threads();
 }
@@ -27,5 +29,9 @@ int num_threads() {
 void set_num_threads(int n) {
   g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
 }
+
+void set_thread_serial(bool serial) { t_serial = serial; }
+
+bool thread_is_serial() { return t_serial; }
 
 }  // namespace dqmc::par

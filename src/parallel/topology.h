@@ -18,4 +18,20 @@ int num_threads();
 /// next time a parallel region runs under the new budget.
 void set_num_threads(int n);
 
+/// Mark the current thread as serial: num_threads() reports 1 on it, so
+/// every parallel region entered from this thread runs inline and the
+/// thread never spawns into or steals from the shared task runtime.
+///
+/// The gpusim stream thread needs this. A runtime task may legitimately
+/// block in Device wait_idle() until the stream drains; if the stream
+/// thread itself waited on the runtime (nested parallel GEMM tiles), the
+/// help-first scheduler could hand it exactly such a task and the stream
+/// would wait on itself — a deadlock cycle through wait_idle(). Bitwise
+/// safe: every parallel kernel partitions disjoint writes and keeps the
+/// per-element arithmetic independent of the worker count.
+void set_thread_serial(bool serial);
+
+/// True if set_thread_serial(true) is in effect on the current thread.
+bool thread_is_serial();
+
 }  // namespace dqmc::par

@@ -95,6 +95,120 @@ TEST(Checkpoint, GarbageInputThrows) {
   EXPECT_THROW(load_checkpoint(garbage, engine), InvalidArgument);
 }
 
+/// Thrown from a slice hook to abandon the sweep — simulates a hard kill.
+struct Kill {};
+
+// Regression (mid-cluster checkpoint round-trip): a v2 checkpoint taken at
+// a NON-cluster-aligned slice must restore the RNG and the wrapped Green's
+// functions as saved — not re-derive G from a fresh stratification, which
+// is numerically cleaner than the wrapped G the interrupted run was using
+// and forks the trajectory from that point on.
+TEST(Checkpoint, MidSweepRestoreAtUnalignedSliceIsBitExact) {
+  Lattice lat(4, 4);
+  const idx kill_sweeps = 2, total_sweeps = 5;
+  const idx kill_slice = 5;  // next_slice = 6: mid-cluster for k = 4
+
+  DqmcEngine reference(lat, params(), config(), 211);
+  reference.initialize();
+  for (idx g = 0; g < total_sweeps; ++g) reference.sweep();
+
+  DqmcEngine victim(lat, params(), config(), 211);
+  victim.initialize();
+  for (idx g = 0; g < kill_sweeps; ++g) victim.sweep();
+  std::stringstream buffer;
+  linalg::Matrix saved_gup, saved_gdn;
+  try {
+    victim.sweep([&](idx slice) {
+      if (slice == kill_slice) {
+        saved_gup = victim.greens(hubbard::Spin::Up);
+        saved_gdn = victim.greens(hubbard::Spin::Down);
+        save_checkpoint_mid_sweep(buffer, victim, slice + 1);
+        throw Kill{};
+      }
+    });
+    FAIL() << "kill hook never fired";
+  } catch (const Kill&) {
+  }
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("dqmcpp-checkpoint v2"), std::string::npos);
+  EXPECT_NE(text.find("position 6"), std::string::npos);
+
+  DqmcEngine restored(lat, params(), config(), 0);
+  std::stringstream replay(text);
+  load_checkpoint(replay, restored);
+  ASSERT_TRUE(restored.pending_resume_slice().has_value());
+  EXPECT_EQ(*restored.pending_resume_slice(), kill_slice + 1);
+  // The wrapped G travels through the checkpoint, not a re-stratification.
+  EXPECT_MATRIX_NEAR(restored.greens(hubbard::Spin::Up), saved_gup, 0.0);
+  EXPECT_MATRIX_NEAR(restored.greens(hubbard::Spin::Down), saved_gdn, 0.0);
+
+  // Finishing the interrupted sweep and running the rest lands bit-exactly
+  // on the undisturbed trajectory.
+  for (idx g = kill_sweeps; g < total_sweeps; ++g) restored.sweep();
+  EXPECT_EQ(reference.config_sign(), restored.config_sign());
+  EXPECT_MATRIX_NEAR(reference.greens(hubbard::Spin::Up),
+                     restored.greens(hubbard::Spin::Up), 0.0);
+  EXPECT_MATRIX_NEAR(reference.greens(hubbard::Spin::Down),
+                     restored.greens(hubbard::Spin::Down), 0.0);
+  for (idx l = 0; l < 8; ++l)
+    for (idx i = 0; i < 16; ++i)
+      ASSERT_EQ(reference.field()(l, i), restored.field()(l, i));
+  EXPECT_EQ(trajectory_hash(reference), trajectory_hash(restored));
+}
+
+TEST(Checkpoint, MidSweepRestoreAtClusterBoundaryRejoinsNormalFlow) {
+  // next_slice = 4 IS a cluster boundary (k = 4): the resumed sweep
+  // re-stratifies there exactly like the original would have, so the
+  // aligned case must also be bit-exact.
+  Lattice lat(4, 4);
+  DqmcEngine reference(lat, params(), config(), 223);
+  reference.initialize();
+  for (idx g = 0; g < 4; ++g) reference.sweep();
+
+  DqmcEngine victim(lat, params(), config(), 223);
+  victim.initialize();
+  victim.sweep();
+  std::stringstream buffer;
+  try {
+    victim.sweep([&](idx slice) {
+      if (slice == 3) {
+        save_checkpoint_mid_sweep(buffer, victim, slice + 1);
+        throw Kill{};
+      }
+    });
+    FAIL() << "kill hook never fired";
+  } catch (const Kill&) {
+  }
+
+  DqmcEngine restored(lat, params(), config(), 0);
+  load_checkpoint(buffer, restored);
+  for (idx g = 1; g < 4; ++g) restored.sweep();
+  EXPECT_EQ(trajectory_hash(reference), trajectory_hash(restored));
+}
+
+TEST(Checkpoint, MidSweepFileRoundTrip) {
+  Lattice lat(2, 2);
+  DqmcEngine engine(lat, params(), config(), 77);
+  engine.initialize();
+  engine.sweep();
+  const std::string path = ::testing::TempDir() + "/dqmc_ckpt_midsweep.txt";
+  try {
+    engine.sweep([&](idx slice) {
+      if (slice == 1) {
+        save_checkpoint_mid_sweep_file(path, engine, slice + 1);
+        throw Kill{};
+      }
+    });
+    FAIL() << "kill hook never fired";
+  } catch (const Kill&) {
+  }
+
+  DqmcEngine restored(lat, params(), config(), 0);
+  load_checkpoint_file(path, restored);
+  ASSERT_TRUE(restored.pending_resume_slice().has_value());
+  EXPECT_EQ(*restored.pending_resume_slice(), idx{2});
+}
+
 TEST(Checkpoint, FileRoundTrip) {
   Lattice lat(2, 2);
   DqmcEngine engine(lat, params(), config(), 55);

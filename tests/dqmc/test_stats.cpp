@@ -63,6 +63,64 @@ TEST(ScalarAccumulator, GaussianErrorBarIsCalibrated) {
   EXPECT_LT(acc.estimate().error, expected_error * 2.0);
 }
 
+TEST(Jackknife, HandComputedSignedReplicates) {
+  // 4 bins, one sample each: (1,+), (2,+), (3,+), (10,-).
+  //   full = (1+2+3-10)/(1+1+1-1) = -2
+  //   leave-one-out replicates: -5, -6, -7, 2  (bar = -4)
+  //   bias-corrected mean: 4*(-2) - 3*(-4) = 4
+  //   error: sqrt(3/4 * [1+4+9+36]) = sqrt(37.5)
+  ScalarAccumulator acc(4);
+  acc.add(1.0, 1.0);
+  acc.add(2.0, 1.0);
+  acc.add(3.0, 1.0);
+  acc.add(10.0, -1.0);
+  const Estimate jk = acc.jackknife();
+  EXPECT_NEAR(jk.mean, 4.0, 1e-12);
+  EXPECT_NEAR(jk.error, std::sqrt(37.5), 1e-12);
+}
+
+TEST(Jackknife, ReducesToBinnedErrorWithoutSignProblem) {
+  // With sign == 1 and equal bin counts the ratio estimator is linear in
+  // the bin means, so the delete-one jackknife reproduces the plain binned
+  // standard error exactly and the bias correction vanishes.
+  Rng rng(29);
+  ScalarAccumulator acc(16);
+  for (int i = 0; i < 64 * 16; ++i) acc.add(rng.uniform(), 1.0);
+  const Estimate plain = acc.estimate();
+  const Estimate jk = acc.jackknife();
+  EXPECT_NEAR(jk.mean, plain.mean, 1e-12);
+  EXPECT_NEAR(jk.error, plain.error, 1e-12);
+}
+
+TEST(Jackknife, SignCovarianceWidensTheRatioErrorBar) {
+  // A correlated (O, s) stream where naive per-bin ratios understate the
+  // uncertainty of <Os>/<s>: the jackknife bar must not collapse to zero
+  // and must stay finite with a fluctuating sign.
+  Rng rng(31);
+  ScalarAccumulator acc(8);
+  for (int i = 0; i < 400; ++i) {
+    const double s = rng.uniform() < 0.7 ? 1.0 : -1.0;
+    acc.add(0.5 + 0.1 * rng.uniform() + 0.3 * s, s);
+  }
+  const Estimate jk = acc.jackknife();
+  EXPECT_GT(jk.error, 0.0);
+  EXPECT_LT(jk.error, 1.0);
+  EXPECT_TRUE(std::isfinite(jk.mean));
+}
+
+TEST(Jackknife, FallsBackWithTooFewBins) {
+  ScalarAccumulator one(1);
+  one.add(2.0, 1.0);
+  one.add(4.0, 1.0);
+  const Estimate jk = one.jackknife();
+  EXPECT_NEAR(jk.mean, 3.0, 1e-14);
+  EXPECT_DOUBLE_EQ(jk.error, one.estimate().error);
+
+  ScalarAccumulator empty(4);
+  EXPECT_DOUBLE_EQ(empty.jackknife().mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.jackknife().error, 0.0);
+}
+
 TEST(ArrayAccumulator, PerComponentMeans) {
   ArrayAccumulator acc(3, 4);
   const double a[3] = {1.0, 2.0, 3.0};

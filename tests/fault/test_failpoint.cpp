@@ -1,0 +1,131 @@
+// Unit tests for the deterministic fail-point registry (src/fault):
+// trigger-on-Nth-hit semantics, the spec grammar, classification, and the
+// zero-bookkeeping contract for sites nobody armed.
+#include <gtest/gtest.h>
+
+#include "fault/failpoint.h"
+
+namespace dqmc::fault {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoints().disarm_all(); }
+  void TearDown() override { failpoints().disarm_all(); }
+};
+
+TEST_F(FailPointTest, FiresExactlyOnNthHit) {
+  failpoints().arm("t.site", 3);
+  EXPECT_TRUE(failpoints().any_armed());
+  EXPECT_NO_THROW(failpoints().hit("t.site"));
+  EXPECT_NO_THROW(failpoints().hit("t.site"));
+  try {
+    failpoints().hit("t.site");
+    FAIL() << "third hit must fire";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.site(), "t.site");
+    EXPECT_EQ(e.hit(), 3u);
+    EXPECT_EQ(e.fault_class(), FaultClass::kDeviceFault);
+  }
+  // Exhausted: the zero-overhead fast path is restored.
+  EXPECT_FALSE(failpoints().any_armed());
+  EXPECT_NO_THROW(failpoints().hit("t.site"));
+  const FailPointState st = failpoints().state("t.site");
+  EXPECT_EQ(st.fired, 1u);
+  EXPECT_FALSE(st.armed);
+}
+
+TEST_F(FailPointTest, WindowFiresConsecutiveHits) {
+  failpoints().arm("t.site", 2, 2);  // hits 2 and 3
+  EXPECT_NO_THROW(failpoints().hit("t.site"));
+  EXPECT_THROW(failpoints().hit("t.site"), InjectedFault);
+  EXPECT_THROW(failpoints().hit("t.site"), InjectedFault);
+  EXPECT_NO_THROW(failpoints().hit("t.site"));
+  EXPECT_EQ(failpoints().state("t.site").fired, 2u);
+}
+
+TEST_F(FailPointTest, PersistentNeverExhausts) {
+  failpoints().arm("t.site", 2, FailPointRegistry::kPersistent);
+  EXPECT_NO_THROW(failpoints().hit("t.site"));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_THROW(failpoints().hit("t.site"), InjectedFault);
+  }
+  EXPECT_TRUE(failpoints().any_armed());
+}
+
+TEST_F(FailPointTest, SpecGrammar) {
+  failpoints().arm_spec(" a.x:3 , b.y:1+ ,c.z:2:4 ");
+  EXPECT_EQ(failpoints().state("a.x").trigger_at, 3u);
+  EXPECT_EQ(failpoints().state("a.x").fire_count, 1u);
+  EXPECT_EQ(failpoints().state("b.y").fire_count,
+            FailPointRegistry::kPersistent);
+  EXPECT_EQ(failpoints().state("c.z").trigger_at, 2u);
+  EXPECT_EQ(failpoints().state("c.z").fire_count, 4u);
+  EXPECT_EQ(failpoints().sites().size(), 3u);
+
+  EXPECT_THROW(failpoints().arm_spec("nocolon"), InvalidArgument);
+  EXPECT_THROW(failpoints().arm_spec("a:xyz"), InvalidArgument);
+  EXPECT_THROW(failpoints().arm_spec(":3"), InvalidArgument);
+  EXPECT_NO_THROW(failpoints().arm_spec(""));  // empty spec is a no-op
+}
+
+TEST_F(FailPointTest, ClassificationByPrefix) {
+  EXPECT_EQ(fault_class_for_site("checkpoint.save"), FaultClass::kIoError);
+  EXPECT_EQ(fault_class_for_site("checkpoint.load"), FaultClass::kIoError);
+  EXPECT_EQ(fault_class_for_site("graded.qr"), FaultClass::kNumericalFault);
+  EXPECT_EQ(fault_class_for_site("strat.push"), FaultClass::kNumericalFault);
+  EXPECT_EQ(fault_class_for_site("supervisor.health"),
+            FaultClass::kHealthTrip);
+  EXPECT_EQ(fault_class_for_site("backend.enqueue"),
+            FaultClass::kDeviceFault);
+  EXPECT_EQ(fault_class_for_site("gpusim.stream"), FaultClass::kDeviceFault);
+}
+
+TEST_F(FailPointTest, NonThrowingFireReportsHit) {
+  failpoints().arm("t.site", 2);
+  std::uint64_t hit = 0;
+  EXPECT_FALSE(failpoints().fire("t.site", &hit));
+  EXPECT_TRUE(failpoints().fire("t.site", &hit));
+  EXPECT_EQ(hit, 2u);
+  EXPECT_EQ(failpoints().total_fired(), 1u);
+}
+
+TEST_F(FailPointTest, UnarmedSitesGetNoBookkeeping) {
+  // Hits on sites nobody armed are not tracked: the registry map stays
+  // empty, so arbitrary production site names cannot grow memory.
+  EXPECT_NO_THROW(failpoints().hit("never.armed"));
+  EXPECT_EQ(failpoints().state("never.armed").hits, 0u);
+  EXPECT_TRUE(failpoints().sites().empty());
+}
+
+TEST_F(FailPointTest, MacroSkipsRegistryWhenNothingArmed) {
+  // With nothing armed the macro must not even count the hit (it only
+  // performs the relaxed any_armed() load).
+  DQMC_FAILPOINT("t.macro");
+  failpoints().arm("t.macro", 1);
+  EXPECT_EQ(failpoints().state("t.macro").hits, 0u);
+  EXPECT_THROW(DQMC_FAILPOINT("t.macro"), InjectedFault);
+}
+
+TEST_F(FailPointTest, DisarmRestoresFastPath) {
+  failpoints().arm("t.a", 5);
+  failpoints().arm("t.b", 5);
+  failpoints().disarm("t.a");
+  EXPECT_TRUE(failpoints().any_armed());
+  failpoints().disarm("t.b");
+  EXPECT_FALSE(failpoints().any_armed());
+  EXPECT_NO_THROW(failpoints().disarm("t.missing"));
+}
+
+TEST_F(FailPointTest, RearmResetsCounters) {
+  failpoints().arm("t.site", 1);
+  EXPECT_THROW(failpoints().hit("t.site"), InjectedFault);
+  failpoints().arm("t.site", 2);
+  const FailPointState st = failpoints().state("t.site");
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.fired, 0u);
+  EXPECT_TRUE(st.armed);
+}
+
+}  // namespace
+}  // namespace dqmc::fault

@@ -1,0 +1,47 @@
+// Compiled with -DDQMC_NO_FAILPOINTS (see tests/fault/CMakeLists.txt): in
+// this translation unit the fail-point macros must be fully compiled out —
+// no registry probe, no hit bookkeeping, no way to fire — even while the
+// registry itself is armed. This is the "zero cost when compiled out" half
+// of the contract; the "one relaxed load when disarmed" half is measured by
+// bench/obs_overhead.
+#include <gtest/gtest.h>
+
+#include "fault/failpoint.h"
+
+#ifndef DQMC_NO_FAILPOINTS
+#error "this test must be compiled with DQMC_NO_FAILPOINTS"
+#endif
+
+namespace dqmc::fault {
+namespace {
+
+TEST(FailpointCompileOut, MacrosAreInertEvenWhenArmed) {
+  failpoints().disarm_all();
+  failpoints().arm("compileout.site", 1, FailPointRegistry::kPersistent);
+  ASSERT_TRUE(failpoints().any_armed());
+
+  // Would throw on every pass if the macro still reached the registry.
+  for (int i = 0; i < 4; ++i) {
+    DQMC_FAILPOINT("compileout.site");
+  }
+  EXPECT_FALSE(DQMC_FAILPOINT_FIRE("compileout.site"));
+
+  // Not even the hit counter moved: the site was never probed.
+  const FailPointState st = failpoints().state("compileout.site");
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.fired, 0u);
+  EXPECT_EQ(failpoints().total_fired(), 0u);
+  failpoints().disarm_all();
+}
+
+TEST(FailpointCompileOut, FireMacroIsAConstantExpression) {
+  // The disabled DQMC_FAILPOINT_FIRE must be usable where the enabled one
+  // is (boolean contexts) and always false.
+  if (DQMC_FAILPOINT_FIRE("compileout.other")) {
+    FAIL() << "compiled-out fail point fired";
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dqmc::fault

@@ -1,0 +1,145 @@
+// Golden-manifest regression: the deterministic manifest subset
+// (trajectory hash, sign, measurement bit patterns, fault counters) of two
+// canonical fault scenarios is byte-compared against committed fixtures in
+// tests/fault/golden/. Any change to the Markov chain, the measurement
+// pipeline, or the recovery bookkeeping shows up as a fixture diff.
+//
+// Regenerate after an INTENDED behavior change with
+//   DQMC_GOLDEN_REGEN=1 ctest -R GoldenManifest
+// and commit the diff. The fixtures hash floating-point trajectories, so
+// they are codegen sensitive (-march=native, optimization level, sanitizer
+// instrumentation): only the reference build configuration
+// (DQMC_GOLDEN_REFERENCE_BUILD, set by tests/fault/CMakeLists.txt for the
+// default preset's flags) byte-compares against the committed files; other
+// builds render each scenario twice and byte-compare the two documents —
+// the determinism half of the contract — so `ctest -L fault` stays
+// meaningful under the tsan/asan presets.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "backend/backend.h"
+#include "dqmc/run_manifest.h"
+#include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
+#include "fault/failpoint.h"
+
+#ifndef DQMC_GOLDEN_DIR
+#error "DQMC_GOLDEN_DIR must point at the committed fixture directory"
+#endif
+
+namespace dqmc {
+namespace {
+
+core::SimulationConfig golden_config(backend::BackendKind kind) {
+  core::SimulationConfig cfg;
+  cfg.lx = 2;
+  cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 1.0;
+  cfg.model.slices = 8;
+  cfg.engine.cluster_size = 4;
+  cfg.engine.delay_rank = 4;
+  cfg.engine.backend = kind;
+  cfg.warmup_sweeps = 4;
+  cfg.measurement_sweeps = 8;
+  cfg.bins = 4;
+  cfg.seed = 2026;
+  return cfg;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(DQMC_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// `scenario` must be self-contained (it re-arms its own fail points): the
+/// non-reference path replays it to prove the rendered document is a pure
+/// function of the configuration.
+void check_against_golden(
+    const std::function<core::SimulationResults()>& scenario,
+    const std::string& name) {
+  const std::string rendered =
+      core::golden_manifest(scenario()).dump(2) + "\n";
+#if defined(DQMC_GOLDEN_REFERENCE_BUILD)
+  const std::string path = golden_path(name);
+  if (std::getenv("DQMC_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write fixture " << path;
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing fixture " << path
+      << " — run with DQMC_GOLDEN_REGEN=1 to create it";
+  EXPECT_EQ(rendered, expected)
+      << "golden manifest drifted; if the change is intended, regenerate "
+         "with DQMC_GOLDEN_REGEN=1 and commit the fixture diff";
+#else
+  // Non-reference codegen: the committed bytes do not apply, but the
+  // document must still be exactly reproducible within this build.
+  ASSERT_FALSE(read_file(golden_path(name)).empty())
+      << "committed fixture " << name << " is missing from the tree";
+  const std::string replay =
+      core::golden_manifest(scenario()).dump(2) + "\n";
+  EXPECT_EQ(rendered, replay)
+      << "golden manifest is not deterministic across identical runs";
+#endif
+}
+
+class GoldenManifest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::failpoints().disarm_all(); }
+  void TearDown() override { fault::failpoints().disarm_all(); }
+};
+
+TEST_F(GoldenManifest, HostRunWithRecoveredFaults) {
+  // Scenario: host chain, one mid-run device fault (retried) and one
+  // checkpoint write failure (retried) — every counter is deterministic.
+  check_against_golden(
+      [] {
+        fault::failpoints().disarm_all();
+        fault::failpoints().arm_spec("backend.enqueue:50,checkpoint.save:2");
+        core::SupervisorPolicy policy;
+        policy.checkpoint_interval = 3;
+        policy.max_retries = 2;
+        core::SimulationResults results = core::run_supervised_simulation(
+            golden_config(backend::BackendKind::kHost), policy);
+        EXPECT_EQ(fault::failpoints().total_fired(), 2u);
+        return results;
+      },
+      "host_fault.json");
+}
+
+TEST_F(GoldenManifest, GpusimDegradesToHost) {
+  // Scenario: persistent gpusim-only fault exhausts one retry, then the
+  // chain degrades to host and finishes there.
+  check_against_golden(
+      [] {
+        fault::failpoints().disarm_all();
+        fault::failpoints().arm_spec("backend.enqueue.gpusim:10+");
+        core::SupervisorPolicy policy;
+        policy.checkpoint_interval = 3;
+        policy.max_retries = 1;
+        core::SimulationResults results = core::run_supervised_simulation(
+            golden_config(backend::BackendKind::kGpuSim), policy);
+        EXPECT_TRUE(results.fault_report.degraded);
+        return results;
+      },
+      "gpusim_degrade.json");
+}
+
+}  // namespace
+}  // namespace dqmc

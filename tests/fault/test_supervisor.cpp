@@ -1,0 +1,303 @@
+// Walker-supervisor recovery tests: every fault class injected through the
+// fail-point registry must recover onto the SAME trajectory — the
+// determinism oracle is trajectory_hash equality (and exact measurement
+// equality) against an unsupervised run of the identical config.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "backend/backend.h"
+#include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
+#include "fault/failpoint.h"
+#include "obs/health.h"
+
+namespace dqmc {
+namespace {
+
+core::SimulationConfig small_config(
+    backend::BackendKind kind = backend::BackendKind::kHost) {
+  core::SimulationConfig cfg;
+  cfg.lx = 2;
+  cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 1.0;
+  cfg.model.slices = 8;
+  cfg.engine.cluster_size = 4;
+  cfg.engine.delay_rank = 4;
+  cfg.engine.backend = kind;
+  cfg.warmup_sweeps = 4;
+  cfg.measurement_sweeps = 8;
+  cfg.bins = 4;
+  cfg.seed = 11;
+  return cfg;
+}
+
+core::SupervisorPolicy test_policy() {
+  core::SupervisorPolicy policy;
+  policy.checkpoint_interval = 3;
+  policy.max_retries = 2;
+  return policy;
+}
+
+/// The two runs must be the same Markov chain, bit for bit.
+void expect_same_trajectory(const core::SimulationResults& a,
+                            const core::SimulationResults& b) {
+  EXPECT_EQ(a.trajectory_hash, b.trajectory_hash);
+  EXPECT_EQ(a.measurements.density().mean, b.measurements.density().mean);
+  EXPECT_EQ(a.measurements.density().error, b.measurements.density().error);
+  EXPECT_EQ(a.measurements.double_occupancy().mean,
+            b.measurements.double_occupancy().mean);
+  EXPECT_EQ(a.measurements.average_sign().mean,
+            b.measurements.average_sign().mean);
+  EXPECT_EQ(a.sweep_stats.proposed, b.sweep_stats.proposed);
+  EXPECT_EQ(a.sweep_stats.accepted, b.sweep_stats.accepted);
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::failpoints().disarm_all();
+    obs::health().set_enabled(false);
+    obs::health().reset();
+  }
+  void TearDown() override {
+    fault::failpoints().disarm_all();
+    obs::health().set_enabled(false);
+    obs::health().reset();
+  }
+
+  core::SimulationResults clean_reference() {
+    return core::run_simulation(small_config());
+  }
+};
+
+TEST_F(SupervisorTest, CleanRunMatchesUnsupervised) {
+  const core::SimulationResults plain = clean_reference();
+  const core::SimulationResults supervised =
+      core::run_supervised_simulation(small_config(), test_policy());
+  expect_same_trajectory(plain, supervised);
+  EXPECT_EQ(supervised.fault_report.faults, 0u);
+  EXPECT_GT(supervised.fault_report.checkpoints, 0u);
+  EXPECT_EQ(supervised.fault_report.final_backend, "host");
+  EXPECT_FALSE(supervised.fault_report.degraded);
+}
+
+TEST_F(SupervisorTest, RecoversDeviceFaultByRetry) {
+  const core::SimulationResults plain = clean_reference();
+  fault::failpoints().arm("backend.enqueue", 50);
+  const core::SimulationResults supervised =
+      core::run_supervised_simulation(small_config(), test_policy());
+  ASSERT_EQ(fault::failpoints().state("backend.enqueue").fired, 1u)
+      << "injection never reached the armed hit; the test is vacuous";
+  expect_same_trajectory(plain, supervised);
+  const fault::FaultReport& fr = supervised.fault_report;
+  EXPECT_GE(fr.faults, 1u);
+  EXPECT_GE(fr.retries, 1u);
+  EXPECT_GE(fr.restarts, 1u);
+  ASSERT_FALSE(fr.events.empty());
+  EXPECT_EQ(fr.events[0].fault_class, "device");
+  EXPECT_EQ(fr.events[0].action, "retry");
+  EXPECT_GT(fr.events[0].backoff_ms, 0.0);
+}
+
+TEST_F(SupervisorTest, ClassifiesGradedFaultAsNumerical) {
+  const core::SimulationResults plain = clean_reference();
+  fault::failpoints().arm("graded.qr", 40);
+  const core::SimulationResults supervised =
+      core::run_supervised_simulation(small_config(), test_policy());
+  ASSERT_EQ(fault::failpoints().state("graded.qr").fired, 1u);
+  expect_same_trajectory(plain, supervised);
+  ASSERT_FALSE(supervised.fault_report.events.empty());
+  EXPECT_EQ(supervised.fault_report.events[0].site, "graded.qr");
+  EXPECT_EQ(supervised.fault_report.events[0].fault_class, "numerical");
+}
+
+TEST_F(SupervisorTest, RecoversAsyncGpusimStreamFault) {
+  // The stream-thread fault is sticky and surfaces from wait_idle() — the
+  // supervisor still sees an InjectedFault and replays the segment; the
+  // recovered gpusim trajectory matches the clean HOST one (backend
+  // parity composes with recovery).
+  const core::SimulationResults plain = clean_reference();
+  fault::failpoints().arm("gpusim.stream", 30);
+  const core::SimulationResults supervised = core::run_supervised_simulation(
+      small_config(backend::BackendKind::kGpuSim), test_policy());
+  ASSERT_EQ(fault::failpoints().state("gpusim.stream").fired, 1u);
+  expect_same_trajectory(plain, supervised);
+  EXPECT_EQ(supervised.fault_report.final_backend, "gpusim");
+  EXPECT_FALSE(supervised.fault_report.degraded);
+  ASSERT_FALSE(supervised.fault_report.events.empty());
+  EXPECT_EQ(supervised.fault_report.events[0].site, "gpusim.stream");
+  EXPECT_EQ(supervised.fault_report.events[0].fault_class, "device");
+}
+
+TEST_F(SupervisorTest, DegradesGpusimToHostMidRun) {
+  // A persistent gpusim-only fault exhausts the retries, then the chain
+  // degrades to the host backend and FINISHES — on the same trajectory.
+  const core::SimulationResults plain = clean_reference();
+  fault::failpoints().arm_spec("backend.enqueue.gpusim:10+");
+  core::SupervisorPolicy policy = test_policy();
+  policy.max_retries = 1;
+  const core::SimulationResults supervised = core::run_supervised_simulation(
+      small_config(backend::BackendKind::kGpuSim), policy);
+  expect_same_trajectory(plain, supervised);
+  const fault::FaultReport& fr = supervised.fault_report;
+  EXPECT_TRUE(fr.degraded);
+  EXPECT_EQ(fr.degradations, 1u);
+  EXPECT_EQ(fr.final_backend, "host");
+  EXPECT_EQ(supervised.backend_name, "host");
+  bool saw_degrade = false;
+  for (const fault::FaultEvent& ev : fr.events) {
+    if (ev.action == "degrade") saw_degrade = true;
+  }
+  EXPECT_TRUE(saw_degrade);
+}
+
+TEST_F(SupervisorTest, DegradationCanBeDisallowed) {
+  fault::failpoints().arm_spec("backend.enqueue.gpusim:10+");
+  core::SupervisorPolicy policy = test_policy();
+  policy.max_retries = 1;
+  policy.allow_degrade = false;
+  EXPECT_THROW(core::run_supervised_simulation(
+                   small_config(backend::BackendKind::kGpuSim), policy),
+               fault::InjectedFault);
+}
+
+TEST_F(SupervisorTest, RetriesCheckpointSaveOnce) {
+  // Hit 1 is the initial recovery checkpoint; hit 2 is the first segment's
+  // — it fails once, the immediate retry succeeds, the run is unaffected.
+  const core::SimulationResults plain = clean_reference();
+  fault::failpoints().arm("checkpoint.save", 2);
+  const core::SimulationResults supervised =
+      core::run_supervised_simulation(small_config(), test_policy());
+  ASSERT_EQ(fault::failpoints().state("checkpoint.save").fired, 1u);
+  expect_same_trajectory(plain, supervised);
+  const fault::FaultReport& fr = supervised.fault_report;
+  EXPECT_EQ(fr.checkpoint_faults, 1u);
+  EXPECT_EQ(fr.restarts, 0u);
+  ASSERT_FALSE(fr.events.empty());
+  EXPECT_EQ(fr.events[0].action, "retry-checkpoint");
+  EXPECT_EQ(fr.events[0].fault_class, "io");
+}
+
+TEST_F(SupervisorTest, SkipsCheckpointThenRestoresFromOlderOne) {
+  // Both attempts of the first segment checkpoint fail -> the segment still
+  // commits ("skip-checkpoint", previous checkpoint kept). A later device
+  // fault then forces a restore from that OLDER checkpoint: the supervisor
+  // fast-forwards the already-committed sweeps without re-measuring, so
+  // both the trajectory and the sample set stay exact.
+  const core::SimulationResults plain = clean_reference();
+  fault::failpoints().arm_spec("checkpoint.save:2:2,backend.enqueue:150");
+  const core::SimulationResults supervised =
+      core::run_supervised_simulation(small_config(), test_policy());
+  ASSERT_EQ(fault::failpoints().state("checkpoint.save").fired, 2u);
+  ASSERT_EQ(fault::failpoints().state("backend.enqueue").fired, 1u);
+  expect_same_trajectory(plain, supervised);
+  const fault::FaultReport& fr = supervised.fault_report;
+  EXPECT_EQ(fr.checkpoint_faults, 2u);
+  EXPECT_GE(fr.restarts, 1u);
+  bool saw_skip = false;
+  for (const fault::FaultEvent& ev : fr.events) {
+    if (ev.action == "skip-checkpoint") saw_skip = true;
+  }
+  EXPECT_TRUE(saw_skip);
+}
+
+TEST_F(SupervisorTest, RecoversInjectedHealthTrip) {
+  const core::SimulationResults plain = clean_reference();
+  fault::failpoints().arm("supervisor.health", 1);
+  const core::SimulationResults supervised =
+      core::run_supervised_simulation(small_config(), test_policy());
+  ASSERT_EQ(fault::failpoints().state("supervisor.health").fired, 1u);
+  expect_same_trajectory(plain, supervised);
+  EXPECT_EQ(supervised.fault_report.health_trips, 1u);
+  ASSERT_FALSE(supervised.fault_report.events.empty());
+  EXPECT_EQ(supervised.fault_report.events[0].fault_class, "health");
+  EXPECT_EQ(supervised.fault_report.events[0].action, "retry");
+}
+
+TEST_F(SupervisorTest, DisablesHealthGateAfterPersistentTrips) {
+  // A trip that deterministically re-trips is a real anomaly, not a
+  // transient: after max_retries the supervisor degrades the MONITORING
+  // (disable-health) and lets the physics continue.
+  const core::SimulationResults plain = clean_reference();
+  fault::failpoints().arm_spec("supervisor.health:1+");
+  core::SupervisorPolicy policy = test_policy();
+  policy.max_retries = 1;
+  const core::SimulationResults supervised =
+      core::run_supervised_simulation(small_config(), policy);
+  expect_same_trajectory(plain, supervised);
+  const fault::FaultReport& fr = supervised.fault_report;
+  EXPECT_EQ(fr.health_trips, 2u);  // one retried, one disabled the gate
+  bool saw_disable = false;
+  for (const fault::FaultEvent& ev : fr.events) {
+    if (ev.action == "disable-health") saw_disable = true;
+  }
+  EXPECT_TRUE(saw_disable);
+}
+
+TEST_F(SupervisorTest, TripOnHealthGateUsesRealMonitor) {
+  // With trip_on_health opted in and an impossible sortedness threshold,
+  // every segment raises real violations: the supervisor trips, retries,
+  // then disables the gate — and the trajectory is still untouched (health
+  // monitoring never perturbs the Markov chain).
+  const core::SimulationResults plain = clean_reference();
+  const obs::HealthThresholds saved = obs::health().thresholds();
+  obs::HealthThresholds impossible = saved;
+  impossible.min_sortedness = 1.5;  // sortedness is in [0, 1]: always trips
+  obs::health().set_thresholds(impossible);
+  obs::health().set_enabled(true);
+
+  core::SupervisorPolicy policy = test_policy();
+  policy.max_retries = 1;
+  policy.trip_on_health = true;
+  const core::SimulationResults supervised =
+      core::run_supervised_simulation(small_config(), policy);
+
+  obs::health().set_enabled(false);
+  obs::health().set_thresholds(saved);
+  obs::health().reset();
+
+  expect_same_trajectory(plain, supervised);
+  EXPECT_GE(supervised.fault_report.health_trips, 2u);
+  bool saw_disable = false;
+  for (const fault::FaultEvent& ev : supervised.fault_report.events) {
+    if (ev.action == "disable-health") saw_disable = true;
+  }
+  EXPECT_TRUE(saw_disable);
+}
+
+TEST_F(SupervisorTest, AbortsWhenRecoveryIsExhausted) {
+  // Host backend has nowhere to degrade: a persistent device fault aborts
+  // with the original exception after max_retries, and the abort is on the
+  // event record.
+  fault::failpoints().arm_spec("backend.enqueue:5+");
+  core::SupervisorPolicy policy = test_policy();
+  policy.max_retries = 1;
+  EXPECT_THROW(core::run_supervised_simulation(small_config(), policy),
+               fault::InjectedFault);
+}
+
+TEST_F(SupervisorTest, ParallelChainsRecoverToMergedCleanHash) {
+  // The registry is process-global, so with two concurrent chains WHICH
+  // chain absorbs each armed hit is a race — but every recovery is bitwise,
+  // so the merged trajectory hash is still exactly the clean one.
+  const core::SimulationConfig cfg = small_config();
+  const core::SimulationResults plain = core::run_parallel_simulation(cfg, 2);
+  fault::failpoints().arm("backend.enqueue", 20, 4);
+  // All four fires could race onto ONE chain's consecutive replays; give
+  // the ladder enough retries that no interleaving reaches the abort rung.
+  core::SupervisorPolicy policy = test_policy();
+  policy.max_retries = 10;
+  const core::SimulationResults supervised =
+      core::run_supervised_parallel(cfg, policy, 2);
+  EXPECT_EQ(plain.trajectory_hash, supervised.trajectory_hash);
+  EXPECT_EQ(plain.measurements.density().mean,
+            supervised.measurements.density().mean);
+  EXPECT_EQ(fault::failpoints().state("backend.enqueue").fired, 4u);
+  EXPECT_GE(supervised.fault_report.faults, 1u);
+  EXPECT_GT(supervised.fault_report.checkpoints, 0u);
+}
+
+}  // namespace
+}  // namespace dqmc

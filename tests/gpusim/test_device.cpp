@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "gpusim/stream.h"
 #include "linalg/util.h"
+#include "parallel/topology.h"
 #include "testing/test_utils.h"
 
 namespace dqmc::gpu {
@@ -37,6 +41,26 @@ TEST(DeviceSpec, RowwiseScalIsSlowerThanFusedKernel) {
   const double bytes = 2.0 * n * n * sizeof(double);
   EXPECT_GT(spec.rowwise_scal_seconds(n, n),
             5.0 * spec.fused_kernel_seconds(bytes));
+}
+
+TEST(StreamThread, RunsSerialToKeepWaitIdleDeadlockFree) {
+  // Runtime tasks may legitimately block in wait_idle() until the stream
+  // drains; if the stream thread entered the shared task runtime (nested
+  // parallel GEMM tiles), help-first stealing could hand it exactly such a
+  // task and it would wait on itself. The guard is num_threads() == 1 on
+  // the stream thread, so every parallel region it enters runs inline.
+  StreamThread stream;
+  std::atomic<int> threads{0};
+  std::atomic<bool> serial{false};
+  stream.submit([&] {
+    threads = par::num_threads();
+    serial = par::thread_is_serial();
+  });
+  stream.wait_idle();
+  EXPECT_TRUE(serial.load());
+  EXPECT_EQ(threads.load(), 1);
+  // The flag is per-thread: the submitting side keeps its own budget.
+  EXPECT_FALSE(par::thread_is_serial());
 }
 
 TEST(Device, RoundTripTransferPreservesData) {
