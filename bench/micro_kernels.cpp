@@ -33,6 +33,70 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512);
 
+// Transposed-operand variants: these exercise the strided reads in
+// pack_a (transA) / pack_b (transB), which the blocked-transpose tiling in
+// gemm_kernel.cpp turns into contiguous row-segment copies. Regressing
+// these toward BM_Gemm's GFlops is the point of that satellite.
+void BM_GemmTrans(benchmark::State& state) {
+  const idx n = state.range(0);
+  const bool ta = state.range(1) != 0;
+  const bool tb = state.range(2) != 0;
+  MatrixRng rng(static_cast<std::uint64_t>(n));
+  const Matrix a = rng.uniform_matrix(n, n);
+  const Matrix b = rng.uniform_matrix(n, n);
+  Matrix c = Matrix::zero(n, n);
+  for (auto _ : state) {
+    gemm(ta ? Trans::Yes : Trans::No, tb ? Trans::Yes : Trans::No, 1.0, a, b,
+         0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_GemmTrans)
+    ->ArgNames({"n", "transA", "transB"})
+    ->Args({128, 1, 0})
+    ->Args({256, 1, 0})
+    ->Args({512, 1, 0})
+    ->Args({128, 0, 1})
+    ->Args({256, 0, 1})
+    ->Args({512, 0, 1})
+    ->Args({128, 1, 1})
+    ->Args({256, 1, 1})
+    ->Args({512, 1, 1});
+
+// Batched GEMM with the shared left operand of the walker-crowd wrap:
+// one resident B streamed against `batch` per-walker panels.
+void BM_GemmBatchedShared(benchmark::State& state) {
+  const idx n = state.range(0);
+  const idx batch = state.range(1);
+  MatrixRng rng(static_cast<std::uint64_t>(n) + 7);
+  const Matrix shared = rng.uniform_matrix(n, n);
+  std::vector<Matrix> bs, cs;
+  for (idx i = 0; i < batch; ++i) {
+    bs.push_back(rng.uniform_matrix(n, n));
+    cs.push_back(Matrix::zero(n, n));
+  }
+  const std::vector<ConstMatrixView> av{shared};
+  const std::vector<ConstMatrixView> bv(bs.begin(), bs.end());
+  std::vector<MatrixView> cv(cs.begin(), cs.end());
+  for (auto _ : state) {
+    gemm_batched(Trans::No, Trans::No, 1.0, av, bv, 0.0, cv);
+    benchmark::DoNotOptimize(cs.front().data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * static_cast<double>(batch) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_GemmBatchedShared)
+    ->ArgNames({"n", "batch"})
+    ->Args({64, 8})
+    ->Args({128, 8})
+    ->Args({128, 16})
+    ->Args({256, 8});
+
 void BM_QrBlocked(benchmark::State& state) {
   const idx n = state.range(0);
   MatrixRng rng(static_cast<std::uint64_t>(n) + 1);

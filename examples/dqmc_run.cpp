@@ -34,6 +34,14 @@
 //                         config key `failpoints` does the same
 //   --max-retries N       replay attempts per segment before escalating
 //   --checkpoint-interval N   sweeps per recovery checkpoint segment
+//
+// Multi-walker runs (docs/PERFORMANCE.md, "Walker batching"):
+//   --walkers N           run N independent chains (seeds seed .. seed+N-1)
+//                         and merge their bins; config key `walkers` too
+//   --walker-batch W      advance those chains in lockstep crowds of up to
+//                         W walkers whose per-slice linear algebra is folded
+//                         into batched backend launches; per-chain
+//                         trajectories are bitwise identical to W=0
 #include <cstdio>
 
 #include "cli/args.h"
@@ -53,14 +61,17 @@ int main(int argc, char** argv) {
   cli::Args args(argc, argv,
                  {"config", "progress", "warmup", "sweeps", "seed",
                   "backend", "trace-json", "metrics-json", "failpoint",
-                  "max-retries", "checkpoint-interval"});
+                  "max-retries", "checkpoint-interval", "walkers",
+                  "walker-batch"});
 
   core::SimulationConfig cfg;
   core::SupervisorPolicy policy;
+  idx walkers = 1;
   if (args.has("config")) {
     const cli::ConfigFile file = cli::ConfigFile::load(args.get("config", ""));
     cfg = cli::simulation_config_from(file);
     policy = cli::supervisor_policy_from(file);
+    walkers = file.get_long("walkers", 1);
     // Arming happens HERE, not in the parser: loading a config never has
     // fail-point side effects unless this driver asks for them.
     if (file.has("failpoints")) {
@@ -95,6 +106,11 @@ int main(int argc, char** argv) {
   if (args.has("checkpoint-interval")) {
     policy.checkpoint_interval = args.get_long("checkpoint-interval", 25);
   }
+  if (args.has("walkers")) walkers = args.get_long("walkers", 1);
+  if (args.has("walker-batch")) {
+    cfg.walker_batch = args.get_long("walker-batch", 0);
+  }
+  DQMC_CHECK_MSG(walkers >= 1, "--walkers must be >= 1");
   policy.validate();
 
   const std::string trace_path = args.get("trace-json", "");
@@ -133,8 +149,20 @@ int main(int argc, char** argv) {
     };
   }
 
+  if (walkers > 1) {
+    std::printf("%lld walkers", static_cast<long long>(walkers));
+    if (cfg.walker_batch > 0) {
+      std::printf(" in lockstep crowds of up to %lld",
+                  static_cast<long long>(cfg.walker_batch));
+    }
+    std::printf("\n\n");
+  }
+
+  // The multi-walker entry point has no per-sweep progress callback; the
+  // crowd path reports through the manifest's batch section instead.
   core::SimulationResults res =
-      core::run_supervised_simulation(cfg, policy, progress);
+      walkers > 1 ? core::run_supervised_parallel(cfg, policy, walkers)
+                  : core::run_supervised_simulation(cfg, policy, progress);
   const auto& m = res.measurements;
 
   cli::Table table({"observable", "value"});

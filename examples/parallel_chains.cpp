@@ -5,6 +5,11 @@
 //
 //   ./parallel_chains [--l 4] [--u 4.0] [--beta 3.0] [--slices 30]
 //                     [--chains 4] [--sweeps 200] [--warmup 60] [--seed 21]
+//                     [--walker-batch W]
+//
+// --walker-batch W > 0 advances the chains in lockstep crowds of up to W
+// walkers with their per-slice linear algebra folded into batched backend
+// launches (bitwise identical results; docs/PERFORMANCE.md).
 #include <cstdio>
 
 #include "cli/args.h"
@@ -17,7 +22,7 @@ int main(int argc, char** argv) {
   using namespace dqmc;
   using linalg::idx;
   cli::Args args(argc, argv, {"l", "u", "beta", "slices", "chains", "sweeps",
-                              "warmup", "seed"});
+                              "warmup", "seed", "walker-batch"});
 
   core::SimulationConfig cfg;
   cfg.lx = cfg.ly = args.get_long("l", 4);
@@ -27,6 +32,7 @@ int main(int argc, char** argv) {
   cfg.warmup_sweeps = args.get_long("warmup", 60);
   cfg.measurement_sweeps = args.get_long("sweeps", 200);
   cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 21));
+  cfg.walker_batch = args.get_long("walker-batch", 0);
   const idx chains = args.get_long("chains", 4);
 
   std::printf("%lld independent chains of %lld+%lld sweeps each "

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "linalg/blas3.h"
 #include "linalg/matrix.h"
@@ -161,6 +162,42 @@ class ComputeBackend {
 
   /// g <- diag(v) * g * diag(v)^{-1} in one fused launch (Algorithm 7).
   virtual void wrap_scale(const VectorHandle& v, MatrixHandle& g) = 0;
+
+  // ---- Batched operations (walker crowds) --------------------------------
+  // One enqueue covering count = <output>.size() same-shape items:
+  // HostBackend runs the batch through the library's batched kernels inside
+  // one task-runtime region; GpuSimBackend models a cuBLAS-batched launch
+  // (one launch fee / one PCIe transaction, aggregate-volume occupancy).
+  // An `a`/`b`/`src` argument of size 1 designates one SHARED operand read
+  // by every item. Results are bitwise identical per item to issuing the
+  // count non-batched calls; lifetime contract as for the single-item ops.
+
+  /// C_i <- alpha op(A_i) op(B_i) + beta C_i (cublasDgemmBatched).
+  virtual void gemm_batched(Trans transa, Trans transb, double alpha,
+                            const std::vector<const MatrixHandle*>& a,
+                            const std::vector<const MatrixHandle*>& b,
+                            double beta,
+                            const std::vector<MatrixHandle*>& c) = 0;
+
+  /// dst_i <- diag(v_i) * src_i, fused (Algorithm 5), one launch.
+  virtual void scale_rows_batched(const std::vector<const VectorHandle*>& v,
+                                  const std::vector<const MatrixHandle*>& src,
+                                  const std::vector<MatrixHandle*>& dst) = 0;
+
+  /// g_i <- diag(v_i) g_i diag(v_i)^{-1} (Algorithm 7), one launch.
+  virtual void wrap_scale_batched(const std::vector<const VectorHandle*>& v,
+                                  const std::vector<MatrixHandle*>& g) = 0;
+
+  /// Batched upload_async: one transfer transaction for all items.
+  virtual void upload_batched_async(const std::vector<ConstMatrixView>& hosts,
+                                    const std::vector<MatrixHandle*>& dst) = 0;
+  /// Batched upload_vector_async (all vectors of length n).
+  virtual void upload_vectors_async(const std::vector<const double*>& hosts,
+                                    idx n,
+                                    const std::vector<VectorHandle*>& dst) = 0;
+  /// Batched download: drains the stream, one transfer transaction.
+  virtual void download_batched(const std::vector<const MatrixHandle*>& src,
+                                const std::vector<MatrixView>& hosts) = 0;
 
   /// Block the host until all enqueued work has executed.
   virtual void synchronize() = 0;

@@ -1,0 +1,159 @@
+#include "backend/bbatch.h"
+
+#include <algorithm>
+
+#include "fault/failpoint.h"
+
+namespace dqmc::backend {
+
+namespace {
+
+// Same enqueue fail-point sites as BackendBChain, hit once per batched
+// composite: a fault here is attributed to the whole crowd (no single
+// walker can be blamed for a batched launch).
+void enqueue_failpoint(const ComputeBackend& backend) {
+  DQMC_FAILPOINT("backend.enqueue");
+  DQMC_FAILPOINT(backend.kind() == BackendKind::kGpuSim
+                     ? "backend.enqueue.gpusim"
+                     : "backend.enqueue.host");
+}
+
+}  // namespace
+
+BatchedBChain::BatchedBChain(ComputeBackend& backend, ConstMatrixView b,
+                             ConstMatrixView binv, idx items)
+    : backend_(backend), n_(b.rows()), items_(items) {
+  DQMC_CHECK(b.rows() == b.cols());
+  DQMC_CHECK(binv.rows() == n_ && binv.cols() == n_);
+  DQMC_CHECK(items >= 1);
+  b_ = backend_.alloc_matrix(n_, n_);
+  binv_ = backend_.alloc_matrix(n_, n_);
+  backend_.upload(b, *b_);
+  backend_.upload(binv, *binv_);
+  g_.reserve(items_);
+  t_.reserve(items_);
+  a_.reserve(items_);
+  v_.reserve(items_);
+  for (idx i = 0; i < items_; ++i) {
+    g_.push_back(backend_.alloc_matrix(n_, n_));
+    t_.push_back(backend_.alloc_matrix(n_, n_));
+    a_.push_back(backend_.alloc_matrix(n_, n_));
+    v_.push_back(backend_.alloc_vector(n_));
+  }
+  g_resident_.assign(static_cast<std::size_t>(items_), 0);
+  wrap_uploads_skipped_.assign(static_cast<std::size_t>(items_), 0);
+}
+
+void BatchedBChain::invalidate_residency() {
+  std::fill(g_resident_.begin(), g_resident_.end(), 0);
+}
+
+void BatchedBChain::wrap_batched(const std::vector<MatrixView>& g,
+                                 const std::vector<const Vector*>& v,
+                                 const std::vector<char>& host_unchanged) {
+  DQMC_CHECK(static_cast<idx>(g.size()) == items_);
+  DQMC_CHECK(v.size() == g.size() && host_unchanged.size() == g.size());
+  for (idx i = 0; i < items_; ++i) {
+    DQMC_CHECK(g[i].rows() == n_ && g[i].cols() == n_);
+    DQMC_CHECK(v[i]->size() == n_);
+  }
+  enqueue_failpoint(backend_);
+
+  // Upload only the non-resident items, in one batched transaction.
+  std::vector<ConstMatrixView> up_hosts;
+  std::vector<MatrixHandle*> up_handles;
+  for (idx i = 0; i < items_; ++i) {
+    if (host_unchanged[i] && g_resident_[i]) {
+      ++wrap_uploads_skipped_[static_cast<std::size_t>(i)];
+    } else {
+      up_hosts.push_back(g[i]);
+      up_handles.push_back(g_[i].get());
+    }
+  }
+  if (!up_handles.empty()) {
+    backend_.upload_batched_async(up_hosts, up_handles);
+  }
+
+  std::vector<const double*> v_hosts;
+  std::vector<VectorHandle*> v_handles;
+  std::vector<const VectorHandle*> v_const;
+  std::vector<const MatrixHandle*> g_const, t_const;
+  std::vector<MatrixHandle*> g_mut, t_mut;
+  for (idx i = 0; i < items_; ++i) {
+    v_hosts.push_back(v[i]->data());
+    v_handles.push_back(v_[i].get());
+    v_const.push_back(v_[i].get());
+    g_const.push_back(g_[i].get());
+    t_const.push_back(t_[i].get());
+    g_mut.push_back(g_[i].get());
+    t_mut.push_back(t_[i].get());
+  }
+  backend_.upload_vectors_async(v_hosts, n_, v_handles);
+
+  // T_i = B * G_i (shared A), G_i = T_i * B^{-1} (shared B), then the
+  // fused Algorithm 7 scaling — per item the identical sequence (and
+  // bitwise the identical arithmetic) as BackendBChain::wrap.
+  const std::vector<const MatrixHandle*> shared_b{b_.get()};
+  const std::vector<const MatrixHandle*> shared_binv{binv_.get()};
+  backend_.gemm_batched(Trans::No, Trans::No, 1.0, shared_b, g_const, 0.0,
+                        t_mut);
+  backend_.gemm_batched(Trans::No, Trans::No, 1.0, t_const, shared_binv, 0.0,
+                        g_mut);
+  backend_.wrap_scale_batched(v_const, g_mut);
+  backend_.download_batched(g_const, g);
+  std::fill(g_resident_.begin(), g_resident_.end(), 1);
+}
+
+std::vector<Matrix> BatchedBChain::cluster_product_batched(
+    const std::vector<std::vector<Vector>>& vs) {
+  DQMC_CHECK(static_cast<idx>(vs.size()) == items_);
+  const std::size_t k = vs[0].size();
+  DQMC_CHECK_MSG(k >= 1, "cluster_product needs at least one factor");
+  for (const std::vector<Vector>& item : vs) {
+    DQMC_CHECK_MSG(item.size() == k,
+                   "all crowd items must have the same factor count");
+    for (const Vector& v : item) DQMC_CHECK(v.size() == n_);
+  }
+  enqueue_failpoint(backend_);
+
+  std::vector<const double*> v_hosts(static_cast<std::size_t>(items_));
+  std::vector<VectorHandle*> v_handles;
+  std::vector<const VectorHandle*> v_const;
+  std::vector<const MatrixHandle*> a_const, t_const;
+  std::vector<MatrixHandle*> a_mut, t_mut;
+  for (idx i = 0; i < items_; ++i) {
+    v_handles.push_back(v_[i].get());
+    v_const.push_back(v_[i].get());
+    a_const.push_back(a_[i].get());
+    t_const.push_back(t_[i].get());
+    a_mut.push_back(a_[i].get());
+    t_mut.push_back(t_[i].get());
+  }
+  const std::vector<const MatrixHandle*> shared_b{b_.get()};
+
+  // A_i = diag(vs[i][0]) * B, then per level one shared-operand batched
+  // GEMM + batched V upload + batched scaling; FIFO order makes reusing
+  // the per-item v_ workspace safe exactly as in the non-batched chain.
+  for (idx i = 0; i < items_; ++i) v_hosts[static_cast<std::size_t>(i)] = vs[i][0].data();
+  backend_.upload_vectors_async(v_hosts, n_, v_handles);
+  backend_.scale_rows_batched(v_const, shared_b, a_mut);
+  for (std::size_t l = 1; l < k; ++l) {
+    backend_.gemm_batched(Trans::No, Trans::No, 1.0, shared_b, a_const, 0.0,
+                          t_mut);
+    for (idx i = 0; i < items_; ++i) v_hosts[static_cast<std::size_t>(i)] = vs[i][l].data();
+    backend_.upload_vectors_async(v_hosts, n_, v_handles);
+    backend_.scale_rows_batched(v_const, t_const, a_mut);
+  }
+
+  std::vector<Matrix> out;
+  std::vector<MatrixView> out_views;
+  out.reserve(static_cast<std::size_t>(items_));
+  for (idx i = 0; i < items_; ++i) {
+    out.emplace_back(n_, n_);
+    out_views.push_back(out.back().view());
+  }
+  backend_.download_batched(a_const, out_views);
+  return out;
+}
+
+}  // namespace dqmc::backend

@@ -1,0 +1,70 @@
+// Batched backend-resident chain operations for walker crowds: the
+// BackendBChain cluster/wrap composites over `items` independent
+// (walker, spin) chains advanced in lockstep, expressed with the batched
+// ComputeBackend calls so W small GEMMs become one batched enqueue.
+//
+// The fixed factor B = e^{-dtau K} is spin- and walker-independent, so ONE
+// resident copy (and one of B^{-1}) serves every item — the shared operand
+// gemm_batched packs once per cache block. Per-item state mirrors
+// BackendBChain exactly (own G/T/A workspaces, own residency flag, own
+// wrap-upload-skip counter), and each item's enqueue sequence is the same
+// as the non-batched chain, so per-item results are bitwise identical to
+// running `items` separate BackendBChains.
+#pragma once
+
+#include <vector>
+
+#include "backend/backend.h"
+
+namespace dqmc::backend {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class BatchedBChain {
+ public:
+  /// `b` is e^{-dtau K}, `binv` its inverse (N x N), shared by all items.
+  BatchedBChain(ComputeBackend& backend, ConstMatrixView b,
+                ConstMatrixView binv, idx items);
+
+  idx n() const { return n_; }
+  idx items() const { return items_; }
+  ComputeBackend& backend() { return backend_; }
+
+  /// Lockstep wrap of all items: g_i <- diag(v_i) (B g_i B^{-1})
+  /// diag(v_i)^{-1} with the Algorithm 7 fused kernel. Uploads only the
+  /// items whose host g changed since this chain last downloaded it
+  /// (`host_unchanged[i]` asserts bitwise-unchanged, as in
+  /// BackendBChain::wrap), then runs two shared-operand batched GEMMs, one
+  /// batched wrap kernel, and one batched download.
+  void wrap_batched(const std::vector<MatrixView>& g,
+                    const std::vector<const Vector*>& v,
+                    const std::vector<char>& host_unchanged);
+
+  /// Lockstep cluster products: out[i] = B_{k-1} ... B_1 B_0 for item i
+  /// with B_l = diag(vs[i][l]) * B. All items must have the same factor
+  /// count k; one batched V upload + scaling per level, (k-1) batched
+  /// GEMMs, one batched download.
+  std::vector<Matrix> cluster_product_batched(
+      const std::vector<std::vector<Vector>>& vs);
+
+  /// Wrap uploads elided for item i because its G was still resident.
+  std::uint64_t wrap_uploads_skipped(idx item) const {
+    return wrap_uploads_skipped_[static_cast<std::size_t>(item)];
+  }
+
+  /// Forget device residency for every item (host copies changed outside
+  /// wrap_batched, e.g. after a checkpoint restore).
+  void invalidate_residency();
+
+ private:
+  ComputeBackend& backend_;
+  idx n_, items_;
+  std::unique_ptr<MatrixHandle> b_, binv_;  // ONE resident copy for all items
+  std::vector<std::unique_ptr<MatrixHandle>> g_, t_, a_;
+  std::vector<std::unique_ptr<VectorHandle>> v_;
+  std::vector<char> g_resident_;
+  std::vector<std::uint64_t> wrap_uploads_skipped_;
+};
+
+}  // namespace dqmc::backend

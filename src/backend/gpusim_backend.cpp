@@ -106,6 +106,79 @@ void GpuSimBackend::wrap_scale(const VectorHandle& v, MatrixHandle& g) {
   device_.wrap_scale_kernel(as(v), as(g));
 }
 
+void GpuSimBackend::gemm_batched(Trans transa, Trans transb, double alpha,
+                                 const std::vector<const MatrixHandle*>& a,
+                                 const std::vector<const MatrixHandle*>& b,
+                                 double beta,
+                                 const std::vector<MatrixHandle*>& c) {
+  std::vector<const gpu::DeviceMatrix*> av, bv;
+  std::vector<gpu::DeviceMatrix*> cv;
+  av.reserve(a.size());
+  bv.reserve(b.size());
+  cv.reserve(c.size());
+  for (const MatrixHandle* h : a) av.push_back(&as(*h));
+  for (const MatrixHandle* h : b) bv.push_back(&as(*h));
+  for (MatrixHandle* h : c) cv.push_back(&as(*h));
+  device_.gemm_batched(transa, transb, alpha, std::move(av), std::move(bv),
+                       beta, std::move(cv));
+}
+
+void GpuSimBackend::scale_rows_batched(
+    const std::vector<const VectorHandle*>& v,
+    const std::vector<const MatrixHandle*>& src,
+    const std::vector<MatrixHandle*>& dst) {
+  std::vector<const gpu::DeviceVector*> vv;
+  std::vector<const gpu::DeviceMatrix*> sv;
+  std::vector<gpu::DeviceMatrix*> dv;
+  vv.reserve(v.size());
+  sv.reserve(src.size());
+  dv.reserve(dst.size());
+  for (const VectorHandle* h : v) vv.push_back(&as(*h));
+  for (const MatrixHandle* h : src) sv.push_back(&as(*h));
+  for (MatrixHandle* h : dst) dv.push_back(&as(*h));
+  device_.scale_rows_kernel_batched(std::move(vv), std::move(sv),
+                                    std::move(dv));
+}
+
+void GpuSimBackend::wrap_scale_batched(
+    const std::vector<const VectorHandle*>& v,
+    const std::vector<MatrixHandle*>& g) {
+  std::vector<const gpu::DeviceVector*> vv;
+  std::vector<gpu::DeviceMatrix*> gv;
+  vv.reserve(v.size());
+  gv.reserve(g.size());
+  for (const VectorHandle* h : v) vv.push_back(&as(*h));
+  for (MatrixHandle* h : g) gv.push_back(&as(*h));
+  device_.wrap_scale_kernel_batched(std::move(vv), std::move(gv));
+}
+
+void GpuSimBackend::upload_batched_async(
+    const std::vector<ConstMatrixView>& hosts,
+    const std::vector<MatrixHandle*>& dst) {
+  std::vector<gpu::DeviceMatrix*> dv;
+  dv.reserve(dst.size());
+  for (MatrixHandle* h : dst) dv.push_back(&as(*h));
+  device_.set_matrices_async(hosts, std::move(dv));
+}
+
+void GpuSimBackend::upload_vectors_async(
+    const std::vector<const double*>& hosts, idx n,
+    const std::vector<VectorHandle*>& dst) {
+  std::vector<gpu::DeviceVector*> dv;
+  dv.reserve(dst.size());
+  for (VectorHandle* h : dst) dv.push_back(&as(*h));
+  device_.set_vectors_async(hosts, n, std::move(dv));
+}
+
+void GpuSimBackend::download_batched(
+    const std::vector<const MatrixHandle*>& src,
+    const std::vector<MatrixView>& hosts) {
+  std::vector<const gpu::DeviceMatrix*> sv;
+  sv.reserve(src.size());
+  for (const MatrixHandle* h : src) sv.push_back(&as(*h));
+  device_.get_matrices(std::move(sv), hosts);
+}
+
 void GpuSimBackend::synchronize() { device_.synchronize(); }
 
 BackendStats GpuSimBackend::stats() const {

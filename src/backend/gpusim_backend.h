@@ -37,6 +37,22 @@ class GpuSimBackend final : public ComputeBackend {
                   MatrixHandle& dst) override;
   void wrap_scale(const VectorHandle& v, MatrixHandle& g) override;
 
+  void gemm_batched(Trans transa, Trans transb, double alpha,
+                    const std::vector<const MatrixHandle*>& a,
+                    const std::vector<const MatrixHandle*>& b, double beta,
+                    const std::vector<MatrixHandle*>& c) override;
+  void scale_rows_batched(const std::vector<const VectorHandle*>& v,
+                          const std::vector<const MatrixHandle*>& src,
+                          const std::vector<MatrixHandle*>& dst) override;
+  void wrap_scale_batched(const std::vector<const VectorHandle*>& v,
+                          const std::vector<MatrixHandle*>& g) override;
+  void upload_batched_async(const std::vector<ConstMatrixView>& hosts,
+                            const std::vector<MatrixHandle*>& dst) override;
+  void upload_vectors_async(const std::vector<const double*>& hosts, idx n,
+                            const std::vector<VectorHandle*>& dst) override;
+  void download_batched(const std::vector<const MatrixHandle*>& src,
+                        const std::vector<MatrixView>& hosts) override;
+
   void synchronize() override;
 
   BackendStats stats() const override;

@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "linalg/diag.h"
+#include "parallel/task_runtime.h"
 
 namespace dqmc::backend {
 
@@ -155,6 +156,111 @@ void HostBackend::wrap_scale(const VectorHandle& v, MatrixHandle& g) {
   Stopwatch watch;
   linalg::scale_rows_cols_inv(as(v).data(), as(v).data(), m);
   account_compute(watch.seconds());
+}
+
+void HostBackend::gemm_batched(Trans transa, Trans transb, double alpha,
+                               const std::vector<const MatrixHandle*>& a,
+                               const std::vector<const MatrixHandle*>& b,
+                               double beta,
+                               const std::vector<MatrixHandle*>& c) {
+  std::vector<linalg::ConstMatrixView> av, bv;
+  std::vector<linalg::MatrixView> cv;
+  av.reserve(a.size());
+  bv.reserve(b.size());
+  cv.reserve(c.size());
+  for (const MatrixHandle* h : a) av.push_back(as(*h).view());
+  for (const MatrixHandle* h : b) bv.push_back(as(*h).view());
+  for (MatrixHandle* h : c) cv.push_back(as(*h).view());
+  Stopwatch watch;
+  linalg::gemm_batched(transa, transb, alpha, av, bv, beta, cv);
+  account_compute(watch.seconds());
+}
+
+void HostBackend::scale_rows_batched(
+    const std::vector<const VectorHandle*>& v,
+    const std::vector<const MatrixHandle*>& src,
+    const std::vector<MatrixHandle*>& dst) {
+  DQMC_CHECK(!dst.empty() && v.size() == dst.size());
+  DQMC_CHECK(src.size() == dst.size() || src.size() == 1);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const Matrix& s = as(src.size() == 1 ? *src[0] : *src[i]);
+    DQMC_CHECK(v[i]->size() == s.rows());
+    DQMC_CHECK(s.rows() == dst[i]->rows() && s.cols() == dst[i]->cols());
+  }
+  Stopwatch watch;
+  // One task-runtime region over the batch; each item runs the exact
+  // single-item kernel, so per-item results cannot depend on the batching.
+  par::TaskGroup group;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    group.run([&, i] {
+      const Matrix& s = as(src.size() == 1 ? *src[0] : *src[i]);
+      linalg::scale_rows_into(as(*v[i]).data(), s, as(*dst[i]));
+    });
+  }
+  group.wait();
+  account_compute(watch.seconds());
+}
+
+void HostBackend::wrap_scale_batched(const std::vector<const VectorHandle*>& v,
+                                     const std::vector<MatrixHandle*>& g) {
+  DQMC_CHECK(!g.empty() && v.size() == g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    DQMC_CHECK(v[i]->size() == g[i]->rows() && g[i]->rows() == g[i]->cols());
+  }
+  Stopwatch watch;
+  par::TaskGroup group;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    group.run([&, i] {
+      linalg::scale_rows_cols_inv(as(*v[i]).data(), as(*v[i]).data(),
+                                  as(*g[i]));
+    });
+  }
+  group.wait();
+  account_compute(watch.seconds());
+}
+
+void HostBackend::upload_batched_async(
+    const std::vector<ConstMatrixView>& hosts,
+    const std::vector<MatrixHandle*>& dst) {
+  DQMC_CHECK(!dst.empty() && hosts.size() == dst.size());
+  Stopwatch watch;
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    Matrix& d = as(*dst[i]);
+    DQMC_CHECK(hosts[i].rows() == d.rows() && hosts[i].cols() == d.cols());
+    linalg::copy(hosts[i], d);
+    bytes += dst[i]->bytes();
+  }
+  account_transfer(bytes, watch.seconds(), /*h2d=*/true);
+}
+
+void HostBackend::upload_vectors_async(const std::vector<const double*>& hosts,
+                                       idx n,
+                                       const std::vector<VectorHandle*>& dst) {
+  DQMC_CHECK(!dst.empty() && hosts.size() == dst.size());
+  Stopwatch watch;
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    DQMC_CHECK(dst[i]->size() == n);
+    std::memcpy(as(*dst[i]).data(), hosts[i],
+                sizeof(double) * static_cast<std::size_t>(n));
+    bytes += dst[i]->bytes();
+  }
+  account_transfer(bytes, watch.seconds(), /*h2d=*/true);
+}
+
+void HostBackend::download_batched(const std::vector<const MatrixHandle*>& src,
+                                   const std::vector<MatrixView>& hosts) {
+  DQMC_CHECK(!src.empty() && hosts.size() == src.size());
+  Stopwatch watch;
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Matrix& s = as(*src[i]);
+    DQMC_CHECK(hosts[i].rows() == s.rows() && hosts[i].cols() == s.cols());
+    linalg::copy(s, hosts[i]);
+    bytes += src[i]->bytes();
+  }
+  account_transfer(bytes, watch.seconds(), /*h2d=*/false);
 }
 
 void HostBackend::synchronize() {

@@ -94,7 +94,8 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
       "bins", "seed",
       "algorithm", "cluster_size", "north", "delay_rank", "backend",
       "gpu_clustering", "gpu_wrapping", "checkpoint_in", "checkpoint_out",
-      "failpoints", "max_retries", "checkpoint_interval"};
+      "failpoints", "max_retries", "checkpoint_interval",
+      "walkers", "walker_batch"};
   for (const auto& [key, value] : file.entries()) {
     DQMC_CHECK_MSG(kKnown.count(key) > 0, "unknown config key: " + key);
     (void)value;
@@ -139,6 +140,12 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
              file.get_long("gpu_wrapping", 0) != 0) {
     cfg.engine.backend = backend::BackendKind::kGpuSim;
   }
+  // Crowd size for the batched walker path (0 = per-chain tasks). The
+  // companion `walkers` key — how many chains to run — is read by the
+  // driver, not here: it selects between the single- and multi-chain entry
+  // points rather than shaping the SimulationConfig.
+  cfg.walker_batch = file.get_long("walker_batch", 0);
+  DQMC_CHECK_MSG(cfg.walker_batch >= 0, "walker_batch must be >= 0");
   cfg.checkpoint_in = file.get("checkpoint_in", "");
   cfg.checkpoint_out = file.get("checkpoint_out", "");
   return cfg;

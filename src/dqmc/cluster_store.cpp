@@ -137,6 +137,13 @@ void ClusterStore::drain_deferred_profile(Profiler* prof) {
   if (prof && seconds > 0.0) prof->add(Phase::kClustering, seconds);
 }
 
+void ClusterStore::install_cluster(Spin s, idx c, Matrix product) {
+  DQMC_CHECK(c >= 0 && c < num_clusters_);
+  DQMC_CHECK(product.rows() == factory_.n() && product.cols() == factory_.n());
+  materialize();
+  clusters_[spin_index(s)][static_cast<std::size_t>(c)] = std::move(product);
+}
+
 const Matrix& ClusterStore::cluster(Spin s, idx c) {
   DQMC_CHECK(c >= 0 && c < num_clusters_);
   if (pending_cluster_.load(std::memory_order_acquire) == c) materialize();

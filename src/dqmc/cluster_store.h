@@ -74,6 +74,13 @@ class ClusterStore {
   /// Cluster product Bhat_c (materializes a pending rebuild of c first).
   const Matrix& cluster(Spin s, idx c);
 
+  /// Install an externally computed product for cluster c — the batched
+  /// walker driver rebuilds all walkers' clusters in one batched backend
+  /// call and hands each store its slice of the result. Replaces what
+  /// rebuild(c) would have produced; the caller guarantees the product was
+  /// computed from the current field with the same per-item arithmetic.
+  void install_cluster(Spin s, idx c, Matrix product);
+
   /// Factor i (rightmost-first) of the rotation starting at `start`:
   /// Bhat_{(start+i) mod m}. Thread-safe against a pending rebuild — this
   /// is the lazy access the stratification provider uses.

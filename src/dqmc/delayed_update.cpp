@@ -9,7 +9,8 @@
 namespace dqmc::core {
 
 DelayedGreens::DelayedGreens(idx n, idx max_rank)
-    : n_(n), max_rank_(max_rank), u_(n, max_rank), w_(n, max_rank) {
+    : n_(n), max_rank_(max_rank), u_(n, max_rank), w_(n, max_rank),
+      ut_(max_rank, n), wt_(max_rank, n) {
   DQMC_CHECK(n >= 1 && max_rank >= 1);
 }
 
@@ -22,14 +23,16 @@ void DelayedGreens::reset(Matrix g) {
 
 double DelayedGreens::diag(idx i) const {
   double v = g_(i, i);
-  // + sum_m U(i,m) W(i,m): strided dot across the buffers.
-  if (filled_ > 0) v += linalg::dot(filled_, &u_(i, 0), n_, &w_(i, 0), n_);
+  // + sum_m U(i,m) W(i,m): unit-stride dot down the transposed mirrors
+  // (same accumulation order as the strided read of u_/w_ rows, so the
+  // value is bitwise unchanged — only the memory walk is contiguous).
+  if (filled_ > 0) v += linalg::dot(filled_, ut_.col(i), wt_.col(i));
   return v;
 }
 
 double DelayedGreens::entry(idx i, idx j) const {
   double v = g_(i, j);
-  if (filled_ > 0) v += linalg::dot(filled_, &u_(i, 0), n_, &w_(j, 0), n_);
+  if (filled_ > 0) v += linalg::dot(filled_, ut_.col(i), wt_.col(j));
   return v;
 }
 
@@ -54,6 +57,11 @@ void DelayedGreens::accept(double coeff, idx i) {
 
   // Fold the -coeff into the u column so the flush is a plain GEMM.
   linalg::scal(n_, -coeff, ucol);
+  // Mirror the finished columns into row `filled_` of the transposed
+  // buffers; the strided write here is O(n) against the O(n * filled)
+  // axpy work above, and it buys unit-stride reads in every diag() call.
+  for (idx r = 0; r < n_; ++r) ut_(filled_, r) = ucol[r];
+  for (idx j = 0; j < n_; ++j) wt_(filled_, j) = wcol[j];
   ++filled_;
   ++revision_;
 }

@@ -56,12 +56,31 @@ class DelayedGreens {
     return g_;
   }
 
+  // Pieces of the flush GEMM, exposed so a walker-crowd driver can fold
+  // several walkers' pending corrections in one linalg::gemm_batched call
+  // (item arithmetic identical to flush()): G <- G + U_pending W_pending^T,
+  // then mark_flushed(). Views are only valid while pending() is unchanged.
+  linalg::ConstMatrixView pending_u() const {
+    return u_.view().block(0, 0, n_, filled_);
+  }
+  linalg::ConstMatrixView pending_w() const {
+    return w_.view().block(0, 0, n_, filled_);
+  }
+  Matrix& base_for_flush() { return g_; }
+  /// Declare the pending corrections folded by an external batched flush.
+  void mark_flushed() { filled_ = 0; }
+
  private:
   idx n_, max_rank_, filled_ = 0;
   std::uint64_t revision_ = 0;
   Matrix g_;
   Matrix u_;  // n x max_rank
   Matrix w_;  // n x max_rank
+  // Transposed mirrors (max_rank x n) of the filled part of u_/w_: row m of
+  // ut_/wt_ is column m of u_/w_, so the O(pending) correction dot in
+  // diag()/entry() — the Metropolis hot path — walks unit-stride memory.
+  Matrix ut_;
+  Matrix wt_;
 };
 
 }  // namespace dqmc::core

@@ -17,14 +17,17 @@ void EngineConfig::validate() const {
 }
 
 DqmcEngine::DqmcEngine(const Lattice& lattice, const ModelParams& params,
-                       EngineConfig config, std::uint64_t seed)
+                       EngineConfig config, std::uint64_t seed,
+                       backend::ComputeBackend* shared_backend)
     : lattice_(lattice),
       params_(params),
       config_(config),
       factory_(lattice, params),
       field_(params.slices, lattice.num_sites()),
       rng_(seed),
-      backend_(backend::make_backend(config.backend)),
+      owned_backend_(shared_backend ? nullptr
+                                    : backend::make_backend(config.backend)),
+      backend_(shared_backend ? shared_backend : owned_backend_.get()),
       chains_{std::make_unique<backend::BackendBChain>(*backend_, factory_.b(),
                                                        factory_.b_inv()),
               std::make_unique<backend::BackendBChain>(*backend_, factory_.b(),
@@ -205,6 +208,12 @@ void DqmcEngine::wrap_slice(idx slice) {
 }
 
 void DqmcEngine::metropolis_slice(idx slice, SweepStats& stats) {
+  metropolis_slice_sites(slice, stats);
+  delayed_[0].flush(&profiler_);
+  delayed_[1].flush(&profiler_);
+}
+
+void DqmcEngine::metropolis_slice_sites(idx slice, SweepStats& stats) {
   ScopedPhase phase(&profiler_, Phase::kDelayedUpdate);
   const double nu = factory_.nu();
   const idx nsites = n();
@@ -229,9 +238,9 @@ void DqmcEngine::metropolis_slice(idx slice, SweepStats& stats) {
       ++stats.accepted;
     }
   }
-  gup.flush(&profiler_);
-  gdn.flush(&profiler_);
 }
+
+void DqmcEngine::quiesce() { clusters_.materialize(); }
 
 SweepStats DqmcEngine::sweep(const SliceHook& on_slice) {
   DQMC_CHECK_MSG(initialized_, "call initialize() before sweep()");

@@ -55,8 +55,14 @@ struct SweepStats {
 
 class DqmcEngine {
  public:
+  /// `shared_backend` (optional) makes the engine run on a backend owned by
+  /// the caller instead of constructing its own — the walker-crowd driver
+  /// puts W engines on ONE backend so their work can be batched. The engine
+  /// never submits to a shared async backend concurrently with its owner:
+  /// callers serialize (see WalkerBatch / quiesce()).
   DqmcEngine(const Lattice& lattice, const ModelParams& params,
-             EngineConfig config, std::uint64_t seed);
+             EngineConfig config, std::uint64_t seed,
+             backend::ComputeBackend* shared_backend = nullptr);
 
   idx n() const { return factory_.n(); }
   idx slices() const { return params_.slices; }
@@ -133,9 +139,21 @@ class DqmcEngine {
   /// wrapped one.
   void recompute_greens(idx cluster = 0, bool record_drift = false);
 
+  /// Block until the engine's deferred background work (async cluster
+  /// rebuilds) has landed on the backend stream. Required between engines
+  /// when several of them share one async backend: the stream accepts one
+  /// submitter at a time, and a deferred rebuild is a submitter.
+  void quiesce();
+
  private:
+  friend class WalkerBatch;
+
   void wrap_slice(idx slice);
   void metropolis_slice(idx slice, SweepStats& stats);
+  /// The Metropolis site loop of one slice WITHOUT the trailing flushes —
+  /// the walker-crowd driver runs the site loops of all walkers as tasks
+  /// and folds their end-of-slice flushes into one batched GEMM.
+  void metropolis_slice_sites(idx slice, SweepStats& stats);
   int sign_from_scratch();
 
   Lattice lattice_;
@@ -146,8 +164,11 @@ class DqmcEngine {
   Rng rng_;
   // The backend and its per-spin chains are declared BEFORE clusters_: the
   // store's destructor drains deferred rebuild tasks that still use the
-  // chains, so it must run first (reverse declaration order).
-  std::unique_ptr<backend::ComputeBackend> backend_;
+  // chains, so it must run first (reverse declaration order). When the
+  // engine runs on a caller-owned backend, owned_backend_ stays null and
+  // backend_ points at the shared instance.
+  std::unique_ptr<backend::ComputeBackend> owned_backend_;
+  backend::ComputeBackend* backend_;
   std::unique_ptr<backend::BackendBChain> chains_[2];
   ClusterStore clusters_;
   // Per-spin stratification engines: the Up/Down chains run as concurrent

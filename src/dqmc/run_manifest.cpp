@@ -16,7 +16,7 @@ namespace dqmc::core {
 namespace {
 
 obs::Json config_json(const SimulationConfig& cfg) {
-  return obs::Json::object()
+  obs::Json j = obs::Json::object()
       .set("lx", cfg.lx)
       .set("ly", cfg.ly)
       .set("layers", cfg.layers)
@@ -38,6 +38,10 @@ obs::Json config_json(const SimulationConfig& cfg) {
       .set("measure_slice_interval", cfg.measure_slice_interval)
       .set("measure_dynamic_interval", cfg.measure_dynamic_interval)
       .set("bins", cfg.bins);
+  // Emitted only for walker-crowd runs so pre-batching golden fixtures stay
+  // byte-identical.
+  if (cfg.walker_batch > 0) j.set("walker_batch", cfg.walker_batch);
+  return j;
 }
 
 obs::Json phases_json(const Profiler& prof) {
@@ -130,7 +134,7 @@ obs::Json stable_double(double v) {
 
 obs::Json run_manifest(const SimulationResults& results) {
   const obs::Tracer& tracer = obs::Tracer::global();
-  return obs::Json::object()
+  obs::Json m = obs::Json::object()
       .set("manifest", obs::Json::object()
                            .set("program", "dqmcpp")
                            .set("format_version", 1)
@@ -152,6 +156,14 @@ obs::Json run_manifest(const SimulationResults& results) {
                         .set("enabled", tracer.enabled())
                         .set("recorded", tracer.recorded())
                         .set("dropped", tracer.dropped()));
+  // Walker-crowd shape of the run; absent for unbatched runs (keeps manifests
+  // from older drivers byte-identical).
+  if (results.batch_walkers > 0) {
+    m.set("batch", obs::Json::object()
+                       .set("walkers", results.batch_walkers)
+                       .set("crowds", results.batch_crowds));
+  }
+  return m;
 }
 
 obs::Json golden_manifest(const SimulationResults& results) {

@@ -5,9 +5,129 @@
 
 #include "common/stopwatch.h"
 #include "dqmc/checkpoint.h"
+#include "dqmc/walker_batch.h"
 #include "parallel/task_runtime.h"
 
 namespace dqmc::core {
+
+void merge_chain_results(SimulationResults& merged,
+                         const SimulationResults& p) {
+  merged.measurements.merge(p.measurements);
+  merged.dynamic.merge(p.dynamic);
+  merged.sweep_stats.proposed += p.sweep_stats.proposed;
+  merged.sweep_stats.accepted += p.sweep_stats.accepted;
+  merged.strat_stats.evaluations += p.strat_stats.evaluations;
+  merged.strat_stats.steps += p.strat_stats.steps;
+  merged.strat_stats.pivot_displacement += p.strat_stats.pivot_displacement;
+  merged.profiler.merge(p.profiler);
+  merged.backend_name = p.backend_name;
+  merged.backend_stats += p.backend_stats;
+  merged.wrap_uploads_skipped += p.wrap_uploads_skipped;
+  merged.trajectory_hash =
+      mix_chain_hash(merged.trajectory_hash, p.trajectory_hash);
+  merged.fault_report += p.fault_report;
+}
+
+namespace {
+
+/// Run chains [first, first + walkers) of a parallel run as ONE lockstep
+/// walker crowd, filling partials[first + w] with what run_simulation would
+/// have produced for chain first + w (bitwise-identical trajectory; the
+/// crowd's shared-backend stats land on the crowd's first walker so the
+/// merged aggregate stays sum-correct).
+void run_crowd(const SimulationConfig& config, idx first, idx walkers,
+               std::vector<std::unique_ptr<SimulationResults>>& partials) {
+  Stopwatch watch;
+  const Lattice lattice = config.make_lattice();
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(walkers));
+  for (idx w = 0; w < walkers; ++w) {
+    seeds.push_back(config.seed + static_cast<std::uint64_t>(first + w));
+  }
+  WalkerBatch batch(lattice, config.model, config.engine, seeds);
+  for (idx w = 0; w < walkers; ++w) {
+    SimulationConfig chain_cfg = config;
+    chain_cfg.seed = seeds[static_cast<std::size_t>(w)];
+    partials[static_cast<std::size_t>(first + w)] =
+        std::make_unique<SimulationResults>(chain_cfg);
+  }
+
+  if (config.checkpoint_in.empty()) {
+    batch.initialize_all();
+  } else {
+    for (idx w = 0; w < walkers; ++w) {
+      load_checkpoint_file(config.checkpoint_in, batch.engine(w));
+    }
+  }
+
+  for (idx sweep = 0; sweep < config.warmup_sweeps; ++sweep) {
+    batch.sweep_all();
+  }
+  for (idx sweep = 0; sweep < config.measurement_sweeps; ++sweep) {
+    const bool measuring = sweep % config.measure_interval == 0;
+
+    auto measure_now = [&](idx w) {
+      DqmcEngine& engine = batch.engine(w);
+      SimulationResults& r = *partials[static_cast<std::size_t>(first + w)];
+      ScopedPhase phase(&engine.profiler(), Phase::kMeasurement);
+      const EqualTimeSample sample = measure_equal_time(
+          lattice, engine.params(), engine.greens(Spin::Up),
+          engine.greens(Spin::Down));
+      r.measurements.add(sample, engine.config_sign());
+    };
+
+    if (measuring && config.measure_slice_interval > 0) {
+      batch.sweep_all([&](idx w, idx slice) {
+        if (slice % config.measure_slice_interval == 0) measure_now(w);
+      });
+    } else {
+      batch.sweep_all();
+      if (measuring) {
+        for (idx w = 0; w < walkers; ++w) measure_now(w);
+      }
+    }
+
+    if (config.measure_dynamic_interval > 0 &&
+        sweep % config.measure_dynamic_interval == 0) {
+      for (idx w = 0; w < walkers; ++w) {
+        DqmcEngine& engine = batch.engine(w);
+        SimulationResults& r = *partials[static_cast<std::size_t>(first + w)];
+        ScopedPhase phase(&engine.profiler(), Phase::kMeasurement);
+        TimeDisplacedGreens tdg(engine.factory(), engine.field(),
+                                config.engine.cluster_size,
+                                config.engine.algorithm);
+        const TimeDisplaced up = tdg.compute(Spin::Up);
+        const TimeDisplaced dn = tdg.compute(Spin::Down);
+        r.dynamic.add(measure_dynamic(lattice, config.model.dtau(), up, dn),
+                      engine.config_sign());
+      }
+    }
+  }
+
+  if (!config.checkpoint_out.empty()) {
+    for (idx w = 0; w < walkers; ++w) {
+      save_checkpoint_file(config.checkpoint_out, batch.engine(w));
+    }
+  }
+
+  batch.compute_backend().synchronize();
+  for (idx w = 0; w < walkers; ++w) {
+    DqmcEngine& engine = batch.engine(w);
+    SimulationResults& r = *partials[static_cast<std::size_t>(first + w)];
+    r.sweep_stats = engine.lifetime_stats();
+    r.strat_stats = engine.strat_stats();
+    r.profiler = engine.profiler();
+    r.backend_name = batch.compute_backend().name();
+    if (w == 0) r.backend_stats = batch.compute_backend().stats();
+    r.wrap_uploads_skipped =
+        engine.wrap_uploads_skipped() + batch.wrap_uploads_skipped(w);
+    r.elapsed_seconds = watch.seconds();
+    r.trajectory_hash = core::trajectory_hash(engine);
+    r.fault_report.final_backend = r.backend_name;
+  }
+}
+
+}  // namespace
 
 void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
                     SimulationResults& results, const ProgressFn& progress) {
@@ -88,42 +208,43 @@ SimulationResults run_simulation(const SimulationConfig& config,
 SimulationResults run_parallel_simulation(const SimulationConfig& config,
                                           idx chains, int max_workers) {
   DQMC_CHECK_MSG(chains >= 1, "need at least one chain");
+  DQMC_CHECK_MSG(config.walker_batch >= 0, "walker_batch must be >= 0");
   (void)max_workers;  // scheduling delegated to the shared task runtime
   Stopwatch watch;
 
   std::vector<std::unique_ptr<SimulationResults>> partials(
       static_cast<std::size_t>(chains));
-  par::TaskGroup group;
-  for (idx c = 0; c < chains; ++c) {
-    group.run([&, c] {
-      SimulationConfig chain_cfg = config;
-      chain_cfg.seed = config.seed + static_cast<std::uint64_t>(c);
-      partials[static_cast<std::size_t>(c)] =
-          std::make_unique<SimulationResults>(run_simulation(chain_cfg));
-    });
+  idx crowds = 0;
+  if (config.walker_batch >= 1) {
+    // Lockstep crowds of up to W consecutive chains; the crowds run one
+    // after another (each is internally parallel across its walkers), so
+    // the shared backend never has two crowds submitting at once.
+    for (idx first = 0; first < chains; first += config.walker_batch) {
+      run_crowd(config, first, std::min(config.walker_batch, chains - first),
+                partials);
+      ++crowds;
+    }
+  } else {
+    par::TaskGroup group;
+    for (idx c = 0; c < chains; ++c) {
+      group.run([&, c] {
+        SimulationConfig chain_cfg = config;
+        chain_cfg.seed = config.seed + static_cast<std::uint64_t>(c);
+        partials[static_cast<std::size_t>(c)] =
+            std::make_unique<SimulationResults>(run_simulation(chain_cfg));
+      });
+    }
+    group.wait();  // rethrows chain failures
   }
-  group.wait();  // rethrows chain failures
 
   // Merge deterministically in chain order.
   SimulationResults merged(config);
   merged.profiler.reset();
   for (idx c = 0; c < chains; ++c) {
-    const SimulationResults& p = *partials[static_cast<std::size_t>(c)];
-    merged.measurements.merge(p.measurements);
-    merged.dynamic.merge(p.dynamic);
-    merged.sweep_stats.proposed += p.sweep_stats.proposed;
-    merged.sweep_stats.accepted += p.sweep_stats.accepted;
-    merged.strat_stats.evaluations += p.strat_stats.evaluations;
-    merged.strat_stats.steps += p.strat_stats.steps;
-    merged.strat_stats.pivot_displacement += p.strat_stats.pivot_displacement;
-    merged.profiler.merge(p.profiler);
-    merged.backend_name = p.backend_name;
-    merged.backend_stats += p.backend_stats;
-    merged.wrap_uploads_skipped += p.wrap_uploads_skipped;
-    merged.trajectory_hash = mix_chain_hash(merged.trajectory_hash,
-                                            p.trajectory_hash);
-    merged.fault_report += p.fault_report;
+    merge_chain_results(merged, *partials[static_cast<std::size_t>(c)]);
   }
+  merged.batch_walkers = config.walker_batch;
+  merged.batch_crowds = crowds;
   merged.elapsed_seconds = watch.seconds();
   return merged;
 }

@@ -34,6 +34,14 @@ struct SimulationConfig {
   idx measure_dynamic_interval = 0;
   idx bins = 16;
   std::uint64_t seed = 1;
+  /// Walker-crowd size W for run_parallel_simulation /
+  /// run_supervised_parallel: 0 (default) runs each chain as its own
+  /// task-runtime task on its own backend; W >= 1 partitions the chains
+  /// into consecutive crowds of up to W walkers advanced in LOCKSTEP on one
+  /// shared backend, their per-slice linear algebra folded into batched
+  /// launches (see dqmc/walker_batch.h). Per-chain trajectories are bitwise
+  /// identical across all values of walker_batch.
+  idx walker_batch = 0;
   /// When non-empty, resume the Markov state from this checkpoint file
   /// instead of a fresh random field (see checkpoint.h).
   std::string checkpoint_in;
@@ -64,6 +72,11 @@ struct SimulationResults {
   /// Faults observed and recovery actions taken (empty for unsupervised
   /// runs except final_backend); lands in the manifest's "fault" section.
   fault::FaultReport fault_report;
+  /// Walker-batching shape of the run: crowd size W and number of crowds
+  /// the chains were partitioned into. Both 0 for unbatched runs (the
+  /// manifest's "batch" section is emitted only when batch_walkers > 0).
+  idx batch_walkers = 0;
+  idx batch_crowds = 0;
 
   explicit SimulationResults(const SimulationConfig& cfg)
       : config(cfg),
@@ -81,6 +94,12 @@ inline std::uint64_t mix_chain_hash(std::uint64_t acc, std::uint64_t chain) {
   }
   return acc;
 }
+
+/// Fold one chain's partial results into a merged aggregate (chain-order
+/// sensitive via mix_chain_hash); shared by run_parallel_simulation and
+/// run_supervised_parallel across their unbatched and walker-crowd paths.
+void merge_chain_results(SimulationResults& merged,
+                         const SimulationResults& partial);
 
 /// Progress callback: (sweeps done, total sweeps, warmup?) — return value
 /// ignored; called once per sweep.

@@ -1,0 +1,275 @@
+#include "dqmc/walker_batch.h"
+
+#include <map>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "linalg/blas3.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/task_runtime.h"
+
+namespace dqmc::core {
+
+WalkerFault::WalkerFault(idx walker, fault::FaultClass cls, std::string site,
+                         const std::string& detail)
+    : Error("walker " + std::to_string(walker) + " [" +
+            fault::fault_class_name(cls) + " @ " + site + "]: " + detail),
+      walker_(walker),
+      class_(cls),
+      site_(std::move(site)) {}
+
+WalkerBatch::WalkerBatch(const hubbard::Lattice& lattice,
+                         const hubbard::ModelParams& params,
+                         EngineConfig config,
+                         const std::vector<std::uint64_t>& seeds)
+    : backend_(backend::make_backend(config.backend)) {
+  DQMC_CHECK_MSG(!seeds.empty(), "walker crowd needs at least one walker");
+  engines_.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) {
+    engines_.push_back(std::make_unique<DqmcEngine>(lattice, params, config,
+                                                    seed, backend_.get()));
+  }
+  const hubbard::BMatrixFactory& factory = engines_[0]->factory();
+  batch_ = std::make_unique<backend::BatchedBChain>(
+      *backend_, factory.b(), factory.b_inv(), 2 * walkers());
+}
+
+WalkerBatch::~WalkerBatch() = default;
+
+void WalkerBatch::initialize_all() {
+  for (const std::unique_ptr<DqmcEngine>& e : engines_) e->initialize();
+}
+
+std::uint64_t WalkerBatch::wrap_uploads_skipped(idx w) const {
+  return batch_->wrap_uploads_skipped(w) +
+         batch_->wrap_uploads_skipped(walkers() + w);
+}
+
+template <typename Fn>
+void WalkerBatch::guarded(idx w, Fn&& fn) {
+  try {
+    fn();
+  } catch (const WalkerFault&) {
+    throw;
+  } catch (const fault::InjectedFault& e) {
+    throw WalkerFault(w, e.fault_class(), e.site(), e.what());
+  } catch (const NumericalError& e) {
+    throw WalkerFault(w, fault::FaultClass::kNumericalFault, "numerical",
+                      e.what());
+  } catch (const std::exception& e) {
+    throw WalkerFault(w, fault::FaultClass::kDeviceFault, "device", e.what());
+  }
+}
+
+void WalkerBatch::wrap_all(idx slice) {
+  const idx W = walkers();
+  Stopwatch watch;
+  // Deterministic walker-order injection point: the Nth "batch.wrap" hit of
+  // a sweep maps to one specific (slice, walker) of the trajectory.
+  for (idx w = 0; w < W; ++w) {
+    guarded(w, [] { DQMC_FAILPOINT("batch.wrap"); });
+  }
+
+  std::vector<linalg::MatrixView> g;
+  std::vector<linalg::Vector> vbuf;
+  std::vector<const linalg::Vector*> v;
+  std::vector<char> unchanged;
+  std::vector<std::uint64_t> revision(static_cast<std::size_t>(2 * W));
+  g.reserve(static_cast<std::size_t>(2 * W));
+  vbuf.reserve(static_cast<std::size_t>(2 * W));
+  unchanged.reserve(static_cast<std::size_t>(2 * W));
+  for (Spin s : hubbard::kSpins) {
+    const int si = spin_index(s);
+    for (idx w = 0; w < W; ++w) {
+      DqmcEngine& e = *engines_[static_cast<std::size_t>(w)];
+      DelayedGreens& dg = e.delayed_[si];
+      g.push_back(dg.flush(nullptr).view());
+      vbuf.push_back(e.factory_.v_diagonal(e.field_.slice(slice), s));
+      unchanged.push_back(e.wrapped_revision_[si] == dg.revision() ? 1 : 0);
+      revision[static_cast<std::size_t>(item(si, w))] = dg.revision();
+    }
+  }
+  v.reserve(vbuf.size());
+  for (const linalg::Vector& vec : vbuf) v.push_back(&vec);
+
+  batch_->wrap_batched(g, v, unchanged);
+
+  for (Spin s : hubbard::kSpins) {
+    const int si = spin_index(s);
+    for (idx w = 0; w < W; ++w) {
+      engines_[static_cast<std::size_t>(w)]->wrapped_revision_[si] =
+          revision[static_cast<std::size_t>(item(si, w))];
+    }
+  }
+  const double seconds = watch.seconds();
+  for (idx w = 0; w < W; ++w) {
+    engines_[static_cast<std::size_t>(w)]->profiler_.add(
+        Phase::kWrapping, seconds / static_cast<double>(W));
+  }
+}
+
+void WalkerBatch::flush_all_batched() {
+  const idx W = walkers();
+  // gemm_batched needs uniform dimensions, so items fold grouped by their
+  // pending rank; per item the fold is the same GEMM DelayedGreens::flush
+  // would have issued (count-1 groups delegate to it outright).
+  std::map<idx, std::vector<std::pair<idx, int>>> by_rank;
+  for (Spin s : hubbard::kSpins) {
+    const int si = spin_index(s);
+    for (idx w = 0; w < W; ++w) {
+      const idx rank = engines_[static_cast<std::size_t>(w)]->delayed_[si].pending();
+      if (rank > 0) by_rank[rank].push_back({w, si});
+    }
+  }
+  if (by_rank.empty()) return;
+
+  Stopwatch watch;
+  obs::TraceSpan span("delayed_flush_batched");
+  const double n = static_cast<double>(engines_[0]->n());
+  double flops = 0.0;
+  obs::MetricsRegistry& reg = obs::metrics();
+  for (const auto& [rank, items] : by_rank) {
+    std::vector<linalg::ConstMatrixView> u, wt;
+    std::vector<linalg::MatrixView> base;
+    for (const auto& [w, si] : items) {
+      DelayedGreens& dg = engines_[static_cast<std::size_t>(w)]->delayed_[si];
+      u.push_back(dg.pending_u());
+      wt.push_back(dg.pending_w());
+      base.push_back(dg.base_for_flush().view());
+    }
+    linalg::gemm_batched(linalg::Trans::No, linalg::Trans::Yes, 1.0, u, wt,
+                         1.0, base);
+    for (const auto& [w, si] : items) {
+      engines_[static_cast<std::size_t>(w)]->delayed_[si].mark_flushed();
+      if (reg.enabled()) {
+        reg.observe("delayed_update.flush_rank", static_cast<double>(rank));
+      }
+    }
+    flops += static_cast<double>(items.size()) * 2.0 * n * n *
+             static_cast<double>(rank);
+  }
+  const double seconds = watch.seconds();
+  if (reg.enabled() && seconds > 0.0) {
+    reg.observe("gemm.gflops", flops / seconds / 1e9);
+  }
+  for (idx w = 0; w < W; ++w) {
+    engines_[static_cast<std::size_t>(w)]->profiler_.add(
+        Phase::kDelayedUpdate, seconds / static_cast<double>(W));
+  }
+}
+
+void WalkerBatch::rebuild_cluster_batched(idx c) {
+  const idx W = walkers();
+  ClusterStore& ref = engines_[0]->clusters_;
+  const idx begin = ref.cluster_begin(c), end = ref.cluster_end(c);
+  Stopwatch watch;
+  obs::TraceSpan span("cluster_rebuild_batched");
+  span.arg("cluster", static_cast<double>(c));
+
+  std::vector<std::vector<linalg::Vector>> vs(static_cast<std::size_t>(2 * W));
+  for (Spin s : hubbard::kSpins) {
+    const int si = spin_index(s);
+    for (idx w = 0; w < W; ++w) {
+      DqmcEngine& e = *engines_[static_cast<std::size_t>(w)];
+      std::vector<linalg::Vector>& item_vs = vs[static_cast<std::size_t>(item(si, w))];
+      item_vs.reserve(static_cast<std::size_t>(end - begin));
+      for (idx l = begin; l < end; ++l) {
+        item_vs.push_back(e.factory_.v_diagonal(e.field_.slice(l), s));
+      }
+    }
+  }
+  std::vector<Matrix> out = batch_->cluster_product_batched(vs);
+  for (Spin s : hubbard::kSpins) {
+    const int si = spin_index(s);
+    for (idx w = 0; w < W; ++w) {
+      engines_[static_cast<std::size_t>(w)]->clusters_.install_cluster(
+          s, c, std::move(out[static_cast<std::size_t>(item(si, w))]));
+    }
+  }
+
+  obs::MetricsRegistry& reg = obs::metrics();
+  if (reg.enabled()) {
+    const double seconds = watch.seconds();
+    reg.count("cluster.rebuilds", static_cast<std::uint64_t>(W));
+    reg.observe("cluster.rebuild_ms", seconds * 1e3);
+    const double n = static_cast<double>(engines_[0]->n());
+    const double len = static_cast<double>(end - begin);
+    if (seconds > 0.0 && len > 1.0) {
+      reg.observe("cluster.gflops", static_cast<double>(W) * 2.0 *
+                                        (len - 1.0) * 2.0 * n * n * n /
+                                        seconds / 1e9);
+    }
+  }
+  const double seconds = watch.seconds();
+  for (idx w = 0; w < W; ++w) {
+    engines_[static_cast<std::size_t>(w)]->profiler_.add(
+        Phase::kClustering, seconds / static_cast<double>(W));
+  }
+}
+
+std::vector<SweepStats> WalkerBatch::sweep_all(const WalkerSliceHook& on_slice) {
+  const idx W = walkers();
+  for (idx w = 0; w < W; ++w) {
+    DqmcEngine& e = *engines_[static_cast<std::size_t>(w)];
+    DQMC_CHECK_MSG(e.initialized_, "call initialize() before sweep_all()");
+    DQMC_CHECK_MSG(!e.pending_resume_slice().has_value(),
+                   "walker crowds resume only at sweep boundaries");
+  }
+  std::vector<SweepStats> stats(static_cast<std::size_t>(W));
+  ClusterStore& ref = engines_[0]->clusters_;
+  for (idx c = 0; c < ref.num_clusters(); ++c) {
+    // Fresh G at the cluster boundary for every walker: the graded-QR
+    // stratifications are independent host pipelines, so the whole crowd's
+    // run as concurrent tasks (2W spin chains in flight at once).
+    par::TaskGroup strat;
+    for (idx w = 0; w < W; ++w) {
+      strat.run([this, w, c] {
+        guarded(w, [this, w, c] {
+          engines_[static_cast<std::size_t>(w)]->recompute_greens(
+              c, /*record_drift=*/true);
+        });
+      });
+    }
+    strat.wait();
+
+    for (idx slice = ref.cluster_begin(c); slice < ref.cluster_end(c);
+         ++slice) {
+      wrap_all(slice);
+      par::TaskGroup sites;
+      for (idx w = 0; w < W; ++w) {
+        sites.run([this, w, slice, &stats] {
+          guarded(w, [this, w, slice, &stats] {
+            engines_[static_cast<std::size_t>(w)]->metropolis_slice_sites(
+                slice, stats[static_cast<std::size_t>(w)]);
+          });
+        });
+      }
+      sites.wait();
+      flush_all_batched();
+      if (on_slice) {
+        for (idx w = 0; w < W; ++w) on_slice(w, slice);
+      }
+    }
+    rebuild_cluster_batched(c);
+  }
+
+  obs::MetricsRegistry& reg = obs::metrics();
+  for (idx w = 0; w < W; ++w) {
+    DqmcEngine& e = *engines_[static_cast<std::size_t>(w)];
+    const SweepStats& s = stats[static_cast<std::size_t>(w)];
+    e.lifetime_.proposed += s.proposed;
+    e.lifetime_.accepted += s.accepted;
+    if (reg.enabled()) {
+      reg.count("sweeps");
+      reg.count("metropolis.proposed", s.proposed);
+      reg.count("metropolis.accepted", s.accepted);
+      reg.set("metropolis.accept_rate", e.lifetime_.acceptance());
+    }
+    obs::health().record_sign(e.sign_);
+  }
+  return stats;
+}
+
+}  // namespace dqmc::core

@@ -1,0 +1,105 @@
+// Walker crowds: W independent Markov chains advanced in lockstep so their
+// per-slice linear algebra batches into shared-operand backend launches
+// (the paper's multi-walker production axis, Section VI).
+//
+// Every walker is an ordinary DqmcEngine; the crowd owns ONE compute
+// backend all of them run on, plus a BatchedBChain holding 2W items (item
+// = spin * W + walker). Per cluster the crowd
+//   1. stratifies all walkers' Green's functions as concurrent host tasks,
+//   2. wraps all 2W items in one batched composite (B and B^{-1} uploaded
+//      once, shared across every item),
+//   3. runs the Metropolis site loops as concurrent per-walker tasks,
+//   4. folds all walkers' delayed-update corrections in one batched GEMM,
+//   5. rebuilds the resampled cluster for all items in one batched product.
+// Each step's per-item arithmetic is bitwise identical to the single-walker
+// engine path (gemm_batched <-> gemm, batched kernels <-> their single-item
+// forms), so a walker's trajectory hash is independent of W, the backend,
+// and the thread budget.
+//
+// Fault semantics: exceptions raised inside one walker's work are rethrown
+// as WalkerFault carrying the walker index; faults raised by a batched
+// launch (fail points "backend.enqueue*") stay crowd-level. The
+// per-walker fail point "batch.wrap" fires inside walker w's guard, hit
+// once per walker per wrapped slice in walker order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "backend/bbatch.h"
+#include "dqmc/engine.h"
+#include "fault/failpoint.h"
+
+namespace dqmc::core {
+
+/// A fault attributed to one walker of a crowd. The crowd driver translates
+/// per-walker exceptions (injected faults, numerical blow-ups, backend
+/// errors) into this so the supervisor can report which chain faulted;
+/// recovery still restores the whole crowd (restores are bitwise, so the
+/// batchmates' trajectories are unperturbed).
+class WalkerFault : public Error {
+ public:
+  WalkerFault(idx walker, fault::FaultClass cls, std::string site,
+              const std::string& detail);
+
+  idx walker() const { return walker_; }
+  fault::FaultClass fault_class() const { return class_; }
+  const std::string& site() const { return site_; }
+
+ private:
+  idx walker_;
+  fault::FaultClass class_;
+  std::string site_;
+};
+
+class WalkerBatch {
+ public:
+  /// One engine per seed, all on one freshly constructed backend of
+  /// `config.backend` kind. The crowd's batched chain holds 2W items.
+  WalkerBatch(const hubbard::Lattice& lattice,
+              const hubbard::ModelParams& params, EngineConfig config,
+              const std::vector<std::uint64_t>& seeds);
+  ~WalkerBatch();
+
+  idx walkers() const { return static_cast<idx>(engines_.size()); }
+  DqmcEngine& engine(idx w) { return *engines_[static_cast<std::size_t>(w)]; }
+  backend::ComputeBackend& compute_backend() { return *backend_; }
+
+  /// initialize() every walker, in walker order (the shared backend accepts
+  /// one submitter at a time). Walkers restored from checkpoints instead
+  /// are loaded by the caller through engine(w).
+  void initialize_all();
+
+  /// Called after each slice's Metropolis pass with the walkers' Green's
+  /// functions flushed at that boundary, once per walker in walker order.
+  using WalkerSliceHook = std::function<void(idx walker, idx slice)>;
+
+  /// One lockstep sweep of every walker; returns per-walker stats. All
+  /// walkers run the same slice schedule (same config), so the batched
+  /// composites always carry all 2W items.
+  std::vector<SweepStats> sweep_all(const WalkerSliceHook& on_slice = nullptr);
+
+  /// Wrap uploads elided for walker w because its G stayed resident in the
+  /// crowd's batched chain (summed over both spins). The engine's own
+  /// wrap_uploads_skipped() counts only its solo (non-crowd) wraps.
+  std::uint64_t wrap_uploads_skipped(idx w) const;
+
+ private:
+  idx item(int si, idx w) const { return static_cast<idx>(si) * walkers() + w; }
+  /// Run `fn` attributing any exception to walker w (see WalkerFault).
+  template <typename Fn>
+  void guarded(idx w, Fn&& fn);
+
+  void wrap_all(idx slice);
+  void flush_all_batched();
+  void rebuild_cluster_batched(idx c);
+
+  // The backend outlives the engines (their cluster stores drain pending
+  // work through chains on it) and the batched chain (device handles).
+  std::unique_ptr<backend::ComputeBackend> backend_;
+  std::vector<std::unique_ptr<DqmcEngine>> engines_;
+  std::unique_ptr<backend::BatchedBChain> batch_;
+};
+
+}  // namespace dqmc::core

@@ -202,6 +202,131 @@ void Device::wrap_scale_kernel(const DeviceVector& v, DeviceMatrix& g) {
   });
 }
 
+void Device::gemm_batched(Trans transa, Trans transb, double alpha,
+                          std::vector<const DeviceMatrix*> a,
+                          std::vector<const DeviceMatrix*> b, double beta,
+                          std::vector<DeviceMatrix*> c) {
+  const idx count = static_cast<idx>(c.size());
+  DQMC_CHECK(count >= 1);
+  DQMC_CHECK(a.size() == c.size() || a.size() == 1);
+  DQMC_CHECK(b.size() == c.size() || b.size() == 1);
+  const idx m = transa == Trans::Yes ? a[0]->cols() : a[0]->rows();
+  const idx k = transa == Trans::Yes ? a[0]->rows() : a[0]->cols();
+  const idx n = transb == Trans::Yes ? b[0]->rows() : b[0]->cols();
+  const double seconds = spec_.gemm_batched_seconds(m, n, k, count);
+  enqueue_compute(
+      "gemm_batched", seconds,
+      [=, a = std::move(a), b = std::move(b), c = std::move(c)] {
+        std::vector<linalg::ConstMatrixView> av, bv;
+        std::vector<linalg::MatrixView> cv;
+        av.reserve(a.size());
+        bv.reserve(b.size());
+        cv.reserve(c.size());
+        for (const DeviceMatrix* ai : a) av.push_back(ai->storage_);
+        for (const DeviceMatrix* bi : b) bv.push_back(bi->storage_);
+        for (DeviceMatrix* ci : c) cv.push_back(ci->storage_);
+        linalg::gemm_batched(transa, transb, alpha, av, bv, beta, cv);
+      });
+}
+
+void Device::scale_rows_kernel_batched(std::vector<const DeviceVector*> v,
+                                       std::vector<const DeviceMatrix*> src,
+                                       std::vector<DeviceMatrix*> dst) {
+  const idx count = static_cast<idx>(dst.size());
+  DQMC_CHECK(count >= 1);
+  DQMC_CHECK(v.size() == dst.size());
+  DQMC_CHECK(src.size() == dst.size() || src.size() == 1);
+  double bytes = 0.0;
+  for (idx i = 0; i < count; ++i) {
+    const DeviceMatrix& s = src.size() == 1 ? *src[0] : *src[i];
+    DQMC_CHECK(v[i]->size() == s.rows());
+    DQMC_CHECK(s.rows() == dst[i]->rows() && s.cols() == dst[i]->cols());
+    bytes += 2.0 * dst[i]->bytes();
+  }
+  const double seconds = spec_.fused_kernel_seconds(bytes);
+  enqueue_compute(
+      "scale_rows_kernel_batched", seconds,
+      [v = std::move(v), src = std::move(src), dst = std::move(dst)] {
+        for (std::size_t i = 0; i < dst.size(); ++i) {
+          const DeviceMatrix& s = src.size() == 1 ? *src[0] : *src[i];
+          linalg::scale_rows_into(v[i]->storage_.data(), s.storage_,
+                                  dst[i]->storage_);
+        }
+      });
+}
+
+void Device::wrap_scale_kernel_batched(std::vector<const DeviceVector*> v,
+                                       std::vector<DeviceMatrix*> g) {
+  const idx count = static_cast<idx>(g.size());
+  DQMC_CHECK(count >= 1 && v.size() == g.size());
+  double bytes = 0.0;
+  for (idx i = 0; i < count; ++i) {
+    DQMC_CHECK(v[i]->size() == g[i]->rows() && g[i]->rows() == g[i]->cols());
+    bytes += 2.0 * g[i]->bytes();
+  }
+  const double seconds = spec_.fused_kernel_seconds(bytes);
+  enqueue_compute("wrap_scale_kernel_batched", seconds,
+                  [v = std::move(v), g = std::move(g)] {
+                    for (std::size_t i = 0; i < g.size(); ++i) {
+                      linalg::scale_rows_cols_inv(v[i]->storage_.data(),
+                                                  v[i]->storage_.data(),
+                                                  g[i]->storage_);
+                    }
+                  });
+}
+
+void Device::set_matrices_async(std::vector<ConstMatrixView> hosts,
+                                std::vector<DeviceMatrix*> devs) {
+  DQMC_CHECK(!devs.empty() && hosts.size() == devs.size());
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    DQMC_CHECK(hosts[i].rows() == devs[i]->rows() &&
+               hosts[i].cols() == devs[i]->cols());
+    bytes += devs[i]->bytes();
+  }
+  account_transfer(bytes, /*h2d=*/true);
+  submit_traced("set_matrices_async",
+                [hosts = std::move(hosts), devs = std::move(devs)] {
+                  for (std::size_t i = 0; i < devs.size(); ++i) {
+                    linalg::copy(hosts[i], devs[i]->storage_);
+                  }
+                });
+}
+
+void Device::set_vectors_async(std::vector<const double*> hosts, idx n,
+                               std::vector<DeviceVector*> devs) {
+  DQMC_CHECK(!devs.empty() && hosts.size() == devs.size());
+  double bytes = 0.0;
+  for (DeviceVector* dev : devs) {
+    DQMC_CHECK(dev->size() == n);
+    bytes += dev->bytes();
+  }
+  account_transfer(bytes, /*h2d=*/true);
+  submit_traced("set_vectors_async",
+                [hosts = std::move(hosts), devs = std::move(devs), n] {
+                  for (std::size_t i = 0; i < devs.size(); ++i) {
+                    std::memcpy(devs[i]->storage_.data(), hosts[i],
+                                sizeof(double) * static_cast<std::size_t>(n));
+                  }
+                });
+}
+
+void Device::get_matrices(std::vector<const DeviceMatrix*> devs,
+                          std::vector<MatrixView> hosts) {
+  DQMC_CHECK(!devs.empty() && hosts.size() == devs.size());
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    DQMC_CHECK(hosts[i].rows() == devs[i]->rows() &&
+               hosts[i].cols() == devs[i]->cols());
+    bytes += devs[i]->bytes();
+  }
+  account_transfer(bytes, /*h2d=*/false);
+  drain();
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    linalg::copy(devs[i]->storage_, hosts[i]);
+  }
+}
+
 void Device::synchronize() {
   drain();
   std::lock_guard lock(stats_mutex_);

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "gpusim/device_spec.h"
@@ -143,6 +144,42 @@ class Device {
   /// Algorithm 7 custom kernel: g <- diag(v) * g * diag(v)^{-1}, one fused
   /// launch (texture-cached column factor).
   void wrap_scale_kernel(const DeviceVector& v, DeviceMatrix& g);
+
+  // ---- Batched command API (walker crowds) -------------------------------
+  // Pointer-array batches in the cublas<t>gemmBatched style: one library
+  // call covering c.size() same-shape items. An `a`/`b`/`src` argument of
+  // size 1 designates one shared operand. Each call bills ONE launch whose
+  // cost model sees the aggregate work, which is exactly the amortization
+  // the batch buys on real hardware; results stay bit-identical per item to
+  // the non-batched calls. Same lifetime contract as the single-item ops.
+
+  /// cublasDgemmBatched: C_i <- alpha op(A_i) op(B_i) + beta C_i.
+  void gemm_batched(Trans transa, Trans transb, double alpha,
+                    std::vector<const DeviceMatrix*> a,
+                    std::vector<const DeviceMatrix*> b, double beta,
+                    std::vector<DeviceMatrix*> c);
+
+  /// Batched Algorithm 5 kernel: dst_i <- diag(v_i) * src_i, one launch.
+  void scale_rows_kernel_batched(std::vector<const DeviceVector*> v,
+                                 std::vector<const DeviceMatrix*> src,
+                                 std::vector<DeviceMatrix*> dst);
+
+  /// Batched Algorithm 7 kernel: g_i <- diag(v_i) g_i diag(v_i)^{-1}.
+  void wrap_scale_kernel_batched(std::vector<const DeviceVector*> v,
+                                 std::vector<DeviceMatrix*> g);
+
+  /// Batched cublasSetMatrixAsync: one PCIe transaction for all items
+  /// (single latency hit, summed bytes). Host views must stay alive and
+  /// unmodified until the stream next drains.
+  void set_matrices_async(std::vector<ConstMatrixView> hosts,
+                          std::vector<DeviceMatrix*> devs);
+  /// Batched cublasSetVectorAsync with the same contract.
+  void set_vectors_async(std::vector<const double*> hosts, idx n,
+                         std::vector<DeviceVector*> devs);
+  /// Batched cublasGetMatrix: drains the stream, then copies all items in
+  /// one accounted transfer.
+  void get_matrices(std::vector<const DeviceMatrix*> devs,
+                    std::vector<MatrixView> hosts);
 
   /// Block the host until all enqueued work has executed.
   void synchronize();

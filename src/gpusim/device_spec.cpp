@@ -17,6 +17,18 @@ double DeviceSpec::gemm_seconds(idx m, idx n, idx k) const {
   return kernel_launch_s + flops / rate;
 }
 
+double DeviceSpec::gemm_batched_seconds(idx m, idx n, idx k, idx batch) const {
+  if (batch <= 0) return kernel_launch_s;
+  if (m <= 0 || n <= 0 || k <= 0) return kernel_launch_s;
+  const double vol = static_cast<double>(m) * n * k * batch;
+  const double flops = 2.0 * vol;
+  // One launch; the ramp argument is the aggregate volume, so at batch = 1
+  // this reduces exactly to gemm_seconds(m, n, k).
+  const double h3 = gemm_half_rate_dim * gemm_half_rate_dim * gemm_half_rate_dim;
+  const double rate = gemm_peak_gflops * 1e9 * (vol / (vol + h3));
+  return kernel_launch_s + flops / rate;
+}
+
 double DeviceSpec::fused_kernel_seconds(double bytes) const {
   return kernel_launch_s + bytes / (mem_bandwidth_gbs * 1e9);
 }

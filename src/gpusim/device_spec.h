@@ -44,6 +44,11 @@ struct DeviceSpec {
 
   /// Modeled wall time of C(m x n) += A(m x k) B(k x n) on the device.
   double gemm_seconds(idx m, idx n, idx k) const;
+  /// Modeled wall time of a cublasDgemmBatched-style call: `batch`
+  /// same-shape GEMMs in ONE launch whose occupancy ramp sees the
+  /// aggregate volume — small matrices that individually sit far down the
+  /// n^3 ramp fill the device together. Equals gemm_seconds at batch = 1.
+  double gemm_batched_seconds(idx m, idx n, idx k, idx batch) const;
   /// Modeled wall time of a fused kernel touching `bytes` of device memory.
   double fused_kernel_seconds(double bytes) const;
   /// Modeled wall time of one row-by-row dscal pass over an m x n matrix

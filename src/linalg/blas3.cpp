@@ -130,6 +130,142 @@ void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
   }
 }
 
+void gemm_batched(Trans transa, Trans transb, double alpha,
+                  const std::vector<ConstMatrixView>& a,
+                  const std::vector<ConstMatrixView>& b, double beta,
+                  const std::vector<MatrixView>& c) {
+  const idx count = static_cast<idx>(c.size());
+  DQMC_CHECK_MSG(count >= 1, "gemm_batched needs at least one output");
+  DQMC_CHECK_MSG(a.size() == c.size() || a.size() == 1,
+                 "gemm_batched: a must have one view per item or a single "
+                 "shared view");
+  DQMC_CHECK_MSG(b.size() == c.size() || b.size() == 1,
+                 "gemm_batched: b must have one view per item or a single "
+                 "shared view");
+
+  const bool ta = transa == Trans::Yes;
+  const bool tb = transb == Trans::Yes;
+  const idx m = ta ? a[0].cols() : a[0].rows();
+  const idx k = ta ? a[0].rows() : a[0].cols();
+  const idx n = tb ? b[0].rows() : b[0].cols();
+  for (const ConstMatrixView& ai : a) {
+    DQMC_CHECK_MSG((ta ? ai.cols() : ai.rows()) == m &&
+                       (ta ? ai.rows() : ai.cols()) == k,
+                   "gemm_batched: all A items must share op-dimensions");
+  }
+  for (const ConstMatrixView& bi : b) {
+    DQMC_CHECK_MSG((tb ? bi.cols() : bi.rows()) == k &&
+                       (tb ? bi.rows() : bi.cols()) == n,
+                   "gemm_batched: all B items must share op-dimensions");
+  }
+  for (const MatrixView& ci : c) {
+    DQMC_CHECK_MSG(ci.rows() == m && ci.cols() == n,
+                   "gemm_batched output shape mismatch");
+  }
+
+  if (count == 1) {  // trivially the single-item kernel
+    gemm(transa, transb, alpha, a[0], b[0], beta, c[0]);
+    return;
+  }
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0) {
+    for (idx i = 0; i < count; ++i) scale_c(c[i], beta);
+    return;
+  }
+  for (idx i = 0; i < count; ++i) scale_c(c[i], beta);
+
+  const bool shared_a = a.size() == 1;
+  const bool shared_b = b.size() == 1;
+  const std::size_t bpack_elems =
+      static_cast<std::size_t>(kKC) * round_up(std::min(n, kNC), kNR);
+  const std::size_t apack_elems =
+      static_cast<std::size_t>(round_up(std::min(m, kMC), kMR)) * kKC;
+  const idx mblocks = (m + kMC - 1) / kMC;
+  // A shared panel is packed once and streamed by every item's GEBP passes;
+  // per-item panels get one slot each in the same buffer.
+  AlignedBuffer<double> bpack(shared_b ? bpack_elems : bpack_elems * count);
+  AlignedBuffer<double> apack_shared(shared_a ? apack_elems * mblocks : 0);
+
+  for (idx jc = 0; jc < n; jc += kNC) {
+    const idx nc = std::min(kNC, n - jc);
+    for (idx pc = 0; pc < k; pc += kKC) {
+      const idx kc = std::min(kKC, k - pc);
+      const idx nstrips = (nc + kNR - 1) / kNR;
+
+      if (shared_b) {
+        // Same strip-range pack as gemm(): identical buffer contents.
+        par::parallel_for_chunks(
+            0, nstrips,
+            [&](par::index_t s0, par::index_t s1) {
+              const idx js = static_cast<idx>(s0) * kNR;
+              const idx w = std::min(nc - js, static_cast<idx>(s1 - s0) * kNR);
+              pack_b(b[0], tb, pc, jc + js, kc, w, bpack.data() + js * kc);
+            },
+            {.grain = 16});
+      } else {
+        // One flat task space over (item, strip); each strip packs exactly
+        // the bytes a serial per-item pack_b would, so every item's panel is
+        // bit-identical to its gemm() pack.
+        par::parallel_for_chunks(
+            0, count * nstrips,
+            [&](par::index_t t0, par::index_t t1) {
+              for (par::index_t t = t0; t < t1; ++t) {
+                const idx item = static_cast<idx>(t) / nstrips;
+                const idx js = (static_cast<idx>(t) % nstrips) * kNR;
+                const idx w = std::min(kNR, nc - js);
+                pack_b(b[item], tb, pc, jc + js, kc, w,
+                       bpack.data() + item * bpack_elems + js * kc);
+              }
+            },
+            {.grain = 16});
+      }
+
+      if (shared_a) {
+        par::parallel_for_chunks(
+            0, mblocks,
+            [&](par::index_t blk0, par::index_t blk1) {
+              for (par::index_t blk = blk0; blk < blk1; ++blk) {
+                const idx ic = static_cast<idx>(blk) * kMC;
+                const idx mc = std::min(kMC, m - ic);
+                pack_a(a[0], ta, ic, pc, mc, kc,
+                       apack_shared.data() + blk * apack_elems);
+              }
+            },
+            {.grain = 1});
+      }
+
+      // All W x mblocks GEBP passes stream over the packed panels in one
+      // task region. Each task owns a disjoint block of one item's C and
+      // runs the identical tile arithmetic gemm() would, so the schedule
+      // (and the batching itself) never changes any item's bits.
+      par::parallel_for_chunks(
+          0, count * mblocks,
+          [&](par::index_t t0, par::index_t t1) {
+            AlignedBuffer<double> apack(shared_a ? 0 : apack_elems);
+            for (par::index_t t = t0; t < t1; ++t) {
+              // Block index fastest: consecutive tasks walk one item.
+              const idx item = static_cast<idx>(t) / mblocks;
+              const idx blk = static_cast<idx>(t) % mblocks;
+              const idx ic = blk * kMC;
+              const idx mc = std::min(kMC, m - ic);
+              const double* ap;
+              if (shared_a) {
+                ap = apack_shared.data() + blk * apack_elems;
+              } else {
+                pack_a(a[item], ta, ic, pc, mc, kc, apack.data());
+                ap = apack.data();
+              }
+              const double* bp = shared_b
+                                     ? bpack.data()
+                                     : bpack.data() + item * bpack_elems;
+              gebp(mc, nc, kc, alpha, ap, bp, c[item].block(ic, jc, mc, nc));
+            }
+          },
+          {.grain = 1});
+    }
+  }
+}
+
 Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans transa,
               Trans transb) {
   const idx m = transa == Trans::Yes ? a.cols() : a.rows();

@@ -7,6 +7,8 @@
 // comparisons measure the same kernel the simulation runs on.
 #pragma once
 
+#include <vector>
+
 #include "linalg/blas2.h"
 #include "linalg/matrix.h"
 
@@ -16,6 +18,24 @@ namespace dqmc::linalg {
 /// Dimensions must satisfy op(A): m x k, op(B): k x n, C: m x n.
 void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c);
+
+/// Batched GEMM over count = c.size() same-shape problems:
+///   C_i <- alpha * op(A_i) * op(B_i) + beta * C_i.
+/// An `a` (resp. `b`) argument of size 1 with count > 1 designates one
+/// SHARED operand read by every item — the walker-crowd case where
+/// exp(-dtau K) is the same left/right factor for all W x 2 wraps. The
+/// shared panel is packed ONCE per cache block and every item's GEBP
+/// passes stream over it; per-item panels are packed per item.
+///
+/// Each item runs the exact jc/pc/ic blocking of gemm() over identical
+/// packed buffer contents, so the result of item i is BITWISE identical
+/// to gemm(transa, transb, alpha, a_i, b_i, beta, c_i) at any worker
+/// count. All items must share op-dimensions (m, n, k); outputs must not
+/// alias each other or any input.
+void gemm_batched(Trans transa, Trans transb, double alpha,
+                  const std::vector<ConstMatrixView>& a,
+                  const std::vector<ConstMatrixView>& b, double beta,
+                  const std::vector<MatrixView>& c);
 
 /// Convenience: returns op(A) * op(B) as a fresh matrix.
 Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans transa = Trans::No,

@@ -5,20 +5,46 @@
 
 namespace dqmc::linalg::detail {
 
+namespace {
+
+/// Depth of one tile in the blocked-transpose pack paths. The transposed
+/// operand orientations read the source with stride ld; transposing one
+/// kPackTile-deep tile at a time turns those into unit-stride column runs
+/// while the (kMR/kNR)-strided destination tile stays cache-resident.
+constexpr idx kPackTile = 64;
+
+}  // namespace
+
 void pack_a(ConstMatrixView a, bool trans, idx i0, idx p0, idx mc, idx kc,
             double* buf) {
   // Layout: for each strip of kMR rows, kc columns of kMR contiguous values.
   for (idx is = 0; is < mc; is += kMR) {
     const idx h = std::min(kMR, mc - is);
-    for (idx p = 0; p < kc; ++p) {
-      double* dst = buf + is * kc + p * kMR;
-      if (!trans) {
+    if (!trans) {
+      for (idx p = 0; p < kc; ++p) {
+        double* dst = buf + is * kc + p * kMR;
         const double* src = &a(i0 + is, p0 + p);
         for (idx r = 0; r < h; ++r) dst[r] = src[r];
-      } else {
-        for (idx r = 0; r < h; ++r) dst[r] = a(p0 + p, i0 + is + r);
+        for (idx r = h; r < kMR; ++r) dst[r] = 0.0;
       }
-      for (idx r = h; r < kMR; ++r) dst[r] = 0.0;
+    } else {
+      // A^T strip rows come from A columns: run the column index r outer
+      // inside each p-tile so the source is read in unit-stride runs down
+      // column i0+is+r instead of one ld-strided element per p.
+      for (idx pt = 0; pt < kc; pt += kPackTile) {
+        const idx pn = std::min(kPackTile, kc - pt);
+        for (idx r = 0; r < h; ++r) {
+          const double* src = &a(p0 + pt, i0 + is + r);
+          double* dst = buf + is * kc + pt * kMR + r;
+          for (idx p = 0; p < pn; ++p) dst[p * kMR] = src[p];
+        }
+      }
+      if (h < kMR) {
+        for (idx p = 0; p < kc; ++p) {
+          double* dst = buf + is * kc + p * kMR;
+          for (idx r = h; r < kMR; ++r) dst[r] = 0.0;
+        }
+      }
     }
   }
 }
@@ -28,15 +54,31 @@ void pack_b(ConstMatrixView b, bool trans, idx p0, idx j0, idx kc, idx nc,
   // Layout: for each strip of kNR columns, kc rows of kNR contiguous values.
   for (idx js = 0; js < nc; js += kNR) {
     const idx w = std::min(kNR, nc - js);
-    for (idx p = 0; p < kc; ++p) {
-      double* dst = buf + js * kc + p * kNR;
-      if (!trans) {
-        for (idx c = 0; c < w; ++c) dst[c] = b(p0 + p, j0 + js + c);
-      } else {
+    if (trans) {
+      for (idx p = 0; p < kc; ++p) {
+        double* dst = buf + js * kc + p * kNR;
         const double* src = &b(j0 + js, p0 + p);
         for (idx c = 0; c < w; ++c) dst[c] = src[c];
+        for (idx c = w; c < kNR; ++c) dst[c] = 0.0;
       }
-      for (idx c = w; c < kNR; ++c) dst[c] = 0.0;
+    } else {
+      // Non-transposed B strips gather one element per source column when
+      // walked p-outer; the same blocked transpose as pack_a keeps the
+      // source reads unit-stride down each column j0+js+c.
+      for (idx pt = 0; pt < kc; pt += kPackTile) {
+        const idx pn = std::min(kPackTile, kc - pt);
+        for (idx c = 0; c < w; ++c) {
+          const double* src = &b(p0 + pt, j0 + js + c);
+          double* dst = buf + js * kc + pt * kNR + c;
+          for (idx p = 0; p < pn; ++p) dst[p * kNR] = src[p];
+        }
+      }
+      if (w < kNR) {
+        for (idx p = 0; p < kc; ++p) {
+          double* dst = buf + js * kc + p * kNR;
+          for (idx c = w; c < kNR; ++c) dst[c] = 0.0;
+        }
+      }
     }
   }
 }

@@ -1,0 +1,298 @@
+// Batched ComputeBackend operations (walker crowds): every batched call
+// must be bitwise identical per item to issuing the same ops one at a time,
+// on both backends — and on gpusim the batch must amortize the launch and
+// transfer fees the cost model charges per enqueue.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend.h"
+#include "backend/bbatch.h"
+#include "backend/bchain.h"
+#include "hubbard/bmatrix.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::backend {
+namespace {
+
+using hubbard::BMatrixFactory;
+using hubbard::hs_t;
+using hubbard::Lattice;
+using hubbard::ModelParams;
+using hubbard::Spin;
+using linalg::Matrix;
+using linalg::MatrixRng;
+using linalg::Vector;
+
+void expect_bitwise_equal(ConstMatrixView a, ConstMatrixView b,
+                          const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(a(i, j)),
+                std::bit_cast<std::uint64_t>(b(i, j)))
+          << what << " differs at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+struct BatchedOpsFixture : ::testing::TestWithParam<BackendKind> {
+  static constexpr idx kN = 16;
+  static constexpr idx kItems = 5;
+
+  std::unique_ptr<MatrixHandle> uploaded(ComputeBackend& be,
+                                         ConstMatrixView m) {
+    auto h = be.alloc_matrix(m.rows(), m.cols());
+    be.upload(m, *h);
+    return h;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BatchedOpsFixture,
+                         ::testing::Values(BackendKind::kHost,
+                                           BackendKind::kGpuSim),
+                         [](const auto& pinfo) {
+                           return std::string(backend_kind_name(pinfo.param));
+                         });
+
+TEST_P(BatchedOpsFixture, GemmBatchedSharedOperandMatchesSingleOps) {
+  auto be = make_backend(GetParam());
+  MatrixRng rng(17);
+  const Matrix shared = rng.uniform_matrix(kN, kN);
+  auto shared_h = uploaded(*be, shared);
+
+  std::vector<Matrix> b_host, batched(static_cast<std::size_t>(kItems)),
+      solo(static_cast<std::size_t>(kItems));
+  std::vector<std::unique_ptr<MatrixHandle>> b_h, c_h;
+  std::vector<const MatrixHandle*> bp;
+  std::vector<MatrixHandle*> cp;
+  for (idx i = 0; i < kItems; ++i) {
+    b_host.push_back(rng.uniform_matrix(kN, kN));
+    b_h.push_back(uploaded(*be, b_host.back()));
+    c_h.push_back(be->alloc_matrix(kN, kN));
+    bp.push_back(b_h.back().get());
+    cp.push_back(c_h.back().get());
+  }
+
+  be->gemm_batched(Trans::No, Trans::No, 1.0, {shared_h.get()}, bp, 0.0, cp);
+  for (idx i = 0; i < kItems; ++i) {
+    batched[static_cast<std::size_t>(i)] = Matrix(kN, kN);
+    be->download(*cp[static_cast<std::size_t>(i)],
+                 batched[static_cast<std::size_t>(i)]);
+  }
+
+  // The same products as kItems independent single-op enqueues.
+  for (idx i = 0; i < kItems; ++i) {
+    auto c = be->alloc_matrix(kN, kN);
+    be->gemm(Trans::No, Trans::No, 1.0, *shared_h,
+             *bp[static_cast<std::size_t>(i)], 0.0, *c);
+    solo[static_cast<std::size_t>(i)] = Matrix(kN, kN);
+    be->download(*c, solo[static_cast<std::size_t>(i)]);
+    expect_bitwise_equal(batched[static_cast<std::size_t>(i)],
+                         solo[static_cast<std::size_t>(i)],
+                         "item " + std::to_string(i));
+  }
+}
+
+TEST_P(BatchedOpsFixture, ScaleRowsAndWrapScaleBatchedMatchSingleOps) {
+  auto be = make_backend(GetParam());
+  MatrixRng rng(29);
+
+  std::vector<Matrix> src_host, v_host;
+  std::vector<std::unique_ptr<MatrixHandle>> src_h, dst_h, g_h;
+  std::vector<std::unique_ptr<VectorHandle>> v_h;
+  std::vector<const VectorHandle*> vp;
+  std::vector<const MatrixHandle*> srcp;
+  std::vector<MatrixHandle*> dstp, gp;
+  for (idx i = 0; i < kItems; ++i) {
+    src_host.push_back(rng.uniform_matrix(kN, kN));
+    Matrix v = rng.uniform_matrix(kN, 1);
+    for (idx r = 0; r < kN; ++r) v(r, 0) += 2.0;  // keep diag invertible
+    v_host.push_back(v);
+    src_h.push_back(uploaded(*be, src_host.back()));
+    dst_h.push_back(be->alloc_matrix(kN, kN));
+    g_h.push_back(uploaded(*be, src_host.back()));
+    v_h.push_back(be->alloc_vector(kN));
+    be->upload_vector(v.data(), kN, *v_h.back());
+    vp.push_back(v_h.back().get());
+    srcp.push_back(src_h.back().get());
+    dstp.push_back(dst_h.back().get());
+    gp.push_back(g_h.back().get());
+  }
+
+  be->scale_rows_batched(vp, srcp, dstp);
+  be->wrap_scale_batched(vp, gp);
+
+  for (idx i = 0; i < kItems; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    Matrix scaled(kN, kN), wrapped(kN, kN);
+    be->download(*dstp[s], scaled);
+    be->download(*gp[s], wrapped);
+
+    auto solo_dst = be->alloc_matrix(kN, kN);
+    be->scale_rows(*vp[s], *srcp[s], *solo_dst);
+    Matrix solo_scaled(kN, kN);
+    be->download(*solo_dst, solo_scaled);
+    expect_bitwise_equal(scaled, solo_scaled, "scale_rows item " +
+                                                  std::to_string(i));
+
+    auto solo_g = uploaded(*be, src_host[s]);
+    be->wrap_scale(*vp[s], *solo_g);
+    Matrix solo_wrapped(kN, kN);
+    be->download(*solo_g, solo_wrapped);
+    expect_bitwise_equal(wrapped, solo_wrapped,
+                         "wrap_scale item " + std::to_string(i));
+  }
+}
+
+struct BatchedChainFixture : ::testing::TestWithParam<BackendKind> {
+  BatchedChainFixture() : lat(4, 4), factory(lat, params()) {}
+  static ModelParams params() {
+    ModelParams p;
+    p.u = 4.0;
+    p.beta = 2.0;
+    p.slices = 10;
+    return p;
+  }
+  std::vector<hs_t> random_field(std::uint64_t seed) {
+    MatrixRng rng(seed);
+    std::vector<hs_t> h(16);
+    for (auto& x : h) x = rng.uniform() < 0.5 ? hs_t{-1} : hs_t{1};
+    return h;
+  }
+  Lattice lat;
+  BMatrixFactory factory;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BatchedChainFixture,
+                         ::testing::Values(BackendKind::kHost,
+                                           BackendKind::kGpuSim),
+                         [](const auto& pinfo) {
+                           return std::string(backend_kind_name(pinfo.param));
+                         });
+
+TEST_P(BatchedChainFixture, WrapBatchedMatchesPerItemChains) {
+  const idx items = 4;
+  auto be = make_backend(GetParam());
+  auto be_solo = make_backend(GetParam());
+  BatchedBChain crowd(*be, factory.b(), factory.b_inv(), items);
+  std::vector<std::unique_ptr<BackendBChain>> chains;
+  for (idx i = 0; i < items; ++i) {
+    chains.push_back(std::make_unique<BackendBChain>(*be_solo, factory.b(),
+                                                     factory.b_inv()));
+  }
+
+  MatrixRng rng(41);
+  std::vector<Matrix> g_batched, g_solo;
+  std::vector<Vector> vs;
+  for (idx i = 0; i < items; ++i) {
+    g_batched.push_back(rng.uniform_matrix(factory.n(), factory.n()));
+    g_solo.push_back(g_batched.back());
+    const auto h = random_field(500 + static_cast<std::uint64_t>(i));
+    vs.push_back(factory.v_diagonal(h.data(), Spin::Up));
+  }
+
+  // Three lockstep wraps; after the first, G is resident on both paths.
+  for (int pass = 0; pass < 3; ++pass) {
+    std::vector<MatrixView> gv(g_batched.begin(), g_batched.end());
+    std::vector<const Vector*> vv;
+    for (const Vector& v : vs) vv.push_back(&v);
+    const std::vector<char> unchanged(static_cast<std::size_t>(items),
+                                      pass > 0 ? char{1} : char{0});
+    crowd.wrap_batched(gv, vv, unchanged);
+    for (idx i = 0; i < items; ++i) {
+      const std::size_t s = static_cast<std::size_t>(i);
+      chains[s]->wrap(g_solo[s], vs[s], /*fused_kernel=*/true,
+                      /*host_unchanged=*/pass > 0);
+      expect_bitwise_equal(g_batched[s], g_solo[s],
+                           "pass " + std::to_string(pass) + " item " +
+                               std::to_string(i));
+    }
+  }
+  for (idx i = 0; i < items; ++i) {
+    EXPECT_EQ(crowd.wrap_uploads_skipped(i),
+              chains[static_cast<std::size_t>(i)]->wrap_uploads_skipped());
+    EXPECT_GT(crowd.wrap_uploads_skipped(i), 0u);
+  }
+}
+
+TEST_P(BatchedChainFixture, ClusterProductBatchedMatchesPerItemChains) {
+  const idx items = 3;
+  const int k = 5;
+  auto be = make_backend(GetParam());
+  auto be_solo = make_backend(GetParam());
+  BatchedBChain crowd(*be, factory.b(), factory.b_inv(), items);
+
+  std::vector<std::vector<Vector>> vs(static_cast<std::size_t>(items));
+  for (idx i = 0; i < items; ++i) {
+    for (int l = 0; l < k; ++l) {
+      const auto h =
+          random_field(700 + static_cast<std::uint64_t>(i) * 10 +
+                       static_cast<std::uint64_t>(l));
+      vs[static_cast<std::size_t>(i)].push_back(
+          factory.v_diagonal(h.data(), Spin::Up));
+    }
+  }
+
+  const std::vector<Matrix> products = crowd.cluster_product_batched(vs);
+  ASSERT_EQ(products.size(), static_cast<std::size_t>(items));
+  for (idx i = 0; i < items; ++i) {
+    BackendBChain solo(*be_solo, factory.b(), factory.b_inv());
+    const Matrix expected =
+        solo.cluster_product(vs[static_cast<std::size_t>(i)]);
+    expect_bitwise_equal(products[static_cast<std::size_t>(i)], expected,
+                         "item " + std::to_string(i));
+  }
+}
+
+// The gpusim cost model charges a launch fee per enqueue and a transaction
+// fee per transfer: a W-item batch must reach the device in FEWER launches
+// and transfers — and less modeled time — than W single-op sequences.
+TEST(BatchedOpsGpusim, AmortizesLaunchAndTransferFees) {
+  const idx n = 32, items = 8;
+  MatrixRng rng(53);
+  const Matrix shared = rng.uniform_matrix(n, n);
+  std::vector<Matrix> b_host;
+  for (idx i = 0; i < items; ++i) b_host.push_back(rng.uniform_matrix(n, n));
+
+  auto run = [&](bool batched) {
+    auto be = make_backend(BackendKind::kGpuSim);
+    auto a = be->alloc_matrix(n, n);
+    be->upload(shared, *a);
+    std::vector<std::unique_ptr<MatrixHandle>> b_h, c_h;
+    std::vector<const MatrixHandle*> bp;
+    std::vector<MatrixHandle*> cp;
+    for (idx i = 0; i < items; ++i) {
+      b_h.push_back(be->alloc_matrix(n, n));
+      be->upload(b_host[static_cast<std::size_t>(i)], *b_h.back());
+      c_h.push_back(be->alloc_matrix(n, n));
+      bp.push_back(b_h.back().get());
+      cp.push_back(c_h.back().get());
+    }
+    be->reset_stats();  // count only the compute phase
+    if (batched) {
+      be->gemm_batched(Trans::No, Trans::No, 1.0, {a.get()}, bp, 0.0, cp);
+    } else {
+      for (idx i = 0; i < items; ++i) {
+        be->gemm(Trans::No, Trans::No, 1.0, *a, *bp[static_cast<std::size_t>(i)],
+                 0.0, *cp[static_cast<std::size_t>(i)]);
+      }
+    }
+    be->synchronize();
+    return be->stats();
+  };
+
+  const BackendStats one = run(true);
+  const BackendStats many = run(false);
+  EXPECT_LT(one.kernel_launches, many.kernel_launches);
+  EXPECT_LT(one.compute_seconds, many.compute_seconds);
+}
+
+}  // namespace
+}  // namespace dqmc::backend

@@ -116,6 +116,19 @@ TEST(SimulationConfigFrom, DefaultsAreSensible) {
   EXPECT_EQ(sim.lx, 4);
   EXPECT_EQ(sim.ly, 4);  // ly defaults to lx
   EXPECT_EQ(sim.engine.algorithm, core::StratAlgorithm::kPrePivot);
+  EXPECT_EQ(sim.walker_batch, 0);  // batching is opt-in
+}
+
+TEST(SimulationConfigFrom, WalkerBatchKeys) {
+  // `walkers` (the chain count) is a driver-level key: the parser accepts it
+  // but it never lands in the SimulationConfig.
+  ConfigFile cfg = ConfigFile::parse("walkers = 8\nwalker_batch = 4\n");
+  core::SimulationConfig sim = simulation_config_from(cfg);
+  EXPECT_EQ(sim.walker_batch, 4);
+  EXPECT_EQ(cfg.get_long("walkers", 1), 8);
+  EXPECT_THROW(
+      simulation_config_from(ConfigFile::parse("walker_batch = -2\n")),
+      InvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// Walker crowds (dqmc/walker_batch.h): the batched lockstep path must be
+// bitwise identical per walker to the single-walker engine path — at every
+// crowd size, on both backends, and under any thread budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dqmc/checkpoint.h"
+#include "dqmc/simulation.h"
+#include "dqmc/walker_batch.h"
+#include "parallel/topology.h"
+
+namespace dqmc::core {
+namespace {
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int threads) { par::set_num_threads(threads); }
+  ~ThreadCountGuard() { par::set_num_threads(0); }
+};
+
+SimulationConfig tiny_config(backend::BackendKind kind) {
+  SimulationConfig cfg;
+  cfg.lx = cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 2.0;
+  cfg.model.slices = 10;
+  cfg.engine.cluster_size = 5;
+  cfg.engine.delay_rank = 8;
+  cfg.engine.backend = kind;
+  cfg.warmup_sweeps = 6;
+  cfg.measurement_sweeps = 12;
+  cfg.bins = 4;
+  cfg.seed = 11;
+  return cfg;
+}
+
+class WalkerBatchBackends
+    : public ::testing::TestWithParam<backend::BackendKind> {};
+
+// W = 1 crowds route every chain through the batched path (2 spin items per
+// composite); the full merged trajectory hash must match the unbatched
+// per-chain-task path bit for bit.
+TEST_P(WalkerBatchBackends, W1CrowdBitwiseMatchesUnbatched) {
+  SimulationConfig cfg = tiny_config(GetParam());
+  SimulationResults plain = run_parallel_simulation(cfg, 2);
+  cfg.walker_batch = 1;
+  SimulationResults crowd = run_parallel_simulation(cfg, 2);
+  EXPECT_EQ(plain.trajectory_hash, crowd.trajectory_hash);
+  EXPECT_DOUBLE_EQ(plain.measurements.density().mean,
+                   crowd.measurements.density().mean);
+  EXPECT_DOUBLE_EQ(plain.measurements.double_occupancy().mean,
+                   crowd.measurements.double_occupancy().mean);
+  EXPECT_EQ(crowd.batch_walkers, 1);
+  EXPECT_EQ(crowd.batch_crowds, 2);
+}
+
+// W > 1: every walker of a crowd must follow the exact trajectory of the
+// corresponding solo engine, walker by walker.
+TEST_P(WalkerBatchBackends, CrowdMatchesSoloEnginesWalkerByWalker) {
+  const SimulationConfig cfg = tiny_config(GetParam());
+  const Lattice lattice = cfg.make_lattice();
+  const std::vector<std::uint64_t> seeds = {11, 12, 13};
+
+  WalkerBatch batch(lattice, cfg.model, cfg.engine, seeds);
+  batch.initialize_all();
+  for (idx sweep = 0; sweep < 5; ++sweep) batch.sweep_all();
+
+  for (std::size_t w = 0; w < seeds.size(); ++w) {
+    DqmcEngine solo(lattice, cfg.model, cfg.engine, seeds[w]);
+    solo.initialize();
+    for (idx sweep = 0; sweep < 5; ++sweep) solo.sweep();
+    EXPECT_EQ(trajectory_hash(solo),
+              trajectory_hash(batch.engine(static_cast<idx>(w))))
+        << "walker " << w << " diverged from its solo engine";
+  }
+}
+
+// Crowd partitioning: W dividing the chain count and W leaving a remainder
+// crowd must both reproduce the unbatched merged results exactly.
+TEST_P(WalkerBatchBackends, PartitionShapesMatchUnbatched) {
+  SimulationConfig cfg = tiny_config(GetParam());
+  cfg.measurement_sweeps = 8;
+  SimulationResults plain = run_parallel_simulation(cfg, 5);
+
+  cfg.walker_batch = 4;
+  SimulationResults crowd4 = run_parallel_simulation(cfg, 5);
+  EXPECT_EQ(plain.trajectory_hash, crowd4.trajectory_hash);
+  EXPECT_EQ(crowd4.batch_crowds, 2);  // 4 + 1
+
+  cfg.walker_batch = 2;
+  SimulationResults crowd2 = run_parallel_simulation(cfg, 5);
+  EXPECT_EQ(plain.trajectory_hash, crowd2.trajectory_hash);
+  EXPECT_EQ(crowd2.batch_crowds, 3);  // 2 + 2 + 1
+  EXPECT_DOUBLE_EQ(plain.measurements.af_structure_factor().mean,
+                   crowd2.measurements.af_structure_factor().mean);
+}
+
+// The thread budget must not leak into any walker's trajectory.
+TEST_P(WalkerBatchBackends, ThreadCountDoesNotChangeTrajectories) {
+  SimulationConfig cfg = tiny_config(GetParam());
+  cfg.walker_batch = 3;
+  cfg.measurement_sweeps = 6;
+  std::uint64_t reference = 0;
+  for (int threads : {1, 2, 4}) {
+    ThreadCountGuard guard(threads);
+    SimulationResults r = run_parallel_simulation(cfg, 3);
+    if (reference == 0) {
+      reference = r.trajectory_hash;
+    } else {
+      EXPECT_EQ(reference, r.trajectory_hash)
+          << "thread budget " << threads << " forked a trajectory";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, WalkerBatchBackends,
+                         ::testing::Values(backend::BackendKind::kHost,
+                                           backend::BackendKind::kGpuSim),
+                         [](const auto& pinfo) {
+                           return pinfo.param == backend::BackendKind::kHost
+                                      ? "host"
+                                      : "gpusim";
+                         });
+
+// Crowd wraps keep per-walker device residency: after warmup most slices
+// wrap a G no Metropolis accept touched on at least one spin, so uploads
+// must be getting skipped for every walker.
+TEST(WalkerBatch, TracksPerWalkerResidency) {
+  const SimulationConfig cfg = tiny_config(backend::BackendKind::kGpuSim);
+  const Lattice lattice = cfg.make_lattice();
+  WalkerBatch batch(lattice, cfg.model, cfg.engine, {11, 12});
+  batch.initialize_all();
+  for (idx sweep = 0; sweep < 4; ++sweep) batch.sweep_all();
+  for (idx w = 0; w < batch.walkers(); ++w) {
+    EXPECT_GT(batch.wrap_uploads_skipped(w), 0u) << "walker " << w;
+  }
+}
+
+// Measurement hooks fire per walker in walker order at each slice boundary.
+TEST(WalkerBatch, SliceHooksSeeFlushedGreens) {
+  const SimulationConfig cfg = tiny_config(backend::BackendKind::kHost);
+  const Lattice lattice = cfg.make_lattice();
+  WalkerBatch batch(lattice, cfg.model, cfg.engine, {21, 22});
+  batch.initialize_all();
+  idx calls = 0;
+  batch.sweep_all([&](idx w, idx slice) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 2);
+    EXPECT_GE(slice, 0);
+    EXPECT_LT(slice, cfg.model.slices);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 2 * cfg.model.slices);
+}
+
+TEST(WalkerBatch, RejectsEmptyCrowdAndBadConfig) {
+  const SimulationConfig cfg = tiny_config(backend::BackendKind::kHost);
+  const Lattice lattice = cfg.make_lattice();
+  EXPECT_THROW(WalkerBatch(lattice, cfg.model, cfg.engine, {}),
+               InvalidArgument);
+  SimulationConfig bad = cfg;
+  bad.walker_batch = -1;
+  EXPECT_THROW(run_parallel_simulation(bad, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::core

@@ -1,0 +1,218 @@
+// Supervised walker crowds (CrowdSupervisor): fault recovery in the batched
+// lockstep path must keep every walker — the faulting one AND its
+// batchmates — on the bitwise trajectory of a fault-free run. The
+// walker-by-walker oracle is the FNV mix of each chain's SOLO unsupervised
+// hash: the fold is chain-order sensitive, so a merged hash that matches it
+// certifies that no batchmate's trajectory was perturbed by recovery.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
+#include "dqmc/walker_batch.h"
+#include "fault/failpoint.h"
+#include "obs/health.h"
+
+namespace dqmc {
+namespace {
+
+using linalg::idx;
+
+core::SimulationConfig crowd_config(
+    backend::BackendKind kind = backend::BackendKind::kHost) {
+  core::SimulationConfig cfg;
+  cfg.lx = 2;
+  cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 1.0;
+  cfg.model.slices = 8;
+  cfg.engine.cluster_size = 4;
+  cfg.engine.delay_rank = 4;
+  cfg.engine.backend = kind;
+  cfg.warmup_sweeps = 4;
+  cfg.measurement_sweeps = 8;
+  cfg.bins = 4;
+  cfg.seed = 31;
+  cfg.walker_batch = 3;  // one crowd of three walkers
+  return cfg;
+}
+
+core::SupervisorPolicy test_policy() {
+  core::SupervisorPolicy policy;
+  policy.checkpoint_interval = 3;
+  policy.max_retries = 2;
+  return policy;
+}
+
+/// Each chain run solo (unbatched, unsupervised), hashes mixed in chain
+/// order — what the supervised crowd's merged hash must reproduce exactly.
+std::uint64_t solo_mixed_hash(const core::SimulationConfig& cfg, idx chains) {
+  std::uint64_t acc = 0;
+  for (idx c = 0; c < chains; ++c) {
+    core::SimulationConfig chain = cfg;
+    chain.walker_batch = 0;
+    chain.seed = cfg.seed + static_cast<std::uint64_t>(c);
+    acc = core::mix_chain_hash(acc,
+                               core::run_simulation(chain).trajectory_hash);
+  }
+  return acc;
+}
+
+class BatchFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::failpoints().disarm_all();
+    obs::health().set_enabled(false);
+    obs::health().reset();
+  }
+  void TearDown() override {
+    fault::failpoints().disarm_all();
+    obs::health().set_enabled(false);
+    obs::health().reset();
+  }
+};
+
+TEST_F(BatchFaultTest, CleanSupervisedCrowdMatchesSoloChains) {
+  const core::SimulationConfig cfg = crowd_config();
+  const core::SimulationResults supervised =
+      core::run_supervised_parallel(cfg, test_policy(), 3);
+  EXPECT_EQ(supervised.trajectory_hash, solo_mixed_hash(cfg, 3));
+  EXPECT_EQ(supervised.batch_walkers, 3);
+  EXPECT_EQ(supervised.batch_crowds, 1);
+  EXPECT_EQ(supervised.fault_report.faults, 0u);
+  EXPECT_GT(supervised.fault_report.checkpoints, 0u);
+  // Lockstep recovery points: checkpoints always land in whole-crowd sets.
+  EXPECT_EQ(supervised.fault_report.checkpoints % 3, 0u);
+}
+
+TEST_F(BatchFaultTest, KillAndResumeLeavesBatchmatesUnchanged) {
+  // One walker's wrap is killed mid-segment ("batch.wrap" fires per walker
+  // in walker order, so hit 30 lands on a specific walker of the crowd).
+  // The crowd restores from its lockstep checkpoints and replays — and the
+  // merged hash still equals the solo per-chain mix, walker by walker.
+  const core::SimulationConfig cfg = crowd_config();
+  const core::SimulationResults plain = core::run_parallel_simulation(cfg, 3);
+  fault::failpoints().arm("batch.wrap", 30);
+  const core::SimulationResults supervised =
+      core::run_supervised_parallel(cfg, test_policy(), 3);
+  ASSERT_EQ(fault::failpoints().state("batch.wrap").fired, 1u);
+
+  EXPECT_EQ(supervised.trajectory_hash, solo_mixed_hash(cfg, 3));
+  EXPECT_EQ(supervised.trajectory_hash, plain.trajectory_hash);
+  EXPECT_EQ(supervised.measurements.density().mean,
+            plain.measurements.density().mean);
+  EXPECT_EQ(supervised.measurements.average_sign().mean,
+            plain.measurements.average_sign().mean);
+  EXPECT_EQ(supervised.sweep_stats.proposed, plain.sweep_stats.proposed);
+  EXPECT_EQ(supervised.sweep_stats.accepted, plain.sweep_stats.accepted);
+
+  const fault::FaultReport& fr = supervised.fault_report;
+  EXPECT_GE(fr.faults, 1u);
+  EXPECT_GE(fr.retries, 1u);
+  EXPECT_GE(fr.restarts, 1u);
+  ASSERT_FALSE(fr.events.empty());
+  EXPECT_EQ(fr.events[0].site, "batch.wrap");
+  EXPECT_EQ(fr.events[0].fault_class, "device");
+  EXPECT_EQ(fr.events[0].action, "retry");
+}
+
+TEST_F(BatchFaultTest, PersistentGpusimFaultDegradesWholeCrowd) {
+  // A persistent gpusim-only enqueue fault exhausts the retries; the crowd
+  // shares ONE backend, so there is exactly one degradation and all three
+  // walkers finish on the host — still on their solo trajectories.
+  const core::SimulationConfig cfg =
+      crowd_config(backend::BackendKind::kGpuSim);
+  // Reference BEFORE arming — the persistent fail point would kill the
+  // unsupervised solo runs too.
+  const std::uint64_t expected = solo_mixed_hash(cfg, 3);
+  fault::failpoints().arm_spec("backend.enqueue.gpusim:10+");
+  core::SupervisorPolicy policy = test_policy();
+  policy.max_retries = 1;
+  const core::SimulationResults supervised =
+      core::run_supervised_parallel(cfg, policy, 3);
+
+  EXPECT_EQ(supervised.trajectory_hash, expected);
+  const fault::FaultReport& fr = supervised.fault_report;
+  EXPECT_TRUE(fr.degraded);
+  EXPECT_EQ(fr.degradations, 1u);
+  EXPECT_EQ(fr.final_backend, "host");
+  EXPECT_EQ(supervised.backend_name, "host");
+  bool saw_degrade = false;
+  for (const fault::FaultEvent& ev : fr.events) {
+    if (ev.action == "degrade") saw_degrade = true;
+  }
+  EXPECT_TRUE(saw_degrade);
+}
+
+TEST_F(BatchFaultTest, CheckpointFaultSkipsWholeCrowdCheckpoint) {
+  // Hits 1-3 are the initial crowd checkpoint; hits 4-5 are walker 0's two
+  // attempts at the first segment's save. Both fail -> the WHOLE crowd's
+  // checkpoint is skipped (previous lockstep set kept) and the run is
+  // otherwise untouched.
+  const core::SimulationConfig cfg = crowd_config();
+  fault::failpoints().arm_spec("checkpoint.save:4:2");
+  const core::SimulationResults supervised =
+      core::run_supervised_parallel(cfg, test_policy(), 3);
+  ASSERT_EQ(fault::failpoints().state("checkpoint.save").fired, 2u);
+
+  EXPECT_EQ(supervised.trajectory_hash, solo_mixed_hash(cfg, 3));
+  const fault::FaultReport& fr = supervised.fault_report;
+  EXPECT_EQ(fr.checkpoint_faults, 2u);
+  EXPECT_EQ(fr.restarts, 0u);
+  EXPECT_EQ(fr.checkpoints % 3, 0u);
+  bool saw_skip = false;
+  for (const fault::FaultEvent& ev : fr.events) {
+    if (ev.action == "skip-checkpoint") saw_skip = true;
+  }
+  EXPECT_TRUE(saw_skip);
+}
+
+TEST_F(BatchFaultTest, RestoreAfterSkipUsesOlderLockstepPoint) {
+  // The first segment's crowd checkpoint is skipped, then a walker fault in
+  // the SECOND segment forces a restore from the older (initial) lockstep
+  // set: the supervisor fast-forwards the committed sweeps without
+  // re-measuring, so both the trajectories and the sample set stay exact.
+  const core::SimulationConfig cfg = crowd_config();
+  fault::failpoints().arm_spec("checkpoint.save:4:2,batch.wrap:100");
+  const core::SimulationResults supervised =
+      core::run_supervised_parallel(cfg, test_policy(), 3);
+  ASSERT_EQ(fault::failpoints().state("checkpoint.save").fired, 2u);
+  ASSERT_EQ(fault::failpoints().state("batch.wrap").fired, 1u);
+
+  EXPECT_EQ(supervised.trajectory_hash, solo_mixed_hash(cfg, 3));
+  const fault::FaultReport& fr = supervised.fault_report;
+  EXPECT_EQ(fr.checkpoint_faults, 2u);
+  EXPECT_GE(fr.restarts, 1u);
+}
+
+TEST_F(BatchFaultTest, HealthTripDisablesGateCrowdWide) {
+  const core::SimulationConfig cfg = crowd_config();
+  fault::failpoints().arm_spec("supervisor.health:1+");
+  core::SupervisorPolicy policy = test_policy();
+  policy.max_retries = 1;
+  const core::SimulationResults supervised =
+      core::run_supervised_parallel(cfg, policy, 3);
+  EXPECT_EQ(supervised.trajectory_hash, solo_mixed_hash(cfg, 3));
+  EXPECT_EQ(supervised.fault_report.health_trips, 2u);
+  bool saw_disable = false;
+  for (const fault::FaultEvent& ev : supervised.fault_report.events) {
+    if (ev.action == "disable-health") saw_disable = true;
+  }
+  EXPECT_TRUE(saw_disable);
+}
+
+TEST_F(BatchFaultTest, AbortsWhenRecoveryIsExhaustedOnHost) {
+  // Host has nowhere to degrade: a persistent walker fault aborts with the
+  // walker-attributed exception after max_retries.
+  const core::SimulationConfig cfg = crowd_config();
+  fault::failpoints().arm_spec("batch.wrap:5+");
+  core::SupervisorPolicy policy = test_policy();
+  policy.max_retries = 1;
+  EXPECT_THROW(core::run_supervised_parallel(cfg, policy, 3),
+               core::WalkerFault);
+}
+
+}  // namespace
+}  // namespace dqmc
