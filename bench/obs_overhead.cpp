@@ -13,11 +13,18 @@
 // site is armed (the probed site still must not slow down beyond the
 // registry lookup). Compile-out (-DDQMC_NO_FAILPOINTS) is proven by
 // tests/fault/test_failpoint_compileout.
+// The flight recorder (src/obs/flight_recorder.h) extends the contract: a
+// DQMC_FLIGHT_EVENT site costs one relaxed atomic load while the recorder is
+// disarmed (BM_FlightDisarmed; budget < 1% of a sweep — the CTest guard is
+// tests/obs/test_flight_overhead), and armed recording stays a bounded
+// lock-free ring write (BM_FlightArmed). Compile-out
+// (-DDQMC_NO_FLIGHT_RECORDER) is proven by tests/obs/test_flight_compileout.
 #include <benchmark/benchmark.h>
 
 #include "common/profiler.h"
 #include "dqmc/simulation.h"
 #include "fault/failpoint.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -81,6 +88,26 @@ void BM_CounterEnabled(benchmark::State& state) {
   obs::metrics().reset();
 }
 BENCHMARK(BM_CounterEnabled);
+
+void BM_FlightDisarmed(benchmark::State& state) {
+  obs::flight_recorder().set_enabled(false);
+  for (auto _ : state) {
+    DQMC_FLIGHT_EVENT(obs::FlightEventKind::kNote, "bench.flight");
+  }
+}
+BENCHMARK(BM_FlightDisarmed);
+
+void BM_FlightArmed(benchmark::State& state) {
+  obs::FlightRecorder& fr = obs::flight_recorder();
+  fr.set_enabled(true);
+  for (auto _ : state) {
+    DQMC_FLIGHT_EVENT(obs::FlightEventKind::kNote, "bench.flight", "armed",
+                      1.0, 2.0);
+  }
+  fr.set_enabled(false);
+  fr.reset();
+}
+BENCHMARK(BM_FlightArmed);
 
 void BM_FailpointDisarmed(benchmark::State& state) {
   fault::failpoints().disarm_all();

@@ -1,0 +1,237 @@
+// Bench-regression gate: re-run a committed bench workload and compare the
+// fresh numbers against its checked-in BENCH_*.json baseline, failing with a
+// structured report when any row drifts past the noise tolerance.
+//
+//   ./bench_regress [--suite batched] [--baseline bench/BENCH_batched.json]
+//                   [--tolerance 0.10] [--quick] [--report gate_report.json]
+//                   [--inject-slowdown F]
+//
+// The batched suite replays the exact batched_walkers workload (same config,
+// same seed) on the gpusim virtual clock, so the modeled device seconds are
+// deterministic: a row drifting past the tolerance means the execution model
+// changed, not the machine. --quick restricts to the 8x8 lattice with
+// W in {1, 8} for the opt-in ctest gate (label: bench-gate); --inject-slowdown
+// multiplies the measured batched device seconds by F, a test hook that lets
+// the WILL_FAIL ctest entry prove the gate actually trips on a regression.
+//
+// Exit status: 0 all rows within tolerance, 1 regression detected, 2 bad
+// usage / unreadable baseline.
+#include "bench_util.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "backend/backend.h"
+#include "cli/args.h"
+
+namespace {
+
+using namespace dqmc;
+using linalg::idx;
+
+struct Shape {
+  idx lx, ly;
+};
+
+// MUST match batched_walkers.cpp's base_config in scaled-down mode — the
+// baseline is committed from that mode, so the gate always replays it
+// scaled-down regardless of DQMC_FULL.
+core::SimulationConfig base_config(const Shape& s) {
+  core::SimulationConfig cfg;
+  cfg.lx = s.lx;
+  cfg.ly = s.ly;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 2.0;
+  cfg.model.slices = 8;
+  cfg.engine.cluster_size = 4;
+  cfg.engine.delay_rank = 16;
+  cfg.engine.backend = backend::BackendKind::kGpuSim;
+  cfg.warmup_sweeps = 1;
+  cfg.measurement_sweeps = 2;
+  cfg.bins = 2;
+  cfg.seed = 17;
+  return cfg;
+}
+
+const obs::Json* find_baseline_row(const obs::Json& rows, idx n, idx w) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const obs::Json& row = rows[i];
+    if (static_cast<idx>(row.at("n").number()) == n &&
+        static_cast<idx>(row.at("walkers").number()) == w) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+double relative_error(double measured, double baseline) {
+  const double denom = std::abs(baseline);
+  if (denom == 0.0) return std::abs(measured) == 0.0 ? 0.0 : 1e30;
+  return std::abs(measured - baseline) / denom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv, {"suite", "baseline", "tolerance", "quick",
+                              "report", "inject-slowdown"});
+
+  const std::string suite = args.get("suite", "batched");
+  if (suite != "batched") {
+    std::fprintf(stderr, "bench_regress: unknown suite '%s' (have: batched)\n",
+                 suite.c_str());
+    return 2;
+  }
+  const std::string baseline_path =
+      args.get("baseline", "bench/BENCH_batched.json");
+  const double tolerance = args.get_double("tolerance", 0.10);
+  const bool quick = args.get_flag("quick");
+  const double slowdown = args.get_double("inject-slowdown", 1.0);
+  if (tolerance <= 0.0 || slowdown <= 0.0) {
+    std::fprintf(stderr, "bench_regress: --tolerance and --inject-slowdown "
+                         "must be > 0\n");
+    return 2;
+  }
+
+  std::ifstream in(baseline_path);
+  if (!in.good()) {
+    std::fprintf(stderr, "bench_regress: cannot open baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  obs::Json baseline;
+  try {
+    baseline = obs::Json::parse(text.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_regress: malformed baseline %s: %s\n",
+                 baseline_path.c_str(), e.what());
+    return 2;
+  }
+  const obs::Json* baseline_rows = baseline.find("results");
+  if (baseline_rows == nullptr || !baseline_rows->is_array()) {
+    std::fprintf(stderr, "bench_regress: baseline %s has no results array\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  bench::banner("bench_regress",
+                "re-run committed benches against BENCH_*.json baselines");
+  std::printf("suite: %s  baseline: %s  tolerance: %.0f%%%s%s\n\n",
+              suite.c_str(), baseline_path.c_str(), 100.0 * tolerance,
+              quick ? "  (quick subset)" : "",
+              slowdown != 1.0 ? "  [synthetic slowdown injected]" : "");
+
+  const std::vector<Shape> shapes =
+      quick ? std::vector<Shape>{{8, 8}} : std::vector<Shape>{{8, 8}, {16, 8},
+                                                              {16, 16}};
+  const std::vector<idx> crowd_sizes =
+      quick ? std::vector<idx>{1, 8} : std::vector<idx>{1, 4, 8, 16};
+
+  cli::Table table({"N", "W", "batched s (base)", "batched s (now)",
+                    "speedup (base)", "speedup (now)", "max rel err",
+                    "status"});
+  obs::Json report_rows = obs::Json::array();
+  int failures = 0;
+
+  for (const Shape& shape : shapes) {
+    for (const idx w : crowd_sizes) {
+      core::SimulationConfig cfg = base_config(shape);
+      const idx n = cfg.lx * cfg.ly;
+      const double walker_sweeps = static_cast<double>(w) *
+                                   static_cast<double>(cfg.warmup_sweeps +
+                                                       cfg.measurement_sweeps);
+
+      cfg.walker_batch = 0;
+      const core::SimulationResults seq =
+          core::run_parallel_simulation(cfg, w);
+      const double seq_seconds = seq.backend_stats.total_seconds();
+
+      cfg.walker_batch = w;
+      const core::SimulationResults crowd =
+          core::run_parallel_simulation(cfg, w);
+      // The injection hook scales the modeled device bill the way a real
+      // slowdown would, so the comparison below sees a genuine drift.
+      const double batched_seconds =
+          crowd.backend_stats.total_seconds() * slowdown;
+
+      obs::Json row = obs::Json::object().set("n", n).set("walkers", w);
+      std::string status;
+      double max_err = 0.0;
+      if (seq.trajectory_hash != crowd.trajectory_hash) {
+        status = "TRAJECTORY MISMATCH";
+        ++failures;
+      } else {
+        const obs::Json* base = find_baseline_row(*baseline_rows, n, w);
+        if (base == nullptr) {
+          status = "NO BASELINE ROW";
+          ++failures;
+        } else {
+          const double base_seconds =
+              base->at("batched_device_seconds").number();
+          const double base_speedup = base->at("speedup").number();
+          const double speedup =
+              (walker_sweeps / batched_seconds) / (walker_sweeps / seq_seconds);
+          const double err_seconds =
+              relative_error(batched_seconds, base_seconds);
+          const double err_speedup = relative_error(speedup, base_speedup);
+          max_err = std::max(err_seconds, err_speedup);
+          const bool ok = max_err <= tolerance;
+          if (!ok) ++failures;
+          status = ok ? "ok" : "REGRESSION";
+          row.set("baseline_batched_device_seconds", base_seconds)
+              .set("measured_batched_device_seconds", batched_seconds)
+              .set("baseline_speedup", base_speedup)
+              .set("measured_speedup", speedup)
+              .set("relative_error_seconds", err_seconds)
+              .set("relative_error_speedup", err_speedup);
+          table.add_row({cli::Table::integer(static_cast<long>(n)),
+                         cli::Table::integer(static_cast<long>(w)),
+                         cli::Table::num(base_seconds, 6),
+                         cli::Table::num(batched_seconds, 6),
+                         cli::Table::num(base_speedup, 2),
+                         cli::Table::num(speedup, 2),
+                         cli::Table::num(max_err, 4), status});
+        }
+      }
+      if (row.find("measured_batched_device_seconds") == nullptr) {
+        table.add_row({cli::Table::integer(static_cast<long>(n)),
+                       cli::Table::integer(static_cast<long>(w)), "-", "-",
+                       "-", "-", "-", status});
+      }
+      row.set("max_relative_error", max_err).set("status", status);
+      report_rows.push_back(std::move(row));
+    }
+  }
+  table.print();
+
+  const bool pass = failures == 0;
+  const obs::Json report =
+      obs::Json::object()
+          .set("gate_version", 1)
+          .set("suite", suite)
+          .set("baseline", baseline_path)
+          .set("tolerance", tolerance)
+          .set("quick", quick)
+          .set("injected_slowdown", slowdown)
+          .set("rows", report_rows)
+          .set("failures", failures)
+          .set("status", pass ? "pass" : "fail");
+  const std::string report_path = args.get("report", "");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << report.dump(2) << '\n';
+    if (!out.good()) {
+      std::fprintf(stderr, "bench_regress: failed writing report %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("\nbench gate: %s (%d row%s outside the %.0f%% tolerance)\n",
+              pass ? "PASS" : "FAIL", failures, failures == 1 ? "" : "s",
+              100.0 * tolerance);
+  return pass ? 0 : 1;
+}

@@ -24,6 +24,16 @@
 //                         fault-recovery summary)
 //   --trace-json FILE     record a Chrome-trace timeline of every pipeline
 //                         span; open in chrome://tracing or ui.perfetto.dev
+//   --telemetry-jsonl FILE   stream periodic progress/ETA/throughput
+//                         records as JSON lines (docs/OBSERVABILITY.md has
+//                         the record schema)
+//   --telemetry-interval MS  min spacing between telemetry records (250)
+//   --crash-dump FILE     where the flight recorder flushes its forensic
+//                         dump on a fault, fatal signal, or uncaught
+//                         exception (default crash_dump.json; empty string
+//                         disables). The flight recorder is always on in
+//                         this driver; --trace-json / --metrics-json are
+//                         also flushed on abnormal exit.
 //
 // Fault tolerance (docs/RELIABILITY.md): the run executes under the walker
 // supervisor — checkpointed segments, retry with backoff, restart from the
@@ -44,6 +54,8 @@
 //                         trajectories are bitwise identical to W=0
 #include <cstdio>
 
+#include <memory>
+
 #include "cli/args.h"
 #include "cli/config_file.h"
 #include "cli/table.h"
@@ -51,8 +63,10 @@
 #include "dqmc/simulation.h"
 #include "dqmc/supervisor.h"
 #include "fault/failpoint.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 int main(int argc, char** argv) {
@@ -62,7 +76,8 @@ int main(int argc, char** argv) {
                  {"config", "progress", "warmup", "sweeps", "seed",
                   "backend", "trace-json", "metrics-json", "failpoint",
                   "max-retries", "checkpoint-interval", "walkers",
-                  "walker-batch"});
+                  "walker-batch", "telemetry-jsonl", "telemetry-interval",
+                  "crash-dump"});
 
   core::SimulationConfig cfg;
   core::SupervisorPolicy policy;
@@ -115,12 +130,22 @@ int main(int argc, char** argv) {
 
   const std::string trace_path = args.get("trace-json", "");
   const std::string metrics_path = args.get("metrics-json", "");
+  const std::string telemetry_path = args.get("telemetry-jsonl", "");
+  const std::string dump_path = args.get("crash-dump", "crash_dump.json");
   // Metrics and health are cheap; keep them on for the summary and manifest.
   // Tracing records every span, so it is opt-in via --trace-json.
   obs::metrics().set_enabled(true);
   obs::health().set_enabled(true);
   obs::Tracer::global().set_enabled(!trace_path.empty());
   obs::Tracer::global().set_current_thread_name("main");
+  // Flight recorder: always armed in the production driver. On a fault the
+  // supervisor flushes the dump; on a fatal signal or uncaught exception
+  // the crash handlers also flush the trace/metrics artifacts that would
+  // otherwise be lost.
+  obs::flight_recorder().set_enabled(true);
+  obs::flight_recorder().set_dump_path(dump_path);
+  obs::flight_recorder().set_export_paths(trace_path, metrics_path);
+  obs::flight_recorder().install_crash_handlers();
 
   std::printf("lattice %lldx%lldx%lld  t=%.3f t'=%.3f U=%.3f mu=%.3f "
               "beta=%.3f L=%lld (dtau=%.4f)\n",
@@ -138,14 +163,29 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cfg.seed),
               backend::backend_kind_name(cfg.engine.backend));
 
+  // Progress/telemetry: one reporter aggregates every chain-sweep unit —
+  // single chain, concurrent unbatched chains, and lockstep crowds alike —
+  // into the human line (--progress) and the JSONL stream
+  // (--telemetry-jsonl).
+  std::unique_ptr<obs::ProgressReporter> reporter;
   core::ProgressFn progress = nullptr;
-  if (args.get_flag("progress")) {
-    progress = [](idx done, idx total, bool warmup) {
-      if (done % 50 == 0 || done == total) {
-        std::printf("  sweep %lld / %lld%s\n", static_cast<long long>(done),
-                    static_cast<long long>(total), warmup ? " (warmup)" : "");
-        std::fflush(stdout);
-      }
+  const bool human_progress = args.get_flag("progress");
+  if (human_progress || !telemetry_path.empty()) {
+    obs::ProgressOptions popt;
+    popt.jsonl_path = telemetry_path;
+    popt.interval_ms =
+        static_cast<double>(args.get_long("telemetry-interval", 250));
+    popt.human = human_progress;
+    popt.label = "dqmc_run";
+    popt.total_sweeps =
+        static_cast<std::uint64_t>(walkers) *
+        static_cast<std::uint64_t>(cfg.warmup_sweeps + cfg.measurement_sweeps);
+    popt.warmup_sweeps = static_cast<std::uint64_t>(walkers) *
+                         static_cast<std::uint64_t>(cfg.warmup_sweeps);
+    popt.walkers = static_cast<int>(walkers);
+    reporter = std::make_unique<obs::ProgressReporter>(popt);
+    progress = [&reporter](idx, idx, bool warmup) {
+      reporter->on_sweep(warmup);
     };
   }
 
@@ -158,11 +198,11 @@ int main(int argc, char** argv) {
     std::printf("\n\n");
   }
 
-  // The multi-walker entry point has no per-sweep progress callback; the
-  // crowd path reports through the manifest's batch section instead.
   core::SimulationResults res =
-      walkers > 1 ? core::run_supervised_parallel(cfg, policy, walkers)
-                  : core::run_supervised_simulation(cfg, policy, progress);
+      walkers > 1
+          ? core::run_supervised_parallel(cfg, policy, walkers, progress)
+          : core::run_supervised_simulation(cfg, policy, progress);
+  if (reporter) reporter->finish();
   const auto& m = res.measurements;
 
   cli::Table table({"observable", "value"});

@@ -5,24 +5,33 @@
 //
 //   ./parallel_chains [--l 4] [--u 4.0] [--beta 3.0] [--slices 30]
 //                     [--chains 4] [--sweeps 200] [--warmup 60] [--seed 21]
-//                     [--walker-batch W]
+//                     [--walker-batch W] [--progress]
+//                     [--telemetry-jsonl FILE] [--telemetry-interval MS]
 //
 // --walker-batch W > 0 advances the chains in lockstep crowds of up to W
 // walkers with their per-slice linear algebra folded into batched backend
 // launches (bitwise identical results; docs/PERFORMANCE.md).
+//
+// --progress renders a live one-line progress/ETA display for the parallel
+// phase; --telemetry-jsonl streams the same aggregates as JSON lines
+// (docs/OBSERVABILITY.md has the record schema).
 #include <cstdio>
+#include <memory>
 
 #include "cli/args.h"
 #include "cli/table.h"
 #include "common/stopwatch.h"
 #include "dqmc/simulation.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "parallel/topology.h"
 
 int main(int argc, char** argv) {
   using namespace dqmc;
   using linalg::idx;
   cli::Args args(argc, argv, {"l", "u", "beta", "slices", "chains", "sweeps",
-                              "warmup", "seed", "walker-batch"});
+                              "warmup", "seed", "walker-batch", "progress",
+                              "telemetry-jsonl", "telemetry-interval"});
 
   core::SimulationConfig cfg;
   cfg.lx = cfg.ly = args.get_long("l", 4);
@@ -34,6 +43,10 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 21));
   cfg.walker_batch = args.get_long("walker-batch", 0);
   const idx chains = args.get_long("chains", 4);
+
+  const std::string telemetry_path = args.get("telemetry-jsonl", "");
+  const bool human_progress = args.get_flag("progress");
+  if (!telemetry_path.empty()) obs::metrics().set_enabled(true);
 
   std::printf("%lld independent chains of %lld+%lld sweeps each "
               "(%lldx%lld, U=%.2f, beta=%.2f)\n\n",
@@ -47,9 +60,34 @@ int main(int argc, char** argv) {
   core::SimulationResults single = core::run_simulation(cfg);
   const double t1 = w1.seconds();
 
+  // The reporter covers the parallel phase only, so its sweep budget is
+  // chains x (warmup + measurement) chain-sweep units.
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  core::ProgressFn progress = nullptr;
+  if (human_progress || !telemetry_path.empty()) {
+    obs::ProgressOptions popt;
+    popt.jsonl_path = telemetry_path;
+    popt.interval_ms =
+        static_cast<double>(args.get_long("telemetry-interval", 250));
+    popt.human = human_progress;
+    popt.label = "parallel_chains";
+    popt.total_sweeps =
+        static_cast<std::uint64_t>(chains) *
+        static_cast<std::uint64_t>(cfg.warmup_sweeps + cfg.measurement_sweeps);
+    popt.warmup_sweeps = static_cast<std::uint64_t>(chains) *
+                         static_cast<std::uint64_t>(cfg.warmup_sweeps);
+    popt.walkers = static_cast<int>(chains);
+    reporter = std::make_unique<obs::ProgressReporter>(popt);
+    progress = [&reporter](idx, idx, bool warmup) {
+      reporter->on_sweep(warmup);
+    };
+  }
+
   Stopwatch wn;
-  core::SimulationResults merged = core::run_parallel_simulation(cfg, chains);
+  core::SimulationResults merged =
+      core::run_parallel_simulation(cfg, chains, 0, progress);
   const double tn = wn.seconds();
+  if (reporter) reporter->finish();
 
   cli::Table table({"", "samples", "double occupancy", "S(pi,pi)", "wall"});
   const auto d1 = single.measurements.double_occupancy();

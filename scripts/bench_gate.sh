@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Bench-regression gate driver: re-runs the committed bench workloads and
+# compares them against the bench/BENCH_*.json baselines, failing (exit 1)
+# when any row drifts past the noise tolerance. See docs/OBSERVABILITY.md.
+#
+#   scripts/bench_gate.sh                  # full batched suite, 10% tolerance
+#   scripts/bench_gate.sh --quick          # ctest-sized subset
+#   BUILD_DIR=build-tsan scripts/bench_gate.sh
+#
+# Extra arguments are forwarded to bench_regress (e.g. --tolerance 0.05,
+# --report gate_report.json).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+tool="$build/bench/bench_regress"
+
+if [[ ! -x "$tool" ]]; then
+  echo "bench_gate: $tool not built (cmake --build $build --target bench_regress)" >&2
+  exit 2
+fi
+
+exec "$tool" --baseline "$repo/bench/BENCH_batched.json" "$@"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/failpoint.h"
+#include "obs/flight_recorder.h"
 
 namespace dqmc::backend {
 
@@ -12,10 +13,11 @@ namespace {
 // composite: a fault here is attributed to the whole crowd (no single
 // walker can be blamed for a batched launch).
 void enqueue_failpoint(const ComputeBackend& backend) {
+  const bool gpusim = backend.kind() == BackendKind::kGpuSim;
+  DQMC_FLIGHT_EVENT(obs::FlightEventKind::kEnqueue, "bbatch.composite",
+                    gpusim ? "gpusim" : "host");
   DQMC_FAILPOINT("backend.enqueue");
-  DQMC_FAILPOINT(backend.kind() == BackendKind::kGpuSim
-                     ? "backend.enqueue.gpusim"
-                     : "backend.enqueue.host");
+  DQMC_FAILPOINT(gpusim ? "backend.enqueue.gpusim" : "backend.enqueue.host");
 }
 
 }  // namespace

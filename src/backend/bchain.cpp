@@ -1,6 +1,7 @@
 #include "backend/bchain.h"
 
 #include "fault/failpoint.h"
+#include "obs/flight_recorder.h"
 
 namespace dqmc::backend {
 
@@ -11,10 +12,11 @@ namespace {
 // persistent backend.enqueue.gpusim fault goes quiet after the supervisor
 // degrades the chain to the host backend).
 void enqueue_failpoint(const ComputeBackend& backend) {
+  const bool gpusim = backend.kind() == BackendKind::kGpuSim;
+  DQMC_FLIGHT_EVENT(obs::FlightEventKind::kEnqueue, "bchain.composite",
+                    gpusim ? "gpusim" : "host");
   DQMC_FAILPOINT("backend.enqueue");
-  DQMC_FAILPOINT(backend.kind() == BackendKind::kGpuSim
-                     ? "backend.enqueue.gpusim"
-                     : "backend.enqueue.host");
+  DQMC_FAILPOINT(gpusim ? "backend.enqueue.gpusim" : "backend.enqueue.host");
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "parallel/task_runtime.h"
 #include "parallel/topology.h"
@@ -155,7 +156,13 @@ obs::Json run_manifest(const SimulationResults& results) {
       .set("trace", obs::Json::object()
                         .set("enabled", tracer.enabled())
                         .set("recorded", tracer.recorded())
-                        .set("dropped", tracer.dropped()));
+                        .set("dropped", tracer.dropped()))
+      .set("flight", obs::Json::object()
+                         .set("enabled", obs::flight_recorder().enabled())
+                         .set("recorded", obs::flight_recorder().recorded())
+                         .set("dropped", obs::flight_recorder().dropped())
+                         .set("dump_path",
+                              obs::flight_recorder().dump_path()));
   // Walker-crowd shape of the run; absent for unbatched runs (keeps manifests
   // from older drivers byte-identical).
   if (results.batch_walkers > 0) {

@@ -36,7 +36,8 @@ namespace {
 /// crowd's shared-backend stats land on the crowd's first walker so the
 /// merged aggregate stays sum-correct).
 void run_crowd(const SimulationConfig& config, idx first, idx walkers,
-               std::vector<std::unique_ptr<SimulationResults>>& partials) {
+               std::vector<std::unique_ptr<SimulationResults>>& partials,
+               const ProgressFn& progress = nullptr) {
   Stopwatch watch;
   const Lattice lattice = config.make_lattice();
   std::vector<std::uint64_t> seeds;
@@ -60,8 +61,16 @@ void run_crowd(const SimulationConfig& config, idx first, idx walkers,
     }
   }
 
+  const idx total = config.warmup_sweeps + config.measurement_sweeps;
+  const auto report_progress = [&](idx done, bool warmup) {
+    if (!progress) return;
+    // One chain-sweep unit per walker per lockstep sweep.
+    for (idx w = 0; w < walkers; ++w) progress(done, total, warmup);
+  };
+
   for (idx sweep = 0; sweep < config.warmup_sweeps; ++sweep) {
     batch.sweep_all();
+    report_progress(sweep + 1, true);
   }
   for (idx sweep = 0; sweep < config.measurement_sweeps; ++sweep) {
     const bool measuring = sweep % config.measure_interval == 0;
@@ -102,6 +111,7 @@ void run_crowd(const SimulationConfig& config, idx first, idx walkers,
                       engine.config_sign());
       }
     }
+    report_progress(config.warmup_sweeps + sweep + 1, false);
   }
 
   if (!config.checkpoint_out.empty()) {
@@ -206,7 +216,8 @@ SimulationResults run_simulation(const SimulationConfig& config,
 }
 
 SimulationResults run_parallel_simulation(const SimulationConfig& config,
-                                          idx chains, int max_workers) {
+                                          idx chains, int max_workers,
+                                          const ProgressFn& progress) {
   DQMC_CHECK_MSG(chains >= 1, "need at least one chain");
   DQMC_CHECK_MSG(config.walker_batch >= 0, "walker_batch must be >= 0");
   (void)max_workers;  // scheduling delegated to the shared task runtime
@@ -221,7 +232,7 @@ SimulationResults run_parallel_simulation(const SimulationConfig& config,
     // the shared backend never has two crowds submitting at once.
     for (idx first = 0; first < chains; first += config.walker_batch) {
       run_crowd(config, first, std::min(config.walker_batch, chains - first),
-                partials);
+                partials, progress);
       ++crowds;
     }
   } else {
@@ -231,7 +242,8 @@ SimulationResults run_parallel_simulation(const SimulationConfig& config,
         SimulationConfig chain_cfg = config;
         chain_cfg.seed = config.seed + static_cast<std::uint64_t>(c);
         partials[static_cast<std::size_t>(c)] =
-            std::make_unique<SimulationResults>(run_simulation(chain_cfg));
+            std::make_unique<SimulationResults>(
+                run_simulation(chain_cfg, progress));
       });
     }
     group.wait();  // rethrows chain failures

@@ -123,9 +123,14 @@ void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
 /// schedule, so the merged result has `chains` x the samples. Deterministic
 /// for a fixed config regardless of the worker count. `max_workers` is
 /// retained for call-site compatibility; scheduling is delegated to the
-/// shared task runtime.
+/// shared task runtime. `progress` (when set) receives one call per
+/// completed chain-sweep unit (a crowd of W walkers reports W units per
+/// lockstep sweep) and must be thread-safe: unbatched chains invoke it
+/// concurrently from worker threads.
 SimulationResults run_parallel_simulation(const SimulationConfig& config,
                                           idx chains,
-                                          int max_workers = 0);
+                                          int max_workers = 0,
+                                          const ProgressFn& progress =
+                                              nullptr);
 
 }  // namespace dqmc::core

@@ -12,6 +12,7 @@
 #include "dqmc/checkpoint.h"
 #include "dqmc/walker_batch.h"
 #include "fault/failpoint.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "parallel/task_runtime.h"
@@ -204,6 +205,13 @@ class ChainSupervisor {
     results_.fault_report.events.push_back(fault::FaultEvent{
         b.site, fault::fault_class_name(b.cls), action, done_, b.attempt,
         backoff, b.detail});
+    // Every classification decision leaves a forensic artifact: the event
+    // lands in the flight recorder and, when a dump path is configured,
+    // the crash dump is (re)written with the freshest tail.
+    DQMC_FLIGHT_EVENT(obs::FlightEventKind::kRecovery, b.site.c_str(), action,
+                      static_cast<double>(done_),
+                      static_cast<double>(b.attempt));
+    obs::flight_recorder().write_crash_dump("fault:" + b.site);
   }
 
   void run_segment(idx g_begin, idx g_end) {
@@ -287,6 +295,9 @@ class ChainSupervisor {
         ckpt_ = out.str();
         ckpt_sweep_ = sweep;
         ++report.checkpoints;
+        DQMC_FLIGHT_EVENT(obs::FlightEventKind::kCheckpoint,
+                          "checkpoint.save", "ok",
+                          static_cast<double>(sweep));
         return;
       } catch (const std::exception& e) {
         ++report.faults;
@@ -314,6 +325,7 @@ class ChainSupervisor {
     results_.sweep_stats.accepted += scratch_stats_.accepted;
     discard_scratch();
     done_ = seg_end;
+    obs::flight_recorder().set_sweep(static_cast<std::int64_t>(done_));
   }
 
   void discard_scratch() {
@@ -385,9 +397,11 @@ class CrowdSupervisor {
  public:
   CrowdSupervisor(const SimulationConfig& config,
                   const SupervisorPolicy& policy, idx first, idx walkers,
+                  const ProgressFn& progress,
                   std::vector<std::unique_ptr<SimulationResults>>& partials)
       : config_(config),
         policy_(policy),
+        progress_(progress),
         first_(first),
         walkers_(walkers),
         partials_(partials),
@@ -410,6 +424,12 @@ class CrowdSupervisor {
     int attempt = 0;
     bool need_restore = false;
 
+    // Ambient identity for flight events and the crash-dump header while
+    // this crowd drives the shared backend.
+    obs::flight_recorder().set_context(
+        -1, static_cast<std::int32_t>(
+                first_ / std::max<idx>(config_.walker_batch, 1)));
+
     while (done_ < total || !batch_) {
       try {
         if (!batch_) {
@@ -426,6 +446,11 @@ class CrowdSupervisor {
         commit(seg_end);
         attempt = 0;
       } catch (const WalkerFault& e) {
+        // Attribute the fault to the walker before the crowd-wide recovery
+        // decision is taken (the dump's event tail shows both).
+        DQMC_FLIGHT_EVENT(obs::FlightEventKind::kNote, "walker.fault",
+                          e.site().c_str(), 0.0, 0.0,
+                          static_cast<std::int32_t>(first_ + e.walker()));
         ++attempt;
         if (!recover(e.site(), e.fault_class(), e.what(), attempt)) throw;
         need_restore = true;
@@ -562,14 +587,26 @@ class CrowdSupervisor {
     report().events.push_back(fault::FaultEvent{
         b.site, fault::fault_class_name(b.cls), action, done_, b.attempt,
         backoff, b.detail});
+    DQMC_FLIGHT_EVENT(obs::FlightEventKind::kRecovery, b.site.c_str(), action,
+                      static_cast<double>(done_),
+                      static_cast<double>(b.attempt));
+    obs::flight_recorder().write_crash_dump("fault:" + b.site);
   }
 
   void run_segment(idx g_begin, idx g_end) {
+    const idx total = config_.warmup_sweeps + config_.measurement_sweeps;
     for (idx g = g_begin; g < g_end; ++g) {
       if (g < config_.warmup_sweeps) {
         add_stats(batch_->sweep_all());
       } else {
         measurement_sweep(g - config_.warmup_sweeps);
+      }
+      if (progress_) {
+        // One chain-sweep unit per walker: the crowd advanced W walkers by
+        // one lockstep sweep.
+        for (idx w = 0; w < walkers_; ++w) {
+          progress_(g + 1, total, g < config_.warmup_sweeps);
+        }
       }
     }
   }
@@ -664,6 +701,9 @@ class CrowdSupervisor {
     ckpts_ = std::move(fresh);
     ckpt_sweep_ = sweep;
     report().checkpoints += static_cast<std::uint64_t>(walkers_);
+    DQMC_FLIGHT_EVENT(obs::FlightEventKind::kCheckpoint, "checkpoint.save",
+                      "crowd", static_cast<double>(sweep),
+                      static_cast<double>(walkers_));
   }
 
   void commit(idx seg_end) {
@@ -684,6 +724,7 @@ class CrowdSupervisor {
     }
     discard_scratch();
     done_ = seg_end;
+    obs::flight_recorder().set_sweep(static_cast<std::int64_t>(done_));
   }
 
   void discard_scratch() {
@@ -727,10 +768,12 @@ class CrowdSupervisor {
       r.trajectory_hash = trajectory_hash(engine);
       r.fault_report.final_backend = r.backend_name;
     }
+    obs::flight_recorder().set_context(-1, -1);
   }
 
   const SimulationConfig& config_;
   const SupervisorPolicy& policy_;
+  const ProgressFn& progress_;
   idx first_;
   idx walkers_;
   std::vector<std::unique_ptr<SimulationResults>>& partials_;
@@ -763,7 +806,8 @@ SimulationResults run_supervised_simulation(const SimulationConfig& config,
 
 SimulationResults run_supervised_parallel(const SimulationConfig& config,
                                           const SupervisorPolicy& policy,
-                                          idx chains) {
+                                          idx chains,
+                                          const ProgressFn& progress) {
   DQMC_CHECK_MSG(chains >= 1, "need at least one chain");
   DQMC_CHECK_MSG(config.walker_batch >= 0, "walker_batch must be >= 0");
   policy.validate();
@@ -778,7 +822,7 @@ SimulationResults run_supervised_parallel(const SimulationConfig& config,
     for (idx first = 0; first < chains; first += config.walker_batch) {
       CrowdSupervisor crowd(config, policy, first,
                             std::min(config.walker_batch, chains - first),
-                            partials);
+                            progress, partials);
       crowd.run();
       ++crowds;
     }
@@ -790,7 +834,7 @@ SimulationResults run_supervised_parallel(const SimulationConfig& config,
         chain_cfg.seed = config.seed + static_cast<std::uint64_t>(c);
         partials[static_cast<std::size_t>(c)] =
             std::make_unique<SimulationResults>(
-                run_supervised_simulation(chain_cfg, policy));
+                run_supervised_simulation(chain_cfg, policy, progress));
       });
     }
     group.wait();  // rethrows chain failures the supervisors gave up on

@@ -66,9 +66,14 @@ SimulationResults run_supervised_simulation(const SimulationConfig& config,
 
 /// Supervised analogue of run_parallel_simulation: `chains` independent
 /// supervised chains (seeds config.seed + c), merged in chain order with
-/// their fault reports folded together.
+/// their fault reports folded together. `progress` (when set) receives one
+/// call per completed chain-sweep unit — a crowd of W walkers reports W
+/// units per lockstep sweep — and MUST be thread-safe: unbatched chains
+/// invoke it concurrently from worker threads.
 SimulationResults run_supervised_parallel(const SimulationConfig& config,
                                           const SupervisorPolicy& policy,
-                                          idx chains);
+                                          idx chains,
+                                          const ProgressFn& progress =
+                                              nullptr);
 
 }  // namespace dqmc::core

@@ -1,6 +1,7 @@
 #include "fault/failpoint.h"
 
 #include "common/env.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace dqmc::fault {
@@ -40,6 +41,22 @@ FailPointRegistry& FailPointRegistry::global() {
   static FailPointRegistry* registry = [] {
     auto* r = new FailPointRegistry();
     if (const auto spec = env_string("DQMC_FAILPOINTS")) r->arm_spec(*spec);
+    // Crash dumps carry the registry state; registering here (first use)
+    // keeps obs -> fault dependency-free while every run that touches a
+    // fail point gets the section.
+    obs::flight_recorder().register_section("failpoints", [r] {
+      obs::Json sites = obs::Json::object();
+      for (const auto& [site, st] : r->sites()) {
+        sites.set(site, obs::Json::object()
+                            .set("hits", st.hits)
+                            .set("trigger_at", st.trigger_at)
+                            .set("fired", st.fired)
+                            .set("armed", st.armed));
+      }
+      return obs::Json::object()
+          .set("total_fired", r->total_fired())
+          .set("sites", std::move(sites));
+    });
     return r;
   }();
   return *registry;
@@ -138,6 +155,10 @@ bool FailPointRegistry::fire(const char* site, std::uint64_t* hit_out) {
   }
   if (hit_out) *hit_out = st.hits;
   obs::metrics().count(std::string("fault.fired.") + site);
+  DQMC_FLIGHT_EVENT(obs::FlightEventKind::kFailpoint, site,
+                    fault_class_name(fault_class_for_site(site)),
+                    static_cast<double>(st.hits),
+                    static_cast<double>(st.fired));
   return true;
 }
 

@@ -2,6 +2,8 @@
 
 #include "common/error.h"
 #include "fault/failpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/topology.h"
 
@@ -19,11 +21,22 @@ StreamThread::~StreamThread() {
 }
 
 void StreamThread::submit(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
     DQMC_CHECK_MSG(!stopping_, "submit() on a stopped StreamThread");
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  // Live queue-depth gauge for the telemetry stream. The gauge pointer is
+  // cached (registry references have registry lifetime) so the armed-path
+  // cost stays one atomic store.
+  if (obs::metrics().enabled()) {
+    static obs::Gauge* depth_gauge = &obs::metrics().gauge("gpusim.queue_depth");
+    depth_gauge->set(static_cast<double>(depth));
+  }
+  DQMC_FLIGHT_EVENT(obs::FlightEventKind::kEnqueue, "gpusim.stream", "",
+                    static_cast<double>(depth));
   cv_.notify_one();
 }
 

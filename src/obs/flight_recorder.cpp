@@ -1,0 +1,368 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dqmc::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Truncating copy into a fixed inline field (always NUL-terminated).
+template <std::size_t N>
+void copy_field(char (&dst)[N], const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 1 < N && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kNote: return "note";
+    case FlightEventKind::kSpanBegin: return "span_begin";
+    case FlightEventKind::kSpanEnd: return "span_end";
+    case FlightEventKind::kFailpoint: return "failpoint";
+    case FlightEventKind::kRecovery: return "recovery";
+    case FlightEventKind::kEnqueue: return "enqueue";
+    case FlightEventKind::kHealth: return "health";
+    case FlightEventKind::kCheckpoint: return "checkpoint";
+    case FlightEventKind::kProgress: return "progress";
+  }
+  return "unknown";
+}
+
+Json FlightEvent::json_value() const {
+  Json e = Json::object()
+               .set("ts_us", ts_us)
+               .set("kind", flight_event_kind_name(kind))
+               .set("site", std::string(site));
+  if (detail[0] != '\0') e.set("detail", std::string(detail));
+  if (walker >= 0) e.set("walker", static_cast<double>(walker));
+  if (crowd >= 0) e.set("crowd", static_cast<double>(crowd));
+  if (a != 0.0) e.set("a", a);
+  if (b != 0.0) e.set("b", b);
+  return e;
+}
+
+/// Single-writer ring: only the owning thread stores; readers copy the tail
+/// under acquire ordering and may observe a torn in-flight slot at worst.
+struct FlightRecorder::ThreadBuffer {
+  explicit ThreadBuffer(std::size_t cap)
+      : capacity(cap > 0 ? cap : 1), ring(capacity) {}
+
+  const std::size_t capacity;
+  std::vector<FlightEvent> ring;
+  std::atomic<std::uint64_t> count{0};
+};
+
+FlightRecorder::FlightRecorder() {
+  static std::atomic<std::uint64_t> next_id{1};
+  instance_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+}
+
+FlightRecorder::~FlightRecorder() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (ThreadBuffer* b : buffers_) delete b;
+  buffers_.clear();
+}
+
+FlightRecorder& FlightRecorder::global() {
+  // Leaked: events from detached worker threads may arrive during process
+  // teardown (same pattern as Tracer/MetricsRegistry).
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::set_buffer_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  capacity_ = capacity > 0 ? capacity : 1;
+}
+
+FlightRecorder::ThreadBuffer* FlightRecorder::local_buffer() {
+  // The cache is keyed by the recorder's generation so reset() (which bumps
+  // it) invalidates every thread's pointer without thread coordination.
+  struct CacheEntry {
+    const FlightRecorder* owner = nullptr;
+    std::uint64_t generation = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local CacheEntry cache;
+  const std::uint64_t gen = instance_id_;
+  if (cache.owner == this && cache.generation == gen &&
+      cache.buffer != nullptr) {
+    return cache.buffer;
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto* buffer = new ThreadBuffer(capacity_);
+  buffers_.push_back(buffer);
+  cache = {this, gen, buffer};
+  return buffer;
+}
+
+void FlightRecorder::record(FlightEventKind kind, const char* site,
+                            const char* detail, double a, double b,
+                            std::int32_t walker) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = local_buffer();
+  FlightEvent e;
+  e.ts_us = now_us();
+  e.a = a;
+  e.b = b;
+  e.walker =
+      walker >= 0 ? walker : ctx_walker_.load(std::memory_order_relaxed);
+  e.crowd = ctx_crowd_.load(std::memory_order_relaxed);
+  e.kind = kind;
+  copy_field(e.site, site);
+  copy_field(e.detail, detail);
+  const std::uint64_t c = buf->count.load(std::memory_order_relaxed);
+  buf->ring[c % buf->capacity] = e;
+  buf->count.store(c + 1, std::memory_order_release);
+}
+
+void FlightRecorder::set_context(std::int32_t walker, std::int32_t crowd) {
+  ctx_walker_.store(walker, std::memory_order_relaxed);
+  ctx_crowd_.store(crowd, std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_sweep(std::int64_t sweep) {
+  ctx_sweep_.store(sweep, std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_dump_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  dump_path_ = path;
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return dump_path_;
+}
+
+void FlightRecorder::set_export_paths(const std::string& trace_path,
+                                      const std::string& metrics_path) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  trace_export_path_ = trace_path;
+  metrics_export_path_ = metrics_path;
+}
+
+void FlightRecorder::register_section(const std::string& name,
+                                      std::function<Json()> fn) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto& [existing, provider] : sections_) {
+    if (existing == name) {
+      provider = std::move(fn);
+      return;
+    }
+  }
+  sections_.emplace_back(name, std::move(fn));
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const ThreadBuffer* buf : buffers_) {
+      const std::uint64_t count = buf->count.load(std::memory_order_acquire);
+      const std::uint64_t kept =
+          std::min<std::uint64_t>(count, buf->capacity);
+      for (std::uint64_t i = count - kept; i < count; ++i) {
+        events.push_back(buf->ring[i % buf->capacity]);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlightEvent& lhs, const FlightEvent& rhs) {
+                     return lhs.ts_us < rhs.ts_us;
+                   });
+  return events;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const ThreadBuffer* buf : buffers_) {
+    total += buf->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const ThreadBuffer* buf : buffers_) {
+    const std::uint64_t count = buf->count.load(std::memory_order_acquire);
+    if (count > buf->capacity) total += count - buf->capacity;
+  }
+  return total;
+}
+
+double FlightRecorder::now_us() const {
+  return static_cast<double>(steady_now_ns() -
+                             epoch_ns_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+void FlightRecorder::reset() {
+  static std::atomic<std::uint64_t> next_id{1u << 20};
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (ThreadBuffer* b : buffers_) delete b;
+  buffers_.clear();
+  instance_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  ctx_walker_.store(-1, std::memory_order_relaxed);
+  ctx_crowd_.store(-1, std::memory_order_relaxed);
+  ctx_sweep_.store(-1, std::memory_order_relaxed);
+}
+
+Json FlightRecorder::crash_dump_json(const std::string& reason) const {
+  Json context = Json::object();
+  const std::int32_t walker = ctx_walker_.load(std::memory_order_relaxed);
+  const std::int32_t crowd = ctx_crowd_.load(std::memory_order_relaxed);
+  const std::int64_t sweep = ctx_sweep_.load(std::memory_order_relaxed);
+  if (walker >= 0) context.set("walker", static_cast<double>(walker));
+  if (crowd >= 0) context.set("crowd", static_cast<double>(crowd));
+  if (sweep >= 0) context.set("sweep", static_cast<double>(sweep));
+
+  Json events = Json::array();
+  for (const FlightEvent& e : snapshot()) events.push_back(e.json_value());
+
+  Json dump = Json::object()
+                  .set("crash_dump_version", 1)
+                  .set("reason", reason)
+                  .set("context", std::move(context))
+                  .set("recorded", static_cast<double>(recorded()))
+                  .set("dropped", static_cast<double>(dropped()))
+                  .set("events", std::move(events))
+                  .set("metrics", metrics().json_value())
+                  .set("health", health().json_value());
+
+  std::vector<std::pair<std::string, std::function<Json()>>> sections;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    sections = sections_;
+  }
+  for (const auto& [name, provider] : sections) {
+    if (provider) dump.set(name, provider());
+  }
+  return dump;
+}
+
+bool FlightRecorder::write_crash_dump(const std::string& reason) noexcept {
+  // Best-effort by design: this runs from terminate handlers and fatal
+  // signal handlers, where nothing is guaranteed. Rendering JSON is not
+  // async-signal-safe, but a partial/failed dump on a dying process is
+  // strictly better than losing the tail.
+  try {
+    std::string dump_path, trace_path, metrics_path;
+    {
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      dump_path = dump_path_;
+      trace_path = trace_export_path_;
+      metrics_path = metrics_export_path_;
+    }
+    if (dump_path.empty() && trace_path.empty() && metrics_path.empty()) {
+      return false;
+    }
+    if (!trace_path.empty() && Tracer::global().recorded() > 0) {
+      try {
+        Tracer::global().write_json(trace_path);
+      } catch (...) {
+      }
+    }
+    if (!metrics_path.empty()) {
+      const std::string text = Json::object()
+                                   .set("metrics", metrics().json_value())
+                                   .set("health", health().json_value())
+                                   .dump(2) +
+                               "\n";
+      if (std::FILE* f = std::fopen(metrics_path.c_str(), "wb")) {
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      }
+    }
+    if (dump_path.empty()) return false;
+    const std::string text = crash_dump_json(reason).dump(2) + "\n";
+    std::FILE* f = std::fopen(dump_path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return written == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+namespace {
+
+std::terminate_handler previous_terminate = nullptr;
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+  }
+  return "signal";
+}
+
+void fatal_signal_handler(int sig) {
+  FlightRecorder::global().write_crash_dump(std::string("signal:") +
+                                            signal_name(sig));
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+[[noreturn]] void terminate_with_dump() {
+  std::string reason = "terminate";
+  if (std::exception_ptr ex = std::current_exception()) {
+    try {
+      std::rethrow_exception(ex);
+    } catch (const std::exception& e) {
+      reason = std::string("uncaught exception: ") + e.what();
+    } catch (...) {
+      reason = "uncaught exception (non-std)";
+    }
+  }
+  FlightRecorder::global().write_crash_dump(reason);
+  if (previous_terminate != nullptr) previous_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+void FlightRecorder::install_crash_handlers() {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true)) return;
+  previous_terminate = std::set_terminate(&terminate_with_dump);
+  const int fatal_signals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL,
+                               SIGABRT, SIGTERM, SIGINT};
+  for (const int sig : fatal_signals) {
+    std::signal(sig, &fatal_signal_handler);
+  }
+}
+
+}  // namespace dqmc::obs

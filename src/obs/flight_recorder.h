@@ -1,0 +1,175 @@
+// Flight recorder: a fixed-size, lock-free, per-thread ring of structured
+// events (failpoint trips, supervisor recovery decisions, backend enqueues,
+// health verdicts, checkpoints) kept in memory at all times and flushed to
+// a crash_dump.json from a fatal-signal/terminate handler or from the
+// supervisor's fault-classification path. Where the Tracer answers "where
+// did the time go", the flight recorder answers "what were the last things
+// the run did before it died".
+//
+// Contract mirrors the tracer/metrics/failpoint layers:
+//   - disarmed cost is one relaxed atomic load per DQMC_FLIGHT_EVENT site;
+//   - armed cost is one SPSC ring store (no locks, no allocation);
+//   - DQMC_NO_FLIGHT_RECORDER compiles every macro site out entirely.
+//
+// Each thread owns a single-writer ring: record() stores into slot
+// (count % capacity) and publishes the new count with release order. The
+// dump path reads counts with acquire order and copies the tails; a write
+// racing the dump can tear at most the one in-flight slot, which is an
+// acceptable trade for a signal-safe, lock-free forensic artifact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dqmc::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kNote = 0,        ///< free-form marker (walker faults, driver milestones)
+  kSpanBegin = 1,   ///< phase span opened
+  kSpanEnd = 2,     ///< phase span closed
+  kFailpoint = 3,   ///< an armed fail point fired
+  kRecovery = 4,    ///< supervisor recovery decision (action in detail)
+  kEnqueue = 5,     ///< backend kernel/transfer enqueued
+  kHealth = 6,      ///< health monitor verdict/violation
+  kCheckpoint = 7,  ///< checkpoint saved/restored
+  kProgress = 8,    ///< sweep-level progress mark
+};
+
+const char* flight_event_kind_name(FlightEventKind kind);
+
+/// POD event record: fixed-size, no heap, safe to copy from a signal
+/// handler. Strings are truncating inline copies.
+struct FlightEvent {
+  double ts_us = 0.0;      ///< microseconds since recorder construction/reset
+  double a = 0.0;          ///< kind-specific payload (hit count, sweep, ...)
+  double b = 0.0;          ///< second payload (attempt, queue depth, ...)
+  std::int32_t walker = -1;  ///< active walker id, -1 when not walker-scoped
+  std::int32_t crowd = -1;   ///< active crowd id, -1 outside crowd runs
+  FlightEventKind kind = FlightEventKind::kNote;
+  char site[47] = {};      ///< event site/name, truncated
+  char detail[32] = {};    ///< short annotation (action, class), truncated
+
+  Json json_value() const;
+};
+
+/// Lock-free single-writer event ring with crash-dump rendering and
+/// fatal-signal/terminate flush hooks. Thread-safe; one global instance
+/// (`flight_recorder()`) serves the whole pipeline, like Tracer.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  FlightRecorder();
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  static FlightRecorder& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Per-thread ring capacity. Only affects threads that record their first
+  /// event after the call; call before arming.
+  void set_buffer_capacity(std::size_t capacity);
+
+  /// Append one event to the calling thread's ring (no-op when disabled).
+  /// `walker` < 0 means "use the ambient context walker".
+  void record(FlightEventKind kind, const char* site, const char* detail = "",
+              double a = 0.0, double b = 0.0, std::int32_t walker = -1);
+
+  /// Ambient walker/crowd/sweep identity stamped into subsequent events and
+  /// into the crash-dump header. Negative clears a field.
+  void set_context(std::int32_t walker, std::int32_t crowd);
+  void set_sweep(std::int64_t sweep);
+
+  /// Where write_crash_dump() lands. Empty path disables file dumps
+  /// (crash_dump_json() still works for in-process consumers).
+  void set_dump_path(const std::string& path);
+  std::string dump_path() const;
+
+  /// Companion artifacts flushed alongside the dump on abnormal exit: the
+  /// tracer buffer and a metrics/health snapshot, so an uncaught exception
+  /// no longer loses the whole trace (satellite: abnormal-exit export).
+  void set_export_paths(const std::string& trace_path,
+                        const std::string& metrics_path);
+
+  /// Attach a named JSON section rendered into every crash dump. Higher
+  /// layers use this to contribute state without a dependency cycle (the
+  /// fault registry registers a "failpoints" section on first use).
+  /// Re-registering a name replaces its provider.
+  void register_section(const std::string& name, std::function<Json()> fn);
+
+  /// Full forensic document: {crash_dump_version, reason, context, events
+  /// (merged tail, time-ordered), dropped, metrics, health, + registered
+  /// sections}.
+  Json crash_dump_json(const std::string& reason) const;
+
+  /// Render and write the dump (and any export companions). Never throws;
+  /// returns false when the path is empty or the write failed. Safe to call
+  /// repeatedly — each call overwrites with a fresher tail.
+  bool write_crash_dump(const std::string& reason) noexcept;
+
+  /// Install SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT/SIGTERM/SIGINT handlers
+  /// and a std::terminate hook that flush the dump, then re-raise/chain.
+  /// Idempotent per process.
+  void install_crash_handlers();
+
+  /// Time-ordered copy of the merged event tail (testing/inspection).
+  std::vector<FlightEvent> snapshot() const;
+
+  std::uint64_t recorded() const;  ///< events ever written (all threads)
+  std::uint64_t dropped() const;   ///< events overwritten by ring wrap
+  double now_us() const;
+
+  /// Drop all events and restart the clock; keeps enablement, context,
+  /// and paths.
+  void reset();
+
+ private:
+  struct ThreadBuffer;
+
+  ThreadBuffer* local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> instance_id_{0};  ///< generation for caches
+  std::atomic<std::int64_t> epoch_ns_{0};
+  std::atomic<std::int32_t> ctx_walker_{-1};
+  std::atomic<std::int32_t> ctx_crowd_{-1};
+  std::atomic<std::int64_t> ctx_sweep_{-1};
+
+  mutable std::mutex registry_mutex_;  // guards buffers_/paths/sections
+  std::vector<ThreadBuffer*> buffers_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::string dump_path_;
+  std::string trace_export_path_;
+  std::string metrics_export_path_;
+  std::vector<std::pair<std::string, std::function<Json()>>> sections_;
+};
+
+/// Shorthand for FlightRecorder::global().
+inline FlightRecorder& flight_recorder() { return FlightRecorder::global(); }
+
+}  // namespace dqmc::obs
+
+// Instrumentation macro: compiled out under DQMC_NO_FLIGHT_RECORDER,
+// otherwise one relaxed load while the recorder is disarmed.
+#if defined(DQMC_NO_FLIGHT_RECORDER)
+#define DQMC_FLIGHT_EVENT(...) \
+  do {                         \
+  } while (false)
+#else
+#define DQMC_FLIGHT_EVENT(...)                                      \
+  do {                                                              \
+    ::dqmc::obs::FlightRecorder& fr_ = ::dqmc::obs::flight_recorder(); \
+    if (fr_.enabled()) fr_.record(__VA_ARGS__);                      \
+  } while (false)
+#endif

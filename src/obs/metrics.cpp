@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -26,6 +27,29 @@ void Histogram::observe(double v) {
   if (v < min_) min_ = v;
   if (v > max_) max_ = v;
   ++buckets_[bucket_index(v)];
+  if (window_.size() < kQuantileWindow) {
+    window_.push_back(v);
+  } else {
+    window_[window_next_] = v;
+    window_next_ = (window_next_ + 1) % kQuantileWindow;
+  }
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard lock(mutex_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
+  if (window_.empty()) return 0.0;
+  std::vector<double> samples = window_;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const std::size_t last = samples.size() - 1;
+  std::size_t rank =
+      static_cast<std::size_t>(clamped * static_cast<double>(samples.size()));
+  if (rank > last) rank = last;
+  return samples[rank];
 }
 
 std::uint64_t Histogram::count() const {
@@ -62,6 +86,9 @@ Json Histogram::json_value() const {
   if (count_ > 0) {
     j.set("min", min_);
     j.set("max", max_);
+    j.set("p50", quantile_locked(0.50));
+    j.set("p95", quantile_locked(0.95));
+    j.set("p99", quantile_locked(0.99));
   }
   Json buckets = Json::array();
   std::uint64_t cumulative = 0;
@@ -88,6 +115,8 @@ void Histogram::reset() {
   min_ = std::numeric_limits<double>::infinity();
   max_ = -std::numeric_limits<double>::infinity();
   for (auto& b : buckets_) b = 0;
+  window_.clear();
+  window_next_ = 0;
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -52,6 +52,10 @@ class Histogram {
   static constexpr int kMinExp = -12;
   static constexpr int kMaxExp = 12;
   static constexpr int kBuckets = kMaxExp - kMinExp + 2;
+  /// Sliding sample window behind quantile(): the decade buckets are far
+  /// too coarse for p50/p95/p99, so the last kQuantileWindow raw samples
+  /// are retained and order-selected on demand.
+  static constexpr std::size_t kQuantileWindow = 256;
 
   void observe(double v);
 
@@ -61,18 +65,28 @@ class Histogram {
   double max() const;  ///< -inf when empty
   double mean() const;  ///< 0 when empty
 
-  /// {"count","sum","mean","min","max","buckets":[{"le","count"},...]}
-  /// (only non-empty buckets; min/max omitted when empty).
+  /// Nearest-rank quantile (q in [0,1]) over the most recent
+  /// kQuantileWindow samples; 0 when empty. q=0 is the window minimum,
+  /// q=1 the window maximum.
+  double quantile(double q) const;
+
+  /// {"count","sum","mean","min","max","p50","p95","p99",
+  ///  "buckets":[{"le","count"},...]}
+  /// (only non-empty buckets; min/max/quantiles omitted when empty).
   Json json_value() const;
   void reset();
 
  private:
+  double quantile_locked(double q) const;  ///< caller holds mutex_
+
   mutable std::mutex mutex_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
   std::uint64_t buckets_[kBuckets] = {};
+  std::vector<double> window_;     ///< ring of recent samples
+  std::size_t window_next_ = 0;    ///< next ring slot once full
 };
 
 class MetricsRegistry {

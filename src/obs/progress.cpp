@@ -1,0 +1,164 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace dqmc::obs {
+
+namespace {
+
+double gauge_value(const char* name) {
+  const Gauge* g = metrics().find_gauge(name);
+  return g != nullptr ? g->value() : 0.0;
+}
+
+double histogram_quantile(const char* name, double q) {
+  const Histogram* h = metrics().find_histogram(name);
+  return h != nullptr ? h->quantile(q) : 0.0;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(ProgressOptions options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()),
+      last_emit_(start_ - std::chrono::hours(1)) {
+  if (!options_.jsonl_path.empty()) {
+    jsonl_ = std::fopen(options_.jsonl_path.c_str(), "wb");
+  }
+}
+
+ProgressReporter::~ProgressReporter() {
+  finish();
+  if (jsonl_ != nullptr) std::fclose(jsonl_);
+}
+
+void ProgressReporter::on_sweep(bool warmup) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  ++done_;
+  if (warmup) ++warmup_done_;
+  last_was_warmup_ = warmup;
+  const auto now = std::chrono::steady_clock::now();
+  const double since_last_ms =
+      std::chrono::duration<double, std::milli>(now - last_emit_).count();
+  if (since_last_ms < options_.interval_ms) return;
+  last_emit_ = now;
+  emit_locked(/*final=*/false);
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  emit_locked(/*final=*/true);
+  if (options_.human) std::fputc('\n', stderr);
+}
+
+std::uint64_t ProgressReporter::sweeps_done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+std::uint64_t ProgressReporter::records_emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void ProgressReporter::emit_locked(bool final) {
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate = elapsed_s > 0.0
+                          ? static_cast<double>(done_) / elapsed_s
+                          : 0.0;
+  const std::uint64_t total = std::max(options_.total_sweeps, done_);
+  const std::uint64_t remaining = total - done_;
+  double eta_s = 0.0;
+  if (!final && remaining > 0) {
+    // Before the first completed unit there is no rate to extrapolate.
+    eta_s = rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
+  }
+  const char* phase =
+      final ? "done" : (last_was_warmup_ ? "warmup" : "measure");
+
+  const Json record =
+      Json::object()
+          .set("telemetry_version", 1)
+          .set("label", options_.label)
+          .set("seq", static_cast<double>(records_))
+          .set("ts_ms", elapsed_s * 1e3)
+          .set("phase", phase)
+          .set("sweeps_done", static_cast<double>(done_))
+          .set("sweeps_total", static_cast<double>(total))
+          .set("walkers", options_.walkers)
+          .set("sweeps_per_sec", rate)
+          .set("eta_seconds", eta_s)
+          .set("accept_rate", gauge_value("metropolis.accept_rate"))
+          .set("queue_depth", gauge_value("gpusim.queue_depth"))
+          .set("gemm_gflops_p50", histogram_quantile("gemm.gflops", 0.50))
+          .set("gemm_gflops_p95", histogram_quantile("gemm.gflops", 0.95))
+          .set("gemm_gflops_p99", histogram_quantile("gemm.gflops", 0.99));
+  ++records_;
+
+  if (jsonl_ != nullptr) {
+    const std::string line = record.dump() + "\n";
+    std::fwrite(line.data(), 1, line.size(), jsonl_);
+    std::fflush(jsonl_);
+  }
+  if (options_.human) {
+    std::fprintf(stderr,
+                 "\r[%s] %llu/%llu sweeps (%s)  %.1f sweeps/s  ETA %.0fs   ",
+                 options_.label.c_str(),
+                 static_cast<unsigned long long>(done_),
+                 static_cast<unsigned long long>(total), phase, rate, eta_s);
+    std::fflush(stderr);
+  }
+}
+
+bool ProgressReporter::validate_record(const Json& record,
+                                      std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!record.is_object()) return fail("record is not a JSON object");
+  const char* number_keys[] = {
+      "telemetry_version", "seq",         "ts_ms",
+      "sweeps_done",       "sweeps_total", "walkers",
+      "sweeps_per_sec",    "eta_seconds",  "accept_rate",
+      "queue_depth",       "gemm_gflops_p50", "gemm_gflops_p95",
+      "gemm_gflops_p99"};
+  for (const char* key : number_keys) {
+    const Json* v = record.find(key);
+    if (v == nullptr || !v->is_number()) {
+      return fail(std::string("missing or non-numeric key '") + key + "'");
+    }
+  }
+  const Json* label = record.find("label");
+  if (label == nullptr || !label->is_string()) {
+    return fail("missing or non-string key 'label'");
+  }
+  const Json* phase = record.find("phase");
+  if (phase == nullptr || !phase->is_string()) {
+    return fail("missing or non-string key 'phase'");
+  }
+  const std::string& p = phase->str();
+  if (p != "warmup" && p != "measure" && p != "done") {
+    return fail("phase '" + p + "' is not warmup|measure|done");
+  }
+  if (record.at("telemetry_version").number() != 1.0) {
+    return fail("telemetry_version is not 1");
+  }
+  if (record.at("sweeps_done").number() >
+      record.at("sweeps_total").number()) {
+    return fail("sweeps_done exceeds sweeps_total");
+  }
+  if (record.at("eta_seconds").number() < 0.0) {
+    return fail("eta_seconds is negative");
+  }
+  return true;
+}
+
+}  // namespace dqmc::obs

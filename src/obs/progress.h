@@ -1,0 +1,82 @@
+// Live progress streaming: aggregates per-walker sweep completions from
+// the drivers (single chain, parallel chains, walker crowds) into
+// throughput / ETA / acceptance / backend-queue gauges, emitted as
+// periodic JSONL telemetry records and an optional single-line human
+// progress display.
+//
+// The reporter lives in the obs layer and knows nothing about the engine:
+// drivers call on_sweep() once per completed chain-sweep unit (a crowd of
+// W walkers completes W units per lockstep sweep) and the reporter pulls
+// everything else (accept rate, queue depth, GEMM quantiles) from the
+// global MetricsRegistry. Thread-safe — concurrent chains may report from
+// worker threads.
+//
+// Record schema (one JSON object per line, telemetry_version 1):
+//   {"telemetry_version":1,"label":...,"seq":N,"ts_ms":...,
+//    "phase":"warmup"|"measure"|"done","sweeps_done":...,
+//    "sweeps_total":...,"walkers":...,"sweeps_per_sec":...,
+//    "eta_seconds":...,"accept_rate":...,"queue_depth":...,
+//    "gemm_gflops_p50":...,"gemm_gflops_p95":...,"gemm_gflops_p99":...}
+// Every key is always present; validate_record() is the schema authority
+// shared by the tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+
+namespace dqmc::obs {
+
+struct ProgressOptions {
+  std::string jsonl_path;     ///< empty: no JSONL stream
+  double interval_ms = 250.0; ///< min spacing between periodic records
+  bool human = false;         ///< render a live single-line progress bar
+  std::string label = "dqmc"; ///< stamped into every record
+  std::uint64_t total_sweeps = 0;  ///< aggregate chain-sweep units expected
+  std::uint64_t warmup_sweeps = 0; ///< units belonging to the warmup phase
+  int walkers = 1;            ///< lockstep crowd width (1 = chains)
+};
+
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(ProgressOptions options);
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// One completed chain-sweep unit. `warmup` tags the phase of the unit.
+  /// Emits a record when interval_ms has elapsed since the previous one.
+  void on_sweep(bool warmup);
+
+  /// Force the final record (phase "done", eta_seconds 0) and finish the
+  /// human line. Idempotent; the destructor calls it.
+  void finish();
+
+  std::uint64_t sweeps_done() const;
+  std::uint64_t records_emitted() const;
+
+  /// Schema authority for one telemetry record; on failure returns false
+  /// and explains in *error (may be null).
+  static bool validate_record(const Json& record, std::string* error);
+
+ private:
+  void emit_locked(bool final);
+
+  const ProgressOptions options_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mutex_;
+  std::FILE* jsonl_ = nullptr;
+  std::uint64_t done_ = 0;
+  std::uint64_t warmup_done_ = 0;
+  bool last_was_warmup_ = false;
+  std::uint64_t records_ = 0;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point last_emit_;
+};
+
+}  // namespace dqmc::obs

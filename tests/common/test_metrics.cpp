@@ -69,6 +69,52 @@ TEST(Histogram, CumulativeDecadeBuckets) {
   EXPECT_DOUBLE_EQ(buckets[3].at("count").number(), 5.0);
 }
 
+TEST(Histogram, NearestRankQuantiles) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty: defined as 0
+  for (int i = 100; i >= 1; --i) h.observe(static_cast<double>(i));
+  // Nearest-rank over the sorted window {1..100}: rank = floor(q * n).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 51.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 96.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);   // clamped to the last sample
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), 100.0);   // out-of-range q clamps
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 1.0);
+}
+
+TEST(Histogram, QuantileWindowKeepsRecentSamples) {
+  Histogram h;
+  // Fill the window with large values, then overwrite it completely with
+  // small ones: the quantiles must reflect only the recent window.
+  for (std::size_t i = 0; i < Histogram::kQuantileWindow; ++i) {
+    h.observe(1000.0);
+  }
+  for (std::size_t i = 0; i < Histogram::kQuantileWindow; ++i) {
+    h.observe(1.0);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
+  // count/sum stay lifetime aggregates; only the quantile window slides.
+  EXPECT_EQ(h.count(), 2 * Histogram::kQuantileWindow);
+}
+
+TEST(Histogram, JsonIncludesQuantilesOnlyWhenPopulated) {
+  Histogram h;
+  EXPECT_FALSE(h.json_value().has("p50"));
+  h.observe(2.0);
+  h.observe(4.0);
+  const Json j = h.json_value();
+  ASSERT_TRUE(j.has("p50"));
+  ASSERT_TRUE(j.has("p95"));
+  ASSERT_TRUE(j.has("p99"));
+  EXPECT_DOUBLE_EQ(j.at("p50").number(), 4.0);  // rank 1 of sorted {2,4}
+  EXPECT_DOUBLE_EQ(j.at("p99").number(), 4.0);
+  h.reset();
+  EXPECT_FALSE(h.json_value().has("p50"));
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // reset clears the window too
+}
+
 TEST(MetricsRegistry, DisabledHelpersAreNoOps) {
   MetricsRegistry reg;
   EXPECT_FALSE(reg.enabled());

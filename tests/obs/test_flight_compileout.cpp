@@ -1,0 +1,52 @@
+// This binary is built with -DDQMC_NO_FLIGHT_RECORDER: every
+// DQMC_FLIGHT_EVENT site must vanish entirely — no probe, no ring write —
+// even while the recorder object itself is armed (the runtime API stays
+// available for out-of-band consumers). Mirror of
+// tests/fault/test_failpoint_compileout.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#ifndef DQMC_NO_FLIGHT_RECORDER
+#error "this test must be compiled with DQMC_NO_FLIGHT_RECORDER"
+#endif
+
+namespace dqmc::obs {
+namespace {
+
+TEST(FlightCompileOut, MacroSitesVanish) {
+  FlightRecorder& fr = flight_recorder();
+  fr.reset();
+  fr.set_enabled(true);
+  DQMC_FLIGHT_EVENT(FlightEventKind::kNote, "compiled.out");
+  DQMC_FLIGHT_EVENT(FlightEventKind::kFailpoint, "compiled.out", "detail",
+                    1.0, 2.0, 3);
+  EXPECT_EQ(fr.recorded(), 0u);
+  EXPECT_TRUE(fr.snapshot().empty());
+  fr.set_enabled(false);
+}
+
+TEST(FlightCompileOut, MacroIsAStatement) {
+  // The stub must stay usable in single-statement positions.
+  if (true)
+    DQMC_FLIGHT_EVENT(FlightEventKind::kNote, "branch");
+  else
+    DQMC_FLIGHT_EVENT(FlightEventKind::kNote, "other");
+  for (int i = 0; i < 2; ++i) DQMC_FLIGHT_EVENT(FlightEventKind::kNote, "x");
+  EXPECT_EQ(flight_recorder().recorded(), 0u);
+}
+
+TEST(FlightCompileOut, DirectApiStillWorks) {
+  // Only the macro sites compile out; record() remains callable so tooling
+  // linked against the library keeps functioning.
+  FlightRecorder& fr = flight_recorder();
+  fr.reset();
+  fr.set_enabled(true);
+  fr.record(FlightEventKind::kNote, "direct");
+  EXPECT_EQ(fr.recorded(), 1u);
+  fr.set_enabled(false);
+  fr.reset();
+}
+
+}  // namespace
+}  // namespace dqmc::obs

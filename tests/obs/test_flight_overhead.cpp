@@ -1,0 +1,55 @@
+// The <1% overhead budget of the flight recorder (ISSUE 6 / CMake preset
+// `obs`): a disarmed DQMC_FLIGHT_EVENT site is one relaxed atomic load, so a
+// million hits must cost far under a second even on a loaded CI machine —
+// the same generous absolute bound tests/common/test_trace.cpp uses for
+// disabled spans, ~100x above the expected cost, catching any accidental
+// lock, allocation, or clock read sneaking onto the disarmed path. The
+// armed path must stay a bounded lock-free ring store: no allocation after
+// the ring exists, so 1M armed events also finish within the bound.
+// bench/obs_overhead.cpp has the precise ns/event numbers.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+namespace dqmc::obs {
+namespace {
+
+class FlightOverheadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flight_recorder().set_enabled(false);
+    flight_recorder().reset();
+  }
+  void TearDown() override {
+    flight_recorder().set_enabled(false);
+    flight_recorder().reset();
+  }
+};
+
+TEST_F(FlightOverheadTest, DisarmedSitesAreCheap) {
+  Stopwatch watch;
+  for (int i = 0; i < 1'000'000; ++i) {
+    DQMC_FLIGHT_EVENT(FlightEventKind::kNote, "noop.site", "detail", 1.0);
+  }
+  EXPECT_LT(watch.seconds(), 1.0);
+  EXPECT_EQ(flight_recorder().recorded(), 0u);
+}
+
+TEST_F(FlightOverheadTest, ArmedRecordingIsBounded) {
+  flight_recorder().set_enabled(true);
+  Stopwatch watch;
+  for (int i = 0; i < 1'000'000; ++i) {
+    DQMC_FLIGHT_EVENT(FlightEventKind::kNote, "armed.site", "detail",
+                      static_cast<double>(i));
+  }
+  EXPECT_LT(watch.seconds(), 2.0);
+  EXPECT_EQ(flight_recorder().recorded(), 1'000'000u);
+  // The ring is fixed-size: the tail stays, the rest is accounted dropped.
+  EXPECT_EQ(flight_recorder().dropped(),
+            1'000'000u - FlightRecorder::kDefaultCapacity);
+}
+
+}  // namespace
+}  // namespace dqmc::obs

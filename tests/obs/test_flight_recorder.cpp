@@ -1,0 +1,216 @@
+// Flight recorder core semantics: the disarmed no-op contract, the
+// per-thread SPSC ring (order, wrap accounting, concurrent writers), the
+// ambient walker/crowd context stamping, and the crash-dump document the
+// supervisor and crash handlers flush (docs/OBSERVABILITY.md).
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dqmc::obs {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { scrub(); }
+  void TearDown() override { scrub(); }
+
+  // The recorder is a process-global singleton shared with every other
+  // suite in this binary: restore a pristine state on both sides.
+  static void scrub() {
+    FlightRecorder& fr = flight_recorder();
+    fr.set_enabled(false);
+    fr.set_dump_path("");
+    fr.set_export_paths("", "");
+    fr.set_context(-1, -1);
+    fr.set_sweep(-1);
+    fr.set_buffer_capacity(FlightRecorder::kDefaultCapacity);
+    fr.reset();
+  }
+};
+
+TEST_F(FlightRecorderTest, DisabledRecordIsNoOp) {
+  FlightRecorder& fr = flight_recorder();
+  ASSERT_FALSE(fr.enabled());
+  fr.record(FlightEventKind::kNote, "quiet.site");
+  DQMC_FLIGHT_EVENT(FlightEventKind::kNote, "quiet.macro");
+  EXPECT_EQ(fr.recorded(), 0u);
+  EXPECT_EQ(fr.dropped(), 0u);
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+TEST_F(FlightRecorderTest, RecordsEventsInTimeOrder) {
+  FlightRecorder& fr = flight_recorder();
+  fr.set_enabled(true);
+  fr.record(FlightEventKind::kSpanBegin, "warmup", "phase", 1.0);
+  fr.record(FlightEventKind::kFailpoint, "backend.enqueue", "device", 7.0,
+            2.0);
+  fr.record(FlightEventKind::kRecovery, "backend.enqueue", "retry");
+
+  const std::vector<FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(fr.recorded(), 3u);
+  EXPECT_EQ(fr.dropped(), 0u);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[1].ts_us, events[2].ts_us);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kSpanBegin);
+  EXPECT_STREQ(events[1].site, "backend.enqueue");
+  EXPECT_STREQ(events[1].detail, "device");
+  EXPECT_DOUBLE_EQ(events[1].a, 7.0);
+  EXPECT_DOUBLE_EQ(events[1].b, 2.0);
+  EXPECT_STREQ(events[2].detail, "retry");
+}
+
+TEST_F(FlightRecorderTest, MacroRecordsOnlyWhenArmed) {
+  FlightRecorder& fr = flight_recorder();
+  DQMC_FLIGHT_EVENT(FlightEventKind::kNote, "off.site");
+  EXPECT_EQ(fr.recorded(), 0u);
+  fr.set_enabled(true);
+  DQMC_FLIGHT_EVENT(FlightEventKind::kNote, "on.site", "armed", 3.0);
+  ASSERT_EQ(fr.recorded(), 1u);
+  EXPECT_STREQ(fr.snapshot()[0].site, "on.site");
+}
+
+TEST_F(FlightRecorderTest, AmbientContextStampsEvents) {
+  FlightRecorder& fr = flight_recorder();
+  fr.set_enabled(true);
+  fr.set_context(/*walker=*/5, /*crowd=*/2);
+  fr.record(FlightEventKind::kNote, "ambient");
+  fr.record(FlightEventKind::kNote, "explicit", "", 0.0, 0.0, /*walker=*/9);
+  fr.set_context(-1, -1);
+  fr.record(FlightEventKind::kNote, "cleared");
+
+  const std::vector<FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].walker, 5);
+  EXPECT_EQ(events[0].crowd, 2);
+  EXPECT_EQ(events[1].walker, 9);  // explicit id wins over the ambient one
+  EXPECT_EQ(events[1].crowd, 2);
+  EXPECT_EQ(events[2].walker, -1);
+  EXPECT_EQ(events[2].crowd, -1);
+}
+
+TEST_F(FlightRecorderTest, RingWrapKeepsNewestAndCountsDropped) {
+  FlightRecorder& fr = flight_recorder();
+  fr.set_buffer_capacity(8);
+  fr.set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    fr.record(FlightEventKind::kNote, "wrap", "", static_cast<double>(i));
+  }
+  EXPECT_EQ(fr.recorded(), 20u);
+  EXPECT_EQ(fr.dropped(), 12u);
+  const std::vector<FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The tail is the 8 newest events, oldest-first.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].a,
+                     static_cast<double>(12 + i));
+  }
+}
+
+TEST_F(FlightRecorderTest, LongNamesTruncateInsteadOfOverflowing) {
+  FlightRecorder& fr = flight_recorder();
+  fr.set_enabled(true);
+  const std::string site(200, 's');
+  const std::string detail(200, 'd');
+  fr.record(FlightEventKind::kNote, site.c_str(), detail.c_str());
+  const std::vector<FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].site), std::string(46, 's'));
+  EXPECT_EQ(std::string(events[0].detail), std::string(31, 'd'));
+}
+
+TEST_F(FlightRecorderTest, CrashDumpJsonCarriesTailContextAndSections) {
+  FlightRecorder& fr = flight_recorder();
+  fr.set_enabled(true);
+  fr.set_context(/*walker=*/3, /*crowd=*/1);
+  fr.set_sweep(17);
+  fr.record(FlightEventKind::kFailpoint, "backend.enqueue.gpusim", "device");
+  fr.record(FlightEventKind::kRecovery, "backend.enqueue.gpusim", "retry");
+  fr.register_section("custom",
+                      [] { return Json::object().set("answer", 42); });
+
+  const Json dump = fr.crash_dump_json("fault:backend.enqueue.gpusim");
+  EXPECT_DOUBLE_EQ(dump.at("crash_dump_version").number(), 1.0);
+  EXPECT_EQ(dump.at("reason").str(), "fault:backend.enqueue.gpusim");
+  EXPECT_DOUBLE_EQ(dump.at("context").at("walker").number(), 3.0);
+  EXPECT_DOUBLE_EQ(dump.at("context").at("crowd").number(), 1.0);
+  EXPECT_DOUBLE_EQ(dump.at("context").at("sweep").number(), 17.0);
+  EXPECT_DOUBLE_EQ(dump.at("recorded").number(), 2.0);
+  EXPECT_TRUE(dump.has("metrics"));
+  EXPECT_TRUE(dump.has("health"));
+  EXPECT_DOUBLE_EQ(dump.at("custom").at("answer").number(), 42.0);
+
+  const Json& events = dump.at("events");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("kind").str(), "failpoint");
+  EXPECT_EQ(events[0].at("site").str(), "backend.enqueue.gpusim");
+  EXPECT_EQ(events[1].at("kind").str(), "recovery");
+  EXPECT_EQ(events[1].at("detail").str(), "retry");
+}
+
+TEST_F(FlightRecorderTest, WriteCrashDumpProducesParseableFile) {
+  FlightRecorder& fr = flight_recorder();
+  EXPECT_FALSE(fr.write_crash_dump("nowhere"));  // no paths configured
+
+  const std::string path = ::testing::TempDir() + "flight_dump_test.json";
+  fr.set_dump_path(path);
+  fr.set_enabled(true);
+  fr.record(FlightEventKind::kNote, "pre-crash");
+  ASSERT_TRUE(fr.write_crash_dump("signal:SIGTERM"));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const Json dump = Json::parse(text.str());
+  EXPECT_EQ(dump.at("reason").str(), "signal:SIGTERM");
+  ASSERT_EQ(dump.at("events").size(), 1u);
+  EXPECT_EQ(dump.at("events")[0].at("site").str(), "pre-crash");
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, ResetDropsEventsAndRestartsClock) {
+  FlightRecorder& fr = flight_recorder();
+  fr.set_enabled(true);
+  fr.record(FlightEventKind::kNote, "before");
+  ASSERT_EQ(fr.recorded(), 1u);
+  fr.reset();
+  EXPECT_EQ(fr.recorded(), 0u);
+  EXPECT_TRUE(fr.snapshot().empty());
+  EXPECT_TRUE(fr.enabled());  // reset keeps arming, drops only the events
+  fr.record(FlightEventKind::kNote, "after");
+  EXPECT_EQ(fr.recorded(), 1u);
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWritersAreLocklessAndLossless) {
+  FlightRecorder& fr = flight_recorder();
+  fr.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 1000;  // < per-thread capacity: nothing may drop
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kEvents; ++i) {
+        flight_recorder().record(FlightEventKind::kNote, "mt",
+                                 "", static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(fr.recorded(), static_cast<std::uint64_t>(kThreads * kEvents));
+  EXPECT_EQ(fr.dropped(), 0u);
+  EXPECT_EQ(fr.snapshot().size(),
+            static_cast<std::size_t>(kThreads * kEvents));
+}
+
+}  // namespace
+}  // namespace dqmc::obs

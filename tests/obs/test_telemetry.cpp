@@ -1,0 +1,218 @@
+// Telemetry stream (ProgressReporter): every JSONL record must satisfy the
+// v1 schema (validate_record is the authority), counters must be monotone,
+// the stream must end with a phase:"done" record whose ETA is zero, and
+// attaching telemetry to a run must leave the golden manifest byte-stable
+// (observation, not perturbation). docs/OBSERVABILITY.md documents the
+// record schema these tests pin down.
+#include "obs/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dqmc/run_manifest.h"
+#include "dqmc/simulation.h"
+#include "obs/metrics.h"
+
+namespace dqmc::obs {
+namespace {
+
+std::vector<Json> read_records(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "no telemetry stream at " << path;
+  std::vector<Json> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    records.push_back(Json::parse(line));
+  }
+  return records;
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "telemetry_test.jsonl";
+    std::remove(path_.c_str());
+    metrics().set_enabled(false);
+    metrics().reset();
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    metrics().set_enabled(false);
+    metrics().reset();
+  }
+
+  ProgressOptions options(double interval_ms = 0.0) {
+    ProgressOptions opt;
+    opt.jsonl_path = path_;
+    opt.interval_ms = interval_ms;
+    opt.label = "telemetry_test";
+    opt.total_sweeps = 12;
+    opt.warmup_sweeps = 4;
+    opt.walkers = 2;
+    return opt;
+  }
+
+  std::string path_;
+};
+
+TEST_F(TelemetryTest, EveryRecordIsSchemaValidAndMonotone) {
+  {
+    ProgressReporter reporter(options());
+    for (int i = 0; i < 4; ++i) reporter.on_sweep(/*warmup=*/true);
+    for (int i = 0; i < 8; ++i) reporter.on_sweep(/*warmup=*/false);
+    reporter.finish();
+    EXPECT_EQ(reporter.sweeps_done(), 12u);
+  }
+
+  const std::vector<Json> records = read_records(path_);
+  ASSERT_GE(records.size(), 2u);
+  double prev_done = -1.0;
+  double prev_seq = -1.0;
+  for (const Json& record : records) {
+    std::string error;
+    EXPECT_TRUE(ProgressReporter::validate_record(record, &error)) << error;
+    EXPECT_EQ(record.at("label").str(), "telemetry_test");
+    EXPECT_GE(record.at("sweeps_done").number(), prev_done);  // monotone
+    EXPECT_GT(record.at("seq").number(), prev_seq);
+    prev_done = record.at("sweeps_done").number();
+    prev_seq = record.at("seq").number();
+  }
+  // Phases appear in schedule order; the stream is sealed by "done".
+  EXPECT_EQ(records.front().at("phase").str(), "warmup");
+  const Json& last = records.back();
+  EXPECT_EQ(last.at("phase").str(), "done");
+  EXPECT_DOUBLE_EQ(last.at("sweeps_done").number(), 12.0);
+  EXPECT_DOUBLE_EQ(last.at("sweeps_total").number(), 12.0);
+  EXPECT_DOUBLE_EQ(last.at("eta_seconds").number(), 0.0);
+  EXPECT_DOUBLE_EQ(last.at("walkers").number(), 2.0);
+}
+
+TEST_F(TelemetryTest, IntervalThrottlesPeriodicRecords) {
+  {
+    ProgressReporter reporter(options(/*interval_ms=*/3.6e6));
+    for (int i = 0; i < 12; ++i) reporter.on_sweep(i < 4);
+    reporter.finish();
+    // First sweep emits immediately, the huge interval suppresses the rest,
+    // finish() always seals the stream: exactly two records.
+    EXPECT_EQ(reporter.records_emitted(), 2u);
+  }
+  const std::vector<Json> records = read_records(path_);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records.back().at("phase").str(), "done");
+}
+
+TEST_F(TelemetryTest, FinishIsIdempotentAndDestructorSeals) {
+  {
+    ProgressReporter reporter(options());
+    for (int i = 0; i < 3; ++i) reporter.on_sweep(true);
+    reporter.finish();
+    reporter.finish();  // second call must not duplicate the "done" record
+  }                     // destructor calls finish() again
+  const std::vector<Json> records = read_records(path_);
+  int done_records = 0;
+  for (const Json& record : records) {
+    if (record.at("phase").str() == "done") ++done_records;
+  }
+  EXPECT_EQ(done_records, 1);
+}
+
+TEST_F(TelemetryTest, ValidateRecordRejectsMalformedRecords) {
+  ProgressReporter reporter(options());
+  reporter.on_sweep(true);
+  reporter.finish();
+  const std::vector<Json> records = read_records(path_);
+  ASSERT_FALSE(records.empty());
+  const Json good = records.back();
+  ASSERT_TRUE(ProgressReporter::validate_record(good, nullptr));
+
+  std::string error;
+  // No key removal in Json: rebuild the record without one field.
+  Json rebuilt = Json::object();
+  for (const auto& [key, value] : good.members()) {
+    if (key != "eta_seconds") rebuilt.set(key, value);
+  }
+  EXPECT_FALSE(ProgressReporter::validate_record(rebuilt, &error));
+  EXPECT_NE(error.find("eta_seconds"), std::string::npos);
+
+  Json bad_phase = good;
+  bad_phase.set("phase", "cooldown");
+  EXPECT_FALSE(ProgressReporter::validate_record(bad_phase, &error));
+
+  Json overdone = good;
+  overdone.set("sweeps_done", 99.0).set("sweeps_total", 12.0);
+  EXPECT_FALSE(ProgressReporter::validate_record(overdone, &error));
+
+  Json wrong_version = good;
+  wrong_version.set("telemetry_version", 2);
+  EXPECT_FALSE(ProgressReporter::validate_record(wrong_version, &error));
+
+  EXPECT_FALSE(ProgressReporter::validate_record(Json("not an object"),
+                                                 &error));
+}
+
+TEST_F(TelemetryTest, QuantileGaugesComeFromTheMetricsRegistry) {
+  metrics().set_enabled(true);
+  for (int i = 1; i <= 100; ++i) {
+    metrics().observe("gemm.gflops", static_cast<double>(i));
+  }
+  metrics().gauge("metropolis.accept_rate").set(0.5);
+  {
+    ProgressReporter reporter(options());
+    reporter.on_sweep(false);
+    reporter.finish();
+  }
+  const std::vector<Json> records = read_records(path_);
+  ASSERT_FALSE(records.empty());
+  const Json& record = records.front();
+  // Nearest-rank quantiles over {1..100}: p50 -> 51, p95 -> 96, p99 -> 100.
+  EXPECT_DOUBLE_EQ(record.at("gemm_gflops_p50").number(), 51.0);
+  EXPECT_DOUBLE_EQ(record.at("gemm_gflops_p95").number(), 96.0);
+  EXPECT_DOUBLE_EQ(record.at("gemm_gflops_p99").number(), 100.0);
+  EXPECT_DOUBLE_EQ(record.at("accept_rate").number(), 0.5);
+}
+
+TEST_F(TelemetryTest, GoldenManifestIsByteStableUnderTelemetry) {
+  core::SimulationConfig cfg;
+  cfg.lx = cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 1.0;
+  cfg.model.slices = 8;
+  cfg.warmup_sweeps = 2;
+  cfg.measurement_sweeps = 4;
+  cfg.bins = 2;
+  cfg.seed = 5;
+
+  const core::SimulationResults quiet = core::run_simulation(cfg);
+  const std::string quiet_golden = core::golden_manifest(quiet).dump(2);
+
+  metrics().set_enabled(true);
+  std::string streamed_golden;
+  {
+    ProgressOptions opt = options();
+    opt.total_sweeps = 6;
+    opt.warmup_sweeps = 2;
+    opt.walkers = 1;
+    ProgressReporter reporter(opt);
+    const core::SimulationResults streamed = core::run_simulation(
+        cfg, [&reporter](linalg::idx, linalg::idx, bool warmup) {
+          reporter.on_sweep(warmup);
+        });
+    reporter.finish();
+    streamed_golden = core::golden_manifest(streamed).dump(2);
+  }
+
+  EXPECT_EQ(quiet_golden, streamed_golden);
+  // And the stream itself was real and valid.
+  for (const Json& record : read_records(path_)) {
+    std::string error;
+    EXPECT_TRUE(ProgressReporter::validate_record(record, &error)) << error;
+  }
+}
+
+}  // namespace
+}  // namespace dqmc::obs
