@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <fstream>
 
+#include "backend/bchain.h"
 #include "common/error.h"
 #include "dqmc/run_manifest.h"
+#include "hubbard/bmatrix.h"
 #include "obs/metrics.h"
 #include "parallel/task_runtime.h"
 #include "parallel/topology.h"
@@ -46,6 +48,59 @@ void maybe_write_bench_manifest(const std::string& bench,
   out.flush();
   DQMC_CHECK_MSG(out.good(), "failed writing manifest file: " + *path);
   std::printf("manifest written to %s\n", path->c_str());
+}
+
+obs::Json checkerboard_device_rows(bool quick) {
+  constexpr idx kWraps = 8;
+  constexpr idx kClusterK = 10;
+  const std::vector<idx> ls =
+      quick ? std::vector<idx>{8} : std::vector<idx>{8, 12, 16, 24};
+  obs::Json rows = obs::Json::array();
+  for (idx l : ls) {
+    const hubbard::Lattice lat(l, l);
+    hubbard::ModelParams p;
+    p.beta = 4.0;
+    p.slices = 40;  // dtau = 0.1
+    const idx n = lat.num_sites();
+
+    // Any valid diagonal will do — the virtual clock bills from shapes —
+    // but keep it deterministic so downloaded results are too.
+    linalg::Vector v(n);
+    for (idx i = 0; i < n; ++i) {
+      v[i] = 1.0 + 0.25 * static_cast<double>(i % 7);
+    }
+    const std::vector<linalg::Vector> vs(static_cast<std::size_t>(kClusterK),
+                                         v);
+    const auto run = [&](backend::BackendBChain& chain,
+                         backend::ComputeBackend& be) {
+      linalg::Matrix g = linalg::Matrix::identity(n);
+      for (idx w = 0; w < kWraps; ++w) {
+        chain.wrap(g, v, /*fused_kernel=*/true, /*host_unchanged=*/w > 0);
+      }
+      (void)chain.cluster_product(vs);
+      return be.stats().compute_seconds;
+    };
+
+    const hubbard::BMatrixFactory dense(lat, p, hubbard::KineticKind::kDense);
+    const hubbard::BMatrixFactory cb(lat, p,
+                                     hubbard::KineticKind::kCheckerboard);
+    const auto dense_be = backend::make_backend(backend::BackendKind::kGpuSim);
+    backend::BackendBChain dense_chain(*dense_be, dense.b(), dense.b_inv());
+    const double dense_seconds = run(dense_chain, *dense_be);
+    const auto cb_be = backend::make_backend(backend::BackendKind::kGpuSim);
+    backend::BackendBChain cb_chain(*cb_be, cb.kinetic().cb());
+    const double cb_seconds = run(cb_chain, *cb_be);
+
+    rows.push_back(obs::Json::object()
+                       .set("l", l)
+                       .set("n", n)
+                       .set("bonds", cb.kinetic().checkerboard().num_bonds())
+                       .set("groups", cb.kinetic().cb().num_groups())
+                       .set("dense_device_seconds", dense_seconds)
+                       .set("cb_device_seconds", cb_seconds)
+                       .set("speedup", dense_seconds / cb_seconds));
+  }
+  return rows;
 }
 
 FiveNumber five_number_summary(std::vector<double> samples) {

@@ -77,4 +77,16 @@ void maybe_write_manifest(const core::SimulationResults& results);
 void maybe_write_bench_manifest(const std::string& bench,
                                 const obs::Json& results);
 
+/// Shared checkerboard-vs-dense device workload for ablation_checkerboard
+/// and the bench_regress gate: per lattice size, the gpusim virtual-clock
+/// seconds of a wrap-dominated chain segment (8 wraps + one k=10 cluster
+/// product) with a dense BackendBChain vs a structured (checkerboard) one,
+/// each on a fresh backend. The cost model bills from shapes alone, so the
+/// rows are deterministic: any drift against BENCH_checkerboard.json means
+/// the execution model changed, not the machine. `quick` restricts to the
+/// 8x8 lattice for the ctest-sized gate; full mode runs L in {8,12,16,24}.
+/// Row fields: l, n, bonds, groups, dense_device_seconds,
+/// cb_device_seconds, speedup.
+obs::Json checkerboard_device_rows(bool quick);
+
 }  // namespace dqmc::bench

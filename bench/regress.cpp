@@ -2,17 +2,23 @@
 // fresh numbers against its checked-in BENCH_*.json baseline, failing with a
 // structured report when any row drifts past the noise tolerance.
 //
-//   ./bench_regress [--suite batched] [--baseline bench/BENCH_batched.json]
+//   ./bench_regress [--suite batched|checkerboard]
+//                   [--baseline bench/BENCH_<suite>.json]
 //                   [--tolerance 0.10] [--quick] [--report gate_report.json]
 //                   [--inject-slowdown F]
 //
 // The batched suite replays the exact batched_walkers workload (same config,
 // same seed) on the gpusim virtual clock, so the modeled device seconds are
 // deterministic: a row drifting past the tolerance means the execution model
-// changed, not the machine. --quick restricts to the 8x8 lattice with
-// W in {1, 8} for the opt-in ctest gate (label: bench-gate); --inject-slowdown
-// multiplies the measured batched device seconds by F, a test hook that lets
-// the WILL_FAIL ctest entry prove the gate actually trips on a regression.
+// changed, not the machine. The checkerboard suite replays the
+// ablation_checkerboard device workload (dense vs structured BackendBChain,
+// bench_util's checkerboard_device_rows) against BENCH_checkerboard.json and
+// additionally fails when a lattice whose baseline shows the checkerboard
+// beating dense (speedup >= 1) no longer does. --quick restricts each suite
+// to its 8x8 rows for the opt-in ctest gates (label: bench-gate);
+// --inject-slowdown multiplies the measured batched / checkerboard device
+// seconds by F, a test hook that lets the WILL_FAIL ctest entries prove the
+// gates actually trip on a regression.
 //
 // Exit status: 0 all rows within tolerance, 1 regression detected, 2 bad
 // usage / unreadable baseline.
@@ -65,6 +71,14 @@ const obs::Json* find_baseline_row(const obs::Json& rows, idx n, idx w) {
   return nullptr;
 }
 
+const obs::Json* find_baseline_row_n(const obs::Json& rows, idx n) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const obs::Json& row = rows[i];
+    if (static_cast<idx>(row.at("n").number()) == n) return &row;
+  }
+  return nullptr;
+}
+
 double relative_error(double measured, double baseline) {
   const double denom = std::abs(baseline);
   if (denom == 0.0) return std::abs(measured) == 0.0 ? 0.0 : 1e30;
@@ -78,13 +92,15 @@ int main(int argc, char** argv) {
                               "report", "inject-slowdown"});
 
   const std::string suite = args.get("suite", "batched");
-  if (suite != "batched") {
-    std::fprintf(stderr, "bench_regress: unknown suite '%s' (have: batched)\n",
+  if (suite != "batched" && suite != "checkerboard") {
+    std::fprintf(stderr,
+                 "bench_regress: unknown suite '%s' (have: batched, "
+                 "checkerboard)\n",
                  suite.c_str());
     return 2;
   }
   const std::string baseline_path =
-      args.get("baseline", "bench/BENCH_batched.json");
+      args.get("baseline", "bench/BENCH_" + suite + ".json");
   const double tolerance = args.get_double("tolerance", 0.10);
   const bool quick = args.get_flag("quick");
   const double slowdown = args.get_double("inject-slowdown", 1.0);
@@ -124,6 +140,96 @@ int main(int argc, char** argv) {
               quick ? "  (quick subset)" : "",
               slowdown != 1.0 ? "  [synthetic slowdown injected]" : "");
 
+  obs::Json report_rows = obs::Json::array();
+  int failures = 0;
+
+  if (suite == "checkerboard") {
+    // Deterministic replay of the ablation_checkerboard device workload:
+    // compare the structured-chain seconds and the dense/cb speedup against
+    // the committed baseline, and hold the crossover — any lattice whose
+    // baseline says the checkerboard wins must still win.
+    const obs::Json rows = bench::checkerboard_device_rows(quick);
+    cli::Table table({"N", "cb s (base)", "cb s (now)", "speedup (base)",
+                      "speedup (now)", "max rel err", "status"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const obs::Json& fresh = rows[i];
+      const idx n = static_cast<idx>(fresh.at("n").number());
+      const double dense_seconds = fresh.at("dense_device_seconds").number();
+      // The injection hook slows only the structured path, the way a
+      // regression in the bond-table replay would.
+      const double cb_seconds =
+          fresh.at("cb_device_seconds").number() * slowdown;
+      const double speedup = dense_seconds / cb_seconds;
+
+      obs::Json row = obs::Json::object().set("n", n);
+      std::string status;
+      double max_err = 0.0;
+      const obs::Json* base = find_baseline_row_n(*baseline_rows, n);
+      if (base == nullptr) {
+        status = "NO BASELINE ROW";
+        ++failures;
+        table.add_row({cli::Table::integer(static_cast<long>(n)), "-", "-",
+                       "-", "-", "-", status});
+      } else {
+        const double base_seconds = base->at("cb_device_seconds").number();
+        const double base_speedup = base->at("speedup").number();
+        const double err_seconds = relative_error(cb_seconds, base_seconds);
+        const double err_speedup = relative_error(speedup, base_speedup);
+        max_err = std::max(err_seconds, err_speedup);
+        bool ok = max_err <= tolerance;
+        status = ok ? "ok" : "REGRESSION";
+        if (base_speedup >= 1.0 && speedup < 1.0) {
+          status = "CROSSOVER LOST";
+          ok = false;
+        }
+        if (!ok) ++failures;
+        row.set("baseline_cb_device_seconds", base_seconds)
+            .set("measured_cb_device_seconds", cb_seconds)
+            .set("measured_dense_device_seconds", dense_seconds)
+            .set("baseline_speedup", base_speedup)
+            .set("measured_speedup", speedup)
+            .set("relative_error_seconds", err_seconds)
+            .set("relative_error_speedup", err_speedup);
+        table.add_row({cli::Table::integer(static_cast<long>(n)),
+                       cli::Table::num(base_seconds, 6),
+                       cli::Table::num(cb_seconds, 6),
+                       cli::Table::num(base_speedup, 2),
+                       cli::Table::num(speedup, 2),
+                       cli::Table::num(max_err, 4), status});
+      }
+      row.set("max_relative_error", max_err).set("status", status);
+      report_rows.push_back(std::move(row));
+    }
+    table.print();
+
+    const bool pass = failures == 0;
+    const obs::Json report =
+        obs::Json::object()
+            .set("gate_version", 1)
+            .set("suite", suite)
+            .set("baseline", baseline_path)
+            .set("tolerance", tolerance)
+            .set("quick", quick)
+            .set("injected_slowdown", slowdown)
+            .set("rows", report_rows)
+            .set("failures", failures)
+            .set("status", pass ? "pass" : "fail");
+    const std::string report_path = args.get("report", "");
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      out << report.dump(2) << '\n';
+      if (!out.good()) {
+        std::fprintf(stderr, "bench_regress: failed writing report %s\n",
+                     report_path.c_str());
+        return 2;
+      }
+    }
+    std::printf("\nbench gate: %s (%d row%s outside the %.0f%% tolerance)\n",
+                pass ? "PASS" : "FAIL", failures, failures == 1 ? "" : "s",
+                100.0 * tolerance);
+    return pass ? 0 : 1;
+  }
+
   const std::vector<Shape> shapes =
       quick ? std::vector<Shape>{{8, 8}} : std::vector<Shape>{{8, 8}, {16, 8},
                                                               {16, 16}};
@@ -133,8 +239,6 @@ int main(int argc, char** argv) {
   cli::Table table({"N", "W", "batched s (base)", "batched s (now)",
                     "speedup (base)", "speedup (now)", "max rel err",
                     "status"});
-  obs::Json report_rows = obs::Json::array();
-  int failures = 0;
 
   for (const Shape& shape : shapes) {
     for (const idx w : crowd_sizes) {

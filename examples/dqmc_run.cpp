@@ -2,6 +2,7 @@
 // QUEST-style input file, mirroring how the paper's package is used.
 //
 //   ./dqmc_run --config sim.in [--progress] [--backend host|gpusim]
+//              [--kinetic dense|checkerboard]
 //
 // Example input file:
 //   # half-filled 8x8 Hubbard model
@@ -52,6 +53,11 @@
 //                         W walkers whose per-slice linear algebra is folded
 //                         into batched backend launches; per-chain
 //                         trajectories are bitwise identical to W=0
+//
+// Kinetic factor (docs/PERFORMANCE.md, "Checkerboard kinetic factor"):
+//   --kinetic dense|checkerboard   apply e^{-dtau K} as a dense GEMM or as
+//                         the O(N)-per-column split-bond replay; config key
+//                         `kinetic` does the same
 #include <cstdio>
 
 #include <memory>
@@ -74,8 +80,8 @@ int main(int argc, char** argv) {
   using linalg::idx;
   cli::Args args(argc, argv,
                  {"config", "progress", "warmup", "sweeps", "seed",
-                  "backend", "trace-json", "metrics-json", "failpoint",
-                  "max-retries", "checkpoint-interval", "walkers",
+                  "backend", "kinetic", "trace-json", "metrics-json",
+                  "failpoint", "max-retries", "checkpoint-interval", "walkers",
                   "walker-batch", "telemetry-jsonl", "telemetry-interval",
                   "crash-dump"});
 
@@ -111,6 +117,10 @@ int main(int argc, char** argv) {
     // virtual-clock device accounting to the manifest.
     cfg.engine.backend =
         backend::backend_kind_from_string(args.get("backend", "host"));
+  }
+  if (args.has("kinetic")) {
+    cfg.engine.kinetic =
+        hubbard::kinetic_kind_from_string(args.get("kinetic", "dense"));
   }
   if (args.has("failpoint")) {
     fault::failpoints().arm_spec(args.get("failpoint", ""));

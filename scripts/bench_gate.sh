@@ -3,12 +3,13 @@
 # compares them against the bench/BENCH_*.json baselines, failing (exit 1)
 # when any row drifts past the noise tolerance. See docs/OBSERVABILITY.md.
 #
-#   scripts/bench_gate.sh                  # full batched suite, 10% tolerance
-#   scripts/bench_gate.sh --quick          # ctest-sized subset
+#   scripts/bench_gate.sh                  # all suites, 10% tolerance
+#   scripts/bench_gate.sh --quick          # ctest-sized subsets
 #   BUILD_DIR=build-tsan scripts/bench_gate.sh
 #
-# Extra arguments are forwarded to bench_regress (e.g. --tolerance 0.05,
-# --report gate_report.json).
+# Extra arguments are forwarded to every bench_regress suite invocation
+# (e.g. --tolerance 0.05). Runs the batched and checkerboard suites in
+# sequence; the first failing suite fails the gate.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,4 +21,6 @@ if [[ ! -x "$tool" ]]; then
   exit 2
 fi
 
-exec "$tool" --baseline "$repo/bench/BENCH_batched.json" "$@"
+"$tool" --suite batched --baseline "$repo/bench/BENCH_batched.json" "$@"
+"$tool" --suite checkerboard \
+        --baseline "$repo/bench/BENCH_checkerboard.json" "$@"

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "linalg/blas3.h"
+#include "linalg/cb_operator.h"
 #include "linalg/matrix.h"
 
 namespace dqmc::backend {
@@ -109,6 +110,27 @@ class VectorHandle {
   idx size_;
 };
 
+/// Opaque backend-resident structured kinetic operator (a checkerboard
+/// bond table). Uploaded once via ComputeBackend::alloc_kinetic and
+/// replayed by kinetic_apply — the structured counterpart of keeping the
+/// dense e^{-dtau K} resident in a MatrixHandle.
+class KineticHandle {
+ public:
+  virtual ~KineticHandle() = default;
+  idx n() const { return n_; }
+  idx num_bonds() const { return bonds_; }
+  idx num_groups() const { return groups_; }
+  BackendKind kind() const { return kind_; }
+
+ protected:
+  KineticHandle(BackendKind kind, idx n, idx bonds, idx groups)
+      : kind_(kind), n_(n), bonds_(bonds), groups_(groups) {}
+
+ private:
+  BackendKind kind_;
+  idx n_, bonds_, groups_;
+};
+
 class ComputeBackend {
  public:
   virtual ~ComputeBackend() = default;
@@ -163,6 +185,24 @@ class ComputeBackend {
   /// g <- diag(v) * g * diag(v)^{-1} in one fused launch (Algorithm 7).
   virtual void wrap_scale(const VectorHandle& v, MatrixHandle& g) = 0;
 
+  // ---- Structured kinetic applies (checkerboard mode) --------------------
+  // The checkerboard factorization of B = e^{-dtau K} replaces every GEMM
+  // against the dense kinetic matrix with a replay of its bond groups:
+  // O(bonds x cols) memory-bound work instead of O(n^2 x cols) flops.
+  // The bond table uploads once (alloc_kinetic) and is immutable; applies
+  // run in place on a resident matrix. Both backends execute the same
+  // linalg::cb_apply arithmetic, so results remain bitwise identical
+  // across backends — and identical to the host factory's structured path.
+
+  /// Upload a validated checkerboard operator; one h2d transfer.
+  virtual std::unique_ptr<KineticHandle> alloc_kinetic(
+      const linalg::CbOperator& op) = 0;
+
+  /// In place: x <- B x (kLeft) or x <- x B (kRight); `inverse` applies
+  /// the exact inverse of the factorization.
+  virtual void kinetic_apply(const KineticHandle& k, linalg::CbSide side,
+                             bool inverse, MatrixHandle& x) = 0;
+
   // ---- Batched operations (walker crowds) --------------------------------
   // One enqueue covering count = <output>.size() same-shape items:
   // HostBackend runs the batch through the library's batched kernels inside
@@ -187,6 +227,14 @@ class ComputeBackend {
   /// g_i <- diag(v_i) g_i diag(v_i)^{-1} (Algorithm 7), one launch.
   virtual void wrap_scale_batched(const std::vector<const VectorHandle*>& v,
                                   const std::vector<MatrixHandle*>& g) = 0;
+
+  /// Batched structured apply: ONE shared bond table replayed in place
+  /// over every item with a single apply's launch count (each per-group
+  /// kernel spans the whole crowd). Bitwise identical per item to issuing
+  /// x.size() kinetic_apply calls.
+  virtual void kinetic_apply_batched(const KineticHandle& k,
+                                     linalg::CbSide side, bool inverse,
+                                     const std::vector<MatrixHandle*>& x) = 0;
 
   /// Batched upload_async: one transfer transaction for all items.
   virtual void upload_batched_async(const std::vector<ConstMatrixView>& hosts,

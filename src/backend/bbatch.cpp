@@ -46,6 +46,25 @@ BatchedBChain::BatchedBChain(ComputeBackend& backend, ConstMatrixView b,
   wrap_uploads_skipped_.assign(static_cast<std::size_t>(items_), 0);
 }
 
+BatchedBChain::BatchedBChain(ComputeBackend& backend,
+                             const linalg::CbOperator& op, idx items)
+    : backend_(backend), n_(op.n), items_(items) {
+  DQMC_CHECK(items >= 1);
+  kinetic_ = backend_.alloc_kinetic(op);
+  ident_ = backend_.alloc_matrix(n_, n_);
+  backend_.upload(Matrix::identity(n_), *ident_);
+  g_.reserve(items_);
+  a_.reserve(items_);
+  v_.reserve(items_);
+  for (idx i = 0; i < items_; ++i) {
+    g_.push_back(backend_.alloc_matrix(n_, n_));
+    a_.push_back(backend_.alloc_matrix(n_, n_));
+    v_.push_back(backend_.alloc_vector(n_));
+  }
+  g_resident_.assign(static_cast<std::size_t>(items_), 0);
+  wrap_uploads_skipped_.assign(static_cast<std::size_t>(items_), 0);
+}
+
 void BatchedBChain::invalidate_residency() {
   std::fill(g_resident_.begin(), g_resident_.end(), 0);
 }
@@ -86,21 +105,34 @@ void BatchedBChain::wrap_batched(const std::vector<MatrixView>& g,
     v_handles.push_back(v_[i].get());
     v_const.push_back(v_[i].get());
     g_const.push_back(g_[i].get());
-    t_const.push_back(t_[i].get());
     g_mut.push_back(g_[i].get());
-    t_mut.push_back(t_[i].get());
+    if (!structured()) {
+      t_const.push_back(t_[i].get());
+      t_mut.push_back(t_[i].get());
+    }
   }
   backend_.upload_vectors_async(v_hosts, n_, v_handles);
 
-  // T_i = B * G_i (shared A), G_i = T_i * B^{-1} (shared B), then the
-  // fused Algorithm 7 scaling — per item the identical sequence (and
-  // bitwise the identical arithmetic) as BackendBChain::wrap.
-  const std::vector<const MatrixHandle*> shared_b{b_.get()};
-  const std::vector<const MatrixHandle*> shared_binv{binv_.get()};
-  backend_.gemm_batched(Trans::No, Trans::No, 1.0, shared_b, g_const, 0.0,
-                        t_mut);
-  backend_.gemm_batched(Trans::No, Trans::No, 1.0, t_const, shared_binv, 0.0,
-                        g_mut);
+  if (structured()) {
+    // G_i <- B G_i B^{-1} as two crowd-wide bond-table replays (left
+    // forward, right inverse) — same per-item arithmetic as the structured
+    // BackendBChain::wrap, amortizing the per-group launches over the
+    // whole crowd.
+    backend_.kinetic_apply_batched(*kinetic_, linalg::CbSide::kLeft, false,
+                                   g_mut);
+    backend_.kinetic_apply_batched(*kinetic_, linalg::CbSide::kRight, true,
+                                   g_mut);
+  } else {
+    // T_i = B * G_i (shared A), G_i = T_i * B^{-1} (shared B), then the
+    // fused Algorithm 7 scaling — per item the identical sequence (and
+    // bitwise the identical arithmetic) as BackendBChain::wrap.
+    const std::vector<const MatrixHandle*> shared_b{b_.get()};
+    const std::vector<const MatrixHandle*> shared_binv{binv_.get()};
+    backend_.gemm_batched(Trans::No, Trans::No, 1.0, shared_b, g_const, 0.0,
+                          t_mut);
+    backend_.gemm_batched(Trans::No, Trans::No, 1.0, t_const, shared_binv, 0.0,
+                          g_mut);
+  }
   backend_.wrap_scale_batched(v_const, g_mut);
   backend_.download_batched(g_const, g);
   std::fill(g_resident_.begin(), g_resident_.end(), 1);
@@ -127,24 +159,44 @@ std::vector<Matrix> BatchedBChain::cluster_product_batched(
     v_handles.push_back(v_[i].get());
     v_const.push_back(v_[i].get());
     a_const.push_back(a_[i].get());
-    t_const.push_back(t_[i].get());
     a_mut.push_back(a_[i].get());
-    t_mut.push_back(t_[i].get());
+    if (!structured()) {
+      t_const.push_back(t_[i].get());
+      t_mut.push_back(t_[i].get());
+    }
   }
-  const std::vector<const MatrixHandle*> shared_b{b_.get()};
 
-  // A_i = diag(vs[i][0]) * B, then per level one shared-operand batched
-  // GEMM + batched V upload + batched scaling; FIFO order makes reusing
-  // the per-item v_ workspace safe exactly as in the non-batched chain.
-  for (idx i = 0; i < items_; ++i) v_hosts[static_cast<std::size_t>(i)] = vs[i][0].data();
-  backend_.upload_vectors_async(v_hosts, n_, v_handles);
-  backend_.scale_rows_batched(v_const, shared_b, a_mut);
-  for (std::size_t l = 1; l < k; ++l) {
-    backend_.gemm_batched(Trans::No, Trans::No, 1.0, shared_b, a_const, 0.0,
-                          t_mut);
-    for (idx i = 0; i < items_; ++i) v_hosts[static_cast<std::size_t>(i)] = vs[i][l].data();
+  if (structured()) {
+    // A_i starts as the identity; each level replays the shared bond table
+    // over the whole crowd in place, then scales rows — no GEMM at any
+    // level, same per-item arithmetic as the structured BackendBChain.
+    for (idx i = 0; i < items_; ++i) backend_.copy(*ident_, *a_[i]);
+    for (std::size_t l = 0; l < k; ++l) {
+      backend_.kinetic_apply_batched(*kinetic_, linalg::CbSide::kLeft, false,
+                                     a_mut);
+      for (idx i = 0; i < items_; ++i)
+        v_hosts[static_cast<std::size_t>(i)] = vs[i][l].data();
+      backend_.upload_vectors_async(v_hosts, n_, v_handles);
+      backend_.scale_rows_batched(v_const, a_const, a_mut);
+    }
+  } else {
+    const std::vector<const MatrixHandle*> shared_b{b_.get()};
+
+    // A_i = diag(vs[i][0]) * B, then per level one shared-operand batched
+    // GEMM + batched V upload + batched scaling; FIFO order makes reusing
+    // the per-item v_ workspace safe exactly as in the non-batched chain.
+    for (idx i = 0; i < items_; ++i)
+      v_hosts[static_cast<std::size_t>(i)] = vs[i][0].data();
     backend_.upload_vectors_async(v_hosts, n_, v_handles);
-    backend_.scale_rows_batched(v_const, t_const, a_mut);
+    backend_.scale_rows_batched(v_const, shared_b, a_mut);
+    for (std::size_t l = 1; l < k; ++l) {
+      backend_.gemm_batched(Trans::No, Trans::No, 1.0, shared_b, a_const, 0.0,
+                            t_mut);
+      for (idx i = 0; i < items_; ++i)
+        v_hosts[static_cast<std::size_t>(i)] = vs[i][l].data();
+      backend_.upload_vectors_async(v_hosts, n_, v_handles);
+      backend_.scale_rows_batched(v_const, t_const, a_mut);
+    }
   }
 
   std::vector<Matrix> out;

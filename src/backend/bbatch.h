@@ -23,13 +23,22 @@ using linalg::Vector;
 
 class BatchedBChain {
  public:
-  /// `b` is e^{-dtau K}, `binv` its inverse (N x N), shared by all items.
+  /// Dense mode: `b` is e^{-dtau K}, `binv` its inverse (N x N), shared by
+  /// all items.
   BatchedBChain(ComputeBackend& backend, ConstMatrixView b,
                 ConstMatrixView binv, idx items);
+  /// Structured (checkerboard) mode: ONE shared bond table replays in
+  /// place over the whole crowd per kinetic factor — no resident dense B,
+  /// no batched GEMMs, per-item results bitwise identical to `items`
+  /// structured BackendBChains.
+  BatchedBChain(ComputeBackend& backend, const linalg::CbOperator& op,
+                idx items);
 
   idx n() const { return n_; }
   idx items() const { return items_; }
   ComputeBackend& backend() { return backend_; }
+  /// True when the kinetic factor is the structured checkerboard operator.
+  bool structured() const { return kinetic_ != nullptr; }
 
   /// Lockstep wrap of all items: g_i <- diag(v_i) (B g_i B^{-1})
   /// diag(v_i)^{-1} with the Algorithm 7 fused kernel. Uploads only the
@@ -61,6 +70,8 @@ class BatchedBChain {
   ComputeBackend& backend_;
   idx n_, items_;
   std::unique_ptr<MatrixHandle> b_, binv_;  // ONE resident copy for all items
+  std::unique_ptr<KineticHandle> kinetic_;  // ONE bond table (cb mode)
+  std::unique_ptr<MatrixHandle> ident_;     // identity seed (cb clustering)
   std::vector<std::unique_ptr<MatrixHandle>> g_, t_, a_;
   std::vector<std::unique_ptr<VectorHandle>> v_;
   std::vector<char> g_resident_;

@@ -37,11 +37,46 @@ BackendBChain::BackendBChain(ComputeBackend& backend, ConstMatrixView b,
   backend_.upload(binv, *binv_);
 }
 
+BackendBChain::BackendBChain(ComputeBackend& backend,
+                             const linalg::CbOperator& op)
+    : backend_(backend), n_(op.n) {
+  // No resident dense factors and no GEMM scratch: every kinetic factor
+  // replays the bond table in place. The identity seed bootstraps cluster
+  // products (A starts as I, then A <- B A per factor).
+  kinetic_ = backend_.alloc_kinetic(op);
+  ident_ = backend_.alloc_matrix(n_, n_);
+  a_ = backend_.alloc_matrix(n_, n_);
+  g_ = backend_.alloc_matrix(n_, n_);
+  v_ = backend_.alloc_vector(n_);
+  v_inv_ = backend_.alloc_vector(n_);
+  backend_.upload(Matrix::identity(n_), *ident_);
+}
+
 Matrix BackendBChain::cluster_product(const std::vector<Vector>& vs,
                                       bool fused_kernel) {
   DQMC_CHECK_MSG(!vs.empty(), "cluster_product needs at least one factor");
   for (const Vector& v : vs) DQMC_CHECK(v.size() == n_);
   enqueue_failpoint(backend_);
+
+  if (structured()) {
+    // A starts as the identity; each factor replays the bond table in
+    // place, then scales rows — no GEMM anywhere in the chain. The first
+    // replay renders exactly the dense b() the factory exposes (both are
+    // cb_apply on the identity), so this stays bitwise equal to the dense
+    // data path fed from the same operator.
+    backend_.copy(*ident_, *a_);
+    backend_.kinetic_apply(*kinetic_, linalg::CbSide::kLeft, false, *a_);
+    backend_.upload_vector_async(vs[0].data(), n_, *v_);
+    backend_.scale_rows(*v_, *a_, *a_, fused_kernel);
+    for (std::size_t l = 1; l < vs.size(); ++l) {
+      backend_.kinetic_apply(*kinetic_, linalg::CbSide::kLeft, false, *a_);
+      backend_.upload_vector_async(vs[l].data(), n_, *v_);
+      backend_.scale_rows(*v_, *a_, *a_, fused_kernel);
+    }
+    Matrix result(n_, n_);
+    backend_.download(*a_, result);
+    return result;
+  }
 
   // A = diag(vs[0]) * B    (Algorithm 4/5 first step)
   backend_.upload_vector_async(vs[0].data(), n_, *v_);
@@ -76,9 +111,17 @@ void BackendBChain::wrap(MatrixView g, const Vector& v, bool fused_kernel,
     backend_.upload_async(g, *g_);
   }
   backend_.upload_vector_async(v.data(), n_, *v_);
-  // T = B * G; G = T * B^{-1}; G = diag(v) G diag(v)^{-1}.
-  backend_.gemm(Trans::No, Trans::No, 1.0, *b_, *g_, 0.0, *t_);
-  backend_.gemm(Trans::No, Trans::No, 1.0, *t_, *binv_, 0.0, *g_);
+  if (structured()) {
+    // G <- B G B^{-1} as two in-place bond-table replays (left forward,
+    // right inverse) — the GEMM-free wrap that makes checkerboard win at
+    // large N.
+    backend_.kinetic_apply(*kinetic_, linalg::CbSide::kLeft, false, *g_);
+    backend_.kinetic_apply(*kinetic_, linalg::CbSide::kRight, true, *g_);
+  } else {
+    // T = B * G; G = T * B^{-1}; then G = diag(v) G diag(v)^{-1}.
+    backend_.gemm(Trans::No, Trans::No, 1.0, *b_, *g_, 0.0, *t_);
+    backend_.gemm(Trans::No, Trans::No, 1.0, *t_, *binv_, 0.0, *g_);
+  }
   if (fused_kernel) {
     backend_.wrap_scale(*v_, *g_);
   } else {

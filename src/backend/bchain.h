@@ -23,12 +23,19 @@ using linalg::Vector;
 
 class BackendBChain {
  public:
-  /// `b` is e^{-dtau K}, `binv` its inverse e^{+dtau K} (N x N).
+  /// Dense mode: `b` is e^{-dtau K}, `binv` its inverse e^{+dtau K} (N x N).
   BackendBChain(ComputeBackend& backend, ConstMatrixView b,
                 ConstMatrixView binv);
+  /// Structured (checkerboard) mode: the bond table uploads once and every
+  /// kinetic factor replays it in place — no resident dense B, no GEMMs.
+  /// Same call sequence semantics and bitwise-identical results to the
+  /// host factory's structured path.
+  BackendBChain(ComputeBackend& backend, const linalg::CbOperator& op);
 
   idx n() const { return n_; }
   ComputeBackend& backend() { return backend_; }
+  /// True when the kinetic factor is the structured checkerboard operator.
+  bool structured() const { return kinetic_ != nullptr; }
 
   /// Matrix clustering: returns A = B_{k-1} * ... * B_1 * B_0 where
   /// B_j = diag(vs[j]) * B. One V upload per factor (async, pipelined
@@ -55,7 +62,9 @@ class BackendBChain {
  private:
   ComputeBackend& backend_;
   idx n_;
-  std::unique_ptr<MatrixHandle> b_, binv_;   // resident factors
+  std::unique_ptr<MatrixHandle> b_, binv_;   // resident factors (dense mode)
+  std::unique_ptr<KineticHandle> kinetic_;   // resident bond table (cb mode)
+  std::unique_ptr<MatrixHandle> ident_;      // identity seed (cb clustering)
   std::unique_ptr<MatrixHandle> t_, a_, g_;  // workspaces
   // Backend-op arguments must stay alive until the stream drains, so both
   // diagonal workspaces are members rather than locals.

@@ -20,6 +20,21 @@ class GpuSimVector final : public VectorHandle {
   gpu::DeviceVector storage;
 };
 
+class GpuSimKinetic final : public KineticHandle {
+ public:
+  GpuSimKinetic(gpu::Device& device, const linalg::CbOperator& op)
+      : KineticHandle(BackendKind::kGpuSim, op.n, op.num_bonds(),
+                      op.num_groups()),
+        storage(device.alloc_kinetic(op)) {}
+  gpu::DeviceKinetic storage;
+};
+
+const gpu::DeviceKinetic& as_kinetic(const KineticHandle& h) {
+  DQMC_CHECK_MSG(h.kind() == BackendKind::kGpuSim,
+                 "kinetic handle belongs to a different backend");
+  return static_cast<const GpuSimKinetic&>(h).storage;
+}
+
 gpu::DeviceMatrix& as(MatrixHandle& h) {
   DQMC_CHECK_MSG(h.kind() == BackendKind::kGpuSim,
                  "matrix handle belongs to a different backend");
@@ -54,6 +69,11 @@ std::unique_ptr<MatrixHandle> GpuSimBackend::alloc_matrix(idx rows, idx cols) {
 
 std::unique_ptr<VectorHandle> GpuSimBackend::alloc_vector(idx n) {
   return std::make_unique<GpuSimVector>(device_, n);
+}
+
+std::unique_ptr<KineticHandle> GpuSimBackend::alloc_kinetic(
+    const linalg::CbOperator& op) {
+  return std::make_unique<GpuSimKinetic>(device_, op);
 }
 
 void GpuSimBackend::upload(ConstMatrixView host, MatrixHandle& dst) {
@@ -104,6 +124,21 @@ void GpuSimBackend::scale_cols(const VectorHandle& v, const MatrixHandle& src,
 
 void GpuSimBackend::wrap_scale(const VectorHandle& v, MatrixHandle& g) {
   device_.wrap_scale_kernel(as(v), as(g));
+}
+
+void GpuSimBackend::kinetic_apply(const KineticHandle& k, linalg::CbSide side,
+                                  bool inverse, MatrixHandle& x) {
+  device_.cb_apply_kernel(as_kinetic(k), side, inverse, as(x));
+}
+
+void GpuSimBackend::kinetic_apply_batched(
+    const KineticHandle& k, linalg::CbSide side, bool inverse,
+    const std::vector<MatrixHandle*>& x) {
+  std::vector<gpu::DeviceMatrix*> xv;
+  xv.reserve(x.size());
+  for (MatrixHandle* h : x) xv.push_back(&as(*h));
+  device_.cb_apply_kernel_batched(as_kinetic(k), side, inverse,
+                                  std::move(xv));
 }
 
 void GpuSimBackend::gemm_batched(Trans transa, Trans transb, double alpha,

@@ -20,6 +20,8 @@ class GpuSimBackend final : public ComputeBackend {
 
   std::unique_ptr<MatrixHandle> alloc_matrix(idx rows, idx cols) override;
   std::unique_ptr<VectorHandle> alloc_vector(idx n) override;
+  std::unique_ptr<KineticHandle> alloc_kinetic(
+      const linalg::CbOperator& op) override;
 
   void upload(ConstMatrixView host, MatrixHandle& dst) override;
   void download(const MatrixHandle& src, MatrixView host) override;
@@ -36,6 +38,11 @@ class GpuSimBackend final : public ComputeBackend {
   void scale_cols(const VectorHandle& v, const MatrixHandle& src,
                   MatrixHandle& dst) override;
   void wrap_scale(const VectorHandle& v, MatrixHandle& g) override;
+  void kinetic_apply(const KineticHandle& k, linalg::CbSide side, bool inverse,
+                     MatrixHandle& x) override;
+  void kinetic_apply_batched(const KineticHandle& k, linalg::CbSide side,
+                             bool inverse,
+                             const std::vector<MatrixHandle*>& x) override;
 
   void gemm_batched(Trans transa, Trans transb, double alpha,
                     const std::vector<const MatrixHandle*>& a,

@@ -92,7 +92,7 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
       "slices", "L", "warmup", "nwarm", "sweeps", "npass",
       "measure_interval", "measure_slice_interval", "measure_dynamic_interval",
       "bins", "seed",
-      "algorithm", "cluster_size", "north", "delay_rank", "backend",
+      "algorithm", "cluster_size", "north", "delay_rank", "backend", "kinetic",
       "gpu_clustering", "gpu_wrapping", "checkpoint_in", "checkpoint_out",
       "failpoints", "max_retries", "checkpoint_interval",
       "walkers", "walker_batch"};
@@ -140,6 +140,10 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
              file.get_long("gpu_wrapping", 0) != 0) {
     cfg.engine.backend = backend::BackendKind::kGpuSim;
   }
+  // "kinetic = dense|checkerboard" selects the kinetic-factor
+  // representation (dense GEMM vs split-bond replay).
+  cfg.engine.kinetic =
+      hubbard::kinetic_kind_from_string(file.get("kinetic", "dense"));
   // Crowd size for the batched walker path (0 = per-chain tasks). The
   // companion `walkers` key — how many chains to run — is read by the
   // driver, not here: it selects between the single- and multi-chain entry

@@ -16,22 +16,35 @@ void EngineConfig::validate() const {
   DQMC_CHECK_MSG(qr_block >= 1, "qr_block must be >= 1");
 }
 
+namespace {
+
+// One per-spin chain matching the factory's kinetic mode: structured chains
+// replay the shared bond table, dense chains keep B/B^{-1} resident.
+std::unique_ptr<backend::BackendBChain> make_chain(
+    backend::ComputeBackend& backend, const BMatrixFactory& factory) {
+  if (factory.kinetic().structured()) {
+    return std::make_unique<backend::BackendBChain>(backend,
+                                                    factory.kinetic().cb());
+  }
+  return std::make_unique<backend::BackendBChain>(backend, factory.b(),
+                                                  factory.b_inv());
+}
+
+}  // namespace
+
 DqmcEngine::DqmcEngine(const Lattice& lattice, const ModelParams& params,
                        EngineConfig config, std::uint64_t seed,
                        backend::ComputeBackend* shared_backend)
     : lattice_(lattice),
       params_(params),
       config_(config),
-      factory_(lattice, params),
+      factory_(lattice, params, config.kinetic),
       field_(params.slices, lattice.num_sites()),
       rng_(seed),
       owned_backend_(shared_backend ? nullptr
                                     : backend::make_backend(config.backend)),
       backend_(shared_backend ? shared_backend : owned_backend_.get()),
-      chains_{std::make_unique<backend::BackendBChain>(*backend_, factory_.b(),
-                                                       factory_.b_inv()),
-              std::make_unique<backend::BackendBChain>(*backend_, factory_.b(),
-                                                       factory_.b_inv())},
+      chains_{make_chain(*backend_, factory_), make_chain(*backend_, factory_)},
       clusters_(factory_, field_, config.cluster_size),
       strat_{StratificationEngine(factory_.n(), config.algorithm,
                                   config.qr_block),

@@ -41,6 +41,13 @@ struct EngineConfig {
   /// virtual-clock cost model (Section VI). Trajectories are bitwise
   /// identical across backends.
   backend::BackendKind backend = backend::BackendKind::kHost;
+  /// Kinetic factor representation: kDense applies e^{-dtau K} by GEMM;
+  /// kCheckerboard replays the split-bond factorization in O(bonds x cols)
+  /// with the same O(dtau^2) error order as the Trotter splitting (config
+  /// key `kinetic`, flag --kinetic). Trajectories stay bitwise identical
+  /// across backends, thread counts and walker-batch widths within a mode;
+  /// the two modes differ by the documented splitting error.
+  hubbard::KineticKind kinetic = hubbard::KineticKind::kDense;
 
   void validate() const;
 };

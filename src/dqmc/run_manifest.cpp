@@ -42,6 +42,11 @@ obs::Json config_json(const SimulationConfig& cfg) {
   // Emitted only for walker-crowd runs so pre-batching golden fixtures stay
   // byte-identical.
   if (cfg.walker_batch > 0) j.set("walker_batch", cfg.walker_batch);
+  // Same convention for the kinetic-factor representation: only non-default
+  // modes show up, keeping pre-checkerboard manifests byte-identical.
+  if (cfg.engine.kinetic != hubbard::KineticKind::kDense) {
+    j.set("kinetic", hubbard::kinetic_kind_name(cfg.engine.kinetic));
+  }
   return j;
 }
 

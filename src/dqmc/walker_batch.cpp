@@ -32,8 +32,13 @@ WalkerBatch::WalkerBatch(const hubbard::Lattice& lattice,
                                                     seed, backend_.get()));
   }
   const hubbard::BMatrixFactory& factory = engines_[0]->factory();
-  batch_ = std::make_unique<backend::BatchedBChain>(
-      *backend_, factory.b(), factory.b_inv(), 2 * walkers());
+  if (factory.kinetic().structured()) {
+    batch_ = std::make_unique<backend::BatchedBChain>(
+        *backend_, factory.kinetic().cb(), 2 * walkers());
+  } else {
+    batch_ = std::make_unique<backend::BatchedBChain>(
+        *backend_, factory.b(), factory.b_inv(), 2 * walkers());
+  }
 }
 
 WalkerBatch::~WalkerBatch() = default;

@@ -17,6 +17,7 @@
 #include "gpusim/device_spec.h"
 #include "gpusim/stream.h"
 #include "linalg/blas3.h"
+#include "linalg/cb_operator.h"
 #include "linalg/matrix.h"
 
 namespace dqmc::gpu {
@@ -57,6 +58,27 @@ class DeviceVector {
   friend class Device;
   explicit DeviceVector(idx n) : storage_(n) {}
   Vector storage_;
+};
+
+/// A checkerboard bond table resident in (simulated) device memory —
+/// uploaded once at construction, replayed by cb_apply_kernel. The
+/// structured analogue of keeping the dense e^{-dtau K} device-resident.
+class DeviceKinetic {
+ public:
+  DeviceKinetic() = default;
+  idx n() const { return op_.n; }
+  idx num_bonds() const { return op_.num_bonds(); }
+  idx num_groups() const { return op_.num_groups(); }
+  bool scaled() const { return op_.diag_scale != 1.0; }
+  /// Bond-table footprint: two 8-byte indices + two doubles per bond.
+  double bytes() const {
+    return 32.0 * static_cast<double>(op_.num_bonds());
+  }
+
+ private:
+  friend class Device;
+  explicit DeviceKinetic(linalg::CbOperator op) : op_(std::move(op)) {}
+  linalg::CbOperator op_;
 };
 
 /// Cumulative accounting of the virtual timeline.
@@ -102,6 +124,9 @@ class Device {
   /// Allocate uninitialized device storage.
   DeviceMatrix alloc_matrix(idx rows, idx cols);
   DeviceVector alloc_vector(idx n);
+  /// Upload a checkerboard bond table (validated; one accounted h2d
+  /// transfer of the table bytes). The table is immutable once resident.
+  DeviceKinetic alloc_kinetic(const linalg::CbOperator& op);
 
   /// cublasSetMatrix: host -> device.
   void set_matrix(ConstMatrixView host, DeviceMatrix& dev);
@@ -145,6 +170,13 @@ class Device {
   /// launch (texture-cached column factor).
   void wrap_scale_kernel(const DeviceVector& v, DeviceMatrix& g);
 
+  /// Checkerboard apply: x <- B x / B^{-1} x / x B / x B^{-1} replayed from
+  /// the resident bond table, one memory-bound launch per bond group
+  /// instead of a GEMM — O(bonds x cols) traffic billed by
+  /// DeviceSpec::cb_apply_seconds.
+  void cb_apply_kernel(const DeviceKinetic& k, linalg::CbSide side,
+                       bool inverse, DeviceMatrix& x);
+
   // ---- Batched command API (walker crowds) -------------------------------
   // Pointer-array batches in the cublas<t>gemmBatched style: one library
   // call covering c.size() same-shape items. An `a`/`b`/`src` argument of
@@ -167,6 +199,12 @@ class Device {
   /// Batched Algorithm 7 kernel: g_i <- diag(v_i) g_i diag(v_i)^{-1}.
   void wrap_scale_kernel_batched(std::vector<const DeviceVector*> v,
                                  std::vector<DeviceMatrix*> g);
+
+  /// Batched checkerboard apply: one SHARED bond table replayed over every
+  /// crowd member with the same launch count as a single apply (each
+  /// per-group kernel covers the whole batch), batch x the traffic.
+  void cb_apply_kernel_batched(const DeviceKinetic& k, linalg::CbSide side,
+                               bool inverse, std::vector<DeviceMatrix*> x);
 
   /// Batched cublasSetMatrixAsync: one PCIe transaction for all items
   /// (single latency hit, summed bytes). Host views must stay alive and

@@ -42,6 +42,35 @@ double DeviceSpec::rowwise_scal_seconds(idx m, idx n) const {
   return static_cast<double>(m) * per_row;
 }
 
+double DeviceSpec::cb_apply_seconds(idx n, idx bonds, idx groups, idx cols,
+                                    bool scaled) const {
+  return cb_apply_batched_seconds(n, bonds, groups, cols, scaled, 1);
+}
+
+double DeviceSpec::cb_apply_batched_seconds(idx n, idx bonds, idx groups,
+                                            idx cols, bool scaled,
+                                            idx batch) const {
+  if (batch <= 0 || cols <= 0) return kernel_launch_s;
+  // One fused kernel per group (groups are sequentially dependent; bonds
+  // within a group are not, so one launch covers them — and in the batched
+  // call, covers every crowd member too). Each bond reads and writes two
+  // operand rows: 2 rows x 2 directions x 8 bytes = 32 bytes per column.
+  const double bond_bytes = 32.0 * static_cast<double>(bonds) *
+                            static_cast<double>(cols) *
+                            static_cast<double>(batch);
+  double seconds = static_cast<double>(std::max<idx>(groups, 1)) *
+                       kernel_launch_s +
+                   bond_bytes / (mem_bandwidth_gbs * 1e9);
+  if (scaled) {
+    // Diagonal e^{dtau mu} pass: one more launch, full read + write sweep.
+    const double scale_bytes = 16.0 * static_cast<double>(n) *
+                               static_cast<double>(cols) *
+                               static_cast<double>(batch);
+    seconds += kernel_launch_s + scale_bytes / (mem_bandwidth_gbs * 1e9);
+  }
+  return seconds;
+}
+
 double DeviceSpec::transfer_seconds(double bytes) const {
   return transfer_latency_s + bytes / (pcie_bandwidth_gbs * 1e9);
 }

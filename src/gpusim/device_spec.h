@@ -54,6 +54,18 @@ struct DeviceSpec {
   /// Modeled wall time of one row-by-row dscal pass over an m x n matrix
   /// issued as m separate level-1 calls (Algorithm 4 path).
   double rowwise_scal_seconds(idx m, idx n) const;
+  /// Modeled wall time of one checkerboard apply over an n x cols operand:
+  /// one fused kernel per bond group (the groups are sequentially
+  /// dependent), each memory-bound — every bond streams two operand
+  /// rows/columns (read + write). `scaled` adds the diagonal-scale pass.
+  /// O(bonds x cols) traffic, the structured alternative to gemm_seconds.
+  double cb_apply_seconds(idx n, idx bonds, idx groups, idx cols,
+                          bool scaled) const;
+  /// Batched variant: same launch count (one kernel per group covers the
+  /// whole crowd), `batch` times the traffic. Equals cb_apply_seconds at
+  /// batch = 1.
+  double cb_apply_batched_seconds(idx n, idx bonds, idx groups, idx cols,
+                                  bool scaled, idx batch) const;
   /// Modeled wall time of moving `bytes` across PCIe (either direction).
   double transfer_seconds(double bytes) const;
 };

@@ -8,13 +8,8 @@
 namespace dqmc::hubbard {
 
 BMatrixFactory::BMatrixFactory(const Lattice& lattice,
-                               const ModelParams& params)
-    : params_(params), nu_(params.hs_nu()) {
-  KineticExponentials ke = kinetic_exponentials(lattice, params);
-  b_ = std::move(ke.b);
-  b_inv_ = std::move(ke.b_inv);
-  eig_ = std::move(ke.eig);
-}
+                               const ModelParams& params, KineticKind kinetic)
+    : params_(params), nu_(params.hs_nu()), kinetic_(lattice, params, kinetic) {}
 
 Vector BMatrixFactory::v_diagonal(const hs_t* h, Spin sigma) const {
   const idx nn = n();
@@ -33,7 +28,7 @@ Vector BMatrixFactory::v_diagonal_inv(const hs_t* h, Spin sigma) const {
 }
 
 Matrix BMatrixFactory::make_b(const hs_t* h, Spin sigma) const {
-  Matrix out = b_;
+  Matrix out = b();
   const Vector v = v_diagonal(h, sigma);
   linalg::scale_rows(v.data(), out);
   return out;
@@ -42,7 +37,14 @@ Matrix BMatrixFactory::make_b(const hs_t* h, Spin sigma) const {
 void BMatrixFactory::apply_b_left(const hs_t* h, Spin sigma,
                                   ConstMatrixView in, MatrixView out) const {
   DQMC_CHECK(in.rows() == n() && out.rows() == n() && in.cols() == out.cols());
-  linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, b_, in, 0.0, out);
+  if (kinetic_.structured()) {
+    // copy + in-place bond replay; linalg::copy preserves bits, so this
+    // matches the backend chain's structured path exactly.
+    linalg::copy(in, out);
+    kinetic_.apply_left(out);
+  } else {
+    linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, b(), in, 0.0, out);
+  }
   const Vector v = v_diagonal(h, sigma);
   linalg::scale_rows(v.data(), out);
 }
@@ -51,9 +53,16 @@ void BMatrixFactory::wrap(const hs_t* h, Spin sigma, MatrixView g,
                           MatrixView work) const {
   DQMC_CHECK(g.rows() == n() && g.cols() == n());
   DQMC_CHECK(work.rows() == n() && work.cols() == n());
-  // work = B * g; g = work * B^{-1}; then the diagonal conjugation.
-  linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, b_, g, 0.0, work);
-  linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, work, b_inv_, 0.0, g);
+  if (kinetic_.structured()) {
+    // Both kinetic factors replay in place — no scratch, no GEMM.
+    kinetic_.apply_left(g);
+    kinetic_.apply_inverse_right(g);
+  } else {
+    // work = B * g; g = work * B^{-1}; then the diagonal conjugation.
+    linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, b(), g, 0.0, work);
+    linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, work, b_inv(), 0.0,
+                 g);
+  }
   const Vector v = v_diagonal(h, sigma);
   linalg::scale_rows_cols_inv(v.data(), v.data(), g);
 }

@@ -4,13 +4,19 @@
 // the simulated GPU in the hybrid engine); V_{l,sigma} is the diagonal
 // e^{sigma nu diag(h_l)} that changes with every accepted Metropolis flip.
 // B_l is therefore *never* formed by a GEMM against a diagonal matrix — all
-// appliers below do a row scaling plus (at most) one GEMM against B, which
-// is the structure every performance argument in the paper leans on.
+// appliers below do a row scaling plus (at most) one application of B,
+// which is the structure every performance argument in the paper leans on.
+//
+// The kinetic factor itself is a KineticOperator: dense (GEMM appliers) or
+// checkerboard (O(bonds x cols) structured appliers), selected at
+// construction. In checkerboard mode b()/b_inv() are the rendered products
+// of the structured factors, so dense consumers and structured fast paths
+// represent the same operator — bitwise.
 #pragma once
 
 #include <cstdint>
 
-#include "hubbard/kinetic.h"
+#include "hubbard/kinetic_operator.h"
 #include "hubbard/model.h"
 
 namespace dqmc::hubbard {
@@ -24,14 +30,16 @@ using hs_t = std::int8_t;
 
 class BMatrixFactory {
  public:
-  BMatrixFactory(const Lattice& lattice, const ModelParams& params);
+  BMatrixFactory(const Lattice& lattice, const ModelParams& params,
+                 KineticKind kinetic = KineticKind::kDense);
 
-  idx n() const { return b_.rows(); }
+  idx n() const { return kinetic_.n(); }
   double nu() const { return nu_; }
   const ModelParams& params() const { return params_; }
-  const Matrix& b() const { return b_; }
-  const Matrix& b_inv() const { return b_inv_; }
-  const linalg::SymmetricEigen& kinetic_eig() const { return eig_; }
+  const KineticOperator& kinetic() const { return kinetic_; }
+  const Matrix& b() const { return kinetic_.b(); }
+  const Matrix& b_inv() const { return kinetic_.b_inv(); }
+  const linalg::SymmetricEigen& kinetic_eig() const { return kinetic_.eig(); }
 
   /// V diagonal for slice field h (n() entries) and spin sigma:
   /// v[i] = e^{sigma nu h[i]}.
@@ -43,20 +51,21 @@ class BMatrixFactory {
   /// reference path; production code uses the appliers).
   Matrix make_b(const hs_t* h, Spin sigma) const;
 
-  /// out <- B_l * in  (one GEMM by B, then a row scaling by v).
+  /// out <- B_l * in  (apply B, then a row scaling by v). Dense mode runs
+  /// one GEMM; checkerboard mode copies `in` and replays the bond groups.
   void apply_b_left(const hs_t* h, Spin sigma, ConstMatrixView in,
                     MatrixView out) const;
 
   /// g <- B_l * g * B_l^{-1}: the wrapping update (Section III-B-1),
   /// computed as diag(v) * (B * g * B^{-1}) * diag(v)^{-1}.
-  /// `work` must be an n() x n() scratch matrix.
+  /// `work` must be an n() x n() scratch matrix (unused in checkerboard
+  /// mode, where both B factors apply in place).
   void wrap(const hs_t* h, Spin sigma, MatrixView g, MatrixView work) const;
 
  private:
   ModelParams params_;
   double nu_;
-  Matrix b_, b_inv_;
-  linalg::SymmetricEigen eig_;
+  KineticOperator kinetic_;
 };
 
 }  // namespace dqmc::hubbard

@@ -2,15 +2,13 @@
 
 #include <cmath>
 
-#include "linalg/blas1.h"
-
 namespace dqmc::hubbard {
 
 CheckerboardB::CheckerboardB(const Lattice& lattice,
-                             const ModelParams& params)
-    : n_(lattice.num_sites()) {
+                             const ModelParams& params) {
   params.validate();
-  mu_scale_ = std::exp(params.dtau() * params.mu);
+  op_.n = lattice.num_sites();
+  op_.diag_scale = std::exp(params.dtau() * params.mu);
 
   // Greedy edge coloring: place each bond in the first group where neither
   // endpoint is already used. The even periodic square lattice needs 4
@@ -19,73 +17,48 @@ CheckerboardB::CheckerboardB(const Lattice& lattice,
   for (const auto& bond : lattice.bonds()) {
     const double hop = bond.interlayer ? params.t_perp : params.t;
     std::size_t g = 0;
-    for (; g < groups_.size(); ++g) {
+    for (; g < op_.groups.size(); ++g) {
       if (!used[g][static_cast<std::size_t>(bond.a)] &&
           !used[g][static_cast<std::size_t>(bond.b)])
         break;
     }
-    if (g == groups_.size()) {
-      groups_.emplace_back();
-      used.emplace_back(static_cast<std::size_t>(n_), false);
+    if (g == op_.groups.size()) {
+      op_.groups.emplace_back();
+      used.emplace_back(static_cast<std::size_t>(op_.n), false);
     }
     used[g][static_cast<std::size_t>(bond.a)] = true;
     used[g][static_cast<std::size_t>(bond.b)] = true;
-    groups_[g].push_back(Bond{bond.a, bond.b,
-                              std::cosh(params.dtau() * hop),
-                              std::sinh(params.dtau() * hop)});
+    op_.groups[g].push_back(linalg::CbBond{bond.a, bond.b,
+                                           std::cosh(params.dtau() * hop),
+                                           std::sinh(params.dtau() * hop)});
   }
-}
-
-void CheckerboardB::apply_groups(MatrixView x, bool inverse) const {
-  const idx cols = x.cols();
-  // Forward order for B, reverse order (with sinh negated) for B^{-1}:
-  // each group factor is its own 2x2 hyperbolic rotation, whose inverse
-  // flips the sinh sign (cosh^2 - sinh^2 = 1).
-  const idx ng = num_groups();
-  for (idx step = 0; step < ng; ++step) {
-    const auto& group =
-        groups_[static_cast<std::size_t>(inverse ? ng - 1 - step : step)];
-    const double sign = inverse ? -1.0 : 1.0;
-    for (const Bond& bond : group) {
-      double* xa = &x(bond.a, 0);
-      double* xb = &x(bond.b, 0);
-      const idx ld = x.ld();
-      for (idx j = 0; j < cols; ++j) {
-        const double va = xa[j * ld];
-        const double vb = xb[j * ld];
-        xa[j * ld] = bond.cosh_t * va + sign * bond.sinh_t * vb;
-        xb[j * ld] = sign * bond.sinh_t * va + bond.cosh_t * vb;
-      }
-    }
-  }
+  op_.validate();
 }
 
 void CheckerboardB::apply_left(MatrixView x) const {
-  DQMC_CHECK(x.rows() == n_);
-  apply_groups(x, /*inverse=*/false);
-  if (mu_scale_ != 1.0) {
-    for (idx j = 0; j < x.cols(); ++j)
-      linalg::scal(n_, mu_scale_, x.col(j));
-  }
+  linalg::cb_apply(op_, linalg::CbSide::kLeft, /*inverse=*/false, x);
 }
 
 void CheckerboardB::apply_inverse_left(MatrixView x) const {
-  DQMC_CHECK(x.rows() == n_);
-  if (mu_scale_ != 1.0) {
-    for (idx j = 0; j < x.cols(); ++j)
-      linalg::scal(n_, 1.0 / mu_scale_, x.col(j));
-  }
-  apply_groups(x, /*inverse=*/true);
+  linalg::cb_apply(op_, linalg::CbSide::kLeft, /*inverse=*/true, x);
+}
+
+void CheckerboardB::apply_right(MatrixView x) const {
+  linalg::cb_apply(op_, linalg::CbSide::kRight, /*inverse=*/false, x);
+}
+
+void CheckerboardB::apply_inverse_right(MatrixView x) const {
+  linalg::cb_apply(op_, linalg::CbSide::kRight, /*inverse=*/true, x);
 }
 
 Matrix CheckerboardB::dense() const {
-  Matrix b = Matrix::identity(n_);
+  Matrix b = Matrix::identity(n());
   apply_left(b);
   return b;
 }
 
 Matrix CheckerboardB::dense_inverse() const {
-  Matrix b = Matrix::identity(n_);
+  Matrix b = Matrix::identity(n());
   apply_inverse_left(b);
   return b;
 }

@@ -12,12 +12,16 @@
 // applicable to a dense matrix in O(bonds x columns) instead of a GEMM.
 // The splitting error is O(dtau^2), the same order as the Trotter error
 // already accepted by the simulation.
+//
+// This class builds the bond groups from a Lattice (any extent — odd L and
+// bilayer t_perp stacks just need more colors) and delegates the actual
+// applies to linalg::cb_apply, the same kernel the compute backends replay,
+// so the factory cpu path and the backend chains agree bitwise.
 #pragma once
-
-#include <vector>
 
 #include "hubbard/lattice.h"
 #include "hubbard/model.h"
+#include "linalg/cb_operator.h"
 
 namespace dqmc::hubbard {
 
@@ -29,30 +33,29 @@ class CheckerboardB {
  public:
   CheckerboardB(const Lattice& lattice, const ModelParams& params);
 
-  idx n() const { return n_; }
+  idx n() const { return op_.n; }
   /// Number of bond groups (colors) the lattice needed.
-  idx num_groups() const { return static_cast<idx>(groups_.size()); }
+  idx num_groups() const { return op_.num_groups(); }
+  idx num_bonds() const { return op_.num_bonds(); }
 
-  /// x <- B_cb * x (in place; x is n() x anything).
+  /// The structured operator itself — what backends upload and replay.
+  const linalg::CbOperator& op() const { return op_; }
+
+  /// x <- B_cb * x (in place; x must have n() rows, any column count).
   void apply_left(MatrixView x) const;
   /// x <- B_cb^{-1} * x (exact inverse of the approximation).
   void apply_inverse_left(MatrixView x) const;
+  /// x <- x * B_cb (in place; x must have n() columns, any row count).
+  void apply_right(MatrixView x) const;
+  /// x <- x * B_cb^{-1} — the form the wrap G <- B G B^{-1} needs.
+  void apply_inverse_right(MatrixView x) const;
 
   /// Dense representation (for tests and for seeding the graded engine).
   Matrix dense() const;
   Matrix dense_inverse() const;
 
  private:
-  struct Bond {
-    idx a, b;
-    double cosh_t, sinh_t;  // cosh/sinh(dtau * hop)
-  };
-
-  void apply_groups(MatrixView x, bool inverse) const;
-
-  idx n_;
-  double mu_scale_;      // e^{dtau mu} (the -mu diagonal of K)
-  std::vector<std::vector<Bond>> groups_;
+  linalg::CbOperator op_;
 };
 
 }  // namespace dqmc::hubbard

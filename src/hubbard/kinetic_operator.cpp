@@ -1,0 +1,92 @@
+#include "hubbard/kinetic_operator.h"
+
+#include "common/error.h"
+#include "linalg/blas3.h"
+
+namespace dqmc::hubbard {
+
+const char* kinetic_kind_name(KineticKind kind) {
+  switch (kind) {
+    case KineticKind::kDense:
+      return "dense";
+    case KineticKind::kCheckerboard:
+      return "checkerboard";
+  }
+  return "unknown";
+}
+
+KineticKind kinetic_kind_from_string(const std::string& name) {
+  if (name == "dense") return KineticKind::kDense;
+  if (name == "checkerboard") return KineticKind::kCheckerboard;
+  throw InvalidArgument("unknown kinetic kind '" + name +
+                        "' (expected dense or checkerboard)");
+}
+
+KineticOperator::KineticOperator(const Lattice& lattice,
+                                 const ModelParams& params, KineticKind kind)
+    : kind_(kind) {
+  KineticExponentials ke = kinetic_exponentials(lattice, params);
+  eig_ = std::move(ke.eig);
+  if (kind_ == KineticKind::kCheckerboard) {
+    cb_ = std::make_unique<CheckerboardB>(lattice, params);
+    b_ = cb_->dense();
+    b_inv_ = cb_->dense_inverse();
+  } else {
+    b_ = std::move(ke.b);
+    b_inv_ = std::move(ke.b_inv);
+  }
+}
+
+const CheckerboardB& KineticOperator::checkerboard() const {
+  DQMC_CHECK_MSG(cb_ != nullptr,
+                 "KineticOperator: structured form requested in dense mode");
+  return *cb_;
+}
+
+void KineticOperator::apply_dense(const Matrix& op, bool right,
+                                  MatrixView x) const {
+  Matrix scratch(x.rows(), x.cols());
+  if (right) {
+    linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, x, op, 0.0,
+                 scratch.view());
+  } else {
+    linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0, op, x, 0.0,
+                 scratch.view());
+  }
+  for (idx j = 0; j < x.cols(); ++j)
+    for (idx i = 0; i < x.rows(); ++i) x(i, j) = scratch(i, j);
+}
+
+void KineticOperator::apply_left(MatrixView x) const {
+  if (structured()) {
+    cb_->apply_left(x);
+  } else {
+    apply_dense(b_, /*right=*/false, x);
+  }
+}
+
+void KineticOperator::apply_inverse_left(MatrixView x) const {
+  if (structured()) {
+    cb_->apply_inverse_left(x);
+  } else {
+    apply_dense(b_inv_, /*right=*/false, x);
+  }
+}
+
+void KineticOperator::apply_right(MatrixView x) const {
+  if (structured()) {
+    cb_->apply_right(x);
+  } else {
+    apply_dense(b_, /*right=*/true, x);
+  }
+}
+
+void KineticOperator::apply_inverse_right(MatrixView x) const {
+  if (structured()) {
+    cb_->apply_inverse_right(x);
+  } else {
+    apply_dense(b_inv_, /*right=*/true, x);
+  }
+}
+
+}  // namespace dqmc::hubbard

@@ -1,0 +1,162 @@
+#include "linalg/cb_operator.h"
+
+#include "common/error.h"
+#include "linalg/blas1.h"
+#include "parallel/parallel_for.h"
+
+namespace dqmc::linalg {
+
+namespace {
+
+// Bonds per group are index-disjoint, so each column (left apply) or row
+// (right apply) update below is an independent chain of 2x2 rotations: the
+// arithmetic per element never depends on how parallel_for chunks the
+// columns/rows, which is what makes every variant bitwise reproducible
+// across thread counts.
+//
+// Operator algebra, with B = s * G_{m-1} ... G_0 (s = diag_scale):
+//   B   x : groups 0..m-1 forward, then scale by s
+//   B⁻¹ x : scale by 1/s, then groups m-1..0 with sinh negated
+//   x B   : x G_{m-1} first — groups m-1..0 (right-applied), then scale
+//   x B⁻¹ : scale by 1/s, then groups 0..m-1 with sinh negated
+// A right apply of the symmetric factor G_g touches columns a and b of x
+// with the same 2x2 formula a left apply uses on rows a and b.
+
+// Columns of x are updated independently; `x(a, j)`/`x(b, j)` walk rows.
+void apply_group_left(const std::vector<CbBond>& group, bool inverse,
+                      MatrixView x, idx j) {
+  for (const CbBond& bond : group) {
+    const double sh = inverse ? -bond.sinh_t : bond.sinh_t;
+    double& va = x(bond.a, j);
+    double& vb = x(bond.b, j);
+    const double na = bond.cosh_t * va + sh * vb;
+    const double nb = sh * va + bond.cosh_t * vb;
+    va = na;
+    vb = nb;
+  }
+}
+
+// Rows of x are updated independently; `x(i, a)`/`x(i, b)` walk columns.
+void apply_group_right(const std::vector<CbBond>& group, bool inverse,
+                       MatrixView x, idx i) {
+  for (const CbBond& bond : group) {
+    const double sh = inverse ? -bond.sinh_t : bond.sinh_t;
+    double& va = x(i, bond.a);
+    double& vb = x(i, bond.b);
+    const double na = bond.cosh_t * va + sh * vb;
+    const double nb = sh * va + bond.cosh_t * vb;
+    va = na;
+    vb = nb;
+  }
+}
+
+// Each column/row chain is a handful of flops per bond — far below the
+// default parallel_for grain, so ask for fine chunks explicitly. Wrap
+// operands are square (cols == n), which still leaves useful parallelism
+// at the lattice sizes where checkerboard pays off.
+constexpr par::ForOptions kApplyOptions{.grain = 16};
+
+}  // namespace
+
+idx CbOperator::num_bonds() const {
+  idx total = 0;
+  for (const auto& group : groups) total += static_cast<idx>(group.size());
+  return total;
+}
+
+void CbOperator::validate() const {
+  DQMC_CHECK_MSG(n > 0, "CbOperator: dimension must be positive");
+  DQMC_CHECK_MSG(diag_scale != 0.0, "CbOperator: diag_scale must be nonzero");
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  for (const auto& group : groups) {
+    std::fill(used.begin(), used.end(), 0);
+    for (const CbBond& bond : group) {
+      DQMC_CHECK_MSG(bond.a >= 0 && bond.a < n && bond.b >= 0 && bond.b < n,
+                 "CbOperator: bond site out of range");
+      DQMC_CHECK_MSG(bond.a != bond.b,
+                     "CbOperator: bond joins a site to itself");
+      DQMC_CHECK_MSG(!used[static_cast<std::size_t>(bond.a)] &&
+                         !used[static_cast<std::size_t>(bond.b)],
+                     "CbOperator: bonds within one group must be disjoint");
+      used[static_cast<std::size_t>(bond.a)] = 1;
+      used[static_cast<std::size_t>(bond.b)] = 1;
+    }
+  }
+}
+
+void cb_apply(const CbOperator& op, CbSide side, bool inverse, MatrixView x) {
+  const idx m = op.num_groups();
+  const bool scaled = op.diag_scale != 1.0;
+  if (side == CbSide::kLeft) {
+    DQMC_CHECK_MSG(x.rows() == op.n,
+               "cb_apply(kLeft): operand rows must match operator dimension");
+    par::parallel_for(
+        idx{0}, x.cols(),
+        [&](idx j) {
+          if (inverse) {
+            if (scaled) scal(x.rows(), 1.0 / op.diag_scale, &x(0, j));
+            for (idx g = m - 1; g >= 0; --g) {
+              apply_group_left(op.groups[static_cast<std::size_t>(g)], true, x,
+                               j);
+            }
+          } else {
+            for (idx g = 0; g < m; ++g) {
+              apply_group_left(op.groups[static_cast<std::size_t>(g)], false, x,
+                               j);
+            }
+            if (scaled) scal(x.rows(), op.diag_scale, &x(0, j));
+          }
+        },
+        kApplyOptions);
+  } else {
+    DQMC_CHECK_MSG(x.cols() == op.n,
+               "cb_apply(kRight): operand cols must match operator dimension");
+    par::parallel_for(
+        idx{0}, x.rows(),
+        [&](idx i) {
+          if (inverse) {
+            if (scaled) {
+              const double inv = 1.0 / op.diag_scale;
+              for (idx j = 0; j < x.cols(); ++j) x(i, j) *= inv;
+            }
+            for (idx g = 0; g < m; ++g) {
+              apply_group_right(op.groups[static_cast<std::size_t>(g)], true, x,
+                                i);
+            }
+          } else {
+            for (idx g = m - 1; g >= 0; --g) {
+              apply_group_right(op.groups[static_cast<std::size_t>(g)], false,
+                                x, i);
+            }
+            if (scaled) {
+              for (idx j = 0; j < x.cols(); ++j) x(i, j) *= op.diag_scale;
+            }
+          }
+        },
+        kApplyOptions);
+  }
+}
+
+double cb_apply_flops(const CbOperator& op, idx cols) {
+  const double bond_flops =
+      6.0 * static_cast<double>(op.num_bonds()) * static_cast<double>(cols);
+  const double scale_flops =
+      op.diag_scale != 1.0
+          ? static_cast<double>(op.n) * static_cast<double>(cols)
+          : 0.0;
+  return bond_flops + scale_flops;
+}
+
+double cb_apply_bytes(const CbOperator& op, idx cols) {
+  // Each bond streams two operand rows (read + write, 8-byte doubles):
+  // 2 rows * 2 directions * 8 bytes = 32 bytes per bond per column.
+  const double bond_bytes =
+      32.0 * static_cast<double>(op.num_bonds()) * static_cast<double>(cols);
+  const double scale_bytes =
+      op.diag_scale != 1.0
+          ? 16.0 * static_cast<double>(op.n) * static_cast<double>(cols)
+          : 0.0;
+  return bond_bytes + scale_bytes;
+}
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,69 @@
+// Structured checkerboard (split-bond) operator and its in-place appliers.
+//
+// A CbOperator represents B = diag_scale * G_{m-1} * ... * G_1 * G_0 where
+// each group factor G_g is a product of independent 2x2 hyperbolic
+// rotations [[cosh, sinh], [sinh, cosh]] over a set of index-disjoint bonds
+// (a graph edge coloring of a lattice's hopping bonds). Applying B to an
+// n x c matrix costs O(bonds * c) instead of the O(n^2 * c) of a dense
+// GEMM — the large-lattice route for the DQMC propagator e^{-dtau K}.
+//
+// The struct lives in linalg (not hubbard) so the compute backends can
+// consume it without depending on the model layer: hubbard builds the bond
+// groups from a Lattice, backend replays them through cb_apply.
+//
+// Every variant's per-element arithmetic is a fixed chain independent of
+// how the columns (left applies) or rows (right applies) are chunked over
+// threads, so results are BITWISE identical for any thread budget — the
+// same determinism contract the rest of the hot path honors.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// One bond of a group: indices of the two coupled sites and the
+/// cosh/sinh(dtau * hop) entries of its 2x2 rotation.
+struct CbBond {
+  idx a, b;
+  double cosh_t, sinh_t;
+};
+
+/// Which side of the operand the operator applies on.
+enum class CbSide { kLeft, kRight };
+
+struct CbOperator {
+  /// Operator dimension (rows for left applies, cols for right applies).
+  idx n = 0;
+  /// Global diagonal factor (e^{dtau mu} for the DQMC propagator; 1 = none).
+  double diag_scale = 1.0;
+  /// Bond groups in application order: B = diag_scale * G_last ... G_0.
+  /// Bonds within one group must be index-disjoint (no shared endpoint).
+  std::vector<std::vector<CbBond>> groups;
+
+  idx num_groups() const { return static_cast<idx>(groups.size()); }
+  idx num_bonds() const;
+  /// Throws InvalidArgument on out-of-range indices or a shared endpoint
+  /// inside one group (the disjointness every applier relies on).
+  void validate() const;
+};
+
+/// In-place structured apply.
+///   kLeft:  x <- B x   (inverse: x <- B^{-1} x); requires x.rows() == op.n.
+///   kRight: x <- x B   (inverse: x <- x B^{-1}); requires x.cols() == op.n.
+/// The inverse is EXACT (each 2x2 factor inverts by negating its sinh), so
+/// a forward/inverse round trip reproduces the input to rounding.
+void cb_apply(const CbOperator& op, CbSide side, bool inverse, MatrixView x);
+
+/// Nominal flop count of one apply to `cols` operand columns (6 flops per
+/// bond per column, plus the diagonal scaling when present) — for
+/// GFlop/s-style reporting, not the cost model.
+double cb_apply_flops(const CbOperator& op, idx cols);
+
+/// Device bytes one apply streams (each bond reads+writes two rows or two
+/// columns of the operand; the diagonal scaling adds a full read+write
+/// pass) — the memory-bound figure the gpusim cost model bills.
+double cb_apply_bytes(const CbOperator& op, idx cols);
+
+}  // namespace dqmc::linalg

@@ -1,0 +1,207 @@
+// Dense-vs-checkerboard parity at the simulation level: with
+// kinetic = checkerboard the full DQMC pipeline must stay bitwise
+// deterministic — across backends, walker-batch widths, repeated runs,
+// checkpoint kill/resume, and supervised fault recovery — while the physics
+// agrees with the dense exponential (and with many-body ED) to within
+// jackknife bars plus the documented O(dtau^2) splitting floor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dqmc/checkpoint.h"
+#include "dqmc/engine.h"
+#include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
+#include "fault/failpoint.h"
+#include "obs/health.h"
+#include "testing/exact_diag.h"
+
+namespace dqmc::core {
+namespace {
+
+using hubbard::KineticKind;
+
+/// Short 4x4 checkerboard run — big enough to cross cluster boundaries and
+/// exercise both spin chains, small enough for the quick tier.
+SimulationConfig cb_config() {
+  SimulationConfig cfg;
+  cfg.lx = cfg.ly = 4;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 2.0;
+  cfg.model.slices = 16;
+  cfg.engine.cluster_size = 4;
+  cfg.engine.delay_rank = 8;
+  cfg.engine.kinetic = KineticKind::kCheckerboard;
+  cfg.warmup_sweeps = 4;
+  cfg.measurement_sweeps = 8;
+  cfg.bins = 4;
+  cfg.seed = 91;
+  return cfg;
+}
+
+class KineticParity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::failpoints().disarm_all();
+    obs::health().set_enabled(false);
+    obs::health().reset();
+  }
+  void TearDown() override { fault::failpoints().disarm_all(); }
+};
+
+TEST_F(KineticParity, TrajectoryHashMatchesAcrossBackends) {
+  SimulationConfig cfg = cb_config();
+  cfg.engine.backend = backend::BackendKind::kHost;
+  const SimulationResults host = run_simulation(cfg);
+  cfg.engine.backend = backend::BackendKind::kGpuSim;
+  const SimulationResults gpusim = run_simulation(cfg);
+  EXPECT_EQ(host.trajectory_hash, gpusim.trajectory_hash);
+  EXPECT_EQ(host.measurements.density().mean,
+            gpusim.measurements.density().mean);
+}
+
+TEST_F(KineticParity, RepeatedRunsAreBitwiseIdentical) {
+  const SimulationConfig cfg = cb_config();
+  const SimulationResults a = run_simulation(cfg);
+  const SimulationResults b = run_simulation(cfg);
+  EXPECT_EQ(a.trajectory_hash, b.trajectory_hash);
+  EXPECT_EQ(a.measurements.double_occupancy().mean,
+            b.measurements.double_occupancy().mean);
+}
+
+TEST_F(KineticParity, WalkerBatchWidthDoesNotForkTrajectories) {
+  // Three chains: per-chain tasks (W=0), degenerate crowds (W=1), and one
+  // full crowd (W=3) must merge to the same chain-order-sensitive hash, on
+  // both backends.
+  for (const backend::BackendKind kind :
+       {backend::BackendKind::kHost, backend::BackendKind::kGpuSim}) {
+    SimulationConfig cfg = cb_config();
+    cfg.engine.backend = kind;
+    cfg.warmup_sweeps = 2;
+    cfg.measurement_sweeps = 4;
+    std::uint64_t hashes[3];
+    const idx widths[3] = {0, 1, 3};
+    for (int i = 0; i < 3; ++i) {
+      cfg.walker_batch = widths[i];
+      hashes[i] = run_parallel_simulation(cfg, 3).trajectory_hash;
+    }
+    EXPECT_EQ(hashes[0], hashes[1]) << backend::backend_kind_name(kind);
+    EXPECT_EQ(hashes[0], hashes[2]) << backend::backend_kind_name(kind);
+  }
+}
+
+TEST_F(KineticParity, KillResumeReplaysBitwise) {
+  // A checkerboard chain interrupted at a sweep boundary and restored from
+  // its checkpoint must replay the undisturbed trajectory bit for bit.
+  const SimulationConfig cfg = cb_config();
+  const auto lattice = cfg.make_lattice();
+  DqmcEngine ref(lattice, cfg.model, cfg.engine, cfg.seed);
+  ref.initialize();
+  for (int s = 0; s < 4; ++s) ref.sweep();
+
+  DqmcEngine victim(lattice, cfg.model, cfg.engine, cfg.seed);
+  victim.initialize();
+  for (int s = 0; s < 2; ++s) victim.sweep();
+  std::stringstream saved;
+  save_checkpoint(saved, victim);
+
+  DqmcEngine resumed(lattice, cfg.model, cfg.engine, cfg.seed + 999);
+  load_checkpoint(saved, resumed);
+  for (int s = 0; s < 2; ++s) resumed.sweep();
+  EXPECT_EQ(trajectory_hash(ref), trajectory_hash(resumed));
+}
+
+TEST_F(KineticParity, SupervisedFaultRecoveryPreservesHash) {
+  // An injected backend fault mid-run must recover onto the bitwise
+  // trajectory of the clean supervised run — structured applies included.
+  SimulationConfig cfg = cb_config();
+  cfg.engine.backend = backend::BackendKind::kGpuSim;
+  SupervisorPolicy policy;
+  policy.checkpoint_interval = 3;
+  policy.max_retries = 2;
+
+  const SimulationResults clean = run_supervised_simulation(cfg, policy);
+  ASSERT_EQ(clean.fault_report.faults, 0u);
+
+  fault::failpoints().arm("backend.enqueue.gpusim", 40);
+  const SimulationResults faulted = run_supervised_simulation(cfg, policy);
+  EXPECT_GT(faulted.fault_report.faults, 0u);
+  EXPECT_EQ(clean.trajectory_hash, faulted.trajectory_hash);
+}
+
+TEST_F(KineticParity, DenseAndCheckerboardAgreeWithinErrorBars) {
+  // Same seed, same schedule, the one change is the kinetic factor: the
+  // trajectories legitimately differ (different operator by O(dtau^2)), but
+  // the physics must agree within combined error bars plus a splitting
+  // floor of that order. 2x2 keeps the statistics cheap.
+  SimulationConfig cfg;
+  cfg.lx = cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 2.0;
+  cfg.model.slices = 20;  // dtau = 0.1
+  cfg.engine.cluster_size = 5;
+  cfg.engine.delay_rank = 4;
+  cfg.warmup_sweeps = 200;
+  cfg.measurement_sweeps = 800;
+  cfg.bins = 10;
+  cfg.seed = 92;
+
+  cfg.engine.kinetic = KineticKind::kDense;
+  const SimulationResults dense = run_simulation(cfg);
+  cfg.engine.kinetic = KineticKind::kCheckerboard;
+  const SimulationResults cb = run_simulation(cfg);
+
+  const auto within = [](const char* name, Estimate a, Estimate b,
+                         double floor) {
+    const double bar =
+        4.0 * std::sqrt(a.error * a.error + b.error * b.error) + floor;
+    EXPECT_NEAR(a.mean, b.mean, bar) << name;
+  };
+  within("density", dense.measurements.density(), cb.measurements.density(),
+         1e-2);
+  within("double_occupancy", dense.measurements.double_occupancy(),
+         cb.measurements.double_occupancy(), 1e-2);
+  within("kinetic_energy", dense.measurements.kinetic_energy(),
+         cb.measurements.kinetic_energy(), 3e-2);
+  within("moment_sq", dense.measurements.moment_sq(),
+         cb.measurements.moment_sq(), 1e-2);
+}
+
+TEST_F(KineticParity, EdCrosscheckAtSmallN) {
+  // Checkerboard DQMC vs brute-force many-body ED on the 2x2 cluster:
+  // generous bars — jackknife statistics plus the Trotter AND splitting
+  // biases the exact oracle does not share.
+  SimulationConfig cfg;
+  cfg.lx = cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 2.0;
+  cfg.model.slices = 20;
+  cfg.engine.cluster_size = 5;
+  cfg.engine.delay_rank = 4;
+  cfg.engine.kinetic = KineticKind::kCheckerboard;
+  cfg.warmup_sweeps = 200;
+  cfg.measurement_sweeps = 1200;
+  cfg.bins = 12;
+  cfg.seed = 93;
+
+  const testing::ExactThermal exact =
+      testing::exact_thermal(cfg.make_lattice(), cfg.model);
+  const SimulationResults res = run_simulation(cfg);
+  const MeasurementAccumulator& m = res.measurements;
+
+  const auto check = [](const char* name, Estimate est, double target,
+                        double floor) {
+    ASSERT_GT(est.error, 0.0) << name;
+    EXPECT_NEAR(est.mean, target, 4.0 * est.error + floor) << name;
+  };
+  check("density", m.density_jackknife(), exact.density, 2e-2);
+  check("double_occupancy", m.double_occupancy_jackknife(),
+        exact.double_occupancy, 2e-2);
+  check("kinetic_energy", m.kinetic_energy_jackknife(), exact.kinetic_energy,
+        4e-2);
+  check("moment_sq", m.moment_sq_jackknife(), exact.moment_sq, 2e-2);
+}
+
+}  // namespace
+}  // namespace dqmc::core

@@ -116,6 +116,107 @@ TEST(Checkerboard, RoundTripOnRandomMatrix) {
   EXPECT_MATRIX_NEAR(x, orig, 1e-12);
 }
 
+TEST(Checkerboard, OddLatticeNeedsExtraColorsAndStillPartitions) {
+  // A 5x5 periodic lattice has odd cycles: the 4-matching of the even case
+  // cannot color it, so the greedy coloring must spend extra groups — but
+  // every bond still lands in exactly one group and no group shares a site.
+  Lattice lat(5, 5);
+  CheckerboardB cb(lat, params(0.1));
+  EXPECT_GT(cb.num_groups(), 4);
+  EXPECT_EQ(cb.num_bonds(), static_cast<linalg::idx>(lat.bonds().size()));
+  cb.op().validate();  // per-group endpoint disjointness
+  Matrix b = cb.dense();
+  for (const auto& bond : lat.bonds()) {
+    EXPECT_NE(b(bond.a, bond.b), 0.0) << bond.a << "-" << bond.b;
+  }
+}
+
+TEST(Checkerboard, OddLatticeRoundTripsExactly) {
+  Lattice lat(5, 5);
+  CheckerboardB cb(lat, params(0.2, 0.3));
+  linalg::MatrixRng rng(821);
+  Matrix x = rng.uniform_matrix(25, 4);
+  const Matrix orig = x;
+  cb.apply_left(x);
+  cb.apply_inverse_left(x);
+  EXPECT_MATRIX_NEAR(x, orig, 1e-12);
+}
+
+TEST(Checkerboard, BilayerUsesTperpOnInterlayerBonds) {
+  // 4x4x2 stack: the vertical bonds carry t_perp, not t. The dense rendering
+  // must agree with the exact exponential to splitting order, and the
+  // interlayer 2x2 entries must reflect the distinct hopping.
+  Lattice lat(4, 4, 2);
+  ModelParams p = params(0.05);
+  p.t_perp = 0.5;
+  CheckerboardB cb(lat, p);
+  EXPECT_EQ(cb.n(), 32);
+  EXPECT_EQ(cb.num_bonds(), static_cast<linalg::idx>(lat.bonds().size()));
+  KineticExponentials ke = kinetic_exponentials(lat, p);
+  // dtau = 0.05 keeps the O(dtau^2) splitting error well under 1%.
+  EXPECT_LT(linalg::relative_difference(cb.dense(), ke.b), 1e-2);
+  // A run with t_perp == t must differ: the interlayer coupling matters.
+  ModelParams p_iso = params(0.05);
+  CheckerboardB cb_iso(lat, p_iso);
+  EXPECT_GT(linalg::relative_difference(cb.dense(), cb_iso.dense()), 1e-4);
+}
+
+TEST(Checkerboard, ApplyRightMatchesDenseProduct) {
+  // Right applies accept any row count — only the column count is tied to n.
+  Lattice lat(4, 6);
+  CheckerboardB cb(lat, params(0.15, -0.1));
+  linalg::MatrixRng rng(822);
+  Matrix x = rng.uniform_matrix(3, 24);
+  Matrix expected = testing::reference_matmul(x, cb.dense());
+  cb.apply_right(x);
+  EXPECT_MATRIX_NEAR(x, expected, 1e-12);
+}
+
+TEST(Checkerboard, ApplyInverseRightMatchesDenseInverse) {
+  Lattice lat(4, 6);
+  CheckerboardB cb(lat, params(0.15, 0.2));
+  linalg::MatrixRng rng(823);
+  Matrix x = rng.uniform_matrix(5, 24);
+  Matrix expected = testing::reference_matmul(x, cb.dense_inverse());
+  cb.apply_inverse_right(x);
+  EXPECT_MATRIX_NEAR(x, expected, 1e-12);
+}
+
+TEST(Checkerboard, RightRoundTripOnRandomMatrix) {
+  Lattice lat(4, 4, 2);
+  CheckerboardB cb(lat, params(0.2, 0.4));
+  linalg::MatrixRng rng(824);
+  Matrix x = rng.uniform_matrix(5, 32);
+  const Matrix orig = x;
+  cb.apply_right(x);
+  cb.apply_inverse_right(x);
+  EXPECT_MATRIX_NEAR(x, orig, 1e-12);
+  cb.apply_inverse_right(x);
+  cb.apply_right(x);
+  EXPECT_MATRIX_NEAR(x, orig, 1e-12);
+}
+
+TEST(Checkerboard, NonSquareLeftOperandMatchesDense) {
+  Lattice lat(4, 4);
+  CheckerboardB cb(lat, params(0.1, 0.2));
+  linalg::MatrixRng rng(825);
+  Matrix x = rng.uniform_matrix(16, 3);  // n x 3: column count is free
+  Matrix expected = testing::reference_matmul(cb.dense(), x);
+  cb.apply_left(x);
+  EXPECT_MATRIX_NEAR(x, expected, 1e-12);
+}
+
+TEST(Checkerboard, WrongShapeOperandThrows) {
+  Lattice lat(4, 4);
+  CheckerboardB cb(lat, params(0.1));
+  Matrix short_rows = Matrix::zero(8, 16);
+  EXPECT_THROW(cb.apply_left(short_rows.view()), InvalidArgument);
+  EXPECT_THROW(cb.apply_inverse_left(short_rows.view()), InvalidArgument);
+  Matrix short_cols = Matrix::zero(16, 8);
+  EXPECT_THROW(cb.apply_right(short_cols.view()), InvalidArgument);
+  EXPECT_THROW(cb.apply_inverse_right(short_cols.view()), InvalidArgument);
+}
+
 TEST(Checkerboard, HoppingConservesParticleSymmetry) {
   // At mu = 0 the dense checkerboard matrix is symmetric (each 2x2 factor
   // is, and groups of disjoint bonds commute within themselves)... the

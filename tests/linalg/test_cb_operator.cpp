@@ -1,0 +1,223 @@
+// CbOperator: the structured split-bond appliers against dense references,
+// the exact-inverse round trips, the bitwise serial-replay contract the
+// backend parity suites build on, and the validate() guards.
+#include "linalg/cb_operator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/util.h"
+#include "testing/test_utils.h"
+
+namespace dqmc::linalg {
+namespace {
+
+using dqmc::testing::reference_inverse;
+using dqmc::testing::reference_matmul;
+
+CbBond bond(idx a, idx b, double t) {
+  return {a, b, std::cosh(t), std::sinh(t)};
+}
+
+/// n=6, two groups with distinct couplings, and a global diagonal scale —
+/// small enough to render densely, structured enough to exercise ordering.
+CbOperator make_op() {
+  CbOperator op;
+  op.n = 6;
+  op.diag_scale = 1.3;
+  op.groups = {{bond(0, 1, 0.3), bond(2, 3, -0.2), bond(4, 5, 0.15)},
+               {bond(1, 2, 0.25), bond(3, 4, 0.4)}};
+  op.validate();
+  return op;
+}
+
+/// Dense rendering of one group factor: identity with the 2x2 hyperbolic
+/// rotations inserted at each bond's (a, b) block.
+Matrix group_dense(idx n, const std::vector<CbBond>& group) {
+  Matrix g = Matrix::identity(n);
+  for (const CbBond& b : group) {
+    g(b.a, b.a) = b.cosh_t;
+    g(b.b, b.b) = b.cosh_t;
+    g(b.a, b.b) = b.sinh_t;
+    g(b.b, b.a) = b.sinh_t;
+  }
+  return g;
+}
+
+/// B = diag_scale * G_{m-1} * ... * G_0 rendered densely.
+Matrix dense_of(const CbOperator& op) {
+  Matrix b = Matrix::identity(op.n);
+  for (const auto& group : op.groups) {
+    b = reference_matmul(group_dense(op.n, group), b);
+  }
+  for (idx i = 0; i < op.n; ++i) {
+    for (idx j = 0; j < op.n; ++j) b(i, j) *= op.diag_scale;
+  }
+  return b;
+}
+
+TEST(CbOperator, CountsBondsAcrossGroups) {
+  const CbOperator op = make_op();
+  EXPECT_EQ(op.num_groups(), 2);
+  EXPECT_EQ(op.num_bonds(), 5);
+}
+
+TEST(CbOperator, LeftForwardMatchesDense) {
+  const CbOperator op = make_op();
+  MatrixRng rng(901);
+  Matrix x = rng.uniform_matrix(6, 4);
+  const Matrix expected = reference_matmul(dense_of(op), x);
+  cb_apply(op, CbSide::kLeft, false, x);
+  EXPECT_MATRIX_NEAR(x, expected, 1e-13);
+}
+
+TEST(CbOperator, LeftInverseMatchesDenseInverse) {
+  const CbOperator op = make_op();
+  MatrixRng rng(902);
+  Matrix x = rng.uniform_matrix(6, 4);
+  const Matrix expected = reference_matmul(reference_inverse(dense_of(op)), x);
+  cb_apply(op, CbSide::kLeft, true, x);
+  EXPECT_MATRIX_NEAR(x, expected, 1e-13);
+}
+
+TEST(CbOperator, RightForwardMatchesDenseOnNonSquareOperand) {
+  const CbOperator op = make_op();
+  MatrixRng rng(903);
+  Matrix x = rng.uniform_matrix(3, 6);  // rows != n: only cols must match
+  const Matrix expected = reference_matmul(x, dense_of(op));
+  cb_apply(op, CbSide::kRight, false, x);
+  EXPECT_MATRIX_NEAR(x, expected, 1e-13);
+}
+
+TEST(CbOperator, RightInverseMatchesDenseInverse) {
+  const CbOperator op = make_op();
+  MatrixRng rng(904);
+  Matrix x = rng.uniform_matrix(3, 6);
+  const Matrix expected = reference_matmul(x, reference_inverse(dense_of(op)));
+  cb_apply(op, CbSide::kRight, true, x);
+  EXPECT_MATRIX_NEAR(x, expected, 1e-13);
+}
+
+TEST(CbOperator, ForwardInverseRoundTripsBothSides) {
+  const CbOperator op = make_op();
+  MatrixRng rng(905);
+  for (const CbSide side : {CbSide::kLeft, CbSide::kRight}) {
+    Matrix x = side == CbSide::kLeft ? rng.uniform_matrix(6, 5)
+                                     : rng.uniform_matrix(5, 6);
+    const Matrix orig = x;
+    cb_apply(op, side, false, x);
+    cb_apply(op, side, true, x);
+    EXPECT_MATRIX_NEAR(x, orig, 1e-13);
+    cb_apply(op, side, true, x);
+    cb_apply(op, side, false, x);
+    EXPECT_MATRIX_NEAR(x, orig, 1e-13);
+  }
+}
+
+// The determinism contract: the parallel appliers must reproduce a plain
+// serial replay of the same per-column / per-row chains BIT FOR BIT — this
+// is what makes structured results independent of the thread budget.
+TEST(CbOperator, LeftApplyIsBitwiseSerialReplay) {
+  const CbOperator op = make_op();
+  MatrixRng rng(906);
+  Matrix x = rng.uniform_matrix(6, 33);  // > grain: several parallel chunks
+  Matrix ref = x;
+  for (idx j = 0; j < ref.cols(); ++j) {
+    for (const auto& group : op.groups) {
+      for (const CbBond& b : group) {
+        const double na = b.cosh_t * ref(b.a, j) + b.sinh_t * ref(b.b, j);
+        const double nb = b.sinh_t * ref(b.a, j) + b.cosh_t * ref(b.b, j);
+        ref(b.a, j) = na;
+        ref(b.b, j) = nb;
+      }
+    }
+    for (idx i = 0; i < ref.rows(); ++i) ref(i, j) *= op.diag_scale;
+  }
+  cb_apply(op, CbSide::kLeft, false, x);
+  for (idx i = 0; i < x.rows(); ++i) {
+    for (idx j = 0; j < x.cols(); ++j) {
+      ASSERT_EQ(x(i, j), ref(i, j)) << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(CbOperator, RightApplyIsBitwiseSerialReplay) {
+  const CbOperator op = make_op();
+  MatrixRng rng(907);
+  Matrix x = rng.uniform_matrix(33, 6);
+  Matrix ref = x;
+  for (idx i = 0; i < ref.rows(); ++i) {
+    for (idx g = op.num_groups() - 1; g >= 0; --g) {
+      for (const CbBond& b : op.groups[static_cast<std::size_t>(g)]) {
+        const double na = b.cosh_t * ref(i, b.a) + b.sinh_t * ref(i, b.b);
+        const double nb = b.sinh_t * ref(i, b.a) + b.cosh_t * ref(i, b.b);
+        ref(i, b.a) = na;
+        ref(i, b.b) = nb;
+      }
+    }
+    for (idx j = 0; j < ref.cols(); ++j) ref(i, j) *= op.diag_scale;
+  }
+  cb_apply(op, CbSide::kRight, false, x);
+  for (idx i = 0; i < x.rows(); ++i) {
+    for (idx j = 0; j < x.cols(); ++j) {
+      ASSERT_EQ(x(i, j), ref(i, j)) << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(CbOperator, UnscaledOperatorSkipsTheDiagonalPass) {
+  CbOperator op = make_op();
+  op.diag_scale = 1.0;
+  MatrixRng rng(908);
+  Matrix x = rng.uniform_matrix(6, 3);
+  const Matrix expected = reference_matmul(dense_of(op), x);
+  cb_apply(op, CbSide::kLeft, false, x);
+  EXPECT_MATRIX_NEAR(x, expected, 1e-13);
+}
+
+TEST(CbOperator, FlopAndByteModelsCountBondsAndScale) {
+  const CbOperator op = make_op();
+  EXPECT_DOUBLE_EQ(cb_apply_flops(op, 4), 6.0 * 5 * 4 + 6 * 4);
+  EXPECT_DOUBLE_EQ(cb_apply_bytes(op, 4), 32.0 * 5 * 4 + 16.0 * 6 * 4);
+  CbOperator unscaled = op;
+  unscaled.diag_scale = 1.0;
+  EXPECT_DOUBLE_EQ(cb_apply_flops(unscaled, 4), 6.0 * 5 * 4);
+  EXPECT_DOUBLE_EQ(cb_apply_bytes(unscaled, 4), 32.0 * 5 * 4);
+}
+
+TEST(CbOperator, ValidateRejectsMalformedOperators) {
+  CbOperator op = make_op();
+  op.n = 0;
+  EXPECT_THROW(op.validate(), InvalidArgument);
+
+  op = make_op();
+  op.diag_scale = 0.0;
+  EXPECT_THROW(op.validate(), InvalidArgument);
+
+  op = make_op();
+  op.groups[0][0].b = 6;  // out of range
+  EXPECT_THROW(op.validate(), InvalidArgument);
+
+  op = make_op();
+  op.groups[0][0].b = op.groups[0][0].a;  // self-bond
+  EXPECT_THROW(op.validate(), InvalidArgument);
+
+  op = make_op();
+  op.groups[1].push_back(bond(2, 5, 0.1));  // 2 already used in group 1
+  EXPECT_THROW(op.validate(), InvalidArgument);
+}
+
+TEST(CbOperator, ApplyRejectsShapeMismatch) {
+  const CbOperator op = make_op();
+  Matrix wrong = Matrix::zero(5, 6);
+  EXPECT_THROW(cb_apply(op, CbSide::kLeft, false, wrong.view()),
+               InvalidArgument);
+  Matrix wrong_right = Matrix::zero(6, 5);
+  EXPECT_THROW(cb_apply(op, CbSide::kRight, false, wrong_right.view()),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqmc::linalg
