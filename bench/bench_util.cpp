@@ -1,12 +1,17 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <functional>
 
 #include "backend/bchain.h"
 #include "common/error.h"
+#include "dqmc/hs_field.h"
 #include "dqmc/run_manifest.h"
+#include "dqmc/stabilizer.h"
 #include "hubbard/bmatrix.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "parallel/task_runtime.h"
 #include "parallel/topology.h"
@@ -99,6 +104,103 @@ obs::Json checkerboard_device_rows(bool quick) {
                        .set("dense_device_seconds", dense_seconds)
                        .set("cb_device_seconds", cb_seconds)
                        .set("speedup", dense_seconds / cb_seconds));
+  }
+  return rows;
+}
+
+namespace {
+
+/// Worst |log d_i - log sigma_i| of an accumulated stabilizer against the
+/// analytic singular spectrum of the pinned large-beta free chain — the
+/// same oracle tests/dqmc/test_stability.cpp asserts both sides of.
+double pinned_log_scale_drift(core::StratAlgorithm algorithm) {
+  const double beta = 40.0;
+  const idx slices = 80;
+  const hubbard::Lattice lat(4, 4);
+  hubbard::ModelParams p;
+  p.u = 0.0;
+  p.beta = beta;
+  p.slices = slices;
+  const hubbard::BMatrixFactory factory(lat, p);
+  const core::HSField h(slices, lat.num_sites());  // irrelevant at U = 0
+  const idx n = lat.num_sites();
+  auto stab = core::make_stabilizer(n, algorithm);
+  for (idx l = 0; l < slices; ++l) {
+    stab->push(factory.make_b(h.slice(l), hubbard::Spin::Up));
+  }
+  std::vector<double> exact;  // log sigma_i, descending
+  for (idx i = 0; i < n; ++i) {
+    exact.push_back(-beta * factory.kinetic_eig().eigenvalues[i]);
+  }
+  std::sort(exact.begin(), exact.end(), std::greater<double>());
+  double worst = 0.0;
+  for (idx i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(std::log(stab->d()[i]) -
+                                     exact[static_cast<std::size_t>(i)]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+obs::Json stability_policy_rows(bool quick) {
+  const std::vector<double> betas =
+      quick ? std::vector<double>{2.0} : std::vector<double>{2.0, 6.0};
+  const struct {
+    const char* name;
+    core::StratAlgorithm algorithm;
+  } stabilizers[] = {{"graded", core::StratAlgorithm::kPrePivot},
+                     {"svdstack", core::StratAlgorithm::kSvdStack}};
+
+  // One short interacting run per policy; the gpusim clock bills from
+  // shapes and dtype alone, so the seconds are deterministic.
+  const auto run_policy = [](double beta, core::StratAlgorithm algorithm,
+                             backend::Precision precision,
+                             double* wrap_drift_max) {
+    core::SimulationConfig cfg;
+    cfg.lx = 4;
+    cfg.ly = 4;
+    cfg.model.u = 4.0;
+    cfg.model.beta = beta;
+    cfg.model.slices = static_cast<idx>(beta * 10.0);  // dtau = 0.1
+    cfg.engine.cluster_size = 10;
+    cfg.engine.algorithm = algorithm;
+    cfg.engine.precision = precision;
+    cfg.engine.backend = backend::BackendKind::kGpuSim;
+    cfg.warmup_sweeps = 1;
+    cfg.measurement_sweeps = 2;
+    cfg.bins = 2;
+    cfg.seed = 17;
+    obs::health().reset();
+    obs::health().set_enabled(true);
+    const core::SimulationResults res = core::run_simulation(cfg);
+    const obs::HealthMonitor::Summary hs = obs::health().summary();
+    obs::health().set_enabled(false);
+    obs::health().reset();
+    *wrap_drift_max = hs.wrap_drift.max;
+    return res.backend_stats.total_seconds();
+  };
+
+  obs::Json rows = obs::Json::array();
+  for (const double beta : betas) {
+    for (const auto& stab : stabilizers) {
+      double drift64 = 0.0, drift32 = 0.0;
+      const double fp64_seconds =
+          run_policy(beta, stab.algorithm, backend::Precision::kFp64, &drift64);
+      const double fp32_seconds =
+          run_policy(beta, stab.algorithm, backend::Precision::kFp32, &drift32);
+      rows.push_back(obs::Json::object()
+                         .set("beta", beta)
+                         .set("slices", static_cast<idx>(beta * 10.0))
+                         .set("stabilizer", stab.name)
+                         .set("fp64_device_seconds", fp64_seconds)
+                         .set("fp32_device_seconds", fp32_seconds)
+                         .set("fp32_speedup", fp64_seconds / fp32_seconds)
+                         .set("fp64_wrap_drift_max", drift64)
+                         .set("fp32_wrap_drift_max", drift32)
+                         .set("log_scale_drift",
+                              pinned_log_scale_drift(stab.algorithm)));
+    }
   }
   return rows;
 }

@@ -89,4 +89,19 @@ void maybe_write_bench_manifest(const std::string& bench,
 /// cb_device_seconds, speedup.
 obs::Json checkerboard_device_rows(bool quick);
 
+/// Shared stabilizer/precision workload for stability_policies and the
+/// bench_regress stability suite: per (beta, stabilizer) pair, one short
+/// gpusim simulation under each precision policy. The virtual clock bills
+/// fp32 buffers at half the bytes and twice the FLOP rate, so the modeled
+/// fp64/fp32 ratio is the policy's device speedup; health monitoring runs
+/// throughout so each row also carries the observed max wrap drift. Every
+/// graded row additionally reports the pinned large-beta (beta = 40, U = 0)
+/// log-scale spectrum drift against the analytic singular values
+/// e^{-beta lambda} — the quantity that separates graded QR (drifts) from
+/// the SVD stack (singular-value-exact); see docs/STABILITY.md. `quick`
+/// restricts to the smallest beta for the ctest-sized gate. Row fields:
+/// beta, slices, stabilizer, fp64_device_seconds, fp32_device_seconds,
+/// fp32_speedup, fp64_wrap_drift_max, fp32_wrap_drift_max, log_scale_drift.
+obs::Json stability_policy_rows(bool quick);
+
 }  // namespace dqmc::bench

@@ -2,7 +2,7 @@
 // fresh numbers against its checked-in BENCH_*.json baseline, failing with a
 // structured report when any row drifts past the noise tolerance.
 //
-//   ./bench_regress [--suite batched|checkerboard]
+//   ./bench_regress [--suite batched|checkerboard|stability]
 //                   [--baseline bench/BENCH_<suite>.json]
 //                   [--tolerance 0.10] [--quick] [--report gate_report.json]
 //                   [--inject-slowdown F]
@@ -14,22 +14,31 @@
 // ablation_checkerboard device workload (dense vs structured BackendBChain,
 // bench_util's checkerboard_device_rows) against BENCH_checkerboard.json and
 // additionally fails when a lattice whose baseline shows the checkerboard
-// beating dense (speedup >= 1) no longer does. --quick restricts each suite
-// to its 8x8 rows for the opt-in ctest gates (label: bench-gate);
-// --inject-slowdown multiplies the measured batched / checkerboard device
-// seconds by F, a test hook that lets the WILL_FAIL ctest entries prove the
-// gates actually trip on a regression.
+// beating dense (speedup >= 1) no longer does. The stability suite replays
+// the stability_policies workload (bench_util's stability_policy_rows)
+// against BENCH_stability.json: the modeled fp64/fp32 device seconds are
+// compared relatively (the virtual clock is codegen-independent), while the
+// drift columns are held to ABSOLUTE contracts — fp32 wrap drift under the
+// health threshold, graded log-scale drift above 1e-8 and svdstack below it
+// — because measured drifts shift with codegen the way the golden
+// trajectories do. --quick restricts each suite to its smallest rows for
+// the opt-in ctest gates (label: bench-gate); --inject-slowdown multiplies
+// the measured batched / checkerboard / fp32 device seconds by F, a test
+// hook that lets the WILL_FAIL ctest entries prove the gates actually trip
+// on a regression.
 //
 // Exit status: 0 all rows within tolerance, 1 regression detected, 2 bad
 // usage / unreadable baseline.
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
 
 #include "backend/backend.h"
 #include "cli/args.h"
+#include "obs/health.h"
 
 namespace {
 
@@ -79,6 +88,18 @@ const obs::Json* find_baseline_row_n(const obs::Json& rows, idx n) {
   return nullptr;
 }
 
+const obs::Json* find_baseline_row_policy(const obs::Json& rows, double beta,
+                                          const std::string& stabilizer) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const obs::Json& row = rows[i];
+    if (row.at("beta").number() == beta &&
+        row.at("stabilizer").str() == stabilizer) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
 double relative_error(double measured, double baseline) {
   const double denom = std::abs(baseline);
   if (denom == 0.0) return std::abs(measured) == 0.0 ? 0.0 : 1e30;
@@ -92,10 +113,10 @@ int main(int argc, char** argv) {
                               "report", "inject-slowdown"});
 
   const std::string suite = args.get("suite", "batched");
-  if (suite != "batched" && suite != "checkerboard") {
+  if (suite != "batched" && suite != "checkerboard" && suite != "stability") {
     std::fprintf(stderr,
                  "bench_regress: unknown suite '%s' (have: batched, "
-                 "checkerboard)\n",
+                 "checkerboard, stability)\n",
                  suite.c_str());
     return 2;
   }
@@ -193,6 +214,117 @@ int main(int argc, char** argv) {
         table.add_row({cli::Table::integer(static_cast<long>(n)),
                        cli::Table::num(base_seconds, 6),
                        cli::Table::num(cb_seconds, 6),
+                       cli::Table::num(base_speedup, 2),
+                       cli::Table::num(speedup, 2),
+                       cli::Table::num(max_err, 4), status});
+      }
+      row.set("max_relative_error", max_err).set("status", status);
+      report_rows.push_back(std::move(row));
+    }
+    table.print();
+
+    const bool pass = failures == 0;
+    const obs::Json report =
+        obs::Json::object()
+            .set("gate_version", 1)
+            .set("suite", suite)
+            .set("baseline", baseline_path)
+            .set("tolerance", tolerance)
+            .set("quick", quick)
+            .set("injected_slowdown", slowdown)
+            .set("rows", report_rows)
+            .set("failures", failures)
+            .set("status", pass ? "pass" : "fail");
+    const std::string report_path = args.get("report", "");
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      out << report.dump(2) << '\n';
+      if (!out.good()) {
+        std::fprintf(stderr, "bench_regress: failed writing report %s\n",
+                     report_path.c_str());
+        return 2;
+      }
+    }
+    std::printf("\nbench gate: %s (%d row%s outside the %.0f%% tolerance)\n",
+                pass ? "PASS" : "FAIL", failures, failures == 1 ? "" : "s",
+                100.0 * tolerance);
+    return pass ? 0 : 1;
+  }
+
+  if (suite == "stability") {
+    // Deterministic replay of the stability_policies workload: the modeled
+    // seconds compare relatively against the committed baseline, the drift
+    // columns against absolute contracts (they shift with codegen), and the
+    // fp32 speedup must never fall below 1 where the baseline had it above.
+    const obs::Json rows = bench::stability_policy_rows(quick);
+    const double fp32_drift_limit = obs::HealthThresholds{}.max_wrap_drift_fp32;
+    const double kLogDriftThreshold = 1e-8;  // matches tests/dqmc/test_stability
+    cli::Table table({"beta", "stabilizer", "fp32 s (base)", "fp32 s (now)",
+                      "speedup (base)", "speedup (now)", "max rel err",
+                      "status"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const obs::Json& fresh = rows[i];
+      const double beta = fresh.at("beta").number();
+      const std::string& stab = fresh.at("stabilizer").str();
+      const double fp64_seconds = fresh.at("fp64_device_seconds").number();
+      // The injection hook slows only the fp32 path, the way a regression
+      // in the narrowed kernels (or a silent fall-back to fp64 buffers)
+      // would.
+      const double fp32_seconds =
+          fresh.at("fp32_device_seconds").number() * slowdown;
+      const double speedup = fp64_seconds / fp32_seconds;
+      const double fp32_drift = fresh.at("fp32_wrap_drift_max").number();
+      const double scale_drift = fresh.at("log_scale_drift").number();
+
+      obs::Json row =
+          obs::Json::object().set("beta", beta).set("stabilizer", stab);
+      std::string status;
+      double max_err = 0.0;
+      const obs::Json* base = find_baseline_row_policy(*baseline_rows, beta,
+                                                       stab);
+      if (base == nullptr) {
+        status = "NO BASELINE ROW";
+        ++failures;
+        table.add_row({cli::Table::num(beta, 0), stab, "-", "-", "-", "-",
+                       "-", status});
+      } else {
+        const double base_fp32 = base->at("fp32_device_seconds").number();
+        const double base_speedup = base->at("fp32_speedup").number();
+        const double err_fp64 = relative_error(
+            fp64_seconds, base->at("fp64_device_seconds").number());
+        const double err_fp32 = relative_error(fp32_seconds, base_fp32);
+        const double err_speedup = relative_error(speedup, base_speedup);
+        max_err = std::max({err_fp64, err_fp32, err_speedup});
+        bool ok = max_err <= tolerance;
+        status = ok ? "ok" : "REGRESSION";
+        if (base_speedup >= 1.0 && speedup < 1.0) {
+          status = "SPEEDUP LOST";
+          ok = false;
+        }
+        if (fp32_drift >= fp32_drift_limit) {
+          status = "DRIFT OVER THRESHOLD";
+          ok = false;
+        }
+        const bool scale_ok = stab == "svdstack"
+                                  ? scale_drift < kLogDriftThreshold
+                                  : scale_drift > kLogDriftThreshold;
+        if (!scale_ok) {
+          status = "SCALE DRIFT CONTRACT";
+          ok = false;
+        }
+        if (!ok) ++failures;
+        row.set("baseline_fp32_device_seconds", base_fp32)
+            .set("measured_fp32_device_seconds", fp32_seconds)
+            .set("measured_fp64_device_seconds", fp64_seconds)
+            .set("baseline_fp32_speedup", base_speedup)
+            .set("measured_fp32_speedup", speedup)
+            .set("measured_fp32_wrap_drift_max", fp32_drift)
+            .set("measured_log_scale_drift", scale_drift)
+            .set("relative_error_seconds", std::max(err_fp64, err_fp32))
+            .set("relative_error_speedup", err_speedup);
+        table.add_row({cli::Table::num(beta, 0), stab,
+                       cli::Table::num(base_fp32, 6),
+                       cli::Table::num(fp32_seconds, 6),
                        cli::Table::num(base_speedup, 2),
                        cli::Table::num(speedup, 2),
                        cli::Table::num(max_err, 4), status});

@@ -1,0 +1,45 @@
+// Stabilizer strategies and the precision policy on the gpusim virtual
+// clock: per (beta, stabilizer) pair, the modeled device seconds of a short
+// interacting run under fp64 vs fp32 wraps, the observed max wrap drift of
+// each, and the pinned large-beta log-scale spectrum drift that separates
+// graded QR from the SVD stack (docs/STABILITY.md).
+//
+//   DQMC_MANIFEST_JSON=bench/BENCH_stability.json ./stability_policies
+//
+// regenerates the committed baseline for the bench_regress stability suite.
+// Expected shape: fp32 speedup > 1 everywhere (half the bytes, twice the
+// modeled FLOP rate), fp32 drift well above fp64's but under the 0.5 health
+// threshold, and log_scale_drift ~ O(1) for graded vs ~ 1e-14 for svdstack.
+#include "bench_util.h"
+
+int main() {
+  using namespace dqmc;
+
+  bench::banner("stability_policies",
+                "stabilizer x precision policy: modeled device time and "
+                "drift");
+
+  const obs::Json rows = bench::stability_policy_rows(false);
+
+  cli::Table table({"beta", "stabilizer", "fp64 s", "fp32 s", "fp32 speedup",
+                    "fp64 drift", "fp32 drift", "scale drift"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const obs::Json& row = rows[i];
+    table.add_row({cli::Table::num(row.at("beta").number(), 0),
+                   std::string(row.at("stabilizer").str()),
+                   cli::Table::num(row.at("fp64_device_seconds").number(), 6),
+                   cli::Table::num(row.at("fp32_device_seconds").number(), 6),
+                   cli::Table::num(row.at("fp32_speedup").number(), 2),
+                   cli::Table::num(row.at("fp64_wrap_drift_max").number(), 3),
+                   cli::Table::num(row.at("fp32_wrap_drift_max").number(), 3),
+                   cli::Table::num(row.at("log_scale_drift").number(), 3)});
+  }
+  table.print();
+  std::printf("\nexpected shape: fp32 halves the modeled bytes and doubles "
+              "the FLOP rate, so its speedup sits above 1 for every row; its "
+              "wrap drift is visibly fp32 (~1e-2) yet bounded by the fp64 "
+              "structural correction; graded QR's d-scales drift at the "
+              "pinned beta = 40 while the SVD stack's stay exact.\n\n");
+  bench::maybe_write_bench_manifest("stability_policies", rows);
+  return 0;
+}

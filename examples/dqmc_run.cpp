@@ -58,6 +58,16 @@
 //   --kinetic dense|checkerboard   apply e^{-dtau K} as a dense GEMM or as
 //                         the O(N)-per-column split-bond replay; config key
 //                         `kinetic` does the same
+//
+// Stability (docs/STABILITY.md):
+//   --stabilizer graded|svdstack   stabilization strategy: the graded QR
+//                         accumulation (default; algorithm picks the QR
+//                         flavor) or the singular-value-exact SVD stack for
+//                         beta >> 32; config key `stabilizer` does the same
+//   --precision fp64|fp32 wrap precision policy: fp32 runs the per-slice
+//                         wraps in single precision with the structural
+//                         fp64 correction at every stabilization interval;
+//                         config key `precision` does the same
 #include <cstdio>
 
 #include <memory>
@@ -80,7 +90,8 @@ int main(int argc, char** argv) {
   using linalg::idx;
   cli::Args args(argc, argv,
                  {"config", "progress", "warmup", "sweeps", "seed",
-                  "backend", "kinetic", "trace-json", "metrics-json",
+                  "backend", "kinetic", "stabilizer", "precision",
+                  "trace-json", "metrics-json",
                   "failpoint", "max-retries", "checkpoint-interval", "walkers",
                   "walker-batch", "telemetry-jsonl", "telemetry-interval",
                   "crash-dump"});
@@ -121,6 +132,19 @@ int main(int argc, char** argv) {
   if (args.has("kinetic")) {
     cfg.engine.kinetic =
         hubbard::kinetic_kind_from_string(args.get("kinetic", "dense"));
+  }
+  if (args.has("stabilizer")) {
+    const std::string stab = args.get("stabilizer", "graded");
+    if (stab == "svdstack") {
+      cfg.engine.algorithm = core::StratAlgorithm::kSvdStack;
+    } else {
+      DQMC_CHECK_MSG(stab == "graded",
+                     "--stabilizer must be 'graded' or 'svdstack'");
+    }
+  }
+  if (args.has("precision")) {
+    cfg.engine.precision =
+        backend::precision_from_string(args.get("precision", "fp64"));
   }
   if (args.has("failpoint")) {
     fault::failpoints().arm_spec(args.get("failpoint", ""));

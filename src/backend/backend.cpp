@@ -23,6 +23,23 @@ BackendKind backend_kind_from_string(const std::string& name) {
                         "' (expected host or gpusim)");
 }
 
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFp64:
+      return "fp64";
+    case Precision::kFp32:
+      return "fp32";
+  }
+  throw InvalidArgument("unknown Precision");
+}
+
+Precision precision_from_string(const std::string& name) {
+  if (name == "fp64") return Precision::kFp64;
+  if (name == "fp32") return Precision::kFp32;
+  throw InvalidArgument("unknown precision '" + name +
+                        "' (expected fp64 or fp32)");
+}
+
 BackendStats& BackendStats::operator+=(const BackendStats& o) {
   compute_seconds += o.compute_seconds;
   transfer_seconds += o.transfer_seconds;

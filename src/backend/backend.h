@@ -44,6 +44,24 @@ const char* backend_kind_name(BackendKind kind);
 /// Parse "host" / "gpusim" (throws InvalidArgument otherwise).
 BackendKind backend_kind_from_string(const std::string& name);
 
+/// Scalar precision of backend storage and arithmetic. kFp32 is the
+/// wrap-path policy (docs/STABILITY.md): buffers tagged fp32 model
+/// half-width transfers and memory traffic, compute enqueued in fp32 mode
+/// runs the linalg/fp32.h kernels (round on read, widen on store) at twice
+/// the modeled FLOP rate. Results stay bitwise identical across backends
+/// in either precision because both execute the same kernels.
+enum class Precision { kFp64, kFp32 };
+
+/// "fp64" / "fp32".
+const char* precision_name(Precision p);
+/// Parse "fp64" / "fp32" (throws InvalidArgument otherwise).
+Precision precision_from_string(const std::string& name);
+
+/// Storage width in bytes of one element at the given precision.
+inline double precision_element_bytes(Precision p) {
+  return p == Precision::kFp32 ? sizeof(float) : sizeof(double);
+}
+
 /// Cumulative accounting. For GpuSimBackend the seconds are virtual-clock
 /// (cost-model) time; for HostBackend they are measured wall time. Either
 /// way compute/transfer are the serial totals, while exposed_wait_seconds
@@ -79,19 +97,24 @@ class MatrixHandle {
   virtual ~MatrixHandle() = default;
   idx rows() const { return rows_; }
   idx cols() const { return cols_; }
+  /// Storage dtype the buffer was allocated with; drives the modeled
+  /// transfer and memory-traffic volume below.
+  Precision precision() const { return precision_; }
   double bytes() const {
     return static_cast<double>(rows_) * static_cast<double>(cols_) *
-           sizeof(double);
+           precision_element_bytes(precision_);
   }
   BackendKind kind() const { return kind_; }
 
  protected:
-  MatrixHandle(BackendKind kind, idx rows, idx cols)
-      : kind_(kind), rows_(rows), cols_(cols) {}
+  MatrixHandle(BackendKind kind, idx rows, idx cols,
+               Precision precision = Precision::kFp64)
+      : kind_(kind), rows_(rows), cols_(cols), precision_(precision) {}
 
  private:
   BackendKind kind_;
   idx rows_, cols_;
+  Precision precision_;
 };
 
 /// Opaque backend-resident vector (diagonal scalings live here).
@@ -99,15 +122,21 @@ class VectorHandle {
  public:
   virtual ~VectorHandle() = default;
   idx size() const { return size_; }
-  double bytes() const { return static_cast<double>(size_) * sizeof(double); }
+  Precision precision() const { return precision_; }
+  double bytes() const {
+    return static_cast<double>(size_) * precision_element_bytes(precision_);
+  }
   BackendKind kind() const { return kind_; }
 
  protected:
-  VectorHandle(BackendKind kind, idx n) : kind_(kind), size_(n) {}
+  VectorHandle(BackendKind kind, idx n,
+               Precision precision = Precision::kFp64)
+      : kind_(kind), size_(n), precision_(precision) {}
 
  private:
   BackendKind kind_;
   idx size_;
+  Precision precision_;
 };
 
 /// Opaque backend-resident structured kinetic operator (a checkerboard
@@ -143,9 +172,24 @@ class ComputeBackend {
   /// should serialize command submission from one thread at a time.
   virtual bool async() const = 0;
 
-  /// Allocate uninitialized backend storage.
-  virtual std::unique_ptr<MatrixHandle> alloc_matrix(idx rows, idx cols) = 0;
-  virtual std::unique_ptr<VectorHandle> alloc_vector(idx n) = 0;
+  /// Allocate uninitialized backend storage. `precision` tags the buffer's
+  /// storage dtype: fp32 buffers model half-width transfers and memory
+  /// traffic (contents are held widened on the host side either way, so
+  /// handles of different precisions mix freely in compute calls).
+  virtual std::unique_ptr<MatrixHandle> alloc_matrix(
+      idx rows, idx cols, Precision precision = Precision::kFp64) = 0;
+  virtual std::unique_ptr<VectorHandle> alloc_vector(
+      idx n, Precision precision = Precision::kFp64) = 0;
+
+  /// Arithmetic precision of subsequently ENQUEUED compute ops. In kFp32
+  /// mode gemm/scale/wrap/kinetic ops (and their batched forms) run the
+  /// linalg/fp32.h kernels — round on read, float chains, widen on store —
+  /// and the gpusim cost model doubles the modeled FLOP rate. The mode is
+  /// captured at enqueue time on the submitting thread, so callers bracket
+  /// exactly the ops they want narrowed (the wrap composites do this) and
+  /// everything else stays fp64.
+  virtual void set_compute_precision(Precision p) = 0;
+  virtual Precision compute_precision() const = 0;
 
   /// Host -> backend (cublasSetMatrix). Blocks until complete.
   virtual void upload(ConstMatrixView host, MatrixHandle& dst) = 0;
@@ -252,6 +296,24 @@ class ComputeBackend {
 
   virtual BackendStats stats() const = 0;
   virtual void reset_stats() = 0;
+};
+
+/// RAII bracket for the enqueue-time compute precision: sets `p` on
+/// construction and restores the previous mode on scope exit, so composites
+/// narrow exactly the ops they enqueue inside the bracket.
+class ScopedComputePrecision {
+ public:
+  ScopedComputePrecision(ComputeBackend& backend, Precision p)
+      : backend_(backend), prev_(backend.compute_precision()) {
+    backend_.set_compute_precision(p);
+  }
+  ~ScopedComputePrecision() { backend_.set_compute_precision(prev_); }
+  ScopedComputePrecision(const ScopedComputePrecision&) = delete;
+  ScopedComputePrecision& operator=(const ScopedComputePrecision&) = delete;
+
+ private:
+  ComputeBackend& backend_;
+  Precision prev_;
 };
 
 /// Construct a backend of the given kind (GpuSim uses the default

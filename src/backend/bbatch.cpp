@@ -23,8 +23,9 @@ void enqueue_failpoint(const ComputeBackend& backend) {
 }  // namespace
 
 BatchedBChain::BatchedBChain(ComputeBackend& backend, ConstMatrixView b,
-                             ConstMatrixView binv, idx items)
-    : backend_(backend), n_(b.rows()), items_(items) {
+                             ConstMatrixView binv, idx items,
+                             Precision precision)
+    : backend_(backend), n_(b.rows()), items_(items), precision_(precision) {
   DQMC_CHECK(b.rows() == b.cols());
   DQMC_CHECK(binv.rows() == n_ && binv.cols() == n_);
   DQMC_CHECK(items >= 1);
@@ -36,19 +37,22 @@ BatchedBChain::BatchedBChain(ComputeBackend& backend, ConstMatrixView b,
   t_.reserve(items_);
   a_.reserve(items_);
   v_.reserve(items_);
+  // Per-item wrap buffers carry the policy's storage tag (as in
+  // BackendBChain); shared factors and cluster scratch stay fp64.
   for (idx i = 0; i < items_; ++i) {
-    g_.push_back(backend_.alloc_matrix(n_, n_));
+    g_.push_back(backend_.alloc_matrix(n_, n_, precision_));
     t_.push_back(backend_.alloc_matrix(n_, n_));
     a_.push_back(backend_.alloc_matrix(n_, n_));
-    v_.push_back(backend_.alloc_vector(n_));
+    v_.push_back(backend_.alloc_vector(n_, precision_));
   }
   g_resident_.assign(static_cast<std::size_t>(items_), 0);
   wrap_uploads_skipped_.assign(static_cast<std::size_t>(items_), 0);
 }
 
 BatchedBChain::BatchedBChain(ComputeBackend& backend,
-                             const linalg::CbOperator& op, idx items)
-    : backend_(backend), n_(op.n), items_(items) {
+                             const linalg::CbOperator& op, idx items,
+                             Precision precision)
+    : backend_(backend), n_(op.n), items_(items), precision_(precision) {
   DQMC_CHECK(items >= 1);
   kinetic_ = backend_.alloc_kinetic(op);
   ident_ = backend_.alloc_matrix(n_, n_);
@@ -57,9 +61,9 @@ BatchedBChain::BatchedBChain(ComputeBackend& backend,
   a_.reserve(items_);
   v_.reserve(items_);
   for (idx i = 0; i < items_; ++i) {
-    g_.push_back(backend_.alloc_matrix(n_, n_));
+    g_.push_back(backend_.alloc_matrix(n_, n_, precision_));
     a_.push_back(backend_.alloc_matrix(n_, n_));
-    v_.push_back(backend_.alloc_vector(n_));
+    v_.push_back(backend_.alloc_vector(n_, precision_));
   }
   g_resident_.assign(static_cast<std::size_t>(items_), 0);
   wrap_uploads_skipped_.assign(static_cast<std::size_t>(items_), 0);
@@ -113,27 +117,32 @@ void BatchedBChain::wrap_batched(const std::vector<MatrixView>& g,
   }
   backend_.upload_vectors_async(v_hosts, n_, v_handles);
 
-  if (structured()) {
-    // G_i <- B G_i B^{-1} as two crowd-wide bond-table replays (left
-    // forward, right inverse) — same per-item arithmetic as the structured
-    // BackendBChain::wrap, amortizing the per-group launches over the
-    // whole crowd.
-    backend_.kinetic_apply_batched(*kinetic_, linalg::CbSide::kLeft, false,
-                                   g_mut);
-    backend_.kinetic_apply_batched(*kinetic_, linalg::CbSide::kRight, true,
-                                   g_mut);
-  } else {
-    // T_i = B * G_i (shared A), G_i = T_i * B^{-1} (shared B), then the
-    // fused Algorithm 7 scaling — per item the identical sequence (and
-    // bitwise the identical arithmetic) as BackendBChain::wrap.
-    const std::vector<const MatrixHandle*> shared_b{b_.get()};
-    const std::vector<const MatrixHandle*> shared_binv{binv_.get()};
-    backend_.gemm_batched(Trans::No, Trans::No, 1.0, shared_b, g_const, 0.0,
-                          t_mut);
-    backend_.gemm_batched(Trans::No, Trans::No, 1.0, t_const, shared_binv, 0.0,
-                          g_mut);
+  {
+    // Policy bracket: the batched wrap's compute ops run at the crowd's
+    // precision (no-op for kFp64), exactly as in BackendBChain::wrap.
+    ScopedComputePrecision mode(backend_, precision_);
+    if (structured()) {
+      // G_i <- B G_i B^{-1} as two crowd-wide bond-table replays (left
+      // forward, right inverse) — same per-item arithmetic as the structured
+      // BackendBChain::wrap, amortizing the per-group launches over the
+      // whole crowd.
+      backend_.kinetic_apply_batched(*kinetic_, linalg::CbSide::kLeft, false,
+                                     g_mut);
+      backend_.kinetic_apply_batched(*kinetic_, linalg::CbSide::kRight, true,
+                                     g_mut);
+    } else {
+      // T_i = B * G_i (shared A), G_i = T_i * B^{-1} (shared B), then the
+      // fused Algorithm 7 scaling — per item the identical sequence (and
+      // bitwise the identical arithmetic) as BackendBChain::wrap.
+      const std::vector<const MatrixHandle*> shared_b{b_.get()};
+      const std::vector<const MatrixHandle*> shared_binv{binv_.get()};
+      backend_.gemm_batched(Trans::No, Trans::No, 1.0, shared_b, g_const, 0.0,
+                            t_mut);
+      backend_.gemm_batched(Trans::No, Trans::No, 1.0, t_const, shared_binv,
+                            0.0, g_mut);
+    }
+    backend_.wrap_scale_batched(v_const, g_mut);
   }
-  backend_.wrap_scale_batched(v_const, g_mut);
   backend_.download_batched(g_const, g);
   std::fill(g_resident_.begin(), g_resident_.end(), 1);
 }

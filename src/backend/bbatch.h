@@ -24,18 +24,23 @@ using linalg::Vector;
 class BatchedBChain {
  public:
   /// Dense mode: `b` is e^{-dtau K}, `binv` its inverse (N x N), shared by
-  /// all items.
+  /// all items. `precision` is the wrap-path policy, applied per item
+  /// exactly as in BackendBChain: fp32-tagged wrap buffers plus an fp32
+  /// compute bracket around wrap_batched; cluster products stay fp64.
   BatchedBChain(ComputeBackend& backend, ConstMatrixView b,
-                ConstMatrixView binv, idx items);
+                ConstMatrixView binv, idx items,
+                Precision precision = Precision::kFp64);
   /// Structured (checkerboard) mode: ONE shared bond table replays in
   /// place over the whole crowd per kinetic factor — no resident dense B,
   /// no batched GEMMs, per-item results bitwise identical to `items`
   /// structured BackendBChains.
   BatchedBChain(ComputeBackend& backend, const linalg::CbOperator& op,
-                idx items);
+                idx items, Precision precision = Precision::kFp64);
 
   idx n() const { return n_; }
   idx items() const { return items_; }
+  /// Wrap-path precision policy this crowd was built with.
+  Precision precision() const { return precision_; }
   ComputeBackend& backend() { return backend_; }
   /// True when the kinetic factor is the structured checkerboard operator.
   bool structured() const { return kinetic_ != nullptr; }
@@ -69,6 +74,7 @@ class BatchedBChain {
  private:
   ComputeBackend& backend_;
   idx n_, items_;
+  Precision precision_;
   std::unique_ptr<MatrixHandle> b_, binv_;  // ONE resident copy for all items
   std::unique_ptr<KineticHandle> kinetic_;  // ONE bond table (cb mode)
   std::unique_ptr<MatrixHandle> ident_;     // identity seed (cb clustering)

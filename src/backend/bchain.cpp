@@ -22,33 +22,37 @@ void enqueue_failpoint(const ComputeBackend& backend) {
 }  // namespace
 
 BackendBChain::BackendBChain(ComputeBackend& backend, ConstMatrixView b,
-                             ConstMatrixView binv)
-    : backend_(backend), n_(b.rows()) {
+                             ConstMatrixView binv, Precision precision)
+    : backend_(backend), n_(b.rows()), precision_(precision) {
   DQMC_CHECK(b.rows() == b.cols());
   DQMC_CHECK(binv.rows() == n_ && binv.cols() == n_);
+  // Wrap-path buffers (G and the diagonals) carry the policy's storage tag;
+  // the resident factors and cluster scratch stay fp64 — cluster products
+  // are never narrowed. (The diagonals also serve the fp64 cluster path;
+  // their O(N) footprint is noise next to the O(N^2) matrices.)
   b_ = backend_.alloc_matrix(n_, n_);
   binv_ = backend_.alloc_matrix(n_, n_);
   t_ = backend_.alloc_matrix(n_, n_);
   a_ = backend_.alloc_matrix(n_, n_);
-  g_ = backend_.alloc_matrix(n_, n_);
-  v_ = backend_.alloc_vector(n_);
-  v_inv_ = backend_.alloc_vector(n_);
+  g_ = backend_.alloc_matrix(n_, n_, precision_);
+  v_ = backend_.alloc_vector(n_, precision_);
+  v_inv_ = backend_.alloc_vector(n_, precision_);
   backend_.upload(b, *b_);
   backend_.upload(binv, *binv_);
 }
 
 BackendBChain::BackendBChain(ComputeBackend& backend,
-                             const linalg::CbOperator& op)
-    : backend_(backend), n_(op.n) {
+                             const linalg::CbOperator& op, Precision precision)
+    : backend_(backend), n_(op.n), precision_(precision) {
   // No resident dense factors and no GEMM scratch: every kinetic factor
   // replays the bond table in place. The identity seed bootstraps cluster
   // products (A starts as I, then A <- B A per factor).
   kinetic_ = backend_.alloc_kinetic(op);
   ident_ = backend_.alloc_matrix(n_, n_);
   a_ = backend_.alloc_matrix(n_, n_);
-  g_ = backend_.alloc_matrix(n_, n_);
-  v_ = backend_.alloc_vector(n_);
-  v_inv_ = backend_.alloc_vector(n_);
+  g_ = backend_.alloc_matrix(n_, n_, precision_);
+  v_ = backend_.alloc_vector(n_, precision_);
+  v_inv_ = backend_.alloc_vector(n_, precision_);
   backend_.upload(Matrix::identity(n_), *ident_);
 }
 
@@ -111,27 +115,33 @@ void BackendBChain::wrap(MatrixView g, const Vector& v, bool fused_kernel,
     backend_.upload_async(g, *g_);
   }
   backend_.upload_vector_async(v.data(), n_, *v_);
-  if (structured()) {
-    // G <- B G B^{-1} as two in-place bond-table replays (left forward,
-    // right inverse) — the GEMM-free wrap that makes checkerboard win at
-    // large N.
-    backend_.kinetic_apply(*kinetic_, linalg::CbSide::kLeft, false, *g_);
-    backend_.kinetic_apply(*kinetic_, linalg::CbSide::kRight, true, *g_);
-  } else {
-    // T = B * G; G = T * B^{-1}; then G = diag(v) G diag(v)^{-1}.
-    backend_.gemm(Trans::No, Trans::No, 1.0, *b_, *g_, 0.0, *t_);
-    backend_.gemm(Trans::No, Trans::No, 1.0, *t_, *binv_, 0.0, *g_);
-  }
-  if (fused_kernel) {
-    backend_.wrap_scale(*v_, *g_);
-  } else {
-    // Algorithm 6: a row sweep and a column sweep of cublasDscal calls.
-    backend_.scale_rows(*v_, *g_, *g_, /*fused=*/false);
-    Vector vinv(n_);
-    for (idx i = 0; i < n_; ++i) vinv[i] = 1.0 / v[i];
-    backend_.upload_vector(vinv.data(), n_, *v_inv_);
-    // Column scaling modeled as one cublasDscal launch per column.
-    backend_.scale_cols(*v_inv_, *g_, *g_);
+  {
+    // The policy bracket: every compute op the wrap enqueues runs at the
+    // chain's precision (kFp64 policy makes this a no-op). Uploads and the
+    // download below are unaffected — transfer width follows the buffer tag.
+    ScopedComputePrecision mode(backend_, precision_);
+    if (structured()) {
+      // G <- B G B^{-1} as two in-place bond-table replays (left forward,
+      // right inverse) — the GEMM-free wrap that makes checkerboard win at
+      // large N.
+      backend_.kinetic_apply(*kinetic_, linalg::CbSide::kLeft, false, *g_);
+      backend_.kinetic_apply(*kinetic_, linalg::CbSide::kRight, true, *g_);
+    } else {
+      // T = B * G; G = T * B^{-1}; then G = diag(v) G diag(v)^{-1}.
+      backend_.gemm(Trans::No, Trans::No, 1.0, *b_, *g_, 0.0, *t_);
+      backend_.gemm(Trans::No, Trans::No, 1.0, *t_, *binv_, 0.0, *g_);
+    }
+    if (fused_kernel) {
+      backend_.wrap_scale(*v_, *g_);
+    } else {
+      // Algorithm 6: a row sweep and a column sweep of cublasDscal calls.
+      backend_.scale_rows(*v_, *g_, *g_, /*fused=*/false);
+      Vector vinv(n_);
+      for (idx i = 0; i < n_; ++i) vinv[i] = 1.0 / v[i];
+      backend_.upload_vector(vinv.data(), n_, *v_inv_);
+      // Column scaling modeled as one cublasDscal launch per column.
+      backend_.scale_cols(*v_inv_, *g_, *g_);
+    }
   }
   backend_.download(*g_, g);
   g_resident_ = true;

@@ -24,16 +24,26 @@ using linalg::Vector;
 class BackendBChain {
  public:
   /// Dense mode: `b` is e^{-dtau K}, `binv` its inverse e^{+dtau K} (N x N).
+  /// `precision` is the wrap-path policy (docs/STABILITY.md): kFp32 tags
+  /// the wrap buffers (G, diagonals) fp32 — halving their modeled traffic —
+  /// and brackets every wrap() enqueue in fp32 compute mode. Cluster
+  /// products ALWAYS run fp64: the stratified recompute each stabilization
+  /// interval consumes them, and that full-precision rebuild is exactly the
+  /// fp64 correction that absorbs the wraps' rounding.
   BackendBChain(ComputeBackend& backend, ConstMatrixView b,
-                ConstMatrixView binv);
+                ConstMatrixView binv,
+                Precision precision = Precision::kFp64);
   /// Structured (checkerboard) mode: the bond table uploads once and every
   /// kinetic factor replays it in place — no resident dense B, no GEMMs.
   /// Same call sequence semantics and bitwise-identical results to the
   /// host factory's structured path.
-  BackendBChain(ComputeBackend& backend, const linalg::CbOperator& op);
+  BackendBChain(ComputeBackend& backend, const linalg::CbOperator& op,
+                Precision precision = Precision::kFp64);
 
   idx n() const { return n_; }
   ComputeBackend& backend() { return backend_; }
+  /// Wrap-path precision policy this chain was built with.
+  Precision precision() const { return precision_; }
   /// True when the kinetic factor is the structured checkerboard operator.
   bool structured() const { return kinetic_ != nullptr; }
 
@@ -62,6 +72,7 @@ class BackendBChain {
  private:
   ComputeBackend& backend_;
   idx n_;
+  Precision precision_;
   std::unique_ptr<MatrixHandle> b_, binv_;   // resident factors (dense mode)
   std::unique_ptr<KineticHandle> kinetic_;   // resident bond table (cb mode)
   std::unique_ptr<MatrixHandle> ident_;      // identity seed (cb clustering)

@@ -6,17 +6,20 @@ namespace {
 
 class GpuSimMatrix final : public MatrixHandle {
  public:
-  GpuSimMatrix(gpu::Device& device, idx rows, idx cols)
-      : MatrixHandle(BackendKind::kGpuSim, rows, cols),
-        storage(device.alloc_matrix(rows, cols)) {}
+  GpuSimMatrix(gpu::Device& device, idx rows, idx cols, Precision precision)
+      : MatrixHandle(BackendKind::kGpuSim, rows, cols, precision),
+        storage(device.alloc_matrix(
+            rows, cols,
+            static_cast<int>(precision_element_bytes(precision)))) {}
   gpu::DeviceMatrix storage;
 };
 
 class GpuSimVector final : public VectorHandle {
  public:
-  GpuSimVector(gpu::Device& device, idx n)
-      : VectorHandle(BackendKind::kGpuSim, n),
-        storage(device.alloc_vector(n)) {}
+  GpuSimVector(gpu::Device& device, idx n, Precision precision)
+      : VectorHandle(BackendKind::kGpuSim, n, precision),
+        storage(device.alloc_vector(
+            n, static_cast<int>(precision_element_bytes(precision)))) {}
   gpu::DeviceVector storage;
 };
 
@@ -63,12 +66,14 @@ const gpu::DeviceVector& as(const VectorHandle& h) {
 
 GpuSimBackend::GpuSimBackend(gpu::DeviceSpec spec) : device_(spec) {}
 
-std::unique_ptr<MatrixHandle> GpuSimBackend::alloc_matrix(idx rows, idx cols) {
-  return std::make_unique<GpuSimMatrix>(device_, rows, cols);
+std::unique_ptr<MatrixHandle> GpuSimBackend::alloc_matrix(
+    idx rows, idx cols, Precision precision) {
+  return std::make_unique<GpuSimMatrix>(device_, rows, cols, precision);
 }
 
-std::unique_ptr<VectorHandle> GpuSimBackend::alloc_vector(idx n) {
-  return std::make_unique<GpuSimVector>(device_, n);
+std::unique_ptr<VectorHandle> GpuSimBackend::alloc_vector(idx n,
+                                                          Precision precision) {
+  return std::make_unique<GpuSimVector>(device_, n, precision);
 }
 
 std::unique_ptr<KineticHandle> GpuSimBackend::alloc_kinetic(

@@ -18,8 +18,10 @@ class GpuSimBackend final : public ComputeBackend {
   BackendKind kind() const override { return BackendKind::kGpuSim; }
   bool async() const override { return true; }
 
-  std::unique_ptr<MatrixHandle> alloc_matrix(idx rows, idx cols) override;
-  std::unique_ptr<VectorHandle> alloc_vector(idx n) override;
+  std::unique_ptr<MatrixHandle> alloc_matrix(
+      idx rows, idx cols, Precision precision = Precision::kFp64) override;
+  std::unique_ptr<VectorHandle> alloc_vector(
+      idx n, Precision precision = Precision::kFp64) override;
   std::unique_ptr<KineticHandle> alloc_kinetic(
       const linalg::CbOperator& op) override;
 
@@ -61,6 +63,13 @@ class GpuSimBackend final : public ComputeBackend {
                         const std::vector<MatrixView>& hosts) override;
 
   void synchronize() override;
+
+  void set_compute_precision(Precision p) override {
+    device_.set_compute_fp32(p == Precision::kFp32);
+  }
+  Precision compute_precision() const override {
+    return device_.compute_fp32() ? Precision::kFp32 : Precision::kFp64;
+  }
 
   BackendStats stats() const override;
   void reset_stats() override;

@@ -5,6 +5,7 @@
 #include "common/stopwatch.h"
 #include "linalg/cb_operator.h"
 #include "linalg/diag.h"
+#include "linalg/fp32.h"
 #include "parallel/task_runtime.h"
 
 namespace dqmc::backend {
@@ -16,15 +17,16 @@ using linalg::Vector;
 
 class HostMatrix final : public MatrixHandle {
  public:
-  HostMatrix(idx rows, idx cols)
-      : MatrixHandle(BackendKind::kHost, rows, cols), storage(rows, cols) {}
+  HostMatrix(idx rows, idx cols, Precision precision)
+      : MatrixHandle(BackendKind::kHost, rows, cols, precision),
+        storage(rows, cols) {}
   Matrix storage;
 };
 
 class HostVector final : public VectorHandle {
  public:
-  explicit HostVector(idx n)
-      : VectorHandle(BackendKind::kHost, n), storage(n) {}
+  HostVector(idx n, Precision precision)
+      : VectorHandle(BackendKind::kHost, n, precision), storage(n) {}
   Vector storage;
 };
 
@@ -68,14 +70,16 @@ const Vector& as(const VectorHandle& h) {
 
 }  // namespace
 
-std::unique_ptr<MatrixHandle> HostBackend::alloc_matrix(idx rows, idx cols) {
+std::unique_ptr<MatrixHandle> HostBackend::alloc_matrix(idx rows, idx cols,
+                                                        Precision precision) {
   DQMC_CHECK(rows >= 0 && cols >= 0);
-  return std::make_unique<HostMatrix>(rows, cols);
+  return std::make_unique<HostMatrix>(rows, cols, precision);
 }
 
-std::unique_ptr<VectorHandle> HostBackend::alloc_vector(idx n) {
+std::unique_ptr<VectorHandle> HostBackend::alloc_vector(idx n,
+                                                        Precision precision) {
   DQMC_CHECK(n >= 0);
-  return std::make_unique<HostVector>(n);
+  return std::make_unique<HostVector>(n, precision);
 }
 
 std::unique_ptr<KineticHandle> HostBackend::alloc_kinetic(
@@ -144,7 +148,12 @@ void HostBackend::gemm(Trans transa, Trans transb, double alpha,
                        const MatrixHandle& a, const MatrixHandle& b,
                        double beta, MatrixHandle& c) {
   Stopwatch watch;
-  linalg::gemm(transa, transb, alpha, as(a), as(b), beta, as(c));
+  if (fp32()) {
+    linalg::gemm_fp32(transa, transb, alpha, as(a).view(), as(b).view(), beta,
+                      as(c).view());
+  } else {
+    linalg::gemm(transa, transb, alpha, as(a), as(b), beta, as(c));
+  }
   account_compute(watch.seconds());
 }
 
@@ -155,7 +164,11 @@ void HostBackend::scale_rows(const VectorHandle& v, const MatrixHandle& src,
   DQMC_CHECK(v.size() == s.rows());
   DQMC_CHECK(s.rows() == d.rows() && s.cols() == d.cols());
   Stopwatch watch;
-  linalg::scale_rows_into(as(v).data(), s, d);
+  if (fp32()) {
+    linalg::scale_rows_into_fp32(as(v).data(), s.view(), d.view());
+  } else {
+    linalg::scale_rows_into(as(v).data(), s, d);
+  }
   account_compute(watch.seconds());
 }
 
@@ -167,7 +180,11 @@ void HostBackend::scale_cols(const VectorHandle& v, const MatrixHandle& src,
   DQMC_CHECK(s.rows() == d.rows() && s.cols() == d.cols());
   Stopwatch watch;
   if (&s != &d) linalg::copy(s, d);
-  linalg::scale_cols(as(v).data(), d);
+  if (fp32()) {
+    linalg::scale_cols_fp32(as(v).data(), d.view());
+  } else {
+    linalg::scale_cols(as(v).data(), d);
+  }
   account_compute(watch.seconds());
 }
 
@@ -175,14 +192,22 @@ void HostBackend::wrap_scale(const VectorHandle& v, MatrixHandle& g) {
   Matrix& m = as(g);
   DQMC_CHECK(v.size() == m.rows() && m.rows() == m.cols());
   Stopwatch watch;
-  linalg::scale_rows_cols_inv(as(v).data(), as(v).data(), m);
+  if (fp32()) {
+    linalg::scale_rows_cols_inv_fp32(as(v).data(), as(v).data(), m.view());
+  } else {
+    linalg::scale_rows_cols_inv(as(v).data(), as(v).data(), m);
+  }
   account_compute(watch.seconds());
 }
 
 void HostBackend::kinetic_apply(const KineticHandle& k, linalg::CbSide side,
                                 bool inverse, MatrixHandle& x) {
   Stopwatch watch;
-  linalg::cb_apply(as_kinetic(k).op, side, inverse, as(x).view());
+  if (fp32()) {
+    linalg::cb_apply_fp32(as_kinetic(k).op, side, inverse, as(x).view());
+  } else {
+    linalg::cb_apply(as_kinetic(k).op, side, inverse, as(x).view());
+  }
   account_compute(watch.seconds());
 }
 
@@ -191,13 +216,18 @@ void HostBackend::kinetic_apply_batched(const KineticHandle& k,
                                         const std::vector<MatrixHandle*>& x) {
   DQMC_CHECK(!x.empty());
   const HostKinetic& hk = as_kinetic(k);
+  const bool narrow = fp32();
   Stopwatch watch;
   // One task-runtime region over the crowd; each item runs the exact
   // single-item kernel, so per-item bits cannot depend on the batching.
   par::TaskGroup group;
   for (MatrixHandle* xi : x) {
-    group.run([&hk, side, inverse, xi] {
-      linalg::cb_apply(hk.op, side, inverse, as(*xi).view());
+    group.run([&hk, side, inverse, narrow, xi] {
+      if (narrow) {
+        linalg::cb_apply_fp32(hk.op, side, inverse, as(*xi).view());
+      } else {
+        linalg::cb_apply(hk.op, side, inverse, as(*xi).view());
+      }
     });
   }
   group.wait();
@@ -218,7 +248,11 @@ void HostBackend::gemm_batched(Trans transa, Trans transb, double alpha,
   for (const MatrixHandle* h : b) bv.push_back(as(*h).view());
   for (MatrixHandle* h : c) cv.push_back(as(*h).view());
   Stopwatch watch;
-  linalg::gemm_batched(transa, transb, alpha, av, bv, beta, cv);
+  if (fp32()) {
+    linalg::gemm_batched_fp32(transa, transb, alpha, av, bv, beta, cv);
+  } else {
+    linalg::gemm_batched(transa, transb, alpha, av, bv, beta, cv);
+  }
   account_compute(watch.seconds());
 }
 
@@ -233,14 +267,20 @@ void HostBackend::scale_rows_batched(
     DQMC_CHECK(v[i]->size() == s.rows());
     DQMC_CHECK(s.rows() == dst[i]->rows() && s.cols() == dst[i]->cols());
   }
+  const bool narrow = fp32();
   Stopwatch watch;
   // One task-runtime region over the batch; each item runs the exact
   // single-item kernel, so per-item results cannot depend on the batching.
   par::TaskGroup group;
   for (std::size_t i = 0; i < dst.size(); ++i) {
-    group.run([&, i] {
+    group.run([&, narrow, i] {
       const Matrix& s = as(src.size() == 1 ? *src[0] : *src[i]);
-      linalg::scale_rows_into(as(*v[i]).data(), s, as(*dst[i]));
+      if (narrow) {
+        linalg::scale_rows_into_fp32(as(*v[i]).data(), s.view(),
+                                     as(*dst[i]).view());
+      } else {
+        linalg::scale_rows_into(as(*v[i]).data(), s, as(*dst[i]));
+      }
     });
   }
   group.wait();
@@ -253,12 +293,18 @@ void HostBackend::wrap_scale_batched(const std::vector<const VectorHandle*>& v,
   for (std::size_t i = 0; i < g.size(); ++i) {
     DQMC_CHECK(v[i]->size() == g[i]->rows() && g[i]->rows() == g[i]->cols());
   }
+  const bool narrow = fp32();
   Stopwatch watch;
   par::TaskGroup group;
   for (std::size_t i = 0; i < g.size(); ++i) {
-    group.run([&, i] {
-      linalg::scale_rows_cols_inv(as(*v[i]).data(), as(*v[i]).data(),
-                                  as(*g[i]));
+    group.run([&, narrow, i] {
+      if (narrow) {
+        linalg::scale_rows_cols_inv_fp32(as(*v[i]).data(), as(*v[i]).data(),
+                                         as(*g[i]).view());
+      } else {
+        linalg::scale_rows_cols_inv(as(*v[i]).data(), as(*v[i]).data(),
+                                    as(*g[i]));
+      }
     });
   }
   group.wait();

@@ -18,8 +18,10 @@ class HostBackend final : public ComputeBackend {
   BackendKind kind() const override { return BackendKind::kHost; }
   bool async() const override { return false; }
 
-  std::unique_ptr<MatrixHandle> alloc_matrix(idx rows, idx cols) override;
-  std::unique_ptr<VectorHandle> alloc_vector(idx n) override;
+  std::unique_ptr<MatrixHandle> alloc_matrix(
+      idx rows, idx cols, Precision precision = Precision::kFp64) override;
+  std::unique_ptr<VectorHandle> alloc_vector(
+      idx n, Precision precision = Precision::kFp64) override;
   std::unique_ptr<KineticHandle> alloc_kinetic(
       const linalg::CbOperator& op) override;
 
@@ -62,13 +64,18 @@ class HostBackend final : public ComputeBackend {
 
   void synchronize() override;
 
+  void set_compute_precision(Precision p) override { compute_precision_ = p; }
+  Precision compute_precision() const override { return compute_precision_; }
+
   BackendStats stats() const override;
   void reset_stats() override;
 
  private:
+  bool fp32() const { return compute_precision_ == Precision::kFp32; }
   void account_compute(double seconds);
   void account_transfer(double bytes, double seconds, bool h2d);
 
+  Precision compute_precision_ = Precision::kFp64;
   mutable std::mutex stats_mutex_;
   BackendStats stats_;
 };

@@ -92,7 +92,8 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
       "slices", "L", "warmup", "nwarm", "sweeps", "npass",
       "measure_interval", "measure_slice_interval", "measure_dynamic_interval",
       "bins", "seed",
-      "algorithm", "cluster_size", "north", "delay_rank", "backend", "kinetic",
+      "algorithm", "stabilizer", "precision",
+      "cluster_size", "north", "delay_rank", "backend", "kinetic",
       "gpu_clustering", "gpu_wrapping", "checkpoint_in", "checkpoint_out",
       "failpoints", "max_retries", "checkpoint_interval",
       "walkers", "walker_batch"};
@@ -124,10 +125,27 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
     cfg.engine.algorithm = core::StratAlgorithm::kPrePivot;
   } else if (alg == "qrp") {
     cfg.engine.algorithm = core::StratAlgorithm::kQRP;
+  } else if (alg == "svdstack") {
+    cfg.engine.algorithm = core::StratAlgorithm::kSvdStack;
   } else {
-    throw InvalidArgument("algorithm must be 'prepivot' or 'qrp', got '" +
-                          alg + "'");
+    throw InvalidArgument(
+        "algorithm must be 'prepivot', 'qrp' or 'svdstack', got '" + alg +
+        "'");
   }
+  // "stabilizer = graded|svdstack" names the stabilization strategy
+  // directly: graded keeps whatever QR flavor `algorithm` chose, svdstack
+  // switches the whole accumulation to the SVD stack.
+  const std::string stab = file.get("stabilizer", "graded");
+  if (stab == "svdstack") {
+    cfg.engine.algorithm = core::StratAlgorithm::kSvdStack;
+  } else if (stab != "graded") {
+    throw InvalidArgument("stabilizer must be 'graded' or 'svdstack', got '" +
+                          stab + "'");
+  }
+  // "precision = fp64|fp32" selects the wrap precision policy (fp32 wraps
+  // with the structural fp64 correction; docs/STABILITY.md).
+  cfg.engine.precision =
+      backend::precision_from_string(file.get("precision", "fp64"));
   cfg.engine.cluster_size =
       file.get_long("cluster_size", file.get_long("north", 10));
   cfg.engine.delay_rank = file.get_long("delay_rank", 32);

@@ -19,15 +19,17 @@ void EngineConfig::validate() const {
 namespace {
 
 // One per-spin chain matching the factory's kinetic mode: structured chains
-// replay the shared bond table, dense chains keep B/B^{-1} resident.
+// replay the shared bond table, dense chains keep B/B^{-1} resident. The
+// chain carries the engine's wrap-precision policy.
 std::unique_ptr<backend::BackendBChain> make_chain(
-    backend::ComputeBackend& backend, const BMatrixFactory& factory) {
+    backend::ComputeBackend& backend, const BMatrixFactory& factory,
+    backend::Precision precision) {
   if (factory.kinetic().structured()) {
-    return std::make_unique<backend::BackendBChain>(backend,
-                                                    factory.kinetic().cb());
+    return std::make_unique<backend::BackendBChain>(
+        backend, factory.kinetic().cb(), precision);
   }
   return std::make_unique<backend::BackendBChain>(backend, factory.b(),
-                                                  factory.b_inv());
+                                                  factory.b_inv(), precision);
 }
 
 }  // namespace
@@ -44,7 +46,8 @@ DqmcEngine::DqmcEngine(const Lattice& lattice, const ModelParams& params,
       owned_backend_(shared_backend ? nullptr
                                     : backend::make_backend(config.backend)),
       backend_(shared_backend ? shared_backend : owned_backend_.get()),
-      chains_{make_chain(*backend_, factory_), make_chain(*backend_, factory_)},
+      chains_{make_chain(*backend_, factory_, config.precision),
+              make_chain(*backend_, factory_, config.precision)},
       clusters_(factory_, field_, config.cluster_size),
       strat_{StratificationEngine(factory_.n(), config.algorithm,
                                   config.qr_block),
@@ -138,9 +141,11 @@ void DqmcEngine::recompute_greens(idx cluster, bool record_drift) {
     DelayedGreens& dg = delayed_[si];
     if (monitor) {
       // The wrapped/updated G was advanced to this same cluster boundary;
-      // its distance from the clean stratified G is the wrap drift.
+      // its distance from the clean stratified G is the wrap drift. fp32
+      // wraps are judged against the policy's looser threshold.
       obs::health().record_wrap_drift(
-          max_abs_diff(dg.flush(&profiler_), fresh[si]));
+          max_abs_diff(dg.flush(&profiler_), fresh[si]),
+          config_.precision == backend::Precision::kFp32);
     }
     dg.reset(std::move(fresh[si]));
   }

@@ -48,6 +48,16 @@ struct EngineConfig {
   /// across backends, thread counts and walker-batch widths within a mode;
   /// the two modes differ by the documented splitting error.
   hubbard::KineticKind kinetic = hubbard::KineticKind::kDense;
+  /// Precision policy for the per-slice wrap updates (config key
+  /// `precision`, flag --precision): kFp64 is the exact baseline; kFp32
+  /// runs the wraps' GEMMs/kinetic replays/scalings in single precision
+  /// (round on read, widen on store) with half the modeled traffic and
+  /// twice the modeled FLOP rate. The fp64 correction is structural:
+  /// cluster products and the stratified recompute at every stabilization
+  /// interval stay fp64, replacing the wrapped G with a full-precision one
+  /// before rounding can accumulate past the HealthMonitor's fp32 drift
+  /// threshold. Identical across backends at either setting.
+  backend::Precision precision = backend::Precision::kFp64;
 
   void validate() const;
 };

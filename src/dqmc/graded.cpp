@@ -24,6 +24,7 @@ const char* strat_algorithm_name(StratAlgorithm a) {
   switch (a) {
     case StratAlgorithm::kQRP: return "qrp";
     case StratAlgorithm::kPrePivot: return "prepivot";
+    case StratAlgorithm::kSvdStack: return "svdstack";
   }
   return "?";
 }
@@ -33,6 +34,9 @@ GradedAccumulator::GradedAccumulator(idx n, StratAlgorithm algorithm,
     : n_(n), algorithm_(algorithm), qr_block_(qr_block) {
   DQMC_CHECK(n >= 1);
   DQMC_CHECK(qr_block >= 1);
+  DQMC_CHECK_MSG(algorithm != StratAlgorithm::kSvdStack,
+                 "GradedAccumulator: kSvdStack is SvdStackAccumulator's "
+                 "algorithm (construct through make_stabilizer)");
 }
 
 void GradedAccumulator::reset() { empty_ = true; }
@@ -49,8 +53,6 @@ const Matrix& GradedAccumulator::t() const {
   DQMC_CHECK_MSG(!empty_, "GradedAccumulator is empty");
   return t_;
 }
-
-UDT GradedAccumulator::snapshot() const { return UDT{u(), d(), t()}; }
 
 void GradedAccumulator::push(const Matrix& factor) {
   DQMC_CHECK(factor.rows() == n_ && factor.cols() == n_);

@@ -4,66 +4,34 @@
 // dynamic range, and T well-scaled — the representation underlying both the
 // equal-time stratification (stratification.h) and the time-displaced
 // Green's functions (time_displaced.h). Each push() performs one graded QR
-// step (pivoted or pre-pivoted per the chosen algorithm).
+// step (pivoted or pre-pivoted per the chosen algorithm). The Stabilizer
+// concept this implements, and the SVD-stack alternative, live in
+// stabilizer.h / svd_stack.h.
 #pragma once
 
 #include "common/profiler.h"
+#include "dqmc/stabilizer.h"
 #include "linalg/matrix.h"
 #include "linalg/qr.h"
 
 namespace dqmc::core {
 
-using linalg::idx;
-using linalg::Matrix;
-using linalg::Vector;
-
-enum class StratAlgorithm {
-  kQRP,       ///< Algorithm 2: pivoted QR at every step (baseline)
-  kPrePivot,  ///< Algorithm 3: pre-sort columns + unpivoted blocked QR
-};
-
-const char* strat_algorithm_name(StratAlgorithm a);
-
-/// Diagnostics accumulated across graded steps.
-struct StratStats {
-  std::uint64_t evaluations = 0;  ///< Green's functions computed
-  std::uint64_t steps = 0;        ///< graded QR steps
-  /// Sum over steps of the (pre-)pivot permutation displacement — how many
-  /// columns actually moved (the paper's "very few interchanges" claim).
-  std::uint64_t pivot_displacement = 0;
-};
-
-/// Snapshot of the accumulated decomposition (deep copies).
-struct UDT {
-  Matrix u;  ///< orthogonal
-  Vector d;  ///< graded diagonal (descending magnitude)
-  Matrix t;  ///< well-scaled (product of scaled triangles and permutations)
-};
-
-class GradedAccumulator {
+class GradedAccumulator final : public Stabilizer {
  public:
   GradedAccumulator(idx n, StratAlgorithm algorithm,
                     idx qr_block = linalg::kQrBlock);
 
-  idx n() const { return n_; }
-  StratAlgorithm algorithm() const { return algorithm_; }
-  bool empty() const { return empty_; }
-  const StratStats& stats() const { return stats_; }
+  idx n() const override { return n_; }
+  StratAlgorithm algorithm() const override { return algorithm_; }
+  bool empty() const override { return empty_; }
+  const StratStats& stats() const override { return stats_; }
 
-  /// Forget the chain (chain = I conceptually; empty() becomes true).
-  void reset();
+  void reset() override;
+  void push(const Matrix& factor) override;
 
-  /// chain <- factor * chain (factor applied on the LEFT, i.e. later in
-  /// imaginary time). factor must be n x n.
-  void push(const Matrix& factor);
-
-  /// Current decomposition components; invalid while empty().
-  const Matrix& u() const;
-  const Vector& d() const;
-  const Matrix& t() const;
-
-  /// Deep-copy snapshot (used to record prefix chains at every boundary).
-  UDT snapshot() const;
+  const Matrix& u() const override;
+  const Vector& d() const override;
+  const Matrix& t() const override;
 
  private:
   void graded_step(Matrix&& c, bool first);

@@ -47,6 +47,15 @@ obs::Json config_json(const SimulationConfig& cfg) {
   if (cfg.engine.kinetic != hubbard::KineticKind::kDense) {
     j.set("kinetic", hubbard::kinetic_kind_name(cfg.engine.kinetic));
   }
+  // Stabilization strategy and precision policy, again only when
+  // non-default (the `algorithm` key above already names the strategy; this
+  // spells out that a non-QR stabilizer was in play).
+  if (cfg.engine.algorithm == StratAlgorithm::kSvdStack) {
+    j.set("stabilizer", strat_algorithm_name(cfg.engine.algorithm));
+  }
+  if (cfg.engine.precision != backend::Precision::kFp64) {
+    j.set("precision", backend::precision_name(cfg.engine.precision));
+  }
   return j;
 }
 
@@ -181,6 +190,22 @@ obs::Json run_manifest(const SimulationResults& results) {
 obs::Json golden_manifest(const SimulationResults& results) {
   const fault::FaultReport& fr = results.fault_report;
   const MeasurementAccumulator& meas = results.measurements;
+  obs::Json fault_j = obs::Json::object()
+                          .set("faults", fr.faults)
+                          .set("retries", fr.retries)
+                          .set("restarts", fr.restarts)
+                          .set("degradations", fr.degradations);
+  // Conditional, like the config keys: fixtures recorded before the
+  // precision policy existed keep their bytes.
+  if (fr.precision_degradations > 0) {
+    fault_j.set("precision_degradations", fr.precision_degradations);
+  }
+  fault_j.set("health_trips", fr.health_trips)
+      .set("checkpoints", fr.checkpoints)
+      .set("checkpoint_faults", fr.checkpoint_faults)
+      .set("degraded", fr.degraded)
+      .set("final_backend", fr.final_backend)
+      .set("events", static_cast<std::uint64_t>(fr.events.size()));
   return obs::Json::object()
       .set("golden_version", 1)
       .set("seed", results.config.seed)
@@ -192,18 +217,7 @@ obs::Json golden_manifest(const SimulationResults& results) {
       .set("double_occupancy", stable_double(meas.double_occupancy().mean))
       .set("kinetic_energy", stable_double(meas.kinetic_energy().mean))
       .set("moment_sq", stable_double(meas.moment_sq().mean))
-      .set("fault", obs::Json::object()
-                        .set("faults", fr.faults)
-                        .set("retries", fr.retries)
-                        .set("restarts", fr.restarts)
-                        .set("degradations", fr.degradations)
-                        .set("health_trips", fr.health_trips)
-                        .set("checkpoints", fr.checkpoints)
-                        .set("checkpoint_faults", fr.checkpoint_faults)
-                        .set("degraded", fr.degraded)
-                        .set("final_backend", fr.final_backend)
-                        .set("events", static_cast<std::uint64_t>(
-                                           fr.events.size())));
+      .set("fault", std::move(fault_j));
 }
 
 void write_run_manifest(const SimulationResults& results,

@@ -17,7 +17,7 @@ using linalg::Trans;
 
 StratificationEngine::StratificationEngine(idx n, StratAlgorithm algorithm,
                                            idx qr_block)
-    : acc_(n, algorithm, qr_block) {}
+    : acc_(make_stabilizer(n, algorithm, qr_block)) {}
 
 Matrix close_greens(const Matrix& u, const Vector& d, const Matrix& t) {
   const idx n = u.rows();
@@ -65,12 +65,12 @@ int chain_det_sign(const std::vector<const Matrix*>& factors,
                    StratAlgorithm algorithm) {
   DQMC_CHECK_MSG(!factors.empty(), "chain_det_sign needs at least one factor");
   const idx n = factors[0]->rows();
-  GradedAccumulator acc(n, algorithm);
-  for (const Matrix* f : factors) acc.push(*f);
+  const std::unique_ptr<Stabilizer> acc = make_stabilizer(n, algorithm);
+  for (const Matrix* f : factors) acc->push(*f);
 
-  const Matrix& u = acc.u();
-  const Vector& d = acc.d();
-  const Matrix& t = acc.t();
+  const Matrix& u = acc->u();
+  const Vector& d = acc->d();
+  const Matrix& t = acc->t();
 
   // det M = det(U) * det(D_b^{-1}) * det(A): D_b^{-1} has positive entries
   // by construction, so only U and A contribute signs.
@@ -108,19 +108,19 @@ Matrix StratificationEngine::compute(idx count, const FactorProvider& factor,
   Stopwatch watch;
   DQMC_CHECK_MSG(count > 0, "stratification needs at least one factor");
 
-  acc_.reset();
+  acc_->reset();
   for (idx i = 0; i < count; ++i) {
     const Matrix& f = factor(i);
     DQMC_CHECK(f.rows() == n() && f.cols() == n());
-    acc_.push(f);
+    acc_->push(f);
   }
 
   // Steps/pivot counters accumulate inside the accumulator across calls;
   // the evaluation count is ours.
   const std::uint64_t evals = stats_.evaluations + 1;
-  stats_ = acc_.stats();
+  stats_ = acc_->stats();
   stats_.evaluations = evals;
-  Matrix g = close_greens(acc_.u(), acc_.d(), acc_.t());
+  Matrix g = close_greens(acc_->u(), acc_->d(), acc_->t());
   obs::MetricsRegistry& reg = obs::metrics();
   if (reg.enabled()) {
     reg.count("strat.evaluations");

@@ -13,13 +13,19 @@
 //                              column-norm sort ("pre-pivoting") followed by
 //                              a blocked UNpivoted QR, keeping the trailing
 //                              updates entirely level-3.
+//   * SVD stack (kSvdStack):   one-sided Jacobi SVD at every step
+//                              (svd_stack.h) — singular-value-exact
+//                              d-scales for the beta >> 32 regime.
+// All three are Stabilizer strategies (stabilizer.h); the engine holds
+// whichever make_stabilizer() yields for its configured algorithm.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/profiler.h"
-#include "dqmc/graded.h"
+#include "dqmc/stabilizer.h"
 #include "linalg/matrix.h"
 
 namespace dqmc::core {
@@ -29,8 +35,8 @@ class StratificationEngine {
   StratificationEngine(idx n, StratAlgorithm algorithm,
                        idx qr_block = linalg::kQrBlock);
 
-  StratAlgorithm algorithm() const { return acc_.algorithm(); }
-  idx n() const { return acc_.n(); }
+  StratAlgorithm algorithm() const { return acc_->algorithm(); }
+  idx n() const { return acc_->n(); }
   const StratStats& stats() const { return stats_; }
 
   /// Compute G = (I + F_{m-1} F_{m-2} ... F_0)^{-1}, with `factors` given
@@ -55,7 +61,7 @@ class StratificationEngine {
                  Profiler* prof = nullptr);
 
  private:
-  GradedAccumulator acc_;
+  std::unique_ptr<Stabilizer> acc_;
   StratStats stats_;
 };
 
@@ -71,7 +77,11 @@ Matrix close_greens(const Matrix& u, const Vector& d, const Matrix& t);
 /// U (orthogonal) and A = D_b U^T + D_s T (O(1) elements) are both
 /// well-conditioned LU targets — unlike det(G) itself, whose tiny singular
 /// values make LU pivot signs unreliable at large beta.
+///
+/// `algorithm` is REQUIRED (no default): the caller must pass the engine's
+/// configured stabilizer so sign diagnostics and stratification always run
+/// the same accumulation.
 int chain_det_sign(const std::vector<const Matrix*>& factors,
-                   StratAlgorithm algorithm = StratAlgorithm::kPrePivot);
+                   StratAlgorithm algorithm);
 
 }  // namespace dqmc::core

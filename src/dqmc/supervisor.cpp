@@ -60,7 +60,8 @@ class ChainSupervisor {
         progress_(progress),
         results_(results),
         lattice_(config.make_lattice()),
-        backend_(config.engine.backend) {}
+        backend_(config.engine.backend),
+        precision_(config.engine.precision) {}
 
   void run() {
     const idx total = config_.warmup_sweeps + config_.measurement_sweeps;
@@ -131,6 +132,7 @@ class ChainSupervisor {
   EngineConfig engine_config() const {
     EngineConfig cfg = config_.engine;
     cfg.backend = backend_;
+    cfg.precision = precision_;
     return cfg;
   }
 
@@ -181,6 +183,16 @@ class ChainSupervisor {
       return true;
     }
     if (cls == fault::FaultClass::kHealthTrip) {
+      if (precision_ == backend::Precision::kFp32) {
+        // A persistent health trip on fp32 wraps most likely IS the
+        // narrowed precision: give back the rounding budget before giving
+        // up on the monitoring. The rebuild+restore replays on fp64.
+        precision_ = backend::Precision::kFp64;
+        ++report.precision_degradations;
+        obs::metrics().count("fault.recovery.precision_degradations");
+        push_event(event, "degrade-precision", 0.0);
+        return true;
+      }
       // Deterministic re-trips mean the anomaly is real but the chain can
       // still run: degrade the monitoring, not the physics.
       check_health_ = false;
@@ -370,6 +382,7 @@ class ChainSupervisor {
   SimulationResults& results_;
   Lattice lattice_;
   backend::BackendKind backend_;
+  backend::Precision precision_;  ///< degradable: fp32 -> fp64 on health trips
   std::unique_ptr<DqmcEngine> engine_;
   idx done_ = 0;        ///< sweeps committed
   idx ckpt_sweep_ = 0;  ///< sweep boundary ckpt_ captures
@@ -406,7 +419,8 @@ class CrowdSupervisor {
         walkers_(walkers),
         partials_(partials),
         lattice_(config.make_lattice()),
-        backend_(config.engine.backend) {
+        backend_(config.engine.backend),
+        precision_(config.engine.precision) {
     for (idx w = 0; w < walkers_; ++w) {
       SimulationConfig chain_cfg = config_;
       chain_cfg.seed = seed(w);
@@ -494,6 +508,7 @@ class CrowdSupervisor {
   EngineConfig engine_config() const {
     EngineConfig cfg = config_.engine;
     cfg.backend = backend_;
+    cfg.precision = precision_;
     return cfg;
   }
 
@@ -565,6 +580,15 @@ class CrowdSupervisor {
       return true;
     }
     if (cls == fault::FaultClass::kHealthTrip) {
+      if (precision_ == backend::Precision::kFp32) {
+        // Crowd-wide precision degrade: one shared backend, one precision
+        // policy — every walker rejoins its trajectory on fp64 wraps.
+        precision_ = backend::Precision::kFp64;
+        ++rep.precision_degradations;
+        obs::metrics().count("fault.recovery.precision_degradations");
+        push_event(event, "degrade-precision", 0.0);
+        return true;
+      }
       check_health_ = false;
       push_event(event, "disable-health", 0.0);
       return true;
@@ -779,6 +803,7 @@ class CrowdSupervisor {
   std::vector<std::unique_ptr<SimulationResults>>& partials_;
   Lattice lattice_;
   backend::BackendKind backend_;
+  backend::Precision precision_;  ///< degradable: fp32 -> fp64 on health trips
   std::unique_ptr<WalkerBatch> batch_;
   idx done_ = 0;
   idx ckpt_sweep_ = 0;

@@ -14,8 +14,12 @@
 //   * device faults that exhaust max_retries on the gpusim backend ->
 //     graceful degradation: the rebuilt engine uses the host backend and
 //     continues from the same checkpoint (bitwise safe by backend parity);
-//   * health-monitor trips that exhaust max_retries -> the supervisor stops
-//     trip-checking and continues (degraded monitoring, recorded);
+//   * health-monitor trips that exhaust max_retries -> if the run is on
+//     fp32 wraps, degrade the precision policy back to fp64 first (the
+//     rebuilt engine replays the segment full-precision: the likeliest
+//     anomaly source is the narrowing itself); otherwise — or if fp64
+//     still trips — the supervisor stops trip-checking and continues
+//     (degraded monitoring, recorded);
 //   * checkpoint I/O errors -> retry once, then skip (the previous
 //     checkpoint stays the recovery point), committing the segment.
 // Anything still failing after that aborts with the original exception.

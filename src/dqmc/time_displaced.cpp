@@ -163,10 +163,10 @@ TimeDisplaced TimeDisplacedGreens::compute(Spin s) const {
   // Bhat_{c-1} ... Bhat_0 (prefixes[0] is the empty chain).
   std::vector<UDT> prefixes(static_cast<std::size_t>(nc) + 1);
   {
-    GradedAccumulator acc(nn, algorithm_);
+    const auto acc = make_stabilizer(nn, algorithm_);
     for (idx c = 0; c < nc; ++c) {
-      acc.push(store.cluster(s, c));
-      prefixes[static_cast<std::size_t>(c) + 1] = acc.snapshot();
+      acc->push(store.cluster(s, c));
+      prefixes[static_cast<std::size_t>(c) + 1] = acc->snapshot();
     }
   }
 
@@ -177,10 +177,10 @@ TimeDisplaced TimeDisplacedGreens::compute(Spin s) const {
   // Bhat_c^T as c decreases.
   std::vector<PDQ> suffixes(static_cast<std::size_t>(nc) + 1);
   {
-    GradedAccumulator acc(nn, algorithm_);
+    const auto acc = make_stabilizer(nn, algorithm_);
     for (idx c = nc - 1; c >= 0; --c) {
-      acc.push(linalg::transpose(store.cluster(s, c)));
-      const UDT t = acc.snapshot();
+      acc->push(linalg::transpose(store.cluster(s, c)));
+      const UDT t = acc->snapshot();
       suffixes[static_cast<std::size_t>(c)] =
           PDQ{linalg::transpose(t.t), t.d, t.u};
     }

@@ -34,10 +34,11 @@ WalkerBatch::WalkerBatch(const hubbard::Lattice& lattice,
   const hubbard::BMatrixFactory& factory = engines_[0]->factory();
   if (factory.kinetic().structured()) {
     batch_ = std::make_unique<backend::BatchedBChain>(
-        *backend_, factory.kinetic().cb(), 2 * walkers());
+        *backend_, factory.kinetic().cb(), 2 * walkers(), config.precision);
   } else {
     batch_ = std::make_unique<backend::BatchedBChain>(
-        *backend_, factory.b(), factory.b_inv(), 2 * walkers());
+        *backend_, factory.b(), factory.b_inv(), 2 * walkers(),
+        config.precision);
   }
 }
 

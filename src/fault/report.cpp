@@ -8,6 +8,7 @@ FaultReport& FaultReport::operator+=(const FaultReport& other) {
   retries += other.retries;
   restarts += other.restarts;
   degradations += other.degradations;
+  precision_degradations += other.precision_degradations;
   health_trips += other.health_trips;
   checkpoints += other.checkpoints;
   checkpoint_faults += other.checkpoint_faults;
@@ -28,12 +29,17 @@ obs::Json FaultReport::json_value() const {
                       .set("backoff_ms", e.backoff_ms)
                       .set("detail", e.detail));
   }
-  return obs::Json::object()
+  obs::Json j = obs::Json::object()
       .set("faults", faults)
       .set("retries", retries)
       .set("restarts", restarts)
-      .set("degradations", degradations)
-      .set("health_trips", health_trips)
+      .set("degradations", degradations);
+  // Conditional so fp64-only runs (and the pre-existing golden fixtures)
+  // keep their manifest bytes.
+  if (precision_degradations > 0) {
+    j.set("precision_degradations", precision_degradations);
+  }
+  return j.set("health_trips", health_trips)
       .set("checkpoints", checkpoints)
       .set("checkpoint_faults", checkpoint_faults)
       .set("degraded", degraded)

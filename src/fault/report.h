@@ -16,7 +16,8 @@ struct FaultEvent {
   std::string site;         ///< fail-point site, "health", or "checkpoint"
   std::string fault_class;  ///< fault_class_name() of the classification
   /// What the supervisor did: "retry" | "restart" | "degrade" |
-  /// "retry-checkpoint" | "skip-checkpoint" | "disable-health" | "abort".
+  /// "degrade-precision" | "retry-checkpoint" | "skip-checkpoint" |
+  /// "disable-health" | "abort".
   std::string action;
   std::int64_t sweep = 0;   ///< global sweep index of the segment boundary
   int attempt = 0;          ///< 1-based attempt number within the segment
@@ -31,6 +32,9 @@ struct FaultReport {
   std::uint64_t retries = 0;      ///< same-backend restart attempts
   std::uint64_t restarts = 0;     ///< checkpoint restorations performed
   std::uint64_t degradations = 0; ///< gpusim -> host backend switches
+  /// fp32 -> fp64 precision-policy switches (health trips that exhausted
+  /// the retry budget while the run was on fp32 wraps).
+  std::uint64_t precision_degradations = 0;
   std::uint64_t health_trips = 0; ///< health-monitor trips (injected or real)
   std::uint64_t checkpoints = 0;  ///< recovery checkpoints taken
   std::uint64_t checkpoint_faults = 0;  ///< checkpoint I/O failures absorbed

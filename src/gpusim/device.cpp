@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "linalg/diag.h"
+#include "linalg/fp32.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,14 +22,18 @@ Device::~Device() {
   }
 }
 
-DeviceMatrix Device::alloc_matrix(idx rows, idx cols) {
+DeviceMatrix Device::alloc_matrix(idx rows, idx cols, int element_bytes) {
   DQMC_CHECK(rows >= 0 && cols >= 0);
-  return DeviceMatrix(rows, cols);
+  DQMC_CHECK_MSG(element_bytes == 4 || element_bytes == 8,
+                 "element_bytes must be 4 (fp32) or 8 (fp64)");
+  return DeviceMatrix(rows, cols, element_bytes);
 }
 
-DeviceVector Device::alloc_vector(idx n) {
+DeviceVector Device::alloc_vector(idx n, int element_bytes) {
   DQMC_CHECK(n >= 0);
-  return DeviceVector(n);
+  DQMC_CHECK_MSG(element_bytes == 4 || element_bytes == 8,
+                 "element_bytes must be 4 (fp32) or 8 (fp64)");
+  return DeviceVector(n, element_bytes);
 }
 
 DeviceKinetic Device::alloc_kinetic(const linalg::CbOperator& op) {
@@ -153,10 +158,17 @@ void Device::gemm(Trans transa, Trans transb, double alpha,
   const idx m = transa == Trans::Yes ? a.cols() : a.rows();
   const idx k = transa == Trans::Yes ? a.rows() : a.cols();
   const idx n = transb == Trans::Yes ? b.rows() : b.cols();
-  const double seconds = spec_.gemm_seconds(m, n, k);
+  // Fermi runs fp32 MAD at twice the fp64 peak: halve the modeled seconds.
+  const bool narrow = fp32_;
+  const double seconds = spec_.gemm_seconds(m, n, k) * (narrow ? 0.5 : 1.0);
   enqueue_compute("gemm", seconds, [=, &a, &b, &c] {
-    linalg::gemm(transa, transb, alpha, a.storage_, b.storage_, beta,
-                 c.storage_);
+    if (narrow) {
+      linalg::gemm_fp32(transa, transb, alpha, a.storage_.view(),
+                        b.storage_.view(), beta, c.storage_.view());
+    } else {
+      linalg::gemm(transa, transb, alpha, a.storage_, b.storage_, beta,
+                   c.storage_);
+    }
   });
 }
 
@@ -169,8 +181,13 @@ void Device::scale_rows_rowwise(const DeviceVector& v, const DeviceMatrix& src,
   bill_compute(seconds, static_cast<std::uint64_t>(src.rows()));
   obs::metrics().count("gpusim.kernel_launches",
                        static_cast<std::uint64_t>(src.rows()));
-  submit_traced("scale_rows_rowwise", [&v, &src, &dst] {
-    linalg::scale_rows_into(v.storage_.data(), src.storage_, dst.storage_);
+  submit_traced("scale_rows_rowwise", [narrow = fp32_, &v, &src, &dst] {
+    if (narrow) {
+      linalg::scale_rows_into_fp32(v.storage_.data(), src.storage_.view(),
+                                   dst.storage_.view());
+    } else {
+      linalg::scale_rows_into(v.storage_.data(), src.storage_, dst.storage_);
+    }
   });
 }
 
@@ -186,9 +203,13 @@ void Device::scale_cols_rowwise(const DeviceVector& v, const DeviceMatrix& src,
   bill_compute(seconds, static_cast<std::uint64_t>(src.cols()));
   obs::metrics().count("gpusim.kernel_launches",
                        static_cast<std::uint64_t>(src.cols()));
-  submit_traced("scale_cols_rowwise", [&v, &src, &dst] {
+  submit_traced("scale_cols_rowwise", [narrow = fp32_, &v, &src, &dst] {
     if (&src != &dst) linalg::copy(src.storage_, dst.storage_);
-    linalg::scale_cols(v.storage_.data(), dst.storage_);
+    if (narrow) {
+      linalg::scale_cols_fp32(v.storage_.data(), dst.storage_.view());
+    } else {
+      linalg::scale_cols(v.storage_.data(), dst.storage_);
+    }
   });
 }
 
@@ -197,17 +218,28 @@ void Device::scale_rows_kernel(const DeviceVector& v, const DeviceMatrix& src,
   DQMC_CHECK(v.size() == src.rows());
   DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
   const double seconds = spec_.fused_kernel_seconds(2.0 * src.bytes());
-  enqueue_compute("scale_rows_kernel", seconds, [&v, &src, &dst] {
-    linalg::scale_rows_into(v.storage_.data(), src.storage_, dst.storage_);
+  enqueue_compute("scale_rows_kernel", seconds, [narrow = fp32_, &v, &src,
+                                                 &dst] {
+    if (narrow) {
+      linalg::scale_rows_into_fp32(v.storage_.data(), src.storage_.view(),
+                                   dst.storage_.view());
+    } else {
+      linalg::scale_rows_into(v.storage_.data(), src.storage_, dst.storage_);
+    }
   });
 }
 
 void Device::wrap_scale_kernel(const DeviceVector& v, DeviceMatrix& g) {
   DQMC_CHECK(v.size() == g.rows() && g.rows() == g.cols());
   const double seconds = spec_.fused_kernel_seconds(2.0 * g.bytes());
-  enqueue_compute("wrap_scale_kernel", seconds, [&v, &g] {
-    linalg::scale_rows_cols_inv(v.storage_.data(), v.storage_.data(),
-                                g.storage_);
+  enqueue_compute("wrap_scale_kernel", seconds, [narrow = fp32_, &v, &g] {
+    if (narrow) {
+      linalg::scale_rows_cols_inv_fp32(v.storage_.data(), v.storage_.data(),
+                                       g.storage_.view());
+    } else {
+      linalg::scale_rows_cols_inv(v.storage_.data(), v.storage_.data(),
+                                  g.storage_);
+    }
   });
 }
 
@@ -216,9 +248,13 @@ void Device::cb_apply_kernel(const DeviceKinetic& k, linalg::CbSide side,
   DQMC_CHECK(side == linalg::CbSide::kLeft ? x.rows() == k.n()
                                            : x.cols() == k.n());
   const idx cols = side == linalg::CbSide::kLeft ? x.cols() : x.rows();
+  // The bond replay is memory-bound on the matrix columns; fp32 halves the
+  // streamed width, so the model halves the traffic term wholesale.
+  const bool narrow = fp32_;
   const double seconds = spec_.cb_apply_seconds(k.n(), k.num_bonds(),
                                                 k.num_groups(), cols,
-                                                k.scaled());
+                                                k.scaled()) *
+                         (narrow ? 0.5 : 1.0);
   const std::uint64_t launches =
       static_cast<std::uint64_t>(k.num_groups()) + (k.scaled() ? 1 : 0);
   // One launch per bond group (plus the diagonal pass): bill them all, but
@@ -229,8 +265,12 @@ void Device::cb_apply_kernel(const DeviceKinetic& k, linalg::CbSide side,
     reg.count("gpusim.kernel_launches", launches);
     reg.observe("gpusim.kernel_modeled_ms", seconds * 1e3);
   }
-  submit_traced("cb_apply_kernel", [&k, side, inverse, &x] {
-    linalg::cb_apply(k.op_, side, inverse, x.storage_);
+  submit_traced("cb_apply_kernel", [narrow, &k, side, inverse, &x] {
+    if (narrow) {
+      linalg::cb_apply_fp32(k.op_, side, inverse, x.storage_.view());
+    } else {
+      linalg::cb_apply(k.op_, side, inverse, x.storage_);
+    }
   });
 }
 
@@ -245,7 +285,9 @@ void Device::gemm_batched(Trans transa, Trans transb, double alpha,
   const idx m = transa == Trans::Yes ? a[0]->cols() : a[0]->rows();
   const idx k = transa == Trans::Yes ? a[0]->rows() : a[0]->cols();
   const idx n = transb == Trans::Yes ? b[0]->rows() : b[0]->cols();
-  const double seconds = spec_.gemm_batched_seconds(m, n, k, count);
+  const bool narrow = fp32_;
+  const double seconds =
+      spec_.gemm_batched_seconds(m, n, k, count) * (narrow ? 0.5 : 1.0);
   enqueue_compute(
       "gemm_batched", seconds,
       [=, a = std::move(a), b = std::move(b), c = std::move(c)] {
@@ -257,7 +299,11 @@ void Device::gemm_batched(Trans transa, Trans transb, double alpha,
         for (const DeviceMatrix* ai : a) av.push_back(ai->storage_);
         for (const DeviceMatrix* bi : b) bv.push_back(bi->storage_);
         for (DeviceMatrix* ci : c) cv.push_back(ci->storage_);
-        linalg::gemm_batched(transa, transb, alpha, av, bv, beta, cv);
+        if (narrow) {
+          linalg::gemm_batched_fp32(transa, transb, alpha, av, bv, beta, cv);
+        } else {
+          linalg::gemm_batched(transa, transb, alpha, av, bv, beta, cv);
+        }
       });
 }
 
@@ -278,11 +324,18 @@ void Device::scale_rows_kernel_batched(std::vector<const DeviceVector*> v,
   const double seconds = spec_.fused_kernel_seconds(bytes);
   enqueue_compute(
       "scale_rows_kernel_batched", seconds,
-      [v = std::move(v), src = std::move(src), dst = std::move(dst)] {
+      [narrow = fp32_, v = std::move(v), src = std::move(src),
+       dst = std::move(dst)] {
         for (std::size_t i = 0; i < dst.size(); ++i) {
           const DeviceMatrix& s = src.size() == 1 ? *src[0] : *src[i];
-          linalg::scale_rows_into(v[i]->storage_.data(), s.storage_,
-                                  dst[i]->storage_);
+          if (narrow) {
+            linalg::scale_rows_into_fp32(v[i]->storage_.data(),
+                                         s.storage_.view(),
+                                         dst[i]->storage_.view());
+          } else {
+            linalg::scale_rows_into(v[i]->storage_.data(), s.storage_,
+                                    dst[i]->storage_);
+          }
         }
       });
 }
@@ -298,11 +351,17 @@ void Device::wrap_scale_kernel_batched(std::vector<const DeviceVector*> v,
   }
   const double seconds = spec_.fused_kernel_seconds(bytes);
   enqueue_compute("wrap_scale_kernel_batched", seconds,
-                  [v = std::move(v), g = std::move(g)] {
+                  [narrow = fp32_, v = std::move(v), g = std::move(g)] {
                     for (std::size_t i = 0; i < g.size(); ++i) {
-                      linalg::scale_rows_cols_inv(v[i]->storage_.data(),
-                                                  v[i]->storage_.data(),
-                                                  g[i]->storage_);
+                      if (narrow) {
+                        linalg::scale_rows_cols_inv_fp32(
+                            v[i]->storage_.data(), v[i]->storage_.data(),
+                            g[i]->storage_.view());
+                      } else {
+                        linalg::scale_rows_cols_inv(v[i]->storage_.data(),
+                                                    v[i]->storage_.data(),
+                                                    g[i]->storage_);
+                      }
                     }
                   });
 }
@@ -318,8 +377,11 @@ void Device::cb_apply_kernel_batched(const DeviceKinetic& k,
     DQMC_CHECK(xi->rows() == x[0]->rows() && xi->cols() == x[0]->cols());
   }
   const idx cols = side == linalg::CbSide::kLeft ? x[0]->cols() : x[0]->rows();
-  const double seconds = spec_.cb_apply_batched_seconds(
-      k.n(), k.num_bonds(), k.num_groups(), cols, k.scaled(), count);
+  const bool narrow = fp32_;
+  const double seconds =
+      spec_.cb_apply_batched_seconds(k.n(), k.num_bonds(), k.num_groups(),
+                                     cols, k.scaled(), count) *
+      (narrow ? 0.5 : 1.0);
   const std::uint64_t launches =
       static_cast<std::uint64_t>(k.num_groups()) + (k.scaled() ? 1 : 0);
   bill_compute(seconds, launches);
@@ -329,11 +391,16 @@ void Device::cb_apply_kernel_batched(const DeviceKinetic& k,
     reg.observe("gpusim.kernel_modeled_ms", seconds * 1e3);
   }
   submit_traced("cb_apply_kernel_batched",
-                [&k, side, inverse, x = std::move(x)] {
+                [narrow, &k, side, inverse, x = std::move(x)] {
                   // Items replay the exact single-item kernel in sequence,
                   // so per-item bits cannot depend on the batching.
                   for (DeviceMatrix* xi : x) {
-                    linalg::cb_apply(k.op_, side, inverse, xi->storage_);
+                    if (narrow) {
+                      linalg::cb_apply_fp32(k.op_, side, inverse,
+                                            xi->storage_.view());
+                    } else {
+                      linalg::cb_apply(k.op_, side, inverse, xi->storage_);
+                    }
                   }
                 });
 }

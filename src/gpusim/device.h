@@ -37,14 +37,19 @@ class DeviceMatrix {
   DeviceMatrix() = default;
   idx rows() const { return storage_.rows(); }
   idx cols() const { return storage_.cols(); }
+  /// Modeled storage width (4 = fp32, 8 = fp64); the host-side shadow is
+  /// always double, only the cost model sees the narrower footprint.
+  int element_bytes() const { return element_bytes_; }
   double bytes() const {
-    return static_cast<double>(rows()) * cols() * sizeof(double);
+    return static_cast<double>(rows()) * cols() * element_bytes_;
   }
 
  private:
   friend class Device;
-  explicit DeviceMatrix(idx rows, idx cols) : storage_(rows, cols) {}
+  DeviceMatrix(idx rows, idx cols, int element_bytes)
+      : storage_(rows, cols), element_bytes_(element_bytes) {}
   Matrix storage_;
+  int element_bytes_ = 8;
 };
 
 /// A vector in device memory (diagonal scalings live here).
@@ -52,12 +57,17 @@ class DeviceVector {
  public:
   DeviceVector() = default;
   idx size() const { return storage_.size(); }
-  double bytes() const { return static_cast<double>(size()) * sizeof(double); }
+  int element_bytes() const { return element_bytes_; }
+  double bytes() const {
+    return static_cast<double>(size()) * element_bytes_;
+  }
 
  private:
   friend class Device;
-  explicit DeviceVector(idx n) : storage_(n) {}
+  DeviceVector(idx n, int element_bytes)
+      : storage_(n), element_bytes_(element_bytes) {}
   Vector storage_;
+  int element_bytes_ = 8;
 };
 
 /// A checkerboard bond table resident in (simulated) device memory —
@@ -121,9 +131,11 @@ class Device {
 
   const DeviceSpec& spec() const { return spec_; }
 
-  /// Allocate uninitialized device storage.
-  DeviceMatrix alloc_matrix(idx rows, idx cols);
-  DeviceVector alloc_vector(idx n);
+  /// Allocate uninitialized device storage. `element_bytes` (4 or 8) tags
+  /// the buffer's modeled storage width: fp32 buffers halve every transfer
+  /// and memory-bound kernel bill that goes through bytes().
+  DeviceMatrix alloc_matrix(idx rows, idx cols, int element_bytes = 8);
+  DeviceVector alloc_vector(idx n, int element_bytes = 8);
   /// Upload a checkerboard bond table (validated; one accounted h2d
   /// transfer of the table bytes). The table is immutable once resident.
   DeviceKinetic alloc_kinetic(const linalg::CbOperator& op);
@@ -219,6 +231,15 @@ class Device {
   void get_matrices(std::vector<const DeviceMatrix*> devs,
                     std::vector<MatrixView> hosts);
 
+  /// fp32 compute mode for subsequently ENQUEUED kernels: arithmetic runs
+  /// the linalg/fp32.h round-on-read kernels and GEMM bills at twice the
+  /// modeled FLOP rate (Fermi's fp32:fp64 peak ratio). The flag is read on
+  /// the submitting thread at enqueue time — callers bracket exactly the
+  /// command sequence they want narrowed; work already on the stream keeps
+  /// the mode it was enqueued with.
+  void set_compute_fp32(bool on) { fp32_ = on; }
+  bool compute_fp32() const { return fp32_; }
+
   /// Block the host until all enqueued work has executed.
   void synchronize();
 
@@ -245,6 +266,8 @@ class Device {
   void drain();
 
   DeviceSpec spec_;
+  // Compute mode captured at enqueue time (submitting thread only).
+  bool fp32_ = false;
   // Dedicated worker = one CUDA stream: strict FIFO execution.
   StreamThread stream_;
   // Host wall clock the virtual timeline is anchored to: enqueued work

@@ -1,0 +1,301 @@
+#include "linalg/fp32.h"
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "parallel/parallel_for.h"
+
+namespace dqmc::linalg {
+
+namespace {
+
+// Pack op(A) (m x k) column-major into a float buffer: the rounding to
+// float happens HERE, once per operand, which is both the "dtype-aware
+// packing" of the fp32 path and what keeps every consumer's arithmetic
+// chain identical regardless of blocking.
+void pack_fp32(Trans trans, ConstMatrixView a, idx m, idx k,
+               std::vector<float>& out) {
+  out.resize(static_cast<std::size_t>(m) * static_cast<std::size_t>(k));
+  if (trans == Trans::No) {
+    for (idx j = 0; j < k; ++j) {
+      const double* src = a.col(j);
+      float* dst = out.data() + static_cast<std::size_t>(j * m);
+      for (idx i = 0; i < m; ++i) dst[i] = static_cast<float>(src[i]);
+    }
+  } else {
+    for (idx j = 0; j < k; ++j) {
+      float* dst = out.data() + static_cast<std::size_t>(j * m);
+      for (idx i = 0; i < m; ++i) dst[i] = static_cast<float>(a(j, i));
+    }
+  }
+}
+
+// One output column: acc = sum_l pa[:, l] * pb[l], then
+// c(:, j) = alpha * acc + beta * c(:, j), all in float. Serial l-loop =
+// fixed reduction order per element.
+void gemm_fp32_column(const float* pa, const float* pb, idx m, idx k,
+                      float alpha, float beta, double* cj, float* acc) {
+  for (idx i = 0; i < m; ++i) acc[i] = 0.0f;
+  for (idx l = 0; l < k; ++l) {
+    const float bl = pb[l];
+    const float* al = pa + static_cast<std::size_t>(l * m);
+    for (idx i = 0; i < m; ++i) acc[i] += al[i] * bl;
+  }
+  if (beta == 0.0f) {
+    for (idx i = 0; i < m; ++i) {
+      cj[i] = static_cast<double>(alpha * acc[i]);
+    }
+  } else {
+    for (idx i = 0; i < m; ++i) {
+      cj[i] = static_cast<double>(alpha * acc[i] +
+                                  beta * static_cast<float>(cj[i]));
+    }
+  }
+}
+
+void gemm_fp32_packed(const std::vector<float>& pa,
+                      const std::vector<float>& pb, idx m, idx nn, idx k,
+                      float alpha, float beta, MatrixView c) {
+  par::parallel_for_chunks(
+      0, nn,
+      [&](par::index_t lo, par::index_t hi) {
+        std::vector<float> acc(static_cast<std::size_t>(m));
+        for (par::index_t j = lo; j < hi; ++j) {
+          gemm_fp32_column(pa.data(),
+                           pb.data() + static_cast<std::size_t>(j) *
+                                           static_cast<std::size_t>(k),
+                           m, k, alpha, beta, c.col(static_cast<idx>(j)),
+                           acc.data());
+        }
+      },
+      {.grain = 4});
+}
+
+void check_gemm_dims(Trans transa, Trans transb, ConstMatrixView a,
+                     ConstMatrixView b, MatrixView c) {
+  const idx m = c.rows(), nn = c.cols();
+  const idx ka = transa == Trans::No ? a.cols() : a.rows();
+  const idx ma = transa == Trans::No ? a.rows() : a.cols();
+  const idx kb = transb == Trans::No ? b.rows() : b.cols();
+  const idx nb = transb == Trans::No ? b.cols() : b.rows();
+  DQMC_CHECK_MSG(ma == m && nb == nn && ka == kb,
+                 "gemm_fp32: inconsistent dimensions");
+}
+
+}  // namespace
+
+void gemm_fp32(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+               ConstMatrixView b, double beta, MatrixView c) {
+  check_gemm_dims(transa, transb, a, b, c);
+  const idx m = c.rows(), nn = c.cols();
+  const idx k = transa == Trans::No ? a.cols() : a.rows();
+  std::vector<float> pa, pb;
+  pack_fp32(transa, a, m, k, pa);
+  pack_fp32(transb, b, k, nn, pb);
+  gemm_fp32_packed(pa, pb, m, nn, k, static_cast<float>(alpha),
+                   static_cast<float>(beta), c);
+}
+
+void gemm_batched_fp32(Trans transa, Trans transb, double alpha,
+                       const std::vector<ConstMatrixView>& a,
+                       const std::vector<ConstMatrixView>& b, double beta,
+                       const std::vector<MatrixView>& c) {
+  const std::size_t count = c.size();
+  DQMC_CHECK_MSG(count > 0, "gemm_batched_fp32: empty batch");
+  DQMC_CHECK_MSG((a.size() == count || a.size() == 1) &&
+                     (b.size() == count || b.size() == 1),
+                 "gemm_batched_fp32: operand counts must be `count` or 1");
+  const bool shared_a = a.size() == 1;
+  const bool shared_b = b.size() == 1;
+  const idx m = c[0].rows(), nn = c[0].cols();
+  const idx k = transa == Trans::No ? a[0].cols() : a[0].rows();
+  for (std::size_t i = 0; i < count; ++i) {
+    check_gemm_dims(transa, transb, a[shared_a ? 0 : i], b[shared_b ? 0 : i],
+                    c[i]);
+  }
+
+  // Shared operands round to float once; per-item operands pack inside the
+  // item task. Item arithmetic is the serial per-column chain either way.
+  std::vector<float> shared_pa, shared_pb;
+  if (shared_a) pack_fp32(transa, a[0], m, k, shared_pa);
+  if (shared_b) pack_fp32(transb, b[0], k, nn, shared_pb);
+  const float falpha = static_cast<float>(alpha);
+  const float fbeta = static_cast<float>(beta);
+
+  par::parallel_for(
+      par::index_t{0}, static_cast<par::index_t>(count),
+      [&](par::index_t it) {
+        const std::size_t item = static_cast<std::size_t>(it);
+        std::vector<float> pa, pb;
+        if (!shared_a) pack_fp32(transa, a[item], m, k, pa);
+        if (!shared_b) pack_fp32(transb, b[item], k, nn, pb);
+        const std::vector<float>& ua = shared_a ? shared_pa : pa;
+        const std::vector<float>& ub = shared_b ? shared_pb : pb;
+        std::vector<float> acc(static_cast<std::size_t>(m));
+        for (idx j = 0; j < nn; ++j) {
+          gemm_fp32_column(ua.data(),
+                           ub.data() + static_cast<std::size_t>(j) *
+                                           static_cast<std::size_t>(k),
+                           m, k, falpha, fbeta, c[item].col(j), acc.data());
+        }
+      },
+      {.grain = 1});
+}
+
+namespace {
+
+void apply_group_left_fp32(const std::vector<CbBond>& group, bool inverse,
+                           MatrixView x, idx j) {
+  for (const CbBond& bond : group) {
+    const float sh =
+        static_cast<float>(inverse ? -bond.sinh_t : bond.sinh_t);
+    const float ch = static_cast<float>(bond.cosh_t);
+    const float va = static_cast<float>(x(bond.a, j));
+    const float vb = static_cast<float>(x(bond.b, j));
+    x(bond.a, j) = static_cast<double>(ch * va + sh * vb);
+    x(bond.b, j) = static_cast<double>(sh * va + ch * vb);
+  }
+}
+
+void apply_group_right_fp32(const std::vector<CbBond>& group, bool inverse,
+                            MatrixView x, idx i) {
+  for (const CbBond& bond : group) {
+    const float sh =
+        static_cast<float>(inverse ? -bond.sinh_t : bond.sinh_t);
+    const float ch = static_cast<float>(bond.cosh_t);
+    const float va = static_cast<float>(x(i, bond.a));
+    const float vb = static_cast<float>(x(i, bond.b));
+    x(i, bond.a) = static_cast<double>(ch * va + sh * vb);
+    x(i, bond.b) = static_cast<double>(sh * va + ch * vb);
+  }
+}
+
+constexpr par::ForOptions kCbApplyOptions{.grain = 16};
+
+}  // namespace
+
+void cb_apply_fp32(const CbOperator& op, CbSide side, bool inverse,
+                   MatrixView x) {
+  const idx m = op.num_groups();
+  const bool scaled = op.diag_scale != 1.0;
+  const float s = static_cast<float>(op.diag_scale);
+  const float s_inv = static_cast<float>(1.0 / op.diag_scale);
+  if (side == CbSide::kLeft) {
+    DQMC_CHECK_MSG(x.rows() == op.n, "cb_apply_fp32(kLeft): operand rows "
+                                     "must match operator dimension");
+    par::parallel_for(
+        idx{0}, x.cols(),
+        [&](idx j) {
+          if (inverse) {
+            if (scaled) {
+              for (idx i = 0; i < x.rows(); ++i) {
+                x(i, j) =
+                    static_cast<double>(static_cast<float>(x(i, j)) * s_inv);
+              }
+            }
+            for (idx g = m - 1; g >= 0; --g) {
+              apply_group_left_fp32(op.groups[static_cast<std::size_t>(g)],
+                                    true, x, j);
+            }
+          } else {
+            for (idx g = 0; g < m; ++g) {
+              apply_group_left_fp32(op.groups[static_cast<std::size_t>(g)],
+                                    false, x, j);
+            }
+            if (scaled) {
+              for (idx i = 0; i < x.rows(); ++i) {
+                x(i, j) = static_cast<double>(static_cast<float>(x(i, j)) * s);
+              }
+            }
+          }
+        },
+        kCbApplyOptions);
+  } else {
+    DQMC_CHECK_MSG(x.cols() == op.n, "cb_apply_fp32(kRight): operand cols "
+                                     "must match operator dimension");
+    par::parallel_for(
+        idx{0}, x.rows(),
+        [&](idx i) {
+          if (inverse) {
+            if (scaled) {
+              for (idx j = 0; j < x.cols(); ++j) {
+                x(i, j) =
+                    static_cast<double>(static_cast<float>(x(i, j)) * s_inv);
+              }
+            }
+            for (idx g = 0; g < m; ++g) {
+              apply_group_right_fp32(op.groups[static_cast<std::size_t>(g)],
+                                     true, x, i);
+            }
+          } else {
+            for (idx g = m - 1; g >= 0; --g) {
+              apply_group_right_fp32(op.groups[static_cast<std::size_t>(g)],
+                                     false, x, i);
+            }
+            if (scaled) {
+              for (idx j = 0; j < x.cols(); ++j) {
+                x(i, j) = static_cast<double>(static_cast<float>(x(i, j)) * s);
+              }
+            }
+          }
+        },
+        kCbApplyOptions);
+  }
+}
+
+void scale_rows_fp32(const double* d, MatrixView a) {
+  par::parallel_for(
+      idx{0}, a.cols(),
+      [&](idx j) {
+        double* col = &a(0, j);
+        for (idx i = 0; i < a.rows(); ++i) {
+          col[i] = static_cast<double>(static_cast<float>(d[i]) *
+                                       static_cast<float>(col[i]));
+        }
+      },
+      {.grain = 8});
+}
+
+void scale_cols_fp32(const double* d, MatrixView a) {
+  par::parallel_for(
+      idx{0}, a.cols(),
+      [&](idx j) {
+        const float f = static_cast<float>(d[j]);
+        double* col = &a(0, j);
+        for (idx i = 0; i < a.rows(); ++i) {
+          col[i] = static_cast<double>(static_cast<float>(col[i]) * f);
+        }
+      },
+      {.grain = 8});
+}
+
+void scale_rows_cols_inv_fp32(const double* r, const double* c, MatrixView a) {
+  par::parallel_for(
+      idx{0}, a.cols(),
+      [&](idx j) {
+        const float inv_c = 1.0f / static_cast<float>(c[j]);
+        double* col = &a(0, j);
+        for (idx i = 0; i < a.rows(); ++i) {
+          col[i] = static_cast<double>(static_cast<float>(r[i]) *
+                                       static_cast<float>(col[i]) * inv_c);
+        }
+      },
+      {.grain = 8});
+}
+
+void scale_rows_into_fp32(const double* d, ConstMatrixView a, MatrixView out) {
+  DQMC_CHECK(a.rows() == out.rows() && a.cols() == out.cols());
+  par::parallel_for(
+      idx{0}, a.cols(),
+      [&](idx j) {
+        const double* src = a.col(j);
+        double* dst = &out(0, j);
+        for (idx i = 0; i < a.rows(); ++i) {
+          dst[i] = static_cast<double>(static_cast<float>(d[i]) *
+                                       static_cast<float>(src[i]));
+        }
+      },
+      {.grain = 8});
+}
+
+}  // namespace dqmc::linalg

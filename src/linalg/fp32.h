@@ -1,0 +1,60 @@
+// fp32 variants of the wrap-path hot kernels (gemm / gemm_batched packing,
+// checkerboard apply, diagonal scalings).
+//
+// The precision policy (docs/STABILITY.md) runs the per-slice wrapping
+// updates in single precision and lets the stabilization interval's fp64
+// stratified recompute absorb the rounding. These kernels implement that
+// contract on DOUBLE storage: every input element is rounded to IEEE float
+// on read, the whole arithmetic chain runs in float, and the result widens
+// back on store. Storage stays double so the rest of the pipeline (graded
+// accumulation, measurements, checkpoints) is untouched, and the host and
+// gpusim backends execute the SAME function — cross-backend trajectories
+// remain bitwise identical in fp32 mode too.
+//
+// Determinism: each output element's float chain is a fixed serial
+// reduction (k-loop order for GEMM, group order for the checkerboard
+// replay), independent of how threads chunk the columns — the same
+// contract the fp64 kernels honor.
+#pragma once
+
+#include <vector>
+
+#include "linalg/blas3.h"
+#include "linalg/cb_operator.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// C <- alpha * op(A) * op(B) + beta * C, computed in float (round on
+/// read, widen on store). op(A)/op(B) are packed into float buffers once,
+/// then columns of C are produced in parallel with a serial k-loop each.
+void gemm_fp32(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+               ConstMatrixView b, double beta, MatrixView c);
+
+/// Batched fp32 GEMM with the gemm_batched shared-operand convention: an
+/// `a` (resp. `b`) of size 1 with count > 1 is one shared operand, packed
+/// to float ONCE and streamed by every item. Item results are bitwise
+/// identical to gemm_fp32 on the same operands at any worker count.
+void gemm_batched_fp32(Trans transa, Trans transb, double alpha,
+                       const std::vector<ConstMatrixView>& a,
+                       const std::vector<ConstMatrixView>& b, double beta,
+                       const std::vector<MatrixView>& c);
+
+/// Structured checkerboard apply in float: same group replay as cb_apply
+/// with every 2x2 rotation evaluated in float.
+void cb_apply_fp32(const CbOperator& op, CbSide side, bool inverse,
+                   MatrixView x);
+
+/// A <- diag(d) * A in float.
+void scale_rows_fp32(const double* d, MatrixView a);
+
+/// A <- A * diag(d) in float.
+void scale_cols_fp32(const double* d, MatrixView a);
+
+/// A <- diag(r) * A * diag(c)^{-1} in float (the fused wrap scaling).
+void scale_rows_cols_inv_fp32(const double* r, const double* c, MatrixView a);
+
+/// out <- diag(d) * A in float, leaving A untouched.
+void scale_rows_into_fp32(const double* d, ConstMatrixView a, MatrixView out);
+
+}  // namespace dqmc::linalg

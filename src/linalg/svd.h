@@ -1,0 +1,37 @@
+// Singular value decomposition by one-sided (Hestenes) Jacobi rotations.
+//
+// The SVD-stack stabilizer (dqmc/svd_stack.h) factors each accumulated
+// chain step C = U diag(sigma) V^T. One-sided Jacobi is the right tool for
+// that workload: C is always a well-conditioned matrix times a graded
+// column scaling, exactly the class for which Jacobi computes every
+// singular value to high RELATIVE accuracy (Demmel & Veselic) — the tiny
+// sigmas a graded chain lives on survive, where a bidiagonalization-based
+// solver would smear them with absolute-error terms of order ||C||.
+//
+// The sweep order is cyclic and strictly serial, so the factorization is
+// bitwise deterministic at any thread budget (the determinism contract of
+// the rest of the hot path). Column norms use scaled sums of squares, so
+// chains whose d-scales square past DBL_MAX still factor correctly.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// A = u * diag(sigma) * vt with u having orthonormal columns, sigma
+/// positive and sorted descending, and vt orthogonal.
+struct SVDecomposition {
+  Matrix u;      ///< rows(a) x cols(a), orthonormal columns
+  Vector sigma;  ///< cols(a), positive, descending
+  Matrix vt;     ///< cols(a) x cols(a), orthogonal
+};
+
+/// Factor a (rows >= cols required) by cyclic one-sided Jacobi. Throws
+/// NumericalError when the sweeps fail to converge or when a singular value
+/// is exactly zero / non-finite (a singular chain, same contract as the
+/// graded accumulator). `tol` bounds the cosine of the angle between any
+/// column pair at convergence.
+SVDecomposition svd(ConstMatrixView a, double tol = 1e-13,
+                    int max_sweeps = 60);
+
+}  // namespace dqmc::linalg

@@ -40,11 +40,14 @@ void HealthMonitor::violation(const char* what, double value) {
   DQMC_FLIGHT_EVENT(FlightEventKind::kHealth, what, "violation", value);
 }
 
-void HealthMonitor::record_wrap_drift(double drift) {
+void HealthMonitor::record_wrap_drift(double drift, bool fp32) {
   if (!enabled()) return;
   std::lock_guard lock(mutex_);
   state_.wrap_drift.add(drift);
-  if (drift > thresholds_.max_wrap_drift) {
+  if (fp32) fp32_drift_seen_ = true;
+  const double limit =
+      fp32 ? thresholds_.max_wrap_drift_fp32 : thresholds_.max_wrap_drift;
+  if (drift > limit) {
     violation("health.wrap_drift_warn", drift);
   }
 }
@@ -97,6 +100,11 @@ Json HealthMonitor::json_value() const {
   j.set("violations", state_.violations);
   Json t = Json::object();
   t.set("max_wrap_drift", thresholds_.max_wrap_drift);
+  // Emitted only when an fp32 sample actually arrived, so fp64-only runs
+  // keep their manifest bytes (same pattern as the conditional config keys).
+  if (fp32_drift_seen_) {
+    t.set("max_wrap_drift_fp32", thresholds_.max_wrap_drift_fp32);
+  }
   t.set("min_sortedness", thresholds_.min_sortedness);
   t.set("min_avg_sign", thresholds_.min_avg_sign);
   t.set("min_sign_samples", thresholds_.min_sign_samples);
@@ -108,6 +116,7 @@ void HealthMonitor::reset() {
   std::lock_guard lock(mutex_);
   state_ = Summary{};
   sign_warned_ = false;
+  fp32_drift_seen_ = false;
 }
 
 }  // namespace dqmc::obs

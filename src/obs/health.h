@@ -28,6 +28,16 @@ namespace dqmc::obs {
 struct HealthThresholds {
   /// Warn when ‖G_wrap − G_fresh‖_max exceeds this.
   double max_wrap_drift = 1e-6;
+  /// Drift threshold for samples produced by fp32 wraps (the precision
+  /// policy, docs/STABILITY.md): single-precision rounding re-injected at
+  /// every wrap and amplified through the B-chain puts the HEALTHY fp32
+  /// drift near 1e-2 at beta ~ 4 — far above max_wrap_drift — so fp32
+  /// samples are judged against this looser bound instead. 0.5 is half the
+  /// natural O(1) scale of Green's-function entries: beyond it the wrapped
+  /// G no longer resembles the fresh one AT ALL, i.e. the narrowed wraps
+  /// genuinely lost the trajectory rather than its last float digits (the
+  /// supervisor reacts by degrading the run back to fp64).
+  double max_wrap_drift_fp32 = 0.5;
   /// Warn when the pre-pivot adjacent-order fraction falls below this.
   double min_sortedness = 0.75;
   /// Warn when the running average sign falls below this (after a minimum
@@ -74,7 +84,9 @@ class HealthMonitor {
   HealthThresholds thresholds() const;
 
   /// One ‖G_wrap − G_fresh‖_max sample (per stratified recompute).
-  void record_wrap_drift(double drift);
+  /// `fp32` marks samples from fp32-policy wraps, judged against the
+  /// looser max_wrap_drift_fp32 threshold.
+  void record_wrap_drift(double drift, bool fp32 = false);
   /// One pre-pivot sortedness sample in [0, 1] (per graded QR step).
   void record_sortedness(double sortedness);
   /// One configuration sign (±1, per sweep).
@@ -110,6 +122,10 @@ class HealthMonitor {
   HealthThresholds thresholds_;
   Summary state_;
   bool sign_warned_ = false;
+  // True once any fp32-flagged drift sample arrived; gates the fp32
+  // threshold's appearance in json_value() so fp64-only runs emit
+  // byte-identical manifests.
+  bool fp32_drift_seen_ = false;
 };
 
 /// Shorthand for HealthMonitor::global().

@@ -123,7 +123,8 @@ TEST_P(StratBothAlgorithms, IllConditionedFreeChainMatchesAnalyticResult) {
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, StratBothAlgorithms,
                          ::testing::Values(StratAlgorithm::kQRP,
-                                           StratAlgorithm::kPrePivot));
+                                           StratAlgorithm::kPrePivot,
+                                           StratAlgorithm::kSvdStack));
 
 TEST(Stratification, AlgorithmsAgreeToPaperAccuracy) {
   // Fig. 2's claim: relative difference between Algorithm 2 and Algorithm 3

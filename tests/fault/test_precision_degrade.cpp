@@ -1,0 +1,144 @@
+// The precision-degrade rung of the recovery ladder: a health trip that
+// exhausts its retries while the run is on fp32 wraps degrades the
+// PRECISION POLICY back to fp64 (rebuild + restore + replay) before the
+// ladder ever considers disabling the health gate. Because the trip fires
+// in the first segment — before anything commits — the degraded run replays
+// from sweep zero entirely in fp64, so its trajectory must be bitwise the
+// clean fp64 one: the recovery genuinely un-narrows the physics.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "backend/backend.h"
+#include "dqmc/run_manifest.h"
+#include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
+#include "fault/failpoint.h"
+#include "obs/health.h"
+
+namespace dqmc {
+namespace {
+
+core::SimulationConfig fp32_config() {
+  core::SimulationConfig cfg;
+  cfg.lx = 2;
+  cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 1.0;
+  cfg.model.slices = 8;
+  cfg.engine.cluster_size = 4;
+  cfg.engine.delay_rank = 4;
+  cfg.engine.precision = backend::Precision::kFp32;
+  cfg.warmup_sweeps = 4;
+  cfg.measurement_sweeps = 8;
+  cfg.bins = 4;
+  cfg.seed = 23;
+  return cfg;
+}
+
+core::SupervisorPolicy trip_policy() {
+  core::SupervisorPolicy policy;
+  policy.checkpoint_interval = 3;
+  policy.max_retries = 1;
+  return policy;
+}
+
+class PrecisionDegrade : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::failpoints().disarm_all();
+    obs::health().set_enabled(false);
+    obs::health().reset();
+  }
+  void TearDown() override {
+    fault::failpoints().disarm_all();
+    obs::health().set_enabled(false);
+    obs::health().reset();
+  }
+};
+
+TEST_F(PrecisionDegrade, PersistentHealthTripDegradesFp32ToFp64) {
+  // Clean fp64 reference of the same configuration.
+  core::SimulationConfig fp64_cfg = fp32_config();
+  fp64_cfg.engine.precision = backend::Precision::kFp64;
+  const core::SimulationResults clean = core::run_simulation(fp64_cfg);
+
+  // Persistent injected trip: retry (1) -> degrade-precision (2) ->
+  // disable-health (3); the gate then stays silent and the run finishes.
+  fault::failpoints().arm_spec("supervisor.health:1+");
+  const core::SimulationResults degraded =
+      core::run_supervised_simulation(fp32_config(), trip_policy());
+
+  const fault::FaultReport& fr = degraded.fault_report;
+  EXPECT_EQ(fr.health_trips, 3u);
+  EXPECT_EQ(fr.precision_degradations, 1u);
+  bool saw_precision = false, saw_disable = false;
+  for (const fault::FaultEvent& ev : fr.events) {
+    if (ev.action == "degrade-precision") {
+      saw_precision = true;
+      // The precision rung must come BEFORE monitoring is given up on.
+      EXPECT_FALSE(saw_disable);
+    }
+    if (ev.action == "disable-health") saw_disable = true;
+  }
+  EXPECT_TRUE(saw_precision);
+  EXPECT_TRUE(saw_disable);
+
+  // The trip fired before the first commit, so the whole run replayed on
+  // fp64 from sweep zero: bitwise the clean fp64 trajectory.
+  EXPECT_EQ(degraded.trajectory_hash, clean.trajectory_hash);
+  EXPECT_EQ(degraded.measurements.density().mean,
+            clean.measurements.density().mean);
+
+  // The backend was never the problem: no gpusim->host degradation.
+  EXPECT_EQ(fr.degradations, 0u);
+  EXPECT_FALSE(fr.degraded);
+
+  // The counter reaches the golden manifest (conditional key).
+  const std::string golden = core::golden_manifest(degraded).dump(2);
+  EXPECT_NE(golden.find("\"precision_degradations\": 1"), std::string::npos);
+  EXPECT_NE(golden.find("\"precision\": \"fp32\""), std::string::npos);
+}
+
+TEST_F(PrecisionDegrade, Fp64RunSkipsThePrecisionRung) {
+  // Already-fp64 runs have no precision to give back: the ladder goes
+  // straight to disable-health, and the conditional manifest key stays out.
+  core::SimulationConfig cfg = fp32_config();
+  cfg.engine.precision = backend::Precision::kFp64;
+  fault::failpoints().arm_spec("supervisor.health:1+");
+  const core::SimulationResults res =
+      core::run_supervised_simulation(cfg, trip_policy());
+  EXPECT_EQ(res.fault_report.precision_degradations, 0u);
+  bool saw_disable = false;
+  for (const fault::FaultEvent& ev : res.fault_report.events) {
+    EXPECT_NE(ev.action, "degrade-precision");
+    if (ev.action == "disable-health") saw_disable = true;
+  }
+  EXPECT_TRUE(saw_disable);
+  const std::string golden = core::golden_manifest(res).dump(2);
+  EXPECT_EQ(golden.find("precision_degradations"), std::string::npos);
+}
+
+TEST_F(PrecisionDegrade, CrowdDegradesPrecisionCrowdWide) {
+  // Lockstep crowd: one shared backend, one precision policy — a single
+  // degrade-precision recovery covers every walker, and the replay puts
+  // the whole crowd on the clean fp64 trajectory.
+  core::SimulationConfig cfg = fp32_config();
+  cfg.walker_batch = 2;
+  core::SimulationConfig fp64_cfg = cfg;
+  fp64_cfg.engine.precision = backend::Precision::kFp64;
+  const core::SimulationResults clean =
+      core::run_supervised_parallel(fp64_cfg, trip_policy(), 2);
+
+  fault::failpoints().arm_spec("supervisor.health:1+");
+  const core::SimulationResults degraded =
+      core::run_supervised_parallel(cfg, trip_policy(), 2);
+
+  EXPECT_EQ(degraded.fault_report.precision_degradations, 1u);
+  EXPECT_EQ(degraded.trajectory_hash, clean.trajectory_hash);
+  EXPECT_EQ(degraded.measurements.density().mean,
+            clean.measurements.density().mean);
+}
+
+}  // namespace
+}  // namespace dqmc

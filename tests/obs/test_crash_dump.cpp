@@ -7,6 +7,8 @@
 // suite covers the artifact.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -79,7 +81,11 @@ std::string last_recovery_action(const obs::Json& dump) {
 class CrashDumpTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dump_path_ = ::testing::TempDir() + "crash_dump_test.json";
+    // Process-unique path: ctest runs each case as its own process, in
+    // parallel — a shared filename lets concurrent cases scrub each
+    // other's dump mid-test.
+    dump_path_ = ::testing::TempDir() + "crash_dump_test_" +
+                 std::to_string(::getpid()) + ".json";
     scrub();
     obs::flight_recorder().set_enabled(true);
     obs::flight_recorder().set_dump_path(dump_path_);
