@@ -2,10 +2,10 @@
 // fresh numbers against its checked-in BENCH_*.json baseline, failing with a
 // structured report when any row drifts past the noise tolerance.
 //
-//   ./bench_regress [--suite batched|checkerboard|stability]
+//   ./bench_regress [--suite batched|checkerboard|stability|fleet]
 //                   [--baseline bench/BENCH_<suite>.json]
 //                   [--tolerance 0.10] [--quick] [--report gate_report.json]
-//                   [--inject-slowdown F]
+//                   [--inject-slowdown F] [--write-baseline FILE]
 //
 // The batched suite replays the exact batched_walkers workload (same config,
 // same seed) on the gpusim virtual clock, so the modeled device seconds are
@@ -21,11 +21,18 @@
 // drift columns are held to ABSOLUTE contracts — fp32 wrap drift under the
 // health threshold, graded log-scale drift above 1e-8 and svdstack below it
 // — because measured drifts shift with codegen the way the golden
-// trajectories do. --quick restricts each suite to its smallest rows for
-// the opt-in ctest gates (label: bench-gate); --inject-slowdown multiplies
-// the measured batched / checkerboard / fp32 device seconds by F, a test
-// hook that lets the WILL_FAIL ctest entries prove the gates actually trip
-// on a regression.
+// trajectories do. The fleet suite replays a steal-free 4-worker fleet run
+// (docs/FLEET.md) against BENCH_fleet.json: the merged gpusim virtual-clock
+// device seconds compare relatively, the protocol frame count exactly, and
+// the trajectory hash must bitwise-match the single-process crowd baseline
+// computed in the same invocation — a fleet that silently forks a
+// trajectory fails the gate before any timing is compared. --quick
+// restricts each suite to its smallest rows for the opt-in ctest gates
+// (label: bench-gate); --inject-slowdown multiplies the measured batched /
+// checkerboard / fp32 / fleet device seconds by F, a test hook that lets
+// the WILL_FAIL ctest entries prove the gates actually trip on a
+// regression. --write-baseline (fleet suite only) runs the workload and
+// writes a fresh baseline file instead of comparing.
 //
 // Exit status: 0 all rows within tolerance, 1 regression detected, 2 bad
 // usage / unreadable baseline.
@@ -38,6 +45,8 @@
 
 #include "backend/backend.h"
 #include "cli/args.h"
+#include "dqmc/supervisor.h"
+#include "fleet/coordinator.h"
 #include "obs/health.h"
 
 namespace {
@@ -106,17 +115,72 @@ double relative_error(double measured, double baseline) {
   return std::abs(measured - baseline) / denom;
 }
 
+const obs::Json* find_baseline_row_fleet(const obs::Json& rows, idx n,
+                                         idx workers) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const obs::Json& row = rows[i];
+    if (static_cast<idx>(row.at("n").number()) == n &&
+        static_cast<idx>(row.at("workers").number()) == workers) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+struct FleetBenchRow {
+  idx n = 0;
+  idx workers = 0;
+  bool hash_match = false;
+  double device_seconds = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t snapshots = 0;
+};
+
+/// One deterministic fleet replay: steal-free (stealing is wall-clock
+/// timing, not physics, so the protocol trace would not be reproducible),
+/// gpusim virtual clock, with the single-process crowd run of the SAME
+/// config as the bitwise oracle.
+FleetBenchRow run_fleet_row(const Shape& shape, idx workers) {
+  core::SimulationConfig cfg = base_config(shape);
+  cfg.walker_batch = 2;
+  const idx chains = 8;  // 4 shards of 2 chains
+  core::SupervisorPolicy policy;
+  policy.checkpoint_interval = 2;  // one mid-run boundary => one snapshot
+
+  const core::SimulationResults single =
+      core::run_supervised_parallel(cfg, policy, chains);
+
+  fleet::FleetConfig fc;
+  fc.workers = workers;
+  fc.steal = false;
+  fc.snapshot_interval = 1;
+  const fleet::FleetResult fleet =
+      fleet::run_fleet(cfg, policy, fc, chains);
+
+  FleetBenchRow row;
+  row.n = cfg.lx * cfg.ly;
+  row.workers = workers;
+  row.hash_match = fleet.results.trajectory_hash == single.trajectory_hash;
+  row.device_seconds = fleet.results.backend_stats.total_seconds();
+  row.frames = fleet.fleet.frames_received;
+  row.bytes = fleet.fleet.bytes_received;
+  row.snapshots = fleet.fleet.snapshots;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cli::Args args(argc, argv, {"suite", "baseline", "tolerance", "quick",
-                              "report", "inject-slowdown"});
+                              "report", "inject-slowdown", "write-baseline"});
 
   const std::string suite = args.get("suite", "batched");
-  if (suite != "batched" && suite != "checkerboard" && suite != "stability") {
+  if (suite != "batched" && suite != "checkerboard" && suite != "stability" &&
+      suite != "fleet") {
     std::fprintf(stderr,
                  "bench_regress: unknown suite '%s' (have: batched, "
-                 "checkerboard, stability)\n",
+                 "checkerboard, stability, fleet)\n",
                  suite.c_str());
     return 2;
   }
@@ -129,6 +193,51 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_regress: --tolerance and --inject-slowdown "
                          "must be > 0\n");
     return 2;
+  }
+
+  const std::vector<std::pair<Shape, idx>> fleet_full_spec = {
+      {{8, 8}, 2}, {{8, 8}, 4}, {{16, 8}, 4}};
+  const std::vector<std::pair<Shape, idx>> fleet_rows_spec =
+      quick ? std::vector<std::pair<Shape, idx>>{{{8, 8}, 4}}
+            : fleet_full_spec;
+
+  if (suite == "fleet" && args.has("write-baseline")) {
+    // Regenerate the committed baseline from a fresh replay (always the
+    // full row set: the quick gate reads a subset of the same file).
+    obs::Json rows = obs::Json::array();
+    for (const auto& [shape, workers] : fleet_full_spec) {
+      const FleetBenchRow row = run_fleet_row(shape, workers);
+      if (!row.hash_match) {
+        std::fprintf(stderr, "bench_regress: fleet hash mismatch at n=%lld "
+                             "— refusing to write a corrupt baseline\n",
+                     static_cast<long long>(row.n));
+        return 1;
+      }
+      rows.push_back(obs::Json::object()
+                         .set("n", row.n)
+                         .set("workers", row.workers)
+                         .set("fleet_device_seconds", row.device_seconds)
+                         .set("frames", row.frames)
+                         .set("bytes", row.bytes)
+                         .set("snapshots", row.snapshots));
+    }
+    const obs::Json doc =
+        obs::Json::object()
+            .set("manifest", obs::Json::object()
+                                 .set("program", "dqmcpp-bench")
+                                 .set("bench", "fleet")
+                                 .set("format_version", 1))
+            .set("results", std::move(rows));
+    const std::string out_path = args.get("write-baseline", "");
+    std::ofstream out(out_path);
+    out << doc.dump(2) << '\n';
+    if (!out.good()) {
+      std::fprintf(stderr, "bench_regress: failed writing %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    std::printf("fleet baseline written to %s\n", out_path.c_str());
+    return 0;
   }
 
   std::ifstream in(baseline_path);
@@ -163,6 +272,103 @@ int main(int argc, char** argv) {
 
   obs::Json report_rows = obs::Json::array();
   int failures = 0;
+
+  if (suite == "fleet") {
+    // Deterministic replay of the steal-free multi-process fleet: the
+    // merged virtual-clock device seconds compare relatively, the protocol
+    // frame count exactly (the frame schedule is a structural invariant of
+    // the coordinator/worker handshake), and the trajectory hash must
+    // bitwise-match the single-process crowd run before timing is even
+    // considered.
+    cli::Table table({"N", "workers", "fleet s (base)", "fleet s (now)",
+                      "frames (base)", "frames (now)", "max rel err",
+                      "status"});
+    for (const auto& [shape, workers] : fleet_rows_spec) {
+      FleetBenchRow fresh = run_fleet_row(shape, workers);
+      // The injection hook scales the modeled device bill the way a real
+      // slowdown in the sharded hot path would.
+      fresh.device_seconds *= slowdown;
+
+      obs::Json row =
+          obs::Json::object().set("n", fresh.n).set("workers", workers);
+      std::string status;
+      double max_err = 0.0;
+      if (!fresh.hash_match) {
+        status = "TRAJECTORY MISMATCH";
+        ++failures;
+        table.add_row({cli::Table::integer(static_cast<long>(fresh.n)),
+                       cli::Table::integer(static_cast<long>(workers)), "-",
+                       "-", "-", "-", "-", status});
+      } else {
+        const obs::Json* base =
+            find_baseline_row_fleet(*baseline_rows, fresh.n, workers);
+        if (base == nullptr) {
+          status = "NO BASELINE ROW";
+          ++failures;
+          table.add_row({cli::Table::integer(static_cast<long>(fresh.n)),
+                         cli::Table::integer(static_cast<long>(workers)), "-",
+                         "-", "-", "-", "-", status});
+        } else {
+          const double base_seconds =
+              base->at("fleet_device_seconds").number();
+          const auto base_frames =
+              static_cast<std::uint64_t>(base->at("frames").number());
+          max_err = relative_error(fresh.device_seconds, base_seconds);
+          bool ok = max_err <= tolerance;
+          status = ok ? "ok" : "REGRESSION";
+          if (fresh.frames != base_frames) {
+            status = "PROTOCOL DRIFT";
+            ok = false;
+          }
+          if (!ok) ++failures;
+          row.set("baseline_fleet_device_seconds", base_seconds)
+              .set("measured_fleet_device_seconds", fresh.device_seconds)
+              .set("baseline_frames", base_frames)
+              .set("measured_frames", fresh.frames)
+              .set("measured_bytes", fresh.bytes)
+              .set("measured_snapshots", fresh.snapshots)
+              .set("relative_error_seconds", max_err);
+          table.add_row({cli::Table::integer(static_cast<long>(fresh.n)),
+                         cli::Table::integer(static_cast<long>(workers)),
+                         cli::Table::num(base_seconds, 6),
+                         cli::Table::num(fresh.device_seconds, 6),
+                         cli::Table::integer(static_cast<long>(base_frames)),
+                         cli::Table::integer(static_cast<long>(fresh.frames)),
+                         cli::Table::num(max_err, 4), status});
+        }
+      }
+      row.set("max_relative_error", max_err).set("status", status);
+      report_rows.push_back(std::move(row));
+    }
+    table.print();
+
+    const bool pass = failures == 0;
+    const obs::Json report =
+        obs::Json::object()
+            .set("gate_version", 1)
+            .set("suite", suite)
+            .set("baseline", baseline_path)
+            .set("tolerance", tolerance)
+            .set("quick", quick)
+            .set("injected_slowdown", slowdown)
+            .set("rows", report_rows)
+            .set("failures", failures)
+            .set("status", pass ? "pass" : "fail");
+    const std::string report_path = args.get("report", "");
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      out << report.dump(2) << '\n';
+      if (!out.good()) {
+        std::fprintf(stderr, "bench_regress: failed writing report %s\n",
+                     report_path.c_str());
+        return 2;
+      }
+    }
+    std::printf("\nbench gate: %s (%d row%s outside the %.0f%% tolerance)\n",
+                pass ? "PASS" : "FAIL", failures, failures == 1 ? "" : "s",
+                100.0 * tolerance);
+    return pass ? 0 : 1;
+  }
 
   if (suite == "checkerboard") {
     // Deterministic replay of the ablation_checkerboard device workload:

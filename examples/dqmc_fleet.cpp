@@ -1,0 +1,192 @@
+// dqmc_fleet: the multi-process driver — shard a multi-chain run over a
+// fleet of forked worker processes (docs/FLEET.md).
+//
+//   ./dqmc_fleet --config sim.in --walkers 8 --fleet-workers 4 [--progress]
+//
+// The merged observables, fault summary, and trajectory-hash fold are
+// bitwise identical to the same run under single-process dqmc_run
+// --walkers/--walker-batch: shards are the same lockstep walker crowds,
+// with the same per-chain seeds, dealt to workers instead of task-runtime
+// threads. Worker count, steals, and even a SIGKILLed worker mid-run do
+// not change a digit of the physics.
+//
+// Fleet knobs (config keys fleet_workers, fleet_snapshot_interval,
+// fleet_steal, fleet_wedge_timeout_ms, fleet_max_reassigns work too):
+//   --fleet-workers N       worker processes to fork (default 2)
+//   --snapshot-interval N   boundaries between resume snapshots (default 1)
+//   --no-steal              disable idle-worker walker stealing
+//   --wedge-timeout-ms N    SIGKILL + reassign a silent worker after N ms
+//   --max-reassigns N       reassignments one shard survives (default 3)
+//
+// Fault drills (the kill-a-worker determinism suite uses the same flags):
+//   --worker-failpoint SPEC  arm SPEC inside worker processes (e.g.
+//                            "fleet.worker.kill:40" SIGKILLs the worker at
+//                            its 40th walker-sweep tick)
+//   --failpoint-worker I     restrict the spec to worker index I (-1 = all)
+//
+// Observability: --metrics-json writes the run manifest with an extra
+// "fleet" section (frames, snapshots, steals, deaths, per-worker fates);
+// --telemetry-jsonl / --crash-dump are per-worker BASE paths — each worker
+// writes <base>.w<index>.p<pid>(.json|.jsonl) so parallel workers never
+// clobber each other's artifacts.
+#include <cstdio>
+
+#include <fstream>
+#include <memory>
+
+#include "cli/args.h"
+#include "cli/config_file.h"
+#include "cli/table.h"
+#include "dqmc/run_manifest.h"
+#include "fleet/coordinator.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+
+int main(int argc, char** argv) {
+  using namespace dqmc;
+  using linalg::idx;
+  cli::Args args(argc, argv,
+                 {"config", "progress", "warmup", "sweeps", "seed", "backend",
+                  "walkers", "walker-batch", "metrics-json",
+                  "fleet-workers", "snapshot-interval", "no-steal",
+                  "wedge-timeout-ms", "max-reassigns", "worker-failpoint",
+                  "failpoint-worker", "telemetry-jsonl", "crash-dump"});
+
+  core::SimulationConfig cfg;
+  core::SupervisorPolicy policy;
+  fleet::FleetConfig fc;
+  idx walkers = 4;
+  if (args.has("config")) {
+    const cli::ConfigFile file = cli::ConfigFile::load(args.get("config", ""));
+    cfg = cli::simulation_config_from(file);
+    policy = cli::supervisor_policy_from(file);
+    fc = cli::fleet_config_from(file);
+    walkers = file.get_long("walkers", walkers);
+  } else {
+    std::printf("(no --config given; running the built-in 4x4 demo)\n");
+    cfg.lx = cfg.ly = 4;
+    cfg.model.u = 4.0;
+    cfg.model.beta = 4.0;
+    cfg.model.slices = 40;
+    cfg.warmup_sweeps = 50;
+    cfg.measurement_sweeps = 100;
+  }
+  if (args.has("warmup")) cfg.warmup_sweeps = args.get_long("warmup", 0);
+  if (args.has("sweeps")) cfg.measurement_sweeps = args.get_long("sweeps", 0);
+  if (args.has("seed")) {
+    cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  }
+  if (args.has("backend")) {
+    cfg.engine.backend =
+        backend::backend_kind_from_string(args.get("backend", "host"));
+  }
+  if (args.has("walkers")) walkers = args.get_long("walkers", walkers);
+  if (args.has("walker-batch")) {
+    cfg.walker_batch = args.get_long("walker-batch", 0);
+  }
+  // A shard IS a walker crowd: default to crowds of two when the config
+  // didn't pick a batch, so a fleet run always has something to shard.
+  if (cfg.walker_batch < 1) cfg.walker_batch = 2;
+  if (args.has("fleet-workers")) {
+    fc.workers = args.get_long("fleet-workers", fc.workers);
+  }
+  if (args.has("snapshot-interval")) {
+    fc.snapshot_interval =
+        args.get_long("snapshot-interval", fc.snapshot_interval);
+  }
+  if (args.get_flag("no-steal")) fc.steal = false;
+  if (args.has("wedge-timeout-ms")) {
+    fc.wedge_timeout_ms = args.get_long("wedge-timeout-ms", 0);
+  }
+  if (args.has("max-reassigns")) {
+    fc.max_reassigns = static_cast<int>(args.get_long("max-reassigns", 3));
+  }
+  fc.worker_failpoints = args.get("worker-failpoint", "");
+  fc.failpoint_worker =
+      static_cast<int>(args.get_long("failpoint-worker", -1));
+  fc.telemetry_path = args.get("telemetry-jsonl", "");
+  fc.crash_dump_path = args.get("crash-dump", "");
+  DQMC_CHECK_MSG(walkers >= 1, "--walkers must be >= 1");
+
+  obs::metrics().set_enabled(true);
+
+  std::printf("fleet: %lld workers, %lld chains in crowds of %lld, "
+              "seed=%llu, backend=%s\n\n",
+              static_cast<long long>(fc.workers),
+              static_cast<long long>(walkers),
+              static_cast<long long>(cfg.walker_batch),
+              static_cast<unsigned long long>(cfg.seed),
+              backend::backend_kind_name(cfg.engine.backend));
+
+  // Coordinator-side progress: workers report committed segments at their
+  // lockstep boundaries, so the bar advances in segment-sized bursts.
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  core::ProgressFn progress = nullptr;
+  if (args.get_flag("progress")) {
+    obs::ProgressOptions popt;
+    popt.human = true;
+    popt.label = "dqmc_fleet";
+    popt.total_sweeps =
+        static_cast<std::uint64_t>(walkers) *
+        static_cast<std::uint64_t>(cfg.warmup_sweeps + cfg.measurement_sweeps);
+    popt.warmup_sweeps = static_cast<std::uint64_t>(walkers) *
+                         static_cast<std::uint64_t>(cfg.warmup_sweeps);
+    popt.walkers = static_cast<int>(walkers);
+    reporter = std::make_unique<obs::ProgressReporter>(popt);
+    progress = [&reporter](idx, idx, bool warmup) {
+      reporter->on_sweep(warmup);
+    };
+  }
+
+  const fleet::FleetResult res =
+      fleet::run_fleet(cfg, policy, fc, walkers, progress);
+  if (reporter) reporter->finish();
+  const auto& m = res.results.measurements;
+
+  cli::Table table({"observable", "value"});
+  table.add_row({"density", cli::Table::pm(m.density().mean, m.density().error)});
+  table.add_row({"double occupancy",
+                 cli::Table::pm(m.double_occupancy().mean,
+                                m.double_occupancy().error)});
+  table.add_row({"local moment <m_z^2>",
+                 cli::Table::pm(m.moment_sq().mean, m.moment_sq().error)});
+  table.add_row({"S(pi,pi)", cli::Table::pm(m.af_structure_factor().mean,
+                                            m.af_structure_factor().error)});
+  table.add_row({"average sign",
+                 cli::Table::pm(m.average_sign().mean, m.average_sign().error)});
+  table.print();
+
+  std::printf("\ntrajectory hash %016llx, elapsed %s\n",
+              static_cast<unsigned long long>(res.results.trajectory_hash),
+              format_seconds(res.results.elapsed_seconds).c_str());
+  const fleet::FleetReport& fr = res.fleet;
+  std::printf("fleet: %lld shards over %lld workers, %llu frames "
+              "(%llu bytes), %llu snapshots, %llu steals (%llu declined), "
+              "%llu deaths, %llu reassignments, %llu protocol faults\n",
+              static_cast<long long>(fr.shards),
+              static_cast<long long>(fr.workers), fr.frames_received,
+              fr.bytes_received, fr.snapshots, fr.steals, fr.steals_declined,
+              fr.worker_deaths, fr.reassignments, fr.protocol_faults);
+  for (const fleet::WorkerSummary& w : fr.worker_summaries) {
+    std::printf("  worker %d (pid %ld): %llu shards, %llu frames, %s%s%s\n",
+                w.index, w.pid, w.shards_completed, w.frames_received,
+                w.fate.c_str(),
+                w.telemetry_path.empty() ? "" : ", telemetry ",
+                w.telemetry_path.c_str());
+  }
+  for (const fault::FaultEvent& ev : fr.events) {
+    std::printf("  %s (%s) -> %s: %s\n", ev.site.c_str(),
+                ev.fault_class.c_str(), ev.action.c_str(), ev.detail.c_str());
+  }
+
+  if (args.has("metrics-json")) {
+    const std::string path = args.get("metrics-json", "");
+    obs::Json doc = core::run_manifest(res.results);
+    doc.set("fleet", fr.json_value());
+    std::ofstream out(path);
+    DQMC_CHECK_MSG(out.good(), "cannot open manifest path: " + path);
+    out << doc.dump(2) << "\n";
+    std::printf("manifest written to %s\n", path.c_str());
+  }
+  return 0;
+}

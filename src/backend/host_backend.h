@@ -5,6 +5,7 @@
 // ownership rules match the async backends exactly.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 
 #include "backend/backend.h"
@@ -64,18 +65,24 @@ class HostBackend final : public ComputeBackend {
 
   void synchronize() override;
 
-  void set_compute_precision(Precision p) override { compute_precision_ = p; }
-  Precision compute_precision() const override { return compute_precision_; }
+  void set_compute_precision(Precision p) override {
+    compute_precision_.store(p, std::memory_order_relaxed);
+  }
+  Precision compute_precision() const override {
+    return compute_precision_.load(std::memory_order_relaxed);
+  }
 
   BackendStats stats() const override;
   void reset_stats() override;
 
  private:
-  bool fp32() const { return compute_precision_ == Precision::kFp32; }
+  bool fp32() const { return compute_precision() == Precision::kFp32; }
   void account_compute(double seconds);
   void account_transfer(double bytes, double seconds, bool h2d);
 
-  Precision compute_precision_ = Precision::kFp64;
+  // Atomic because concurrent spin chains bracket the (identical) mode on
+  // one shared backend; relaxed — the value itself carries no ordering.
+  std::atomic<Precision> compute_precision_{Precision::kFp64};
   mutable std::mutex stats_mutex_;
   BackendStats stats_;
 };

@@ -96,7 +96,9 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
       "cluster_size", "north", "delay_rank", "backend", "kinetic",
       "gpu_clustering", "gpu_wrapping", "checkpoint_in", "checkpoint_out",
       "failpoints", "max_retries", "checkpoint_interval",
-      "walkers", "walker_batch"};
+      "walkers", "walker_batch",
+      "fleet_workers", "fleet_snapshot_interval", "fleet_steal",
+      "fleet_wedge_timeout_ms", "fleet_max_reassigns"};
   for (const auto& [key, value] : file.entries()) {
     DQMC_CHECK_MSG(kKnown.count(key) > 0, "unknown config key: " + key);
     (void)value;
@@ -181,6 +183,20 @@ core::SupervisorPolicy supervisor_policy_from(const ConfigFile& file) {
       file.get_long("checkpoint_interval", policy.checkpoint_interval);
   policy.validate();
   return policy;
+}
+
+fleet::FleetConfig fleet_config_from(const ConfigFile& file) {
+  fleet::FleetConfig fc;
+  fc.workers = file.get_long("fleet_workers", fc.workers);
+  fc.snapshot_interval =
+      file.get_long("fleet_snapshot_interval", fc.snapshot_interval);
+  fc.steal = file.get_long("fleet_steal", fc.steal ? 1 : 0) != 0;
+  fc.wedge_timeout_ms =
+      file.get_long("fleet_wedge_timeout_ms", fc.wedge_timeout_ms);
+  fc.max_reassigns =
+      static_cast<int>(file.get_long("fleet_max_reassigns", fc.max_reassigns));
+  fc.validate();
+  return fc;
 }
 
 }  // namespace dqmc::cli

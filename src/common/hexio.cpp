@@ -1,0 +1,107 @@
+#include "common/hexio.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace dqmc::hexio {
+
+namespace {
+
+std::string read_token(std::istream& in, const char* what) {
+  std::string tok;
+  if (!(in >> tok))
+    throw Error(std::string("hexio: stream ended while reading ") + what);
+  return tok;
+}
+
+}  // namespace
+
+std::string hex_u64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xfull];
+    v >>= 4;
+  }
+  return out;
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) { out << v << '\n'; }
+
+void put_hex_u64(std::ostream& out, std::uint64_t v) { out << hex_u64(v) << '\n'; }
+
+void put_double(std::ostream& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_hex_u64(out, bits);
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  const std::string tok = read_token(in, "an integer");
+  std::uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9')
+      throw Error("hexio: malformed integer token `" + tok + "`");
+    v = v * 10u + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::uint64_t get_hex_u64(std::istream& in) {
+  const std::string tok = read_token(in, "a hex word");
+  if (tok.size() != 16)
+    throw Error("hexio: malformed hex token `" + tok + "`");
+  std::uint64_t v = 0;
+  for (char c : tok) {
+    int digit;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      digit = 10 + (c - 'a');
+    else
+      throw Error("hexio: malformed hex token `" + tok + "`");
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return v;
+}
+
+double get_double(std::istream& in) {
+  const std::uint64_t bits = get_hex_u64(in);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void put_block(std::ostream& out, const std::string& bytes) {
+  out << bytes.size() << '\n';
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out << '\n';
+}
+
+std::string get_block(std::istream& in) {
+  const std::uint64_t len = get_u64(in);
+  // The length token is followed by exactly one separator character.
+  if (in.get() == std::char_traits<char>::eof())
+    throw Error("hexio: stream ended before block payload");
+  std::string bytes(static_cast<std::size_t>(len), '\0');
+  if (len > 0) {
+    in.read(bytes.data(), static_cast<std::streamsize>(len));
+    if (static_cast<std::uint64_t>(in.gcount()) != len)
+      throw Error("hexio: truncated block payload");
+  }
+  return bytes;
+}
+
+void expect(std::istream& in, const std::string& token) {
+  std::string tok;
+  if (!(in >> tok))
+    throw Error("hexio: stream ended while expecting `" + token + "`");
+  if (tok != token)
+    throw Error("hexio: expected `" + token + "`, found `" + tok + "`");
+}
+
+}  // namespace dqmc::hexio

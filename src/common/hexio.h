@@ -1,0 +1,37 @@
+// Bit-exact text I/O primitives shared by the serialization layers
+// (checkpoints, fleet wire payloads, accumulator snapshots).
+//
+// Doubles travel as 16-lowercase-hex-digit IEEE-754 bit patterns and
+// unsigned integers as decimal tokens, separated by whitespace — the same
+// convention dqmc/checkpoint.cpp established, factored out so every layer
+// that needs byte-stable round trips (a serialized value must reload to the
+// SAME bits on any platform) shares one implementation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace dqmc::hexio {
+
+/// 16 lowercase hex digits, no prefix.
+std::string hex_u64(std::uint64_t v);
+
+void put_u64(std::ostream& out, std::uint64_t v);      ///< decimal token
+void put_hex_u64(std::ostream& out, std::uint64_t v);  ///< 16-hex-digit token
+void put_double(std::ostream& out, double v);          ///< bit pattern token
+
+std::uint64_t get_u64(std::istream& in);
+std::uint64_t get_hex_u64(std::istream& in);
+double get_double(std::istream& in);
+
+/// Arbitrary bytes as "<len>\n<raw bytes>" (raw bytes follow the newline
+/// verbatim; safe for embedded newlines and NULs).
+void put_block(std::ostream& out, const std::string& bytes);
+std::string get_block(std::istream& in);
+
+/// Read one whitespace-delimited token and require it to equal `token`
+/// (throws dqmc::Error naming both on mismatch or EOF).
+void expect(std::istream& in, const std::string& token);
+
+}  // namespace dqmc::hexio

@@ -1,0 +1,197 @@
+// Supervisor for ONE lockstep walker crowd: chains [first, first + W) of a
+// parallel run, advanced through the batched WalkerBatch path in
+// checkpointed segments (see supervisor.h for the recovery ladder this
+// applies crowd-wide).
+//
+// Extracted from supervisor.cpp so out-of-process runtimes (the fleet
+// coordinator/worker in src/fleet/) can drive the SAME execution path the
+// single-process crowd run uses — one code path is what makes the fleet's
+// bitwise-equivalence contract provable rather than aspirational. On top of
+// the original supervised loop this adds the fleet's three hooks:
+//   * set_resume(): start from per-walker v1 checkpoints + committed-sweep
+//     count instead of initialize() — how a shard moves between processes;
+//   * a boundary hook fired after every committed segment — the fleet
+//     worker polls its control pipe there (steal requests, snapshots);
+//   * split_tail(): give up the crowd's trailing walkers at a lockstep
+//     boundary, rebuilding the batch around the kept walkers — the
+//     work-stealing donor side. Splits are only legal when the recovery
+//     checkpoints are current (ckpt_sweep == done), so a migrated walker
+//     resumes bit-for-bit.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
+#include "dqmc/walker_batch.h"
+
+namespace dqmc::core {
+
+namespace detail {
+
+/// A health-monitor trip surfaced as an exception so it routes through the
+/// same per-segment recovery as thrown faults.
+class HealthTripError : public Error {
+ public:
+  explicit HealthTripError(std::uint64_t violations)
+      : Error("health monitor tripped (" + std::to_string(violations) +
+              " violations)") {}
+};
+
+/// Deterministic exponential backoff: base * 2^(attempt-1), capped.
+double backoff_ms(const SupervisorPolicy& policy, int attempt);
+
+struct FaultEventBuilder {
+  std::string site;
+  fault::FaultClass cls;
+  std::string detail;
+  int attempt;
+};
+
+}  // namespace detail
+
+/// Segment-boundary report passed to the boundary hook.
+struct CrowdBoundary {
+  idx done = 0;       ///< sweeps committed so far
+  idx total = 0;      ///< warmup + measurement sweeps
+  /// Recovery checkpoints are current (ckpt_sweep == done) and the crowd
+  /// still has at least two walkers — split_tail() is legal right now.
+  bool can_split = false;
+};
+
+/// Called between segments, after commit. May call split_tail() on the
+/// supervisor that invoked it; must not throw to signal anything but a
+/// fatal error.
+using CrowdBoundaryFn = std::function<void(const CrowdBoundary&)>;
+
+/// State handed off when walkers leave a crowd (split_tail) — everything a
+/// receiving process needs to continue those chains bit-for-bit.
+struct WalkerHandoff {
+  idx first_chain = 0;  ///< global index of the first migrated chain
+  idx walkers = 0;
+  idx done = 0;  ///< sweeps committed (== the checkpoints' boundary)
+  std::vector<std::string> checkpoints;  ///< per-walker v1 checkpoints
+};
+
+/// One supervised lockstep crowd. The recovery ladder is crowd-wide: any
+/// fault restores ALL walkers from their lockstep in-memory checkpoints and
+/// replays the segment — restores and sweeps are bitwise, so a faulting
+/// walker's recovery leaves its batchmates' trajectories untouched. Device
+/// faults that exhaust max_retries degrade the whole crowd gpusim -> host;
+/// health-trip exhaustion disables the gate crowd-wide; a checkpoint I/O
+/// failure skips the WHOLE crowd's checkpoint so the recovery points stay
+/// lockstep. Fault accounting lands on the crowd's first chain's report
+/// (sum-correct after the merge).
+class CrowdSupervisor {
+ public:
+  /// Runs chains [first, first + walkers). Results land in
+  /// partials[partials_offset + w], which are (re)constructed by this
+  /// ctor with the chain's own seed (config.seed + first + w). The
+  /// single-process path passes partials_offset == first; the fleet worker
+  /// passes 0 (its partials vector covers only its own shard).
+  CrowdSupervisor(const SimulationConfig& config,
+                  const SupervisorPolicy& policy, idx first, idx walkers,
+                  const ProgressFn& progress,
+                  std::vector<std::unique_ptr<SimulationResults>>& partials,
+                  idx partials_offset);
+
+  /// Single-process convenience: partials_offset == first.
+  CrowdSupervisor(const SimulationConfig& config,
+                  const SupervisorPolicy& policy, idx first, idx walkers,
+                  const ProgressFn& progress,
+                  std::vector<std::unique_ptr<SimulationResults>>& partials)
+      : CrowdSupervisor(config, policy, first, walkers, progress, partials,
+                        first) {}
+
+  /// Start from per-walker v1 checkpoints captured at sweep boundary `done`
+  /// instead of initialize(): the crowd resumes as if it had committed
+  /// `done` sweeps already. The caller is responsible for priming the
+  /// partials with the samples committed before the handoff (their
+  /// accumulators travel separately — see fleet/serial.h). Must be called
+  /// before run().
+  void set_resume(std::vector<std::string> checkpoints, idx done);
+
+  /// Fire `hook` after every committed segment. Must be set before run().
+  void set_boundary_hook(CrowdBoundaryFn hook) { boundary_ = std::move(hook); }
+
+  /// Give up the crowd's last `count` walkers (1 <= count < walkers()).
+  /// Only legal from inside the boundary hook when can_split is true: the
+  /// migrated walkers' checkpoints ARE the current boundary, and the batch
+  /// is rebuilt around the kept walkers from their own lockstep checkpoints
+  /// (a bitwise restore, not a fault — no restart is recorded, though like
+  /// any rebuild it resets the kept engines' profiler/stratification
+  /// diagnostics). The migrated chains' partials keep their committed
+  /// samples; the caller ships them with the handoff and must not count
+  /// them in this crowd's finished results.
+  WalkerHandoff split_tail(idx count);
+
+  /// Run to completion (or throw after the recovery ladder gives up).
+  void run();
+
+  idx first_chain() const { return first_; }
+  idx walkers() const { return walkers_; }
+  idx done() const { return done_; }
+  idx total_sweeps() const {
+    return config_.warmup_sweeps + config_.measurement_sweeps;
+  }
+  /// Sweep boundary the current recovery checkpoints capture.
+  idx checkpoint_sweep() const { return ckpt_sweep_; }
+  /// Per-walker v1 checkpoints at checkpoint_sweep() (empty before the
+  /// first boundary).
+  const std::vector<std::string>& checkpoints() const { return ckpts_; }
+
+ private:
+  std::size_t index(idx w) const {
+    return static_cast<std::size_t>(offset_ + w);
+  }
+  std::uint64_t seed(idx w) const {
+    return config_.seed + static_cast<std::uint64_t>(first_ + w);
+  }
+  fault::FaultReport& report() { return partials_[index(0)]->fault_report; }
+
+  EngineConfig engine_config() const;
+  std::unique_ptr<WalkerBatch> make_batch() const;
+  void start_batch();
+  void restore();
+  void load_all_from_ckpts();
+  bool recover(const std::string& site, fault::FaultClass cls,
+               const std::string& what, int attempt);
+  void push_event(const detail::FaultEventBuilder& b, const char* action,
+                  double backoff);
+  void run_segment(idx g_begin, idx g_end);
+  void measurement_sweep(idx m);
+  void add_stats(const std::vector<SweepStats>& stats);
+  void check_health();
+  void take_checkpoints(idx sweep);
+  void commit(idx seg_end);
+  void discard_scratch();
+  void finish();
+
+  const SimulationConfig& config_;
+  const SupervisorPolicy& policy_;
+  const ProgressFn& progress_;
+  idx first_;
+  idx walkers_;
+  idx offset_;  ///< partials_[offset_ + w] holds chain first_ + w
+  std::vector<std::unique_ptr<SimulationResults>>& partials_;
+  Lattice lattice_;
+  backend::BackendKind backend_;
+  backend::Precision precision_;  ///< degradable: fp32 -> fp64 on health trips
+  std::unique_ptr<WalkerBatch> batch_;
+  idx done_ = 0;
+  idx ckpt_sweep_ = 0;
+  std::vector<std::string> ckpts_;  ///< per-walker v1 ckpts at ckpt_sweep_
+  bool resume_ = false;  ///< start_batch loads ckpts_ instead of initialize
+  CrowdBoundaryFn boundary_;
+  std::vector<std::vector<std::pair<EqualTimeSample, int>>> scratch_samples_;
+  std::vector<std::vector<std::pair<DynamicSample, int>>> scratch_dynamic_;
+  std::vector<SweepStats> scratch_stats_;
+  bool check_health_ = true;
+  std::uint64_t health_baseline_ = 0;
+};
+
+}  // namespace dqmc::core

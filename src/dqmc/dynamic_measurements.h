@@ -53,6 +53,19 @@ class DynamicAccumulator {
     chi_int_.merge(other.chi_int_);
   }
 
+  /// Bit-exact text round trip (hexio format); load() requires a matching
+  /// slice count and bin count.
+  void save(std::ostream& out) const {
+    gloc_.save(out);
+    chi_.save(out);
+    chi_int_.save(out);
+  }
+  void load(std::istream& in) {
+    gloc_.load(in);
+    chi_.load(in);
+    chi_int_.load(in);
+  }
+
   Estimate gloc(idx l) const { return gloc_.estimate(l); }
   Estimate chi_af(idx l) const { return chi_.estimate(l); }
   Estimate chi_af_integrated() const { return chi_int_.estimate(); }

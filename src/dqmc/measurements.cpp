@@ -184,6 +184,34 @@ void MeasurementAccumulator::merge(const MeasurementAccumulator& other) {
   czz_.merge(other.czz_);
 }
 
+void MeasurementAccumulator::save(std::ostream& out) const {
+  density_.save(out);
+  density_up_.save(out);
+  density_dn_.save(out);
+  double_occ_.save(out);
+  kinetic_.save(out);
+  moment_.save(out);
+  af_.save(out);
+  pair_s_.save(out);
+  pair_d_.save(out);
+  nk_.save(out);
+  czz_.save(out);
+}
+
+void MeasurementAccumulator::load(std::istream& in) {
+  density_.load(in);
+  density_up_.load(in);
+  density_dn_.load(in);
+  double_occ_.load(in);
+  kinetic_.load(in);
+  moment_.load(in);
+  af_.load(in);
+  pair_s_.load(in);
+  pair_d_.load(in);
+  nk_.load(in);
+  czz_.load(in);
+}
+
 void MeasurementAccumulator::add(const EqualTimeSample& sample, int sign) {
   const double s = static_cast<double>(sign);
   density_.add(sample.density, s);

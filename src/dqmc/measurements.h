@@ -56,6 +56,11 @@ class MeasurementAccumulator {
   /// bin count) into this one.
   void merge(const MeasurementAccumulator& other);
 
+  /// Bit-exact text round trip of all accumulator state (hexio format).
+  /// load() requires a matching lattice shape and bin count.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
   Estimate density() const { return density_.estimate(); }
   Estimate density_up() const { return density_up_.estimate(); }
   Estimate density_dn() const { return density_dn_.estimate(); }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/hexio.h"
 
 namespace dqmc::core {
 
@@ -123,6 +127,25 @@ void ScalarAccumulator::merge(const ScalarAccumulator& other) {
   samples_ += other.samples_;
 }
 
+void ScalarAccumulator::save(std::ostream& out) const {
+  out << "scalar\n";
+  hexio::put_u64(out, static_cast<std::uint64_t>(bins_));
+  hexio::put_u64(out, static_cast<std::uint64_t>(samples_));
+  for (const double v : os_) hexio::put_double(out, v);
+  for (const double v : s_) hexio::put_double(out, v);
+  for (const idx c : count_) hexio::put_u64(out, static_cast<std::uint64_t>(c));
+}
+
+void ScalarAccumulator::load(std::istream& in) {
+  hexio::expect(in, "scalar");
+  const idx bins = static_cast<idx>(hexio::get_u64(in));
+  DQMC_CHECK_MSG(bins == bins_, "ScalarAccumulator::load: bin count differs");
+  samples_ = static_cast<idx>(hexio::get_u64(in));
+  for (double& v : os_) v = hexio::get_double(in);
+  for (double& v : s_) v = hexio::get_double(in);
+  for (idx& c : count_) c = static_cast<idx>(hexio::get_u64(in));
+}
+
 double AutocorrelationEstimator::rho(idx lag) const {
   const idx n = samples();
   DQMC_CHECK(lag >= 0 && lag < n);
@@ -185,6 +208,28 @@ void ArrayAccumulator::merge(const ArrayAccumulator& other) {
     count_[b] += other.count_[b];
   }
   samples_ += other.samples_;
+}
+
+void ArrayAccumulator::save(std::ostream& out) const {
+  out << "array\n";
+  hexio::put_u64(out, static_cast<std::uint64_t>(size_));
+  hexio::put_u64(out, static_cast<std::uint64_t>(bins_));
+  hexio::put_u64(out, static_cast<std::uint64_t>(samples_));
+  for (const double v : os_) hexio::put_double(out, v);
+  for (const double v : s_) hexio::put_double(out, v);
+  for (const idx c : count_) hexio::put_u64(out, static_cast<std::uint64_t>(c));
+}
+
+void ArrayAccumulator::load(std::istream& in) {
+  hexio::expect(in, "array");
+  const idx size = static_cast<idx>(hexio::get_u64(in));
+  const idx bins = static_cast<idx>(hexio::get_u64(in));
+  DQMC_CHECK_MSG(size == size_ && bins == bins_,
+                 "ArrayAccumulator::load: shape differs");
+  samples_ = static_cast<idx>(hexio::get_u64(in));
+  for (double& v : os_) v = hexio::get_double(in);
+  for (double& v : s_) v = hexio::get_double(in);
+  for (idx& c : count_) c = static_cast<idx>(hexio::get_u64(in));
 }
 
 linalg::Vector ArrayAccumulator::means() const {

@@ -6,6 +6,7 @@
 // autocorrelation on the bin scale.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "common/error.h"
@@ -46,6 +47,11 @@ class ScalarAccumulator {
   /// Fold another accumulator's bins into this one (independent-chain
   /// merging). Both must have the same bin count.
   void merge(const ScalarAccumulator& other);
+
+  /// Bit-exact text round trip (hexio conventions). load() replaces the
+  /// accumulator's full state and requires the stored bin count to match.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
 
  private:
   idx bins_, samples_ = 0;
@@ -96,6 +102,10 @@ class ArrayAccumulator {
 
   /// Fold another accumulator's bins into this one (same size and bins).
   void merge(const ArrayAccumulator& other);
+
+  /// Bit-exact text round trip; load() requires matching size and bins.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
 
  private:
   idx size_, bins_, samples_ = 0;

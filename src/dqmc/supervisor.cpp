@@ -10,6 +10,7 @@
 
 #include "common/stopwatch.h"
 #include "dqmc/checkpoint.h"
+#include "dqmc/crowd_supervisor.h"
 #include "dqmc/walker_batch.h"
 #include "fault/failpoint.h"
 #include "obs/flight_recorder.h"
@@ -27,27 +28,9 @@ void SupervisorPolicy::validate() const {
 
 namespace {
 
-/// A health-monitor trip surfaced as an exception so it routes through the
-/// same per-segment recovery as thrown faults.
-class HealthTripError : public Error {
- public:
-  explicit HealthTripError(std::uint64_t violations)
-      : Error("health monitor tripped (" + std::to_string(violations) +
-              " violations)") {}
-};
-
-double backoff_ms(const SupervisorPolicy& policy, int attempt) {
-  double ms = policy.backoff_base_ms;
-  for (int i = 1; i < attempt; ++i) ms *= 2.0;
-  return ms < policy.backoff_max_ms ? ms : policy.backoff_max_ms;
-}
-
-struct FaultEventBuilder {
-  std::string site;
-  fault::FaultClass cls;
-  std::string detail;
-  int attempt;
-};
+using detail::FaultEventBuilder;
+using detail::HealthTripError;
+using detail::backoff_ms;
 
 /// One supervised chain's mutable state.
 class ChainSupervisor {
@@ -390,427 +373,6 @@ class ChainSupervisor {
   std::vector<std::pair<EqualTimeSample, int>> scratch_samples_;
   std::vector<std::pair<DynamicSample, int>> scratch_dynamic_;
   SweepStats scratch_stats_;
-  bool check_health_ = true;
-  std::uint64_t health_baseline_ = 0;
-};
-
-/// Supervisor for ONE lockstep walker crowd: chains [first, first + W) of a
-/// supervised parallel run, advanced through the batched WalkerBatch path
-/// in checkpointed segments. The recovery ladder is the ChainSupervisor's,
-/// applied crowd-wide: any fault (walker-attributed or crowd-level)
-/// restores ALL walkers from their lockstep in-memory checkpoints and
-/// replays the segment — restores and sweeps are bitwise, so a faulting
-/// walker's recovery leaves its batchmates' trajectories untouched. Device
-/// faults that exhaust max_retries degrade the whole crowd gpusim -> host
-/// (one shared backend, one degradation); health-trip exhaustion disables
-/// the gate crowd-wide; a checkpoint I/O failure skips the WHOLE crowd's
-/// checkpoint so the recovery points stay lockstep. Fault accounting lands
-/// on the crowd's first chain's report (sum-correct after the merge).
-class CrowdSupervisor {
- public:
-  CrowdSupervisor(const SimulationConfig& config,
-                  const SupervisorPolicy& policy, idx first, idx walkers,
-                  const ProgressFn& progress,
-                  std::vector<std::unique_ptr<SimulationResults>>& partials)
-      : config_(config),
-        policy_(policy),
-        progress_(progress),
-        first_(first),
-        walkers_(walkers),
-        partials_(partials),
-        lattice_(config.make_lattice()),
-        backend_(config.engine.backend),
-        precision_(config.engine.precision) {
-    for (idx w = 0; w < walkers_; ++w) {
-      SimulationConfig chain_cfg = config_;
-      chain_cfg.seed = seed(w);
-      partials_[index(w)] = std::make_unique<SimulationResults>(chain_cfg);
-    }
-    scratch_samples_.resize(static_cast<std::size_t>(walkers_));
-    scratch_dynamic_.resize(static_cast<std::size_t>(walkers_));
-    scratch_stats_.resize(static_cast<std::size_t>(walkers_));
-  }
-
-  void run() {
-    const idx total = config_.warmup_sweeps + config_.measurement_sweeps;
-    const idx interval =
-        policy_.checkpoint_interval > 0 ? policy_.checkpoint_interval : total;
-    int attempt = 0;
-    bool need_restore = false;
-
-    // Ambient identity for flight events and the crash-dump header while
-    // this crowd drives the shared backend.
-    obs::flight_recorder().set_context(
-        -1, static_cast<std::int32_t>(
-                first_ / std::max<idx>(config_.walker_batch, 1)));
-
-    while (done_ < total || !batch_) {
-      try {
-        if (!batch_) {
-          start_batch();
-        } else if (need_restore) {
-          restore();
-          need_restore = false;
-        }
-        if (done_ >= total) break;
-        const idx seg_end = std::min(done_ + interval, total);
-        run_segment(done_, seg_end);
-        check_health();
-        take_checkpoints(seg_end);
-        commit(seg_end);
-        attempt = 0;
-      } catch (const WalkerFault& e) {
-        // Attribute the fault to the walker before the crowd-wide recovery
-        // decision is taken (the dump's event tail shows both).
-        DQMC_FLIGHT_EVENT(obs::FlightEventKind::kNote, "walker.fault",
-                          e.site().c_str(), 0.0, 0.0,
-                          static_cast<std::int32_t>(first_ + e.walker()));
-        ++attempt;
-        if (!recover(e.site(), e.fault_class(), e.what(), attempt)) throw;
-        need_restore = true;
-      } catch (const fault::InjectedFault& e) {
-        ++attempt;
-        if (!recover(e.site(), e.fault_class(), e.what(), attempt)) throw;
-        need_restore = true;
-      } catch (const HealthTripError& e) {
-        ++attempt;
-        if (!recover("health", fault::FaultClass::kHealthTrip, e.what(),
-                     attempt))
-          throw;
-        need_restore = true;
-      } catch (const NumericalError& e) {
-        ++attempt;
-        if (!recover("numerical", fault::FaultClass::kNumericalFault,
-                     e.what(), attempt))
-          throw;
-        need_restore = true;
-      } catch (const std::exception& e) {
-        ++attempt;
-        if (!recover("device", fault::FaultClass::kDeviceFault, e.what(),
-                     attempt))
-          throw;
-        need_restore = true;
-      }
-    }
-
-    finish();
-  }
-
- private:
-  std::size_t index(idx w) const {
-    return static_cast<std::size_t>(first_ + w);
-  }
-  std::uint64_t seed(idx w) const {
-    return config_.seed + static_cast<std::uint64_t>(first_ + w);
-  }
-  fault::FaultReport& report() { return partials_[index(0)]->fault_report; }
-
-  EngineConfig engine_config() const {
-    EngineConfig cfg = config_.engine;
-    cfg.backend = backend_;
-    cfg.precision = precision_;
-    return cfg;
-  }
-
-  std::unique_ptr<WalkerBatch> make_batch() const {
-    std::vector<std::uint64_t> seeds;
-    seeds.reserve(static_cast<std::size_t>(walkers_));
-    for (idx w = 0; w < walkers_; ++w) seeds.push_back(seed(w));
-    return std::make_unique<WalkerBatch>(lattice_, config_.model,
-                                         engine_config(), seeds);
-  }
-
-  void start_batch() {
-    batch_ = make_batch();
-    if (config_.checkpoint_in.empty()) {
-      batch_->initialize_all();
-    } else {
-      for (idx w = 0; w < walkers_; ++w) {
-        load_checkpoint_file(config_.checkpoint_in, batch_->engine(w));
-      }
-    }
-    take_checkpoints(0);
-  }
-
-  /// Rebuild the crowd on the current backend, restore every walker from
-  /// the lockstep checkpoints, and replay committed sweeps WITHOUT
-  /// re-measuring. The replay runs the same batched path, so every walker —
-  /// the faulting one and its batchmates alike — rejoins its original
-  /// trajectory bit for bit.
-  void restore() {
-    discard_scratch();
-    batch_.reset();  // old shared backend drains before the new one
-    batch_ = make_batch();
-    if (ckpts_.empty()) {
-      if (config_.checkpoint_in.empty()) {
-        batch_->initialize_all();
-      } else {
-        for (idx w = 0; w < walkers_; ++w) {
-          load_checkpoint_file(config_.checkpoint_in, batch_->engine(w));
-        }
-      }
-    } else {
-      for (idx w = 0; w < walkers_; ++w) {
-        std::istringstream in(ckpts_[static_cast<std::size_t>(w)]);
-        load_checkpoint(in, batch_->engine(w));
-      }
-    }
-    ++report().restarts;
-    obs::metrics().count("fault.recovery.restarts");
-    for (idx g = ckpt_sweep_; g < done_; ++g) batch_->sweep_all();
-  }
-
-  bool recover(const std::string& site, fault::FaultClass cls,
-               const std::string& detail, int attempt) {
-    fault::FaultReport& rep = report();
-    ++rep.faults;
-    if (cls == fault::FaultClass::kHealthTrip) ++rep.health_trips;
-    obs::metrics().count("fault.observed");
-
-    FaultEventBuilder event{site, cls, detail, attempt};
-    if (attempt <= policy_.max_retries) {
-      ++rep.retries;
-      obs::metrics().count("fault.recovery.retries");
-      const double ms = backoff_ms(policy_, attempt);
-      if (policy_.sleep_on_backoff && ms > 0.0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(ms));
-      }
-      push_event(event, "retry", ms);
-      return true;
-    }
-    if (cls == fault::FaultClass::kHealthTrip) {
-      if (precision_ == backend::Precision::kFp32) {
-        // Crowd-wide precision degrade: one shared backend, one precision
-        // policy — every walker rejoins its trajectory on fp64 wraps.
-        precision_ = backend::Precision::kFp64;
-        ++rep.precision_degradations;
-        obs::metrics().count("fault.recovery.precision_degradations");
-        push_event(event, "degrade-precision", 0.0);
-        return true;
-      }
-      check_health_ = false;
-      push_event(event, "disable-health", 0.0);
-      return true;
-    }
-    if (cls == fault::FaultClass::kDeviceFault && policy_.allow_degrade &&
-        backend_ == backend::BackendKind::kGpuSim) {
-      backend_ = backend::BackendKind::kHost;
-      ++rep.degradations;
-      rep.degraded = true;
-      obs::metrics().count("fault.recovery.degradations");
-      push_event(event, "degrade", 0.0);
-      return true;
-    }
-    push_event(event, "abort", 0.0);
-    return false;
-  }
-
-  void push_event(const FaultEventBuilder& b, const char* action,
-                  double backoff) {
-    report().events.push_back(fault::FaultEvent{
-        b.site, fault::fault_class_name(b.cls), action, done_, b.attempt,
-        backoff, b.detail});
-    DQMC_FLIGHT_EVENT(obs::FlightEventKind::kRecovery, b.site.c_str(), action,
-                      static_cast<double>(done_),
-                      static_cast<double>(b.attempt));
-    obs::flight_recorder().write_crash_dump("fault:" + b.site);
-  }
-
-  void run_segment(idx g_begin, idx g_end) {
-    const idx total = config_.warmup_sweeps + config_.measurement_sweeps;
-    for (idx g = g_begin; g < g_end; ++g) {
-      if (g < config_.warmup_sweeps) {
-        add_stats(batch_->sweep_all());
-      } else {
-        measurement_sweep(g - config_.warmup_sweeps);
-      }
-      if (progress_) {
-        // One chain-sweep unit per walker: the crowd advanced W walkers by
-        // one lockstep sweep.
-        for (idx w = 0; w < walkers_; ++w) {
-          progress_(g + 1, total, g < config_.warmup_sweeps);
-        }
-      }
-    }
-  }
-
-  void measurement_sweep(idx m) {
-    const bool measuring = m % config_.measure_interval == 0;
-    auto measure_now = [&](idx w) {
-      DqmcEngine& engine = batch_->engine(w);
-      ScopedPhase phase(&engine.profiler(), Phase::kMeasurement);
-      scratch_samples_[static_cast<std::size_t>(w)].emplace_back(
-          measure_equal_time(lattice_, engine.params(),
-                             engine.greens(Spin::Up),
-                             engine.greens(Spin::Down)),
-          engine.config_sign());
-    };
-    if (measuring && config_.measure_slice_interval > 0) {
-      add_stats(batch_->sweep_all([&](idx w, idx slice) {
-        if (slice % config_.measure_slice_interval == 0) measure_now(w);
-      }));
-    } else {
-      add_stats(batch_->sweep_all());
-      if (measuring) {
-        for (idx w = 0; w < walkers_; ++w) measure_now(w);
-      }
-    }
-    if (config_.measure_dynamic_interval > 0 &&
-        m % config_.measure_dynamic_interval == 0) {
-      for (idx w = 0; w < walkers_; ++w) {
-        DqmcEngine& engine = batch_->engine(w);
-        ScopedPhase phase(&engine.profiler(), Phase::kMeasurement);
-        TimeDisplacedGreens tdg(engine.factory(), engine.field(),
-                                config_.engine.cluster_size,
-                                config_.engine.algorithm);
-        const TimeDisplaced up = tdg.compute(Spin::Up);
-        const TimeDisplaced dn = tdg.compute(Spin::Down);
-        scratch_dynamic_[static_cast<std::size_t>(w)].emplace_back(
-            measure_dynamic(lattice_, config_.model.dtau(), up, dn),
-            engine.config_sign());
-      }
-    }
-  }
-
-  void add_stats(const std::vector<SweepStats>& stats) {
-    for (idx w = 0; w < walkers_; ++w) {
-      scratch_stats_[static_cast<std::size_t>(w)].proposed +=
-          stats[static_cast<std::size_t>(w)].proposed;
-      scratch_stats_[static_cast<std::size_t>(w)].accepted +=
-          stats[static_cast<std::size_t>(w)].accepted;
-    }
-  }
-
-  void check_health() {
-    if (check_health_) DQMC_FAILPOINT("supervisor.health");
-    if (!policy_.trip_on_health || !check_health_ || !obs::health().enabled())
-      return;
-    const std::uint64_t v = obs::health().violations();
-    if (v > health_baseline_) {
-      health_baseline_ = v;
-      throw HealthTripError(v);
-    }
-    health_baseline_ = v;
-  }
-
-  /// Checkpoint every walker at the same sweep boundary. The fresh
-  /// checkpoints replace the old ones only when ALL walkers serialize — a
-  /// persistent I/O failure on any walker skips the whole crowd's
-  /// checkpoint (retry once first), keeping the recovery points lockstep.
-  void take_checkpoints(idx sweep) {
-    std::vector<std::string> fresh(static_cast<std::size_t>(walkers_));
-    for (idx w = 0; w < walkers_; ++w) {
-      for (int io_attempt = 1;; ++io_attempt) {
-        try {
-          std::ostringstream out;
-          save_checkpoint(out, batch_->engine(w));
-          fresh[static_cast<std::size_t>(w)] = out.str();
-          break;
-        } catch (const std::exception& e) {
-          fault::FaultReport& rep = report();
-          ++rep.faults;
-          ++rep.checkpoint_faults;
-          obs::metrics().count("fault.checkpoint_faults");
-          const bool retry = io_attempt == 1;
-          rep.events.push_back(fault::FaultEvent{
-              "checkpoint.save",
-              fault::fault_class_name(fault::FaultClass::kIoError),
-              retry ? "retry-checkpoint" : "skip-checkpoint", sweep,
-              io_attempt, 0.0, e.what()});
-          if (!retry) return;  // keep the previous lockstep recovery point
-        }
-      }
-    }
-    ckpts_ = std::move(fresh);
-    ckpt_sweep_ = sweep;
-    report().checkpoints += static_cast<std::uint64_t>(walkers_);
-    DQMC_FLIGHT_EVENT(obs::FlightEventKind::kCheckpoint, "checkpoint.save",
-                      "crowd", static_cast<double>(sweep),
-                      static_cast<double>(walkers_));
-  }
-
-  void commit(idx seg_end) {
-    for (idx w = 0; w < walkers_; ++w) {
-      SimulationResults& r = *partials_[index(w)];
-      for (const auto& [sample, sign] :
-           scratch_samples_[static_cast<std::size_t>(w)]) {
-        r.measurements.add(sample, sign);
-      }
-      for (const auto& [sample, sign] :
-           scratch_dynamic_[static_cast<std::size_t>(w)]) {
-        r.dynamic.add(sample, sign);
-      }
-      r.sweep_stats.proposed +=
-          scratch_stats_[static_cast<std::size_t>(w)].proposed;
-      r.sweep_stats.accepted +=
-          scratch_stats_[static_cast<std::size_t>(w)].accepted;
-    }
-    discard_scratch();
-    done_ = seg_end;
-    obs::flight_recorder().set_sweep(static_cast<std::int64_t>(done_));
-  }
-
-  void discard_scratch() {
-    for (auto& s : scratch_samples_) s.clear();
-    for (auto& s : scratch_dynamic_) s.clear();
-    for (auto& s : scratch_stats_) s = SweepStats{};
-  }
-
-  void finish() {
-    if (!config_.checkpoint_out.empty()) {
-      for (idx w = 0; w < walkers_; ++w) {
-        fault::FaultReport& rep = report();
-        for (int io_attempt = 1;; ++io_attempt) {
-          try {
-            save_checkpoint_file(config_.checkpoint_out, batch_->engine(w));
-            break;
-          } catch (const std::exception& e) {
-            ++rep.faults;
-            ++rep.checkpoint_faults;
-            const bool retry = io_attempt == 1;
-            rep.events.push_back(fault::FaultEvent{
-                "checkpoint.save",
-                fault::fault_class_name(fault::FaultClass::kIoError),
-                retry ? "retry-checkpoint" : "skip-checkpoint", done_,
-                io_attempt, 0.0, e.what()});
-            if (!retry) break;
-          }
-        }
-      }
-    }
-    batch_->compute_backend().synchronize();
-    for (idx w = 0; w < walkers_; ++w) {
-      DqmcEngine& engine = batch_->engine(w);
-      SimulationResults& r = *partials_[index(w)];
-      r.strat_stats = engine.strat_stats();
-      r.profiler = engine.profiler();
-      r.backend_name = batch_->compute_backend().name();
-      if (w == 0) r.backend_stats = batch_->compute_backend().stats();
-      r.wrap_uploads_skipped =
-          engine.wrap_uploads_skipped() + batch_->wrap_uploads_skipped(w);
-      r.trajectory_hash = trajectory_hash(engine);
-      r.fault_report.final_backend = r.backend_name;
-    }
-    obs::flight_recorder().set_context(-1, -1);
-  }
-
-  const SimulationConfig& config_;
-  const SupervisorPolicy& policy_;
-  const ProgressFn& progress_;
-  idx first_;
-  idx walkers_;
-  std::vector<std::unique_ptr<SimulationResults>>& partials_;
-  Lattice lattice_;
-  backend::BackendKind backend_;
-  backend::Precision precision_;  ///< degradable: fp32 -> fp64 on health trips
-  std::unique_ptr<WalkerBatch> batch_;
-  idx done_ = 0;
-  idx ckpt_sweep_ = 0;
-  std::vector<std::string> ckpts_;  ///< per-walker v1 ckpts at ckpt_sweep_
-  std::vector<std::vector<std::pair<EqualTimeSample, int>>> scratch_samples_;
-  std::vector<std::vector<std::pair<DynamicSample, int>>> scratch_dynamic_;
-  std::vector<SweepStats> scratch_stats_;
   bool check_health_ = true;
   std::uint64_t health_baseline_ = 0;
 };

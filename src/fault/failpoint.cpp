@@ -20,7 +20,8 @@ FaultClass fault_class_for_site(const std::string& site) {
   const auto has_prefix = [&site](const char* p) {
     return site.rfind(p, 0) == 0;
   };
-  if (has_prefix("checkpoint.")) return FaultClass::kIoError;
+  if (has_prefix("checkpoint.") || has_prefix("fleet.io"))
+    return FaultClass::kIoError;
   if (has_prefix("graded.") || has_prefix("strat."))
     return FaultClass::kNumericalFault;
   if (has_prefix("supervisor.") || has_prefix("health."))

@@ -1,5 +1,11 @@
 #include "fault/report.h"
 
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/hexio.h"
+
 namespace dqmc::fault {
 
 FaultReport& FaultReport::operator+=(const FaultReport& other) {
@@ -45,6 +51,58 @@ obs::Json FaultReport::json_value() const {
       .set("degraded", degraded)
       .set("final_backend", final_backend)
       .set("events", std::move(evs));
+}
+
+void FaultReport::save(std::ostream& out) const {
+  out << "fault-report\n";
+  hexio::put_u64(out, faults);
+  hexio::put_u64(out, retries);
+  hexio::put_u64(out, restarts);
+  hexio::put_u64(out, degradations);
+  hexio::put_u64(out, precision_degradations);
+  hexio::put_u64(out, health_trips);
+  hexio::put_u64(out, checkpoints);
+  hexio::put_u64(out, checkpoint_faults);
+  hexio::put_u64(out, degraded ? 1 : 0);
+  hexio::put_block(out, final_backend);
+  hexio::put_u64(out, events.size());
+  for (const FaultEvent& e : events) {
+    hexio::put_block(out, e.site);
+    hexio::put_block(out, e.fault_class);
+    hexio::put_block(out, e.action);
+    hexio::put_u64(out, static_cast<std::uint64_t>(e.sweep));
+    hexio::put_u64(out, static_cast<std::uint64_t>(e.attempt));
+    hexio::put_double(out, e.backoff_ms);
+    hexio::put_block(out, e.detail);
+  }
+}
+
+void FaultReport::load(std::istream& in) {
+  hexio::expect(in, "fault-report");
+  faults = hexio::get_u64(in);
+  retries = hexio::get_u64(in);
+  restarts = hexio::get_u64(in);
+  degradations = hexio::get_u64(in);
+  precision_degradations = hexio::get_u64(in);
+  health_trips = hexio::get_u64(in);
+  checkpoints = hexio::get_u64(in);
+  checkpoint_faults = hexio::get_u64(in);
+  degraded = hexio::get_u64(in) != 0;
+  final_backend = hexio::get_block(in);
+  const std::uint64_t n = hexio::get_u64(in);
+  // Payloads cross a process boundary; bound the count before resizing so
+  // a corrupted frame cannot drive an absurd allocation.
+  DQMC_CHECK_MSG(n <= 1u << 20, "FaultReport::load: implausible event count");
+  events.assign(static_cast<std::size_t>(n), FaultEvent{});
+  for (FaultEvent& e : events) {
+    e.site = hexio::get_block(in);
+    e.fault_class = hexio::get_block(in);
+    e.action = hexio::get_block(in);
+    e.sweep = static_cast<std::int64_t>(hexio::get_u64(in));
+    e.attempt = static_cast<int>(hexio::get_u64(in));
+    e.backoff_ms = hexio::get_double(in);
+    e.detail = hexio::get_block(in);
+  }
 }
 
 }  // namespace dqmc::fault

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,11 @@ struct FaultReport {
 
   /// {"faults","retries",...,"degraded","final_backend","events":[...]}.
   obs::Json json_value() const;
+
+  /// Bit-exact text round trip (hexio format). load() replaces the whole
+  /// report, events included.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
 };
 
 }  // namespace dqmc::fault

@@ -1,0 +1,96 @@
+// Fleet coordinator: shards a multi-chain run over forked worker processes
+// and merges the results bit-for-bit with the single-process crowd path.
+//
+// Topology: one coordinator, FleetConfig::workers forked children, two
+// pipes per child, poll(2) multiplexing — no MPI, no threads in the
+// coordinator. Shards are consecutive walker crowds (walker_batch chains
+// each, exactly the partition run_supervised_parallel uses) dealt to idle
+// workers in chain order; per-chain seeds are config.seed + chain, so
+// WHICH worker runs a shard never changes WHAT it computes.
+//
+// Failure semantics (docs/FLEET.md has the full state machine):
+//   * a dead worker (EOF + waitpid classification) or a protocol fault
+//     (malformed frame) or a wedged worker (silence past wedge_timeout_ms)
+//     costs its process; the shard it owned is reassigned to a survivor
+//     from the latest lockstep snapshot — or replayed from scratch — both
+//     bitwise-identical outcomes, so a killed worker NEVER forks surviving
+//     trajectories;
+//   * an idle worker with nothing queued steals the tail walkers of the
+//     busiest running shard at that shard's next checkpoint boundary
+//     (kSteal -> kYield), migrating whole walkers with their checkpoints
+//     and committed accumulators;
+//   * a shard that exceeds max_reassigns, or a worker reporting a terminal
+//     supervisor abort (kFail), aborts the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dqmc/supervisor.h"
+#include "fault/report.h"
+#include "fleet/options.h"
+#include "obs/json.h"
+
+namespace dqmc::fleet {
+
+using core::ProgressFn;
+using core::SimulationConfig;
+using core::SimulationResults;
+using core::SupervisorPolicy;
+
+/// Per-worker lifecycle record for the fleet report.
+struct WorkerSummary {
+  int index = 0;
+  long pid = 0;
+  std::uint64_t shards_completed = 0;
+  std::uint64_t frames_received = 0;
+  /// "completed" | "killed (signal N)" | "exit (code N)" | "wedged" |
+  /// "protocol-fault".
+  std::string fate;
+  std::string crash_dump_path;  ///< worker-unique forensic artifacts
+  std::string telemetry_path;
+};
+
+/// What the fleet did, beyond the physics: lands in the manifest's "fleet"
+/// section and mirrors the fleet.* metrics counters.
+struct FleetReport {
+  idx workers = 0;
+  idx shards = 0;  ///< initial shards (steals add more)
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t steals = 0;    ///< kSteal requests granted (kYield accepted)
+  std::uint64_t steals_declined = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t reassignments = 0;
+  std::uint64_t protocol_faults = 0;
+  /// Worker-death / protocol / wedge events, in the fault taxonomy.
+  std::vector<fault::FaultEvent> events;
+  std::vector<WorkerSummary> worker_summaries;
+
+  obs::Json json_value() const;
+};
+
+struct FleetResult {
+  SimulationResults results;  ///< merged exactly like run_supervised_parallel
+  FleetReport fleet;
+  /// Per-chain trajectory hashes in chain order (the flat fold of these is
+  /// results.trajectory_hash) — what the kill-a-worker suite uses to show
+  /// surviving chains were untouched.
+  std::vector<std::uint64_t> chain_hashes;
+
+  explicit FleetResult(const SimulationConfig& cfg) : results(cfg) {}
+};
+
+/// Run `chains` chains sharded over a fleet of forked workers. Requires
+/// config.walker_batch >= 1 (a shard IS a walker crowd). Deterministic for
+/// a fixed config: the merged measurements, sweep stats, and chain-order
+/// trajectory-hash fold bitwise-match run_supervised_parallel with the same
+/// config — with any worker count, with steals, and across worker deaths.
+/// `progress` is invoked in the coordinator process from the workers'
+/// boundary progress frames (so in segment-sized bursts, not per sweep).
+FleetResult run_fleet(const SimulationConfig& config,
+                      const SupervisorPolicy& policy, const FleetConfig& fleet,
+                      idx chains, const ProgressFn& progress = nullptr);
+
+}  // namespace dqmc::fleet

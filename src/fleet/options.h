@@ -1,0 +1,53 @@
+// Fleet runtime knobs shared by the coordinator (fork/assign/steal policy)
+// and the worker children (fail-point arming, forensic artifact paths).
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+#include "linalg/matrix.h"
+
+namespace dqmc::fleet {
+
+using linalg::idx;
+
+struct FleetConfig {
+  /// Worker processes to fork. Shards are dealt to idle workers in chain
+  /// order, so any worker count yields the same merged result.
+  idx workers = 2;
+  /// Send a resume snapshot to the coordinator every this many committed
+  /// segment boundaries (1 = every boundary). A dead worker's shard is
+  /// replayed from its latest snapshot — or from scratch when none arrived
+  /// — so larger intervals trade snapshot traffic for replay work, never
+  /// correctness.
+  idx snapshot_interval = 1;
+  /// Steal walkers from the busiest running shard when a worker goes idle.
+  bool steal = true;
+  /// Declare a silent worker wedged (and SIGKILL + reassign it) after this
+  /// many milliseconds without a frame while it owns a shard. 0 disables —
+  /// the default, since a legitimate segment can run long.
+  idx wedge_timeout_ms = 0;
+  /// Reassignments a single shard survives before the run aborts (guards
+  /// against a shard that kills every worker it lands on).
+  int max_reassigns = 3;
+  /// Fail-point spec armed INSIDE worker processes (the coordinator's own
+  /// registry is not touched). Workers first disarm everything inherited
+  /// over fork, so this spec is the whole worker-side arming.
+  std::string worker_failpoints;
+  /// Which worker index arms worker_failpoints (-1 = all workers).
+  int failpoint_worker = -1;
+  /// Crash-dump base path; each worker appends ".w<index>.p<pid>.json" so
+  /// parallel workers never clobber each other's forensic artifacts.
+  std::string crash_dump_path;
+  /// Telemetry JSONL base path; per-worker suffix as above.
+  std::string telemetry_path;
+
+  void validate() const {
+    DQMC_CHECK_MSG(workers >= 1, "fleet needs at least one worker");
+    DQMC_CHECK_MSG(snapshot_interval >= 1, "snapshot_interval must be >= 1");
+    DQMC_CHECK_MSG(max_reassigns >= 0, "max_reassigns must be >= 0");
+    DQMC_CHECK_MSG(wedge_timeout_ms >= 0, "wedge_timeout_ms must be >= 0");
+  }
+};
+
+}  // namespace dqmc::fleet

@@ -1,0 +1,58 @@
+// Fleet payload serialization: what crosses the coordinator <-> worker
+// pipes inside wire.h frames.
+//
+// Two shapes carry the science:
+//   * a chain partial — one chain's committed accumulator state
+//     (measurements, dynamic, sweep/strat/backend stats, fault report,
+//     trajectory hash), bit-exact via hexio so the coordinator's chain-order
+//     merge reproduces the single-process merge_chain_results fold to the
+//     last bit;
+//   * a ShardState — a crowd's resume point: per-walker v1 checkpoints at a
+//     lockstep boundary plus the per-chain partials committed before it.
+//     The same shape serves assignment (fresh: no checkpoints), snapshot
+//     (periodic resume insurance), yield (work stealing), and result
+//     (done == total, no checkpoints) — one codec, four frame types.
+// Both sides already share the SimulationConfig by fork inheritance, so
+// payloads carry only per-chain state, never the run configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dqmc/simulation.h"
+
+namespace dqmc::fleet {
+
+using core::SimulationConfig;
+using core::SimulationResults;
+using core::idx;
+
+/// One chain's committed results, bit-exact. The destination of
+/// deserialize_chain_partial must be constructed with the chain's own
+/// config (same lattice, bins, slices, seed) — shape mismatches throw.
+std::string serialize_chain_partial(const SimulationResults& r);
+void deserialize_chain_partial(const std::string& blob, SimulationResults& r);
+
+/// A shard's position in the run, sufficient to continue it elsewhere.
+struct ShardState {
+  idx first = 0;    ///< global index of the shard's first chain
+  idx walkers = 0;  ///< chains in the shard
+  idx done = 0;     ///< sweeps committed at the boundary
+  /// Per-walker v1 checkpoints at `done` (empty = start fresh / result).
+  std::vector<std::string> checkpoints;
+  /// Per-chain serialized partials (empty on a fresh assignment).
+  std::vector<std::string> partials;
+};
+
+std::string encode_shard_state(const ShardState& state);
+/// Throws dqmc::Error (or FleetProtocolError via hexio) on malformed input;
+/// never trusts counts without bounds checks.
+ShardState decode_shard_state(const std::string& payload);
+
+/// Construct the partials slot for global chain `chain` the way every
+/// runner (single-process and fleet alike) seeds it: config.seed + chain.
+std::unique_ptr<SimulationResults> make_chain_partial(
+    const SimulationConfig& config, idx chain);
+
+}  // namespace dqmc::fleet

@@ -1,0 +1,325 @@
+#include "fleet/worker.h"
+
+#include <csignal>
+#include <poll.h>
+#include <sstream>
+#include <unistd.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/hexio.h"
+#include "dqmc/crowd_supervisor.h"
+#include "fault/failpoint.h"
+#include "fleet/serial.h"
+#include "fleet/wire.h"
+#include "obs/flight_recorder.h"
+#include "obs/progress.h"
+#include "parallel/topology.h"
+
+namespace dqmc::fleet {
+
+namespace hx = dqmc::hexio;
+
+using core::CrowdBoundary;
+using core::CrowdSupervisor;
+using core::ProgressFn;
+using core::WalkerHandoff;
+
+std::string worker_unique_path(const std::string& base, int worker_index,
+                               long pid) {
+  const std::string tag =
+      ".w" + std::to_string(worker_index) + ".p" + std::to_string(pid);
+  for (const char* ext : {".jsonl", ".json"}) {
+    const std::size_t n = std::string(ext).size();
+    if (base.size() > n && base.compare(base.size() - n, n, ext) == 0) {
+      return base.substr(0, base.size() - n) + tag + ext;
+    }
+  }
+  return base + tag;
+}
+
+namespace {
+
+class Worker {
+ public:
+  Worker(const SimulationConfig& config, const SupervisorPolicy& policy,
+         const FleetConfig& fleet, int index, int read_fd, int write_fd,
+         obs::ProgressReporter* reporter)
+      : config_(config),
+        policy_(policy),
+        fleet_(fleet),
+        index_(index),
+        read_fd_(read_fd),
+        write_fd_(write_fd),
+        reporter_(reporter) {
+    progress_ = [this](core::idx, core::idx, bool warmup) {
+      // Deterministic kill/wedge probes for the determinism suite: the
+      // progress stream ticks once per walker per lockstep sweep, so an
+      // armed "fleet.worker.kill:N" dies at the same point of the
+      // trajectory every run — mid-segment, scratch uncommitted.
+      if (DQMC_FAILPOINT_FIRE("fleet.worker.kill")) ::raise(SIGKILL);
+      if (DQMC_FAILPOINT_FIRE("fleet.worker.wedge")) {
+        for (;;) ::pause();
+      }
+      if (reporter_) reporter_->on_sweep(warmup);
+    };
+  }
+
+  int run() {
+    {
+      std::ostringstream hello;
+      hx::put_u64(hello, static_cast<std::uint64_t>(index_));
+      hx::put_u64(hello, static_cast<std::uint64_t>(::getpid()));
+      write_frame(write_fd_, FrameType::kHello, 0, hello.str());
+    }
+    if (!fleet_.crash_dump_path.empty() || !fleet_.telemetry_path.empty()) {
+      // Artifact fan-in: tell the coordinator where this worker's unique
+      // forensic files live so the fleet report can collect them.
+      std::ostringstream art;
+      hx::put_block(art, dump_path_);
+      hx::put_block(art, telemetry_path_);
+      write_frame(write_fd_, FrameType::kTelemetry, 0, art.str());
+    }
+    for (;;) {
+      for (;;) {
+        std::optional<Frame> frame = decoder_.next();
+        if (!frame) break;
+        const int rc = handle(*frame);
+        if (rc >= 0) return rc;
+      }
+      if (!read_into(read_fd_, decoder_)) return 1;  // coordinator died
+    }
+  }
+
+  std::string dump_path_;
+  std::string telemetry_path_;
+
+ private:
+  /// Returns -1 to continue, >= 0 to exit with that code.
+  int handle(const Frame& frame) {
+    switch (frame.type) {
+      case FrameType::kAssign:
+        run_shard(frame.shard, decode_shard_state(frame.payload));
+        return -1;
+      case FrameType::kShutdown:
+        return 0;
+      case FrameType::kSteal: {
+        // No shard running: nothing to yield.
+        ShardState decline;
+        write_frame(write_fd_, FrameType::kYield, frame.shard,
+                    encode_shard_state(decline));
+        return -1;
+      }
+      default:
+        return -1;  // coordinator-bound frame types are never valid here
+    }
+  }
+
+  void run_shard(std::uint32_t shard_id, const ShardState& assignment) {
+    shard_id_ = shard_id;
+    shard_first_ = assignment.first;
+    boundaries_ = 0;
+    partials_.clear();
+    partials_.resize(static_cast<std::size_t>(assignment.walkers));
+    sup_ = std::make_unique<CrowdSupervisor>(config_, policy_,
+                                             assignment.first,
+                                             assignment.walkers, progress_,
+                                             partials_, 0);
+    if (!assignment.checkpoints.empty()) {
+      sup_->set_resume(assignment.checkpoints, assignment.done);
+      // Re-prime the committed samples that travelled with the handoff.
+      for (std::size_t w = 0; w < assignment.partials.size(); ++w) {
+        if (!assignment.partials[w].empty()) {
+          deserialize_chain_partial(assignment.partials[w], *partials_[w]);
+        }
+      }
+    }
+    sup_->set_boundary_hook(
+        [this](const CrowdBoundary& b) { on_boundary(b); });
+
+    try {
+      sup_->run();
+    } catch (const std::exception& e) {
+      write_frame(write_fd_, FrameType::kFail, shard_id_, e.what());
+      sup_.reset();
+      return;
+    }
+
+    ShardState result;
+    result.first = shard_first_;
+    result.walkers = sup_->walkers();  // yields may have shrunk the shard
+    result.done = sup_->done();
+    for (core::idx w = 0; w < sup_->walkers(); ++w) {
+      result.partials.push_back(serialize_chain_partial(
+          *partials_[static_cast<std::size_t>(w)]));
+    }
+    write_frame(write_fd_, FrameType::kResult, shard_id_,
+                encode_shard_state(result));
+    sup_.reset();
+  }
+
+  void on_boundary(const CrowdBoundary& b) {
+    ++boundaries_;
+    drain_control(b);
+    {
+      std::ostringstream p;
+      hx::put_u64(p, static_cast<std::uint64_t>(sup_->done()));
+      hx::put_u64(p, static_cast<std::uint64_t>(sup_->walkers()));
+      write_frame(write_fd_, FrameType::kProgress, shard_id_, p.str());
+    }
+    if (b.done < b.total && sup_->checkpoint_sweep() == sup_->done() &&
+        boundaries_ % fleet_.snapshot_interval == 0) {
+      write_frame(write_fd_, FrameType::kSnapshot, shard_id_,
+                  encode_shard_state(current_state()));
+    }
+  }
+
+  /// Resume state for the chains still owned by this shard.
+  ShardState current_state() const {
+    ShardState state;
+    state.first = shard_first_;
+    state.walkers = sup_->walkers();
+    state.done = sup_->checkpoint_sweep();
+    state.checkpoints = sup_->checkpoints();
+    for (core::idx w = 0; w < sup_->walkers(); ++w) {
+      state.partials.push_back(serialize_chain_partial(
+          *partials_[static_cast<std::size_t>(w)]));
+    }
+    return state;
+  }
+
+  /// Answer control frames that arrived while the crowd was sweeping. Only
+  /// complete frames are handled; a request split across pipe reads is
+  /// answered at the next boundary.
+  void drain_control(const CrowdBoundary& b) {
+    for (;;) {
+      struct pollfd pfd {};
+      pfd.fd = read_fd_;
+      pfd.events = POLLIN;
+      const int rc = ::poll(&pfd, 1, 0);
+      if (rc <= 0 || !(pfd.revents & (POLLIN | POLLHUP))) break;
+      if (!read_into(read_fd_, decoder_)) ::_exit(1);  // coordinator died
+      for (;;) {
+        std::optional<Frame> frame = decoder_.next();
+        if (!frame) break;
+        handle_mid_shard(*frame, b);
+      }
+    }
+  }
+
+  void handle_mid_shard(const Frame& frame, const CrowdBoundary& b) {
+    switch (frame.type) {
+      case FrameType::kSteal: {
+        std::istringstream in(frame.payload);
+        const core::idx want = static_cast<core::idx>(hx::get_u64(in));
+        if (!b.can_split || sup_->walkers() < 2 ||
+            sup_->checkpoint_sweep() != sup_->done() || want < 1) {
+          ShardState decline;
+          write_frame(write_fd_, FrameType::kYield, shard_id_,
+                      encode_shard_state(decline));
+          return;
+        }
+        const core::idx take = std::min(want, sup_->walkers() - 1);
+        const core::idx keep = sup_->walkers() - take;
+        WalkerHandoff handoff = sup_->split_tail(take);
+        ShardState yielded;
+        yielded.first = handoff.first_chain;
+        yielded.walkers = handoff.walkers;
+        yielded.done = handoff.done;
+        yielded.checkpoints = std::move(handoff.checkpoints);
+        for (core::idx i = 0; i < take; ++i) {
+          yielded.partials.push_back(serialize_chain_partial(
+              *partials_[static_cast<std::size_t>(keep + i)]));
+        }
+        write_frame(write_fd_, FrameType::kYield, shard_id_,
+                    encode_shard_state(yielded));
+        return;
+      }
+      case FrameType::kShutdown:
+        ::_exit(0);
+      default:
+        return;
+    }
+  }
+
+  const SimulationConfig& config_;
+  const SupervisorPolicy& policy_;
+  const FleetConfig& fleet_;
+  int index_;
+  int read_fd_;
+  int write_fd_;
+  obs::ProgressReporter* reporter_;
+  ProgressFn progress_;
+  FrameDecoder decoder_;
+  std::uint32_t shard_id_ = 0;
+  core::idx shard_first_ = 0;
+  core::idx boundaries_ = 0;
+  std::vector<std::unique_ptr<core::SimulationResults>> partials_;
+  std::unique_ptr<CrowdSupervisor> sup_;
+};
+
+}  // namespace
+
+void worker_main(const SimulationConfig& config,
+                 const SupervisorPolicy& policy, const FleetConfig& fleet,
+                 int worker_index, int read_fd, int write_fd) {
+  // Only the forking thread survives into the child: run every task-runtime
+  // spawn inline on this thread instead of waking a pool that no longer
+  // exists (the inherited TaskRuntime object is never touched).
+  par::set_thread_serial(true);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // The registry state crossed the fork; this worker's arming is exactly
+  // fleet.worker_failpoints (on the targeted worker), nothing inherited.
+  fault::failpoints().disarm_all();
+  if (!fleet.worker_failpoints.empty() &&
+      (fleet.failpoint_worker < 0 || fleet.failpoint_worker == worker_index)) {
+    fault::failpoints().arm_spec(fleet.worker_failpoints);
+  }
+
+  const long pid = static_cast<long>(::getpid());
+  std::string dump_path, telemetry_path;
+  if (!fleet.crash_dump_path.empty()) {
+    dump_path = worker_unique_path(fleet.crash_dump_path, worker_index, pid);
+    obs::flight_recorder().set_enabled(true);
+    obs::flight_recorder().set_dump_path(dump_path);
+  }
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  if (!fleet.telemetry_path.empty()) {
+    telemetry_path =
+        worker_unique_path(fleet.telemetry_path, worker_index, pid);
+    obs::ProgressOptions opt;
+    opt.jsonl_path = telemetry_path;
+    opt.label = "fleet-w" + std::to_string(worker_index);
+    opt.walkers = static_cast<int>(std::max<idx>(config.walker_batch, 1));
+    opt.warmup_sweeps = static_cast<std::uint64_t>(config.warmup_sweeps);
+    opt.total_sweeps = static_cast<std::uint64_t>(config.warmup_sweeps +
+                                                  config.measurement_sweeps);
+    reporter = std::make_unique<obs::ProgressReporter>(opt);
+  }
+
+  int code = 2;
+  try {
+    Worker worker(config, policy, fleet, worker_index, read_fd, write_fd,
+                  reporter.get());
+    worker.dump_path_ = dump_path;
+    worker.telemetry_path_ = telemetry_path;
+    code = worker.run();
+  } catch (const std::exception& e) {
+    obs::flight_recorder().write_crash_dump(std::string("fleet.worker: ") +
+                                            e.what());
+    try {
+      write_frame(write_fd, FrameType::kFail, 0, e.what());
+    } catch (...) {
+    }
+    code = 2;
+  }
+  if (reporter) reporter->finish();
+  reporter.reset();
+  // _exit: never run the parent's atexit handlers / static destructors in
+  // the child (they belong to the coordinator process).
+  ::_exit(code);
+}
+
+}  // namespace dqmc::fleet

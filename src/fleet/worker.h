@@ -1,0 +1,37 @@
+// Fleet worker: the child-process side of the coordinator/worker runtime.
+//
+// A worker is forked by run_fleet, speaks wire.h frames over two pipes, and
+// runs each assigned shard through the SAME CrowdSupervisor the
+// single-process path uses — per-worker fault ladder included. Between
+// committed segments (the crowd's lockstep boundaries) it drains its
+// control pipe: steal requests split the crowd's tail walkers off as a
+// bitwise handoff, and resume snapshots flow up so the coordinator can
+// replay this worker's shard elsewhere if the process dies.
+#pragma once
+
+#include "dqmc/supervisor.h"
+#include "fleet/options.h"
+
+namespace dqmc::fleet {
+
+using core::SimulationConfig;
+using core::SupervisorPolicy;
+
+/// Child-process entry point; never returns (terminates with _exit so the
+/// parent's atexit/static-destructor state is never run twice). `read_fd` /
+/// `write_fd` are the coordinator pipes. Must be called immediately after
+/// fork(): it serializes the task runtime for the single surviving thread,
+/// re-arms fail points from fleet.worker_failpoints, and redirects crash
+/// dumps and telemetry to worker-unique paths before touching any physics.
+[[noreturn]] void worker_main(const SimulationConfig& config,
+                              const SupervisorPolicy& policy,
+                              const FleetConfig& fleet, int worker_index,
+                              int read_fd, int write_fd);
+
+/// The worker-unique forensic path for `base`: inserts ".w<index>.p<pid>"
+/// before a trailing ".json"/".jsonl" extension (appends otherwise).
+/// Exposed for the path-uniqueness tests.
+std::string worker_unique_path(const std::string& base, int worker_index,
+                               long pid);
+
+}  // namespace dqmc::fleet

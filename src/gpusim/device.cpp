@@ -159,7 +159,7 @@ void Device::gemm(Trans transa, Trans transb, double alpha,
   const idx k = transa == Trans::Yes ? a.rows() : a.cols();
   const idx n = transb == Trans::Yes ? b.rows() : b.cols();
   // Fermi runs fp32 MAD at twice the fp64 peak: halve the modeled seconds.
-  const bool narrow = fp32_;
+  const bool narrow = compute_fp32();
   const double seconds = spec_.gemm_seconds(m, n, k) * (narrow ? 0.5 : 1.0);
   enqueue_compute("gemm", seconds, [=, &a, &b, &c] {
     if (narrow) {
@@ -181,7 +181,7 @@ void Device::scale_rows_rowwise(const DeviceVector& v, const DeviceMatrix& src,
   bill_compute(seconds, static_cast<std::uint64_t>(src.rows()));
   obs::metrics().count("gpusim.kernel_launches",
                        static_cast<std::uint64_t>(src.rows()));
-  submit_traced("scale_rows_rowwise", [narrow = fp32_, &v, &src, &dst] {
+  submit_traced("scale_rows_rowwise", [narrow = compute_fp32(), &v, &src, &dst] {
     if (narrow) {
       linalg::scale_rows_into_fp32(v.storage_.data(), src.storage_.view(),
                                    dst.storage_.view());
@@ -203,7 +203,7 @@ void Device::scale_cols_rowwise(const DeviceVector& v, const DeviceMatrix& src,
   bill_compute(seconds, static_cast<std::uint64_t>(src.cols()));
   obs::metrics().count("gpusim.kernel_launches",
                        static_cast<std::uint64_t>(src.cols()));
-  submit_traced("scale_cols_rowwise", [narrow = fp32_, &v, &src, &dst] {
+  submit_traced("scale_cols_rowwise", [narrow = compute_fp32(), &v, &src, &dst] {
     if (&src != &dst) linalg::copy(src.storage_, dst.storage_);
     if (narrow) {
       linalg::scale_cols_fp32(v.storage_.data(), dst.storage_.view());
@@ -218,7 +218,7 @@ void Device::scale_rows_kernel(const DeviceVector& v, const DeviceMatrix& src,
   DQMC_CHECK(v.size() == src.rows());
   DQMC_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
   const double seconds = spec_.fused_kernel_seconds(2.0 * src.bytes());
-  enqueue_compute("scale_rows_kernel", seconds, [narrow = fp32_, &v, &src,
+  enqueue_compute("scale_rows_kernel", seconds, [narrow = compute_fp32(), &v, &src,
                                                  &dst] {
     if (narrow) {
       linalg::scale_rows_into_fp32(v.storage_.data(), src.storage_.view(),
@@ -232,7 +232,7 @@ void Device::scale_rows_kernel(const DeviceVector& v, const DeviceMatrix& src,
 void Device::wrap_scale_kernel(const DeviceVector& v, DeviceMatrix& g) {
   DQMC_CHECK(v.size() == g.rows() && g.rows() == g.cols());
   const double seconds = spec_.fused_kernel_seconds(2.0 * g.bytes());
-  enqueue_compute("wrap_scale_kernel", seconds, [narrow = fp32_, &v, &g] {
+  enqueue_compute("wrap_scale_kernel", seconds, [narrow = compute_fp32(), &v, &g] {
     if (narrow) {
       linalg::scale_rows_cols_inv_fp32(v.storage_.data(), v.storage_.data(),
                                        g.storage_.view());
@@ -250,7 +250,7 @@ void Device::cb_apply_kernel(const DeviceKinetic& k, linalg::CbSide side,
   const idx cols = side == linalg::CbSide::kLeft ? x.cols() : x.rows();
   // The bond replay is memory-bound on the matrix columns; fp32 halves the
   // streamed width, so the model halves the traffic term wholesale.
-  const bool narrow = fp32_;
+  const bool narrow = compute_fp32();
   const double seconds = spec_.cb_apply_seconds(k.n(), k.num_bonds(),
                                                 k.num_groups(), cols,
                                                 k.scaled()) *
@@ -285,7 +285,7 @@ void Device::gemm_batched(Trans transa, Trans transb, double alpha,
   const idx m = transa == Trans::Yes ? a[0]->cols() : a[0]->rows();
   const idx k = transa == Trans::Yes ? a[0]->rows() : a[0]->cols();
   const idx n = transb == Trans::Yes ? b[0]->rows() : b[0]->cols();
-  const bool narrow = fp32_;
+  const bool narrow = compute_fp32();
   const double seconds =
       spec_.gemm_batched_seconds(m, n, k, count) * (narrow ? 0.5 : 1.0);
   enqueue_compute(
@@ -324,7 +324,7 @@ void Device::scale_rows_kernel_batched(std::vector<const DeviceVector*> v,
   const double seconds = spec_.fused_kernel_seconds(bytes);
   enqueue_compute(
       "scale_rows_kernel_batched", seconds,
-      [narrow = fp32_, v = std::move(v), src = std::move(src),
+      [narrow = compute_fp32(), v = std::move(v), src = std::move(src),
        dst = std::move(dst)] {
         for (std::size_t i = 0; i < dst.size(); ++i) {
           const DeviceMatrix& s = src.size() == 1 ? *src[0] : *src[i];
@@ -351,7 +351,7 @@ void Device::wrap_scale_kernel_batched(std::vector<const DeviceVector*> v,
   }
   const double seconds = spec_.fused_kernel_seconds(bytes);
   enqueue_compute("wrap_scale_kernel_batched", seconds,
-                  [narrow = fp32_, v = std::move(v), g = std::move(g)] {
+                  [narrow = compute_fp32(), v = std::move(v), g = std::move(g)] {
                     for (std::size_t i = 0; i < g.size(); ++i) {
                       if (narrow) {
                         linalg::scale_rows_cols_inv_fp32(
@@ -377,7 +377,7 @@ void Device::cb_apply_kernel_batched(const DeviceKinetic& k,
     DQMC_CHECK(xi->rows() == x[0]->rows() && xi->cols() == x[0]->cols());
   }
   const idx cols = side == linalg::CbSide::kLeft ? x[0]->cols() : x[0]->rows();
-  const bool narrow = fp32_;
+  const bool narrow = compute_fp32();
   const double seconds =
       spec_.cb_apply_batched_seconds(k.n(), k.num_bonds(), k.num_groups(),
                                      cols, k.scaled(), count) *

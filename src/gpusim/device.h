@@ -8,6 +8,7 @@
 // performance against the virtual clock; see DESIGN.md "Substitutions".
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -237,8 +238,8 @@ class Device {
   /// the submitting thread at enqueue time — callers bracket exactly the
   /// command sequence they want narrowed; work already on the stream keeps
   /// the mode it was enqueued with.
-  void set_compute_fp32(bool on) { fp32_ = on; }
-  bool compute_fp32() const { return fp32_; }
+  void set_compute_fp32(bool on) { fp32_.store(on, std::memory_order_relaxed); }
+  bool compute_fp32() const { return fp32_.load(std::memory_order_relaxed); }
 
   /// Block the host until all enqueued work has executed.
   void synchronize();
@@ -266,8 +267,10 @@ class Device {
   void drain();
 
   DeviceSpec spec_;
-  // Compute mode captured at enqueue time (submitting thread only).
-  bool fp32_ = false;
+  // Compute mode captured at enqueue time. Atomic because concurrent spin
+  // chains bracket the (identical) mode on one shared device; relaxed —
+  // the flag itself carries no ordering.
+  std::atomic<bool> fp32_{false};
   // Dedicated worker = one CUDA stream: strict FIFO execution.
   StreamThread stream_;
   // Host wall clock the virtual timeline is anchored to: enqueued work

@@ -1,0 +1,214 @@
+// Fleet determinism suite, the no-fault half: an N-worker fleet run must
+// bitwise-match the single-process crowd path (run_supervised_parallel) —
+// same trajectory-hash fold, same binned and jackknife estimates, same
+// sweep counters — for any worker count, with stealing on or off, on both
+// backends. "Which process ran a chain" must never be observable in the
+// physics.
+//
+// Under ThreadSanitizer the gpusim cases are compiled out: a forked worker
+// would create backend threads after a multi-threaded fork, which TSan's
+// runtime does not support. The host-backend worker runs serially
+// (par::set_thread_serial) and is exercised under every sanitizer.
+#include <gtest/gtest.h>
+
+#include "backend/backend.h"
+#include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
+#include "fleet/coordinator.h"
+#include "fleet/options.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define DQMC_FLEET_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DQMC_FLEET_TSAN 1
+#endif
+#endif
+
+namespace dqmc::fleet {
+namespace {
+
+core::SimulationConfig small_config(
+    backend::BackendKind kind = backend::BackendKind::kHost) {
+  core::SimulationConfig cfg;
+  cfg.lx = 2;
+  cfg.ly = 2;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 1.0;
+  cfg.model.slices = 8;
+  cfg.engine.cluster_size = 4;
+  cfg.engine.delay_rank = 4;
+  cfg.engine.backend = kind;
+  cfg.warmup_sweeps = 4;
+  cfg.measurement_sweeps = 8;
+  cfg.bins = 4;
+  cfg.seed = 31;
+  cfg.walker_batch = 2;  // a shard is a crowd of two chains
+  return cfg;
+}
+
+core::SupervisorPolicy test_policy() {
+  core::SupervisorPolicy policy;
+  policy.checkpoint_interval = 3;
+  policy.max_retries = 2;
+  return policy;
+}
+
+FleetConfig fleet_config(idx workers) {
+  FleetConfig fc;
+  fc.workers = workers;
+  fc.snapshot_interval = 1;
+  return fc;
+}
+
+/// The full bitwise contract for an undisturbed fleet: hash fold, binned
+/// estimates, jackknife estimates, and the summed sweep/strat counters all
+/// equal the single-process merge.
+void expect_equivalent(const FleetResult& fleet,
+                       const core::SimulationResults& single) {
+  EXPECT_EQ(fleet.results.trajectory_hash, single.trajectory_hash);
+  const auto& fm = fleet.results.measurements;
+  const auto& sm = single.measurements;
+  EXPECT_EQ(fm.density().mean, sm.density().mean);
+  EXPECT_EQ(fm.density().error, sm.density().error);
+  EXPECT_EQ(fm.double_occupancy().mean, sm.double_occupancy().mean);
+  EXPECT_EQ(fm.double_occupancy().error, sm.double_occupancy().error);
+  EXPECT_EQ(fm.kinetic_energy().mean, sm.kinetic_energy().mean);
+  EXPECT_EQ(fm.moment_sq().mean, sm.moment_sq().mean);
+  EXPECT_EQ(fm.af_structure_factor().mean, sm.af_structure_factor().mean);
+  EXPECT_EQ(fm.af_structure_factor().error, sm.af_structure_factor().error);
+  EXPECT_EQ(fm.pair_s().mean, sm.pair_s().mean);
+  EXPECT_EQ(fm.pair_d().mean, sm.pair_d().mean);
+  EXPECT_EQ(fm.average_sign().mean, sm.average_sign().mean);
+  // Satellite contract: the cross-process merge reproduces
+  // merge_chain_results' jackknife estimates bit for bit.
+  EXPECT_EQ(fm.density_jackknife().mean, sm.density_jackknife().mean);
+  EXPECT_EQ(fm.density_jackknife().error, sm.density_jackknife().error);
+  EXPECT_EQ(fm.double_occupancy_jackknife().mean,
+            sm.double_occupancy_jackknife().mean);
+  EXPECT_EQ(fm.double_occupancy_jackknife().error,
+            sm.double_occupancy_jackknife().error);
+  EXPECT_EQ(fm.kinetic_energy_jackknife().mean,
+            sm.kinetic_energy_jackknife().mean);
+  EXPECT_EQ(fm.moment_sq_jackknife().mean, sm.moment_sq_jackknife().mean);
+  EXPECT_EQ(fleet.results.sweep_stats.proposed, single.sweep_stats.proposed);
+  EXPECT_EQ(fleet.results.sweep_stats.accepted, single.sweep_stats.accepted);
+  EXPECT_EQ(fleet.results.backend_name, single.backend_name);
+}
+
+TEST(Fleet, TwoWorkersMatchSingleProcess) {
+  const core::SimulationConfig cfg = small_config();
+  const core::SupervisorPolicy policy = test_policy();
+  const idx chains = 6;
+  const core::SimulationResults single =
+      core::run_supervised_parallel(cfg, policy, chains);
+  const FleetResult fleet =
+      run_fleet(cfg, policy, fleet_config(2), chains);
+  expect_equivalent(fleet, single);
+  EXPECT_EQ(fleet.fleet.worker_deaths, 0u);
+  EXPECT_EQ(fleet.fleet.protocol_faults, 0u);
+  ASSERT_EQ(fleet.chain_hashes.size(), static_cast<std::size_t>(chains));
+}
+
+TEST(Fleet, WorkerCountIsUnobservable) {
+  const core::SimulationConfig cfg = small_config();
+  const core::SupervisorPolicy policy = test_policy();
+  const idx chains = 6;
+  const FleetResult one = run_fleet(cfg, policy, fleet_config(1), chains);
+  const FleetResult three = run_fleet(cfg, policy, fleet_config(3), chains);
+  EXPECT_EQ(one.results.trajectory_hash, three.results.trajectory_hash);
+  EXPECT_EQ(one.chain_hashes, three.chain_hashes);
+  EXPECT_EQ(one.results.measurements.density().error,
+            three.results.measurements.density().error);
+}
+
+TEST(Fleet, MoreWorkersThanShardsIsFine) {
+  const core::SimulationConfig cfg = small_config();
+  const core::SupervisorPolicy policy = test_policy();
+  const idx chains = 4;  // 2 shards
+  const core::SimulationResults single =
+      core::run_supervised_parallel(cfg, policy, chains);
+  const FleetResult fleet = run_fleet(cfg, policy, fleet_config(4), chains);
+  expect_equivalent(fleet, single);
+}
+
+TEST(Fleet, RaggedLastShardMatches) {
+  core::SimulationConfig cfg = small_config();
+  cfg.walker_batch = 4;
+  const core::SupervisorPolicy policy = test_policy();
+  const idx chains = 6;  // shards of 4 + 2
+  const core::SimulationResults single =
+      core::run_supervised_parallel(cfg, policy, chains);
+  const FleetResult fleet = run_fleet(cfg, policy, fleet_config(2), chains);
+  expect_equivalent(fleet, single);
+  EXPECT_EQ(fleet.fleet.shards, 2);
+}
+
+TEST(Fleet, StealOnAndOffAgreeBitwise) {
+  const core::SimulationConfig cfg = small_config();
+  const core::SupervisorPolicy policy = test_policy();
+  const idx chains = 8;
+  FleetConfig no_steal = fleet_config(2);
+  no_steal.steal = false;
+  const FleetResult a = run_fleet(cfg, policy, fleet_config(2), chains);
+  const FleetResult b = run_fleet(cfg, policy, no_steal, chains);
+  EXPECT_EQ(a.results.trajectory_hash, b.results.trajectory_hash);
+  EXPECT_EQ(a.chain_hashes, b.chain_hashes);
+  EXPECT_EQ(b.fleet.steals, 0u);
+}
+
+TEST(Fleet, SparseSnapshotsDoNotChangeTheResult) {
+  const core::SimulationConfig cfg = small_config();
+  const core::SupervisorPolicy policy = test_policy();
+  const idx chains = 4;
+  FleetConfig sparse = fleet_config(2);
+  sparse.snapshot_interval = 3;
+  const FleetResult dense = run_fleet(cfg, policy, fleet_config(2), chains);
+  const FleetResult few = run_fleet(cfg, policy, sparse, chains);
+  EXPECT_EQ(dense.results.trajectory_hash, few.results.trajectory_hash);
+  EXPECT_LT(few.fleet.snapshots, dense.fleet.snapshots);
+}
+
+TEST(Fleet, ChainHashFoldMatchesTheFlatFold) {
+  const core::SimulationConfig cfg = small_config();
+  const core::SupervisorPolicy policy = test_policy();
+  const FleetResult fleet = run_fleet(cfg, policy, fleet_config(2), 6);
+  std::uint64_t fold = 0;  // merge_chain_results folds from the zero hash
+  for (std::uint64_t h : fleet.chain_hashes) {
+    fold = core::mix_chain_hash(fold, h);
+  }
+  EXPECT_EQ(fold, fleet.results.trajectory_hash);
+}
+
+TEST(Fleet, RejectsZeroWalkerBatch) {
+  core::SimulationConfig cfg = small_config();
+  cfg.walker_batch = 0;
+  EXPECT_THROW(run_fleet(cfg, test_policy(), fleet_config(2), 4), Error);
+}
+
+#if !defined(DQMC_FLEET_TSAN)
+TEST(Fleet, GpusimBackendMatchesSingleProcess) {
+  const core::SimulationConfig cfg =
+      small_config(backend::BackendKind::kGpuSim);
+  const core::SupervisorPolicy policy = test_policy();
+  const idx chains = 4;
+  const core::SimulationResults single =
+      core::run_supervised_parallel(cfg, policy, chains);
+  const FleetResult fleet = run_fleet(cfg, policy, fleet_config(2), chains);
+  expect_equivalent(fleet, single);
+}
+
+TEST(Fleet, BackendsAgreeOnTheHashAcrossTheFleet) {
+  const core::SupervisorPolicy policy = test_policy();
+  const FleetResult host =
+      run_fleet(small_config(backend::BackendKind::kHost), policy,
+                fleet_config(2), 4);
+  const FleetResult sim =
+      run_fleet(small_config(backend::BackendKind::kGpuSim), policy,
+                fleet_config(2), 4);
+  EXPECT_EQ(host.results.trajectory_hash, sim.results.trajectory_hash);
+}
+#endif  // !DQMC_FLEET_TSAN
+
+}  // namespace
+}  // namespace dqmc::fleet
