@@ -7,7 +7,10 @@
 
 #include "backend/bchain.h"
 #include "common/error.h"
+#include "dqmc/dynamic_measurements.h"
 #include "dqmc/hs_field.h"
+#include "dqmc/measurements.h"
+#include "dqmc/rng.h"
 #include "dqmc/run_manifest.h"
 #include "dqmc/stabilizer.h"
 #include "hubbard/bmatrix.h"
@@ -201,6 +204,135 @@ obs::Json stability_policy_rows(bool quick) {
                          .set("log_scale_drift",
                               pinned_log_scale_drift(stab.algorithm)));
     }
+  }
+  return rows;
+}
+
+namespace {
+
+/// Deterministic synthetic Green's function: a near-free-fermion diagonal
+/// with seeded off-diagonal noise, so both measurement paths see the same
+/// bytes on every run and the parity columns are replay-exact.
+linalg::Matrix synthetic_greens(core::Rng& rng, idx n) {
+  linalg::Matrix g(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      g(i, j) = (i == j ? 0.5 : 0.0) + 0.2 * (rng.uniform() - 0.5);
+    }
+  }
+  return g;
+}
+
+double max_abs_dev(const linalg::Vector& a, const linalg::Vector& b) {
+  double dev = 0.0;
+  for (idx i = 0; i < a.size(); ++i) dev = std::max(dev, std::abs(a[i] - b[i]));
+  return dev;
+}
+
+double equal_time_dev(const core::EqualTimeSample& a,
+                      const core::EqualTimeSample& b) {
+  double dev = std::max({std::abs(a.density - b.density),
+                         std::abs(a.density_up - b.density_up),
+                         std::abs(a.density_dn - b.density_dn),
+                         std::abs(a.double_occupancy - b.double_occupancy),
+                         std::abs(a.kinetic_energy - b.kinetic_energy),
+                         std::abs(a.moment_sq - b.moment_sq),
+                         std::abs(a.af_structure_factor - b.af_structure_factor),
+                         std::abs(a.pair_s - b.pair_s),
+                         std::abs(a.pair_d - b.pair_d)});
+  dev = std::max(dev, max_abs_dev(a.momentum_dist, b.momentum_dist));
+  dev = std::max(dev, max_abs_dev(a.spin_corr, b.spin_corr));
+  return dev;
+}
+
+double dynamic_dev(const core::DynamicSample& a, const core::DynamicSample& b) {
+  double dev = std::abs(a.chi_af_integrated - b.chi_af_integrated);
+  dev = std::max(dev, max_abs_dev(a.gloc, b.gloc));
+  dev = std::max(dev, max_abs_dev(a.chi_af, b.chi_af));
+  for (idx j = 0; j < a.gk_tau.cols(); ++j) {
+    for (idx i = 0; i < a.gk_tau.rows(); ++i) {
+      dev = std::max(dev, std::abs(a.gk_tau(i, j) - b.gk_tau(i, j)));
+    }
+  }
+  return dev;
+}
+
+}  // namespace
+
+obs::Json fft_measurement_rows(bool quick) {
+  constexpr idx kSlices = 8;       // dynamic families carry kSlices + 1 taus
+  constexpr double kDtau = 0.125;  // only scales the trapezoid weights
+  const std::vector<idx> sizes =
+      quick ? std::vector<idx>{16} : std::vector<idx>{8, 12, 16, 20, 24};
+
+  obs::Json rows = obs::Json::array();
+  for (const idx l : sizes) {
+    const hubbard::Lattice lat(l, l);
+    const hubbard::ModelParams params;
+    const idx n = lat.num_sites();
+    core::Rng rng(0xF5EED0 + static_cast<std::uint64_t>(l));
+    const linalg::Matrix gup = synthetic_greens(rng, n);
+    const linalg::Matrix gdn = synthetic_greens(rng, n);
+    core::TimeDisplaced up, dn;
+    for (idx s = 0; s <= kSlices; ++s) {
+      up.g_tau0.push_back(synthetic_greens(rng, n));
+      up.g_0tau.push_back(synthetic_greens(rng, n));
+      up.g_tautau.push_back(synthetic_greens(rng, n));
+      dn.g_tau0.push_back(synthetic_greens(rng, n));
+      dn.g_0tau.push_back(synthetic_greens(rng, n));
+      dn.g_tautau.push_back(synthetic_greens(rng, n));
+    }
+
+    core::MeasurementWorkspace direct_ws(lat, core::MeasureKind::kDirect);
+    core::MeasurementWorkspace fft_ws(lat, core::MeasureKind::kFft);
+
+    // Enough repetitions that even the FFT path's equal-time pass takes
+    // a resolvable slice of wall clock on the smallest lattice.
+    const idx reps = std::max<idx>(3, 3000000 / (n * n));
+    const idx dyn_reps = std::max<idx>(2, reps / 4);
+
+    const core::EqualTimeSample et_direct =
+        core::measure_equal_time(lat, params, gup, gdn, direct_ws);
+    const core::EqualTimeSample et_fft =
+        core::measure_equal_time(lat, params, gup, gdn, fft_ws);
+    const core::DynamicSample dyn_direct =
+        core::measure_dynamic(lat, kDtau, up, dn, direct_ws);
+    const core::DynamicSample dyn_fft =
+        core::measure_dynamic(lat, kDtau, up, dn, fft_ws);
+
+    Stopwatch w_et_direct;
+    for (idx r = 0; r < reps; ++r) {
+      core::measure_equal_time(lat, params, gup, gdn, direct_ws);
+    }
+    const double et_direct_seconds = w_et_direct.seconds() / reps;
+    Stopwatch w_et_fft;
+    for (idx r = 0; r < reps; ++r) {
+      core::measure_equal_time(lat, params, gup, gdn, fft_ws);
+    }
+    const double et_fft_seconds = w_et_fft.seconds() / reps;
+
+    Stopwatch w_dyn_direct;
+    for (idx r = 0; r < dyn_reps; ++r) {
+      core::measure_dynamic(lat, kDtau, up, dn, direct_ws);
+    }
+    const double dyn_direct_seconds = w_dyn_direct.seconds() / dyn_reps;
+    Stopwatch w_dyn_fft;
+    for (idx r = 0; r < dyn_reps; ++r) {
+      core::measure_dynamic(lat, kDtau, up, dn, fft_ws);
+    }
+    const double dyn_fft_seconds = w_dyn_fft.seconds() / dyn_reps;
+
+    rows.push_back(obs::Json::object()
+                       .set("l", l)
+                       .set("n", n)
+                       .set("et_direct_seconds", et_direct_seconds)
+                       .set("et_fft_seconds", et_fft_seconds)
+                       .set("et_speedup", et_direct_seconds / et_fft_seconds)
+                       .set("et_max_dev", equal_time_dev(et_direct, et_fft))
+                       .set("dyn_direct_seconds", dyn_direct_seconds)
+                       .set("dyn_fft_seconds", dyn_fft_seconds)
+                       .set("dyn_speedup", dyn_direct_seconds / dyn_fft_seconds)
+                       .set("dyn_max_dev", dynamic_dev(dyn_direct, dyn_fft)));
   }
   return rows;
 }

@@ -104,4 +104,19 @@ obs::Json checkerboard_device_rows(bool quick);
 /// fp32_speedup, fp64_wrap_drift_max, fp32_wrap_drift_max, log_scale_drift.
 obs::Json stability_policy_rows(bool quick);
 
+/// Shared direct-vs-FFT measurement workload for fig05/fig07, the
+/// fft_measurements bench and the bench_regress fft suite: per lattice
+/// size, both measurement paths run over the SAME synthetic Green's
+/// functions (seeded Rng fill, so the parity columns are deterministic) —
+/// equal-time and dynamic, timed over enough repetitions to resolve the
+/// wall clock. The parity columns (max absolute deviation over every
+/// observable the sample carries) are exact replay invariants; the
+/// seconds/speedup columns are wall-clock and therefore only sanity-gated
+/// (the fft gate trips on parity drift or a lost crossover, not timing
+/// noise). `quick` restricts to the 16x16 lattice for the ctest-sized
+/// gate; full mode runs L in {8, 12, 16, 20, 24}. Row fields: l, n,
+/// et_direct_seconds, et_fft_seconds, et_speedup, et_max_dev,
+/// dyn_direct_seconds, dyn_fft_seconds, dyn_speedup, dyn_max_dev.
+obs::Json fft_measurement_rows(bool quick);
+
 }  // namespace dqmc::bench

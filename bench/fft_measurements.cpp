@@ -1,0 +1,50 @@
+// Direct vs FFT measurement pipeline: per lattice size, wall-clock seconds
+// of the equal-time and dynamic measurement kernels over the SAME synthetic
+// Green's functions, the speedups, and the max absolute deviation between
+// the two paths across every observable (docs/PERFORMANCE.md).
+//
+//   DQMC_MANIFEST_JSON=bench/BENCH_fft.json ./fft_measurements
+//
+// regenerates the committed baseline for the bench_regress fft suite.
+// Expected shape: deviations at the 1e-12 level everywhere (the two paths
+// differ only in summation order), and the FFT path at least ~2x faster
+// from N = 256 up — the direct path burns N^2 cosine evaluations per
+// momentum table and a 16-term neighbour gather for pair_d where the FFT
+// path runs one fused O(N^2) gather, two stencil passes and O(N log N)
+// transforms.
+#include "bench_util.h"
+
+int main() {
+  using namespace dqmc;
+
+  bench::banner("fft_measurements",
+                "direct vs FFT measurement kernels: wall time and parity");
+
+  const obs::Json rows = bench::fft_measurement_rows(false);
+
+  cli::Table table({"L", "N", "eqtime direct s", "eqtime fft s", "speedup",
+                    "max dev", "dynamic direct s", "dynamic fft s", "speedup",
+                    "max dev"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const obs::Json& row = rows[i];
+    table.add_row(
+        {cli::Table::integer(static_cast<long>(row.at("l").number())),
+         cli::Table::integer(static_cast<long>(row.at("n").number())),
+         cli::Table::num(row.at("et_direct_seconds").number(), 6),
+         cli::Table::num(row.at("et_fft_seconds").number(), 6),
+         cli::Table::num(row.at("et_speedup").number(), 2),
+         cli::Table::num(row.at("et_max_dev").number(), 14),
+         cli::Table::num(row.at("dyn_direct_seconds").number(), 6),
+         cli::Table::num(row.at("dyn_fft_seconds").number(), 6),
+         cli::Table::num(row.at("dyn_speedup").number(), 2),
+         cli::Table::num(row.at("dyn_max_dev").number(), 14)});
+  }
+  table.print();
+  std::printf("\nexpected shape: both deviation columns at the 1e-12 level "
+              "(same observables, different summation order) and the FFT "
+              "column pulling ahead with N — the crossover the bench gate "
+              "holds is speedup >= 1 wherever the committed baseline shows "
+              ">= 2.\n\n");
+  bench::maybe_write_bench_manifest("fft", rows);
+  return 0;
+}

@@ -5,6 +5,8 @@
 // Paper: 16x16 .. 32x32 at beta = 32 (36-hour runs). Scaled default:
 // 8x8 / 12x12 at beta = 6 with short sweeps — the sharp Fermi-surface
 // crossing near the midpoint of (0,0)->(pi,pi) is the shape to reproduce.
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "bench_util.h"
@@ -53,24 +55,52 @@ int main() {
     cfg.measurement_sweeps = full_scale() ? 2000 : (l >= 12 ? 40 : 80);
     cfg.seed = 500 + static_cast<std::uint64_t>(l);
 
+    // Same chain under both measurement kernels: the trajectories are
+    // bitwise identical (measurements never touch the Markov chain), so
+    // the two <n_k> columns differ only by the paths' summation order.
     Stopwatch watch;
+    cfg.engine.measure = core::MeasureKind::kDirect;
     core::SimulationResults res = core::run_simulation(cfg);
+    const double direct_wall = watch.seconds();
+    Stopwatch watch_fft;
+    cfg.engine.measure = core::MeasureKind::kFft;
+    core::SimulationResults res_fft = core::run_simulation(cfg);
+    const double fft_wall = watch_fft.seconds();
+    const double direct_meas =
+        res.profiler.inclusive_seconds(Phase::kMeasurement);
+    const double fft_meas =
+        res_fft.profiler.inclusive_seconds(Phase::kMeasurement);
 
-    std::printf("\n%lldx%lld lattice (beta=%.1f, %lld+%lld sweeps, %s):\n",
+    std::printf("\n%lldx%lld lattice (beta=%.1f, %lld+%lld sweeps; "
+                "direct %s, fft %s):\n",
                 static_cast<long long>(l), static_cast<long long>(l),
                 cfg.model.beta, static_cast<long long>(cfg.warmup_sweeps),
                 static_cast<long long>(cfg.measurement_sweeps),
-                format_seconds(watch.seconds()).c_str());
-    cli::Table table({"k", "<n_k>", "err"});
+                format_seconds(direct_wall).c_str(),
+                format_seconds(fft_wall).c_str());
+    cli::Table table({"k", "<n_k> direct", "err", "<n_k> fft", "|dev|"});
+    double max_dev = 0.0;
     for (const auto& [k, label] : symmetry_path(l)) {
       const auto est = res.measurements.momentum_dist(k);
+      const auto est_fft = res_fft.measurements.momentum_dist(k);
+      const double dev = std::abs(est.mean - est_fft.mean);
+      max_dev = std::max(max_dev, dev);
       table.add_row({label, cli::Table::num(est.mean, 4),
-                     cli::Table::num(est.error, 4)});
+                     cli::Table::num(est.error, 4),
+                     cli::Table::num(est_fft.mean, 4),
+                     cli::Table::num(dev, 12)});
     }
     table.print();
+    std::printf("measurement phase: direct %s, fft %s (%.2fx); "
+                "max |direct - fft| over the path: %.3e\n",
+                format_seconds(direct_meas).c_str(),
+                format_seconds(fft_meas).c_str(),
+                fft_meas > 0.0 ? direct_meas / fft_meas : 0.0, max_dev);
   }
   std::printf("\nexpected shape (paper Fig. 5): n_k ~ 1 near (0,0), sharp "
               "drop near the middle of (0,0)->(pi,pi), ~0.5 at (pi,0); "
-              "larger lattices resolve the crossing more finely.\n\n");
+              "larger lattices resolve the crossing more finely. The fft "
+              "column tracks direct to ~1e-12 with a shrinking share of "
+              "wall time as L grows.\n\n");
   return 0;
 }

@@ -3,6 +3,8 @@
 //
 // Rendered as signed ASCII heatmaps; the long-distance staggered value
 // C_zz(L/2, L/2) (the bulk-extrapolation quantity) is tabulated.
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "bench_util.h"
@@ -17,7 +19,8 @@ int main() {
 
   std::vector<idx> sizes =
       full_scale() ? std::vector<idx>{12, 32} : std::vector<idx>{8, 12};
-  cli::Table summary({"lattice", "C_zz(1,0)", "C_zz(L/2,L/2)", "S(pi,pi)"});
+  cli::Table summary({"lattice", "measure", "C_zz(1,0)", "C_zz(L/2,L/2)",
+                      "S(pi,pi)", "meas. phase"});
 
   for (idx l : sizes) {
     core::SimulationConfig cfg;
@@ -29,8 +32,13 @@ int main() {
     cfg.measurement_sweeps = full_scale() ? 2000 : (l >= 12 ? 40 : 80);
     cfg.seed = 700 + static_cast<std::uint64_t>(l);
 
+    // Both measurement kernels over the SAME trajectory (bitwise-identical
+    // chains): the fft summary row must track the direct one to ~1e-12.
     Stopwatch watch;
+    cfg.engine.measure = core::MeasureKind::kDirect;
     core::SimulationResults res = core::run_simulation(cfg);
+    cfg.engine.measure = core::MeasureKind::kFft;
+    core::SimulationResults res_fft = core::run_simulation(cfg);
 
     // C_zz over (dx, dy), displacement (0,0) centred.
     std::vector<double> grid(static_cast<std::size_t>(l) * l);
@@ -54,13 +62,27 @@ int main() {
     char lat_label[16];
     std::snprintf(lat_label, sizeof lat_label, "%lldx%lld",
                   static_cast<long long>(l), static_cast<long long>(l));
-    summary.add_row({lat_label,
-                     cli::Table::pm(res.measurements.spin_corr(1).mean,
-                                    res.measurements.spin_corr(1).error),
-                     cli::Table::pm(res.measurements.spin_corr(dmax).mean,
-                                    res.measurements.spin_corr(dmax).error),
-                     cli::Table::pm(res.measurements.af_structure_factor().mean,
-                                    res.measurements.af_structure_factor().error)});
+    for (const auto* r : {&res, &res_fft}) {
+      const auto& m = r->measurements;
+      summary.add_row(
+          {lat_label,
+           core::measure_kind_name(r == &res ? core::MeasureKind::kDirect
+                                             : core::MeasureKind::kFft),
+           cli::Table::pm(m.spin_corr(1).mean, m.spin_corr(1).error),
+           cli::Table::pm(m.spin_corr(dmax).mean, m.spin_corr(dmax).error),
+           cli::Table::pm(m.af_structure_factor().mean,
+                          m.af_structure_factor().error),
+           format_seconds(
+               r->profiler.inclusive_seconds(Phase::kMeasurement))});
+    }
+    double max_dev = 0.0;
+    for (idx d = 0; d < l * l; ++d) {
+      max_dev = std::max(max_dev,
+                         std::abs(res.measurements.spin_corr(d).mean -
+                                  res_fft.measurements.spin_corr(d).mean));
+    }
+    std::printf("max |direct - fft| over all C_zz displacements: %.3e\n",
+                max_dev);
   }
   std::printf("\n");
   summary.print();

@@ -2,7 +2,7 @@
 // fresh numbers against its checked-in BENCH_*.json baseline, failing with a
 // structured report when any row drifts past the noise tolerance.
 //
-//   ./bench_regress [--suite batched|checkerboard|stability|fleet]
+//   ./bench_regress [--suite batched|checkerboard|stability|fleet|fft]
 //                   [--baseline bench/BENCH_<suite>.json]
 //                   [--tolerance 0.10] [--quick] [--report gate_report.json]
 //                   [--inject-slowdown F] [--write-baseline FILE]
@@ -26,10 +26,18 @@
 // device seconds compare relatively, the protocol frame count exactly, and
 // the trajectory hash must bitwise-match the single-process crowd baseline
 // computed in the same invocation — a fleet that silently forks a
-// trajectory fails the gate before any timing is compared. --quick
+// trajectory fails the gate before any timing is compared. The fft suite
+// replays the fft_measurements workload (bench_util's fft_measurement_rows)
+// against BENCH_fft.json: the direct/fft parity columns are held to an
+// ABSOLUTE 1e-10 contract (they are replay-exact — same synthetic Green's
+// functions, deterministic kernels), while the wall-clock speedups are only
+// crossover-gated — any lattice whose baseline shows the FFT path winning
+// by >= 2x must still win at all — because wall seconds, unlike the other
+// suites' virtual-clock bills, vary with the machine. --quick
 // restricts each suite to its smallest rows for the opt-in ctest gates
 // (label: bench-gate); --inject-slowdown multiplies the measured batched /
-// checkerboard / fp32 / fleet device seconds by F, a test hook that lets
+// checkerboard / fp32 / fleet device seconds (fft: the measured fft-path
+// wall seconds) by F, a test hook that lets
 // the WILL_FAIL ctest entries prove the gates actually trip on a
 // regression. --write-baseline (fleet suite only) runs the workload and
 // writes a fresh baseline file instead of comparing.
@@ -177,10 +185,10 @@ int main(int argc, char** argv) {
 
   const std::string suite = args.get("suite", "batched");
   if (suite != "batched" && suite != "checkerboard" && suite != "stability" &&
-      suite != "fleet") {
+      suite != "fleet" && suite != "fft") {
     std::fprintf(stderr,
                  "bench_regress: unknown suite '%s' (have: batched, "
-                 "checkerboard, stability, fleet)\n",
+                 "checkerboard, stability, fleet, fft)\n",
                  suite.c_str());
     return 2;
   }
@@ -367,6 +375,102 @@ int main(int argc, char** argv) {
     std::printf("\nbench gate: %s (%d row%s outside the %.0f%% tolerance)\n",
                 pass ? "PASS" : "FAIL", failures, failures == 1 ? "" : "s",
                 100.0 * tolerance);
+    return pass ? 0 : 1;
+  }
+
+  if (suite == "fft") {
+    // Deterministic replay of the fft_measurements workload: the parity
+    // columns are absolute contracts (the synthetic inputs and both
+    // kernels are deterministic, so any drift means the arithmetic
+    // changed), the wall-clock speedups only hold the crossover — a
+    // lattice whose committed baseline shows the FFT path >= 2x faster
+    // must not fall below parity speed.
+    constexpr double kParityLimit = 1e-10;
+    constexpr double kCrossoverAt = 2.0;
+    const obs::Json rows = bench::fft_measurement_rows(quick);
+    cli::Table table({"N", "eqtime speedup (base)", "eqtime speedup (now)",
+                      "dyn speedup (base)", "dyn speedup (now)", "max dev",
+                      "status"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const obs::Json& fresh = rows[i];
+      const idx n = static_cast<idx>(fresh.at("n").number());
+      // The injection hook slows only the FFT path, the way a regression
+      // in the planned transforms or the fused gathers would.
+      const double et_fft = fresh.at("et_fft_seconds").number() * slowdown;
+      const double dyn_fft = fresh.at("dyn_fft_seconds").number() * slowdown;
+      const double et_speedup = fresh.at("et_direct_seconds").number() / et_fft;
+      const double dyn_speedup =
+          fresh.at("dyn_direct_seconds").number() / dyn_fft;
+      const double max_dev = std::max(fresh.at("et_max_dev").number(),
+                                      fresh.at("dyn_max_dev").number());
+
+      obs::Json row = obs::Json::object().set("n", n);
+      std::string status;
+      const obs::Json* base = find_baseline_row_n(*baseline_rows, n);
+      if (base == nullptr) {
+        status = "NO BASELINE ROW";
+        ++failures;
+        table.add_row({cli::Table::integer(static_cast<long>(n)), "-", "-",
+                       "-", "-", "-", status});
+      } else {
+        const double base_et = base->at("et_speedup").number();
+        const double base_dyn = base->at("dyn_speedup").number();
+        bool ok = true;
+        status = "ok";
+        if (max_dev > kParityLimit) {
+          status = "PARITY DRIFT";
+          ok = false;
+        }
+        if ((base_et >= kCrossoverAt && et_speedup < 1.0) ||
+            (base_dyn >= kCrossoverAt && dyn_speedup < 1.0)) {
+          status = "CROSSOVER LOST";
+          ok = false;
+        }
+        if (!ok) ++failures;
+        row.set("baseline_et_speedup", base_et)
+            .set("measured_et_speedup", et_speedup)
+            .set("baseline_dyn_speedup", base_dyn)
+            .set("measured_dyn_speedup", dyn_speedup)
+            .set("measured_et_fft_seconds", et_fft)
+            .set("measured_dyn_fft_seconds", dyn_fft)
+            .set("measured_max_dev", max_dev);
+        table.add_row({cli::Table::integer(static_cast<long>(n)),
+                       cli::Table::num(base_et, 2),
+                       cli::Table::num(et_speedup, 2),
+                       cli::Table::num(base_dyn, 2),
+                       cli::Table::num(dyn_speedup, 2),
+                       cli::Table::num(max_dev, 12), status});
+      }
+      row.set("max_relative_error", 0.0).set("status", status);
+      report_rows.push_back(std::move(row));
+    }
+    table.print();
+
+    const bool pass = failures == 0;
+    const obs::Json report =
+        obs::Json::object()
+            .set("gate_version", 1)
+            .set("suite", suite)
+            .set("baseline", baseline_path)
+            .set("tolerance", tolerance)
+            .set("quick", quick)
+            .set("injected_slowdown", slowdown)
+            .set("rows", report_rows)
+            .set("failures", failures)
+            .set("status", pass ? "pass" : "fail");
+    const std::string report_path = args.get("report", "");
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      out << report.dump(2) << '\n';
+      if (!out.good()) {
+        std::fprintf(stderr, "bench_regress: failed writing report %s\n",
+                     report_path.c_str());
+        return 2;
+      }
+    }
+    std::printf("\nbench gate: %s (%d row%s failed the parity/crossover "
+                "contracts)\n",
+                pass ? "PASS" : "FAIL", failures, failures == 1 ? "" : "s");
     return pass ? 0 : 1;
   }
 

@@ -2,6 +2,7 @@
 // fleet of forked worker processes (docs/FLEET.md).
 //
 //   ./dqmc_fleet --config sim.in --walkers 8 --fleet-workers 4 [--progress]
+//               [--measure direct|fft]
 //
 // The merged observables, fault summary, and trajectory-hash fold are
 // bitwise identical to the same run under single-process dqmc_run
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
   using linalg::idx;
   cli::Args args(argc, argv,
                  {"config", "progress", "warmup", "sweeps", "seed", "backend",
-                  "walkers", "walker-batch", "metrics-json",
+                  "measure", "walkers", "walker-batch", "metrics-json",
                   "fleet-workers", "snapshot-interval", "no-steal",
                   "wedge-timeout-ms", "max-reassigns", "worker-failpoint",
                   "failpoint-worker", "telemetry-jsonl", "crash-dump"});
@@ -79,6 +80,10 @@ int main(int argc, char** argv) {
   if (args.has("backend")) {
     cfg.engine.backend =
         backend::backend_kind_from_string(args.get("backend", "host"));
+  }
+  if (args.has("measure")) {
+    cfg.engine.measure =
+        core::measure_kind_from_string(args.get("measure", "direct"));
   }
   if (args.has("walkers")) walkers = args.get_long("walkers", walkers);
   if (args.has("walker-batch")) {

@@ -68,6 +68,13 @@
 //                         wraps in single precision with the structural
 //                         fp64 correction at every stabilization interval;
 //                         config key `precision` does the same
+//
+// Measurements (docs/PERFORMANCE.md):
+//   --measure direct|fft  measurement kernel family: the historical O(N^2)
+//                         site-pair loops (default) or the FFT-accelerated
+//                         momentum/correlator pipeline — same observables
+//                         to ~1e-12, bitwise-identical trajectories; config
+//                         key `measure` does the same
 #include <cstdio>
 
 #include <memory>
@@ -90,7 +97,7 @@ int main(int argc, char** argv) {
   using linalg::idx;
   cli::Args args(argc, argv,
                  {"config", "progress", "warmup", "sweeps", "seed",
-                  "backend", "kinetic", "stabilizer", "precision",
+                  "backend", "kinetic", "stabilizer", "precision", "measure",
                   "trace-json", "metrics-json",
                   "failpoint", "max-retries", "checkpoint-interval", "walkers",
                   "walker-batch", "telemetry-jsonl", "telemetry-interval",
@@ -145,6 +152,10 @@ int main(int argc, char** argv) {
   if (args.has("precision")) {
     cfg.engine.precision =
         backend::precision_from_string(args.get("precision", "fp64"));
+  }
+  if (args.has("measure")) {
+    cfg.engine.measure =
+        core::measure_kind_from_string(args.get("measure", "direct"));
   }
   if (args.has("failpoint")) {
     fault::failpoints().arm_spec(args.get("failpoint", ""));

@@ -5,7 +5,7 @@
 //
 //   ./parallel_chains [--l 4] [--u 4.0] [--beta 3.0] [--slices 30]
 //                     [--chains 4] [--sweeps 200] [--warmup 60] [--seed 21]
-//                     [--walker-batch W] [--progress]
+//                     [--walker-batch W] [--measure direct|fft] [--progress]
 //                     [--telemetry-jsonl FILE] [--telemetry-interval MS]
 //
 // --walker-batch W > 0 advances the chains in lockstep crowds of up to W
@@ -30,8 +30,9 @@ int main(int argc, char** argv) {
   using namespace dqmc;
   using linalg::idx;
   cli::Args args(argc, argv, {"l", "u", "beta", "slices", "chains", "sweeps",
-                              "warmup", "seed", "walker-batch", "progress",
-                              "telemetry-jsonl", "telemetry-interval"});
+                              "warmup", "seed", "walker-batch", "measure",
+                              "progress", "telemetry-jsonl",
+                              "telemetry-interval"});
 
   core::SimulationConfig cfg;
   cfg.lx = cfg.ly = args.get_long("l", 4);
@@ -42,6 +43,10 @@ int main(int argc, char** argv) {
   cfg.measurement_sweeps = args.get_long("sweeps", 200);
   cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 21));
   cfg.walker_batch = args.get_long("walker-batch", 0);
+  if (args.has("measure")) {
+    cfg.engine.measure =
+        core::measure_kind_from_string(args.get("measure", "direct"));
+  }
   const idx chains = args.get_long("chains", 4);
 
   const std::string telemetry_path = args.get("telemetry-jsonl", "");

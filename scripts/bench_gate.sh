@@ -8,8 +8,9 @@
 #   BUILD_DIR=build-tsan scripts/bench_gate.sh
 #
 # Extra arguments are forwarded to every bench_regress suite invocation
-# (e.g. --tolerance 0.05). Runs the batched, checkerboard, stability, and
-# fleet suites in sequence; the first failing suite fails the gate.
+# (e.g. --tolerance 0.05). Runs the batched, checkerboard, stability,
+# fleet, and fft suites in sequence; the first failing suite fails the
+# gate.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -27,3 +28,4 @@ fi
 "$tool" --suite stability \
         --baseline "$repo/bench/BENCH_stability.json" "$@"
 "$tool" --suite fleet --baseline "$repo/bench/BENCH_fleet.json" "$@"
+"$tool" --suite fft --baseline "$repo/bench/BENCH_fft.json" "$@"

@@ -92,7 +92,7 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
       "slices", "L", "warmup", "nwarm", "sweeps", "npass",
       "measure_interval", "measure_slice_interval", "measure_dynamic_interval",
       "bins", "seed",
-      "algorithm", "stabilizer", "precision",
+      "algorithm", "stabilizer", "precision", "measure",
       "cluster_size", "north", "delay_rank", "backend", "kinetic",
       "gpu_clustering", "gpu_wrapping", "checkpoint_in", "checkpoint_out",
       "failpoints", "max_retries", "checkpoint_interval",
@@ -148,6 +148,12 @@ core::SimulationConfig simulation_config_from(const ConfigFile& file) {
   // with the structural fp64 correction; docs/STABILITY.md).
   cfg.engine.precision =
       backend::precision_from_string(file.get("precision", "fp64"));
+  // "measure = direct|fft" selects the measurement kernel family: direct is
+  // the historical O(N^2) site-pair path, fft routes momentum projections
+  // and displacement correlators through the planned FFT pipeline
+  // (docs/PERFORMANCE.md). Trajectories are identical across modes.
+  cfg.engine.measure =
+      core::measure_kind_from_string(file.get("measure", "direct"));
   cfg.engine.cluster_size =
       file.get_long("cluster_size", file.get_long("north", 10));
   cfg.engine.delay_rank = file.get_long("delay_rank", 32);

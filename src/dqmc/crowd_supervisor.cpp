@@ -51,6 +51,12 @@ CrowdSupervisor::CrowdSupervisor(
   scratch_samples_.resize(static_cast<std::size_t>(walkers_));
   scratch_dynamic_.resize(static_cast<std::size_t>(walkers_));
   scratch_stats_.resize(static_cast<std::size_t>(walkers_));
+  // One workspace per walker: slice hooks measure walkers concurrently.
+  workspaces_.reserve(static_cast<std::size_t>(walkers_));
+  for (idx w = 0; w < walkers_; ++w) {
+    workspaces_.push_back(std::make_unique<MeasurementWorkspace>(
+        lattice_, config_.engine.measure));
+  }
 }
 
 void CrowdSupervisor::set_resume(std::vector<std::string> checkpoints,
@@ -310,9 +316,9 @@ void CrowdSupervisor::measurement_sweep(idx m) {
     DqmcEngine& engine = batch_->engine(w);
     ScopedPhase phase(&engine.profiler(), Phase::kMeasurement);
     scratch_samples_[static_cast<std::size_t>(w)].emplace_back(
-        measure_equal_time(lattice_, engine.params(),
-                           engine.greens(Spin::Up),
-                           engine.greens(Spin::Down)),
+        measure_equal_time(lattice_, engine.params(), engine.greens(Spin::Up),
+                           engine.greens(Spin::Down),
+                           *workspaces_[static_cast<std::size_t>(w)]),
         engine.config_sign());
   };
   if (measuring && config_.measure_slice_interval > 0) {
@@ -336,7 +342,8 @@ void CrowdSupervisor::measurement_sweep(idx m) {
       const TimeDisplaced up = tdg.compute(Spin::Up);
       const TimeDisplaced dn = tdg.compute(Spin::Down);
       scratch_dynamic_[static_cast<std::size_t>(w)].emplace_back(
-          measure_dynamic(lattice_, config_.model.dtau(), up, dn),
+          measure_dynamic(lattice_, config_.model.dtau(), up, dn,
+                          *workspaces_[static_cast<std::size_t>(w)]),
           engine.config_sign());
     }
   }

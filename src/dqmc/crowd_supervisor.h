@@ -189,6 +189,8 @@ class CrowdSupervisor {
   CrowdBoundaryFn boundary_;
   std::vector<std::vector<std::pair<EqualTimeSample, int>>> scratch_samples_;
   std::vector<std::vector<std::pair<DynamicSample, int>>> scratch_dynamic_;
+  /// Per-walker measurement workspaces (slice hooks measure concurrently).
+  std::vector<std::unique_ptr<MeasurementWorkspace>> workspaces_;
   std::vector<SweepStats> scratch_stats_;
   bool check_health_ = true;
   std::uint64_t health_baseline_ = 0;

@@ -1,85 +1,111 @@
 #include "dqmc/dynamic_measurements.h"
 
 #include <cmath>
+#include <cstdint>
+
+#include "parallel/parallel_for.h"
 
 namespace dqmc::core {
 
-DynamicSample measure_dynamic(const Lattice& lattice, double dtau,
-                              const TimeDisplaced& up,
-                              const TimeDisplaced& dn) {
-  const idx n = lattice.num_sites();
-  const idx nl = static_cast<idx>(up.g_tau0.size());  // L + 1
-  DQMC_CHECK(static_cast<idx>(dn.g_tau0.size()) == nl);
-  DQMC_CHECK(nl >= 2);
+namespace {
 
-  DynamicSample out;
+/// One tau slice per task: each slice owns disjoint outputs and runs a
+/// fixed serial chain, so the parallel fft path is bitwise at any thread
+/// count.
+constexpr par::ForOptions kSliceOptions{.grain = 1};
+
+/// Gloc(tau_l) and chi_AF(tau_l) for one slice — identical arithmetic in
+/// both evaluation paths (the direct path calls it from its serial loop,
+/// the fft path from the per-slice parallel loop).
+void measure_slice_local(const MeasurementWorkspace& ws, idx l,
+                         const TimeDisplaced& up, const TimeDisplaced& dn,
+                         double stag_m0, DynamicSample& out) {
+  const idx n = ws.n;
+  const auto lu = static_cast<std::size_t>(l);
+  const Matrix& gu10 = up.g_tau0[lu];
+  const Matrix& gd10 = dn.g_tau0[lu];
+  const Matrix& gu01 = up.g_0tau[lu];
+  const Matrix& gd01 = dn.g_0tau[lu];
+  const Matrix& gutt = up.g_tautau[lu];
+  const Matrix& gdtt = dn.g_tautau[lu];
+
+  // Local propagator.
+  double tr = 0.0;
+  for (idx i = 0; i < n; ++i) tr += 0.5 * (gu10(i, i) + gd10(i, i));
+  out.gloc[l] = tr / static_cast<double>(n);
+
+  // Disconnected (staggered magnetization) part.
+  double stag_mt = 0.0;
+  for (idx i = 0; i < n; ++i) {
+    const double mi = gdtt(i, i) - gutt(i, i);
+    stag_mt += ws.eps[i] * mi;
+  }
+  double chi = stag_mt * stag_m0;
+
+  // Connected same-spin part:
+  // sum_{ij} eps_i eps_j (-G(0,l)_{ji}) G(l,0)_{ij}, both spins.
+  double conn = 0.0;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      const double phase = ws.eps[i] * ws.eps[j];
+      conn -= phase * (gu01(j, i) * gu10(i, j) + gd01(j, i) * gd10(i, j));
+    }
+  }
+  out.chi_af[l] = (chi + conn) / static_cast<double>(n);
+}
+
+/// Shared prologue: sample shells and the tau = 0 staggered moment.
+double dynamic_prologue(const MeasurementWorkspace& ws, idx nl,
+                        const TimeDisplaced& up, const TimeDisplaced& dn,
+                        DynamicSample& out, Vector& m0) {
+  const idx n = ws.n;
   out.gloc = Vector::zero(nl);
   out.chi_af = Vector::zero(nl);
-
-  // Staggered phases eps_i = (-1)^{x+y} (layer-independent).
-  Vector eps(n);
-  for (idx i = 0; i < n; ++i) {
-    const auto c = lattice.coord(i);
-    eps[i] = ((c.x + c.y) % 2 == 0) ? 1.0 : -1.0;
-  }
-
   // m_j(0) from the l = 0 equal-time Green's functions.
-  Vector m0(n);
   for (idx j = 0; j < n; ++j) {
     m0[j] = dn.g_tautau[0](j, j) - up.g_tautau[0](j, j);  // n_up - n_dn
   }
   double stag_m0 = 0.0;
-  for (idx j = 0; j < n; ++j) stag_m0 += eps[j] * m0[j];
+  for (idx j = 0; j < n; ++j) stag_m0 += ws.eps[j] * m0[j];
+  return stag_m0;
+}
+
+void finish_tau_integral(double dtau, idx nl, DynamicSample& out) {
+  // Trapezoidal integral over tau in [0, beta].
+  double integral = 0.5 * (out.chi_af[0] + out.chi_af[nl - 1]);
+  for (idx l = 1; l < nl - 1; ++l) integral += out.chi_af[l];
+  out.chi_af_integrated = integral * dtau;
+}
+
+DynamicSample measure_dynamic_direct(const Lattice& lattice, double dtau,
+                                     const TimeDisplaced& up,
+                                     const TimeDisplaced& dn,
+                                     MeasurementWorkspace& ws) {
+  const idx n = ws.n;
+  const idx nl = static_cast<idx>(up.g_tau0.size());  // L + 1
+  DynamicSample out;
+  const double stag_m0 = dynamic_prologue(ws, nl, up, dn, out, ws.m0);
 
   for (idx l = 0; l < nl; ++l) {
-    const auto lu = static_cast<std::size_t>(l);
-    const Matrix& gu10 = up.g_tau0[lu];
-    const Matrix& gd10 = dn.g_tau0[lu];
-    const Matrix& gu01 = up.g_0tau[lu];
-    const Matrix& gd01 = dn.g_0tau[lu];
-    const Matrix& gutt = up.g_tautau[lu];
-    const Matrix& gdtt = dn.g_tautau[lu];
-
-    // Local propagator.
-    double tr = 0.0;
-    for (idx i = 0; i < n; ++i) tr += 0.5 * (gu10(i, i) + gd10(i, i));
-    out.gloc[l] = tr / static_cast<double>(n);
-
-    // Disconnected (staggered magnetization) part.
-    double stag_mt = 0.0;
-    for (idx i = 0; i < n; ++i) {
-      const double mi = gdtt(i, i) - gutt(i, i);
-      stag_mt += eps[i] * mi;
-    }
-    double chi = stag_mt * stag_m0;
-
-    // Connected same-spin part:
-    // sum_{ij} eps_i eps_j (-G(0,l)_{ji}) G(l,0)_{ij}, both spins.
-    double conn = 0.0;
-    for (idx j = 0; j < n; ++j) {
-      for (idx i = 0; i < n; ++i) {
-        const double phase = eps[i] * eps[j];
-        conn -= phase * (gu01(j, i) * gu10(i, j) + gd01(j, i) * gd10(i, j));
-      }
-    }
-    out.chi_af[l] = (chi + conn) / static_cast<double>(n);
+    measure_slice_local(ws, l, up, dn, stag_m0, out);
   }
 
   // Momentum-resolved propagator: Fourier transform of the translation
   // average of G(l,0), layer-diagonal displacements only.
   {
-    const auto ks = lattice.momenta();
-    const idx lx = lattice.lx(), ly = lattice.ly(), layers = lattice.layers();
+    const auto& ks = ws.momenta;
+    const idx lx = ws.lx, ly = ws.ly, layers = ws.layers;
     out.gk_tau = Matrix::zero(static_cast<idx>(ks.size()), nl);
-    Vector f(lattice.num_displacements());
+    Vector& f = ws.fdisp;
+    const std::int32_t* pairs = ws.transform.pair_data();
     for (idx l = 0; l < nl; ++l) {
       const auto lu = static_cast<std::size_t>(l);
       // F(d) = (1/N) sum_r [G_up + G_dn]/2 (r+d, r).
       f.fill(0.0);
       for (idx j = 0; j < n; ++j) {
+        const std::int32_t* col = pairs + n * j;
         for (idx i = 0; i < n; ++i) {
-          f[lattice.displacement_index(j, i)] +=
-              0.5 * (up.g_tau0[lu](i, j) + dn.g_tau0[lu](i, j));
+          f[col[i]] += 0.5 * (up.g_tau0[lu](i, j) + dn.g_tau0[lu](i, j));
         }
       }
       for (idx d = 0; d < f.size(); ++d) f[d] /= static_cast<double>(n);
@@ -98,11 +124,82 @@ DynamicSample measure_dynamic(const Lattice& lattice, double dtau,
     }
   }
 
-  // Trapezoidal integral over tau in [0, beta].
-  double integral = 0.5 * (out.chi_af[0] + out.chi_af[nl - 1]);
-  for (idx l = 1; l < nl - 1; ++l) integral += out.chi_af[l];
-  out.chi_af_integrated = integral * dtau;
+  finish_tau_integral(dtau, nl, out);
   return out;
+}
+
+DynamicSample measure_dynamic_fft(const Lattice& lattice, double dtau,
+                                  const TimeDisplaced& up,
+                                  const TimeDisplaced& dn,
+                                  MeasurementWorkspace& ws) {
+  const idx n = ws.n;
+  const idx plane = ws.transform.plane_size();
+  const idx layers = ws.layers;
+  const idx nl = static_cast<idx>(up.g_tau0.size());  // L + 1
+  DynamicSample out;
+  const double stag_m0 = dynamic_prologue(ws, nl, up, dn, out, ws.m0);
+  out.gk_tau = Matrix::zero(plane, nl);
+  ws.gk_planes.resize(static_cast<std::size_t>(nl * plane));
+
+  // Every slice is independent: local terms plus the layer-diagonal
+  // displacement gather (only same-layer pairs reach in-plane momenta, so
+  // the gather walks the layer-diagonal blocks, N^2 / layers pairs).
+  const std::int32_t* ppairs = ws.transform.plane_pair_data();
+  par::parallel_for(
+      0, nl,
+      [&](par::index_t l) {
+        measure_slice_local(ws, l, up, dn, stag_m0, out);
+        const auto lu = static_cast<std::size_t>(l);
+        const Matrix& gu10 = up.g_tau0[lu];
+        const Matrix& gd10 = dn.g_tau0[lu];
+        double* f = ws.gk_planes.data() + l * plane;
+        for (idx p = 0; p < plane; ++p) f[p] = 0.0;
+        for (idx z = 0; z < layers; ++z) {
+          const idx base = z * plane;
+          for (idx jp = 0; jp < plane; ++jp) {
+            const std::int32_t* col = ppairs + plane * jp;
+            const idx j = base + jp;
+            for (idx ip = 0; ip < plane; ++ip) {
+              f[col[ip]] +=
+                  0.5 * (gu10(base + ip, j) + gd10(base + ip, j));
+            }
+          }
+        }
+        for (idx p = 0; p < plane; ++p) f[p] /= static_cast<double>(n);
+      },
+      kSliceOptions);
+
+  // One batched projection over all L+1 planes; gk_tau's columns are the
+  // per-slice momentum rows (column-major, ld == num momenta).
+  ws.transform.project_planes(ws.gk_planes.data(), nl, plane,
+                              out.gk_tau.data(), plane);
+
+  finish_tau_integral(dtau, nl, out);
+  return out;
+}
+
+}  // namespace
+
+DynamicSample measure_dynamic(const Lattice& lattice, double dtau,
+                              const TimeDisplaced& up, const TimeDisplaced& dn,
+                              MeasurementWorkspace& ws) {
+  const idx nl = static_cast<idx>(up.g_tau0.size());
+  DQMC_CHECK(static_cast<idx>(dn.g_tau0.size()) == nl);
+  DQMC_CHECK(nl >= 2);
+  DQMC_CHECK_MSG(ws.n == lattice.num_sites() && ws.lx == lattice.lx() &&
+                     ws.ly == lattice.ly() && ws.layers == lattice.layers(),
+                 "measurement workspace planned for a different lattice");
+  if (ws.kind == MeasureKind::kFft) {
+    return measure_dynamic_fft(lattice, dtau, up, dn, ws);
+  }
+  return measure_dynamic_direct(lattice, dtau, up, dn, ws);
+}
+
+DynamicSample measure_dynamic(const Lattice& lattice, double dtau,
+                              const TimeDisplaced& up,
+                              const TimeDisplaced& dn) {
+  MeasurementWorkspace ws(lattice, MeasureKind::kDirect);
+  return measure_dynamic(lattice, dtau, up, dn, ws);
 }
 
 DynamicAccumulator::DynamicAccumulator(idx slices, idx bins)

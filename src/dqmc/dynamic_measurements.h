@@ -13,6 +13,7 @@
 // with m_i(tau) = n_up,i(tau) - n_dn,i(tau) from the equal-time G(l,l).
 #pragma once
 
+#include "dqmc/momentum_transform.h"
 #include "dqmc/stats.h"
 #include "dqmc/time_displaced.h"
 #include "hubbard/lattice.h"
@@ -33,7 +34,17 @@ struct DynamicSample {
 };
 
 /// Evaluate the dynamic observables from the two spins' displaced Green's
-/// functions. `dtau` is needed for the tau integral.
+/// functions. `dtau` is needed for the tau integral. The workspace
+/// (planned for the same lattice) selects the direct or FFT path: direct
+/// keeps the historical arithmetic bit for bit; fft batches all L+1
+/// gk_tau slices through the planned transform and parallelizes over
+/// slices (bitwise at any thread count).
+DynamicSample measure_dynamic(const Lattice& lattice, double dtau,
+                              const TimeDisplaced& up,
+                              const TimeDisplaced& dn,
+                              MeasurementWorkspace& ws);
+
+/// Convenience overload: plans a single-use direct workspace.
 DynamicSample measure_dynamic(const Lattice& lattice, double dtau,
                               const TimeDisplaced& up,
                               const TimeDisplaced& dn);

@@ -20,6 +20,7 @@
 #include "dqmc/cluster_store.h"
 #include "dqmc/delayed_update.h"
 #include "dqmc/hs_field.h"
+#include "dqmc/momentum_transform.h"
 #include "dqmc/rng.h"
 #include "dqmc/stratification.h"
 #include "hubbard/bmatrix.h"
@@ -58,6 +59,14 @@ struct EngineConfig {
   /// before rounding can accumulate past the HealthMonitor's fp32 drift
   /// threshold. Identical across backends at either setting.
   backend::Precision precision = backend::Precision::kFp64;
+  /// How the measurement kernels evaluate translation averages (config key
+  /// `measure`, flag --measure): kDirect keeps the historical O(N^2)
+  /// site-pair loops bit for bit — the golden-fixture path; kFft routes
+  /// momentum projections and displacement correlators through the planned
+  /// mixed-radix FFT pipeline (same observables to ~1e-12, no per-pair
+  /// trig, gk_tau slices batched). Measurements never touch the Markov
+  /// chain, so trajectories are bitwise identical across the two modes.
+  MeasureKind measure = MeasureKind::kDirect;
 
   void validate() const;
 };

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/profiler.h"
+#include "dqmc/momentum_transform.h"
 #include "dqmc/stats.h"
 #include "hubbard/lattice.h"
 #include "hubbard/model.h"
@@ -39,7 +40,18 @@ struct EqualTimeSample {
 };
 
 /// Evaluate all equal-time observables for one configuration.
-/// `gup`, `gdn` are the flushed N x N Green's functions.
+/// `gup`, `gdn` are the flushed N x N Green's functions. The workspace
+/// (planned for the same lattice) supplies cached tables and reusable
+/// scratch, and its kind selects the direct or FFT evaluation path; the
+/// direct path reproduces the historical arithmetic bit for bit, the FFT
+/// path the same observables to ~1e-12.
+EqualTimeSample measure_equal_time(const Lattice& lattice,
+                                   const ModelParams& params,
+                                   const Matrix& gup, const Matrix& gdn,
+                                   MeasurementWorkspace& ws);
+
+/// Convenience overload: plans a single-use direct workspace. Prefer the
+/// workspace overload anywhere measurements repeat.
 EqualTimeSample measure_equal_time(const Lattice& lattice,
                                    const ModelParams& params,
                                    const Matrix& gup, const Matrix& gdn);

@@ -56,6 +56,11 @@ obs::Json config_json(const SimulationConfig& cfg) {
   if (cfg.engine.precision != backend::Precision::kFp64) {
     j.set("precision", backend::precision_name(cfg.engine.precision));
   }
+  // Measurement kernel family: only the non-default fft mode is emitted, so
+  // pre-FFT golden fixtures keep their bytes.
+  if (cfg.engine.measure != MeasureKind::kDirect) {
+    j.set("measure", measure_kind_name(cfg.engine.measure));
+  }
   return j;
 }
 

@@ -46,7 +46,13 @@ void run_crowd(const SimulationConfig& config, idx first, idx walkers,
     seeds.push_back(config.seed + static_cast<std::uint64_t>(first + w));
   }
   WalkerBatch batch(lattice, config.model, config.engine, seeds);
+  // One measurement workspace per walker: slice hooks can measure
+  // different walkers concurrently, and a workspace is single-threaded.
+  std::vector<std::unique_ptr<MeasurementWorkspace>> spaces;
+  spaces.reserve(static_cast<std::size_t>(walkers));
   for (idx w = 0; w < walkers; ++w) {
+    spaces.push_back(
+        std::make_unique<MeasurementWorkspace>(lattice, config.engine.measure));
     SimulationConfig chain_cfg = config;
     chain_cfg.seed = seeds[static_cast<std::size_t>(w)];
     partials[static_cast<std::size_t>(first + w)] =
@@ -81,7 +87,7 @@ void run_crowd(const SimulationConfig& config, idx first, idx walkers,
       ScopedPhase phase(&engine.profiler(), Phase::kMeasurement);
       const EqualTimeSample sample = measure_equal_time(
           lattice, engine.params(), engine.greens(Spin::Up),
-          engine.greens(Spin::Down));
+          engine.greens(Spin::Down), *spaces[static_cast<std::size_t>(w)]);
       r.measurements.add(sample, engine.config_sign());
     };
 
@@ -107,7 +113,8 @@ void run_crowd(const SimulationConfig& config, idx first, idx walkers,
                                 config.engine.algorithm);
         const TimeDisplaced up = tdg.compute(Spin::Up);
         const TimeDisplaced dn = tdg.compute(Spin::Down);
-        r.dynamic.add(measure_dynamic(lattice, config.model.dtau(), up, dn),
+        r.dynamic.add(measure_dynamic(lattice, config.model.dtau(), up, dn,
+                                      *spaces[static_cast<std::size_t>(w)]),
                       engine.config_sign());
       }
     }
@@ -149,6 +156,7 @@ void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
   } else {
     load_checkpoint_file(config.checkpoint_in, engine);
   }
+  MeasurementWorkspace ws(lattice, config.engine.measure);
   const idx total = config.warmup_sweeps + config.measurement_sweeps;
 
   for (idx sweep = 0; sweep < config.warmup_sweeps; ++sweep) {
@@ -162,7 +170,7 @@ void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
       ScopedPhase phase(&engine.profiler(), Phase::kMeasurement);
       const EqualTimeSample sample = measure_equal_time(
           lattice, engine.params(), engine.greens(Spin::Up),
-          engine.greens(Spin::Down));
+          engine.greens(Spin::Down), ws);
       results.measurements.add(sample, engine.config_sign());
     };
 
@@ -184,7 +192,7 @@ void run_simulation(DqmcEngine& engine, const SimulationConfig& config,
       const TimeDisplaced up = tdg.compute(Spin::Up);
       const TimeDisplaced dn = tdg.compute(Spin::Down);
       results.dynamic.add(
-          measure_dynamic(lattice, config.model.dtau(), up, dn),
+          measure_dynamic(lattice, config.model.dtau(), up, dn, ws),
           engine.config_sign());
     }
     if (progress) progress(config.warmup_sweeps + sweep + 1, total, false);

@@ -43,6 +43,7 @@ class ChainSupervisor {
         progress_(progress),
         results_(results),
         lattice_(config.make_lattice()),
+        workspace_(lattice_, config.engine.measure),
         backend_(config.engine.backend),
         precision_(config.engine.precision) {}
 
@@ -228,7 +229,7 @@ class ChainSupervisor {
       scratch_samples_.emplace_back(
           measure_equal_time(lattice_, engine_->params(),
                              engine_->greens(Spin::Up),
-                             engine_->greens(Spin::Down)),
+                             engine_->greens(Spin::Down), workspace_),
           engine_->config_sign());
     };
     if (measuring && config_.measure_slice_interval > 0) {
@@ -248,7 +249,7 @@ class ChainSupervisor {
       const TimeDisplaced up = tdg.compute(Spin::Up);
       const TimeDisplaced dn = tdg.compute(Spin::Down);
       scratch_dynamic_.emplace_back(
-          measure_dynamic(lattice_, config_.model.dtau(), up, dn),
+          measure_dynamic(lattice_, config_.model.dtau(), up, dn, workspace_),
           engine_->config_sign());
     }
   }
@@ -364,6 +365,7 @@ class ChainSupervisor {
   const ProgressFn& progress_;
   SimulationResults& results_;
   Lattice lattice_;
+  MeasurementWorkspace workspace_;
   backend::BackendKind backend_;
   backend::Precision precision_;  ///< degradable: fp32 -> fp64 on health trips
   std::unique_ptr<DqmcEngine> engine_;

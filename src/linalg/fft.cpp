@@ -1,0 +1,225 @@
+#include "linalg/fft.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "parallel/parallel_for.h"
+
+namespace dqmc::linalg {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Largest radix whose butterfly scratch lives on the stack; plans with a
+/// bigger prime factor fall back to one heap buffer per transform.
+constexpr idx kStackRadix = 16;
+
+/// Parallel grain for the batched entry points: one plane / signal is
+/// already thousands of flops, so split eagerly.
+constexpr par::ForOptions kBatchOptions{.grain = 2};
+
+inline Cplx cmul(Cplx a, Cplx b) {
+  return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+}
+
+/// Prime factors of n, smallest first (all the 2s, then 3s, 5s, ...).
+std::vector<idx> factorize(idx n) {
+  std::vector<idx> fs;
+  for (idx p = 2; p * p <= n; p += (p == 2) ? 1 : 2) {
+    while (n % p == 0) {
+      fs.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) fs.push_back(n);
+  return fs;
+}
+
+/// Leaf order of the decimation-in-time recursion: subproblem q of a
+/// radix-r split owns every r-th input starting at offset q, so the
+/// iterative stages below can combine contiguous blocks bottom-up.
+void build_perm(const std::vector<idx>& radices, std::size_t fi, idx off,
+                idx stride, idx n, std::vector<idx>& perm) {
+  if (n == 1) {
+    perm.push_back(off);
+    return;
+  }
+  const idx r = radices[fi];
+  for (idx q = 0; q < r; ++q) {
+    build_perm(radices, fi + 1, off + q * stride, stride * r, n / r, perm);
+  }
+}
+
+}  // namespace
+
+FftPlan::FftPlan(idx n) : n_(n) {
+  DQMC_CHECK_MSG(n >= 1, "FFT size must be positive");
+  if (n == 1) return;
+  const std::vector<idx> radices = factorize(n);
+  perm_.reserve(static_cast<std::size_t>(n));
+  build_perm(radices, 0, 0, 1, n, perm_);
+  // Stages run bottom-up: the factor split off LAST by the recursion is
+  // the first to combine, so walk the factor list in reverse.
+  stages_.reserve(radices.size());
+  idx m = 1;
+  for (std::size_t s = radices.size(); s-- > 0;) {
+    Stage st;
+    st.radix = radices[s];
+    st.m = m;
+    const idx span = st.radix * m;
+    st.tw.resize(static_cast<std::size_t>(span));
+    for (idx j = 0; j < span; ++j) {
+      const double theta =
+          -kTwoPi * static_cast<double>(j) / static_cast<double>(span);
+      st.tw[static_cast<std::size_t>(j)] = {std::cos(theta), std::sin(theta)};
+    }
+    max_radix_ = std::max(max_radix_, st.radix);
+    stages_.push_back(std::move(st));
+    m = span;
+  }
+}
+
+void FftPlan::run(const Cplx* in, Cplx* out, bool inverse) const {
+  DQMC_CHECK(in != out);
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  for (idx t = 0; t < n_; ++t) out[t] = in[perm_[static_cast<std::size_t>(t)]];
+
+  // The inverse transform conjugates every twiddle; multiplying the
+  // tabulated imaginary part by -1 is exact, so forward and inverse share
+  // one table.
+  const double flip = inverse ? -1.0 : 1.0;
+  Cplx stack_tmp[kStackRadix];
+  std::vector<Cplx> heap_tmp;
+  Cplx* tmp = stack_tmp;
+  if (max_radix_ > kStackRadix) {
+    heap_tmp.resize(static_cast<std::size_t>(max_radix_));
+    tmp = heap_tmp.data();
+  }
+
+  for (const Stage& st : stages_) {
+    const idx r = st.radix;
+    const idx m = st.m;
+    const idx span = r * m;
+    const Cplx* tw = st.tw.data();
+    if (r == 2) {
+      for (idx base = 0; base < n_; base += span) {
+        for (idx b = 0; b < m; ++b) {
+          Cplx w = tw[b];
+          w.im *= flip;
+          const Cplx t0 = out[base + b];
+          const Cplx t1 = cmul(w, out[base + m + b]);
+          out[base + b] = {t0.re + t1.re, t0.im + t1.im};
+          out[base + m + b] = {t0.re - t1.re, t0.im - t1.im};
+        }
+      }
+      continue;
+    }
+    // Generic radix: twiddle the r inputs of one butterfly into tmp, then
+    // form each output as the O(r) small-DFT combination
+    //   X[a] = sum_q omega_r^{a q} tmp[q],  omega_r^j = tw[j * m].
+    for (idx base = 0; base < n_; base += span) {
+      for (idx b = 0; b < m; ++b) {
+        tmp[0] = out[base + b];
+        for (idx q = 1; q < r; ++q) {
+          Cplx w = tw[q * b];
+          w.im *= flip;
+          tmp[q] = cmul(w, out[base + q * m + b]);
+        }
+        for (idx a = 0; a < r; ++a) {
+          Cplx acc = tmp[0];
+          for (idx q = 1; q < r; ++q) {
+            Cplx w = tw[((a * q) % r) * m];
+            w.im *= flip;
+            const Cplx t = cmul(w, tmp[q]);
+            acc.re += t.re;
+            acc.im += t.im;
+          }
+          out[base + a * m + b] = acc;
+        }
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (idx t = 0; t < n_; ++t) {
+      out[t].re *= scale;
+      out[t].im *= scale;
+    }
+  }
+}
+
+Fft2::Fft2(idx nx, idx ny) : px_(nx), py_(ny) {}
+
+void Fft2::run(Cplx* plane, Workspace& ws, bool inverse) const {
+  const idx nx = px_.size();
+  const idx ny = py_.size();
+  ws.row.resize(static_cast<std::size_t>(nx));
+  ws.col_in.resize(static_cast<std::size_t>(ny));
+  ws.col_out.resize(static_cast<std::size_t>(ny));
+  for (idx y = 0; y < ny; ++y) {
+    Cplx* row = plane + nx * y;
+    if (inverse) {
+      px_.inverse(row, ws.row.data());
+    } else {
+      px_.forward(row, ws.row.data());
+    }
+    for (idx x = 0; x < nx; ++x) row[x] = ws.row[static_cast<std::size_t>(x)];
+  }
+  for (idx x = 0; x < nx; ++x) {
+    for (idx y = 0; y < ny; ++y) {
+      ws.col_in[static_cast<std::size_t>(y)] = plane[x + nx * y];
+    }
+    if (inverse) {
+      py_.inverse(ws.col_in.data(), ws.col_out.data());
+    } else {
+      py_.forward(ws.col_in.data(), ws.col_out.data());
+    }
+    for (idx y = 0; y < ny; ++y) {
+      plane[x + nx * y] = ws.col_out[static_cast<std::size_t>(y)];
+    }
+  }
+}
+
+void fft_batched(const FftPlan& plan, bool inverse, const Cplx* in, Cplx* out,
+                 idx count, idx stride) {
+  DQMC_CHECK(count >= 0 && stride >= plan.size());
+  par::parallel_for(
+      0, count,
+      [&](par::index_t s) {
+        const Cplx* src = in + s * stride;
+        Cplx* dst = out + s * stride;
+        if (inverse) {
+          plan.inverse(src, dst);
+        } else {
+          plan.forward(src, dst);
+        }
+      },
+      kBatchOptions);
+}
+
+void fft2_batched(const Fft2& plan, bool inverse, Cplx* planes, idx count,
+                  idx stride) {
+  DQMC_CHECK(count >= 0 && stride >= plan.size());
+  par::parallel_for_chunks(
+      0, count,
+      [&](par::index_t lo, par::index_t hi) {
+        Fft2::Workspace ws;  // per-chunk scratch; per-plane math is fixed
+        for (par::index_t p = lo; p < hi; ++p) {
+          Cplx* plane = planes + p * stride;
+          if (inverse) {
+            plan.inverse(plane, ws);
+          } else {
+            plan.forward(plane, ws);
+          }
+        }
+      },
+      kBatchOptions);
+}
+
+}  // namespace dqmc::linalg

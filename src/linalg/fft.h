@@ -1,0 +1,102 @@
+// Deterministic mixed-radix FFT plans (the measurement-pipeline transform).
+//
+// FftPlan factors n into primes (radix-2 hardcoded, generic O(r^2) kernel
+// for 3, 5 and any larger prime, so every lattice edge length works — odd
+// L included) and precomputes the digit-reversal permutation plus one
+// twiddle table per butterfly stage. A transform is then a fixed serial
+// chain of arithmetic per signal: no in-loop trig, no std::complex (whose
+// libcall NaN fixups are an ABI wildcard), just {re, im} pairs — so the
+// same binary produces bitwise-identical spectra everywhere the rest of
+// the hot path does.
+//
+// Fft2 composes two plans into the row-column transform over an lx x ly
+// lattice plane. The batched entry points parallelize over whole signals /
+// planes on the task runtime; each signal's arithmetic is independent of
+// how the batch is chunked over threads, so results are BITWISE identical
+// for any thread budget — the repo-wide determinism contract.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dqmc::linalg {
+
+/// Plain complex value. Deliberately not std::complex: arithmetic is
+/// spelled out in the kernels so the instruction sequence is fixed.
+struct Cplx {
+  double re = 0.0;
+  double im = 0.0;
+};
+
+/// Precomputed 1-D transform of a fixed size n >= 1 (any n: mixed radix
+/// with a generic prime kernel). Plans are immutable after construction
+/// and safe to share across threads.
+class FftPlan {
+ public:
+  explicit FftPlan(idx n);
+
+  idx size() const { return n_; }
+
+  /// Out-of-place transforms; `out` must not alias `in`.
+  ///   forward: X[k] = sum_t e^{-2 pi i k t / n} x[t]
+  ///   inverse: x[t] = (1/n) sum_k e^{+2 pi i k t / n} X[k]
+  void forward(const Cplx* in, Cplx* out) const { run(in, out, false); }
+  void inverse(const Cplx* in, Cplx* out) const { run(in, out, true); }
+
+ private:
+  struct Stage {
+    idx radix = 0;
+    idx m = 0;                ///< butterflies per block (span = radix * m)
+    std::vector<Cplx> tw;     ///< omega_span^j = e^{-2 pi i j / span}
+  };
+
+  void run(const Cplx* in, Cplx* out, bool inverse) const;
+
+  idx n_ = 1;
+  idx max_radix_ = 1;
+  std::vector<idx> perm_;     ///< out[t] starts as in[perm_[t]]
+  std::vector<Stage> stages_;
+};
+
+/// Row-column 2-D transform over an nx x ny plane stored x-fastest
+/// (index x + nx * y — the Lattice in-plane site order).
+class Fft2 {
+ public:
+  /// Per-call scratch so one immutable plan serves many threads. Any
+  /// default-constructed Workspace works with any plan; the first use
+  /// sizes it.
+  struct Workspace {
+    std::vector<Cplx> row, col_in, col_out;
+  };
+
+  Fft2(idx nx, idx ny);
+
+  idx nx() const { return px_.size(); }
+  idx ny() const { return py_.size(); }
+  idx size() const { return px_.size() * py_.size(); }
+
+  /// In-place transforms of one plane (nx * ny values).
+  void forward(Cplx* plane, Workspace& ws) const { run(plane, ws, false); }
+  void inverse(Cplx* plane, Workspace& ws) const { run(plane, ws, true); }
+
+ private:
+  void run(Cplx* plane, Workspace& ws, bool inverse) const;
+
+  FftPlan px_, py_;
+};
+
+/// Batched 1-D transforms: `count` signals of plan.size() values each,
+/// signal s starting at in + s * stride (same layout for out, which must
+/// not overlap in). Parallel over signals with chunk-independent
+/// per-signal arithmetic.
+void fft_batched(const FftPlan& plan, bool inverse, const Cplx* in, Cplx* out,
+                 idx count, idx stride);
+
+/// Batched in-place 2-D transforms over `count` planes of plan.size()
+/// values, plane p starting at planes + p * stride. Parallel over planes
+/// with chunk-independent per-plane arithmetic.
+void fft2_batched(const Fft2& plan, bool inverse, Cplx* planes, idx count,
+                  idx stride);
+
+}  // namespace dqmc::linalg

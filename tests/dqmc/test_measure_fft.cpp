@@ -1,0 +1,291 @@
+// Direct vs FFT measurement parity through the whole pipeline: the two
+// kernels must agree to 1e-10 on every observable over the same Green's
+// functions, the Markov chain must be bitwise IDENTICAL under either mode
+// (measurements never touch the trajectory), and the FFT path must honor
+// the repo-wide determinism contract — bitwise means across thread counts,
+// backends, walker-batch widths, and a kill-and-resume fleet run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "backend/backend.h"
+#include "dqmc/dynamic_measurements.h"
+#include "dqmc/measurements.h"
+#include "dqmc/rng.h"
+#include "dqmc/simulation.h"
+#include "dqmc/supervisor.h"
+#include "fault/failpoint.h"
+#include "fleet/coordinator.h"
+#include "parallel/topology.h"
+
+namespace dqmc::core {
+namespace {
+
+using hubbard::Lattice;
+
+constexpr double kParityTol = 1e-10;
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int threads) { par::set_num_threads(threads); }
+  ~ThreadCountGuard() { par::set_num_threads(0); }
+};
+
+Matrix synthetic_greens(Rng& rng, idx n) {
+  Matrix g(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      g(i, j) = (i == j ? 0.5 : 0.0) + 0.2 * (rng.uniform() - 0.5);
+    }
+  }
+  return g;
+}
+
+void expect_vector_near(const Vector& a, const Vector& b, double tol,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (idx i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], tol) << what << " at " << i;
+  }
+}
+
+void expect_vector_bitwise(const Vector& a, const Vector& b,
+                           const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (idx i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << what << " at " << i;
+  }
+}
+
+/// Short 4x4 run with dynamic measurements on — big enough to cross
+/// cluster boundaries, small enough for the quick tier.
+SimulationConfig fft_config() {
+  SimulationConfig cfg;
+  cfg.lx = cfg.ly = 4;
+  cfg.model.u = 4.0;
+  cfg.model.beta = 2.0;
+  cfg.model.slices = 12;
+  cfg.engine.cluster_size = 4;
+  cfg.engine.delay_rank = 8;
+  cfg.engine.measure = MeasureKind::kFft;
+  cfg.warmup_sweeps = 4;
+  cfg.measurement_sweeps = 8;
+  cfg.measure_dynamic_interval = 4;
+  cfg.bins = 4;
+  cfg.seed = 131;
+  return cfg;
+}
+
+class MeasureFft : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::failpoints().disarm_all(); }
+  void TearDown() override { fault::failpoints().disarm_all(); }
+};
+
+TEST_F(MeasureFft, EqualTimeParityOnSyntheticGreens) {
+  Rng rng(211);
+  for (const Lattice& lat :
+       {Lattice(4, 4), Lattice(5, 3), Lattice(4, 4, 2), Lattice(3, 5, 3)}) {
+    const hubbard::ModelParams params;
+    const idx n = lat.num_sites();
+    const Matrix gup = synthetic_greens(rng, n);
+    const Matrix gdn = synthetic_greens(rng, n);
+
+    MeasurementWorkspace direct_ws(lat, MeasureKind::kDirect);
+    MeasurementWorkspace fft_ws(lat, MeasureKind::kFft);
+    const EqualTimeSample d =
+        measure_equal_time(lat, params, gup, gdn, direct_ws);
+    const EqualTimeSample f = measure_equal_time(lat, params, gup, gdn, fft_ws);
+
+    // The O(N) local terms run the same code in both modes; the
+    // translation-averaged ones differ only by summation order.
+    EXPECT_EQ(d.density, f.density);
+    EXPECT_EQ(d.double_occupancy, f.double_occupancy);
+    EXPECT_EQ(d.kinetic_energy, f.kinetic_energy);
+    EXPECT_NEAR(d.moment_sq, f.moment_sq, kParityTol);
+    EXPECT_NEAR(d.af_structure_factor, f.af_structure_factor, kParityTol);
+    EXPECT_NEAR(d.pair_s, f.pair_s, kParityTol);
+    EXPECT_NEAR(d.pair_d, f.pair_d, kParityTol);
+    expect_vector_near(d.momentum_dist, f.momentum_dist, kParityTol,
+                       "momentum_dist");
+    expect_vector_near(d.spin_corr, f.spin_corr, kParityTol, "spin_corr");
+  }
+}
+
+TEST_F(MeasureFft, DynamicParityOnSyntheticGreens) {
+  Rng rng(223);
+  for (const Lattice& lat : {Lattice(4, 4), Lattice(3, 3, 2)}) {
+    const idx n = lat.num_sites();
+    const idx slices = 6;
+    TimeDisplaced up, dn;
+    for (idx l = 0; l <= slices; ++l) {
+      up.g_tau0.push_back(synthetic_greens(rng, n));
+      up.g_0tau.push_back(synthetic_greens(rng, n));
+      up.g_tautau.push_back(synthetic_greens(rng, n));
+      dn.g_tau0.push_back(synthetic_greens(rng, n));
+      dn.g_0tau.push_back(synthetic_greens(rng, n));
+      dn.g_tautau.push_back(synthetic_greens(rng, n));
+    }
+
+    MeasurementWorkspace direct_ws(lat, MeasureKind::kDirect);
+    MeasurementWorkspace fft_ws(lat, MeasureKind::kFft);
+    const DynamicSample d = measure_dynamic(lat, 0.1, up, dn, direct_ws);
+    const DynamicSample f = measure_dynamic(lat, 0.1, up, dn, fft_ws);
+
+    expect_vector_near(d.gloc, f.gloc, kParityTol, "gloc");
+    expect_vector_near(d.chi_af, f.chi_af, kParityTol, "chi_af");
+    EXPECT_NEAR(d.chi_af_integrated, f.chi_af_integrated, kParityTol);
+    ASSERT_EQ(d.gk_tau.rows(), f.gk_tau.rows());
+    ASSERT_EQ(d.gk_tau.cols(), f.gk_tau.cols());
+    for (idx c = 0; c < d.gk_tau.cols(); ++c) {
+      for (idx r = 0; r < d.gk_tau.rows(); ++r) {
+        EXPECT_NEAR(d.gk_tau(r, c), f.gk_tau(r, c), kParityTol)
+            << "gk_tau(" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST_F(MeasureFft, FullRunKeepsTrajectoryAndTracksDirectObservables) {
+  SimulationConfig cfg = fft_config();
+  cfg.engine.measure = MeasureKind::kDirect;
+  const SimulationResults direct = run_simulation(cfg);
+  cfg.engine.measure = MeasureKind::kFft;
+  const SimulationResults fft = run_simulation(cfg);
+
+  // Measurements never touch the Markov chain: the trajectories are the
+  // same bits, so every observable difference is pure summation order.
+  EXPECT_EQ(direct.trajectory_hash, fft.trajectory_hash);
+  EXPECT_EQ(direct.sweep_stats.proposed, fft.sweep_stats.proposed);
+  EXPECT_EQ(direct.sweep_stats.accepted, fft.sweep_stats.accepted);
+  ASSERT_EQ(direct.measurements.samples(), fft.measurements.samples());
+
+  const auto& dm = direct.measurements;
+  const auto& fm = fft.measurements;
+  EXPECT_EQ(dm.density().mean, fm.density().mean);
+  EXPECT_EQ(dm.double_occupancy().mean, fm.double_occupancy().mean);
+  EXPECT_EQ(dm.kinetic_energy().mean, fm.kinetic_energy().mean);
+  EXPECT_NEAR(dm.moment_sq().mean, fm.moment_sq().mean, kParityTol);
+  EXPECT_NEAR(dm.af_structure_factor().mean, fm.af_structure_factor().mean,
+              kParityTol);
+  EXPECT_NEAR(dm.pair_s().mean, fm.pair_s().mean, kParityTol);
+  EXPECT_NEAR(dm.pair_d().mean, fm.pair_d().mean, kParityTol);
+  expect_vector_near(dm.momentum_dist_means(), fm.momentum_dist_means(),
+                     kParityTol, "momentum_dist means");
+  expect_vector_near(dm.spin_corr_means(), fm.spin_corr_means(), kParityTol,
+                     "spin_corr means");
+
+  ASSERT_EQ(direct.dynamic.samples(), fft.dynamic.samples());
+  EXPECT_NEAR(direct.dynamic.chi_af_integrated().mean,
+              fft.dynamic.chi_af_integrated().mean, kParityTol);
+  for (idx l = 0; l <= cfg.model.slices; ++l) {
+    EXPECT_NEAR(direct.dynamic.gloc(l).mean, fft.dynamic.gloc(l).mean,
+                kParityTol)
+        << "gloc tau slice " << l;
+  }
+}
+
+TEST_F(MeasureFft, FftRunBitwiseAcrossBackends) {
+  SimulationConfig cfg = fft_config();
+  cfg.engine.backend = backend::BackendKind::kHost;
+  const SimulationResults host = run_simulation(cfg);
+  cfg.engine.backend = backend::BackendKind::kGpuSim;
+  const SimulationResults gpusim = run_simulation(cfg);
+
+  EXPECT_EQ(host.trajectory_hash, gpusim.trajectory_hash);
+  EXPECT_EQ(host.measurements.density().mean,
+            gpusim.measurements.density().mean);
+  EXPECT_EQ(host.measurements.af_structure_factor().mean,
+            gpusim.measurements.af_structure_factor().mean);
+  expect_vector_bitwise(host.measurements.momentum_dist_means(),
+                        gpusim.measurements.momentum_dist_means(),
+                        "momentum_dist means");
+}
+
+TEST_F(MeasureFft, BatchedCrowdsBitwiseWithUnbatchedChains) {
+  SimulationConfig cfg = fft_config();
+  const idx chains = 4;
+  cfg.walker_batch = 0;
+  const SimulationResults unbatched = run_parallel_simulation(cfg, chains);
+  cfg.walker_batch = 2;
+  const SimulationResults batched = run_parallel_simulation(cfg, chains);
+
+  EXPECT_EQ(unbatched.trajectory_hash, batched.trajectory_hash);
+  EXPECT_EQ(unbatched.measurements.density().mean,
+            batched.measurements.density().mean);
+  EXPECT_EQ(unbatched.measurements.af_structure_factor().mean,
+            batched.measurements.af_structure_factor().mean);
+  expect_vector_bitwise(unbatched.measurements.spin_corr_means(),
+                        batched.measurements.spin_corr_means(),
+                        "spin_corr means");
+}
+
+TEST_F(MeasureFft, FftMeansBitwiseAcrossThreadCounts) {
+  const SimulationConfig cfg = fft_config();
+  SimulationResults base = [&] {
+    ThreadCountGuard guard(1);
+    return run_simulation(cfg);
+  }();
+  for (const int threads : {2, 8}) {
+    ThreadCountGuard guard(threads);
+    const SimulationResults got = run_simulation(cfg);
+    EXPECT_EQ(base.trajectory_hash, got.trajectory_hash)
+        << "thread count " << threads;
+    EXPECT_EQ(base.measurements.density().mean,
+              got.measurements.density().mean);
+    EXPECT_EQ(base.measurements.pair_d().mean, got.measurements.pair_d().mean);
+    expect_vector_bitwise(base.measurements.momentum_dist_means(),
+                          got.measurements.momentum_dist_means(),
+                          "momentum_dist means");
+    expect_vector_bitwise(base.measurements.spin_corr_means(),
+                          got.measurements.spin_corr_means(),
+                          "spin_corr means");
+    EXPECT_EQ(base.dynamic.chi_af_integrated().mean,
+              got.dynamic.chi_af_integrated().mean);
+  }
+}
+
+TEST_F(MeasureFft, FleetKillAndResumeAccumulatorStreamsAgree) {
+  // SIGKILL a worker mid-run: the recovered fleet's merged accumulator
+  // stream under fft measurements must be bitwise what the undisturbed
+  // fleet and the single-process supervised run produce.
+  SimulationConfig cfg = fft_config();
+  cfg.walker_batch = 2;
+  SupervisorPolicy policy;
+  policy.checkpoint_interval = 3;
+  const idx chains = 6;
+
+  const SimulationResults single =
+      run_supervised_parallel(cfg, policy, chains);
+
+  fleet::FleetConfig fc;
+  fc.workers = 2;
+  fc.snapshot_interval = 1;
+  const fleet::FleetResult undisturbed =
+      fleet::run_fleet(cfg, policy, fc, chains);
+  EXPECT_EQ(undisturbed.results.trajectory_hash, single.trajectory_hash);
+
+  fleet::FleetConfig kill = fc;
+  kill.worker_failpoints = "fleet.worker.kill:10";
+  kill.failpoint_worker = 0;
+  const fleet::FleetResult disturbed = fleet::run_fleet(cfg, policy, kill, chains);
+  EXPECT_EQ(disturbed.fleet.worker_deaths, 1u);
+
+  EXPECT_EQ(disturbed.results.trajectory_hash, single.trajectory_hash);
+  const auto& dm = disturbed.results.measurements;
+  const auto& um = undisturbed.results.measurements;
+  ASSERT_EQ(dm.samples(), um.samples());
+  EXPECT_EQ(dm.density().mean, um.density().mean);
+  EXPECT_EQ(dm.density().error, um.density().error);
+  EXPECT_EQ(dm.af_structure_factor().mean, um.af_structure_factor().mean);
+  EXPECT_EQ(dm.pair_d().mean, um.pair_d().mean);
+  expect_vector_bitwise(dm.momentum_dist_means(), um.momentum_dist_means(),
+                        "momentum_dist means");
+  expect_vector_bitwise(dm.spin_corr_means(), um.spin_corr_means(),
+                        "spin_corr means");
+  EXPECT_EQ(disturbed.results.dynamic.chi_af_integrated().mean,
+            undisturbed.results.dynamic.chi_af_integrated().mean);
+}
+
+}  // namespace
+}  // namespace dqmc::core

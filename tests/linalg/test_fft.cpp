@@ -1,0 +1,246 @@
+// Mixed-radix FFT plans: naive-DFT oracle over every radix mix the lattice
+// edge lengths exercise (powers of two, 3- and 5-smooth sizes, bare
+// primes), round trips, Hermitian symmetry of real inputs, and the
+// repo-wide determinism contract — batched results bitwise equal to
+// single-signal runs at every thread count.
+#include "linalg/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "dqmc/rng.h"
+#include "parallel/topology.h"
+
+namespace dqmc::linalg {
+namespace {
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int threads) { par::set_num_threads(threads); }
+  ~ThreadCountGuard() { par::set_num_threads(0); }
+};
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+std::vector<Cplx> random_signal(core::Rng& rng, idx n) {
+  std::vector<Cplx> x(static_cast<std::size_t>(n));
+  for (auto& v : x) {
+    v.re = rng.uniform() - 0.5;
+    v.im = rng.uniform() - 0.5;
+  }
+  return x;
+}
+
+/// O(n^2) reference DFT, the oracle every plan is judged against.
+std::vector<Cplx> naive_dft(const std::vector<Cplx>& x, bool inverse) {
+  const idx n = static_cast<idx>(x.size());
+  std::vector<Cplx> out(x.size());
+  const double sign = inverse ? 1.0 : -1.0;
+  for (idx k = 0; k < n; ++k) {
+    double re = 0.0, im = 0.0;
+    for (idx t = 0; t < n; ++t) {
+      const double theta = sign * kTwoPi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      const double c = std::cos(theta), s = std::sin(theta);
+      re += x[static_cast<std::size_t>(t)].re * c -
+            x[static_cast<std::size_t>(t)].im * s;
+      im += x[static_cast<std::size_t>(t)].re * s +
+            x[static_cast<std::size_t>(t)].im * c;
+    }
+    if (inverse) {
+      re /= static_cast<double>(n);
+      im /= static_cast<double>(n);
+    }
+    out[static_cast<std::size_t>(k)] = {re, im};
+  }
+  return out;
+}
+
+void expect_cplx_near(const std::vector<Cplx>& a, const std::vector<Cplx>& b,
+                      double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].re, b[i].re, tol) << "re at " << i;
+    EXPECT_NEAR(a[i].im, b[i].im, tol) << "im at " << i;
+  }
+}
+
+// Sizes covering every kernel: radix-2 chains, mixed 2/3, pure 3, 2/5,
+// 3/5, squares of odd primes, and bare primes > 5 (generic kernel).
+const idx kSizes[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 25};
+
+TEST(FftPlan, MatchesNaiveDftForward) {
+  core::Rng rng(11);
+  for (const idx n : kSizes) {
+    FftPlan plan(n);
+    ASSERT_EQ(plan.size(), n);
+    const std::vector<Cplx> x = random_signal(rng, n);
+    std::vector<Cplx> got(x.size());
+    plan.forward(x.data(), got.data());
+    expect_cplx_near(got, naive_dft(x, false), 1e-12 * std::max<idx>(n, 1));
+  }
+}
+
+TEST(FftPlan, MatchesNaiveDftInverse) {
+  core::Rng rng(13);
+  for (const idx n : kSizes) {
+    FftPlan plan(n);
+    const std::vector<Cplx> x = random_signal(rng, n);
+    std::vector<Cplx> got(x.size());
+    plan.inverse(x.data(), got.data());
+    expect_cplx_near(got, naive_dft(x, true), 1e-12);
+  }
+}
+
+TEST(FftPlan, RoundTripRecoversInput) {
+  core::Rng rng(17);
+  for (const idx n : kSizes) {
+    FftPlan plan(n);
+    const std::vector<Cplx> x = random_signal(rng, n);
+    std::vector<Cplx> hat(x.size()), back(x.size());
+    plan.forward(x.data(), hat.data());
+    plan.inverse(hat.data(), back.data());
+    expect_cplx_near(back, x, 1e-13 * std::max<idx>(n, 1));
+  }
+}
+
+TEST(FftPlan, RealInputHasHermitianSpectrum) {
+  core::Rng rng(19);
+  for (const idx n : kSizes) {
+    FftPlan plan(n);
+    std::vector<Cplx> x = random_signal(rng, n);
+    for (auto& v : x) v.im = 0.0;
+    std::vector<Cplx> hat(x.size());
+    plan.forward(x.data(), hat.data());
+    // X[n - k] = conj(X[k]) for real inputs.
+    for (idx k = 0; k < n; ++k) {
+      const idx kc = (n - k) % n;
+      EXPECT_NEAR(hat[static_cast<std::size_t>(k)].re,
+                  hat[static_cast<std::size_t>(kc)].re, 1e-12);
+      EXPECT_NEAR(hat[static_cast<std::size_t>(k)].im,
+                  -hat[static_cast<std::size_t>(kc)].im, 1e-12);
+    }
+  }
+}
+
+TEST(Fft2, MatchesNaive2dDft) {
+  core::Rng rng(23);
+  // Odd x even, odd x odd, and a bare-prime edge.
+  const std::pair<idx, idx> shapes[] = {{4, 4}, {6, 4}, {3, 5}, {7, 3}, {5, 5}};
+  for (const auto& [nx, ny] : shapes) {
+    Fft2 plan(nx, ny);
+    ASSERT_EQ(plan.size(), nx * ny);
+    std::vector<Cplx> plane = random_signal(rng, nx * ny);
+    const std::vector<Cplx> orig = plane;
+    Fft2::Workspace ws;
+    plan.forward(plane.data(), ws);
+    for (idx ky = 0; ky < ny; ++ky) {
+      for (idx kx = 0; kx < nx; ++kx) {
+        double re = 0.0, im = 0.0;
+        for (idx y = 0; y < ny; ++y) {
+          for (idx x = 0; x < nx; ++x) {
+            const double theta =
+                -kTwoPi * (static_cast<double>(kx * x) / static_cast<double>(nx) +
+                           static_cast<double>(ky * y) / static_cast<double>(ny));
+            const Cplx& v = orig[static_cast<std::size_t>(x + nx * y)];
+            re += v.re * std::cos(theta) - v.im * std::sin(theta);
+            im += v.re * std::sin(theta) + v.im * std::cos(theta);
+          }
+        }
+        const Cplx& got = plane[static_cast<std::size_t>(kx + nx * ky)];
+        EXPECT_NEAR(got.re, re, 1e-11) << nx << "x" << ny;
+        EXPECT_NEAR(got.im, im, 1e-11) << nx << "x" << ny;
+      }
+    }
+  }
+}
+
+TEST(Fft2, RoundTripRecoversPlane) {
+  core::Rng rng(29);
+  Fft2 plan(6, 5);
+  std::vector<Cplx> plane = random_signal(rng, plan.size());
+  const std::vector<Cplx> orig = plane;
+  Fft2::Workspace ws;
+  plan.forward(plane.data(), ws);
+  plan.inverse(plane.data(), ws);
+  for (std::size_t i = 0; i < plane.size(); ++i) {
+    EXPECT_NEAR(plane[i].re, orig[i].re, 1e-12);
+    EXPECT_NEAR(plane[i].im, orig[i].im, 1e-12);
+  }
+}
+
+TEST(FftBatched, BitwiseEqualsSingleSignalRuns) {
+  core::Rng rng(31);
+  const idx n = 12, count = 9, stride = n + 3;
+  FftPlan plan(n);
+  std::vector<Cplx> in(static_cast<std::size_t>(count * stride));
+  for (auto& v : in) {
+    v.re = rng.uniform() - 0.5;
+    v.im = rng.uniform() - 0.5;
+  }
+  std::vector<Cplx> batched(in.size()), single(in.size());
+  fft_batched(plan, false, in.data(), batched.data(), count, stride);
+  for (idx s = 0; s < count; ++s) {
+    plan.forward(in.data() + s * stride, single.data() + s * stride);
+  }
+  for (idx s = 0; s < count; ++s) {
+    for (idx t = 0; t < n; ++t) {
+      const std::size_t at = static_cast<std::size_t>(s * stride + t);
+      EXPECT_EQ(batched[at].re, single[at].re);
+      EXPECT_EQ(batched[at].im, single[at].im);
+    }
+  }
+}
+
+TEST(FftBatched, BitwiseIdenticalAcrossThreadCounts) {
+  const idx n = 15, count = 16;
+  FftPlan plan(n);
+  core::Rng rng(37);
+  std::vector<Cplx> in(static_cast<std::size_t>(count * n));
+  for (auto& v : in) {
+    v.re = rng.uniform() - 0.5;
+    v.im = rng.uniform() - 0.5;
+  }
+  std::vector<Cplx> base(in.size());
+  {
+    ThreadCountGuard guard(1);
+    fft_batched(plan, true, in.data(), base.data(), count, n);
+  }
+  for (const int threads : {2, 3, 8}) {
+    ThreadCountGuard guard(threads);
+    std::vector<Cplx> got(in.size());
+    fft_batched(plan, true, in.data(), got.data(), count, n);
+    ASSERT_EQ(0, std::memcmp(got.data(), base.data(),
+                             got.size() * sizeof(Cplx)))
+        << "thread count " << threads;
+  }
+}
+
+TEST(Fft2Batched, BitwiseIdenticalAcrossThreadCounts) {
+  Fft2 plan(6, 4);
+  const idx count = 11, stride = plan.size();
+  core::Rng rng(41);
+  std::vector<Cplx> in(static_cast<std::size_t>(count * stride));
+  for (auto& v : in) {
+    v.re = rng.uniform() - 0.5;
+    v.im = rng.uniform() - 0.5;
+  }
+  std::vector<Cplx> base = in;
+  {
+    ThreadCountGuard guard(1);
+    fft2_batched(plan, false, base.data(), count, stride);
+  }
+  for (const int threads : {2, 5}) {
+    ThreadCountGuard guard(threads);
+    std::vector<Cplx> got = in;
+    fft2_batched(plan, false, got.data(), count, stride);
+    ASSERT_EQ(0, std::memcmp(got.data(), base.data(),
+                             got.size() * sizeof(Cplx)))
+        << "thread count " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dqmc::linalg
